@@ -1,0 +1,34 @@
+// Figure 7: upper-bound measurements — no consensus, no inter-replica
+// communication. "No Execution": the primary echoes every client request.
+// "Execution": the primary executes the request first. Two threads work
+// independently with no ordering.
+//
+// Paper: up to ~500K txn/s and latency up to ~0.25 s.
+#include <string>
+
+#include "api/experiment_io.h"
+
+using namespace rdb::simfab;
+
+int main() {
+  print_figure_header(
+      "Figure 7: upper bound without consensus (primary only)");
+
+  for (std::uint64_t clients : {10'000ull, 20'000ull, 40'000ull, 80'000ull}) {
+    FabricConfig cfg;
+    cfg.mode = RunMode::kUpperBoundNoExec;
+    cfg.clients = clients;
+    apply_bench_mode(cfg);
+    auto r = run_experiment(cfg);
+    print_row("No-Execution", std::to_string(clients / 1000) + "K clients", r);
+  }
+  for (std::uint64_t clients : {10'000ull, 20'000ull, 40'000ull, 80'000ull}) {
+    FabricConfig cfg;
+    cfg.mode = RunMode::kUpperBoundExec;
+    cfg.clients = clients;
+    apply_bench_mode(cfg);
+    auto r = run_experiment(cfg);
+    print_row("Execution", std::to_string(clients / 1000) + "K clients", r);
+  }
+  return 0;
+}

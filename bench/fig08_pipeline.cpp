@@ -1,0 +1,49 @@
+// Figure 8: throughput and latency vs replica count for PBFT and Zyzzyva as
+// the pipeline deepens — 0B0E (monolithic worker), 0B1E (+execute thread),
+// 1B1E (+one batch thread), 2B1E (ResilientDB's standard pipeline).
+//
+// Paper: PBFT gains 1.39x from 0B0E to 2B1E; the only Zyzzyva configuration
+// that outperforms PBFT-2B1E is Zyzzyva-2B1E.
+#include <string>
+
+#include "api/experiment_io.h"
+
+using namespace rdb::simfab;
+
+namespace {
+
+struct PipelineShape {
+  const char* name;
+  std::uint32_t batch_threads;
+  std::uint32_t execute_threads;
+};
+
+constexpr PipelineShape kShapes[] = {
+    {"0B0E", 0, 0}, {"0B1E", 0, 1}, {"1B1E", 1, 1}, {"2B1E", 2, 1}};
+
+}  // namespace
+
+int main() {
+  print_figure_header(
+      "Figure 8: pipeline depth x replica count, PBFT and Zyzzyva");
+
+  for (Protocol proto : {Protocol::kPbft, Protocol::kZyzzyva}) {
+    const char* pname = proto == Protocol::kPbft ? "PBFT" : "ZYZ";
+    for (const auto& shape : kShapes) {
+      for (std::uint32_t n : {4u, 8u, 16u, 32u}) {
+        FabricConfig cfg;
+        cfg.protocol = proto;
+        cfg.replicas = n;
+        cfg.batch_threads = shape.batch_threads;
+        cfg.execute_threads = shape.execute_threads;
+        cfg.warmup_ns = 600'000'000;
+        cfg.measure_ns = 1'200'000'000;
+        apply_bench_mode(cfg);
+        auto r = run_experiment(cfg);
+        print_row(std::string(pname) + " " + shape.name,
+                  std::to_string(n) + " replicas", r);
+      }
+    }
+  }
+  return 0;
+}

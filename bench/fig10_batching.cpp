@@ -1,0 +1,31 @@
+// Figure 10: throughput and latency vs transactions per batch (1..5000),
+// 16 replicas, standard pipeline.
+//
+// Paper: batching yields up to 66x throughput; the optimum sits near 100-
+// 1000 transactions per batch, with a decline beyond ~3000 as batch-creation
+// time and message size start to dominate.
+#include <string>
+
+#include "api/experiment_io.h"
+
+using namespace rdb::simfab;
+
+int main() {
+  print_figure_header(
+      "Figure 10: transactions per batch sweep (16 replicas)");
+
+  for (std::uint32_t batch : {1u, 10u, 50u, 100u, 500u, 1000u, 3000u, 5000u}) {
+    FabricConfig cfg;
+    cfg.replicas = 16;
+    cfg.batch_size = batch;
+    if (batch <= 10) {
+      // Deeply overloaded regime: longer horizon to reach steady state.
+      cfg.warmup_ns = 4'000'000'000;
+      cfg.measure_ns = 4'000'000'000;
+    }
+    apply_bench_mode(cfg);
+    auto r = run_experiment(cfg);
+    print_row("PBFT", "batch=" + std::to_string(batch), r);
+  }
+  return 0;
+}

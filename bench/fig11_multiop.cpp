@@ -1,0 +1,30 @@
+// Figure 11: operations per transaction (1..50) under 2..5 batch threads,
+// 16 replicas. Throughput is reported both in transactions/s (falls as
+// transactions grow) and operations/s (rises — fewer consensus rounds
+// execute more work).
+//
+// Paper: multi-operation transactions cost up to 93% in txn/s on the
+// 2-batch-thread setup; going from 2 to 5 batch threads recovers up to 66%.
+#include <string>
+
+#include "api/experiment_io.h"
+
+using namespace rdb::simfab;
+
+int main() {
+  print_figure_header(
+      "Figure 11: operations per transaction x batch threads (16 replicas)");
+
+  for (std::uint32_t bt : {2u, 3u, 4u, 5u}) {
+    for (std::uint32_t ops : {1u, 5u, 10u, 30u, 50u}) {
+      FabricConfig cfg;
+      cfg.replicas = 16;
+      cfg.batch_threads = bt;
+      cfg.ops_per_txn = ops;
+      apply_bench_mode(cfg);
+      auto r = run_experiment(cfg);
+      print_row("B=" + std::to_string(bt), "ops=" + std::to_string(ops), r);
+    }
+  }
+  return 0;
+}

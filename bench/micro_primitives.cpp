@@ -1,0 +1,213 @@
+// Micro-benchmarks (google-benchmark) for the primitives underneath the
+// fabric: hashing, MACs, signatures, queues, pools, stores, workload
+// generation, and message serialization. These are the numbers that justify
+// the simulator's cost model (simfab/costs.h) on the host machine.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "crypto/cmac.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/provider.h"
+#include "crypto/sha256.h"
+#include "protocol/messages.h"
+#include "queues/buffer_pool.h"
+#include "queues/mpmc_queue.h"
+#include "storage/mem_store.h"
+#include "storage/page_db.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace rdb;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    auto d = crypto::sha256(BytesView(data));
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    auto d = crypto::hmac_sha256(BytesView(key), BytesView(data));
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_CmacAes128(benchmark::State& state) {
+  crypto::AesKey key{};
+  key.fill(0x2B);
+  crypto::CmacContext ctx(key);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xCD);
+  for (auto _ : state) {
+    auto tag = ctx.tag(BytesView(data));
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CmacAes128)->Arg(48)->Arg(1024)->Arg(4096);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  Bytes msg(128, 0x5A);
+  for (auto _ : state) {
+    auto sig = crypto::ed25519_sign(BytesView(msg), seed, pub);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  Bytes msg(128, 0x5A);
+  auto sig = crypto::ed25519_sign(BytesView(msg), seed, pub);
+  for (auto _ : state) {
+    bool ok = crypto::ed25519_verify(BytesView(msg), sig, pub);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_ProviderSignVerify(benchmark::State& state) {
+  crypto::KeyRegistry reg(1);
+  crypto::CryptoProvider alice(Endpoint::replica(0), reg,
+                               crypto::SchemeConfig::standard());
+  crypto::CryptoProvider bob(Endpoint::replica(1), reg,
+                             crypto::SchemeConfig::standard());
+  Bytes msg(128, 0x5A);
+  for (auto _ : state) {
+    Bytes sig = alice.sign(Endpoint::replica(1), BytesView(msg));
+    bool ok = bob.verify(Endpoint::replica(0), BytesView(msg), BytesView(sig));
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ProviderSignVerify);
+
+void BM_MpmcPushPop(benchmark::State& state) {
+  MpmcQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.try_push(v);
+    q.try_pop(v);
+  }
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_BufferPoolCycle(benchmark::State& state) {
+  struct Obj {
+    std::array<std::uint8_t, 256> data{};
+  };
+  BufferPool<Obj> pool(64);
+  for (auto _ : state) {
+    auto h = pool.acquire();
+    benchmark::DoNotOptimize(h.ptr);
+    pool.release(h);
+  }
+}
+BENCHMARK(BM_BufferPoolCycle);
+
+void BM_MemStoreWrite(benchmark::State& state) {
+  storage::MemStore store;
+  Rng rng(1);
+  for (auto _ : state) {
+    store.put(workload::YcsbWorkload::key_name(rng.below(100'000)),
+              "valuevalu");
+  }
+}
+BENCHMARK(BM_MemStoreWrite);
+
+void BM_PageDbWrite(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  auto path = fs::temp_directory_path() / "rdb_bench_pagedb.db";
+  fs::remove(path);
+  fs::remove(fs::path(path.string() + ".wal"));
+  storage::PageDbConfig cfg;
+  cfg.path = path.string();
+  cfg.cache_pages = 32;
+  storage::PageDb db(cfg);
+  Rng rng(1);
+  for (auto _ : state) {
+    db.put(workload::YcsbWorkload::key_name(rng.below(100'000)), "valuevalu");
+  }
+  state.counters["cache_miss_rate"] =
+      static_cast<double>(db.page_stats().cache_misses) /
+      static_cast<double>(db.page_stats().cache_hits +
+                          db.page_stats().cache_misses + 1);
+}
+BENCHMARK(BM_PageDbWrite);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  workload::ZipfianGenerator zipf(600'000, 0.9);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_MessageSerializeParse(benchmark::State& state) {
+  protocol::PrePrepare pp;
+  pp.view = 1;
+  pp.seq = 42;
+  pp.batch_digest = crypto::sha256("batch");
+  for (int i = 0; i < 100; ++i) {
+    protocol::Transaction t;
+    t.client = static_cast<ClientId>(i);
+    t.req_id = i;
+    t.payload = Bytes(20, 0x33);
+    pp.txns.push_back(std::move(t));
+  }
+  protocol::Message m;
+  m.from = Endpoint::replica(0);
+  m.payload = pp;
+  m.signature = Bytes(17, 0x44);
+  for (auto _ : state) {
+    Bytes wire = m.serialize();
+    auto parsed = protocol::Message::parse(BytesView(wire));
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_MessageSerializeParse);
+
+void BM_BatchDigest(benchmark::State& state) {
+  // One hash over the whole batch string (§4.3) vs hashing per transaction —
+  // the practice the paper calls out.
+  std::vector<protocol::Transaction> txns;
+  for (int i = 0; i < 100; ++i) {
+    protocol::Transaction t;
+    t.payload = Bytes(40, 0x55);
+    txns.push_back(std::move(t));
+  }
+  bool per_txn = state.range(0) == 1;
+  for (auto _ : state) {
+    if (per_txn) {
+      for (const auto& t : txns) {
+        auto d = crypto::sha256(BytesView(t.payload));
+        benchmark::DoNotOptimize(d);
+      }
+    } else {
+      Writer w;
+      for (const auto& t : txns) t.serialize(w);
+      auto d = crypto::sha256(BytesView(w.data()));
+      benchmark::DoNotOptimize(d);
+    }
+  }
+}
+BENCHMARK(BM_BatchDigest)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

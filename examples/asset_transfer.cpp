@@ -1,0 +1,162 @@
+// Asset transfer: a domain-specific application on top of the fabric — the
+// monetary-exchange workload the paper's introduction motivates. Accounts
+// live in the replicated store; a transaction is a signed transfer between
+// two accounts with application-level validation (no overdrafts), executed
+// deterministically by every replica.
+//
+// Shows: a custom transaction codec + executor plugged into the public API
+// (the fabric is workload-agnostic: YCSB is just the default), PageDB-backed
+// persistence, and auditing the transfer history through the blockchain.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/resilientdb.h"
+
+using namespace rdb;
+
+namespace {
+
+// --- application-level transaction codec ---
+
+struct Transfer {
+  std::uint32_t from{0};
+  std::uint32_t to{0};
+  std::uint64_t amount{0};
+};
+
+Bytes encode_transfer(const Transfer& t) {
+  Writer w;
+  w.u32(t.from);
+  w.u32(t.to);
+  w.u64(t.amount);
+  return w.take();
+}
+
+std::optional<Transfer> decode_transfer(BytesView payload) {
+  Reader r(payload);
+  Transfer t;
+  t.from = r.u32();
+  t.to = r.u32();
+  t.amount = r.u64();
+  if (!r.done()) return std::nullopt;
+  return t;
+}
+
+std::string account_key(std::uint32_t id) {
+  return "acct" + std::to_string(id);
+}
+
+std::uint64_t read_balance(storage::KvStore& store, std::uint32_t id) {
+  auto v = store.get(account_key(id));
+  if (!v || v->size() != 8) return 0;
+  std::uint64_t balance;
+  std::memcpy(&balance, v->data(), 8);
+  return balance;
+}
+
+void write_balance(storage::KvStore& store, std::uint32_t id,
+                   std::uint64_t balance) {
+  std::string v(8, '\0');
+  std::memcpy(v.data(), &balance, 8);
+  store.put(account_key(id), v);
+}
+
+// Deterministic executor: every replica applies the same validation and
+// state change, so either all of them commit the transfer or none does.
+constexpr std::uint64_t kOk = 1;
+constexpr std::uint64_t kInsufficientFunds = 2;
+constexpr std::uint64_t kMalformed = 3;
+
+std::uint64_t execute_transfer(const protocol::Transaction& txn,
+                               storage::KvStore& store) {
+  auto t = decode_transfer(BytesView(txn.payload));
+  if (!t) return kMalformed;
+  std::uint64_t from_balance = read_balance(store, t->from);
+  if (from_balance < t->amount) return kInsufficientFunds;
+  write_balance(store, t->from, from_balance - t->amount);
+  write_balance(store, t->to, read_balance(store, t->to) + t->amount);
+  return kOk;
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  auto dir = fs::temp_directory_path() / "rdb_asset_transfer";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  runtime::ClusterConfig config;
+  config.replicas = 4;
+  config.batch_size = 4;
+  config.execute = execute_transfer;
+  // Durable ledger state: each replica persists to its own PageDB file.
+  config.make_store = [dir](ReplicaId r) -> std::unique_ptr<storage::KvStore> {
+    storage::PageDbConfig pc;
+    pc.path = (dir / ("bank-replica-" + std::to_string(r) + ".db")).string();
+    return std::make_unique<storage::PageDb>(pc);
+  };
+
+  resilientdb::Cluster cluster(config);
+
+  // Seed the genesis balances before the replicas start serving.
+  for (ReplicaId r = 0; r < 4; ++r) {
+    write_balance(cluster.replica(r).store(), 1, 1000);
+    write_balance(cluster.replica(r).store(), 2, 500);
+  }
+  cluster.start();
+
+  auto alice = cluster.make_client(1);
+  std::printf("initial balances: acct1=1000, acct2=500\n\n");
+
+  struct Attempt {
+    Transfer t;
+    const char* label;
+  };
+  const Attempt attempts[] = {
+      {{1, 2, 300}, "acct1 -> acct2: 300"},
+      {{2, 1, 50}, "acct2 -> acct1: 50"},
+      {{2, 1, 100'000}, "acct2 -> acct1: 100000 (overdraft!)"},
+      {{1, 2, 200}, "acct1 -> acct2: 200"},
+  };
+
+  for (const auto& [t, label] : attempts) {
+    auto txn = alice->make_transaction(encode_transfer(t));
+    auto results = alice->submit_and_wait({txn});
+    if (!results) {
+      std::printf("%-40s TIMEOUT\n", label);
+      continue;
+    }
+    const char* verdict = (*results)[0] == kOk ? "committed"
+                          : (*results)[0] == kInsufficientFunds
+                              ? "rejected: insufficient funds"
+                              : "rejected: malformed";
+    std::printf("%-40s %s\n", label, verdict);
+  }
+
+  // Wait until every replica has executed everything the primary has.
+  cluster.wait_for_execution(cluster.replica(0).last_executed(),
+                             std::chrono::seconds(5));
+  std::printf("\nfinal balances (replica 0): acct1=%llu acct2=%llu\n",
+              static_cast<unsigned long long>(
+                  read_balance(cluster.replica(0).store(), 1)),
+              static_cast<unsigned long long>(
+                  read_balance(cluster.replica(0).store(), 2)));
+
+  // Audit trail: the blockchain records every batch with its certificate.
+  const auto& chain = cluster.replica(0).chain();
+  std::printf("audit: chain holds %llu blocks, commitment %.16s...\n",
+              static_cast<unsigned long long>(chain.total_blocks()),
+              to_hex(chain.accumulator()).c_str());
+
+  // All replicas agree byte-for-byte.
+  for (ReplicaId r = 1; r < 4; ++r) {
+    if (cluster.replica(r).chain().accumulator() != chain.accumulator())
+      std::printf("DIVERGENCE at replica %u!\n", r);
+  }
+  cluster.stop();
+  fs::remove_all(dir);
+  std::printf("asset transfer example complete.\n");
+  return 0;
+}

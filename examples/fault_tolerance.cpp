@@ -1,0 +1,103 @@
+// Fault tolerance walk-through: what f = 1 actually buys you.
+//
+//  Act 1  a backup replica is partitioned away — consensus keeps committing
+//         (no PBFT phase needs more than 2f+1 of the 3f+1 replicas).
+//  Act 2  the partition heals; the lagging backup catches up from the
+//         still-flowing consensus messages.
+//  Act 3  the PRIMARY is partitioned — backups time out on relayed client
+//         requests, run a view change, elect replica 1, and resume.
+#include <cstdio>
+
+#include "api/resilientdb.h"
+
+using namespace rdb;
+
+namespace {
+
+std::vector<protocol::Transaction> burst(runtime::Client& client,
+                                         workload::YcsbWorkload& wl, Rng& rng,
+                                         int count) {
+  std::vector<protocol::Transaction> txns;
+  for (int i = 0; i < count; ++i) {
+    auto t = wl.make_transaction(rng, client.id(), 0);
+    txns.push_back(client.make_transaction(t.payload, t.ops));
+  }
+  return txns;
+}
+
+}  // namespace
+
+int main() {
+  auto wl = std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 5'000});
+
+  runtime::ClusterConfig config;
+  config.replicas = 4;
+  config.batch_size = 5;
+  config.request_timeout_ns = 300'000'000;  // 300 ms view-change trigger
+  config.execute = [wl](const protocol::Transaction& t,
+                        storage::KvStore& s) { return wl->execute(t, s); };
+
+  resilientdb::Cluster cluster(config);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(7);
+
+  // --- Act 1: lose a backup ---
+  std::printf("Act 1: partitioning backup replica 3...\n");
+  cluster.transport().set_partitioned(Endpoint::replica(3), true);
+  auto r1 = client->submit_and_wait(burst(*client, *wl, rng, 5));
+  std::printf("  committed with a dead backup: %s\n",
+              r1 ? "YES" : "NO (unexpected)");
+  cluster.wait_for_execution(1, std::chrono::seconds(3), /*skip=*/{3});
+  std::printf("  replica 3 executed: %llu batches (lagging, as expected)\n",
+              static_cast<unsigned long long>(
+                  cluster.replica(3).last_executed()));
+
+  // --- Act 2: heal the partition ---
+  std::printf("\nAct 2: healing the partition...\n");
+  cluster.transport().set_partitioned(Endpoint::replica(3), false);
+  auto r2 = client->submit_and_wait(burst(*client, *wl, rng, 5));
+  std::printf("  next batch committed: %s\n", r2 ? "YES" : "NO");
+  // Replica 3 sees the new consensus traffic, detects the gap below the
+  // committed frontier, and fetches the batch it missed from f+1 peers
+  // (catch-up state transfer).
+  bool caught_up = cluster.wait_for_execution(2, std::chrono::seconds(8));
+  std::printf("  replica 3 caught up via batch fetch: %s\n",
+              caught_up ? "YES" : "NO");
+  if (caught_up) {
+    bool same = cluster.replica(3).chain().accumulator() ==
+                cluster.replica(0).chain().accumulator();
+    std::printf("  replica 3's chain matches replica 0's: %s\n",
+                same ? "YES" : "NO");
+  }
+
+  // --- Act 3: lose the primary ---
+  std::printf("\nAct 3: partitioning the PRIMARY (replica 0)...\n");
+  cluster.transport().set_partitioned(Endpoint::replica(0), true);
+  auto r3 = client->submit_and_wait(burst(*client, *wl, rng, 5));
+  std::printf("  committed after view change: %s\n", r3 ? "YES" : "NO");
+  std::printf("  new view at replicas 1..3: %llu %llu %llu (primary is now "
+              "replica %llu)\n",
+              static_cast<unsigned long long>(cluster.replica(1).view()),
+              static_cast<unsigned long long>(cluster.replica(2).view()),
+              static_cast<unsigned long long>(cluster.replica(3).view()),
+              static_cast<unsigned long long>(cluster.replica(1).view() % 4));
+
+  // Safety check: survivors agree on the common prefix of the history.
+  // (Replica 3 is still behind on execution, so chain *lengths* differ —
+  // agreement means no two replicas hold conflicting blocks.)
+  SeqNum common = std::min(cluster.replica(1).chain().last_seq(),
+                           cluster.replica(2).chain().last_seq());
+  auto b1 = cluster.replica(1).chain().get(common);
+  auto b2 = cluster.replica(2).chain().get(common);
+  bool agree = b1 && b2 && b1->batch_digest == b2->batch_digest &&
+               b1->view == b2->view;
+  std::printf("  survivors agree on block %llu: %s\n",
+              static_cast<unsigned long long>(common),
+              agree ? "YES" : "NO");
+
+  cluster.stop();
+  std::printf("\nfault tolerance example complete.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, regenerate every paper figure.
+#
+#   scripts/reproduce.sh            # full run (tests + all figures)
+#   RDB_BENCH_QUICK=1 scripts/reproduce.sh   # fast smoke pass of the benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build -j"$(nproc)" --output-on-failure 2>&1 | tee test_output.txt
+
+echo "== benches (paper figures + ablations + extension + micro) =="
+{
+  for b in build/bench/*; do
+    case "$b" in *CMakeFiles*|*.cmake) continue ;; esac
+    echo "=== $(basename "$b") ==="
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

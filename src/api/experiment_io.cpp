@@ -1,0 +1,57 @@
+#include "api/experiment_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rdb::simfab {
+
+void print_figure_header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-28s %-12s %12s %12s %12s %10s\n", "series", "x",
+              "tput(txn/s)", "ops/s", "lat-avg(ms)", "lat-p99");
+}
+
+void print_row(const std::string& series, const std::string& x,
+               const ExperimentResult& r) {
+  std::printf("%-28s %-12s %12.0f %12.0f %12.1f %10.1f\n", series.c_str(),
+              x.c_str(), r.metrics.throughput_tps, r.metrics.ops_per_sec,
+              r.metrics.latency_avg_ms, r.metrics.latency_p99_ms);
+  std::fflush(stdout);
+}
+
+void print_saturation(const std::string& label, const ExperimentResult& r) {
+  auto dump = [&](const char* role,
+                  const std::vector<ThreadSaturation>& threads) {
+    double cumulative = 0;
+    for (const auto& t : threads) cumulative += t.percent;
+    std::printf("  %-8s %-10s cumulative=%5.0f%% |", label.c_str(), role,
+                cumulative);
+    for (const auto& t : threads) {
+      if (t.percent >= 0.5)
+        std::printf(" %s=%.0f%%", t.thread.c_str(), t.percent);
+    }
+    std::printf("\n");
+  };
+  dump("primary", r.primary_threads);
+  if (!r.backup_threads.empty()) dump("backup", r.backup_threads);
+  std::fflush(stdout);
+}
+
+ExperimentResult run_experiment(const FabricConfig& config) {
+  Fabric fabric(config);
+  return fabric.run();
+}
+
+bool bench_quick_mode() {
+  const char* v = std::getenv("RDB_BENCH_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void apply_bench_mode(FabricConfig& config) {
+  if (bench_quick_mode()) {
+    config.warmup_ns = 400'000'000;
+    config.measure_ns = 600'000'000;
+  }
+}
+
+}  // namespace rdb::simfab

@@ -1,0 +1,32 @@
+// Row/series printers shared by the figure-reproduction benches: every bench
+// prints the same kind of series the paper plots, in a uniform format that
+// EXPERIMENTS.md records.
+#pragma once
+
+#include <string>
+
+#include "simfab/fabric.h"
+
+namespace rdb::simfab {
+
+/// Prints "figure" and "series" headers, e.g.
+///   == Figure 10: throughput & latency vs batch size (16 replicas) ==
+void print_figure_header(const std::string& title);
+
+/// One x-point of a series: label, throughput, latency, extras.
+void print_row(const std::string& series, const std::string& x,
+               const ExperimentResult& r);
+
+/// Thread-saturation rows (Figure 9 style) for one run.
+void print_saturation(const std::string& label, const ExperimentResult& r);
+
+/// Convenience: run one config and return the result (wraps Fabric).
+ExperimentResult run_experiment(const FabricConfig& config);
+
+/// True when RDB_BENCH_QUICK is set: benches shrink their virtual windows.
+bool bench_quick_mode();
+
+/// Applies quick-mode window shrinking to a config.
+void apply_bench_mode(FabricConfig& config);
+
+}  // namespace rdb::simfab

@@ -1,0 +1,45 @@
+// Public umbrella header for the ResilientDB reproduction library.
+//
+// Two ways to use the system:
+//
+//  1. `rdb::runtime::LocalCluster` — a real multi-threaded permissioned
+//     blockchain deployment in one process: n replicas with the paper's
+//     deep pipeline (input / batch / worker / execute / checkpoint / output
+//     threads), real SHA-256 / CMAC / signature flow, pluggable storage,
+//     and PBFT consensus with checkpointing and view changes.
+//
+//  2. `rdb::simfab::Fabric` — the evaluation substrate: the same protocol
+//     engines running over a discrete-event simulation of CPUs and network
+//     links, which scales to the paper's 32-replica / 80K-client
+//     experiments on a laptop. Every figure in the paper's evaluation is
+//     regenerated through this (see bench/).
+//
+// See README.md for a tour and examples/ for runnable programs.
+#pragma once
+
+#include "api/experiment_io.h"       // IWYU pragma: export
+#include "crypto/provider.h"         // IWYU pragma: export
+#include "ledger/blockchain.h"       // IWYU pragma: export
+#include "protocol/pbft.h"           // IWYU pragma: export
+#include "protocol/poe.h"            // IWYU pragma: export
+#include "protocol/zyzzyva.h"        // IWYU pragma: export
+#include "runtime/cluster.h"         // IWYU pragma: export
+#include "simfab/fabric.h"           // IWYU pragma: export
+#include "storage/mem_store.h"       // IWYU pragma: export
+#include "storage/page_db.h"         // IWYU pragma: export
+#include "workload/ycsb.h"           // IWYU pragma: export
+
+namespace resilientdb {
+
+// Friendly aliases for downstream users.
+using Cluster = rdb::runtime::LocalCluster;
+using ClusterConfig = rdb::runtime::ClusterConfig;
+using Client = rdb::runtime::Client;
+using Fabric = rdb::simfab::Fabric;
+using FabricConfig = rdb::simfab::FabricConfig;
+using ExperimentResult = rdb::simfab::ExperimentResult;
+using YcsbWorkload = rdb::workload::YcsbWorkload;
+
+inline const char* version() { return "1.0.0"; }
+
+}  // namespace resilientdb

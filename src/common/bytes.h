@@ -1,0 +1,55 @@
+// Byte-buffer helpers: hex encoding, constant-time compare, small digest type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdb {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Fixed 32-byte digest (SHA-256 output) with value semantics.
+struct Digest {
+  std::array<std::uint8_t, 32> data{};
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+  friend auto operator<=>(const Digest&, const Digest&) = default;
+
+  bool is_zero() const {
+    for (auto b : data)
+      if (b != 0) return false;
+    return true;
+  }
+};
+
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const {
+    std::size_t h;
+    std::memcpy(&h, d.data.data(), sizeof(h));
+    return h;
+  }
+};
+
+/// Lowercase hex of an arbitrary byte range.
+std::string to_hex(BytesView bytes);
+std::string to_hex(const Digest& d);
+
+/// Parses lowercase/uppercase hex; returns empty on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality, for MAC/signature comparison.
+bool ct_equal(BytesView a, BytesView b);
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline BytesView as_view(const Bytes& b) { return BytesView(b); }
+
+}  // namespace rdb

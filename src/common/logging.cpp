@@ -1,0 +1,31 @@
+#include "common/logging.h"
+
+namespace rdb {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(lvl)],
+               msg.c_str());
+}
+
+void log_debug(const std::string& msg) {
+  Logger::instance().log(LogLevel::kDebug, msg);
+}
+void log_info(const std::string& msg) {
+  Logger::instance().log(LogLevel::kInfo, msg);
+}
+void log_warn(const std::string& msg) {
+  Logger::instance().log(LogLevel::kWarn, msg);
+}
+void log_error(const std::string& msg) {
+  Logger::instance().log(LogLevel::kError, msg);
+}
+
+}  // namespace rdb

@@ -1,0 +1,34 @@
+// Minimal leveled logger. Off by default in benches; tests flip levels per
+// fixture. Thread-safe via a single mutex — logging is for diagnosis, not the
+// hot path.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace rdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel lvl, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kWarn};
+  std::mutex mu_;
+};
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace rdb

@@ -1,0 +1,116 @@
+// Minimal binary serialization: little-endian fixed-width writer/reader.
+//
+// Every wire message in the system serializes through these. The reader is
+// bounds-checked and reports truncation through ok(); it never reads past the
+// end of its view, so untrusted (byzantine) input cannot cause out-of-bounds
+// access.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace rdb {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    raw(v);
+  }
+  void str(std::string_view s) {
+    bytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  void digest(const Digest& d) { raw(BytesView(d.data)); }
+
+  /// Unprefixed raw bytes (caller knows the length from context).
+  void raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView view) : view_(view) {}
+
+  std::uint8_t u8() { return get_le<std::uint8_t>(); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+
+  Bytes bytes() {
+    std::uint32_t n = u32();
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    Bytes out(view_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              view_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  Digest digest() {
+    Digest d;
+    if (remaining() < d.data.size()) {
+      ok_ = false;
+      return d;
+    }
+    std::memcpy(d.data.data(), view_.data() + pos_, d.data.size());
+    pos_ += d.data.size();
+    return d;
+  }
+
+  /// True iff no read so far has run past the end of the buffer.
+  bool ok() const { return ok_; }
+  /// True iff ok() and every byte was consumed.
+  bool done() const { return ok_ && pos_ == view_.size(); }
+  std::size_t remaining() const { return view_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(view_[pos_ + i]) << (8 * i)));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView view_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace rdb

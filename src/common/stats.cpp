@@ -1,0 +1,98 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rdb {
+
+namespace {
+constexpr double kGrowth = 1.08;
+constexpr double kFirstBound = 100.0;  // 100 ns
+constexpr std::size_t kMaxBuckets = 400;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  upper_bounds_.reserve(kMaxBuckets);
+  double bound = kFirstBound;
+  for (std::size_t i = 0; i < kMaxBuckets; ++i) {
+    upper_bounds_.push_back(bound);
+    bound *= kGrowth;
+  }
+  buckets_.assign(kMaxBuckets, 0);
+}
+
+std::size_t LatencyHistogram::bucket_for(std::uint64_t ns) const {
+  // Geometric index: log(ns / first) / log(growth).
+  if (ns <= static_cast<std::uint64_t>(kFirstBound)) return 0;
+  double idx = std::log(static_cast<double>(ns) / kFirstBound) /
+               std::log(kGrowth);
+  auto i = static_cast<std::size_t>(idx) + 1;
+  return std::min(i, buckets_.size() - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  if (count_ == 0) {
+    min_ = max_ = ns;
+  } else {
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+  }
+  ++count_;
+  sum_ += static_cast<double>(ns);
+  ++buckets_[bucket_for(ns)];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::percentile_ns(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::max<std::uint64_t>(target, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return upper_bounds_[i];
+  }
+  return upper_bounds_.back();
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+std::string format_tps(double tps) {
+  char buf[64];
+  if (tps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", tps / 1e6);
+  } else if (tps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", tps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", tps);
+  }
+  return buf;
+}
+
+}  // namespace rdb

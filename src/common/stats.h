@@ -1,0 +1,75 @@
+// Measurement helpers: streaming counters, latency histogram with percentile
+// queries, and a tiny fixed-point saturation gauge used to reproduce the
+// thread-saturation plots (Figure 9 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdb {
+
+/// Log-bucketed latency histogram over nanoseconds. Buckets grow
+/// geometrically (~8% per bucket), covering 100ns .. ~1000s with < 400
+/// buckets; percentile error is bounded by bucket width.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(std::uint64_t ns);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean_ns() const;
+  /// p in [0, 100]; returns an upper bound of the bucket containing the
+  /// p-th percentile sample.
+  double percentile_ns(double p) const;
+  double min_ns() const { return count_ ? static_cast<double>(min_) : 0.0; }
+  double max_ns() const { return count_ ? static_cast<double>(max_) : 0.0; }
+
+  void reset();
+
+ private:
+  std::size_t bucket_for(std::uint64_t ns) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::vector<double> upper_bounds_;
+  std::uint64_t count_{0};
+  double sum_{0};
+  std::uint64_t min_{0};
+  std::uint64_t max_{0};
+};
+
+/// Busy-time accumulator for one pipeline thread. Saturation over a window is
+/// busy_time / window — the quantity Figure 9 plots per thread.
+class SaturationGauge {
+ public:
+  void add_busy(std::uint64_t ns) { busy_ns_ += ns; }
+  std::uint64_t busy_ns() const { return busy_ns_; }
+
+  /// Percent of the window this thread spent busy (0..100).
+  double percent(std::uint64_t window_ns) const {
+    if (window_ns == 0) return 0.0;
+    return 100.0 * static_cast<double>(busy_ns_) /
+           static_cast<double>(window_ns);
+  }
+  void reset() { busy_ns_ = 0; }
+
+ private:
+  std::uint64_t busy_ns_{0};
+};
+
+/// Summary of one experiment run; every bench prints rows of these.
+struct RunMetrics {
+  double throughput_tps{0};      // client transactions committed per second
+  double ops_per_sec{0};         // individual operations executed per second
+  double latency_avg_ms{0};      // client-observed request latency
+  double latency_p50_ms{0};
+  double latency_p99_ms{0};
+  std::uint64_t committed_txns{0};
+  std::uint64_t consensus_rounds{0};
+};
+
+std::string format_tps(double tps);
+
+}  // namespace rdb

@@ -1,0 +1,60 @@
+// Core identifier and scalar types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rdb {
+
+/// Identifier of a replica (server). Replicas are numbered 0..n-1; the primary
+/// of view v is replica (v mod n).
+using ReplicaId = std::uint32_t;
+
+/// Identifier of a client. Client ids live in a separate namespace from
+/// replica ids; transports address them via Endpoint.
+using ClientId = std::uint32_t;
+
+/// Monotonically increasing sequence number the primary assigns to a batch.
+using SeqNum = std::uint64_t;
+
+/// View number. The primary of view v is replica (v mod n).
+using ViewId = std::uint64_t;
+
+/// Client-local request number, used to pair responses with requests.
+using RequestId = std::uint64_t;
+
+/// Virtual or real time in nanoseconds.
+using TimeNs = std::uint64_t;
+
+inline constexpr SeqNum kInvalidSeq = std::numeric_limits<SeqNum>::max();
+inline constexpr ReplicaId kInvalidReplica =
+    std::numeric_limits<ReplicaId>::max();
+
+/// An endpoint is either a replica or a client; transports route on this.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kReplica, kClient };
+  Kind kind{Kind::kReplica};
+  std::uint32_t id{0};
+
+  static constexpr Endpoint replica(ReplicaId r) {
+    return Endpoint{Kind::kReplica, r};
+  }
+  static constexpr Endpoint client(ClientId c) {
+    return Endpoint{Kind::kClient, c};
+  }
+  friend constexpr bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// f = max byzantine replicas tolerated by n replicas (n >= 3f + 1).
+constexpr std::uint32_t max_faulty(std::uint32_t n) { return (n - 1) / 3; }
+
+/// Quorum sizes used by PBFT: 2f prepares (plus own pre-prepare) and
+/// 2f + 1 commits.
+constexpr std::uint32_t prepare_quorum(std::uint32_t n) {
+  return 2 * max_faulty(n);
+}
+constexpr std::uint32_t commit_quorum(std::uint32_t n) {
+  return 2 * max_faulty(n) + 1;
+}
+
+}  // namespace rdb

@@ -1,0 +1,156 @@
+#include "crypto/aes128.h"
+
+#include <cstring>
+
+namespace rdb::crypto {
+
+namespace {
+
+// GF(2^8) multiply with the AES polynomial x^8 + x^4 + x^3 + x + 1.
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1B;
+    b >>= 1;
+  }
+  return p;
+}
+
+struct SboxTables {
+  std::uint8_t sbox[256];
+  std::uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Build the S-box from the multiplicative inverse + affine transform,
+    // rather than a typed-in table, so a typo cannot corrupt it.
+    std::uint8_t inverse[256];
+    inverse[0] = 0;
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gmul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) ==
+            1) {
+          inverse[a] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t x = inverse[i];
+      std::uint8_t y = static_cast<std::uint8_t>(
+          x ^ rotl(x, 1) ^ rotl(x, 2) ^ rotl(x, 3) ^ rotl(x, 4) ^ 0x63);
+      sbox[i] = y;
+      inv_sbox[y] = static_cast<std::uint8_t>(i);
+    }
+  }
+
+  static std::uint8_t rotl(std::uint8_t x, int n) {
+    return static_cast<std::uint8_t>((x << n) | (x >> (8 - n)));
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1B, 0x36};
+
+}  // namespace
+
+void Aes128::expand_key(const AesKey& key) {
+  const auto& sbox = tables().sbox;
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  for (int i = 4; i < 44; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + (i - 1) * 4, 4);
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(sbox[temp[1]] ^ kRcon[i / 4 - 1]);
+      temp[1] = sbox[temp[2]];
+      temp[2] = sbox[temp[3]];
+      temp[3] = sbox[t0];
+    }
+    for (int j = 0; j < 4; ++j)
+      round_keys_[i * 4 + j] =
+          static_cast<std::uint8_t>(round_keys_[(i - 4) * 4 + j] ^ temp[j]);
+  }
+}
+
+AesBlock Aes128::encrypt(const AesBlock& plaintext) const {
+  const auto& sbox = tables().sbox;
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = plaintext[i] ^ round_keys_[i];
+
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes.
+    for (auto& b : s) b = sbox[b];
+    // ShiftRows (state is column-major: s[col*4 + row]).
+    std::uint8_t t[16];
+    for (int col = 0; col < 4; ++col)
+      for (int row = 0; row < 4; ++row)
+        t[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+    std::memcpy(s, t, 16);
+    // MixColumns (skipped in the final round).
+    if (round != 10) {
+      for (int col = 0; col < 4; ++col) {
+        std::uint8_t* c = s + col * 4;
+        std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+        c[0] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        c[1] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        c[3] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+      }
+    }
+    // AddRoundKey.
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
+  }
+
+  AesBlock out;
+  std::memcpy(out.data(), s, 16);
+  return out;
+}
+
+AesBlock Aes128::decrypt(const AesBlock& ciphertext) const {
+  const auto& inv_sbox = tables().inv_sbox;
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = ciphertext[i] ^ round_keys_[160 + i];
+
+  for (int round = 9; round >= 0; --round) {
+    // InvShiftRows.
+    std::uint8_t t[16];
+    for (int col = 0; col < 4; ++col)
+      for (int row = 0; row < 4; ++row)
+        t[((col + row) % 4) * 4 + row] = s[col * 4 + row];
+    std::memcpy(s, t, 16);
+    // InvSubBytes.
+    for (auto& b : s) b = inv_sbox[b];
+    // AddRoundKey.
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
+    // InvMixColumns (skipped before the first round's key was added).
+    if (round != 0) {
+      for (int col = 0; col < 4; ++col) {
+        std::uint8_t* c = s + col * 4;
+        std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+        c[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                         gmul(a2, 13) ^ gmul(a3, 9));
+        c[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                         gmul(a2, 11) ^ gmul(a3, 13));
+        c[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                         gmul(a2, 14) ^ gmul(a3, 11));
+        c[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                         gmul(a2, 9) ^ gmul(a3, 14));
+      }
+    }
+  }
+
+  AesBlock out;
+  std::memcpy(out.data(), s, 16);
+  return out;
+}
+
+}  // namespace rdb::crypto

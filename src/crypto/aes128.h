@@ -1,0 +1,29 @@
+// AES-128 block cipher (FIPS 197), from scratch. Only encryption is needed
+// here (CMAC uses the forward direction); decryption is provided for
+// completeness and round-trip testing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace rdb::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key) { expand_key(key); }
+
+  AesBlock encrypt(const AesBlock& plaintext) const;
+  AesBlock decrypt(const AesBlock& ciphertext) const;
+
+ private:
+  void expand_key(const AesKey& key);
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace rdb::crypto

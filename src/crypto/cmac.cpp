@@ -1,0 +1,70 @@
+#include "crypto/cmac.h"
+
+#include <cstring>
+
+namespace rdb::crypto {
+
+namespace {
+
+// Left-shift a 128-bit block by one bit; returns the bit shifted out.
+std::uint8_t shift_left(AesBlock& b) {
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    std::uint8_t next_carry = static_cast<std::uint8_t>((b[i] & 0x80) ? 1 : 0);
+    b[i] = static_cast<std::uint8_t>((b[i] << 1) | carry);
+    carry = next_carry;
+  }
+  return carry;
+}
+
+// Subkey derivation per SP 800-38B: K1 = L<<1 (xor Rb on carry), K2 likewise.
+AesBlock derive_subkey(const AesBlock& in) {
+  AesBlock out = in;
+  std::uint8_t carry = shift_left(out);
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+
+}  // namespace
+
+CmacContext::CmacContext(const AesKey& key) : cipher_(key) {
+  AesBlock zero{};
+  AesBlock l = cipher_.encrypt(zero);
+  k1_ = derive_subkey(l);
+  k2_ = derive_subkey(k1_);
+}
+
+AesBlock CmacContext::tag(BytesView data) const {
+  const std::size_t n = data.size();
+  // Number of 16-byte blocks, with an empty message counted as one block.
+  std::size_t blocks = (n + 15) / 16;
+  bool complete = (n > 0) && (n % 16 == 0);
+  if (blocks == 0) blocks = 1;
+
+  AesBlock x{};
+  for (std::size_t i = 0; i + 1 < blocks; ++i) {
+    for (int j = 0; j < 16; ++j) x[j] ^= data[i * 16 + j];
+    x = cipher_.encrypt(x);
+  }
+
+  AesBlock last{};
+  std::size_t last_off = (blocks - 1) * 16;
+  if (complete) {
+    for (int j = 0; j < 16; ++j)
+      last[j] = static_cast<std::uint8_t>(data[last_off + j] ^ k1_[j]);
+  } else {
+    std::size_t rem = n - last_off;
+    for (std::size_t j = 0; j < rem; ++j) last[j] = data[last_off + j];
+    last[rem] = 0x80;
+    for (int j = 0; j < 16; ++j) last[j] ^= k2_[j];
+  }
+
+  for (int j = 0; j < 16; ++j) x[j] ^= last[j];
+  return cipher_.encrypt(x);
+}
+
+AesBlock cmac_aes128(const AesKey& key, BytesView data) {
+  return CmacContext(key).tag(data);
+}
+
+}  // namespace rdb::crypto

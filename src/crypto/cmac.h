@@ -1,0 +1,27 @@
+// CMAC with AES-128 (NIST SP 800-38B / RFC 4493). This is the MAC the paper
+// uses for replica-to-replica authentication ("CMAC and AES", §5.1).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+
+namespace rdb::crypto {
+
+/// 16-byte CMAC tag of `data` under `key`.
+AesBlock cmac_aes128(const AesKey& key, BytesView data);
+
+/// Reusable CMAC context: amortizes key expansion and subkey derivation
+/// across tags, which is what a replica does with each pairwise session key.
+class CmacContext {
+ public:
+  explicit CmacContext(const AesKey& key);
+
+  AesBlock tag(BytesView data) const;
+
+ private:
+  Aes128 cipher_;
+  AesBlock k1_{};
+  AesBlock k2_{};
+};
+
+}  // namespace rdb::crypto

@@ -1,0 +1,36 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace rdb::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k0{};
+
+  if (key.size() > kBlock) {
+    Digest kd = sha256(key);
+    std::memcpy(k0.data(), kd.data.data(), kd.data.size());
+  } else {
+    std::memcpy(k0.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad, opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad));
+  inner.update(data);
+  Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad));
+  outer.update(BytesView(inner_digest.data));
+  return outer.finish();
+}
+
+}  // namespace rdb::crypto

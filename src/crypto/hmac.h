@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) built on the local SHA-256.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace rdb::crypto {
+
+/// One-shot HMAC-SHA256 of `data` under `key`.
+Digest hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace rdb::crypto

@@ -1,0 +1,51 @@
+#include "crypto/key_registry.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/serde.h"
+#include "crypto/hmac.h"
+
+namespace rdb::crypto {
+
+namespace {
+std::uint64_t endpoint_code(Endpoint e) {
+  return (static_cast<std::uint64_t>(e.kind == Endpoint::Kind::kClient) << 32) |
+         e.id;
+}
+}  // namespace
+
+KeyRegistry::KeyRegistry(BytesView master_secret)
+    : master_(master_secret.begin(), master_secret.end()) {}
+
+KeyRegistry::KeyRegistry(std::uint64_t seed) {
+  Writer w;
+  w.str("rdb-master");
+  w.u64(seed);
+  Digest d = sha256(BytesView(w.data()));
+  master_.assign(d.data.begin(), d.data.end());
+}
+
+Bytes KeyRegistry::signing_secret(Endpoint who) const {
+  Writer w;
+  w.str("sign");
+  w.u64(endpoint_code(who));
+  Digest d = hmac_sha256(BytesView(master_), BytesView(w.data()));
+  return Bytes(d.data.begin(), d.data.end());
+}
+
+AesKey KeyRegistry::pairwise_key(Endpoint a, Endpoint b) const {
+  std::uint64_t ca = endpoint_code(a);
+  std::uint64_t cb = endpoint_code(b);
+  if (ca > cb) std::swap(ca, cb);
+  Writer w;
+  w.str("pair");
+  w.u64(ca);
+  w.u64(cb);
+  Digest d = hmac_sha256(BytesView(master_), BytesView(w.data()));
+  AesKey key;
+  std::memcpy(key.data(), d.data.data(), key.size());
+  return key;
+}
+
+}  // namespace rdb::crypto

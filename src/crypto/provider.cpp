@@ -1,0 +1,146 @@
+#include "crypto/provider.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "crypto/hmac.h"
+
+namespace rdb::crypto {
+
+namespace {
+std::uint64_t peer_code(Endpoint e) {
+  return (static_cast<std::uint64_t>(e.kind == Endpoint::Kind::kClient) << 32) |
+         e.id;
+}
+}  // namespace
+
+CryptoProvider::CryptoProvider(Endpoint self, const KeyRegistry& registry,
+                               SchemeConfig config)
+    : self_(self), registry_(&registry), config_(config) {
+  own_secret_ = registry.signing_secret(self);
+  own_ed_seed_ = seed_of(own_secret_);
+  own_ed_public_ = ed25519_public_key(own_ed_seed_);
+}
+
+Ed25519Seed CryptoProvider::seed_of(const Bytes& secret) {
+  Ed25519Seed seed{};
+  std::copy_n(secret.begin(),
+              std::min(secret.size(), seed.size()), seed.begin());
+  return seed;
+}
+
+const Ed25519PublicKey& CryptoProvider::ed25519_public_for(
+    Endpoint peer) const {
+  if (peer == self_) return own_ed_public_;
+  std::uint64_t code = peer_code(peer);
+  auto it = ed_pub_cache_.find(code);
+  if (it == ed_pub_cache_.end()) {
+    // Trusted setup: derive the peer's PUBLIC key from the registry (the
+    // stand-in for PKI distribution — see key_registry.h).
+    Ed25519Seed seed = seed_of(registry_->signing_secret(peer));
+    it = ed_pub_cache_.emplace(code, ed25519_public_key(seed)).first;
+  }
+  return it->second;
+}
+
+SignatureScheme CryptoProvider::scheme_for(Endpoint peer) const {
+  bool client_link = self_.kind == Endpoint::Kind::kClient ||
+                     peer.kind == Endpoint::Kind::kClient;
+  return client_link ? config_.client_scheme : config_.replica_scheme;
+}
+
+std::size_t CryptoProvider::signature_size(Endpoint peer) const {
+  // +1 for the scheme id byte.
+  auto s = scheme_for(peer);
+  return s == SignatureScheme::kNone ? 1 : scheme_cost(s).sig_bytes + 1;
+}
+
+const CmacContext& CryptoProvider::cmac_for(Endpoint peer) const {
+  std::uint64_t code = peer_code(peer);
+  auto it = cmac_cache_.find(code);
+  if (it == cmac_cache_.end()) {
+    it = cmac_cache_
+             .emplace(code, std::make_unique<CmacContext>(
+                                registry_->pairwise_key(self_, peer)))
+             .first;
+  }
+  return *it->second;
+}
+
+Bytes CryptoProvider::hmac_sim_sign(SignatureScheme s, Endpoint signer,
+                                    BytesView msg) const {
+  // Functional simulation of an RSA signature: a keyed hash bound to the
+  // signer's registry secret and domain-separated by scheme, padded to the
+  // scheme's wire size so message sizes are faithful (DESIGN.md §2 — only
+  // RSA remains simulated; Ed25519 is the real implementation).
+  Bytes secret = signer == self_ ? own_secret_
+                                 : registry_->signing_secret(signer);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(s));
+  w.raw(msg);
+  Digest d = hmac_sha256(BytesView(secret), BytesView(w.data()));
+
+  Bytes sig;
+  sig.reserve(scheme_cost(s).sig_bytes + 1);
+  sig.push_back(static_cast<std::uint8_t>(s));
+  sig.insert(sig.end(), d.data.begin(), d.data.end());
+  sig.resize(scheme_cost(s).sig_bytes + 1, 0xA5);
+  return sig;
+}
+
+Bytes CryptoProvider::sign(Endpoint to, BytesView msg) const {
+  SignatureScheme s = scheme_for(to);
+  switch (s) {
+    case SignatureScheme::kNone:
+      return Bytes{static_cast<std::uint8_t>(s)};
+    case SignatureScheme::kCmacAes: {
+      AesBlock tag = cmac_for(to).tag(msg);
+      Bytes sig;
+      sig.reserve(17);
+      sig.push_back(static_cast<std::uint8_t>(s));
+      sig.insert(sig.end(), tag.begin(), tag.end());
+      return sig;
+    }
+    case SignatureScheme::kEd25519: {
+      Ed25519Signature es = ed25519_sign(msg, own_ed_seed_, own_ed_public_);
+      Bytes sig;
+      sig.reserve(es.size() + 1);
+      sig.push_back(static_cast<std::uint8_t>(s));
+      sig.insert(sig.end(), es.begin(), es.end());
+      return sig;
+    }
+    case SignatureScheme::kRsa2048:
+      return hmac_sim_sign(s, self_, msg);
+  }
+  return {};
+}
+
+bool CryptoProvider::verify(Endpoint from, BytesView msg,
+                            BytesView sig) const {
+  SignatureScheme expected = scheme_for(from);
+  if (sig.empty()) return false;
+  if (sig[0] != static_cast<std::uint8_t>(expected)) return false;
+
+  switch (expected) {
+    case SignatureScheme::kNone:
+      return sig.size() == 1;
+    case SignatureScheme::kCmacAes: {
+      if (sig.size() != 17) return false;
+      AesBlock tag = cmac_for(from).tag(msg);
+      return ct_equal(BytesView(tag), sig.subspan(1));
+    }
+    case SignatureScheme::kEd25519: {
+      if (sig.size() != 65) return false;
+      Ed25519Signature es;
+      std::copy(sig.begin() + 1, sig.end(), es.begin());
+      return ed25519_verify(msg, es, ed25519_public_for(from));
+    }
+    case SignatureScheme::kRsa2048: {
+      Bytes expected_sig = hmac_sim_sign(expected, from, msg);
+      return ct_equal(BytesView(expected_sig), sig);
+    }
+  }
+  return false;
+}
+
+}  // namespace rdb::crypto

@@ -1,0 +1,70 @@
+// Per-node cryptographic facade: signing, verification, and digests.
+//
+// A CryptoProvider is instantiated with the node's own identity, the shared
+// KeyRegistry, and a SchemeConfig. It picks the scheme by traffic class:
+// messages exchanged with a client use client_scheme, replica-to-replica
+// traffic uses replica_scheme (the paper's key crypto optimization: replicas
+// never forward each other's messages, so MACs suffice — §6 "Cryptographic
+// Signatures").
+//
+// Signatures carry a 1-byte scheme id so a verifier rejects a peer that
+// downgrades the agreed scheme.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/cmac.h"
+#include "crypto/ed25519.h"
+#include "crypto/key_registry.h"
+#include "crypto/scheme.h"
+#include "crypto/sha256.h"
+
+namespace rdb::crypto {
+
+class CryptoProvider {
+ public:
+  CryptoProvider(Endpoint self, const KeyRegistry& registry,
+                 SchemeConfig config);
+
+  /// Signs `msg` for delivery to `to`. For MAC schemes the tag depends on the
+  /// (self, to) pairwise key; for DS schemes the signature is addressee-
+  /// independent (sign once, broadcast everywhere).
+  Bytes sign(Endpoint to, BytesView msg) const;
+
+  /// Verifies `sig` on `msg` purportedly produced by `from` for us.
+  bool verify(Endpoint from, BytesView msg, BytesView sig) const;
+
+  /// The scheme used on the link between us and `peer`.
+  SignatureScheme scheme_for(Endpoint peer) const;
+
+  /// Wire size of a signature on the link to `peer` (for message sizing).
+  std::size_t signature_size(Endpoint peer) const;
+
+  Digest digest(BytesView msg) const { return sha256(msg); }
+
+  Endpoint self() const { return self_; }
+  const SchemeConfig& config() const { return config_; }
+
+ private:
+  Bytes hmac_sim_sign(SignatureScheme s, Endpoint signer, BytesView msg) const;
+  const CmacContext& cmac_for(Endpoint peer) const;
+  const Ed25519PublicKey& ed25519_public_for(Endpoint peer) const;
+  static Ed25519Seed seed_of(const Bytes& secret);
+
+  Endpoint self_;
+  const KeyRegistry* registry_;
+  SchemeConfig config_;
+  Bytes own_secret_;
+  Ed25519Seed own_ed_seed_{};
+  Ed25519PublicKey own_ed_public_{};
+  // Lazily built per-peer CMAC contexts (key expansion amortized) and
+  // Ed25519 public keys (scalar multiplication amortized).
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<CmacContext>>
+      cmac_cache_;
+  mutable std::unordered_map<std::uint64_t, Ed25519PublicKey> ed_pub_cache_;
+};
+
+}  // namespace rdb::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Incremental interface plus
+// one-shot helpers. Tested against the NIST vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace rdb::crypto {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  void update(std::string_view s) {
+    update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                     s.size()));
+  }
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// reuse.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_{0};
+  std::uint64_t total_len_{0};
+};
+
+/// One-shot SHA-256.
+Digest sha256(BytesView data);
+Digest sha256(std::string_view s);
+
+}  // namespace rdb::crypto

@@ -1,0 +1,39 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Required by Ed25519
+// (RFC 8032 hashes with SHA-512 throughout).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace rdb::crypto {
+
+using Digest512 = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  void update(std::string_view s) {
+    update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                     s.size()));
+  }
+  Digest512 finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, 128> buffer_;
+  std::size_t buffer_len_{0};
+  std::uint64_t total_len_{0};
+};
+
+Digest512 sha512(BytesView data);
+Digest512 sha512(std::string_view s);
+
+}  // namespace rdb::crypto

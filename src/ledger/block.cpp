@@ -1,0 +1,65 @@
+#include "ledger/block.h"
+
+#include "crypto/sha256.h"
+
+namespace rdb::ledger {
+
+void Block::serialize(Writer& w) const {
+  w.u64(seq);
+  w.u64(view);
+  w.digest(batch_digest);
+  w.u64(txn_begin);
+  w.u64(txn_end);
+  w.u32(static_cast<std::uint32_t>(certificate.size()));
+  for (const auto& vote : certificate) {
+    w.u32(vote.replica);
+    w.bytes(BytesView(vote.signature));
+  }
+}
+
+Block Block::deserialize(Reader& r) {
+  Block b;
+  b.seq = r.u64();
+  b.view = r.u64();
+  b.batch_digest = r.digest();
+  b.txn_begin = r.u64();
+  b.txn_end = r.u64();
+  std::uint32_t n = r.u32();
+  // Bound certificate size against a hostile length prefix: each vote takes
+  // at least 8 bytes on the wire.
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 8 > r.remaining() + 8) {
+    return b;
+  }
+  b.certificate.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    CommitVote vote;
+    vote.replica = r.u32();
+    vote.signature = r.bytes();
+    b.certificate.push_back(std::move(vote));
+  }
+  return b;
+}
+
+Bytes Block::canonical_bytes() const {
+  Writer w;
+  w.u64(seq);
+  w.u64(view);
+  w.digest(batch_digest);
+  w.u64(txn_begin);
+  w.u64(txn_end);
+  return w.take();
+}
+
+Block Block::genesis() {
+  Block g;
+  g.seq = 0;
+  g.view = 0;
+  // The genesis block carries dummy data: the hash of the identity of the
+  // first primary, H(P) with P = replica 0 of view 0.
+  g.batch_digest = crypto::sha256("genesis:primary=0");
+  g.txn_begin = 0;
+  g.txn_end = 0;
+  return g;
+}
+
+}  // namespace rdb::ledger

@@ -1,0 +1,53 @@
+// Block structure (§2.2, §4.6).
+//
+// The paper's key chain-management insight: a block does NOT embed the hash
+// of the previous block. Hashing the previous block on the execution path is
+// a bottleneck, and the 2f+1 signed Commit messages the replica already
+// collected are a stronger proof of order — so the block carries that commit
+// certificate instead. Immutability still holds: the certificate binds
+// (view, seq, batch digest) under a quorum of signatures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace rdb::ledger {
+
+/// One replica's signed Commit vote, as recorded in a block's certificate.
+struct CommitVote {
+  ReplicaId replica{0};
+  Bytes signature;
+
+  friend bool operator==(const CommitVote&, const CommitVote&) = default;
+};
+
+struct Block {
+  SeqNum seq{0};           // consensus sequence number of the batch
+  ViewId view{0};          // view (primary) that ordered it
+  Digest batch_digest{};   // digest of the batch of client requests
+  std::uint64_t txn_begin{0};  // first transaction id in the batch
+  std::uint64_t txn_end{0};    // one past the last transaction id
+  std::vector<CommitVote> certificate;  // 2f+1 commit signatures
+
+  friend bool operator==(const Block&, const Block&) = default;
+
+  void serialize(Writer& w) const;
+  static Block deserialize(Reader& r);
+
+  /// Canonical bytes: the block header WITHOUT the certificate. The commit
+  /// certificate is per-replica evidence (each replica keeps whichever 2f+1
+  /// signed Commits it happened to collect), so the chain commitment — which
+  /// 2f+1 replicas must agree on byte-for-byte at checkpoints (§4.7) — binds
+  /// only the canonical ordered history.
+  Bytes canonical_bytes() const;
+
+  /// The genesis block (§2.2): seq 0, dummy digest derived from the identity
+  /// of the first primary, empty certificate.
+  static Block genesis();
+};
+
+}  // namespace rdb::ledger

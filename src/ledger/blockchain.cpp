@@ -1,0 +1,49 @@
+#include "ledger/blockchain.h"
+
+#include "crypto/sha256.h"
+
+namespace rdb::ledger {
+
+Blockchain::Blockchain() {
+  Block g = Block::genesis();
+  Bytes canon = g.canonical_bytes();
+  crypto::Sha256 h;
+  h.update(BytesView(accumulator_.data));
+  h.update(BytesView(canon));
+  accumulator_ = h.finish();
+  last_seq_ = 0;
+  first_retained_ = 0;
+  total_blocks_ = 1;
+  blocks_.push_back(std::move(g));
+}
+
+bool Blockchain::append(Block block) {
+  if (block.seq != last_seq_ + 1) return false;
+  if (verifier_ && !verifier_(block)) return false;
+
+  Bytes canon = block.canonical_bytes();
+  crypto::Sha256 h;
+  h.update(BytesView(accumulator_.data));
+  h.update(BytesView(canon));
+  accumulator_ = h.finish();
+
+  last_seq_ = block.seq;
+  ++total_blocks_;
+  blocks_.push_back(std::move(block));
+  return true;
+}
+
+std::optional<Block> Blockchain::get(SeqNum seq) const {
+  if (seq < first_retained_ || seq > last_seq_) return std::nullopt;
+  return blocks_[seq - first_retained_];
+}
+
+void Blockchain::prune_before(SeqNum stable_seq) {
+  while (!blocks_.empty() && blocks_.front().seq < stable_seq) {
+    blocks_.pop_front();
+    ++first_retained_;
+  }
+  if (blocks_.empty()) first_retained_ = last_seq_ + 1;
+}
+
+}  // namespace rdb::ledger

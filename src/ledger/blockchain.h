@@ -1,0 +1,65 @@
+// Per-replica blockchain (immutable ledger) with checkpoint-based pruning.
+//
+// Blocks are appended by the execute thread strictly in sequence order
+// (§4.6 guarantees in-order execution), so the chain index is simply the
+// block's sequence number. Checkpoints (§4.7) let the chain discard blocks
+// older than the last stable checkpoint while retaining a running
+// accumulator digest so the full history stays commitment-bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/bytes.h"
+#include "ledger/block.h"
+
+namespace rdb::ledger {
+
+/// Validates the structural integrity of a block before appending. The
+/// certificate's signatures are protocol-level evidence; their verification
+/// is injected so the ledger does not depend on the crypto provider.
+using CertificateVerifier = std::function<bool(const Block&)>;
+
+class Blockchain {
+ public:
+  /// Starts the chain with the genesis block.
+  Blockchain();
+
+  /// Appends `block`; rejects (returns false) if block.seq is not exactly
+  /// last_seq + 1 or the verifier (when set) rejects the certificate.
+  bool append(Block block);
+
+  void set_verifier(CertificateVerifier verifier) {
+    verifier_ = std::move(verifier);
+  }
+
+  SeqNum last_seq() const { return last_seq_; }
+  std::uint64_t total_blocks() const { return total_blocks_; }
+
+  /// Blocks currently retained (post-pruning), including genesis if retained.
+  std::size_t retained() const { return blocks_.size(); }
+
+  /// Returns the block at `seq` if it has not been pruned.
+  std::optional<Block> get(SeqNum seq) const;
+
+  /// Discards all blocks with seq < stable_seq (they are covered by a stable
+  /// checkpoint). The accumulator digest keeps binding the pruned prefix.
+  void prune_before(SeqNum stable_seq);
+
+  /// Running commitment over all appended blocks:
+  /// acc_i = SHA256(acc_{i-1} || serialize(B_i)). Two replicas with equal
+  /// accumulators and equal last_seq hold identical histories.
+  const Digest& accumulator() const { return accumulator_; }
+
+ private:
+  std::deque<Block> blocks_;   // blocks_[0].seq == first_retained_
+  SeqNum first_retained_{0};
+  SeqNum last_seq_{0};
+  std::uint64_t total_blocks_{0};
+  Digest accumulator_{};
+  CertificateVerifier verifier_;
+};
+
+}  // namespace rdb::ledger

@@ -1,0 +1,70 @@
+// Actions emitted by protocol engines.
+//
+// Engines (protocol/pbft.h, protocol/zyzzyva.h) are pure state machines: a
+// method call (deliver message / timeout / execution-complete) returns a list
+// of Actions, and the surrounding fabric — the threaded runtime or the
+// discrete-event simulator — performs them. Signing happens in the fabric on
+// the thread that emitted the action, so CPU cost lands where the paper's
+// architecture puts it (batch threads sign Pre-prepares, the worker signs
+// Prepares/Commits).
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "ledger/block.h"
+#include "protocol/messages.h"
+
+namespace rdb::protocol {
+
+/// Send one message to a single endpoint (unsigned; fabric signs).
+struct SendAction {
+  Endpoint to;
+  Message msg;
+};
+
+/// Send to every replica except self (unsigned; fabric signs per link).
+struct BroadcastAction {
+  Message msg;
+  bool include_self{false};
+};
+
+/// A batch became committed and is next in execution order: execute it,
+/// append the block, and respond to clients. Emitted in strict seq order.
+struct ExecuteAction {
+  SeqNum seq{0};
+  ViewId view{0};
+  Digest batch_digest{};
+  std::vector<Transaction> txns;
+  std::uint64_t txn_begin{0};
+  std::vector<ledger::CommitVote> certificate;  // 2f+1 commit signatures
+  bool speculative{false};  // Zyzzyva: executed before commitment
+};
+
+/// Arm a timer: fires on_timeout(id) after `delay_ns` unless cancelled.
+struct SetTimerAction {
+  std::uint64_t id{0};
+  TimeNs delay_ns{0};
+};
+
+struct CancelTimerAction {
+  std::uint64_t id{0};
+};
+
+/// A checkpoint became stable at `seq`: garbage-collect below it.
+struct StableCheckpointAction {
+  SeqNum seq{0};
+};
+
+/// The replica moved to a new view (diagnostic for tests/metrics).
+struct ViewChangedAction {
+  ViewId view{0};
+};
+
+using Action =
+    std::variant<SendAction, BroadcastAction, ExecuteAction, SetTimerAction,
+                 CancelTimerAction, StableCheckpointAction, ViewChangedAction>;
+
+using Actions = std::vector<Action>;
+
+}  // namespace rdb::protocol

@@ -1,0 +1,464 @@
+#include "protocol/messages.h"
+
+#include <optional>
+
+namespace rdb::protocol {
+
+namespace {
+
+void serialize_txns(Writer& w, const std::vector<Transaction>& txns) {
+  w.u32(static_cast<std::uint32_t>(txns.size()));
+  for (const auto& t : txns) t.serialize(w);
+}
+
+std::vector<Transaction> deserialize_txns(Reader& r) {
+  std::uint32_t n = r.u32();
+  std::vector<Transaction> txns;
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 20 > r.remaining() + 20)
+    return txns;
+  txns.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    txns.push_back(Transaction::deserialize(r));
+  return txns;
+}
+
+std::size_t txns_wire_size(const std::vector<Transaction>& txns) {
+  std::size_t total = 4;
+  for (const auto& t : txns) total += t.wire_size();
+  return total;
+}
+
+}  // namespace
+
+void Transaction::serialize(Writer& w) const {
+  w.u32(client);
+  w.u64(req_id);
+  w.u32(ops);
+  w.bytes(BytesView(payload));
+  w.bytes(BytesView(client_sig));
+}
+
+Transaction Transaction::deserialize(Reader& r) {
+  Transaction t;
+  t.client = r.u32();
+  t.req_id = r.u64();
+  t.ops = r.u32();
+  t.payload = r.bytes();
+  t.client_sig = r.bytes();
+  return t;
+}
+
+Bytes Transaction::signing_bytes() const {
+  Writer w;
+  w.u32(client);
+  w.u64(req_id);
+  w.u32(ops);
+  w.bytes(BytesView(payload));
+  return w.take();
+}
+
+void ClientRequest::serialize(Writer& w) const {
+  serialize_txns(w, txns);
+  w.u64(sent_at);
+}
+
+ClientRequest ClientRequest::deserialize(Reader& r) {
+  ClientRequest c;
+  c.txns = deserialize_txns(r);
+  c.sent_at = r.u64();
+  return c;
+}
+
+std::size_t ClientRequest::wire_size() const {
+  return txns_wire_size(txns) + 8;
+}
+
+void PrePrepare::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(batch_digest);
+  serialize_txns(w, txns);
+  w.u64(txn_begin);
+  w.bytes(BytesView(payload_padding));
+}
+
+PrePrepare PrePrepare::deserialize(Reader& r) {
+  PrePrepare p;
+  p.view = r.u64();
+  p.seq = r.u64();
+  p.batch_digest = r.digest();
+  p.txns = deserialize_txns(r);
+  p.txn_begin = r.u64();
+  p.payload_padding = r.bytes();
+  return p;
+}
+
+std::size_t PrePrepare::wire_size() const {
+  return 56 + txns_wire_size(txns) + payload_padding.size();
+}
+
+void Prepare::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(batch_digest);
+}
+
+Prepare Prepare::deserialize(Reader& r) {
+  Prepare p;
+  p.view = r.u64();
+  p.seq = r.u64();
+  p.batch_digest = r.digest();
+  return p;
+}
+
+void Commit::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(batch_digest);
+}
+
+Commit Commit::deserialize(Reader& r) {
+  Commit c;
+  c.view = r.u64();
+  c.seq = r.u64();
+  c.batch_digest = r.digest();
+  return c;
+}
+
+void ClientResponse::serialize(Writer& w) const {
+  w.u32(client);
+  w.u64(req_id);
+  w.u64(view);
+  w.u64(result);
+}
+
+ClientResponse ClientResponse::deserialize(Reader& r) {
+  ClientResponse c;
+  c.client = r.u32();
+  c.req_id = r.u64();
+  c.view = r.u64();
+  c.result = r.u64();
+  return c;
+}
+
+void Checkpoint::serialize(Writer& w) const {
+  w.u64(seq);
+  w.digest(state_digest);
+  w.u64(block_bytes);
+}
+
+Checkpoint Checkpoint::deserialize(Reader& r) {
+  Checkpoint c;
+  c.seq = r.u64();
+  c.state_digest = r.digest();
+  c.block_bytes = r.u64();
+  return c;
+}
+
+void PreparedProof::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(batch_digest);
+  serialize_txns(w, txns);
+  w.u64(txn_begin);
+}
+
+PreparedProof PreparedProof::deserialize(Reader& r) {
+  PreparedProof p;
+  p.view = r.u64();
+  p.seq = r.u64();
+  p.batch_digest = r.digest();
+  p.txns = deserialize_txns(r);
+  p.txn_begin = r.u64();
+  return p;
+}
+
+void ViewChange::serialize(Writer& w) const {
+  w.u64(new_view);
+  w.u64(stable_seq);
+  w.u32(static_cast<std::uint32_t>(prepared.size()));
+  for (const auto& p : prepared) p.serialize(w);
+}
+
+ViewChange ViewChange::deserialize(Reader& r) {
+  ViewChange v;
+  v.new_view = r.u64();
+  v.stable_seq = r.u64();
+  std::uint32_t n = r.u32();
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60)
+    return v;
+  v.prepared.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    v.prepared.push_back(PreparedProof::deserialize(r));
+  return v;
+}
+
+std::size_t ViewChange::wire_size() const {
+  std::size_t total = 20;
+  for (const auto& p : prepared) total += 60 + txns_wire_size(p.txns);
+  return total;
+}
+
+void NewView::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(stable_seq);
+  w.u32(static_cast<std::uint32_t>(reproposals.size()));
+  for (const auto& p : reproposals) p.serialize(w);
+}
+
+NewView NewView::deserialize(Reader& r) {
+  NewView v;
+  v.view = r.u64();
+  v.stable_seq = r.u64();
+  std::uint32_t n = r.u32();
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60)
+    return v;
+  v.reproposals.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    v.reproposals.push_back(PreparedProof::deserialize(r));
+  return v;
+}
+
+std::size_t NewView::wire_size() const {
+  std::size_t total = 20;
+  for (const auto& p : reproposals) total += 60 + txns_wire_size(p.txns);
+  return total;
+}
+
+void OrderRequest::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(batch_digest);
+  w.digest(history);
+  serialize_txns(w, txns);
+  w.u64(txn_begin);
+}
+
+OrderRequest OrderRequest::deserialize(Reader& r) {
+  OrderRequest o;
+  o.view = r.u64();
+  o.seq = r.u64();
+  o.batch_digest = r.digest();
+  o.history = r.digest();
+  o.txns = deserialize_txns(r);
+  o.txn_begin = r.u64();
+  return o;
+}
+
+std::size_t OrderRequest::wire_size() const {
+  return 88 + txns_wire_size(txns);
+}
+
+void SpecResponse::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(history);
+  w.u32(client);
+  w.u64(req_id);
+  w.u32(replica);
+}
+
+SpecResponse SpecResponse::deserialize(Reader& r) {
+  SpecResponse s;
+  s.view = r.u64();
+  s.seq = r.u64();
+  s.history = r.digest();
+  s.client = r.u32();
+  s.req_id = r.u64();
+  s.replica = r.u32();
+  return s;
+}
+
+void CommitCert::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.digest(history);
+  w.u32(static_cast<std::uint32_t>(signers.size()));
+  for (auto s : signers) w.u32(s);
+}
+
+CommitCert CommitCert::deserialize(Reader& r) {
+  CommitCert c;
+  c.view = r.u64();
+  c.seq = r.u64();
+  c.history = r.digest();
+  std::uint32_t n = r.u32();
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 4 > r.remaining() + 4)
+    return c;
+  c.signers.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) c.signers.push_back(r.u32());
+  return c;
+}
+
+void LocalCommit::serialize(Writer& w) const {
+  w.u64(view);
+  w.u64(seq);
+  w.u32(replica);
+  w.u32(client);
+}
+
+LocalCommit LocalCommit::deserialize(Reader& r) {
+  LocalCommit l;
+  l.view = r.u64();
+  l.seq = r.u64();
+  l.replica = r.u32();
+  l.client = r.u32();
+  return l;
+}
+
+void BatchRequest::serialize(Writer& w) const {
+  w.u64(begin);
+  w.u64(end);
+}
+
+BatchRequest BatchRequest::deserialize(Reader& r) {
+  BatchRequest b;
+  b.begin = r.u64();
+  b.end = r.u64();
+  return b;
+}
+
+void BatchResponse::serialize(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.u64(e.seq);
+    w.u64(e.view);
+    w.digest(e.digest);
+    w.u64(e.txn_begin);
+    serialize_txns(w, e.txns);
+  }
+}
+
+BatchResponse BatchResponse::deserialize(Reader& r) {
+  BatchResponse b;
+  std::uint32_t n = r.u32();
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60)
+    return b;
+  b.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    Entry e;
+    e.seq = r.u64();
+    e.view = r.u64();
+    e.digest = r.digest();
+    e.txn_begin = r.u64();
+    e.txns = deserialize_txns(r);
+    b.entries.push_back(std::move(e));
+  }
+  return b;
+}
+
+std::size_t BatchResponse::wire_size() const {
+  std::size_t total = 4;
+  for (const auto& e : entries) total += 56 + txns_wire_size(e.txns);
+  return total;
+}
+
+MsgType Message::type() const {
+  struct Visitor {
+    MsgType operator()(const ClientRequest&) { return MsgType::kClientRequest; }
+    MsgType operator()(const PrePrepare&) { return MsgType::kPrePrepare; }
+    MsgType operator()(const Prepare&) { return MsgType::kPrepare; }
+    MsgType operator()(const Commit&) { return MsgType::kCommit; }
+    MsgType operator()(const ClientResponse&) {
+      return MsgType::kClientResponse;
+    }
+    MsgType operator()(const Checkpoint&) { return MsgType::kCheckpoint; }
+    MsgType operator()(const ViewChange&) { return MsgType::kViewChange; }
+    MsgType operator()(const NewView&) { return MsgType::kNewView; }
+    MsgType operator()(const OrderRequest&) { return MsgType::kOrderRequest; }
+    MsgType operator()(const SpecResponse&) { return MsgType::kSpecResponse; }
+    MsgType operator()(const CommitCert&) { return MsgType::kCommitCert; }
+    MsgType operator()(const LocalCommit&) { return MsgType::kLocalCommit; }
+    MsgType operator()(const BatchRequest&) { return MsgType::kBatchRequest; }
+    MsgType operator()(const BatchResponse&) {
+      return MsgType::kBatchResponse;
+    }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+std::size_t Message::wire_size() const {
+  std::size_t payload_size = std::visit(
+      [](const auto& p) -> std::size_t { return p.wire_size(); }, payload);
+  // envelope: type byte + from (5) + signature length prefix.
+  return 1 + 5 + 4 + signature.size() + payload_size;
+}
+
+Bytes Message::signing_bytes() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type()));
+  w.u8(static_cast<std::uint8_t>(from.kind));
+  w.u32(from.id);
+  std::visit([&](const auto& p) { p.serialize(w); }, payload);
+  return w.take();
+}
+
+Bytes Message::serialize() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type()));
+  w.u8(static_cast<std::uint8_t>(from.kind));
+  w.u32(from.id);
+  std::visit([&](const auto& p) { p.serialize(w); }, payload);
+  w.bytes(BytesView(signature));
+  return w.take();
+}
+
+std::optional<Message> Message::parse(BytesView wire) {
+  Reader r(wire);
+  auto type = static_cast<MsgType>(r.u8());
+  Message m;
+  m.from.kind = static_cast<Endpoint::Kind>(r.u8());
+  m.from.id = r.u32();
+  if (!r.ok()) return std::nullopt;
+  switch (type) {
+    case MsgType::kClientRequest:
+      m.payload = ClientRequest::deserialize(r);
+      break;
+    case MsgType::kPrePrepare:
+      m.payload = PrePrepare::deserialize(r);
+      break;
+    case MsgType::kPrepare:
+      m.payload = Prepare::deserialize(r);
+      break;
+    case MsgType::kCommit:
+      m.payload = Commit::deserialize(r);
+      break;
+    case MsgType::kClientResponse:
+      m.payload = ClientResponse::deserialize(r);
+      break;
+    case MsgType::kCheckpoint:
+      m.payload = Checkpoint::deserialize(r);
+      break;
+    case MsgType::kViewChange:
+      m.payload = ViewChange::deserialize(r);
+      break;
+    case MsgType::kNewView:
+      m.payload = NewView::deserialize(r);
+      break;
+    case MsgType::kOrderRequest:
+      m.payload = OrderRequest::deserialize(r);
+      break;
+    case MsgType::kSpecResponse:
+      m.payload = SpecResponse::deserialize(r);
+      break;
+    case MsgType::kCommitCert:
+      m.payload = CommitCert::deserialize(r);
+      break;
+    case MsgType::kLocalCommit:
+      m.payload = LocalCommit::deserialize(r);
+      break;
+    case MsgType::kBatchRequest:
+      m.payload = BatchRequest::deserialize(r);
+      break;
+    case MsgType::kBatchResponse:
+      m.payload = BatchResponse::deserialize(r);
+      break;
+    default:
+      return std::nullopt;
+  }
+  m.signature = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace rdb::protocol

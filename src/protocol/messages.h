@@ -1,0 +1,269 @@
+// Wire messages for the BFT protocols (PBFT §2.1 and Zyzzyva §2.1/§5.10),
+// plus client requests/responses and checkpointing (§4.7).
+//
+// Messages are plain structs with explicit little-endian serialization
+// (common/serde.h). The typed in-memory representation mirrors §4.8: one base
+// shape (Message) whose payload is a variant over the concrete types, so the
+// fabric manipulates typed properties while transports see a flat buffer.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/types.h"
+#include "ledger/block.h"
+
+namespace rdb::protocol {
+
+enum class MsgType : std::uint8_t {
+  kClientRequest = 1,
+  kPrePrepare = 2,
+  kPrepare = 3,
+  kCommit = 4,
+  kClientResponse = 5,
+  kCheckpoint = 6,
+  kViewChange = 7,
+  kNewView = 8,
+  // Zyzzyva-specific.
+  kOrderRequest = 9,    // primary -> backups (speculative pre-prepare)
+  kSpecResponse = 10,   // replica -> client (speculative execution result)
+  kCommitCert = 11,     // client -> replicas (2f+1 matching spec responses)
+  kLocalCommit = 12,    // replica -> client (ack of a commit certificate)
+  // Catch-up (state transfer within the checkpoint retention window).
+  kBatchRequest = 13,   // lagging replica -> peers: send me these batches
+  kBatchResponse = 14,  // peer -> lagging replica: executed batches
+};
+
+/// One client transaction: `ops` write operations against the YCSB table.
+/// A client may pack several transactions into one request message
+/// (client-side batching, §4.2).
+struct Transaction {
+  ClientId client{0};
+  RequestId req_id{0};
+  std::uint32_t ops{1};
+  Bytes payload;     // serialized operations (workload-defined)
+  Bytes client_sig;  // client's signature over signing_bytes()
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+
+  void serialize(Writer& w) const;
+  static Transaction deserialize(Reader& r);
+  /// Canonical bytes the client signs (everything except the signature).
+  Bytes signing_bytes() const;
+  std::size_t wire_size() const {
+    return 24 + payload.size() + client_sig.size();
+  }
+};
+
+struct ClientRequest {
+  std::vector<Transaction> txns;  // client-side burst (usually 1)
+  TimeNs sent_at{0};
+
+  void serialize(Writer& w) const;
+  static ClientRequest deserialize(Reader& r);
+  std::size_t wire_size() const;
+};
+
+/// A batch of client transactions the primary proposes for one consensus
+/// round. The digest covers the single string representation of the whole
+/// batch (one hash per batch, not per request — §4.3).
+struct PrePrepare {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest batch_digest{};
+  std::vector<Transaction> txns;
+  std::uint64_t txn_begin{0};  // global id of first txn in the batch
+  Bytes payload_padding;       // models large request payloads (Figure 12)
+
+  void serialize(Writer& w) const;
+  static PrePrepare deserialize(Reader& r);
+  std::size_t wire_size() const;
+};
+
+struct Prepare {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest batch_digest{};
+
+  void serialize(Writer& w) const;
+  static Prepare deserialize(Reader& r);
+  std::size_t wire_size() const { return 48; }
+};
+
+struct Commit {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest batch_digest{};
+
+  void serialize(Writer& w) const;
+  static Commit deserialize(Reader& r);
+  std::size_t wire_size() const { return 48; }
+};
+
+struct ClientResponse {
+  ClientId client{0};
+  RequestId req_id{0};
+  ViewId view{0};
+  std::uint64_t result{0};  // application-level result code
+
+  void serialize(Writer& w) const;
+  static ClientResponse deserialize(Reader& r);
+  std::size_t wire_size() const { return 28; }
+};
+
+/// Checkpoint message (§4.7): sent after executing every Δ-th batch; carries
+/// the chain accumulator at that sequence so 2f+1 identical checkpoints
+/// certify a common prefix. (The paper sends the blocks themselves; the
+/// accumulator commits to exactly the same data at constant size — block
+/// transfer for lagging replicas is a state-transfer concern.)
+struct Checkpoint {
+  SeqNum seq{0};
+  Digest state_digest{};
+  std::uint64_t block_bytes{0};  // modelled size of shipped blocks
+
+  void serialize(Writer& w) const;
+  static Checkpoint deserialize(Reader& r);
+  std::size_t wire_size() const { return 48 + block_bytes; }
+};
+
+/// A prepared certificate: proof that a batch prepared in some view. Carried
+/// by ViewChange messages so the new primary re-proposes it.
+struct PreparedProof {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest batch_digest{};
+  std::vector<Transaction> txns;
+  std::uint64_t txn_begin{0};
+
+  void serialize(Writer& w) const;
+  static PreparedProof deserialize(Reader& r);
+};
+
+struct ViewChange {
+  ViewId new_view{0};
+  SeqNum stable_seq{0};  // last stable checkpoint
+  std::vector<PreparedProof> prepared;
+
+  void serialize(Writer& w) const;
+  static ViewChange deserialize(Reader& r);
+  std::size_t wire_size() const;
+};
+
+struct NewView {
+  ViewId view{0};
+  SeqNum stable_seq{0};
+  std::vector<PreparedProof> reproposals;
+
+  void serialize(Writer& w) const;
+  static NewView deserialize(Reader& r);
+  std::size_t wire_size() const;
+};
+
+// ---- Zyzzyva ----
+
+struct OrderRequest {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest batch_digest{};
+  Digest history{};  // hash-chained history digest up to seq
+  std::vector<Transaction> txns;
+  std::uint64_t txn_begin{0};
+
+  void serialize(Writer& w) const;
+  static OrderRequest deserialize(Reader& r);
+  std::size_t wire_size() const;
+};
+
+struct SpecResponse {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest history{};
+  ClientId client{0};
+  RequestId req_id{0};
+  ReplicaId replica{0};
+
+  void serialize(Writer& w) const;
+  static SpecResponse deserialize(Reader& r);
+  std::size_t wire_size() const { return 64; }
+};
+
+struct CommitCert {
+  ViewId view{0};
+  SeqNum seq{0};
+  Digest history{};
+  std::vector<ReplicaId> signers;  // the 2f+1 replicas whose responses match
+
+  void serialize(Writer& w) const;
+  static CommitCert deserialize(Reader& r);
+  std::size_t wire_size() const { return 56 + signers.size() * 4; }
+};
+
+struct LocalCommit {
+  ViewId view{0};
+  SeqNum seq{0};
+  ReplicaId replica{0};
+  ClientId client{0};
+
+  void serialize(Writer& w) const;
+  static LocalCommit deserialize(Reader& r);
+  std::size_t wire_size() const { return 24; }
+};
+
+/// Catch-up: a replica that detects a gap below the cluster's committed
+/// frontier asks peers for the batches it missed (DESIGN.md: state transfer
+/// within the retention window; full checkpoint snapshots are future work).
+struct BatchRequest {
+  SeqNum begin{0};
+  SeqNum end{0};  // inclusive
+
+  void serialize(Writer& w) const;
+  static BatchRequest deserialize(Reader& r);
+  std::size_t wire_size() const { return 16; }
+};
+
+struct BatchResponse {
+  struct Entry {
+    SeqNum seq{0};
+    ViewId view{0};
+    Digest digest{};
+    std::uint64_t txn_begin{0};
+    std::vector<Transaction> txns;
+  };
+  std::vector<Entry> entries;
+
+  void serialize(Writer& w) const;
+  static BatchResponse deserialize(Reader& r);
+  std::size_t wire_size() const;
+};
+
+using Payload =
+    std::variant<ClientRequest, PrePrepare, Prepare, Commit, ClientResponse,
+                 Checkpoint, ViewChange, NewView, OrderRequest, SpecResponse,
+                 CommitCert, LocalCommit, BatchRequest, BatchResponse>;
+
+/// Envelope: source endpoint, payload, and the signature the source attached.
+/// §4.8's base-class message representation, realized as a variant.
+struct Message {
+  Endpoint from{};
+  Payload payload;
+  Bytes signature;
+
+  MsgType type() const;
+  /// Bytes this message occupies on the wire (payload + envelope + sig).
+  std::size_t wire_size() const;
+
+  /// Canonical byte string that is signed/verified (excludes the signature).
+  Bytes signing_bytes() const;
+
+  Bytes serialize() const;
+  /// Parses an envelope; returns nullopt on malformed input.
+  static std::optional<Message> parse(BytesView wire);
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace rdb::protocol

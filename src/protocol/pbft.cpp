@@ -1,0 +1,510 @@
+#include "protocol/pbft.h"
+
+#include <algorithm>
+
+namespace rdb::protocol {
+
+PbftEngine::PbftEngine(PbftConfig config) : config_(config) {}
+
+Message PbftEngine::own(Payload payload) const {
+  Message m;
+  m.from = Endpoint::replica(config_.self);
+  m.payload = std::move(payload);
+  return m;
+}
+
+PbftEngine::Slot& PbftEngine::slot(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) {
+    it = slots_.emplace(seq, Slot{}).first;
+    it->second.view = view_;
+  }
+  return it->second;
+}
+
+bool PbftEngine::in_window(SeqNum seq) const {
+  // Lower watermark: everything this replica already executed. Classical
+  // PBFT uses the stable checkpoint and relies on state transfer for
+  // laggards; accepting messages down to last_executed_ lets a replica that
+  // missed the checkpoint quorum finish its in-flight slots instead (the
+  // slots survive garbage collection until executed).
+  return seq > last_executed_ && seq <= stable_seq_ + config_.window;
+}
+
+Actions PbftEngine::make_preprepare(SeqNum seq, std::vector<Transaction> txns,
+                                    std::uint64_t txn_begin,
+                                    const Digest& batch_digest,
+                                    Bytes payload_padding) {
+  Actions out;
+  if (!is_primary() || in_view_change_ || !in_window(seq)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  PrePrepare pp;
+  pp.view = view_;
+  pp.seq = seq;
+  pp.batch_digest = batch_digest;
+  pp.txns = std::move(txns);
+  pp.txn_begin = txn_begin;
+  pp.payload_padding = std::move(payload_padding);
+  ++metrics_.preprepares_sent;
+  out.push_back(BroadcastAction{own(std::move(pp)), /*include_self=*/true});
+  return out;
+}
+
+Actions PbftEngine::on_preprepare(const Message& msg) {
+  Actions out;
+  const auto& pp = std::get<PrePrepare>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica ||
+      msg.from.id != primary_of(pp.view) || pp.view != view_ ||
+      in_view_change_ || !in_window(pp.seq)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  Slot& s = slot(pp.seq);
+  if (s.have_preprepare) {
+    // Either a duplicate or primary equivocation; a correct replica accepts
+    // only the first pre-prepare per (view, seq).
+    if (s.digest != pp.batch_digest) ++metrics_.rejected_msgs;
+    return out;
+  }
+  s.have_preprepare = true;
+  s.view = pp.view;
+  s.digest = pp.batch_digest;
+  s.txns = pp.txns;
+  s.txn_begin = pp.txn_begin;
+
+  if (!is_primary()) {
+    // Backup: agree to the order by broadcasting a Prepare (§4.4), and arm
+    // the request timer that triggers a view change if consensus stalls.
+    Prepare p;
+    p.view = pp.view;
+    p.seq = pp.seq;
+    p.batch_digest = pp.batch_digest;
+    s.prepares.insert(config_.self);
+    s.sent_prepare = true;
+    ++metrics_.prepares_sent;
+    out.push_back(BroadcastAction{own(p)});
+    out.push_back(SetTimerAction{pp.seq, config_.request_timeout_ns});
+  }
+
+  auto more = maybe_prepared(pp.seq, s);
+  out.insert(out.end(), more.begin(), more.end());
+  return out;
+}
+
+Actions PbftEngine::on_prepare(const Message& msg) {
+  Actions out;
+  const auto& p = std::get<Prepare>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || p.view != view_ ||
+      in_view_change_ || !in_window(p.seq) ||
+      msg.from.id == primary_of(p.view)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  Slot& s = slot(p.seq);
+  if (s.have_preprepare && s.digest != p.batch_digest) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  s.prepares.insert(msg.from.id);
+  return maybe_prepared(p.seq, s);
+}
+
+Actions PbftEngine::maybe_prepared(SeqNum seq, Slot& s) {
+  Actions out;
+  // Prepared: pre-prepare plus 2f Prepare messages from distinct replicas
+  // (a majority of non-faulty replicas know the proposed order).
+  if (!s.have_preprepare || s.sent_commit ||
+      s.prepares.size() < prepare_quorum(config_.n))
+    return out;
+  Commit c;
+  c.view = s.view;
+  c.seq = seq;
+  c.batch_digest = s.digest;
+  s.sent_commit = true;
+  s.commits.insert(config_.self);
+  ++metrics_.commits_sent;
+  out.push_back(BroadcastAction{own(c)});
+  auto more = maybe_committed(seq, s);
+  out.insert(out.end(), more.begin(), more.end());
+  return out;
+}
+
+Actions PbftEngine::on_commit(const Message& msg) {
+  Actions out;
+  const auto& c = std::get<Commit>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || c.view != view_ ||
+      in_view_change_ || !in_window(c.seq)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  Slot& s = slot(c.seq);
+  if (s.have_preprepare && s.digest != c.batch_digest) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  s.commits.insert(msg.from.id);
+  s.commit_sigs.emplace(msg.from.id, msg.signature);
+  return maybe_committed(c.seq, s);
+}
+
+void PbftEngine::note_own_commit_signature(SeqNum seq, Bytes signature) {
+  auto it = slots_.find(seq);
+  if (it != slots_.end())
+    it->second.commit_sigs.emplace(config_.self, std::move(signature));
+}
+
+Actions PbftEngine::maybe_committed(SeqNum seq, Slot& s) {
+  (void)seq;  // identified via last_executed_ in drain_executable
+  Actions out;
+  // Committed: 2f+1 Commit messages — a majority of non-faulty replicas also
+  // prepared, so the order is final.
+  // A replica finalizes only batches it prepared itself (sent_commit): it
+  // must hold the request payload and have checked the order before it can
+  // execute. Replicas that missed the pre-prepare recover via checkpoints.
+  if (s.committed || !s.have_preprepare || !s.sent_commit ||
+      s.commits.size() < commit_quorum(config_.n))
+    return out;
+  s.committed = true;
+  ++metrics_.batches_committed;
+  // The request timer guards the ORDERING of this sequence number; commit
+  // settles the order, so disarm here. (Execution may still lag behind a
+  // gap — that is catch-up's job, not the view change's.)
+  out.push_back(CancelTimerAction{seq});
+  drain_executable(out);
+  return out;
+}
+
+void PbftEngine::drain_executable(Actions& out) {
+  // §4.6: consensus completes out of order, execution is released strictly
+  // in sequence order.
+  for (;;) {
+    auto it = slots_.find(last_executed_ + 1);
+    if (it == slots_.end() || !it->second.committed || it->second.executed)
+      break;
+    Slot& s = it->second;
+    s.executed = true;
+    ++last_executed_;
+
+    ExecuteAction ex;
+    ex.seq = last_executed_;
+    ex.view = s.view;
+    ex.batch_digest = s.digest;
+    ex.txns = s.txns;
+    ex.txn_begin = s.txn_begin;
+    // The certificate always carries this replica's own vote; the fabric
+    // fills in the signature via note_own_commit_signature when it signs.
+    s.commit_sigs.try_emplace(config_.self);
+    ex.certificate.reserve(s.commit_sigs.size());
+    for (const auto& [replica, sig] : s.commit_sigs)
+      ex.certificate.push_back(ledger::CommitVote{replica, sig});
+    out.push_back(std::move(ex));
+  }
+}
+
+Actions PbftEngine::on_executed(SeqNum seq, const Digest& state_digest) {
+  Actions out;
+  if (config_.checkpoint_interval == 0 ||
+      seq % config_.checkpoint_interval != 0)
+    return out;
+  // §4.7: after executing every Δ-th batch, exchange checkpoints.
+  Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest = state_digest;
+  checkpoint_votes_[seq][state_digest].insert(config_.self);
+  out.push_back(BroadcastAction{own(cp)});
+  return out;
+}
+
+Actions PbftEngine::on_checkpoint(const Message& msg) {
+  Actions out;
+  const auto& cp = std::get<Checkpoint>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_) {
+    return out;  // stale, not an error
+  }
+  auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];
+  voters.insert(msg.from.id);
+  if (voters.size() < commit_quorum(config_.n)) return out;
+
+  // 2f+1 identical checkpoints: mark stable, clear everything older (§4.7).
+  stable_seq_ = cp.seq;
+  ++metrics_.stable_checkpoints;
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(cp.seq));
+  for (auto it = slots_.begin();
+       it != slots_.end() && it->first <= stable_seq_;) {
+    if (it->second.executed) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  out.push_back(StableCheckpointAction{cp.seq});
+  return out;
+}
+
+Actions PbftEngine::on_timeout(std::uint64_t timer_id) {
+  Actions out;
+  auto it = slots_.find(timer_id);
+  if (it == slots_.end() || it->second.committed || in_view_change_)
+    return out;
+  return start_view_change(view_ + 1);
+}
+
+Actions PbftEngine::on_client_request_timeout() {
+  if (in_view_change_ || is_primary()) return {};
+  return start_view_change(view_ + 1);
+}
+
+Actions PbftEngine::maybe_request_catchup() {
+  Actions out;
+  if (in_view_change_) return out;
+  // Committed frontier this replica can prove: the highest committed slot,
+  // or the stable checkpoint other replicas certified.
+  SeqNum frontier = stable_seq_;
+  for (const auto& [seq, s] : slots_)
+    if (s.committed) frontier = std::max(frontier, seq);
+  if (frontier <= last_executed_) return out;
+
+  // Only a *gap* warrants fetching: the next batch in execution order is
+  // missing its pre-prepare (request payload). If it is merely still in
+  // flight, normal consensus will deliver it.
+  auto next = slots_.find(last_executed_ + 1);
+  if (next != slots_.end() && next->second.have_preprepare) return out;
+
+  SeqNum begin = last_executed_ + 1;
+  SeqNum end = std::min<SeqNum>(frontier, begin + 49);  // bounded chunks
+  if (end <= catchup_requested_upto_ && begin <= catchup_requested_upto_)
+    return out;  // already in flight
+  catchup_requested_upto_ = end;
+  ++metrics_.catchup_requests;
+
+  BatchRequest req;
+  req.begin = begin;
+  req.end = end;
+  out.push_back(BroadcastAction{own(req)});
+  return out;
+}
+
+Actions PbftEngine::on_batch_request(const Message& msg) {
+  Actions out;
+  const auto& req = std::get<BatchRequest>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || req.end < req.begin ||
+      req.end - req.begin > 1000) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  BatchResponse resp;
+  for (SeqNum seq = req.begin; seq <= req.end; ++seq) {
+    auto it = slots_.find(seq);
+    if (it == slots_.end() || !it->second.executed ||
+        !it->second.have_preprepare)
+      continue;
+    BatchResponse::Entry e;
+    e.seq = seq;
+    e.view = it->second.view;
+    e.digest = it->second.digest;
+    e.txn_begin = it->second.txn_begin;
+    e.txns = it->second.txns;
+    resp.entries.push_back(std::move(e));
+  }
+  if (resp.entries.empty()) return out;
+  out.push_back(SendAction{msg.from, own(resp)});
+  return out;
+}
+
+Actions PbftEngine::on_batch_response(const Message& msg) {
+  Actions out;
+  const auto& resp = std::get<BatchResponse>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  for (const auto& e : resp.entries) {
+    if (e.seq <= last_executed_) continue;
+    Slot& s = slot(e.seq);
+    if (s.have_preprepare) continue;  // nothing missing here
+
+    // Require f+1 distinct peers to vouch for the same (seq, digest): at
+    // least one of them is honest and executed the batch, so the batch is
+    // committed. (The fabric already checked digest(txns) == e.digest, so a
+    // vouching peer cannot pair a good digest with garbage transactions.)
+    auto& votes = catchup_votes_[e.seq][e.digest];
+    votes.insert(msg.from.id);
+    if (votes.size() < f() + 1) continue;
+
+    s.have_preprepare = true;
+    s.view = e.view;
+    s.digest = e.digest;
+    s.txns = e.txns;
+    s.txn_begin = e.txn_begin;
+    s.committed = true;
+    ++metrics_.catchup_batches_adopted;
+    catchup_votes_.erase(e.seq);
+  }
+  drain_executable(out);
+  if (!out.empty()) catchup_requested_upto_ = 0;  // progress: re-arm
+  return out;
+}
+
+Actions PbftEngine::start_view_change(ViewId target) {
+  Actions out;
+  in_view_change_ = true;
+  pending_view_ = target;
+  ++metrics_.view_changes;
+
+  ViewChange vc;
+  vc.new_view = target;
+  vc.stable_seq = stable_seq_;
+  for (const auto& [seq, s] : slots_) {
+    if (s.executed || !s.have_preprepare) continue;
+    if (s.prepares.size() < prepare_quorum(config_.n)) continue;
+    PreparedProof proof;
+    proof.view = s.view;
+    proof.seq = seq;
+    proof.batch_digest = s.digest;
+    proof.txns = s.txns;
+    proof.txn_begin = s.txn_begin;
+    vc.prepared.push_back(std::move(proof));
+  }
+  view_change_votes_[target][config_.self] = vc;
+  out.push_back(BroadcastAction{own(vc)});
+
+  // Our own vote may complete the quorum (e.g. n = 4 with two earlier votes).
+  Message self_msg = own(view_change_votes_[target][config_.self]);
+  auto more = on_view_change(self_msg);
+  out.insert(out.end(), more.begin(), more.end());
+  return out;
+}
+
+Actions PbftEngine::on_view_change(const Message& msg) {
+  Actions out;
+  const auto& vc = std::get<ViewChange>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || vc.new_view <= view_) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  auto& votes = view_change_votes_[vc.new_view];
+  votes.emplace(msg.from.id, vc);
+
+  // Join the view change once f+1 replicas demand it (at least one of them
+  // is non-faulty, so the timeout evidence is genuine).
+  if (!in_view_change_ && votes.size() >= f() + 1) {
+    auto joined = start_view_change(vc.new_view);
+    out.insert(out.end(), joined.begin(), joined.end());
+    return out;
+  }
+
+  if (primary_of(vc.new_view) != config_.self) return out;
+  if (votes.size() < commit_quorum(config_.n)) return out;
+  if (!in_view_change_ || pending_view_ != vc.new_view) return out;
+
+  // We are the new primary with a 2f+1 quorum: assemble NewView.
+  SeqNum stable = stable_seq_;
+  for (const auto& [replica, vote] : votes)
+    stable = std::max(stable, vote.stable_seq);
+
+  // Highest-view prepared proof per sequence number wins.
+  std::map<SeqNum, PreparedProof> chosen;
+  for (const auto& [replica, vote] : votes) {
+    for (const auto& proof : vote.prepared) {
+      if (proof.seq <= stable) continue;
+      auto it = chosen.find(proof.seq);
+      if (it == chosen.end() || proof.view > it->second.view)
+        chosen[proof.seq] = proof;
+    }
+  }
+
+  NewView nv;
+  nv.view = vc.new_view;
+  nv.stable_seq = stable;
+  SeqNum max_seq = stable;
+  for (const auto& [seq, proof] : chosen) max_seq = std::max(max_seq, seq);
+  // Fill gaps with no-op batches so the sequence space stays contiguous.
+  for (SeqNum seq = stable + 1; seq <= max_seq; ++seq) {
+    auto it = chosen.find(seq);
+    if (it != chosen.end()) {
+      PreparedProof p = it->second;
+      p.view = vc.new_view;
+      nv.reproposals.push_back(std::move(p));
+    } else {
+      PreparedProof noop;
+      noop.view = vc.new_view;
+      noop.seq = seq;
+      noop.batch_digest = Digest{};  // canonical no-op digest
+      nv.reproposals.push_back(std::move(noop));
+    }
+  }
+
+  out.push_back(BroadcastAction{own(nv)});
+  auto entered = enter_view(vc.new_view, nv.reproposals, stable);
+  out.insert(out.end(), entered.begin(), entered.end());
+  return out;
+}
+
+Actions PbftEngine::on_new_view(const Message& msg) {
+  const auto& nv = std::get<NewView>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica ||
+      msg.from.id != primary_of(nv.view) || nv.view <= view_) {
+    ++metrics_.rejected_msgs;
+    return {};
+  }
+  return enter_view(nv.view, nv.reproposals, nv.stable_seq);
+}
+
+Actions PbftEngine::enter_view(ViewId v, std::vector<PreparedProof> reproposals,
+                               SeqNum stable_seq) {
+  Actions out;
+  view_ = v;
+  in_view_change_ = false;
+  pending_view_ = 0;
+  view_change_votes_.erase(view_change_votes_.begin(),
+                           view_change_votes_.upper_bound(v));
+  stable_seq_ = std::max(stable_seq_, stable_seq);
+
+  // Pre-prepares from the old view that did not reach the NewView (no 2f
+  // prepared certificate anywhere in the quorum) are void: discard their
+  // slots so the new view's sequencing is not blocked by abandoned numbers,
+  // and cancel their request timers.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (!it->second.executed) {
+      out.push_back(CancelTimerAction{it->first});
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  out.push_back(ViewChangedAction{v});
+
+  // Re-run consensus in the new view for every reproposed batch we have not
+  // executed yet. Quorum intersection guarantees a reproposal can never
+  // contradict an executed batch.
+  for (auto& proof : reproposals) {
+    if (proof.seq <= last_executed_) continue;
+    Slot fresh;
+    fresh.view = v;
+    fresh.have_preprepare = true;
+    fresh.digest = proof.batch_digest;
+    fresh.txns = std::move(proof.txns);
+    fresh.txn_begin = proof.txn_begin;
+    slots_[proof.seq] = std::move(fresh);
+    Slot& s = slots_[proof.seq];
+
+    if (primary_of(v) != config_.self) {
+      Prepare p;
+      p.view = v;
+      p.seq = proof.seq;
+      p.batch_digest = proof.batch_digest;
+      s.prepares.insert(config_.self);
+      s.sent_prepare = true;
+      ++metrics_.prepares_sent;
+      out.push_back(BroadcastAction{own(p)});
+      out.push_back(SetTimerAction{proof.seq, config_.request_timeout_ns});
+    }
+  }
+  return out;
+}
+
+}  // namespace rdb::protocol

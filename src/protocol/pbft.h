@@ -1,0 +1,172 @@
+// PBFT consensus engine (Castro & Liskov '99) as used by ResilientDB (§2.1,
+// §4.3–§4.7): three phases (Pre-prepare, Prepare, Commit), two of them with
+// quadratic communication, plus checkpointing and view changes.
+//
+// The engine is a deterministic state machine — no threads, no clock, no I/O.
+// The fabric invokes:
+//   make_preprepare()    batch-thread work at the primary
+//   on_preprepare() ...  worker-thread processing of phase messages
+//   on_executed()        execute-thread notification (may emit Checkpoint)
+//   on_timeout()         request timer expiry (starts a view change)
+// and performs the returned Actions. Signature verification of incoming
+// messages is the fabric's job (it happens on the receiving thread); the
+// engine enforces all protocol-semantic checks (view, sequence windows,
+// digest matching, quorum counting, duplicate suppression).
+//
+// Out-of-order consensus (§4.5) is inherent: each sequence number has an
+// independent slot, so consensus rounds overlap freely. Execution order is
+// restored by emitting ExecuteActions only for the contiguous prefix (§4.6).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "protocol/actions.h"
+#include "protocol/messages.h"
+
+namespace rdb::protocol {
+
+struct PbftConfig {
+  std::uint32_t n{4};              // replica count (n >= 3f+1)
+  ReplicaId self{0};
+  SeqNum checkpoint_interval{100};  // Δ batches between checkpoints (§4.7)
+  SeqNum window{20000};             // max in-flight seq distance
+  TimeNs request_timeout_ns{3'000'000'000};  // view-change trigger
+};
+
+struct PbftMetrics {
+  std::uint64_t preprepares_sent{0};
+  std::uint64_t prepares_sent{0};
+  std::uint64_t commits_sent{0};
+  std::uint64_t batches_committed{0};
+  std::uint64_t view_changes{0};
+  std::uint64_t stable_checkpoints{0};
+  std::uint64_t rejected_msgs{0};
+  std::uint64_t catchup_requests{0};
+  std::uint64_t catchup_batches_adopted{0};
+};
+
+class PbftEngine {
+ public:
+  explicit PbftEngine(PbftConfig config);
+
+  // --- identity & view ---
+  ViewId view() const { return view_; }
+  ReplicaId primary() const { return primary_of(view_); }
+  bool is_primary() const { return primary() == config_.self; }
+  ReplicaId primary_of(ViewId v) const { return v % config_.n; }
+  std::uint32_t f() const { return max_faulty(config_.n); }
+
+  // --- primary-side batching (called from a batch thread) ---
+  /// Wraps a batch of client transactions into a Pre-prepare for `seq`
+  /// (sequence numbers are assigned upstream by the input thread). Returns
+  /// the broadcast plus a self-delivery so the primary's own worker thread
+  /// records the proposal.
+  Actions make_preprepare(SeqNum seq, std::vector<Transaction> txns,
+                          std::uint64_t txn_begin, const Digest& batch_digest,
+                          Bytes payload_padding = {});
+
+  // --- worker-thread message processing ---
+  Actions on_preprepare(const Message& msg);
+  Actions on_prepare(const Message& msg);
+  Actions on_commit(const Message& msg);
+  Actions on_view_change(const Message& msg);
+  Actions on_new_view(const Message& msg);
+
+  // --- checkpoint-thread processing ---
+  Actions on_checkpoint(const Message& msg);
+
+  /// The fabric reports the signature it attached to this replica's own
+  /// Commit for `seq`, completing the 2f+1-signature block certificate.
+  void note_own_commit_signature(SeqNum seq, Bytes signature);
+
+  // --- execute-thread notification ---
+  /// Called after the fabric finished executing batch `seq`;
+  /// `state_digest` is the chain accumulator after appending its block.
+  Actions on_executed(SeqNum seq, const Digest& state_digest);
+
+  // --- timers ---
+  /// Timer ids are sequence numbers of pending batches.
+  Actions on_timeout(std::uint64_t timer_id);
+
+  /// A backup forwarded a client request to the primary and the primary made
+  /// no progress before the timer fired: demand a view change. (The PBFT
+  /// liveness rule for a dead/silent primary that never sends Pre-prepares,
+  /// so no per-sequence timer exists.)
+  Actions on_client_request_timeout();
+
+  // --- catch-up (state transfer within the retention window) ---
+  /// Periodic poll by the fabric: if this replica can prove the cluster
+  /// committed sequences it cannot execute (a committed slot or stable
+  /// checkpoint above a gap), ask peers for the missing batches.
+  Actions maybe_request_catchup();
+  /// Peer side: answer with the executed batches still retained.
+  Actions on_batch_request(const Message& msg);
+  /// Lagging side: adopt a batch if its digest matches our own commit-quorum
+  /// evidence, or once f+1 distinct peers vouch for the same (seq, digest).
+  /// The fabric MUST have validated digest(txns) == entry.digest first.
+  Actions on_batch_response(const Message& msg);
+
+  // --- introspection (tests, metrics) ---
+  const PbftMetrics& metrics() const { return metrics_; }
+  SeqNum last_executed() const { return last_executed_; }
+  /// Next sequence number a (new) primary should assign.
+  SeqNum suggest_next_seq() const {
+    SeqNum hi = last_executed_;
+    if (!slots_.empty()) hi = std::max(hi, slots_.rbegin()->first);
+    return hi + 1;
+  }
+  SeqNum stable_checkpoint() const { return stable_seq_; }
+  bool in_view_change() const { return in_view_change_; }
+  std::size_t live_slots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    ViewId view{0};
+    bool have_preprepare{false};
+    Digest digest{};
+    std::vector<Transaction> txns;
+    std::uint64_t txn_begin{0};
+    std::set<ReplicaId> prepares;
+    std::set<ReplicaId> commits;
+    std::map<ReplicaId, Bytes> commit_sigs;
+    bool sent_prepare{false};
+    bool sent_commit{false};
+    bool committed{false};
+    bool executed{false};
+  };
+
+  Slot& slot(SeqNum seq);
+  bool in_window(SeqNum seq) const;
+  Actions maybe_prepared(SeqNum seq, Slot& s);
+  Actions maybe_committed(SeqNum seq, Slot& s);
+  void drain_executable(Actions& out);
+  Message own(Payload payload) const;
+  Actions start_view_change(ViewId target);
+  Actions enter_view(ViewId v, std::vector<PreparedProof> reproposals,
+                     SeqNum stable_seq);
+
+  PbftConfig config_;
+  ViewId view_{0};
+  bool in_view_change_{false};
+  ViewId pending_view_{0};
+
+  std::map<SeqNum, Slot> slots_;
+  SeqNum last_executed_{0};
+  SeqNum stable_seq_{0};
+
+  // checkpoint voting: seq -> digest -> voters
+  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> checkpoint_votes_;
+
+  // view-change voting: new_view -> sender -> message
+  std::map<ViewId, std::map<ReplicaId, ViewChange>> view_change_votes_;
+
+  // catch-up: seq -> digest -> peers vouching for it
+  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> catchup_votes_;
+  SeqNum catchup_requested_upto_{0};
+
+  PbftMetrics metrics_;
+};
+
+}  // namespace rdb::protocol

@@ -1,0 +1,174 @@
+#include "protocol/poe.h"
+
+namespace rdb::protocol {
+
+PoeEngine::PoeEngine(PoeConfig config) : config_(config) {}
+
+Message PoeEngine::own(Payload payload) const {
+  Message m;
+  m.from = Endpoint::replica(config_.self);
+  m.payload = std::move(payload);
+  return m;
+}
+
+PoeEngine::Slot& PoeEngine::slot(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) {
+    it = slots_.emplace(seq, Slot{}).first;
+    it->second.view = view_;
+  }
+  return it->second;
+}
+
+bool PoeEngine::in_window(SeqNum seq) const {
+  return seq > last_executed_ && seq <= stable_seq_ + config_.window;
+}
+
+Actions PoeEngine::make_propose(SeqNum seq, std::vector<Transaction> txns,
+                                std::uint64_t txn_begin,
+                                const Digest& batch_digest) {
+  Actions out;
+  if (!is_primary() || !in_window(seq)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  PrePrepare propose;  // PoE's Propose rides the PrePrepare wire shape
+  propose.view = view_;
+  propose.seq = seq;
+  propose.batch_digest = batch_digest;
+  propose.txns = std::move(txns);
+  propose.txn_begin = txn_begin;
+  ++metrics_.proposes_sent;
+  out.push_back(BroadcastAction{own(std::move(propose)),
+                                /*include_self=*/true});
+  return out;
+}
+
+Actions PoeEngine::on_propose(const Message& msg) {
+  Actions out;
+  const auto& p = std::get<PrePrepare>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica ||
+      msg.from.id != (p.view % config_.n) || p.view != view_ ||
+      !in_window(p.seq)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  Slot& s = slot(p.seq);
+  if (s.have_propose) {
+    if (s.digest != p.batch_digest) ++metrics_.rejected_msgs;
+    return out;  // duplicate or equivocation: only the first counts
+  }
+  s.have_propose = true;
+  s.view = p.view;
+  s.digest = p.batch_digest;
+  s.txns = p.txns;
+  s.txn_begin = p.txn_begin;
+  // The primary's propose carries its support.
+  s.supports.insert(msg.from.id);
+
+  if (!is_primary()) {
+    Prepare support;  // PoE's Support rides the Prepare wire shape
+    support.view = p.view;
+    support.seq = p.seq;
+    support.batch_digest = p.batch_digest;
+    s.supports.insert(config_.self);
+    s.sent_support = true;
+    ++metrics_.supports_sent;
+    out.push_back(BroadcastAction{own(support)});
+  }
+  auto more = maybe_supported(p.seq, s);
+  out.insert(out.end(), more.begin(), more.end());
+  return out;
+}
+
+Actions PoeEngine::on_support(const Message& msg) {
+  Actions out;
+  const auto& sup = std::get<Prepare>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || sup.view != view_ ||
+      !in_window(sup.seq) || msg.from.id == (sup.view % config_.n)) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  Slot& s = slot(sup.seq);
+  if (s.have_propose && s.digest != sup.batch_digest) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  s.supports.insert(msg.from.id);
+  return maybe_supported(sup.seq, s);
+}
+
+Actions PoeEngine::maybe_supported(SeqNum seq, Slot& s) {
+  (void)seq;
+  Actions out;
+  // 2f+1 supports (propose counts as the primary's) guarantee that every
+  // quorum intersects this one in a non-faulty replica: the order is safe
+  // to execute speculatively.
+  if (s.supported || !s.have_propose ||
+      s.supports.size() < commit_quorum(config_.n))
+    return out;
+  // A backup that never agreed itself (no propose processed) cannot execute.
+  if (!s.sent_support && !is_primary()) return out;
+  s.supported = true;
+  drain_executable(out);
+  return out;
+}
+
+void PoeEngine::drain_executable(Actions& out) {
+  for (;;) {
+    auto it = slots_.find(last_executed_ + 1);
+    if (it == slots_.end() || !it->second.supported || it->second.executed)
+      break;
+    Slot& s = it->second;
+    s.executed = true;
+    ++last_executed_;
+    ++metrics_.batches_executed;
+
+    ExecuteAction ex;
+    ex.seq = last_executed_;
+    ex.view = s.view;
+    ex.batch_digest = s.digest;
+    ex.txns = s.txns;
+    ex.txn_begin = s.txn_begin;
+    ex.speculative = true;  // PoE executes before global commitment
+    out.push_back(std::move(ex));
+  }
+}
+
+Actions PoeEngine::on_executed(SeqNum seq, const Digest& state_digest) {
+  Actions out;
+  if (config_.checkpoint_interval == 0 ||
+      seq % config_.checkpoint_interval != 0)
+    return out;
+  Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest = state_digest;
+  checkpoint_votes_[seq][state_digest].insert(config_.self);
+  out.push_back(BroadcastAction{own(cp)});
+  return out;
+}
+
+Actions PoeEngine::on_checkpoint(const Message& msg) {
+  Actions out;
+  const auto& cp = std::get<Checkpoint>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_)
+    return out;
+  auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];
+  voters.insert(msg.from.id);
+  if (voters.size() < commit_quorum(config_.n)) return out;
+  stable_seq_ = cp.seq;
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(cp.seq));
+  for (auto it = slots_.begin();
+       it != slots_.end() && it->first <= stable_seq_;) {
+    if (it->second.executed) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  out.push_back(StableCheckpointAction{cp.seq});
+  return out;
+}
+
+}  // namespace rdb::protocol

@@ -1,0 +1,178 @@
+#include "protocol/zyzzyva.h"
+
+#include "crypto/sha256.h"
+
+namespace rdb::protocol {
+
+namespace {
+Digest chain_history(const Digest& prev, const Digest& batch_digest) {
+  crypto::Sha256 h;
+  h.update(BytesView(prev.data));
+  h.update(BytesView(batch_digest.data));
+  return h.finish();
+}
+}  // namespace
+
+ZyzzyvaEngine::ZyzzyvaEngine(ZyzzyvaConfig config) : config_(config) {
+  history_log_[0] = history_;
+}
+
+Actions ZyzzyvaEngine::make_order_request(SeqNum seq,
+                                          std::vector<Transaction> txns,
+                                          std::uint64_t txn_begin,
+                                          const Digest& batch_digest) {
+  Actions out;
+  if (!is_primary() || seq != primary_next_ ||
+      seq > stable_seq_ + config_.window) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  ++primary_next_;
+  primary_history_ = chain_history(primary_history_, batch_digest);
+  OrderRequest oreq;
+  oreq.view = view_;
+  oreq.seq = seq;
+  oreq.batch_digest = batch_digest;
+  oreq.history = primary_history_;
+  oreq.txns = std::move(txns);
+  oreq.txn_begin = txn_begin;
+  ++metrics_.order_requests_sent;
+
+  Message m;
+  m.from = Endpoint::replica(config_.self);
+  m.payload = std::move(oreq);
+  out.push_back(BroadcastAction{std::move(m), /*include_self=*/true});
+  return out;
+}
+
+Digest ZyzzyvaEngine::history_at(SeqNum seq) const {
+  auto it = history_log_.find(seq);
+  return it != history_log_.end() ? it->second : Digest{};
+}
+
+Actions ZyzzyvaEngine::on_order_request(const Message& msg) {
+  Actions out;
+  const auto& oreq = std::get<OrderRequest>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica ||
+      msg.from.id != primary() || oreq.view != view_ ||
+      oreq.seq <= last_spec_) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  if (oreq.seq != last_spec_ + 1) {
+    // Hole: buffer until the preceding order requests arrive.
+    pending_.emplace(oreq.seq, oreq);
+    return out;
+  }
+  out = accept_order(oreq);
+  // Drain any buffered successors that are now contiguous.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == last_spec_ + 1;) {
+    auto more = accept_order(it->second);
+    out.insert(out.end(), more.begin(), more.end());
+    it = pending_.erase(it);
+  }
+  return out;
+}
+
+Actions ZyzzyvaEngine::accept_order(const OrderRequest& oreq) {
+  Actions out;
+  Digest expected = chain_history(history_, oreq.batch_digest);
+  if (expected != oreq.history) {
+    // Primary equivocated about the history; a full implementation would
+    // trigger a view change here.
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  history_ = expected;
+  last_spec_ = oreq.seq;
+  history_log_[oreq.seq] = history_;
+  ++metrics_.spec_executions;
+
+  // Speculative execution (§2.1): execute immediately, before any agreement.
+  ExecuteAction ex;
+  ex.seq = oreq.seq;
+  ex.view = oreq.view;
+  ex.batch_digest = oreq.batch_digest;
+  ex.txns = oreq.txns;
+  ex.txn_begin = oreq.txn_begin;
+  ex.speculative = true;
+  out.push_back(std::move(ex));
+
+  // Respond to every client in the batch with the chained history digest.
+  std::set<ClientId> seen;
+  for (const auto& txn : oreq.txns) {
+    if (!seen.insert(txn.client).second) continue;
+    SpecResponse sr;
+    sr.view = oreq.view;
+    sr.seq = oreq.seq;
+    sr.history = history_;
+    sr.client = txn.client;
+    sr.req_id = txn.req_id;
+    sr.replica = config_.self;
+    Message m;
+    m.from = Endpoint::replica(config_.self);
+    m.payload = sr;
+    out.push_back(SendAction{Endpoint::client(txn.client), std::move(m)});
+  }
+  return out;
+}
+
+Actions ZyzzyvaEngine::on_commit_cert(const Message& msg) {
+  Actions out;
+  const auto& cc = std::get<CommitCert>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kClient ||
+      cc.signers.size() < commit_quorum(config_.n) || cc.seq > last_spec_ ||
+      history_at(cc.seq) != cc.history) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  if (cc.seq > committed_seq_) committed_seq_ = cc.seq;
+  ++metrics_.commit_certs_accepted;
+
+  LocalCommit lc;
+  lc.view = cc.view;
+  lc.seq = cc.seq;
+  lc.replica = config_.self;
+  lc.client = msg.from.id;
+  Message m;
+  m.from = Endpoint::replica(config_.self);
+  m.payload = lc;
+  out.push_back(SendAction{Endpoint::client(msg.from.id), std::move(m)});
+  return out;
+}
+
+Actions ZyzzyvaEngine::on_executed(SeqNum seq, const Digest& state_digest) {
+  Actions out;
+  if (config_.checkpoint_interval == 0 ||
+      seq % config_.checkpoint_interval != 0)
+    return out;
+  Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest = state_digest;
+  checkpoint_votes_[seq][state_digest].insert(config_.self);
+  Message m;
+  m.from = Endpoint::replica(config_.self);
+  m.payload = cp;
+  out.push_back(BroadcastAction{std::move(m)});
+  return out;
+}
+
+Actions ZyzzyvaEngine::on_checkpoint(const Message& msg) {
+  Actions out;
+  const auto& cp = std::get<Checkpoint>(msg.payload);
+  if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_)
+    return out;
+  auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];
+  voters.insert(msg.from.id);
+  if (voters.size() < commit_quorum(config_.n)) return out;
+  stable_seq_ = cp.seq;
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(cp.seq));
+  history_log_.erase(history_log_.begin(),
+                     history_log_.lower_bound(cp.seq));
+  out.push_back(StableCheckpointAction{cp.seq});
+  return out;
+}
+
+}  // namespace rdb::protocol

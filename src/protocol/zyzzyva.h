@@ -1,0 +1,91 @@
+// Zyzzyva speculative BFT engine (Kotla et al., SOSP'07) — the paper's
+// comparator protocol (§2.1 "Speculative Execution", §5.2, §5.10).
+//
+// Single linear phase: the primary orders a batch with an OrderRequest;
+// every replica speculatively executes it in sequence order and answers the
+// client directly with a SpecResponse carrying a hash-chained history digest.
+// The *client* completes a request when it holds 3f+1 matching responses
+// (fast path). With as few as 2f+1 matching responses it must, after a
+// timeout, broadcast a CommitCert and gather f+1 LocalCommit acks — which is
+// exactly why one crashed backup collapses Zyzzyva's throughput (Figure 17):
+// every request then rides the timeout.
+//
+// The client-side completion logic lives in the fabric's client model; this
+// engine implements the replica side.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "protocol/actions.h"
+#include "protocol/messages.h"
+
+namespace rdb::protocol {
+
+struct ZyzzyvaConfig {
+  std::uint32_t n{4};
+  ReplicaId self{0};
+  SeqNum checkpoint_interval{100};
+  SeqNum window{20000};
+};
+
+struct ZyzzyvaMetrics {
+  std::uint64_t order_requests_sent{0};
+  std::uint64_t spec_executions{0};
+  std::uint64_t commit_certs_accepted{0};
+  std::uint64_t rejected_msgs{0};
+};
+
+class ZyzzyvaEngine {
+ public:
+  explicit ZyzzyvaEngine(ZyzzyvaConfig config);
+
+  ViewId view() const { return view_; }
+  ReplicaId primary() const { return view_ % config_.n; }
+  bool is_primary() const { return primary() == config_.self; }
+  std::uint32_t f() const { return max_faulty(config_.n); }
+
+  /// Primary: order a batch. Chains the history digest and broadcasts an
+  /// OrderRequest (self-delivery included, as with PBFT pre-prepares).
+  /// MUST be called with strictly consecutive sequence numbers: Zyzzyva's
+  /// history digest is a hash chain, so ordering — unlike PBFT pre-prepares
+  /// (§4.5) — cannot be emitted out of order. Calls with a gap are rejected.
+  Actions make_order_request(SeqNum seq, std::vector<Transaction> txns,
+                             std::uint64_t txn_begin,
+                             const Digest& batch_digest);
+
+  /// Replica: speculative execution path. Accepts only the contiguous next
+  /// sequence number; later ones are buffered until the hole fills.
+  Actions on_order_request(const Message& msg);
+
+  /// Replica: client sent a 2f+1 commit certificate (slow path).
+  Actions on_commit_cert(const Message& msg);
+
+  /// Execute-thread notification (checkpoint emission, as in PBFT).
+  Actions on_executed(SeqNum seq, const Digest& state_digest);
+  Actions on_checkpoint(const Message& msg);
+
+  const ZyzzyvaMetrics& metrics() const { return metrics_; }
+  SeqNum last_spec_executed() const { return last_spec_; }
+  SeqNum committed_seq() const { return committed_seq_; }
+  const Digest& history() const { return history_; }
+  Digest history_at(SeqNum seq) const;
+
+ private:
+  Actions accept_order(const OrderRequest& oreq);
+
+  ZyzzyvaConfig config_;
+  ViewId view_{0};
+  SeqNum primary_next_{1};     // next seq the primary may order
+  Digest primary_history_{};   // primary-side history chain
+  SeqNum last_spec_{0};
+  SeqNum committed_seq_{0};
+  Digest history_{};                       // chained digest after last_spec_
+  std::map<SeqNum, Digest> history_log_;   // seq -> history digest
+  std::map<SeqNum, OrderRequest> pending_; // out-of-order buffer
+  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> checkpoint_votes_;
+  SeqNum stable_seq_{0};
+  ZyzzyvaMetrics metrics_;
+};
+
+}  // namespace rdb::protocol

@@ -1,0 +1,76 @@
+// Unbounded blocking queue with shutdown, for pipeline edges where the
+// consumer should sleep when idle (output threads, checkpoint thread). Not
+// the hot path — consensus-critical edges use the lock-free queues.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rdb {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item arrives or the queue is shut down; nullopt on
+  /// shutdown with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Like pop(), but gives up after `timeout`; nullopt on timeout/shutdown.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || shutdown_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool shutdown_{false};
+};
+
+}  // namespace rdb

@@ -1,0 +1,116 @@
+// Object buffer pool (§4.8): a fixed population of reusable objects created
+// at initialization so the steady state performs no malloc/free. acquire()
+// hands out a pooled object (falling back to heap allocation if the pool is
+// drained, so correctness never depends on pool sizing); release() returns it.
+//
+// PooledPtr is a unique_ptr-style RAII handle that releases back to its pool.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "queues/mpmc_queue.h"
+
+namespace rdb {
+
+template <typename T>
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t population)
+      : free_list_(population + 1), storage_(population) {
+    for (auto& obj : storage_) free_list_.try_push(&obj);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  struct Handle {
+    T* ptr{nullptr};
+    bool heap{false};  // true if allocated outside the pool population
+  };
+
+  Handle acquire() {
+    T* obj = nullptr;
+    if (free_list_.try_pop(obj)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return {obj, false};
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {new T(), true};
+  }
+
+  void release(Handle h) {
+    if (h.ptr == nullptr) return;
+    if (h.heap) {
+      delete h.ptr;
+      return;
+    }
+    *h.ptr = T{};  // scrub state before the object re-enters circulation
+    free_list_.try_push(h.ptr);
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t population() const { return storage_.size(); }
+
+ private:
+  MpmcQueue<T*> free_list_;
+  std::vector<T> storage_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// RAII wrapper: returns the object to its pool on destruction.
+template <typename T>
+class PooledPtr {
+ public:
+  PooledPtr() = default;
+  PooledPtr(BufferPool<T>* pool, typename BufferPool<T>::Handle h)
+      : pool_(pool), handle_(h) {}
+
+  PooledPtr(PooledPtr&& other) noexcept
+      : pool_(other.pool_), handle_(other.handle_) {
+    other.pool_ = nullptr;
+    other.handle_ = {};
+  }
+  PooledPtr& operator=(PooledPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      handle_ = other.handle_;
+      other.pool_ = nullptr;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  PooledPtr(const PooledPtr&) = delete;
+  PooledPtr& operator=(const PooledPtr&) = delete;
+
+  ~PooledPtr() { reset(); }
+
+  void reset() {
+    if (pool_ != nullptr) pool_->release(handle_);
+    pool_ = nullptr;
+    handle_ = {};
+  }
+
+  T* get() const { return handle_.ptr; }
+  T* operator->() const { return handle_.ptr; }
+  T& operator*() const { return *handle_.ptr; }
+  explicit operator bool() const { return handle_.ptr != nullptr; }
+
+ private:
+  BufferPool<T>* pool_{nullptr};
+  typename BufferPool<T>::Handle handle_{};
+};
+
+template <typename T>
+PooledPtr<T> acquire_pooled(BufferPool<T>& pool) {
+  return PooledPtr<T>(&pool, pool.acquire());
+}
+
+}  // namespace rdb

@@ -1,0 +1,101 @@
+// Bounded lock-free multi-producer multi-consumer queue (Dmitry Vyukov's
+// sequence-number design). This is the "common queue" of §4.3: the input
+// thread enqueues client requests and any idle batch-thread consumes them,
+// with no contention on a lock.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rdb {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to the next power of two.
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Returns false if the queue is full.
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      auto diff = static_cast<std::ptrdiff_t>(seq) -
+                  static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Returns false if the queue is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      auto diff = static_cast<std::ptrdiff_t>(seq) -
+                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate size; exact only when quiescent.
+  std::size_t size_approx() const {
+    auto e = enqueue_pos_.load(std::memory_order_relaxed);
+    auto d = dequeue_pos_.load(std::memory_order_relaxed);
+    return e >= d ? e - d : 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace rdb

@@ -1,0 +1,113 @@
+#include "runtime/client.h"
+
+namespace rdb::runtime {
+
+using protocol::Message;
+using protocol::MsgType;
+using protocol::Transaction;
+
+Client::Client(ClientConfig config, Transport& transport,
+               const crypto::KeyRegistry& registry)
+    : config_(config),
+      transport_(transport),
+      crypto_(Endpoint::client(config.id), registry, config.schemes),
+      inbox_(std::make_shared<Transport::Inbox>()) {
+  transport_.register_endpoint(Endpoint::client(config_.id), inbox_);
+  pump_ = std::jthread([this](std::stop_token st) { pump_loop(st); });
+}
+
+Client::~Client() {
+  inbox_->shutdown();
+  pump_.request_stop();
+}
+
+Transaction Client::make_transaction(Bytes payload, std::uint32_t ops) {
+  Transaction txn;
+  txn.client = config_.id;
+  txn.req_id = ++next_req_;
+  txn.ops = ops;
+  txn.payload = std::move(payload);
+  Bytes canon = txn.signing_bytes();
+  // Clients must digitally sign their requests: the primary forwards them
+  // inside Pre-prepares, so non-repudiation is required (§6).
+  txn.client_sig = crypto_.sign(Endpoint::replica(0), BytesView(canon));
+  return txn;
+}
+
+void Client::pump_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto wire = inbox_->pop();
+    if (!wire) return;
+    auto parsed = Message::parse(BytesView(*wire));
+    if (!parsed || parsed->type() != MsgType::kClientResponse) continue;
+    if (parsed->from.kind != Endpoint::Kind::kReplica) continue;
+
+    // Responses are MAC'd on the replica->client link; verify before use.
+    Bytes canon = parsed->signing_bytes();
+    if (!crypto_.verify(parsed->from, BytesView(canon),
+                        BytesView(parsed->signature)))
+      continue;
+
+    const auto& resp = std::get<protocol::ClientResponse>(parsed->payload);
+    if (resp.client != config_.id) continue;
+    view_.store(resp.view, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& votes = pending_.votes[resp.req_id];
+    votes[parsed->from.id] = resp.result;
+    // f+1 matching results from distinct replicas decide the request.
+    std::map<std::uint64_t, std::uint32_t> tally;
+    for (const auto& [replica, result] : votes) ++tally[result];
+    for (const auto& [result, count] : tally) {
+      if (count >= f() + 1) {
+        pending_.decided[resp.req_id] = result;
+        cv_.notify_all();
+        break;
+      }
+    }
+  }
+}
+
+std::optional<std::vector<std::uint64_t>> Client::submit_and_wait(
+    std::vector<Transaction> txns) {
+  protocol::ClientRequest req;
+  req.txns = txns;
+  Message msg;
+  msg.from = Endpoint::client(config_.id);
+  msg.payload = std::move(req);
+
+  std::vector<RequestId> ids;
+  ids.reserve(txns.size());
+  for (const auto& t : txns) ids.push_back(t.req_id);
+
+  for (std::uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    // Target the primary of the view we last heard about; on retry, walk the
+    // replica ring so the new primary eventually receives the request.
+    ReplicaId target = static_cast<ReplicaId>(
+        (view_.load(std::memory_order_relaxed) + attempt) % config_.n);
+    Bytes canon = msg.signing_bytes();
+    msg.signature =
+        crypto_.sign(Endpoint::replica(target), BytesView(canon));
+    transport_.send(Endpoint::replica(target), msg);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    bool done = cv_.wait_for(lock, config_.request_timeout, [&] {
+      for (RequestId id : ids)
+        if (!pending_.decided.contains(id)) return false;
+      return true;
+    });
+    if (done) {
+      std::vector<std::uint64_t> results;
+      results.reserve(ids.size());
+      for (RequestId id : ids) {
+        results.push_back(pending_.decided[id]);
+        pending_.decided.erase(id);
+        pending_.votes.erase(id);
+      }
+      return results;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rdb::runtime

@@ -1,0 +1,78 @@
+// Runtime client: signs transactions with the client scheme (digital
+// signatures — the one place the paper says DS is mandatory, §6), sends them
+// to the primary, and completes a request once f+1 matching responses from
+// distinct replicas arrive (the PBFT client rule).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "crypto/provider.h"
+#include "runtime/transport.h"
+
+namespace rdb::runtime {
+
+struct ClientConfig {
+  ClientId id{0};
+  std::uint32_t n{4};  // replica count, for f+1 response quorums
+  crypto::SchemeConfig schemes{};
+  std::chrono::milliseconds request_timeout{2'000};
+  std::uint32_t max_retries{3};
+};
+
+class Client {
+ public:
+  Client(ClientConfig config, Transport& transport,
+         const crypto::KeyRegistry& registry);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Builds a signed transaction carrying `payload`.
+  protocol::Transaction make_transaction(Bytes payload, std::uint32_t ops = 1);
+
+  /// Sends a burst of transactions as one request message (client-side
+  /// batching, §4.2) to the believed primary and blocks until every
+  /// transaction in the burst has f+1 matching responses. Returns the result
+  /// codes in submission order, or nullopt on timeout after retries
+  /// (retries rotate the target replica, which finds a new primary).
+  std::optional<std::vector<std::uint64_t>> submit_and_wait(
+      std::vector<protocol::Transaction> txns);
+
+  ClientId id() const { return config_.id; }
+  ViewId believed_view() const {
+    return view_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingRequest {
+    // replica -> result, per request id; completes at f+1 matching results.
+    std::map<RequestId, std::map<ReplicaId, std::uint64_t>> votes;
+    std::map<RequestId, std::uint64_t> decided;
+  };
+
+  void pump_loop(std::stop_token st);
+  std::uint32_t f() const { return max_faulty(config_.n); }
+
+  ClientConfig config_;
+  Transport& transport_;
+  crypto::CryptoProvider crypto_;
+  std::shared_ptr<Transport::Inbox> inbox_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  PendingRequest pending_;
+  std::atomic<ViewId> view_{0};
+  RequestId next_req_{0};
+  std::jthread pump_;
+};
+
+}  // namespace rdb::runtime

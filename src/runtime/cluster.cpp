@@ -1,0 +1,74 @@
+#include "runtime/cluster.h"
+
+#include <thread>
+
+#include "storage/mem_store.h"
+
+namespace rdb::runtime {
+
+LocalCluster::LocalCluster(ClusterConfig config)
+    : config_(std::move(config)), registry_(config_.key_seed) {
+  for (ReplicaId r = 0; r < config_.replicas; ++r) {
+    ReplicaConfig rc;
+    rc.n = config_.replicas;
+    rc.id = r;
+    rc.batch_threads = config_.batch_threads;
+    rc.output_threads = config_.output_threads;
+    rc.batch_size = config_.batch_size;
+    rc.checkpoint_interval = config_.checkpoint_interval;
+    rc.request_timeout_ns = config_.request_timeout_ns;
+    rc.catchup_poll_ns = config_.catchup_poll_ns;
+    rc.schemes = config_.schemes;
+
+    auto store = config_.make_store
+                     ? config_.make_store(r)
+                     : std::make_unique<storage::MemStore>();
+    ExecuteFn exec = config_.execute;
+    if (!exec) {
+      exec = [](const protocol::Transaction&, storage::KvStore&) {
+        return std::uint64_t{0};
+      };
+    }
+    replicas_.push_back(std::make_unique<Replica>(
+        rc, transport_, registry_, std::move(store), std::move(exec)));
+  }
+}
+
+LocalCluster::~LocalCluster() { stop(); }
+
+void LocalCluster::start() {
+  for (auto& r : replicas_) r->start();
+}
+
+void LocalCluster::stop() {
+  for (auto& r : replicas_) r->stop();
+}
+
+std::unique_ptr<Client> LocalCluster::make_client(ClientId id) {
+  ClientConfig cc;
+  cc.id = id;
+  cc.n = config_.replicas;
+  cc.schemes = config_.schemes;
+  return std::make_unique<Client>(cc, transport_, registry_);
+}
+
+bool LocalCluster::wait_for_execution(SeqNum seq,
+                                      std::chrono::milliseconds timeout,
+                                      const std::vector<ReplicaId>& skip) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all = true;
+    for (ReplicaId r = 0; r < config_.replicas; ++r) {
+      if (std::find(skip.begin(), skip.end(), r) != skip.end()) continue;
+      if (replicas_[r]->last_executed() < seq) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace rdb::runtime

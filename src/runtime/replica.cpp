@@ -1,0 +1,598 @@
+#include "runtime/replica.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "crypto/sha256.h"
+
+namespace rdb::runtime {
+
+using protocol::Actions;
+using protocol::Message;
+using protocol::MsgType;
+using protocol::Transaction;
+
+namespace {
+
+/// The batch digest covers the single string representation of the whole
+/// batch (§4.3): serialize every transaction into one buffer, hash once.
+Digest digest_batch(const std::vector<Transaction>& txns) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(txns.size()));
+  for (const auto& t : txns) t.serialize(w);
+  return crypto::sha256(BytesView(w.data()));
+}
+
+std::uint32_t type_bit(MsgType t) { return 1u << static_cast<int>(t); }
+
+}  // namespace
+
+Replica::Replica(ReplicaConfig config, Transport& transport,
+                 const crypto::KeyRegistry& registry,
+                 std::unique_ptr<storage::KvStore> store, ExecuteFn execute)
+    : config_(config),
+      transport_(transport),
+      crypto_(Endpoint::replica(config.id), registry, config.schemes),
+      store_(std::move(store)),
+      execute_fn_(std::move(execute)),
+      engine_(protocol::PbftConfig{config.n, config.id,
+                                   config.checkpoint_interval,
+                                   /*window=*/100'000,
+                                   config.request_timeout_ns}),
+      inbox_(std::make_shared<Transport::Inbox>()),
+      execute_slots_(config.execute_queue_slots) {
+  for (std::uint32_t i = 0; i < config_.output_threads; ++i)
+    output_queues_.push_back(std::make_unique<BlockingQueue<OutboundMsg>>());
+  transport_.register_endpoint(Endpoint::replica(config_.id), inbox_);
+  next_seq_ = 0;
+}
+
+Replica::~Replica() { stop(); }
+
+Replica::BusyCounter& Replica::add_counter(const std::string& name) {
+  busy_counters_.push_back(std::make_unique<BusyCounter>());
+  busy_counters_.back()->name = name;
+  return *busy_counters_.back();
+}
+
+std::vector<Replica::ThreadSaturation> Replica::thread_saturations() const {
+  std::vector<ThreadSaturation> out;
+  auto window = std::chrono::steady_clock::now() - started_at_;
+  auto window_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(window).count());
+  if (window_ns <= 0) window_ns = 1;
+  for (const auto& c : busy_counters_) {
+    out.push_back(
+        {c->name,
+         100.0 * static_cast<double>(
+                     c->busy_ns.load(std::memory_order_relaxed)) /
+             window_ns});
+  }
+  return out;
+}
+
+void Replica::start() {
+  if (running_.exchange(true)) return;
+  started_at_ = std::chrono::steady_clock::now();
+  if (config_.catchup_poll_ns > 0) {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_[kCatchupTimer] = std::chrono::steady_clock::now() +
+                             std::chrono::nanoseconds(config_.catchup_poll_ns);
+  }
+  threads_.emplace_back([this, &c = add_counter("input")](
+                            std::stop_token st) { input_loop(st, c); });
+  for (std::uint32_t i = 0; i < config_.batch_threads; ++i)
+    threads_.emplace_back(
+        [this, &c = add_counter("batch-" + std::to_string(i))](
+            std::stop_token st) { batch_loop(st, c); });
+  threads_.emplace_back([this, &c = add_counter("worker")](
+                            std::stop_token st) { worker_loop(st, c); });
+  threads_.emplace_back([this, &c = add_counter("execute")](
+                            std::stop_token st) { execute_loop(st, c); });
+  threads_.emplace_back([this, &c = add_counter("checkpoint")](
+                            std::stop_token st) { checkpoint_loop(st, c); });
+  for (std::uint32_t i = 0; i < config_.output_threads; ++i)
+    threads_.emplace_back(
+        [this, i, &c = add_counter("output-" + std::to_string(i))](
+            std::stop_token st) { output_loop(st, i, c); });
+  threads_.emplace_back([this](std::stop_token st) { timer_loop(st); });
+}
+
+void Replica::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& t : threads_) t.request_stop();
+  inbox_->shutdown();
+  worker_queue_.shutdown();
+  checkpoint_queue_.shutdown();
+  for (auto& q : output_queues_) q->shutdown();
+  timer_cv_.notify_all();
+  for (auto& slot : execute_slots_) slot.cv.notify_all();
+  threads_.clear();  // jthread joins on destruction
+}
+
+void Replica::drop_messages(protocol::MsgType type, bool drop) {
+  std::uint32_t bit = type_bit(type);
+  if (drop)
+    drop_mask_.fetch_or(bit, std::memory_order_relaxed);
+  else
+    drop_mask_.fetch_and(~bit, std::memory_order_relaxed);
+}
+
+ReplicaStats Replica::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ReplicaStats s = stats_;
+  s.pool_hits = batch_pool_.hits();
+  s.pool_misses = batch_pool_.misses();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Input thread: receive, route, sequence client requests (§4.3).
+// ---------------------------------------------------------------------------
+
+void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
+  using namespace std::chrono_literals;
+  while (!st.stop_requested()) {
+    auto wire = inbox_->pop_for(10ms);
+    if (!wire) {
+      // Flush a lingering partial batch so low client counts make progress.
+      if (is_primary() && !pending_txns_.empty()) {
+        ScopedBusy sb(busy);
+        auto handle = batch_pool_.acquire();
+        handle.ptr->seq = ++next_seq_;
+        handle.ptr->txn_begin = next_txn_id_;
+        next_txn_id_ += pending_txns_.size();
+        handle.ptr->txns.swap(pending_txns_);
+        // Ownership passes through the lock-free queue to a batch thread.
+        while (!batch_queue_.try_push(handle)) std::this_thread::yield();
+      }
+      continue;
+    }
+    ScopedBusy sb(busy);
+    auto parsed = Message::parse(BytesView(*wire));
+    if (!parsed) continue;
+    if (drop_mask_.load(std::memory_order_relaxed) &
+        type_bit(parsed->type()))
+      continue;
+
+    switch (parsed->type()) {
+      case MsgType::kClientRequest:
+        handle_client_request(std::move(*parsed));
+        break;
+      case MsgType::kPrePrepare:
+      case MsgType::kPrepare:
+      case MsgType::kCommit:
+      case MsgType::kViewChange:
+      case MsgType::kNewView:
+      case MsgType::kBatchRequest:
+      case MsgType::kBatchResponse:
+        worker_queue_.push(std::move(*parsed));
+        break;
+      case MsgType::kCheckpoint:
+        checkpoint_queue_.push(std::move(*parsed));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Replica::handle_client_request(Message msg) {
+  if (!is_primary()) {
+    // PBFT liveness: a backup relays the request to the primary and starts
+    // a timer; if the primary makes no progress, demand a view change.
+    ReplicaId primary = static_cast<ReplicaId>(view() % config_.n);
+    enqueue_output(Endpoint::replica(primary), msg);
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (!timers_.contains(kClientRequestTimer)) {
+        timers_[kClientRequestTimer] =
+            std::chrono::steady_clock::now() +
+            std::chrono::nanoseconds(config_.request_timeout_ns);
+      }
+    }
+    timer_cv_.notify_all();
+    return;
+  }
+  // Envelope authenticity is checked per transaction by the batch threads;
+  // the input thread only sequences (§4.3).
+  auto& req = std::get<protocol::ClientRequest>(msg.payload);
+
+  // Adopt a fresh sequencing base after this replica becomes primary.
+  SeqNum base = seq_base_.exchange(0, std::memory_order_acq_rel);
+  if (base != 0) next_seq_ = base - 1;
+
+  for (auto& txn : req.txns) pending_txns_.push_back(std::move(txn));
+  while (pending_txns_.size() >= config_.batch_size) {
+    auto handle = batch_pool_.acquire();
+    handle.ptr->seq = ++next_seq_;
+    handle.ptr->txn_begin = next_txn_id_;
+    handle.ptr->txns.assign(
+        pending_txns_.begin(),
+        pending_txns_.begin() + config_.batch_size);
+    pending_txns_.erase(pending_txns_.begin(),
+                        pending_txns_.begin() + config_.batch_size);
+    next_txn_id_ += config_.batch_size;
+    while (!batch_queue_.try_push(handle)) std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch threads: verify client signatures, build + sign Pre-prepare (§4.3).
+// ---------------------------------------------------------------------------
+
+void Replica::batch_loop(std::stop_token st, BusyCounter& busy) {
+  while (!st.stop_requested()) {
+    BufferPool<PendingBatch>::Handle handle;
+    if (!batch_queue_.try_pop(handle)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    ScopedBusy sb(busy);
+    PendingBatch& batch = *handle.ptr;
+
+    // Excise transactions whose client signature fails. The batch must
+    // still be proposed — its sequence number is already assigned, and an
+    // abandoned sequence would stall in-order execution forever. A batch
+    // whose every transaction was forged proposes as a no-op.
+    std::size_t invalid = 0;
+    std::erase_if(batch.txns, [&](const Transaction& txn) {
+      Bytes canon = txn.signing_bytes();
+      bool ok = crypto_.verify(Endpoint::client(txn.client), BytesView(canon),
+                               BytesView(txn.client_sig));
+      if (!ok) ++invalid;
+      return !ok;
+    });
+    if (invalid > 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.invalid_signatures += invalid;
+    }
+
+    Digest d = digest_batch(batch.txns);
+    Actions actions;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      actions = engine_.make_preprepare(batch.seq, std::move(batch.txns),
+                                        batch.txn_begin, d);
+    }
+    batch_pool_.release(handle);
+    perform(std::move(actions));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker thread: all Prepare/Commit (and view-change) processing (§4.3/4.4).
+// ---------------------------------------------------------------------------
+
+void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
+  while (!st.stop_requested()) {
+    auto msg = worker_queue_.pop();
+    if (!msg) return;  // shutdown
+    ScopedBusy sb(busy);
+
+    bool self = msg->from == Endpoint::replica(config_.id);
+    if (!self) {
+      Bytes canon = msg->signing_bytes();
+      if (!crypto_.verify(msg->from, BytesView(canon),
+                          BytesView(msg->signature))) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.invalid_signatures;
+        continue;
+      }
+    }
+
+    // A backup validates that the primary's digest really covers the batch
+    // (defends against a byzantine primary pairing a good digest with a
+    // garbage batch).
+    if (msg->type() == MsgType::kPrePrepare && !self) {
+      const auto& pp = std::get<protocol::PrePrepare>(msg->payload);
+      if (digest_batch(pp.txns) != pp.batch_digest) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.invalid_signatures;
+        continue;
+      }
+    }
+    // A catch-up response must pair each digest with its real batch; drop
+    // any entry where they disagree before the engine counts votes.
+    if (msg->type() == MsgType::kBatchResponse) {
+      auto& resp = std::get<protocol::BatchResponse>(msg->payload);
+      std::erase_if(resp.entries, [](const protocol::BatchResponse::Entry& e) {
+        return digest_batch(e.txns) != e.digest;
+      });
+    }
+
+    Actions actions;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      switch (msg->type()) {
+        case MsgType::kPrePrepare:
+          actions = engine_.on_preprepare(*msg);
+          break;
+        case MsgType::kPrepare:
+          actions = engine_.on_prepare(*msg);
+          break;
+        case MsgType::kCommit:
+          actions = engine_.on_commit(*msg);
+          break;
+        case MsgType::kViewChange:
+          actions = engine_.on_view_change(*msg);
+          break;
+        case MsgType::kNewView:
+          actions = engine_.on_new_view(*msg);
+          break;
+        case MsgType::kBatchRequest:
+          actions = engine_.on_batch_request(*msg);
+          break;
+        case MsgType::kBatchResponse:
+          actions = engine_.on_batch_response(*msg);
+          break;
+        default:
+          break;
+      }
+    }
+    perform(std::move(actions));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execute thread: strictly in-order execution via the QC slot scheme (§4.6).
+// ---------------------------------------------------------------------------
+
+void Replica::deliver_execute(protocol::ExecuteAction ex) {
+  ExecuteSlot& slot = execute_slots_[ex.seq % execute_slots_.size()];
+  std::unique_lock<std::mutex> lock(slot.mu);
+  // QC is sized so a wrap-around collision means the pipeline is more than
+  // `execute_queue_slots` batches ahead of execution; block until the
+  // executor drains the slot.
+  slot.cv.wait(lock, [&] {
+    return !slot.item.has_value() || !running_.load(std::memory_order_relaxed);
+  });
+  if (!running_.load(std::memory_order_relaxed)) return;
+  slot.item = std::move(ex);
+  slot.cv.notify_all();
+}
+
+void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
+  while (!st.stop_requested()) {
+    SeqNum seq = next_exec_seq_.load(std::memory_order_relaxed);
+    ExecuteSlot& slot = execute_slots_[seq % execute_slots_.size()];
+    protocol::ExecuteAction ex;
+    {
+      std::unique_lock<std::mutex> lock(slot.mu);
+      bool got = slot.cv.wait_for(lock, std::chrono::milliseconds(50), [&] {
+        return slot.item.has_value() && slot.item->seq == seq;
+      });
+      if (!got) continue;  // timeout: re-check stop token
+      ex = std::move(*slot.item);
+      slot.item.reset();
+      slot.cv.notify_all();
+    }
+    ScopedBusy sb(busy);
+
+    // Execute every transaction of the batch, in order (§4.6), suppressing
+    // retransmitted requests via the reply cache (a request executes exactly
+    // once; duplicates get the cached reply).
+    std::vector<std::pair<ClientId, protocol::ClientResponse>> responses;
+    responses.reserve(ex.txns.size());
+    std::uint64_t duplicates = 0;
+    for (const auto& txn : ex.txns) {
+      auto& cache = reply_cache_[txn.client];
+      std::uint64_t result;
+      if (txn.req_id == cache.first && cache.first != 0) {
+        result = cache.second;  // duplicate of the last executed request
+        ++duplicates;
+      } else if (txn.req_id < cache.first) {
+        ++duplicates;
+        continue;  // older than the reply cache: the client moved on
+      } else {
+        result = execute_fn_ ? execute_fn_(txn, *store_) : 0;
+        cache = {txn.req_id, result};
+      }
+      protocol::ClientResponse resp;
+      resp.client = txn.client;
+      resp.req_id = txn.req_id;
+      resp.view = ex.view;
+      resp.result = result;
+      responses.push_back({txn.client, resp});
+    }
+
+    // Block generation (§4.6): the 2f+1 commit signatures stand in for the
+    // previous-block hash.
+    ledger::Block block;
+    block.seq = ex.seq;
+    block.view = ex.view;
+    block.batch_digest = ex.batch_digest;
+    block.txn_begin = ex.txn_begin;
+    block.txn_end = ex.txn_begin + ex.txns.size();
+    block.certificate = ex.certificate;
+    Digest acc;
+    {
+      std::lock_guard<std::mutex> lock(chain_mu_);
+      chain_.append(std::move(block));
+      acc = chain_.accumulator();
+    }
+
+    Actions actions;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      actions = engine_.on_executed(ex.seq, acc);
+    }
+
+    for (auto& [client, resp] : responses) {
+      Message m;
+      m.from = Endpoint::replica(config_.id);
+      m.payload = resp;
+      enqueue_output(Endpoint::client(client), std::move(m));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches_executed;
+      stats_.txns_executed += ex.txns.size() - duplicates;
+      stats_.duplicate_txns += duplicates;
+      stats_.responses_sent += responses.size();
+    }
+
+    next_exec_seq_.store(seq + 1, std::memory_order_relaxed);
+    last_executed_pub_.store(seq, std::memory_order_release);
+    // Execution progress proves the primary is alive: disarm the relayed-
+    // request watchdog.
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      timers_.erase(kClientRequestTimer);
+    }
+    perform(std::move(actions));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint thread (§4.7).
+// ---------------------------------------------------------------------------
+
+void Replica::checkpoint_loop(std::stop_token st, BusyCounter& busy) {
+  while (!st.stop_requested()) {
+    auto msg = checkpoint_queue_.pop();
+    if (!msg) return;
+    ScopedBusy sb(busy);
+    bool self = msg->from == Endpoint::replica(config_.id);
+    if (!self) {
+      Bytes canon = msg->signing_bytes();
+      if (!crypto_.verify(msg->from, BytesView(canon),
+                          BytesView(msg->signature))) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.invalid_signatures;
+        continue;
+      }
+    }
+    Actions actions;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      actions = engine_.on_checkpoint(*msg);
+    }
+    perform(std::move(actions));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output threads: sign per link and hand to the transport.
+// ---------------------------------------------------------------------------
+
+void Replica::enqueue_output(Endpoint to, Message msg) {
+  std::size_t idx = to.id % output_queues_.size();
+  output_queues_[idx]->push(OutboundMsg{to, std::move(msg)});
+}
+
+void Replica::broadcast(Message msg) {
+  for (ReplicaId peer = 0; peer < config_.n; ++peer) {
+    if (peer == config_.id) continue;
+    enqueue_output(Endpoint::replica(peer), msg);
+  }
+}
+
+void Replica::output_loop(std::stop_token st, std::size_t idx,
+                          BusyCounter& busy) {
+  while (!st.stop_requested()) {
+    auto out = output_queues_[idx]->pop();
+    if (!out) return;
+    ScopedBusy sb(busy);
+    Bytes canon = out->msg.signing_bytes();
+    out->msg.signature = crypto_.sign(out->to, BytesView(canon));
+    transport_.send(out->to, out->msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers (view-change triggers).
+// ---------------------------------------------------------------------------
+
+void Replica::timer_loop(std::stop_token st) {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!st.stop_requested()) {
+    if (timers_.empty()) {
+      timer_cv_.wait_for(lock, st, std::chrono::milliseconds(50),
+                         [&] { return !timers_.empty(); });
+      continue;
+    }
+    auto next = std::min_element(
+        timers_.begin(), timers_.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    auto deadline = next->second;
+    if (std::chrono::steady_clock::now() < deadline) {
+      timer_cv_.wait_until(lock, st, deadline, [] { return false; });
+      continue;
+    }
+    std::uint64_t id = next->first;
+    timers_.erase(next);
+    if (id == kCatchupTimer) {
+      // Self re-arming periodic poll.
+      timers_[kCatchupTimer] =
+          std::chrono::steady_clock::now() +
+          std::chrono::nanoseconds(config_.catchup_poll_ns);
+    }
+    lock.unlock();
+    Actions actions;
+    {
+      std::lock_guard<std::mutex> elock(engine_mu_);
+      actions = id == kClientRequestTimer ? engine_.on_client_request_timeout()
+                : id == kCatchupTimer     ? engine_.maybe_request_catchup()
+                                          : engine_.on_timeout(id);
+    }
+    perform(std::move(actions));
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Action dispatch.
+// ---------------------------------------------------------------------------
+
+void Replica::perform(Actions actions) {
+  for (auto& action : actions) {
+    if (auto* bc = std::get_if<protocol::BroadcastAction>(&action)) {
+      if (bc->msg.type() == MsgType::kCommit) {
+        // Record this replica's own vote for the block certificate: the
+        // self-link MAC/signature over the commit's canonical bytes.
+        auto seq = std::get<protocol::Commit>(bc->msg.payload).seq;
+        Bytes canon = bc->msg.signing_bytes();
+        Bytes sig =
+            crypto_.sign(Endpoint::replica(config_.id), BytesView(canon));
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        engine_.note_own_commit_signature(seq, std::move(sig));
+      }
+      bool include_self = bc->include_self;
+      Message msg = std::move(bc->msg);
+      if (include_self) worker_queue_.push(msg);
+      broadcast(std::move(msg));
+    } else if (auto* send = std::get_if<protocol::SendAction>(&action)) {
+      enqueue_output(send->to, std::move(send->msg));
+    } else if (auto* ex = std::get_if<protocol::ExecuteAction>(&action)) {
+      deliver_execute(std::move(*ex));
+    } else if (auto* t = std::get_if<protocol::SetTimerAction>(&action)) {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      timers_[t->id] = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(t->delay_ns);
+      timer_cv_.notify_all();
+    } else if (auto* c = std::get_if<protocol::CancelTimerAction>(&action)) {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      timers_.erase(c->id);
+      timer_cv_.notify_all();
+    } else if (auto* sc =
+                   std::get_if<protocol::StableCheckpointAction>(&action)) {
+      std::lock_guard<std::mutex> lock(chain_mu_);
+      chain_.prune_before(sc->seq);
+    } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
+      view_.store(vc->view, std::memory_order_release);
+      if (vc->view % config_.n == config_.id) {
+        SeqNum base;
+        {
+          std::lock_guard<std::mutex> lock(engine_mu_);
+          base = engine_.suggest_next_seq();
+        }
+        seq_base_.store(base, std::memory_order_release);
+      }
+    }
+  }
+}
+
+}  // namespace rdb::runtime

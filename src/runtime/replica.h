@@ -1,0 +1,235 @@
+// The threaded ResilientDB replica (§4.1–§4.8, Figures 6a/6b) — real
+// std::jthread pipeline, real cryptography, real storage, real execution.
+//
+// Thread layout (primary):
+//   input         receives from the transport, assigns sequence numbers to
+//                 client requests, feeds the lock-free common batch queue
+//   batch x B     verify client signatures, build + hash + sign Pre-prepares
+//   worker        all Prepare/Commit processing (single-threaded by design:
+//                 one owner for consensus state means no locks on the
+//                 quorum-counting hot path)
+//   execute       strictly in-order execution via the QC logical-queue
+//                 scheme (§4.6), block creation, client responses
+//   checkpoint    Checkpoint message processing and garbage collection
+//   output x O    signing fan-out and transport sends
+//
+// Backups run the same layout minus the batch stage. The engine state is
+// owned by the worker thread; batch threads construct Pre-prepares through a
+// short-lived engine lock (the sequence number was already assigned by the
+// input thread, so out-of-order batch completion is fine — §4.5).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "crypto/provider.h"
+#include "ledger/blockchain.h"
+#include "protocol/pbft.h"
+#include "queues/blocking_queue.h"
+#include "queues/buffer_pool.h"
+#include "queues/mpmc_queue.h"
+#include "runtime/transport.h"
+#include "storage/kv_store.h"
+
+namespace rdb::runtime {
+
+struct ReplicaConfig {
+  std::uint32_t n{4};
+  ReplicaId id{0};
+  std::uint32_t batch_threads{2};
+  std::uint32_t output_threads{2};
+  std::uint32_t batch_size{10};
+  SeqNum checkpoint_interval{16};
+  TimeNs request_timeout_ns{2'000'000'000};
+  TimeNs batch_flush_timeout_ns{10'000'000};
+  TimeNs catchup_poll_ns{500'000'000};  // gap-detection poll (0 disables)
+  std::size_t execute_queue_slots{4096};  // QC (§4.6)
+  crypto::SchemeConfig schemes{};
+};
+
+/// Application hook: executes one transaction against the store, returns a
+/// result code placed in the client response.
+using ExecuteFn = std::function<std::uint64_t(const protocol::Transaction&,
+                                              storage::KvStore&)>;
+
+struct ReplicaStats {
+  std::uint64_t batches_executed{0};
+  std::uint64_t txns_executed{0};
+  std::uint64_t responses_sent{0};
+  std::uint64_t invalid_signatures{0};
+  std::uint64_t duplicate_txns{0};  // retransmissions suppressed at execute
+  std::uint64_t pool_hits{0};
+  std::uint64_t pool_misses{0};
+};
+
+class Replica {
+ public:
+  /// Timer id reserved for the relayed-client-request watchdog (all other
+  /// timer ids are batch sequence numbers).
+  static constexpr std::uint64_t kClientRequestTimer =
+      std::numeric_limits<std::uint64_t>::max();
+  /// Timer id for the periodic catch-up poll (self re-arming).
+  static constexpr std::uint64_t kCatchupTimer =
+      std::numeric_limits<std::uint64_t>::max() - 1;
+
+  Replica(ReplicaConfig config, Transport& transport,
+          const crypto::KeyRegistry& registry,
+          std::unique_ptr<storage::KvStore> store, ExecuteFn execute);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  void start();
+  void stop();
+
+  ReplicaId id() const { return config_.id; }
+  ViewId view() const { return view_.load(std::memory_order_acquire); }
+  bool is_primary() const {
+    return view() % config_.n == config_.id;
+  }
+  SeqNum last_executed() const {
+    return last_executed_pub_.load(std::memory_order_acquire);
+  }
+
+  const ledger::Blockchain& chain() const { return chain_; }
+  storage::KvStore& store() { return *store_; }
+  ReplicaStats stats() const;
+
+  /// Per-pipeline-thread busy fraction since start() — the live-runtime
+  /// counterpart of the paper's Figure 9 saturation plot.
+  struct ThreadSaturation {
+    std::string thread;
+    double percent{0};
+  };
+  std::vector<ThreadSaturation> thread_saturations() const;
+
+  /// Test hook: drop every message of the given type before processing
+  /// (models a byzantine-silent replica for specific phases).
+  void drop_messages(protocol::MsgType type, bool drop);
+
+ private:
+  struct PendingBatch {
+    SeqNum seq{0};
+    std::uint64_t txn_begin{0};
+    std::vector<protocol::Transaction> txns;
+  };
+
+  struct ExecuteSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<protocol::ExecuteAction> item;
+  };
+
+  struct OutboundMsg {
+    Endpoint to;
+    protocol::Message msg;  // unsigned; the output thread signs per link
+  };
+
+  // Busy-time accounting per pipeline thread (Figure 9).
+  struct BusyCounter {
+    std::string name;
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+  class ScopedBusy {
+   public:
+    explicit ScopedBusy(BusyCounter& c)
+        : counter_(c), start_(std::chrono::steady_clock::now()) {}
+    ~ScopedBusy() {
+      auto dt = std::chrono::steady_clock::now() - start_;
+      counter_.busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+
+   private:
+    BusyCounter& counter_;
+    std::chrono::steady_clock::time_point start_;
+  };
+  BusyCounter& add_counter(const std::string& name);
+
+  // Thread bodies.
+  void input_loop(std::stop_token st, BusyCounter& busy);
+  void batch_loop(std::stop_token st, BusyCounter& busy);
+  void worker_loop(std::stop_token st, BusyCounter& busy);
+  void execute_loop(std::stop_token st, BusyCounter& busy);
+  void checkpoint_loop(std::stop_token st, BusyCounter& busy);
+  void output_loop(std::stop_token st, std::size_t idx, BusyCounter& busy);
+  void timer_loop(std::stop_token st);
+
+  void handle_client_request(protocol::Message msg);
+  void perform(protocol::Actions actions);
+  void enqueue_output(Endpoint to, protocol::Message msg);
+  void broadcast(protocol::Message msg);
+  void deliver_execute(protocol::ExecuteAction ex);
+
+  ReplicaConfig config_;
+  Transport& transport_;
+  crypto::CryptoProvider crypto_;
+  std::unique_ptr<storage::KvStore> store_;
+  ExecuteFn execute_fn_;
+
+  // Engine + chain. Engine state is worker-owned; batch threads take
+  // engine_mu_ briefly to emit Pre-prepares.
+  std::mutex engine_mu_;
+  protocol::PbftEngine engine_;
+  std::mutex chain_mu_;
+  ledger::Blockchain chain_;
+  std::atomic<ViewId> view_{0};
+  std::atomic<SeqNum> last_executed_pub_{0};
+  std::atomic<SeqNum> seq_base_{0};  // sequencing base after a view change
+
+  // Queues between stages. Batches travel as pool handles through the
+  // lock-free common queue (§4.3 + §4.8).
+  std::shared_ptr<Transport::Inbox> inbox_;
+  MpmcQueue<BufferPool<PendingBatch>::Handle> batch_queue_{1024};
+  BufferPool<PendingBatch> batch_pool_{256};
+  BlockingQueue<protocol::Message> worker_queue_;
+  BlockingQueue<protocol::Message> checkpoint_queue_;
+  std::vector<std::unique_ptr<BlockingQueue<OutboundMsg>>> output_queues_;
+  std::vector<ExecuteSlot> execute_slots_;
+  std::atomic<SeqNum> next_exec_seq_{1};
+  // PBFT reply cache (execute-thread-owned): last executed request id and
+  // its result per client. A retransmitted request that was already
+  // executed must NOT re-execute — it gets the cached reply instead.
+  std::unordered_map<ClientId, std::pair<RequestId, std::uint64_t>>
+      reply_cache_;
+
+  // Primary-side sequencing (input thread only).
+  SeqNum next_seq_{0};
+  std::uint64_t next_txn_id_{1};
+  std::vector<protocol::Transaction> pending_txns_;
+
+  // Timers (worker-armed, timer-thread fired).
+  std::mutex timer_mu_;
+  std::condition_variable_any timer_cv_;
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> timers_;
+
+  // Message-type drop set (tests).
+  std::atomic<std::uint32_t> drop_mask_{0};
+
+  mutable std::mutex stats_mu_;
+  ReplicaStats stats_;
+
+  std::vector<std::unique_ptr<BusyCounter>> busy_counters_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::vector<std::jthread> threads_;
+  std::atomic<bool> running_{false};
+  std::size_t rr_output_{0};
+};
+
+}  // namespace rdb::runtime

@@ -1,0 +1,240 @@
+#include "runtime/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace rdb::runtime {
+
+namespace {
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    ssize_t w = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    put += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+constexpr std::uint32_t kMaxFrame = 64 * 1024 * 1024;  // 64 MiB sanity cap
+
+}  // namespace
+
+TcpTransport::TcpTransport(Endpoint self, std::uint16_t listen_port)
+    : self_(self) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTransport: bind failed on port " +
+                             std::to_string(listen_port));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTransport: listen failed");
+  }
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::jthread([this](std::stop_token st) { accept_loop(st); });
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::stop() {
+  if (stopping_.exchange(true)) return;
+  acceptor_.request_stop();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::jthread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [k, conn] : conns_) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+      ::close(conn.fd);
+    }
+    conns_.clear();
+    for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+    readers.swap(readers_);
+  }
+  for (auto& r : readers) r.request_stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  readers.clear();  // join reader threads
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : accepted_fds_) ::close(fd);
+  accepted_fds_.clear();
+}
+
+void TcpTransport::add_peer(Endpoint ep, TcpPeer peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[key(ep)] = std::move(peer);
+}
+
+void TcpTransport::register_endpoint(Endpoint ep,
+                                     std::shared_ptr<Inbox> inbox) {
+  if (!(ep == self_))
+    throw std::runtime_error(
+        "TcpTransport hosts exactly one endpoint (its own)");
+  std::lock_guard<std::mutex> lock(mu_);
+  inbox_ = std::move(inbox);
+}
+
+void TcpTransport::accept_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load()) {
+        ::close(fd);
+        return;
+      }
+      accepted_fds_.push_back(fd);
+      readers_.emplace_back(
+          [this, fd](std::stop_token rst) { reader_loop(rst, fd); });
+    }
+  }
+}
+
+void TcpTransport::reader_loop(std::stop_token st, int fd) {
+  while (!st.stop_requested()) {
+    std::uint8_t len_buf[4];
+    if (!read_exact(fd, len_buf, 4)) return;
+    std::uint32_t len;
+    std::memcpy(&len, len_buf, 4);
+    if (len == 0 || len > kMaxFrame) return;  // corrupt/hostile stream
+    Bytes wire(len);
+    if (!read_exact(fd, wire.data(), len)) return;
+
+    std::shared_ptr<Inbox> inbox;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inbox = inbox_;
+    }
+    if (inbox) inbox->push(std::move(wire));
+  }
+}
+
+int TcpTransport::connect_to(const TcpPeer& peer) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool TcpTransport::write_frame(int fd, const Bytes& wire) {
+  std::uint8_t len_buf[4];
+  auto len = static_cast<std::uint32_t>(wire.size());
+  std::memcpy(len_buf, &len, 4);
+  if (!write_exact(fd, len_buf, 4)) return false;
+  return write_exact(fd, wire.data(), wire.size());
+}
+
+void TcpTransport::send(Endpoint to, const protocol::Message& msg) {
+  if (stopping_.load()) return;
+  std::uint64_t k = key(to);
+
+  int fd = -1;
+  std::mutex* write_mu = nullptr;
+  TcpPeer peer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pit = peers_.find(k);
+    if (pit == peers_.end()) {
+      ++failures_;
+      return;  // undeclared peer
+    }
+    peer = pit->second;
+    auto cit = conns_.find(k);
+    if (cit != conns_.end()) {
+      fd = cit->second.fd;
+      write_mu = cit->second.write_mu.get();
+    }
+  }
+
+  if (fd < 0) {
+    int fresh = connect_to(peer);
+    if (fresh < 0) {
+      ++failures_;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        conns_.try_emplace(k, Conn{fresh, std::make_unique<std::mutex>()});
+    if (!inserted) {
+      // Lost a connect race; use the established one.
+      ::close(fresh);
+    }
+    fd = it->second.fd;
+    write_mu = it->second.write_mu.get();
+  }
+
+  Bytes wire = msg.serialize();
+  bool ok;
+  {
+    std::lock_guard<std::mutex> wlock(*write_mu);
+    ok = write_frame(fd, wire);
+  }
+  if (!ok) {
+    ++failures_;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto cit = conns_.find(k);
+    if (cit != conns_.end() && cit->second.fd == fd) {
+      ::close(cit->second.fd);
+      conns_.erase(cit);
+    }
+    return;
+  }
+  ++sent_;
+}
+
+}  // namespace rdb::runtime

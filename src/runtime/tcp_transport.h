@@ -1,0 +1,89 @@
+// TCP transport: one local endpoint per instance (the natural shape for a
+// multi-process deployment — one process hosts one replica or one client).
+//
+// Wire format per connection: a stream of frames, each a u32 little-endian
+// length followed by a serialized protocol::Message. Outbound connections
+// are dialed lazily per peer and cached; a failed send closes the cached
+// connection and drops the message (BFT tolerates loss — retransmission is
+// the protocol's job, not the transport's).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport_iface.h"
+
+namespace rdb::runtime {
+
+struct TcpPeer {
+  std::string host;
+  std::uint16_t port{0};
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds and listens on `listen_port` (0 = pick an ephemeral port, query
+  /// it with port()). Throws std::runtime_error on bind failure.
+  TcpTransport(Endpoint self, std::uint16_t listen_port);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  Endpoint self() const { return self_; }
+
+  /// Declares where a peer endpoint listens. Messages to undeclared peers
+  /// are dropped.
+  void add_peer(Endpoint ep, TcpPeer peer);
+
+  /// Must be the transport's own endpoint.
+  void register_endpoint(Endpoint ep, std::shared_ptr<Inbox> inbox) override;
+
+  void send(Endpoint to, const protocol::Message& msg) override;
+
+  void stop();
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t send_failures() const { return failures_; }
+
+ private:
+  static std::uint64_t key(Endpoint ep) {
+    return (static_cast<std::uint64_t>(ep.kind == Endpoint::Kind::kClient)
+            << 32) |
+           ep.id;
+  }
+
+  void accept_loop(std::stop_token st);
+  void reader_loop(std::stop_token st, int fd);
+  int connect_to(const TcpPeer& peer);
+  bool write_frame(int fd, const Bytes& wire);
+
+  Endpoint self_;
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+
+  std::mutex mu_;
+  std::shared_ptr<Inbox> inbox_;
+  std::map<std::uint64_t, TcpPeer> peers_;
+  struct Conn {
+    int fd{-1};
+    std::unique_ptr<std::mutex> write_mu;
+  };
+  std::map<std::uint64_t, Conn> conns_;
+  std::vector<int> accepted_fds_;
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<bool> stopping_{false};
+  std::jthread acceptor_;
+  std::vector<std::jthread> readers_;  // guarded by mu_ for insertion
+};
+
+}  // namespace rdb::runtime

@@ -1,0 +1,36 @@
+#include "runtime/transport.h"
+
+namespace rdb::runtime {
+
+void InprocTransport::register_endpoint(Endpoint ep,
+                                        std::shared_ptr<Inbox> inbox) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inboxes_[key(ep)] = std::move(inbox);
+}
+
+void InprocTransport::send(Endpoint to, const protocol::Message& msg) {
+  std::shared_ptr<Inbox> inbox;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto p = partitioned_.find(key(msg.from));
+        p != partitioned_.end() && p->second)
+      return;
+    if (auto p = partitioned_.find(key(to));
+        p != partitioned_.end() && p->second)
+      return;
+    auto it = inboxes_.find(key(to));
+    if (it == inboxes_.end()) return;
+    inbox = it->second;
+  }
+  Bytes wire = msg.serialize();
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(wire.size(), std::memory_order_relaxed);
+  inbox->push(std::move(wire));
+}
+
+void InprocTransport::set_partitioned(Endpoint ep, bool partitioned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_[key(ep)] = partitioned;
+}
+
+}  // namespace rdb::runtime

@@ -1,0 +1,30 @@
+// Transport abstraction: replicas and clients exchange serialized Messages
+// through any implementation — in-process queues (transport.h) for tests and
+// single-process deployments, TCP sockets (tcp_transport.h) for multi-
+// process clusters.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "protocol/messages.h"
+#include "queues/blocking_queue.h"
+
+namespace rdb::runtime {
+
+class Transport {
+ public:
+  using Inbox = BlockingQueue<Bytes>;
+
+  virtual ~Transport() = default;
+
+  /// Registers the inbox that receives traffic addressed to `ep`.
+  virtual void register_endpoint(Endpoint ep, std::shared_ptr<Inbox> inbox) = 0;
+
+  /// Serializes and delivers `msg` to `to`; best-effort (drops on failure —
+  /// BFT protocols tolerate loss by design).
+  virtual void send(Endpoint to, const protocol::Message& msg) = 0;
+};
+
+}  // namespace rdb::runtime

@@ -1,0 +1,40 @@
+#include "sim/cpu.h"
+
+#include <cmath>
+
+namespace rdb::sim {
+
+SimThread::SimThread(Scheduler& sched, NodeCpu& cpu, std::string name)
+    : sched_(sched), cpu_(cpu), name_(std::move(name)) {}
+
+void SimThread::post(TimeNs cost_ns, std::function<void()> fn) {
+  queue_.push_back(Item{cost_ns, std::move(fn)});
+  if (!running_) start_next();
+}
+
+void SimThread::start_next() {
+  if (queue_.empty()) return;
+  running_ = true;
+  cpu_.thread_became_busy();
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  auto charged = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(item.cost_ns) * cpu_.stretch()));
+  auto fn = std::make_shared<std::function<void()>>(std::move(item.fn));
+  sched_.schedule(charged, [this, charged, fn] {
+    finish(charged, std::move(*fn));
+  });
+}
+
+void SimThread::finish(std::uint64_t charged_ns, std::function<void()> fn) {
+  busy_ns_ += charged_ns;
+  ++items_;
+  cpu_.thread_became_idle();
+  // Run the item's effect while still marked running: if the effect posts
+  // back onto this thread, post() must queue rather than double-start.
+  if (fn) fn();
+  running_ = false;
+  start_next();
+}
+
+}  // namespace rdb::sim

@@ -1,0 +1,110 @@
+// Simulated multi-core CPU and pipeline threads.
+//
+// A NodeCpu models one replica machine with `cores` hardware cores. Each
+// pipeline thread (input, batch, worker, execute, checkpoint, output — §4.1)
+// is a SimThread: a serial FIFO of work items, each carrying a CPU cost in
+// virtual nanoseconds. A thread processes one item at a time, so a saturated
+// stage shows up exactly as in the paper's Figure 9.
+//
+// Core contention (Figure 16): when more threads are busy than there are
+// cores, every in-flight work item is stretched by the ratio
+// busy_threads / cores, sampled when the item starts. This processor-sharing
+// approximation matches the two regimes that matter — no contention when
+// threads <= cores, and aggregate-capacity-bound throughput when a 9-thread
+// pipeline lands on 1 core.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/scheduler.h"
+
+namespace rdb::sim {
+
+class NodeCpu;
+
+class SimThread {
+ public:
+  SimThread(Scheduler& sched, NodeCpu& cpu, std::string name);
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  /// Enqueue a work item: occupy this thread for `cost_ns` (stretched under
+  /// core contention), then run `fn`.
+  void post(TimeNs cost_ns, std::function<void()> fn);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t busy_ns() const { return busy_ns_; }
+  std::uint64_t items_processed() const { return items_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Saturation over a window, as plotted in Figure 9 (100 = fully busy).
+  double saturation_percent(TimeNs window_ns) const {
+    return window_ns == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(busy_ns_) /
+                     static_cast<double>(window_ns);
+  }
+
+  void reset_stats() {
+    busy_ns_ = 0;
+    items_ = 0;
+  }
+
+ private:
+  void start_next();
+  void finish(std::uint64_t charged_ns, std::function<void()> fn);
+
+  struct Item {
+    TimeNs cost_ns;
+    std::function<void()> fn;
+  };
+
+  Scheduler& sched_;
+  NodeCpu& cpu_;
+  std::string name_;
+  std::deque<Item> queue_;
+  bool running_{false};
+  std::uint64_t busy_ns_{0};
+  std::uint64_t items_{0};
+};
+
+class NodeCpu {
+ public:
+  NodeCpu(Scheduler& sched, std::uint32_t cores)
+      : sched_(sched), cores_(cores) {}
+
+  SimThread& add_thread(std::string name) {
+    threads_.push_back(
+        std::make_unique<SimThread>(sched_, *this, std::move(name)));
+    return *threads_.back();
+  }
+
+  std::uint32_t cores() const { return cores_; }
+  const std::vector<std::unique_ptr<SimThread>>& threads() const {
+    return threads_;
+  }
+
+  /// Contention stretch factor sampled when a work item starts.
+  double stretch() const {
+    if (busy_threads_ <= cores_) return 1.0;
+    return static_cast<double>(busy_threads_) / static_cast<double>(cores_);
+  }
+
+  void thread_became_busy() { ++busy_threads_; }
+  void thread_became_idle() { --busy_threads_; }
+
+ private:
+  Scheduler& sched_;
+  std::uint32_t cores_;
+  std::uint32_t busy_threads_{0};
+  std::vector<std::unique_ptr<SimThread>> threads_;
+};
+
+}  // namespace rdb::sim

@@ -1,0 +1,76 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace rdb::sim {
+
+Network::Network(Scheduler& sched, NetworkConfig config,
+                 std::uint32_t node_count)
+    : sched_(sched),
+      config_(config),
+      egress_free_(node_count, 0),
+      ingress_free_(node_count, 0),
+      egress_busy_(node_count, 0),
+      failed_(node_count, false),
+      rng_state_(config.loss_seed) {}
+
+TimeNs Network::transmit_ns(std::uint64_t bytes) const {
+  // bits / (Gbit/s) = ns per bit * bits.
+  double ns = static_cast<double>(bytes) * 8.0 / config_.bandwidth_gbps;
+  return static_cast<TimeNs>(ns);
+}
+
+void Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
+                   DeliverFn on_delivery) {
+  ++stats_.messages_sent;
+  if (failed_[src] || failed_[dst]) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (config_.loss_probability > 0.0) {
+    double u = static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+    if (u < config_.loss_probability) {
+      ++stats_.messages_dropped;
+      return;
+    }
+  }
+  stats_.bytes_sent += bytes;
+
+  TimeNs now = sched_.now();
+  TimeNs tx = transmit_ns(bytes);
+
+  // Serialize on the sender's egress link.
+  TimeNs egress_start = std::max(now, egress_free_[src]);
+  TimeNs egress_done = egress_start + tx;
+  egress_free_[src] = egress_done;
+  egress_busy_[src] += tx;
+
+  // Propagate, then serialize through the receiver's ingress link.
+  TimeNs arrive = egress_done + config_.latency_ns;
+  TimeNs ingress_start = std::max(arrive, ingress_free_[dst]);
+  TimeNs ingress_done = ingress_start + tx;
+  ingress_free_[dst] = ingress_done;
+
+  auto fn = std::make_shared<DeliverFn>(std::move(on_delivery));
+  sched_.schedule(ingress_done - now, [this, dst, fn] {
+    if (failed_[dst]) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    (*fn)();
+  });
+}
+
+void Network::set_failed(NodeId node, bool failed) { failed_[node] = failed; }
+
+double Network::egress_utilization(NodeId node) const {
+  TimeNs now = sched_.now();
+  if (now == 0) return 0.0;
+  return static_cast<double>(egress_busy_[node]) / static_cast<double>(now);
+}
+
+}  // namespace rdb::sim

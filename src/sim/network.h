@@ -1,0 +1,76 @@
+// Simulated network: full-duplex NICs with finite bandwidth plus propagation
+// latency.
+//
+// Every node owns an egress link and an ingress link; a message of b bytes
+// serializes onto the sender's egress (b / bandwidth, queued behind earlier
+// sends), propagates for `latency`, then serializes through the receiver's
+// ingress. This makes the two effects the paper measures emerge naturally:
+// the quadratic phases of PBFT load every NIC, and large Pre-prepare
+// messages (Figure 12) push the system into the network-bound regime where
+// "all the threads are idle".
+//
+// Failed nodes (Figure 17) silently drop traffic in both directions — the
+// crash model the paper applies to backups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace rdb::sim {
+
+struct NetworkConfig {
+  TimeNs latency_ns{500'000};           // one-way propagation: 0.5 ms
+  double bandwidth_gbps{10.0};          // per-NIC, each direction
+  double loss_probability{0.0};         // uniform random loss (0 = reliable)
+  std::uint64_t loss_seed{1};
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_dropped{0};
+  std::uint64_t bytes_sent{0};
+};
+
+class Network {
+ public:
+  using NodeId = std::uint32_t;
+  using DeliverFn = std::function<void()>;
+
+  Network(Scheduler& sched, NetworkConfig config, std::uint32_t node_count);
+
+  /// Sends `bytes` from src to dst; `on_delivery` runs at the receiver once
+  /// the last byte clears the receiver's ingress link.
+  void send(NodeId src, NodeId dst, std::uint64_t bytes,
+            DeliverFn on_delivery);
+
+  /// Crash-fault a node: all of its traffic (both directions) is dropped.
+  void set_failed(NodeId node, bool failed);
+  bool is_failed(NodeId node) const { return failed_[node]; }
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  /// Utilization of a node's egress link over [0, now].
+  double egress_utilization(NodeId node) const;
+
+  /// Cumulative egress busy time for a node (for windowed utilization).
+  TimeNs egress_busy_ns(NodeId node) const { return egress_busy_[node]; }
+
+ private:
+  TimeNs transmit_ns(std::uint64_t bytes) const;
+
+  Scheduler& sched_;
+  NetworkConfig config_;
+  std::vector<TimeNs> egress_free_;   // next instant the egress NIC is free
+  std::vector<TimeNs> ingress_free_;
+  std::vector<TimeNs> egress_busy_;   // cumulative busy ns (for utilization)
+  std::vector<bool> failed_;
+  std::uint64_t rng_state_;
+  NetworkStats stats_;
+};
+
+}  // namespace rdb::sim

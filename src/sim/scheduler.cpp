@@ -1,0 +1,48 @@
+#include "sim/scheduler.h"
+
+namespace rdb::sim {
+
+EventId Scheduler::schedule(TimeNs delay, std::function<void()> fn) {
+  EventId id = next_id_++;
+  queue_.push(Event{now_ + delay, id, std::move(fn)});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) { cancelled_.insert(id); }
+
+std::uint64_t Scheduler::run_until(TimeNs deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  // Virtual time passes to the deadline even when the next event lies
+  // beyond it (or none exists).
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rdb::sim

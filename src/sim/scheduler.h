@@ -1,0 +1,61 @@
+// Discrete-event scheduler: a virtual clock and an ordered event queue.
+//
+// This is the foundation of the evaluation substrate (DESIGN.md §2): the
+// paper's 32-replica / 80K-client Google-Cloud deployment is reproduced by
+// running the real protocol engines over simulated CPU cores and network
+// links in virtual time. Events with equal timestamps fire in insertion
+// order, so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rdb::sim {
+
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay. Returns an id for cancel().
+  EventId schedule(TimeNs delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue drains or the clock passes `deadline`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(TimeNs deadline);
+
+  /// Runs until the queue is completely drained.
+  std::uint64_t run();
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimeNs time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  TimeNs now_{0};
+  EventId next_id_{1};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace rdb::sim

@@ -1,0 +1,100 @@
+// Experiment configuration for the simulated ResilientDB fabric.
+//
+// One FabricConfig describes one run: protocol, cluster size, pipeline
+// shape (how many batch/execute threads — Figures 8/9), workload knobs
+// (batch size, ops per transaction, payload bytes), crypto schemes, storage
+// model, client population, failures, and the virtual measurement window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/scheme.h"
+#include "sim/network.h"
+#include "simfab/costs.h"
+
+namespace rdb::simfab {
+
+enum class Protocol : std::uint8_t { kPbft, kZyzzyva, kPoe };
+
+enum class RunMode : std::uint8_t {
+  kConsensus,        // full protocol among `replicas`
+  kUpperBoundNoExec, // Figure 7: primary echoes requests, no consensus
+  kUpperBoundExec,   // Figure 7: primary executes then responds
+};
+
+enum class StorageModel : std::uint8_t { kMemory, kPageDb };
+
+struct FabricConfig {
+  Protocol protocol{Protocol::kPbft};
+  RunMode mode{RunMode::kConsensus};
+
+  std::uint32_t replicas{16};
+  std::uint32_t cores{8};  // per replica (Figure 16)
+
+  // Pipeline shape (§4.1). 0 batch threads folds batching into the worker
+  // ("0B"); 0 execute threads folds execution into the worker ("0E").
+  std::uint32_t batch_threads{2};
+  std::uint32_t execute_threads{1};
+  std::uint32_t client_input_threads{1};
+  std::uint32_t replica_input_threads{2};
+  std::uint32_t output_threads{2};
+  bool checkpoint_thread{true};
+
+  // Workload (§5.1).
+  std::uint32_t batch_size{100};
+  std::uint32_t ops_per_txn{1};
+  std::uint32_t value_bytes{8};
+  std::uint32_t payload_padding{0};  // extra bytes per txn (Figure 12)
+  std::uint64_t clients{80'000};
+  std::uint32_t client_machines{4};
+
+  crypto::SchemeConfig schemes{};
+  StorageModel storage{StorageModel::kMemory};
+
+  // Checkpoint every `checkpoint_interval_txns` transactions (§5.1: 10K).
+  std::uint64_t checkpoint_interval_txns{10'000};
+
+  // Ablation knob (§4.5 / §6 "Strict Ordering"): maximum consensus rounds
+  // the primary allows in flight. 0 = unbounded (ResilientDB's out-of-order
+  // processing); 1 = strictly serial consensus, the design the paper argues
+  // against.
+  std::uint32_t max_inflight_batches{0};
+
+  sim::NetworkConfig net{};
+  CostModel costs{};
+
+  // Crash-faulted backups (Figure 17). Never includes the primary in the
+  // benched experiments; primary failure is exercised by view-change tests.
+  std::vector<ReplicaId> failed_replicas{};
+
+  // Client behaviour.
+  TimeNs client_agg_window_ns{50'000};        // request bundling at a machine
+  TimeNs zyz_client_timeout_ns{10'000'000'000};  // "wait a little" (§5.10)
+  TimeNs batch_flush_timeout_ns{5'000'000};   // flush partial batches
+
+  // PBFT request timer (view-change trigger). Benchmarks keep this above
+  // the run horizon — replica failures in the paper's experiments are
+  // backup failures, which must not trigger view changes; protocol tests
+  // lower it to exercise the view-change path.
+  TimeNs request_timeout_ns{120'000'000'000};
+
+  // Catch-up gap-detection poll (0 disables). A lagging replica fetches the
+  // batches it missed from peers (PBFT only).
+  TimeNs catchup_poll_ns{500'000'000};
+
+  // Run control (virtual time).
+  TimeNs warmup_ns{1'000'000'000};
+  TimeNs measure_ns{3'000'000'000};
+
+  std::uint64_t seed{42};
+
+  std::uint32_t f() const { return max_faulty(replicas); }
+  std::uint64_t checkpoint_interval_batches() const {
+    std::uint64_t b = checkpoint_interval_txns / std::max(1u, batch_size);
+    return b == 0 ? 1 : b;
+  }
+};
+
+}  // namespace rdb::simfab

@@ -1,0 +1,935 @@
+#include "simfab/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace rdb::simfab {
+
+using protocol::Actions;
+using protocol::Message;
+using protocol::MessagePtr;
+using protocol::MsgType;
+using protocol::Transaction;
+
+namespace {
+
+/// Batch digest: real SHA-256 over the batch's canonical header (seq plus
+/// the transaction identifiers). The simulation charges the virtual cost of
+/// hashing the *full* batch bytes separately; hashing only the header keeps
+/// host CPU low while giving the engines a collision-resistant identifier.
+Digest batch_digest_of(SeqNum seq, std::uint64_t txn_begin,
+                       std::size_t count) {
+  Writer w;
+  w.u64(seq);
+  w.u64(txn_begin);
+  w.u64(count);
+  return crypto::sha256(BytesView(w.data()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimReplica
+// ---------------------------------------------------------------------------
+
+SimReplica::EngineVariant SimReplica::make_engine(const FabricConfig& cfg,
+                                                  ReplicaId id) {
+  switch (cfg.protocol) {
+    case Protocol::kZyzzyva:
+      return EngineVariant(
+          std::in_place_type<protocol::ZyzzyvaEngine>,
+          protocol::ZyzzyvaConfig{cfg.replicas, id,
+                                  cfg.checkpoint_interval_batches(),
+                                  /*window=*/100'000});
+    case Protocol::kPoe:
+      return EngineVariant(
+          std::in_place_type<protocol::PoeEngine>,
+          protocol::PoeConfig{cfg.replicas, id,
+                              cfg.checkpoint_interval_batches(),
+                              /*window=*/200'000});
+    case Protocol::kPbft:
+    default:
+      return EngineVariant(
+          std::in_place_type<protocol::PbftEngine>,
+          protocol::PbftConfig{cfg.replicas, id,
+                               cfg.checkpoint_interval_batches(),
+                               /*window=*/200'000, cfg.request_timeout_ns});
+  }
+}
+
+SimReplica::SimReplica(Fabric& fabric, ReplicaId id)
+    : fab_(fabric),
+      id_(id),
+      engine_(make_engine(fabric.config(), id)) {
+  const auto& cfg = fab_.config();
+  cpu_ = std::make_unique<sim::NodeCpu>(fab_.sched(), cfg.cores);
+
+  for (std::uint32_t i = 0; i < cfg.client_input_threads; ++i)
+    client_inputs_.push_back(&cpu_->add_thread("input-client-" +
+                                               std::to_string(i)));
+  for (std::uint32_t i = 0; i < cfg.replica_input_threads; ++i)
+    replica_inputs_.push_back(&cpu_->add_thread("input-replica-" +
+                                                std::to_string(i)));
+  worker_ = &cpu_->add_thread("worker");
+  for (std::uint32_t i = 0; i < cfg.batch_threads; ++i)
+    batchers_.push_back(&cpu_->add_thread("batch-" + std::to_string(i)));
+  for (std::uint32_t i = 0; i < cfg.execute_threads; ++i)
+    executors_.push_back(&cpu_->add_thread("execute-" + std::to_string(i)));
+  if (cfg.checkpoint_thread)
+    checkpointer_ = &cpu_->add_thread("checkpoint");
+  for (std::uint32_t i = 0; i < cfg.output_threads; ++i)
+    outputs_.push_back(&cpu_->add_thread("output-" + std::to_string(i)));
+}
+
+bool SimReplica::is_primary() const { return fab_.primary_id() == id_; }
+
+std::vector<ThreadSaturation> SimReplica::saturations(TimeNs window) const {
+  std::vector<ThreadSaturation> out;
+  for (const auto& t : cpu_->threads())
+    out.push_back({t->name(), t->saturation_percent(window)});
+  return out;
+}
+
+void SimReplica::reset_thread_stats() {
+  for (const auto& t : cpu_->threads())
+    const_cast<sim::SimThread&>(*t).reset_stats();
+}
+
+sim::SimThread& SimReplica::output_thread() {
+  sim::SimThread& t = *outputs_[rr_output_ % outputs_.size()];
+  ++rr_output_;
+  return t;
+}
+
+sim::SimThread& SimReplica::batch_thread_for_dispatch() {
+  // §4.3: a common lock-free queue means any idle batch thread consumes the
+  // next request; the simulation equivalent is shortest-queue dispatch.
+  if (batchers_.empty()) return *worker_;
+  sim::SimThread* best = batchers_[0];
+  for (auto* b : batchers_)
+    if (b->queue_depth() < best->queue_depth()) best = b;
+  return *best;
+}
+
+std::uint64_t SimReplica::sign_cost(bool replica_link,
+                                    std::size_t copies) const {
+  auto scheme = replica_link ? fab_.config().schemes.replica_scheme
+                             : fab_.config().schemes.client_scheme;
+  auto cost = crypto::scheme_cost(scheme);
+  bool symmetric = scheme == crypto::SignatureScheme::kCmacAes;
+  // MACs are pairwise: one tag per recipient. Digital signatures are signed
+  // once regardless of fan-out.
+  return symmetric ? cost.sign_ns * copies : cost.sign_ns;
+}
+
+std::uint64_t SimReplica::verify_cost(bool replica_link) const {
+  auto scheme = replica_link ? fab_.config().schemes.replica_scheme
+                             : fab_.config().schemes.client_scheme;
+  return crypto::scheme_cost(scheme).verify_ns;
+}
+
+std::uint64_t SimReplica::batch_bytes(std::size_t txn_count) const {
+  const auto& cfg = fab_.config();
+  return 56 + txn_count * cfg.costs.txn_wire_bytes(cfg.ops_per_txn,
+                                                   cfg.value_bytes,
+                                                   cfg.payload_padding);
+}
+
+void SimReplica::deliver(MessagePtr msg) { route(std::move(msg)); }
+
+void SimReplica::route(MessagePtr msg) {
+  const auto& costs = fab_.config().costs;
+  switch (msg->type()) {
+    case MsgType::kPrePrepare:
+    case MsgType::kOrderRequest:
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+    case MsgType::kViewChange:
+    case MsgType::kNewView:
+    case MsgType::kBatchRequest:
+    case MsgType::kBatchResponse: {
+      sim::SimThread& in = *replica_inputs_[rr_input_ %
+                                            replica_inputs_.size()];
+      ++rr_input_;
+      in.post(costs.input_replica_msg_ns,
+              [this, msg] { process_on_worker(msg); });
+      break;
+    }
+    case MsgType::kCheckpoint: {
+      sim::SimThread& t = checkpointer_ ? *checkpointer_ : *worker_;
+      std::uint64_t cost =
+          costs.checkpoint_msg_ns + verify_cost(/*replica_link=*/true);
+      t.post(cost, [this, msg, &t] {
+        Actions acts = std::visit(
+            [&](auto& eng) { return eng.on_checkpoint(*msg); }, engine_);
+        perform(std::move(acts), t);
+      });
+      break;
+    }
+    case MsgType::kCommitCert: {
+      // Zyzzyva slow path: verify the 2f+1 embedded responses.
+      std::uint64_t cost =
+          costs.worker_msg_overhead_ns +
+          verify_cost(/*replica_link=*/true) * (2 * fab_.config().f() + 1);
+      worker_->post(cost, [this, msg] {
+        if (auto* z = std::get_if<protocol::ZyzzyvaEngine>(&engine_)) {
+          perform(z->on_commit_cert(*msg), *worker_);
+        }
+      });
+      break;
+    }
+    default:
+      break;  // responses never arrive at replicas
+  }
+}
+
+void SimReplica::process_on_worker(MessagePtr msg) {
+  const auto& costs = fab_.config().costs;
+  std::uint64_t cost = costs.worker_msg_overhead_ns;
+  bool self_msg = msg->from == Endpoint::replica(id_);
+  if (!self_msg) cost += verify_cost(/*replica_link=*/true);
+  if (msg->type() == MsgType::kPrePrepare ||
+      msg->type() == MsgType::kOrderRequest) {
+    // Backups recompute the batch digest over the full batch string and run
+    // structural checks before agreeing to the order (§4.4).
+    std::size_t count =
+        msg->type() == MsgType::kPrePrepare
+            ? std::get<protocol::PrePrepare>(msg->payload).txns.size()
+            : std::get<protocol::OrderRequest>(msg->payload).txns.size();
+    if (!self_msg)
+      cost += costs.hash_ns(batch_bytes(count)) + costs.worker_batch_check_ns;
+  }
+
+  worker_->post(cost, [this, msg] {
+    Actions acts;
+    std::visit(
+        [&](auto& eng) {
+          using E = std::decay_t<decltype(eng)>;
+          if constexpr (std::is_same_v<E, protocol::PbftEngine>) {
+            switch (msg->type()) {
+              case MsgType::kPrePrepare:
+                acts = eng.on_preprepare(*msg);
+                break;
+              case MsgType::kPrepare:
+                acts = eng.on_prepare(*msg);
+                break;
+              case MsgType::kCommit:
+                acts = eng.on_commit(*msg);
+                break;
+              case MsgType::kViewChange:
+                acts = eng.on_view_change(*msg);
+                break;
+              case MsgType::kNewView:
+                acts = eng.on_new_view(*msg);
+                break;
+              case MsgType::kBatchRequest:
+                acts = eng.on_batch_request(*msg);
+                break;
+              case MsgType::kBatchResponse: {
+                // Validate digest(txns) == digest per entry; the sim digest
+                // covers (seq, txn_begin, count).
+                Message checked = *msg;
+                auto& resp = std::get<protocol::BatchResponse>(checked.payload);
+                std::erase_if(resp.entries, [](const auto& e) {
+                  return batch_digest_of(e.seq, e.txn_begin,
+                                         e.txns.size()) != e.digest;
+                });
+                acts = eng.on_batch_response(checked);
+                break;
+              }
+              default:
+                break;
+            }
+          } else if constexpr (std::is_same_v<E, protocol::ZyzzyvaEngine>) {
+            if (msg->type() == MsgType::kOrderRequest)
+              acts = eng.on_order_request(*msg);
+          } else {  // PoE: Propose/Support ride PrePrepare/Prepare shapes
+            if (msg->type() == MsgType::kPrePrepare)
+              acts = eng.on_propose(*msg);
+            else if (msg->type() == MsgType::kPrepare)
+              acts = eng.on_support(*msg);
+          }
+        },
+        engine_);
+    perform(std::move(acts), *worker_);
+  });
+}
+
+void SimReplica::deliver_client_bundle(std::vector<Transaction> txns) {
+  const auto& costs = fab_.config().costs;
+  std::uint64_t count = txns.size();
+  sim::SimThread& in = *client_inputs_[0];
+  auto shared = std::make_shared<std::vector<Transaction>>(std::move(txns));
+  in.post(count * (costs.input_client_msg_ns + costs.seq_assign_ns),
+          [this, shared] {
+            if (!is_primary()) {
+              // PBFT liveness: relay to the primary and arm a watchdog; if
+              // the primary makes no progress, demand a view change.
+              ReplicaId p = fab_.primary_id();
+              std::uint64_t bytes = 10 + shared->size() * 64;
+              output_thread().post(
+                  fab_.config().costs.output_send_ns,
+                  [this, p, bytes, shared] {
+                    fab_.net().send(id_, p, bytes, [this, p, shared] {
+                      fab_.replica(p).deliver_client_bundle(*shared);
+                    });
+                  });
+              if (!client_watchdog_armed_) {
+                client_watchdog_armed_ = true;
+                SeqNum seen = chain_.last_seq();
+                fab_.sched().schedule(
+                    fab_.config().request_timeout_ns, [this, seen] {
+                      client_watchdog_armed_ = false;
+                      if (chain_.last_seq() != seen) return;  // progress
+                      worker_->post(1'000, [this] {
+                        if (auto* pb =
+                                std::get_if<protocol::PbftEngine>(&engine_))
+                          perform(pb->on_client_request_timeout(), *worker_);
+                      });
+                    });
+              }
+              return;
+            }
+            pending_txns_.insert(pending_txns_.end(), shared->begin(),
+                                 shared->end());
+            form_batches(false);
+            if (!pending_txns_.empty() && !flush_timer_armed_) {
+              flush_timer_armed_ = true;
+              fab_.sched().schedule(fab_.config().batch_flush_timeout_ns,
+                                    [this] {
+                                      flush_timer_armed_ = false;
+                                      form_batches(true);
+                                    });
+            }
+          });
+}
+
+void SimReplica::form_batches(bool flush_partial) {
+  const std::uint32_t bsz = fab_.config().batch_size;
+  while (pending_txns_.size() >= bsz) {
+    std::vector<Transaction> batch(pending_txns_.begin(),
+                                   pending_txns_.begin() + bsz);
+    pending_txns_.erase(pending_txns_.begin(), pending_txns_.begin() + bsz);
+    SeqNum seq = ++next_seq_;
+    std::uint64_t begin = next_txn_id_;
+    next_txn_id_ += batch.size();
+    dispatch_batch(seq, std::move(batch), begin);
+  }
+  if (flush_partial && !pending_txns_.empty()) {
+    std::vector<Transaction> batch;
+    batch.swap(pending_txns_);
+    SeqNum seq = ++next_seq_;
+    std::uint64_t begin = next_txn_id_;
+    next_txn_id_ += batch.size();
+    dispatch_batch(seq, std::move(batch), begin);
+  }
+}
+
+void SimReplica::dispatch_batch(SeqNum seq, std::vector<Transaction> txns,
+                                std::uint64_t txn_begin) {
+  // Strict-ordering ablation (§6): cap concurrent consensus rounds.
+  std::uint32_t cap = fab_.config().max_inflight_batches;
+  if (cap != 0 && inflight_batches_ >= cap) {
+    held_batches_.push_back(HeldBatch{seq, std::move(txns), txn_begin});
+    return;
+  }
+  ++inflight_batches_;
+  dispatch_batch_now(seq, std::move(txns), txn_begin);
+}
+
+void SimReplica::dispatch_batch_now(SeqNum seq, std::vector<Transaction> txns,
+                                    std::uint64_t txn_begin) {
+  const auto& costs = fab_.config().costs;
+  std::size_t count = txns.size();
+  // Batch-thread work (§4.3): verify each client signature, assemble the
+  // batch (per-transaction copy plus per-operation resource allocation —
+  // the saturation driver of Figure 11), hash the single string
+  // representation of the whole batch once.
+  std::uint64_t cost =
+      count * (verify_cost(/*replica_link=*/false) + costs.batch_per_txn_ns +
+               static_cast<std::uint64_t>(fab_.config().ops_per_txn) *
+                   costs.batch_per_op_ns) +
+      costs.batch_fixed_ns + costs.hash_ns(batch_bytes(count));
+
+  sim::SimThread& bt = batch_thread_for_dispatch();
+  auto shared = std::make_shared<std::vector<Transaction>>(std::move(txns));
+  bt.post(cost, [this, seq, shared, txn_begin, &bt] {
+    Digest d = batch_digest_of(seq, txn_begin, shared->size());
+    if (auto* p = std::get_if<protocol::PbftEngine>(&engine_)) {
+      perform(p->make_preprepare(seq, std::move(*shared), txn_begin, d), bt);
+    } else if (auto* poe = std::get_if<protocol::PoeEngine>(&engine_)) {
+      perform(poe->make_propose(seq, std::move(*shared), txn_begin, d), bt);
+    } else {
+      // Zyzzyva's hash-chained history forces in-order emission: stage
+      // completed batches and release the contiguous prefix.
+      auto& z = std::get<protocol::ZyzzyvaEngine>(engine_);
+      zyz_ready_.emplace(seq, PendingBatch{std::move(*shared), txn_begin});
+      for (auto it = zyz_ready_.begin();
+           it != zyz_ready_.end() && it->first == zyz_next_;) {
+        Digest dd =
+            batch_digest_of(it->first, it->second.txn_begin,
+                            it->second.txns.size());
+        perform(z.make_order_request(it->first, std::move(it->second.txns),
+                                     it->second.txn_begin, dd),
+                bt);
+        ++zyz_next_;
+        it = zyz_ready_.erase(it);
+      }
+    }
+  });
+}
+
+void SimReplica::perform(Actions actions, sim::SimThread& origin) {
+  const auto& cfg = fab_.config();
+  const auto& costs = cfg.costs;
+
+  for (auto& action : actions) {
+    if (auto* bc = std::get_if<protocol::BroadcastAction>(&action)) {
+      std::size_t copies = cfg.replicas - 1;
+      std::uint64_t cost = sign_cost(/*replica_link=*/true, copies);
+      // The engine cannot know its own commit signature; report a
+      // placeholder of the right size for the block certificate (§4.6).
+      if (bc->msg.type() == MsgType::kCommit) {
+        if (auto* p = std::get_if<protocol::PbftEngine>(&engine_)) {
+          auto seq = std::get<protocol::Commit>(bc->msg.payload).seq;
+          std::size_t sig_bytes =
+              crypto::scheme_cost(cfg.schemes.replica_scheme).sig_bytes;
+          p->note_own_commit_signature(seq, Bytes(sig_bytes, 0));
+        }
+      }
+      auto msg = std::make_shared<Message>(std::move(bc->msg));
+      bool include_self = bc->include_self;
+      origin.post(cost, [this, msg, include_self] {
+        broadcast_message(*msg, include_self);
+      });
+    } else if (auto* send = std::get_if<protocol::SendAction>(&action)) {
+      if (send->msg.type() == MsgType::kSpecResponse) {
+        // Spec responses are generated (aggregated per client machine) by
+        // the execute stage; drop the engine's per-client sends.
+        continue;
+      }
+      if (send->msg.type() == MsgType::kLocalCommit &&
+          send->to.kind == Endpoint::Kind::kClient) {
+        ClientId client = send->to.id;
+        std::uint64_t cost = sign_cost(/*replica_link=*/true, 1);
+        origin.post(cost, [this, client] {
+          std::uint32_t machine = fab_.machine_of_client(client);
+          std::uint64_t bytes = 24 + 17 + 10;
+          output_thread().post(fab_.config().costs.output_send_ns,
+                               [this, machine, bytes, client] {
+            fab_.net().send(id_, fab_.machine_node(machine), bytes,
+                            [this, client] {
+                              fab_.deliver_local_commit(id_, client);
+                            });
+          });
+        });
+      }
+    } else if (auto* ex = std::get_if<protocol::ExecuteAction>(&action)) {
+      std::uint64_t op_ns = cfg.storage == StorageModel::kMemory
+                                ? costs.exec_mem_op_ns
+                                : costs.exec_pagedb_op_ns;
+      std::uint64_t per_txn = op_ns * cfg.ops_per_txn +
+                              costs.exec_response_ns +
+                              sign_cost(/*replica_link=*/true, 1);
+      std::uint64_t cost =
+          ex->txns.size() * per_txn + costs.exec_block_ns;
+      sim::SimThread& et =
+          executors_.empty() ? *worker_
+                             : *executors_[ex->seq % executors_.size()];
+      auto shared = std::make_shared<protocol::ExecuteAction>(std::move(*ex));
+      et.post(cost, [this, shared] { do_execute(*shared); });
+    } else if (auto* st = std::get_if<protocol::SetTimerAction>(&action)) {
+      std::uint64_t id = st->id;
+      timers_[id] = fab_.sched().schedule(st->delay_ns, [this, id] {
+        timers_.erase(id);
+        worker_->post(1'000, [this, id] {
+          if (auto* p = std::get_if<protocol::PbftEngine>(&engine_))
+            perform(p->on_timeout(id), *worker_);
+        });
+      });
+    } else if (auto* ct = std::get_if<protocol::CancelTimerAction>(&action)) {
+      auto it = timers_.find(ct->id);
+      if (it != timers_.end()) {
+        fab_.sched().cancel(it->second);
+        timers_.erase(it);
+      }
+    } else if (auto* sc =
+                   std::get_if<protocol::StableCheckpointAction>(&action)) {
+      chain_.prune_before(sc->seq);
+    } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
+      ++view_changes_;
+      fab_.note_primary(static_cast<ReplicaId>(vc->view % cfg.replicas));
+    }
+  }
+}
+
+void SimReplica::do_execute(const protocol::ExecuteAction& ex) {
+  const auto& cfg = fab_.config();
+  const auto& costs = cfg.costs;
+
+  // Block generation (§4.6): the commit certificate stands in for the
+  // previous-block hash.
+  ledger::Block block;
+  block.seq = ex.seq;
+  block.view = ex.view;
+  block.batch_digest = ex.batch_digest;
+  block.txn_begin = ex.txn_begin;
+  block.txn_end = ex.txn_begin + ex.txns.size();
+  block.certificate = ex.certificate;
+  bool ok = chain_.append(std::move(block));
+  assert(ok);
+  (void)ok;
+
+  if (id_ == fab_.primary_id()) {
+    fab_.count_consensus_round();
+    fab_.count_block();
+    fab_.count_ops(ex.txns.size() * cfg.ops_per_txn);
+    // Release the next held batch under the strict-ordering ablation.
+    if (cfg.max_inflight_batches != 0 && inflight_batches_ > 0) {
+      --inflight_batches_;
+      if (!held_batches_.empty() &&
+          inflight_batches_ < cfg.max_inflight_batches) {
+        HeldBatch next = std::move(held_batches_.front());
+        held_batches_.pop_front();
+        ++inflight_batches_;
+        dispatch_batch_now(next.seq, std::move(next.txns), next.txn_begin);
+      }
+    }
+  }
+
+  // Aggregate responses per client machine (one network message instead of
+  // one per client; see DESIGN.md on event aggregation).
+  std::vector<std::vector<std::pair<ClientId, RequestId>>> per_machine(
+      cfg.client_machines);
+  for (const auto& txn : ex.txns)
+    per_machine[fab_.machine_of_client(txn.client)].push_back(
+        {txn.client, txn.req_id});
+
+  std::size_t sig_bytes =
+      crypto::scheme_cost(cfg.schemes.replica_scheme).sig_bytes + 1;
+  for (std::uint32_t m = 0; m < cfg.client_machines; ++m) {
+    if (per_machine[m].empty()) continue;
+    std::uint64_t bytes = per_machine[m].size() * (28 + sig_bytes) + 10;
+    auto acks = std::make_shared<std::vector<std::pair<ClientId, RequestId>>>(
+        std::move(per_machine[m]));
+    bool speculative = ex.speculative;
+    output_thread().post(costs.output_send_ns, [this, m, bytes, acks,
+                                                speculative] {
+      fab_.net().send(id_, fab_.machine_node(m), bytes,
+                      [this, m, acks, speculative] {
+                        fab_.deliver_responses(id_, m, *acks, speculative);
+                      });
+    });
+  }
+
+  // Notify the engine; this is where periodic checkpoints originate (§4.7).
+  sim::SimThread& et = executors_.empty() ? *worker_ : *executors_[0];
+  Actions acts = std::visit(
+      [&](auto& eng) { return eng.on_executed(ex.seq, chain_.accumulator()); },
+      engine_);
+  perform(std::move(acts), et);
+}
+
+void SimReplica::start_catchup_poll(TimeNs interval_ns) {
+  fab_.sched().schedule(interval_ns, [this, interval_ns] {
+    worker_->post(1'000, [this] {
+      if (auto* p = std::get_if<protocol::PbftEngine>(&engine_))
+        perform(p->maybe_request_catchup(), *worker_);
+    });
+    start_catchup_poll(interval_ns);
+  });
+}
+
+void SimReplica::broadcast_message(const Message& msg, bool include_self) {
+  const auto& cfg = fab_.config();
+  const auto& costs = cfg.costs;
+  std::size_t sig_bytes =
+      crypto::scheme_cost(cfg.schemes.replica_scheme).sig_bytes + 1;
+  std::uint64_t bytes = msg.wire_size() + sig_bytes;
+  if (msg.type() == MsgType::kPrePrepare) {
+    bytes = batch_bytes(std::get<protocol::PrePrepare>(msg.payload).txns.size()) +
+            sig_bytes + 16;
+  } else if (msg.type() == MsgType::kOrderRequest) {
+    bytes =
+        batch_bytes(std::get<protocol::OrderRequest>(msg.payload).txns.size()) +
+        sig_bytes + 48;
+  }
+
+  auto shared = std::make_shared<const Message>(msg);
+  for (ReplicaId peer = 0; peer < cfg.replicas; ++peer) {
+    if (peer == id_) continue;
+    output_thread().post(costs.output_send_ns, [this, peer, bytes, shared] {
+      fab_.net().send(id_, peer, bytes,
+                      [this, peer, shared] {
+                        fab_.replica(peer).deliver(shared);
+                      });
+    });
+  }
+  if (include_self) {
+    // Local self-delivery: straight into the worker queue, no network.
+    process_on_worker(shared);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+struct Fabric::ClientState {
+  RequestId current_req{0};
+  bool outstanding{false};
+  bool slow_path{false};
+  TimeNs sent_at{0};
+  std::uint16_t responses{0};
+  std::uint16_t local_commits{0};
+  std::uint16_t attempts{0};  // retransmissions for the current request
+  sim::EventId timer{0};
+  bool timer_armed{false};
+};
+
+struct Fabric::Machine {
+  std::vector<Transaction> pending;
+  bool flush_armed{false};
+};
+
+Fabric::Fabric(FabricConfig config)
+    : cfg_(config),
+      net_(sched_, config.net, config.replicas + config.client_machines),
+      rng_(config.seed) {
+  std::uint32_t replica_count =
+      cfg_.mode == RunMode::kConsensus ? cfg_.replicas : 1;
+  if (cfg_.mode != RunMode::kConsensus) cfg_.replicas = 1;
+
+  replicas_.reserve(replica_count);
+  for (ReplicaId r = 0; r < replica_count; ++r)
+    replicas_.push_back(std::make_unique<SimReplica>(*this, r));
+
+  if (cfg_.mode != RunMode::kConsensus) {
+    // Figure 7: two threads at the primary work independently, no ordering.
+    ub_threads_.push_back(&replicas_[0]->cpu().add_thread("ub-0"));
+    ub_threads_.push_back(&replicas_[0]->cpu().add_thread("ub-1"));
+  }
+
+  for (ReplicaId r : cfg_.failed_replicas) net_.set_failed(r, true);
+
+  clients_.resize(cfg_.clients);
+  machines_.resize(cfg_.client_machines);
+}
+
+Fabric::~Fabric() = default;
+
+std::uint32_t Fabric::machine_of_client(ClientId c) const {
+  std::uint64_t per =
+      (cfg_.clients + cfg_.client_machines - 1) / cfg_.client_machines;
+  auto m = static_cast<std::uint32_t>(c / per);
+  return std::min(m, cfg_.client_machines - 1);
+}
+
+bool Fabric::in_measure_window() const { return measuring_; }
+
+void Fabric::count_committed_txn(TimeNs latency_ns) {
+  if (!measuring_) return;
+  ++committed_;
+  latency_.record(latency_ns);
+}
+
+void Fabric::start_clients() {
+  for (ClientId c = 0; c < cfg_.clients; ++c) {
+    TimeNs start = rng_.below(std::max<TimeNs>(1, cfg_.warmup_ns / 2));
+    sched_.schedule(start, [this, c] { client_send_next(c); });
+  }
+}
+
+void Fabric::client_send_next(ClientId c) {
+  ClientState& cs = clients_[c];
+  ++cs.current_req;
+  cs.outstanding = true;
+  cs.slow_path = false;
+  cs.sent_at = sched_.now();
+  cs.responses = 0;
+  cs.local_commits = 0;
+  cs.attempts = 0;
+
+  Transaction txn;
+  txn.client = c;
+  txn.req_id = cs.current_req;
+  txn.ops = cfg_.ops_per_txn;
+
+  std::uint32_t m = machine_of_client(c);
+  machines_[m].pending.push_back(std::move(txn));
+  if (!machines_[m].flush_armed) {
+    machines_[m].flush_armed = true;
+    sched_.schedule(cfg_.client_agg_window_ns, [this, m] { flush_machine(m); });
+  }
+
+  // Zyzzyva's client must detect a missing response; with crash-faulted
+  // backups the fast path (all n responses) can never complete, so arm the
+  // timeout that triggers the commit-certificate slow path (§5.10). PBFT
+  // clients arm it for retransmission under primary failure. PoE needs
+  // neither: 2f+1 responses remain reachable with f crashes.
+  bool needs_timer =
+      !cfg_.failed_replicas.empty() && cfg_.protocol != Protocol::kPoe;
+  if (needs_timer) {
+    RequestId req = cs.current_req;
+    cs.timer_armed = true;
+    cs.timer = sched_.schedule(cfg_.zyz_client_timeout_ns,
+                               [this, c, req] { zyz_timeout(c, req); });
+  }
+}
+
+void Fabric::flush_machine(std::uint32_t m) {
+  Machine& machine = machines_[m];
+  machine.flush_armed = false;
+  if (machine.pending.empty()) return;
+  std::vector<Transaction> bundle;
+  bundle.swap(machine.pending);
+
+  std::size_t client_sig =
+      crypto::scheme_cost(cfg_.schemes.client_scheme).sig_bytes + 1;
+  std::uint64_t bytes = 10;
+  for (const auto& t : bundle)
+    bytes += cfg_.costs.txn_wire_bytes(t.ops, cfg_.value_bytes,
+                                       cfg_.payload_padding) +
+             client_sig;
+
+  auto shared = std::make_shared<std::vector<Transaction>>(std::move(bundle));
+  if (cfg_.mode == RunMode::kConsensus) {
+    ReplicaId p = primary_;
+    net_.send(machine_node(m), p, bytes, [this, p, shared] {
+      replica(p).deliver_client_bundle(*shared);
+    });
+  } else {
+    net_.send(machine_node(m), 0, bytes, [this, m, shared] {
+      upper_bound_deliver(m, *shared);
+    });
+  }
+}
+
+void Fabric::upper_bound_deliver(std::uint32_t machine,
+                                 std::vector<Transaction> txns) {
+  // Figure 7: the primary simply answers each request (optionally executing
+  // it first); no consensus, no ordering, two independent threads.
+  const auto& costs = cfg_.costs;
+  bool execute = cfg_.mode == RunMode::kUpperBoundExec;
+  std::uint64_t per_txn = costs.input_client_msg_ns +
+                          costs.exec_response_ns +
+                          crypto::scheme_cost(cfg_.schemes.replica_scheme)
+                              .sign_ns +
+                          costs.output_send_ns;
+  if (execute) per_txn += costs.exec_mem_op_ns * cfg_.ops_per_txn;
+
+  sim::SimThread& t = *ub_threads_[rr_ub_ % ub_threads_.size()];
+  ++rr_ub_;
+  auto shared = std::make_shared<std::vector<Transaction>>(std::move(txns));
+  std::uint64_t total = per_txn * shared->size();
+  t.post(total, [this, machine, shared] {
+    std::vector<std::pair<ClientId, RequestId>> acks;
+    acks.reserve(shared->size());
+    std::uint64_t ops = 0;
+    for (const auto& txn : *shared) {
+      acks.push_back({txn.client, txn.req_id});
+      ops += txn.ops;
+    }
+    count_ops(ops);
+    std::uint64_t bytes = acks.size() * 45 + 10;
+    auto acks_ptr =
+        std::make_shared<std::vector<std::pair<ClientId, RequestId>>>(
+            std::move(acks));
+    net_.send(0, machine_node(machine), bytes, [this, machine, acks_ptr] {
+      deliver_responses(0, machine, *acks_ptr, false);
+    });
+  });
+}
+
+void Fabric::deliver_responses(
+    ReplicaId from, std::uint32_t machine,
+    std::vector<std::pair<ClientId, RequestId>> acks, bool speculative) {
+  (void)machine;
+  for (const auto& [client, req] : acks)
+    on_response(client, req, from, speculative);
+}
+
+void Fabric::deliver_local_commit(ReplicaId from, ClientId client) {
+  on_local_commit(client, from);
+}
+
+void Fabric::on_response(ClientId c, RequestId req, ReplicaId from,
+                         bool speculative) {
+  (void)from;
+  ClientState& cs = clients_[c];
+  if (!cs.outstanding || cs.current_req != req) return;
+  ++cs.responses;
+
+  if (cfg_.mode != RunMode::kConsensus) {
+    complete_request(cs, c);
+    return;
+  }
+
+  switch (cfg_.protocol) {
+    case Protocol::kPbft:
+      // PBFT client: f+1 matching responses prove a committed result.
+      if (cs.responses >= cfg_.f() + 1) complete_request(cs, c);
+      return;
+    case Protocol::kPoe:
+      // PoE client: 2f+1 matching speculative responses — reachable with f
+      // crashed replicas, unlike Zyzzyva's fast path.
+      if (cs.responses >= 2 * cfg_.f() + 1) complete_request(cs, c);
+      return;
+    case Protocol::kZyzzyva:
+      // Fast path: ALL 3f+1 replicas must answer with matching history.
+      if (!cs.slow_path && cs.responses >= cfg_.replicas) {
+        if (measuring_) ++zyz_fast_;
+        complete_request(cs, c);
+      }
+      return;
+  }
+}
+
+void Fabric::zyz_timeout(ClientId c, RequestId req) {
+  ClientState& cs = clients_[c];
+  cs.timer_armed = false;
+  if (!cs.outstanding || cs.current_req != req) return;
+
+  if (cfg_.protocol == Protocol::kPbft) {
+    // PBFT client retransmission: rotate through replicas so the request
+    // reaches a live backup, which relays it and (if the primary stays
+    // silent) triggers a view change.
+    ++cs.attempts;
+    ReplicaId target = static_cast<ReplicaId>(
+        (primary_ + cs.attempts) % cfg_.replicas);
+    std::uint32_t m = machine_of_client(c);
+    auto bundle = std::make_shared<std::vector<Transaction>>();
+    Transaction txn;
+    txn.client = c;
+    txn.req_id = cs.current_req;
+    txn.ops = cfg_.ops_per_txn;
+    bundle->push_back(std::move(txn));
+    net_.send(machine_node(m), target, 80, [this, target, bundle] {
+      replica(target).deliver_client_bundle(*bundle);
+    });
+    cs.timer_armed = true;
+    cs.timer = sched_.schedule(cfg_.zyz_client_timeout_ns,
+                               [this, c, req] { zyz_timeout(c, req); });
+    return;
+  }
+
+  if (cs.responses >= 2 * cfg_.f() + 1 && !cs.slow_path) {
+    // Slow path: broadcast the commit certificate, await f+1 local commits.
+    cs.slow_path = true;
+    if (measuring_) ++zyz_slow_;
+    std::uint32_t m = machine_of_client(c);
+    for (ReplicaId r = 0; r < cfg_.replicas; ++r) {
+      protocol::CommitCert cc;
+      cc.view = 0;
+      cc.seq = 0;  // the fabric matches on (client, req), not seq
+      auto msg = std::make_shared<Message>();
+      msg->from = Endpoint::client(c);
+      msg->payload = cc;
+      std::uint64_t bytes = 56 + (2 * cfg_.f() + 1) * 68;
+      net_.send(machine_node(m), r, bytes, [this, r, msg, c] {
+        // Replica-side verification cost is charged in route(); the reply
+        // is modelled directly since history always matches in crash runs.
+        replica(r).worker_->post(
+            cfg_.costs.worker_msg_overhead_ns +
+                crypto::scheme_cost(cfg_.schemes.replica_scheme).verify_ns *
+                    (2 * cfg_.f() + 1),
+            [this, r, c] {
+              std::uint64_t bytes2 = 24 + 17 + 10;
+              std::uint32_t mm = machine_of_client(c);
+              replica(r).output_thread().post(
+                  cfg_.costs.output_send_ns, [this, r, mm, bytes2, c] {
+                    net_.send(r, machine_node(mm), bytes2,
+                              [this, r, c] { deliver_local_commit(r, c); });
+                  });
+            });
+      });
+    }
+  } else if (!cs.slow_path) {
+    // Not enough matching responses yet: keep waiting.
+    cs.timer_armed = true;
+    cs.timer = sched_.schedule(cfg_.zyz_client_timeout_ns,
+                               [this, c, req] { zyz_timeout(c, req); });
+  }
+}
+
+void Fabric::on_local_commit(ClientId c, ReplicaId from) {
+  (void)from;
+  ClientState& cs = clients_[c];
+  if (!cs.outstanding || !cs.slow_path) return;
+  ++cs.local_commits;
+  if (cs.local_commits >= cfg_.f() + 1) complete_request(cs, c);
+}
+
+void Fabric::complete_request(ClientState& cs, ClientId c) {
+  cs.outstanding = false;
+  if (cs.timer_armed) {
+    sched_.cancel(cs.timer);
+    cs.timer_armed = false;
+  }
+  // Every completion inside the window counts; latency covers the full
+  // queueing delay even for requests submitted during warmup (those are
+  // exactly the long-latency tail under overload).
+  if (measuring_) count_committed_txn(sched_.now() - cs.sent_at);
+  client_send_next(c);
+}
+
+ExperimentResult Fabric::run() {
+  if (cfg_.mode == RunMode::kConsensus && cfg_.catchup_poll_ns > 0 &&
+      cfg_.protocol == Protocol::kPbft) {
+    for (auto& r : replicas_)
+      if (!net_.is_failed(r->id())) r->start_catchup_poll(cfg_.catchup_poll_ns);
+  }
+  start_clients();
+  sched_.run_until(cfg_.warmup_ns);
+
+  // Reset windowed statistics at the start of the measurement period.
+  for (auto& r : replicas_) r->reset_thread_stats();
+  net_.reset_stats();
+  std::vector<TimeNs> egress_base(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i)
+    egress_base[i] = net_.egress_busy_ns(static_cast<std::uint32_t>(i));
+  latency_.reset();
+  committed_ = rounds_ = blocks_ = ops_ = 0;
+  zyz_fast_ = zyz_slow_ = 0;
+  measuring_ = true;
+  measure_start_ = sched_.now();
+
+  sched_.run_until(cfg_.warmup_ns + cfg_.measure_ns);
+  measuring_ = false;
+
+  TimeNs window = sched_.now() - measure_start_;
+  double seconds = static_cast<double>(window) / 1e9;
+
+  ExperimentResult res;
+  res.metrics.committed_txns = committed_;
+  res.metrics.throughput_tps = static_cast<double>(committed_) / seconds;
+  res.metrics.ops_per_sec = static_cast<double>(ops_) / seconds;
+  res.metrics.consensus_rounds = rounds_;
+  res.metrics.latency_avg_ms = latency_.mean_ns() / 1e6;
+  res.metrics.latency_p50_ms = latency_.percentile_ns(50) / 1e6;
+  res.metrics.latency_p99_ms = latency_.percentile_ns(99) / 1e6;
+  res.blocks_committed = blocks_;
+  res.zyz_fast_path = zyz_fast_;
+  res.zyz_slow_path = zyz_slow_;
+
+  res.primary_threads = replicas_[primary_]->saturations(window);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    auto r = static_cast<ReplicaId>(i);
+    if (r != primary_ && !net_.is_failed(r)) {
+      res.backup_threads = replicas_[i]->saturations(window);
+      break;
+    }
+  }
+  res.net = net_.stats();
+  res.primary_egress_utilization =
+      static_cast<double>(net_.egress_busy_ns(primary_) -
+                          egress_base[primary_]) /
+      static_cast<double>(window);
+  for (auto& r : replicas_) res.view_changes += r->view_changes();
+  return res;
+}
+
+}  // namespace rdb::simfab

@@ -1,0 +1,221 @@
+// The simulated ResilientDB fabric: replicas with the paper's pipelined
+// thread architecture (Figures 6a/6b) plus a closed-loop client population,
+// all running on the discrete-event substrate (sim/). The real protocol
+// engines (protocol/pbft.h, protocol/zyzzyva.h) drive the consensus logic;
+// the fabric charges virtual CPU for every pipeline task and virtual network
+// for every message.
+//
+// Signing and verification inside the simulation charge the calibrated cost
+// model but use placeholder bytes — the threaded runtime (runtime/) is where
+// real signatures flow end to end. Batch digests are real SHA-256 over the
+// batch's canonical header so the engines' equality checks are meaningful.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ledger/blockchain.h"
+#include "protocol/pbft.h"
+#include "protocol/poe.h"
+#include "protocol/zyzzyva.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "simfab/config.h"
+
+namespace rdb::simfab {
+
+struct ThreadSaturation {
+  std::string thread;
+  double percent{0};  // busy time / window, as in Figure 9
+};
+
+struct ExperimentResult {
+  RunMetrics metrics;
+  std::vector<ThreadSaturation> primary_threads;
+  std::vector<ThreadSaturation> backup_threads;  // replica 1, when present
+  sim::NetworkStats net;
+  double primary_egress_utilization{0};
+  std::uint64_t blocks_committed{0};
+  std::uint64_t view_changes{0};
+  std::uint64_t zyz_fast_path{0};
+  std::uint64_t zyz_slow_path{0};
+};
+
+class Fabric;
+
+/// One replica machine: a NodeCpu with the §4.1 thread pipeline and a
+/// protocol engine. Thread counts of zero fold that stage into the worker.
+class SimReplica {
+ public:
+  SimReplica(Fabric& fabric, ReplicaId id);
+
+  void deliver(protocol::MessagePtr msg);
+  /// Primary: client transactions arriving from a client machine bundle.
+  void deliver_client_bundle(std::vector<protocol::Transaction> txns);
+  /// Arms the recurring catch-up gap-detection poll (PBFT).
+  void start_catchup_poll(TimeNs interval_ns);
+
+  ReplicaId id() const { return id_; }
+  bool is_primary() const;
+  sim::NodeCpu& cpu() { return *cpu_; }
+  const ledger::Blockchain& chain() const { return chain_; }
+  std::uint64_t view_changes() const { return view_changes_; }
+
+  std::vector<ThreadSaturation> saturations(TimeNs window) const;
+  void reset_thread_stats();
+
+ private:
+  friend class Fabric;
+
+  void route(protocol::MessagePtr msg);
+  void process_on_worker(protocol::MessagePtr msg);
+  void form_batches(bool flush_partial);
+  void dispatch_batch(SeqNum seq, std::vector<protocol::Transaction> txns,
+                      std::uint64_t txn_begin);
+  void dispatch_batch_now(SeqNum seq, std::vector<protocol::Transaction> txns,
+                          std::uint64_t txn_begin);
+  void perform(protocol::Actions actions, sim::SimThread& origin);
+  void do_execute(const protocol::ExecuteAction& ex);
+  void broadcast_message(const protocol::Message& msg, bool include_self);
+
+  sim::SimThread& batch_thread_for_dispatch();
+  sim::SimThread& output_thread();
+  std::uint64_t sign_cost(bool replica_link, std::size_t copies) const;
+  std::uint64_t verify_cost(bool replica_link) const;
+  std::uint64_t batch_bytes(std::size_t txn_count) const;
+
+  Fabric& fab_;
+  ReplicaId id_;
+  std::unique_ptr<sim::NodeCpu> cpu_;
+
+  // Pipeline threads (§4.1). Pointers into cpu_->threads().
+  std::vector<sim::SimThread*> client_inputs_;
+  std::vector<sim::SimThread*> replica_inputs_;
+  std::vector<sim::SimThread*> batchers_;
+  sim::SimThread* worker_{nullptr};
+  std::vector<sim::SimThread*> executors_;
+  sim::SimThread* checkpointer_{nullptr};
+  std::vector<sim::SimThread*> outputs_;
+
+  using EngineVariant = std::variant<protocol::PbftEngine,
+                                     protocol::ZyzzyvaEngine,
+                                     protocol::PoeEngine>;
+  static EngineVariant make_engine(const FabricConfig& cfg, ReplicaId id);
+
+  EngineVariant engine_;
+  ledger::Blockchain chain_;
+
+  // Primary-side batching state (§4.3).
+  std::vector<protocol::Transaction> pending_txns_;
+  SeqNum next_seq_{0};
+  std::uint64_t next_txn_id_{1};
+  bool flush_timer_armed_{false};
+
+  // Zyzzyva reorder buffer: order requests must be emitted in seq order
+  // because the history digest is a hash chain (unlike PBFT, §4.5).
+  struct PendingBatch {
+    std::vector<protocol::Transaction> txns;
+    std::uint64_t txn_begin{0};
+  };
+  std::map<SeqNum, PendingBatch> zyz_ready_;
+  SeqNum zyz_next_{1};
+
+  // Strict-ordering ablation state (config.max_inflight_batches > 0).
+  struct HeldBatch {
+    SeqNum seq{0};
+    std::vector<protocol::Transaction> txns;
+    std::uint64_t txn_begin{0};
+  };
+  std::deque<HeldBatch> held_batches_;
+  std::uint64_t inflight_batches_{0};
+
+  std::map<std::uint64_t, sim::EventId> timers_;  // engine timer id -> event
+  std::size_t rr_output_{0};
+  std::size_t rr_input_{0};
+  std::uint64_t view_changes_{0};
+  bool client_watchdog_armed_{false};  // relayed-request liveness watchdog
+};
+
+/// The whole experiment: replicas + client machines + network + clock.
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config);
+  ~Fabric();
+
+  ExperimentResult run();
+
+  // --- internals used by SimReplica / client pool ---
+  const FabricConfig& config() const { return cfg_; }
+  sim::Scheduler& sched() { return sched_; }
+  sim::Network& net() { return net_; }
+  SimReplica& replica(ReplicaId id) { return *replicas_[id]; }
+  ReplicaId primary_id() const { return primary_; }
+  void note_primary(ReplicaId p) { primary_ = p; }
+
+  std::uint32_t machine_of_client(ClientId c) const;
+  std::uint32_t machine_node(std::uint32_t machine) const {
+    return cfg_.replicas + machine;
+  }
+
+  /// Replica -> client machine: a batch's responses for that machine.
+  void deliver_responses(ReplicaId from, std::uint32_t machine,
+                         std::vector<std::pair<ClientId, RequestId>> acks,
+                         bool speculative);
+  void deliver_local_commit(ReplicaId from, ClientId client);
+
+  bool in_measure_window() const;
+  void count_committed_txn(TimeNs latency_ns);
+  void count_consensus_round() { if (in_measure_window()) ++rounds_; }
+  void count_block() { if (in_measure_window()) ++blocks_; }
+  void count_ops(std::uint64_t ops) { if (in_measure_window()) ops_ += ops; }
+
+ private:
+  friend class SimReplica;
+  struct ClientState;
+  struct Machine;
+
+  void start_clients();
+  void client_send_next(ClientId c);
+  void flush_machine(std::uint32_t m);
+  void on_response(ClientId c, RequestId req, ReplicaId from,
+                   bool speculative);
+  void on_local_commit(ClientId c, ReplicaId from);
+  void complete_request(ClientState& cs, ClientId c);
+  void zyz_timeout(ClientId c, RequestId req);
+  void upper_bound_deliver(std::uint32_t machine,
+                           std::vector<protocol::Transaction> txns);
+
+  FabricConfig cfg_;
+  sim::Scheduler sched_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<SimReplica>> replicas_;
+  ReplicaId primary_{0};
+
+  std::vector<ClientState> clients_;
+  std::vector<Machine> machines_;
+
+  // Upper-bound mode (Figure 7): two independent threads on the primary.
+  std::vector<sim::SimThread*> ub_threads_;
+  std::size_t rr_ub_{0};
+
+  TimeNs measure_start_{0};
+  bool measuring_{false};
+  std::uint64_t committed_{0};
+  std::uint64_t rounds_{0};
+  std::uint64_t blocks_{0};
+  std::uint64_t ops_{0};
+  std::uint64_t zyz_fast_{0};
+  std::uint64_t zyz_slow_{0};
+  LatencyHistogram latency_;
+  Rng rng_;
+};
+
+}  // namespace rdb::simfab

@@ -1,0 +1,34 @@
+// Storage-layer interface. The execute thread reads and writes records
+// through this; §5.7 compares an in-memory implementation against an
+// off-memory embedded database accessed through a blocking API call.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rdb::storage {
+
+struct StoreStats {
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+  std::uint64_t read_misses{0};
+};
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual void put(std::string_view key, std::string_view value) = 0;
+  virtual std::optional<std::string> get(std::string_view key) = 0;
+  virtual bool contains(std::string_view key) = 0;
+  virtual std::uint64_t size() const = 0;
+
+  virtual StoreStats stats() const = 0;
+
+  /// Human-readable backend name ("mem", "pagedb").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rdb::storage

@@ -1,0 +1,59 @@
+#include "storage/mem_store.h"
+
+#include <functional>
+
+namespace rdb::storage {
+
+MemStore::Stripe& MemStore::stripe_for(std::string_view key) {
+  return stripes_[std::hash<std::string_view>{}(key) % kStripes];
+}
+
+const MemStore::Stripe& MemStore::stripe_for(std::string_view key) const {
+  return stripes_[std::hash<std::string_view>{}(key) % kStripes];
+}
+
+void MemStore::put(std::string_view key, std::string_view value) {
+  Stripe& s = stripe_for(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.insert_or_assign(std::string(key), std::string(value));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.writes;
+}
+
+std::optional<std::string> MemStore::get(std::string_view key) {
+  Stripe& s = stripe_for(key);
+  std::optional<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(std::string(key));
+    if (it != s.map.end()) out = it->second;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.reads;
+  if (!out) ++stats_.read_misses;
+  return out;
+}
+
+bool MemStore::contains(std::string_view key) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.map.find(std::string(key)) != s.map.end();
+}
+
+std::uint64_t MemStore::size() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+StoreStats MemStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace rdb::storage

@@ -1,0 +1,39 @@
+// In-memory key-value store: hash map sharded across lock stripes so the
+// execute thread(s) and checkpoint thread can touch disjoint keys without
+// contending on one lock.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/kv_store.h"
+
+namespace rdb::storage {
+
+class MemStore final : public KvStore {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void put(std::string_view key, std::string_view value) override;
+  std::optional<std::string> get(std::string_view key) override;
+  bool contains(std::string_view key) override;
+  std::uint64_t size() const override;
+  StoreStats stats() const override;
+  std::string name() const override { return "mem"; }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::string> map;
+  };
+
+  Stripe& stripe_for(std::string_view key);
+  const Stripe& stripe_for(std::string_view key) const;
+
+  std::array<Stripe, kStripes> stripes_;
+  mutable std::mutex stats_mu_;
+  StoreStats stats_;
+};
+
+}  // namespace rdb::storage

@@ -1,0 +1,427 @@
+#include "storage/page_db.h"
+
+#include <cstring>
+#include <filesystem>
+#ifdef __unix__
+#include <unistd.h>
+#endif
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace rdb::storage {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5244425047444231ULL;  // "RDBPGDB1"
+constexpr std::size_t kPageHeaderSize = 10;  // next (u64) + used (u16)
+constexpr std::size_t kRecordHeaderSize = 7; // klen u16 + vlen u32 + flags u8
+constexpr std::uint8_t kFlagDead = 0x01;
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+std::uint16_t load_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+void store_u16(std::uint8_t* p, std::uint16_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+std::size_t record_size(std::size_t klen, std::size_t vlen) {
+  return kRecordHeaderSize + klen + vlen;
+}
+
+}  // namespace
+
+PageDb::PageDb(PageDbConfig config) : config_(std::move(config)) {
+  bool fresh = !std::filesystem::exists(config_.path);
+  file_ = std::fopen(config_.path.c_str(), fresh ? "w+b" : "r+b");
+  if (file_ == nullptr)
+    throw std::runtime_error("PageDb: cannot open " + config_.path);
+
+  if (fresh) {
+    // header + directory pages, all zeroed.
+    page_count_ = 1 + directory_pages();
+    std::vector<std::uint8_t> zero(kPageSize, 0);
+    for (std::uint64_t p = 0; p < page_count_; ++p) {
+      if (std::fwrite(zero.data(), 1, kPageSize, file_) != kPageSize)
+        throw std::runtime_error("PageDb: init write failed");
+    }
+    write_header();
+    std::fflush(file_);
+  } else {
+    read_header();
+  }
+
+  std::string wal_path = config_.path + ".wal";
+  bool wal_exists = std::filesystem::exists(wal_path) &&
+                    std::filesystem::file_size(wal_path) > 0;
+  if (wal_exists) {
+    wal_ = std::fopen(wal_path.c_str(), "r+b");
+    if (wal_ == nullptr) throw std::runtime_error("PageDb: cannot open WAL");
+    wal_replay();
+    checkpoint();
+  } else {
+    wal_ = std::fopen(wal_path.c_str(), "w+b");
+    if (wal_ == nullptr) throw std::runtime_error("PageDb: cannot open WAL");
+  }
+
+  // Count live records once so size() is O(1) afterwards.
+  std::lock_guard<std::mutex> lock(mu_);
+  record_count_ = 0;
+  for (std::uint32_t b = 0; b < config_.bucket_count; ++b) {
+    std::uint64_t pid = bucket_head(b);
+    while (pid != 0) {
+      Page& page = fetch_page(pid);
+      const std::uint8_t* d = page.data.get();
+      std::uint16_t used = load_u16(d + 8);
+      std::size_t off = kPageHeaderSize;
+      while (off < kPageHeaderSize + used) {
+        std::uint16_t klen = load_u16(d + off);
+        std::uint32_t vlen = load_u32(d + off + 2);
+        std::uint8_t flags = d[off + 6];
+        if (!(flags & kFlagDead)) ++record_count_;
+        off += record_size(klen, vlen);
+      }
+      pid = load_u64(d);
+    }
+  }
+}
+
+PageDb::~PageDb() {
+  try {
+    checkpoint();
+  } catch (...) {
+    // Destructors must not throw; the WAL still holds the data.
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  if (wal_ != nullptr) std::fclose(wal_);
+}
+
+std::uint64_t PageDb::directory_pages() const {
+  std::uint64_t entries_per_page = kPageSize / 8;
+  return (config_.bucket_count + entries_per_page - 1) / entries_per_page;
+}
+
+void PageDb::write_header() {
+  std::uint8_t hdr[kPageSize] = {};
+  store_u64(hdr, kMagic);
+  store_u32(hdr + 8, static_cast<std::uint32_t>(kPageSize));
+  store_u32(hdr + 12, config_.bucket_count);
+  store_u64(hdr + 16, page_count_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(hdr, 1, kPageSize, file_) != kPageSize)
+    throw std::runtime_error("PageDb: header write failed");
+}
+
+void PageDb::read_header() {
+  std::uint8_t hdr[kPageSize];
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fread(hdr, 1, kPageSize, file_) != kPageSize)
+    throw std::runtime_error("PageDb: header read failed");
+  if (load_u64(hdr) != kMagic)
+    throw std::runtime_error("PageDb: bad magic in " + config_.path);
+  if (load_u32(hdr + 8) != kPageSize)
+    throw std::runtime_error("PageDb: page size mismatch");
+  config_.bucket_count = load_u32(hdr + 12);
+  page_count_ = load_u64(hdr + 16);
+}
+
+void PageDb::read_page_from_file(std::uint64_t page_id, std::uint8_t* out) {
+  if (std::fseek(file_, static_cast<long>(page_id * kPageSize), SEEK_SET) != 0)
+    throw std::runtime_error("PageDb: seek failed");
+  std::size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n != kPageSize) {
+    // Page past current EOF (freshly allocated): serve zeros.
+    std::memset(out, 0, kPageSize);
+  }
+}
+
+void PageDb::flush_page(std::uint64_t page_id, Page& page) {
+  if (!page.dirty) return;
+  if (std::fseek(file_, static_cast<long>(page_id * kPageSize), SEEK_SET) !=
+          0 ||
+      std::fwrite(page.data.get(), 1, kPageSize, file_) != kPageSize)
+    throw std::runtime_error("PageDb: page write failed");
+  page.dirty = false;
+  ++page_stats_.pages_flushed;
+}
+
+void PageDb::evict_if_needed() {
+  while (cache_.size() > config_.cache_pages) {
+    // Evict the least-recently-used page, flushing it first if dirty.
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (victim == cache_.end() || it->second.lru_tick < victim->second.lru_tick)
+        victim = it;
+    }
+    if (victim == cache_.end()) return;
+    flush_page(victim->first, victim->second);
+    cache_.erase(victim);
+  }
+}
+
+PageDb::Page& PageDb::fetch_page(std::uint64_t page_id) {
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    ++page_stats_.cache_hits;
+    it->second.lru_tick = ++lru_clock_;
+    return it->second;
+  }
+  ++page_stats_.cache_misses;
+  Page page;
+  page.data = std::make_unique<std::uint8_t[]>(kPageSize);
+  read_page_from_file(page_id, page.data.get());
+  page.lru_tick = ++lru_clock_;
+  auto [ins, ok] = cache_.emplace(page_id, std::move(page));
+  (void)ok;
+  evict_if_needed();
+  // evict_if_needed never evicts the page we just touched (highest tick,
+  // and cache_pages >= 1), so the iterator from a fresh find is valid.
+  return cache_.find(page_id)->second;
+}
+
+std::uint64_t PageDb::allocate_page() {
+  std::uint64_t id = page_count_++;
+  Page page;
+  page.data = std::make_unique<std::uint8_t[]>(kPageSize);
+  std::memset(page.data.get(), 0, kPageSize);
+  page.dirty = true;
+  page.lru_tick = ++lru_clock_;
+  cache_.emplace(id, std::move(page));
+  evict_if_needed();
+  return id;
+}
+
+std::uint64_t PageDb::bucket_head(std::uint32_t bucket) {
+  std::uint64_t entries_per_page = kPageSize / 8;
+  std::uint64_t page_id = 1 + bucket / entries_per_page;
+  std::uint64_t slot = bucket % entries_per_page;
+  Page& page = fetch_page(page_id);
+  return load_u64(page.data.get() + slot * 8);
+}
+
+void PageDb::set_bucket_head(std::uint32_t bucket, std::uint64_t page_id) {
+  std::uint64_t entries_per_page = kPageSize / 8;
+  std::uint64_t dir_page = 1 + bucket / entries_per_page;
+  std::uint64_t slot = bucket % entries_per_page;
+  Page& page = fetch_page(dir_page);
+  store_u64(page.data.get() + slot * 8, page_id);
+  page.dirty = true;
+}
+
+std::optional<std::string> PageDb::get_locked(std::string_view key) {
+  std::uint32_t bucket =
+      std::hash<std::string_view>{}(key) % config_.bucket_count;
+  std::uint64_t pid = bucket_head(bucket);
+  while (pid != 0) {
+    Page& page = fetch_page(pid);
+    const std::uint8_t* d = page.data.get();
+    std::uint16_t used = load_u16(d + 8);
+    std::size_t off = kPageHeaderSize;
+    while (off < kPageHeaderSize + used) {
+      std::uint16_t klen = load_u16(d + off);
+      std::uint32_t vlen = load_u32(d + off + 2);
+      std::uint8_t flags = d[off + 6];
+      if (!(flags & kFlagDead) && klen == key.size() &&
+          std::memcmp(d + off + kRecordHeaderSize, key.data(), klen) == 0) {
+        return std::string(
+            reinterpret_cast<const char*>(d + off + kRecordHeaderSize + klen),
+            vlen);
+      }
+      off += record_size(klen, vlen);
+    }
+    pid = load_u64(d);
+  }
+  return std::nullopt;
+}
+
+bool PageDb::put_locked(std::string_view key, std::string_view value) {
+  std::uint32_t bucket =
+      std::hash<std::string_view>{}(key) % config_.bucket_count;
+  std::uint64_t head = bucket_head(bucket);
+  std::uint64_t pid = head;
+  std::uint64_t last_pid = 0;
+  bool existed = false;
+
+  // Pass 1: find an existing live record; overwrite in place if it fits.
+  while (pid != 0) {
+    Page& page = fetch_page(pid);
+    std::uint8_t* d = page.data.get();
+    std::uint16_t used = load_u16(d + 8);
+    std::size_t off = kPageHeaderSize;
+    while (off < kPageHeaderSize + used) {
+      std::uint16_t klen = load_u16(d + off);
+      std::uint32_t vlen = load_u32(d + off + 2);
+      std::uint8_t flags = d[off + 6];
+      if (!(flags & kFlagDead) && klen == key.size() &&
+          std::memcmp(d + off + kRecordHeaderSize, key.data(), klen) == 0) {
+        existed = true;
+        if (vlen == value.size()) {
+          std::memcpy(d + off + kRecordHeaderSize + klen, value.data(), vlen);
+          page.dirty = true;
+          return existed;
+        }
+        d[off + 6] |= kFlagDead;  // size changed: kill and re-append below
+        page.dirty = true;
+      }
+      off += record_size(klen, vlen);
+    }
+    last_pid = pid;
+    pid = load_u64(d);
+  }
+
+  // Pass 2: append into the first chain page with room.
+  std::size_t need = record_size(key.size(), value.size());
+  if (need > kPageSize - kPageHeaderSize)
+    throw std::runtime_error("PageDb: record larger than a page");
+
+  pid = head;
+  while (pid != 0) {
+    Page& page = fetch_page(pid);
+    std::uint8_t* d = page.data.get();
+    std::uint16_t used = load_u16(d + 8);
+    if (kPageHeaderSize + used + need <= kPageSize) {
+      std::size_t off = kPageHeaderSize + used;
+      store_u16(d + off, static_cast<std::uint16_t>(key.size()));
+      store_u32(d + off + 2, static_cast<std::uint32_t>(value.size()));
+      d[off + 6] = 0;
+      std::memcpy(d + off + kRecordHeaderSize, key.data(), key.size());
+      std::memcpy(d + off + kRecordHeaderSize + key.size(), value.data(),
+                  value.size());
+      store_u16(d + 8, static_cast<std::uint16_t>(used + need));
+      page.dirty = true;
+      return existed;
+    }
+    last_pid = pid;
+    pid = load_u64(d);
+  }
+
+  // No room anywhere: allocate a page and link it into the chain.
+  std::uint64_t fresh = allocate_page();
+  {
+    Page& page = fetch_page(fresh);
+    std::uint8_t* d = page.data.get();
+    std::size_t off = kPageHeaderSize;
+    store_u16(d + off, static_cast<std::uint16_t>(key.size()));
+    store_u32(d + off + 2, static_cast<std::uint32_t>(value.size()));
+    d[off + 6] = 0;
+    std::memcpy(d + off + kRecordHeaderSize, key.data(), key.size());
+    std::memcpy(d + off + kRecordHeaderSize + key.size(), value.data(),
+                value.size());
+    store_u16(d + 8, static_cast<std::uint16_t>(need));
+    page.dirty = true;
+  }
+  if (last_pid == 0) {
+    set_bucket_head(bucket, fresh);
+  } else {
+    Page& tail = fetch_page(last_pid);
+    store_u64(tail.data.get(), fresh);
+    tail.dirty = true;
+  }
+  return existed;
+}
+
+void PageDb::put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_append(key, value);
+  bool existed = put_locked(key, value);
+  if (!existed) ++record_count_;
+  ++kv_stats_.writes;
+}
+
+std::optional<std::string> PageDb::get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto out = get_locked(key);
+  ++kv_stats_.reads;
+  if (!out) ++kv_stats_.read_misses;
+  return out;
+}
+
+bool PageDb::contains(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_locked(key).has_value();
+}
+
+std::uint64_t PageDb::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_count_;
+}
+
+StoreStats PageDb::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kv_stats_;
+}
+
+PageDbStats PageDb::page_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_stats_;
+}
+
+void PageDb::checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [pid, page] : cache_) flush_page(pid, page);
+  write_header();
+  std::fflush(file_);
+  wal_truncate();
+}
+
+void PageDb::wal_append(std::string_view key, std::string_view value) {
+  std::uint8_t hdr[6];
+  store_u16(hdr, static_cast<std::uint16_t>(key.size()));
+  store_u32(hdr + 2, static_cast<std::uint32_t>(value.size()));
+  if (std::fwrite(hdr, 1, sizeof(hdr), wal_) != sizeof(hdr) ||
+      std::fwrite(key.data(), 1, key.size(), wal_) != key.size() ||
+      std::fwrite(value.data(), 1, value.size(), wal_) != value.size())
+    throw std::runtime_error("PageDb: WAL append failed");
+  std::fflush(wal_);
+  if (config_.sync_wal) {
+#ifdef __unix__
+    fsync(fileno(wal_));
+#endif
+  }
+  ++page_stats_.wal_appends;
+}
+
+void PageDb::wal_replay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fseek(wal_, 0, SEEK_SET);
+  for (;;) {
+    std::uint8_t hdr[6];
+    if (std::fread(hdr, 1, sizeof(hdr), wal_) != sizeof(hdr)) break;
+    std::uint16_t klen = load_u16(hdr);
+    std::uint32_t vlen = load_u32(hdr + 2);
+    std::string key(klen, '\0');
+    std::string value(vlen, '\0');
+    if (std::fread(key.data(), 1, klen, wal_) != klen) break;
+    if (std::fread(value.data(), 1, vlen, wal_) != vlen) break;
+    bool existed = put_locked(key, value);
+    if (!existed) ++record_count_;
+    ++page_stats_.wal_replayed;
+  }
+}
+
+void PageDb::wal_truncate() {
+  std::fclose(wal_);
+  std::string wal_path = config_.path + ".wal";
+  wal_ = std::fopen(wal_path.c_str(), "w+b");
+  if (wal_ == nullptr) throw std::runtime_error("PageDb: WAL truncate failed");
+}
+
+}  // namespace rdb::storage

@@ -1,0 +1,113 @@
+// PageDB: a from-scratch file-backed paged key-value store.
+//
+// This is the repo's stand-in for the SQLite instance of §5.7 (see DESIGN.md
+// §2): an embedded, persistent database that the execute thread reaches
+// through a *blocking* API call, paying page-cache misses and real file I/O.
+//
+// On-disk layout (single data file + write-ahead log):
+//   page 0           header {magic, page_size, bucket_count, page_count}
+//   pages 1..D       bucket directory: u64 first-page id per bucket
+//   pages D+1..      data pages: [next u64][used u16][records...]
+// Record: [klen u16][vlen u32][flags u8][key][value]; flags bit0 = dead.
+// Updates overwrite in place when the value length matches, otherwise mark
+// the old record dead and append a fresh one (chaining a new page if the
+// bucket is full).
+//
+// Durability: every put appends a logical redo record to the WAL; open()
+// replays the WAL (idempotent re-puts) before serving. checkpoint() flushes
+// dirty pages and truncates the WAL. fsync on the WAL is configurable.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "storage/kv_store.h"
+
+namespace rdb::storage {
+
+struct PageDbConfig {
+  std::string path;            // data file; WAL lives at path + ".wal"
+  std::uint32_t bucket_count{4096};
+  std::size_t cache_pages{256};
+  bool sync_wal{false};        // fsync the WAL on every put
+};
+
+struct PageDbStats {
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+  std::uint64_t pages_flushed{0};
+  std::uint64_t wal_appends{0};
+  std::uint64_t wal_replayed{0};
+};
+
+class PageDb final : public KvStore {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  /// Opens (creating or recovering as needed). Throws std::runtime_error on
+  /// I/O failure or corrupt header.
+  explicit PageDb(PageDbConfig config);
+  ~PageDb() override;
+
+  PageDb(const PageDb&) = delete;
+  PageDb& operator=(const PageDb&) = delete;
+
+  void put(std::string_view key, std::string_view value) override;
+  std::optional<std::string> get(std::string_view key) override;
+  bool contains(std::string_view key) override;
+  std::uint64_t size() const override;
+  StoreStats stats() const override;
+  std::string name() const override { return "pagedb"; }
+
+  /// Flushes all dirty pages + header to disk and truncates the WAL.
+  void checkpoint();
+
+  PageDbStats page_stats() const;
+
+ private:
+  struct Page {
+    std::unique_ptr<std::uint8_t[]> data;
+    bool dirty{false};
+    std::uint64_t lru_tick{0};
+  };
+
+  // --- file + cache plumbing (caller holds mu_) ---
+  Page& fetch_page(std::uint64_t page_id);
+  std::uint64_t allocate_page();
+  void evict_if_needed();
+  void flush_page(std::uint64_t page_id, Page& page);
+  void read_page_from_file(std::uint64_t page_id, std::uint8_t* out);
+  void write_header();
+  void read_header();
+
+  // --- bucket directory ---
+  std::uint64_t directory_pages() const;
+  std::uint64_t bucket_head(std::uint32_t bucket);
+  void set_bucket_head(std::uint32_t bucket, std::uint64_t page_id);
+
+  // --- record operations (caller holds mu_) ---
+  bool put_locked(std::string_view key, std::string_view value);
+  std::optional<std::string> get_locked(std::string_view key);
+
+  // --- WAL ---
+  void wal_append(std::string_view key, std::string_view value);
+  void wal_replay();
+  void wal_truncate();
+
+  PageDbConfig config_;
+  std::FILE* file_{nullptr};
+  std::FILE* wal_{nullptr};
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Page> cache_;
+  std::uint64_t lru_clock_{0};
+  std::uint64_t page_count_{0};
+  std::uint64_t record_count_{0};
+  StoreStats kv_stats_;
+  PageDbStats page_stats_;
+};
+
+}  // namespace rdb::storage

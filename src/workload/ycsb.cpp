@@ -1,0 +1,136 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rdb::workload {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = zeta(n, theta);
+  double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  // Exact for small n; for the large active sets used here the truncated sum
+  // converges well before the cutoff.
+  constexpr std::uint64_t kExactLimit = 10'000'000;
+  double sum = 0;
+  std::uint64_t limit = n < kExactLimit ? n : kExactLimit;
+  for (std::uint64_t i = 1; i <= limit; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  if (n > limit) {
+    // Integral tail approximation.
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(static_cast<double>(limit), 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  if (theta_ <= 1e-9) return rng.below(n_);
+  double u = rng.uniform();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto idx = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config)
+    : config_(config), zipf_(config.record_count, config.zipf_theta) {}
+
+std::string YcsbWorkload::key_name(std::uint64_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%010llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+void YcsbWorkload::populate(storage::KvStore& store) const {
+  std::string value(config_.value_bytes, 'x');
+  for (std::uint64_t i = 0; i < config_.record_count; ++i)
+    store.put(key_name(i), value);
+}
+
+protocol::Transaction YcsbWorkload::make_transaction(Rng& rng,
+                                                     ClientId client,
+                                                     RequestId req_id) const {
+  protocol::Transaction txn;
+  txn.client = client;
+  txn.req_id = req_id;
+  txn.ops = config_.ops_per_txn;
+
+  Writer w(config_.ops_per_txn * (13 + config_.value_bytes));
+  w.u32(config_.ops_per_txn);
+  for (std::uint32_t i = 0; i < config_.ops_per_txn; ++i) {
+    w.u64(zipf_.next(rng));
+    bool is_read =
+        config_.read_fraction > 0.0 && rng.chance(config_.read_fraction);
+    w.u8(is_read ? 1 : 0);
+    if (is_read) {
+      w.bytes(BytesView());
+    } else {
+      Bytes value(config_.value_bytes);
+      for (auto& b : value) b = static_cast<std::uint8_t>(rng.next());
+      w.bytes(BytesView(value));
+    }
+  }
+  txn.payload = w.take();
+  return txn;
+}
+
+std::vector<Operation> YcsbWorkload::decode(const protocol::Transaction& txn) {
+  Reader r(BytesView(txn.payload));
+  std::uint32_t n = r.u32();
+  std::vector<Operation> ops;
+  if (!r.ok()) return ops;
+  // Bound the reservation against a hostile count: each operation occupies
+  // at least 12 bytes on the wire.
+  ops.reserve(std::min<std::uint64_t>(n, r.remaining() / 12 + 1));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Operation op;
+    op.key_index = r.u64();
+    op.is_read = r.u8() != 0;
+    op.value = r.bytes();
+    if (!r.ok()) break;  // truncated/hostile payload: drop the partial op
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::uint64_t YcsbWorkload::execute(const protocol::Transaction& txn,
+                                    storage::KvStore& store) const {
+  auto ops = decode(txn);
+  bool any_reads = false;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto fold = [&checksum](std::string_view bytes) {
+    for (char c : bytes) {
+      checksum ^= static_cast<std::uint8_t>(c);
+      checksum *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& op : ops) {
+    if (op.is_read) {
+      any_reads = true;
+      auto value = store.get(key_name(op.key_index));
+      if (value) fold(*value);
+    } else {
+      store.put(
+          key_name(op.key_index),
+          std::string_view(reinterpret_cast<const char*>(op.value.data()),
+                           op.value.size()));
+    }
+  }
+  if (!any_reads) return ops.size();
+  checksum ^= ops.size();
+  return checksum;
+}
+
+}  // namespace rdb::workload

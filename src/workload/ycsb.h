@@ -1,0 +1,87 @@
+// YCSB-style workload (§5.1): a table of 600K records, write-only
+// transactions over keys drawn from a Zipfian distribution, configurable
+// operations per transaction (Figure 11) and payload size per operation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "protocol/messages.h"
+#include "storage/kv_store.h"
+
+namespace rdb::workload {
+
+/// Zipfian key generator (Gray et al.'s incremental method, as used by the
+/// YCSB core package). theta = 0 degenerates to uniform.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+struct YcsbConfig {
+  std::uint64_t record_count{600'000};  // active set (§5.1)
+  double zipf_theta{0.9};               // YCSB default skew
+  std::uint32_t ops_per_txn{1};
+  std::uint32_t value_bytes{8};         // bytes written per operation
+  // Fraction of read operations. The paper's evaluation is write-only
+  // (0.0, §5.1); 0.5 ≈ YCSB-A, 0.95 ≈ YCSB-B.
+  double read_fraction{0.0};
+};
+
+struct Operation {
+  std::uint64_t key_index{0};
+  bool is_read{false};
+  Bytes value;  // empty for reads
+};
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(YcsbConfig config);
+
+  /// Loads the initial table: every record present with a default value.
+  void populate(storage::KvStore& store) const;
+
+  /// Builds one write-only client transaction.
+  protocol::Transaction make_transaction(Rng& rng, ClientId client,
+                                         RequestId req_id) const;
+
+  /// Applies a transaction's operations to the store. The returned result
+  /// code (placed in the ClientResponse) is deterministic across replicas:
+  /// for write-only transactions it is the number of operations executed;
+  /// when the transaction contains reads it is an FNV-1a checksum folding
+  /// the ops count with every value read, so f+1 matching responses prove
+  /// the reads observed the same replicated state.
+  std::uint64_t execute(const protocol::Transaction& txn,
+                        storage::KvStore& store) const;
+
+  /// Decodes the operations baked into a transaction payload.
+  static std::vector<Operation> decode(const protocol::Transaction& txn);
+
+  static std::string key_name(std::uint64_t index);
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  YcsbConfig config_;
+  mutable ZipfianGenerator zipf_;
+};
+
+}  // namespace rdb::workload

@@ -1,0 +1,69 @@
+// Public API facade: the aliases and helpers a downstream user reaches
+// first. Keeps the umbrella header honest (it must compile standalone and
+// expose everything the README shows).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "api/resilientdb.h"
+
+namespace {
+
+TEST(Api, VersionString) {
+  EXPECT_STREQ(resilientdb::version(), "1.0.0");
+}
+
+TEST(Api, AliasesAreUsable) {
+  resilientdb::ClusterConfig cluster_cfg;
+  EXPECT_EQ(cluster_cfg.replicas, 4u);
+
+  resilientdb::FabricConfig fabric_cfg;
+  EXPECT_EQ(fabric_cfg.replicas, 16u);
+  EXPECT_EQ(fabric_cfg.batch_size, 100u);       // §5.1 standard batch
+  EXPECT_EQ(fabric_cfg.clients, 80'000u);       // §5.1 standard load
+  EXPECT_EQ(fabric_cfg.checkpoint_interval_txns, 10'000u);
+  EXPECT_EQ(fabric_cfg.f(), 5u);
+  EXPECT_EQ(fabric_cfg.checkpoint_interval_batches(), 100u);
+}
+
+TEST(Api, RunExperimentTiny) {
+  resilientdb::FabricConfig cfg;
+  cfg.replicas = 4;
+  cfg.clients = 200;
+  cfg.client_machines = 1;
+  cfg.batch_size = 10;
+  cfg.warmup_ns = 100'000'000;
+  cfg.measure_ns = 200'000'000;
+  auto result = rdb::simfab::run_experiment(cfg);
+  EXPECT_GT(result.metrics.committed_txns, 0u);
+}
+
+TEST(Api, BenchQuickModeFollowsEnvironment) {
+  ::unsetenv("RDB_BENCH_QUICK");
+  EXPECT_FALSE(rdb::simfab::bench_quick_mode());
+  ::setenv("RDB_BENCH_QUICK", "1", 1);
+  EXPECT_TRUE(rdb::simfab::bench_quick_mode());
+  ::setenv("RDB_BENCH_QUICK", "0", 1);
+  EXPECT_FALSE(rdb::simfab::bench_quick_mode());
+  ::unsetenv("RDB_BENCH_QUICK");
+
+  resilientdb::FabricConfig cfg;
+  rdb::TimeNs original = cfg.measure_ns;
+  rdb::simfab::apply_bench_mode(cfg);
+  EXPECT_EQ(cfg.measure_ns, original);  // quick mode off: untouched
+  ::setenv("RDB_BENCH_QUICK", "1", 1);
+  rdb::simfab::apply_bench_mode(cfg);
+  EXPECT_LT(cfg.measure_ns, original);
+  ::unsetenv("RDB_BENCH_QUICK");
+}
+
+TEST(Api, PrintersDoNotCrash) {
+  rdb::simfab::print_figure_header("test header");
+  rdb::simfab::ExperimentResult r;
+  r.metrics.throughput_tps = 123456;
+  r.primary_threads = {{"worker", 42.0}, {"batch-0", 99.0}};
+  rdb::simfab::print_row("series", "x", r);
+  rdb::simfab::print_saturation("label", r);
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Catch-up (state transfer within the retention window): a replica that
+// missed batches fetches them from peers — engine semantics and the
+// end-to-end threaded-runtime path.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "runtime/cluster.h"
+#include "tests/engine_harness.h"
+#include "workload/ycsb.h"
+
+namespace rdb::protocol {
+namespace {
+
+using test::EngineHarness;
+using test::make_batch;
+
+Digest digest_of(const std::string& tag) { return crypto::sha256(tag); }
+
+Message from_replica(ReplicaId r, Payload p) {
+  Message m;
+  m.from = Endpoint::replica(r);
+  m.payload = std::move(p);
+  return m;
+}
+
+TEST(Catchup, NoGapNoRequest) {
+  EngineHarness<PbftEngine> h(4);
+  h.perform(0, h.engine(0).make_preprepare(1, make_batch(1, 0, 1), 1,
+                                           digest_of("a")));
+  h.run_all();
+  for (ReplicaId r = 0; r < 4; ++r)
+    EXPECT_TRUE(h.engine(r).maybe_request_catchup().empty()) << r;
+}
+
+TEST(Catchup, GapTriggersRequest) {
+  // Replica 3 misses batch 1 entirely but observes batch 2 commit.
+  EngineHarness<PbftEngine> h(4);
+  h.crash(3);
+  h.perform(0, h.engine(0).make_preprepare(1, make_batch(1, 0, 1), 1,
+                                           digest_of("missed")));
+  h.run_all();
+
+  // Batch 2 is delivered to everyone (3 "recovers" its connectivity).
+  EngineHarness<PbftEngine> h2(4);  // fresh harness: drive engine 3 by hand
+  auto& lagging = h2.engine(3);
+  // Feed commits for seq 2 from a quorum so the committed frontier moves.
+  PrePrepare pp2;
+  pp2.view = 0;
+  pp2.seq = 2;
+  pp2.batch_digest = digest_of("second");
+  pp2.txns = make_batch(1, 10, 1);
+  (void)lagging.on_preprepare(from_replica(0, pp2));
+  Prepare pr2;
+  pr2.view = 0;
+  pr2.seq = 2;
+  pr2.batch_digest = digest_of("second");
+  (void)lagging.on_prepare(from_replica(1, pr2));
+  (void)lagging.on_prepare(from_replica(2, pr2));
+  Commit c2;
+  c2.view = 0;
+  c2.seq = 2;
+  c2.batch_digest = digest_of("second");
+  (void)lagging.on_commit(from_replica(0, c2));
+  (void)lagging.on_commit(from_replica(1, c2));
+  auto acts = lagging.on_commit(from_replica(2, c2));
+  // Batch 2 committed but seq 1 is missing: nothing executes yet.
+  EXPECT_TRUE(acts.empty());
+  EXPECT_EQ(lagging.last_executed(), 0u);
+
+  auto req_acts = lagging.maybe_request_catchup();
+  ASSERT_FALSE(req_acts.empty());
+  auto* bc = std::get_if<BroadcastAction>(&req_acts[0]);
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->msg.type(), MsgType::kBatchRequest);
+  const auto& req = std::get<BatchRequest>(bc->msg.payload);
+  EXPECT_EQ(req.begin, 1u);
+  EXPECT_GE(req.end, 1u);
+  EXPECT_EQ(lagging.metrics().catchup_requests, 1u);
+
+  // Re-polling immediately must not spam a duplicate request.
+  EXPECT_TRUE(lagging.maybe_request_catchup().empty());
+}
+
+TEST(Catchup, PeerServesExecutedBatches) {
+  EngineHarness<PbftEngine> h(4);
+  for (SeqNum s = 1; s <= 3; ++s)
+    h.perform(0, h.engine(0).make_preprepare(
+                     s, make_batch(1, s * 10, 2), (s - 1) * 2 + 1,
+                     digest_of("b" + std::to_string(s))));
+  h.run_all();
+
+  BatchRequest req;
+  req.begin = 1;
+  req.end = 3;
+  auto acts = h.engine(1).on_batch_request(from_replica(3, req));
+  ASSERT_EQ(acts.size(), 1u);
+  auto* send = std::get_if<SendAction>(&acts[0]);
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->to, Endpoint::replica(3));
+  const auto& resp = std::get<BatchResponse>(send->msg.payload);
+  ASSERT_EQ(resp.entries.size(), 3u);
+  EXPECT_EQ(resp.entries[0].digest, digest_of("b1"));
+  EXPECT_EQ(resp.entries[2].seq, 3u);
+}
+
+TEST(Catchup, HostileBatchRequestRejected) {
+  EngineHarness<PbftEngine> h(4);
+  BatchRequest req;
+  req.begin = 1;
+  req.end = 1'000'000;  // absurd range
+  EXPECT_TRUE(h.engine(1).on_batch_request(from_replica(3, req)).empty());
+  BatchRequest inverted;
+  inverted.begin = 5;
+  inverted.end = 2;
+  EXPECT_TRUE(
+      h.engine(1).on_batch_request(from_replica(3, inverted)).empty());
+}
+
+TEST(Catchup, AdoptionRequiresFPlusOneMatchingPeers) {
+  EngineHarness<PbftEngine> h(4);  // f = 1: need 2 matching vouchers
+  auto& lagging = h.engine(3);
+
+  BatchResponse resp;
+  BatchResponse::Entry e;
+  e.seq = 1;
+  e.view = 0;
+  e.digest = digest_of("real");
+  e.txn_begin = 1;
+  e.txns = make_batch(1, 0, 1);
+  resp.entries = {e};
+
+  // One voucher: not adopted.
+  EXPECT_TRUE(lagging.on_batch_response(from_replica(0, resp)).empty());
+  EXPECT_EQ(lagging.last_executed(), 0u);
+
+  // A SECOND peer vouching for a DIFFERENT digest must not help.
+  BatchResponse forged = resp;
+  forged.entries[0].digest = digest_of("forged");
+  EXPECT_TRUE(lagging.on_batch_response(from_replica(1, forged)).empty());
+  EXPECT_EQ(lagging.last_executed(), 0u);
+
+  // Second matching voucher: adopted and executed.
+  auto acts = lagging.on_batch_response(from_replica(2, resp));
+  bool executed = false;
+  for (auto& a : acts)
+    if (auto* ex = std::get_if<ExecuteAction>(&a)) {
+      executed = true;
+      EXPECT_EQ(ex->seq, 1u);
+      EXPECT_EQ(ex->batch_digest, digest_of("real"));
+    }
+  EXPECT_TRUE(executed);
+  EXPECT_EQ(lagging.last_executed(), 1u);
+  EXPECT_EQ(lagging.metrics().catchup_batches_adopted, 1u);
+}
+
+TEST(Catchup, DuplicateVouchersFromSamePeerCountOnce) {
+  EngineHarness<PbftEngine> h(4);
+  auto& lagging = h.engine(3);
+  BatchResponse resp;
+  BatchResponse::Entry e;
+  e.seq = 1;
+  e.digest = digest_of("x");
+  e.txn_begin = 1;
+  e.txns = make_batch(1, 0, 1);
+  resp.entries = {e};
+  EXPECT_TRUE(lagging.on_batch_response(from_replica(0, resp)).empty());
+  EXPECT_TRUE(lagging.on_batch_response(from_replica(0, resp)).empty());
+  EXPECT_EQ(lagging.last_executed(), 0u);
+}
+
+TEST(Catchup, AlreadyExecutedEntriesIgnored) {
+  EngineHarness<PbftEngine> h(4);
+  h.perform(0, h.engine(0).make_preprepare(1, make_batch(1, 0, 1), 1,
+                                           digest_of("done")));
+  h.run_all();
+  ASSERT_EQ(h.engine(2).last_executed(), 1u);
+
+  BatchResponse resp;
+  BatchResponse::Entry e;
+  e.seq = 1;
+  e.digest = digest_of("conflicting");  // would conflict if adopted
+  e.txns = make_batch(9, 0, 1);
+  resp.entries = {e};
+  EXPECT_TRUE(h.engine(2).on_batch_response(from_replica(0, resp)).empty());
+  EXPECT_TRUE(h.engine(2).on_batch_response(from_replica(1, resp)).empty());
+  EXPECT_EQ(h.executed(2).size(), 1u);
+  EXPECT_EQ(h.executed(2)[0].batch_digest, digest_of("done"));
+}
+
+}  // namespace
+}  // namespace rdb::protocol
+
+// ---------------------------------------------------------------------------
+// End-to-end: a partitioned replica heals and catches up through the
+// threaded runtime's periodic poll.
+// ---------------------------------------------------------------------------
+
+namespace rdb::runtime {
+namespace {
+
+TEST(CatchupRuntime, HealedReplicaCatchesUp) {
+  auto wl = std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 1'000, .ops_per_txn = 2});
+  ClusterConfig cfg;
+  cfg.replicas = 4;
+  cfg.batch_size = 5;
+  cfg.catchup_poll_ns = 100'000'000;  // poll every 100 ms
+  cfg.execute = [wl](const protocol::Transaction& t, storage::KvStore& s) {
+    return wl->execute(t, s);
+  };
+  LocalCluster cluster(cfg);
+  cluster.start();
+
+  // Partition backup 3 and commit several batches without it.
+  cluster.transport().set_partitioned(Endpoint::replica(3), true);
+  auto client = cluster.make_client(1);
+  Rng rng(11);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<protocol::Transaction> burst;
+    for (int i = 0; i < 5; ++i) {
+      auto t = wl->make_transaction(rng, 1, 0);
+      burst.push_back(client->make_transaction(t.payload, t.ops));
+    }
+    ASSERT_TRUE(client->submit_and_wait(std::move(burst)).has_value());
+  }
+  ASSERT_TRUE(
+      cluster.wait_for_execution(4, std::chrono::seconds(5), /*skip=*/{3}));
+  EXPECT_EQ(cluster.replica(3).last_executed(), 0u);
+
+  // Heal. The periodic poll detects the gap (new consensus traffic reveals
+  // the committed frontier) and fetches the missed batches.
+  cluster.transport().set_partitioned(Endpoint::replica(3), false);
+  {
+    std::vector<protocol::Transaction> burst;
+    auto t = wl->make_transaction(rng, 1, 0);
+    burst.push_back(client->make_transaction(t.payload, t.ops));
+    ASSERT_TRUE(client->submit_and_wait(std::move(burst)).has_value());
+  }
+
+  bool caught_up = cluster.wait_for_execution(5, std::chrono::seconds(10));
+  EXPECT_TRUE(caught_up);
+  if (caught_up) {
+    // Same chain commitment and store size everywhere, including replica 3.
+    auto acc0 = cluster.replica(0).chain().accumulator();
+    EXPECT_EQ(cluster.replica(3).chain().accumulator(), acc0);
+    EXPECT_EQ(cluster.replica(3).store().size(),
+              cluster.replica(0).store().size());
+  }
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace rdb::runtime

@@ -1,0 +1,217 @@
+// Foundations: hex/bytes helpers, serialization, PRNG, statistics.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace rdb {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(BytesView(b)), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(Bytes, MalformedHexReturnsEmpty) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // non-hex chars
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(BytesView(a), BytesView(b)));
+  EXPECT_FALSE(ct_equal(BytesView(a), BytesView(c)));
+  EXPECT_FALSE(ct_equal(BytesView(a), BytesView(b).subspan(1)));
+}
+
+TEST(Bytes, DigestZeroCheck) {
+  Digest d;
+  EXPECT_TRUE(d.is_zero());
+  d.data[31] = 1;
+  EXPECT_FALSE(d.is_zero());
+}
+
+TEST(Types, QuorumArithmetic) {
+  EXPECT_EQ(max_faulty(4), 1u);
+  EXPECT_EQ(max_faulty(7), 2u);
+  EXPECT_EQ(max_faulty(16), 5u);
+  EXPECT_EQ(max_faulty(32), 10u);
+  EXPECT_EQ(prepare_quorum(4), 2u);
+  EXPECT_EQ(commit_quorum(4), 3u);
+  EXPECT_EQ(commit_quorum(16), 11u);
+}
+
+TEST(Types, EndpointEquality) {
+  EXPECT_EQ(Endpoint::replica(1), Endpoint::replica(1));
+  EXPECT_NE(Endpoint::replica(1), Endpoint::client(1));
+  EXPECT_NE(Endpoint::replica(1), Endpoint::replica(2));
+}
+
+TEST(Serde, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  Reader r(BytesView(w.data()));
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, BytesAndStrings) {
+  Writer w;
+  w.str("hello");
+  w.bytes(BytesView());
+  w.str("world");
+  Reader r(BytesView(w.data()));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_EQ(r.str(), "world");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, DigestRoundTrip) {
+  Digest d;
+  for (int i = 0; i < 32; ++i) d.data[i] = static_cast<std::uint8_t>(i);
+  Writer w;
+  w.digest(d);
+  Reader r(BytesView(w.data()));
+  EXPECT_EQ(r.digest(), d);
+}
+
+TEST(Serde, TruncatedReadsAreSafe) {
+  Writer w;
+  w.u64(42);
+  Bytes data = w.take();
+  data.resize(3);  // truncate mid-scalar
+  Reader r{BytesView(data)};
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, HostileLengthPrefixRejected) {
+  Writer w;
+  w.u32(0xFFFFFFFF);  // claims 4 GiB of bytes follow
+  Reader r(BytesView(w.data()));
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+// Any truncation point of a structured buffer must leave the reader !ok()
+// or done(), never reading out of bounds (exercised under ASan in CI).
+TEST(Serde, EveryTruncationPointHandled) {
+  Writer w;
+  w.u32(7);
+  w.str("payload");
+  w.u64(99);
+  w.bytes(BytesView(w.data()).subspan(0, 5));
+  Bytes full = w.take();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes part(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    Reader r{BytesView(part)};
+    (void)r.u32();
+    (void)r.str();
+    (void)r.u64();
+    (void)r.bytes();
+    EXPECT_FALSE(r.done()) << "cut=" << cut;
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next() != c.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowCoversBuckets) {
+  Rng rng(5);
+  int counts[10] = {};
+  for (int i = 0; i < 10'000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);   // expect ~1000 each; catastrophic skew fails
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Histogram, BasicPercentiles) {
+  LatencyHistogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i * 1000);  // 1..1000us
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean_ns(), 500'500, 1000);
+  // Log-bucketed: percentile is an upper bound within ~8%.
+  EXPECT_NEAR(h.percentile_ns(50), 500'000, 50'000);
+  EXPECT_NEAR(h.percentile_ns(99), 990'000, 100'000);
+  EXPECT_EQ(h.min_ns(), 1000);
+  EXPECT_EQ(h.max_ns(), 1'000'000);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.record(1000);
+  b.record(2000);
+  b.record(3000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min_ns(), 1000);
+  EXPECT_EQ(a.max_ns(), 3000);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(99), 0.0);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(5000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Stats, FormatTps) {
+  EXPECT_EQ(format_tps(123), "123");
+  EXPECT_EQ(format_tps(1500), "1.5K");
+  EXPECT_EQ(format_tps(2'000'000), "2.00M");
+}
+
+TEST(Stats, SaturationGauge) {
+  SaturationGauge g;
+  g.add_busy(500);
+  EXPECT_DOUBLE_EQ(g.percent(1000), 50.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.percent(1000), 0.0);
+}
+
+}  // namespace
+}  // namespace rdb

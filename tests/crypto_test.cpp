@@ -1,0 +1,309 @@
+// Cryptographic primitives against published test vectors, plus provider
+// semantics (scheme negotiation, tamper rejection, pairwise keys).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+#include "crypto/cmac.h"
+#include "crypto/hmac.h"
+#include "crypto/key_registry.h"
+#include "crypto/provider.h"
+#include "crypto/sha256.h"
+
+namespace rdb::crypto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-256 — FIPS 180-4 / NIST CAVS vectors.
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: padding spills into a second block.
+  std::string msg(64, 'a');
+  EXPECT_EQ(to_hex(sha256(msg)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and with "
+      "great enthusiasm, until the message spans several blocks.";
+  Digest oneshot = sha256(msg);
+  // Every possible split point must agree with the one-shot digest.
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update(std::string_view("abc"));
+  Digest first = h.finish();
+  h.reset();
+  h.update(std::string_view("abc"));
+  EXPECT_EQ(h.finish(), first);
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 — RFC 4231 vectors.
+// ---------------------------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(BytesView(
+                hmac_sha256(BytesView(key), to_bytes("Hi There")).data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(BytesView(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))
+                           .data)),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(BytesView(
+                hmac_sha256(BytesView(key), BytesView(data)).data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(BytesView(
+                hmac_sha256(BytesView(key),
+                            to_bytes("Test Using Larger Than Block-Size Key - "
+                                     "Hash Key First"))
+                    .data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---------------------------------------------------------------------------
+// AES-128 — FIPS 197 Appendix B & SP 800-38A vectors.
+// ---------------------------------------------------------------------------
+
+AesKey key_from_hex(const char* hex) {
+  Bytes b = from_hex(hex);
+  AesKey k{};
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+AesBlock block_from_hex(const char* hex) {
+  Bytes b = from_hex(hex);
+  AesBlock blk{};
+  std::copy(b.begin(), b.end(), blk.begin());
+  return blk;
+}
+
+TEST(Aes128, Fips197AppendixB) {
+  Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  AesBlock ct = aes.encrypt(block_from_hex("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(to_hex(BytesView(ct)), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, Sp80038aEcb) {
+  Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  AesBlock ct = aes.encrypt(block_from_hex("6bc1bee22e409f96e93d7e117393172a"));
+  EXPECT_EQ(to_hex(BytesView(ct)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  AesBlock pt = block_from_hex("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+  // FIPS 197 Appendix C.1 known answer.
+  EXPECT_EQ(to_hex(BytesView(aes.encrypt(pt))),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// ---------------------------------------------------------------------------
+// CMAC-AES128 — RFC 4493 vectors.
+// ---------------------------------------------------------------------------
+
+class CmacRfc4493 : public ::testing::Test {
+ protected:
+  AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+};
+
+TEST_F(CmacRfc4493, EmptyMessage) {
+  EXPECT_EQ(to_hex(BytesView(cmac_aes128(key, BytesView()))),
+            "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST_F(CmacRfc4493, SixteenBytes) {
+  Bytes m = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(to_hex(BytesView(cmac_aes128(key, BytesView(m)))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST_F(CmacRfc4493, FortyBytes) {
+  Bytes m = from_hex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(to_hex(BytesView(cmac_aes128(key, BytesView(m)))),
+            "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST_F(CmacRfc4493, SixtyFourBytes) {
+  Bytes m = from_hex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(BytesView(cmac_aes128(key, BytesView(m)))),
+            "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST_F(CmacRfc4493, ContextMatchesOneShot) {
+  CmacContext ctx(key);
+  Bytes m = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(ctx.tag(BytesView(m)), cmac_aes128(key, BytesView(m)));
+}
+
+// ---------------------------------------------------------------------------
+// Key registry & provider.
+// ---------------------------------------------------------------------------
+
+TEST(KeyRegistry, PairwiseKeysAreSymmetric) {
+  KeyRegistry reg(123);
+  auto a = Endpoint::replica(3);
+  auto b = Endpoint::client(3);  // same id, different kind
+  EXPECT_EQ(reg.pairwise_key(a, b), reg.pairwise_key(b, a));
+  EXPECT_NE(reg.pairwise_key(a, b),
+            reg.pairwise_key(a, Endpoint::replica(3)));
+}
+
+TEST(KeyRegistry, DistinctSecretsPerEndpoint) {
+  KeyRegistry reg(123);
+  EXPECT_NE(reg.signing_secret(Endpoint::replica(0)),
+            reg.signing_secret(Endpoint::replica(1)));
+  EXPECT_NE(reg.signing_secret(Endpoint::replica(0)),
+            reg.signing_secret(Endpoint::client(0)));
+}
+
+TEST(KeyRegistry, DeterministicAcrossInstances) {
+  KeyRegistry a(99), b(99), c(100);
+  EXPECT_EQ(a.signing_secret(Endpoint::replica(1)),
+            b.signing_secret(Endpoint::replica(1)));
+  EXPECT_NE(a.signing_secret(Endpoint::replica(1)),
+            c.signing_secret(Endpoint::replica(1)));
+}
+
+class ProviderTest : public ::testing::Test {
+ protected:
+  KeyRegistry reg{42};
+  SchemeConfig standard = SchemeConfig::standard();
+};
+
+TEST_F(ProviderTest, ReplicaToReplicaMacRoundTrip) {
+  CryptoProvider alice(Endpoint::replica(0), reg, standard);
+  CryptoProvider bob(Endpoint::replica(1), reg, standard);
+  Bytes msg = to_bytes("prepare(v=0, seq=7)");
+  Bytes sig = alice.sign(Endpoint::replica(1), BytesView(msg));
+  EXPECT_TRUE(bob.verify(Endpoint::replica(0), BytesView(msg), BytesView(sig)));
+}
+
+TEST_F(ProviderTest, TamperedMessageRejected) {
+  CryptoProvider alice(Endpoint::replica(0), reg, standard);
+  CryptoProvider bob(Endpoint::replica(1), reg, standard);
+  Bytes msg = to_bytes("transfer 10 coins");
+  Bytes sig = alice.sign(Endpoint::replica(1), BytesView(msg));
+  Bytes tampered = to_bytes("transfer 99 coins");
+  EXPECT_FALSE(
+      bob.verify(Endpoint::replica(0), BytesView(tampered), BytesView(sig)));
+}
+
+TEST_F(ProviderTest, TamperedSignatureRejected) {
+  CryptoProvider alice(Endpoint::replica(0), reg, standard);
+  CryptoProvider bob(Endpoint::replica(1), reg, standard);
+  Bytes msg = to_bytes("hello");
+  Bytes sig = alice.sign(Endpoint::replica(1), BytesView(msg));
+  sig.back() ^= 0x01;
+  EXPECT_FALSE(bob.verify(Endpoint::replica(0), BytesView(msg), BytesView(sig)));
+}
+
+TEST_F(ProviderTest, MacFromWrongPeerRejected) {
+  // A MAC produced by replica 2 for replica 1 must not verify as coming
+  // from replica 0 (pairwise keys differ).
+  CryptoProvider mallory(Endpoint::replica(2), reg, standard);
+  CryptoProvider bob(Endpoint::replica(1), reg, standard);
+  Bytes msg = to_bytes("forged");
+  Bytes sig = mallory.sign(Endpoint::replica(1), BytesView(msg));
+  EXPECT_FALSE(bob.verify(Endpoint::replica(0), BytesView(msg), BytesView(sig)));
+  EXPECT_TRUE(bob.verify(Endpoint::replica(2), BytesView(msg), BytesView(sig)));
+}
+
+TEST_F(ProviderTest, ClientLinkUsesDigitalSignature) {
+  CryptoProvider client(Endpoint::client(5), reg, standard);
+  CryptoProvider replica(Endpoint::replica(0), reg, standard);
+  Bytes msg = to_bytes("client request");
+  Bytes sig = client.sign(Endpoint::replica(0), BytesView(msg));
+  // DS signatures are addressee-independent: any replica can verify.
+  CryptoProvider other(Endpoint::replica(3), reg, standard);
+  EXPECT_TRUE(
+      replica.verify(Endpoint::client(5), BytesView(msg), BytesView(sig)));
+  EXPECT_TRUE(
+      other.verify(Endpoint::client(5), BytesView(msg), BytesView(sig)));
+  EXPECT_EQ(sig.size(), scheme_cost(SignatureScheme::kEd25519).sig_bytes + 1);
+}
+
+TEST_F(ProviderTest, SchemeDowngradeRejected) {
+  // A peer that signs with kNone cannot pass where CMAC is expected.
+  SchemeConfig none = SchemeConfig::none();
+  CryptoProvider weak(Endpoint::replica(0), reg, none);
+  CryptoProvider bob(Endpoint::replica(1), reg, standard);
+  Bytes msg = to_bytes("downgrade");
+  Bytes sig = weak.sign(Endpoint::replica(1), BytesView(msg));
+  EXPECT_FALSE(bob.verify(Endpoint::replica(0), BytesView(msg), BytesView(sig)));
+}
+
+TEST_F(ProviderTest, RsaSchemeSizes) {
+  SchemeConfig rsa = SchemeConfig::all_rsa();
+  CryptoProvider signer(Endpoint::replica(0), reg, rsa);
+  Bytes msg = to_bytes("x");
+  Bytes sig = signer.sign(Endpoint::replica(1), BytesView(msg));
+  EXPECT_EQ(sig.size(), scheme_cost(SignatureScheme::kRsa2048).sig_bytes + 1);
+  CryptoProvider bob(Endpoint::replica(1), reg, rsa);
+  EXPECT_TRUE(bob.verify(Endpoint::replica(0), BytesView(msg), BytesView(sig)));
+}
+
+TEST_F(ProviderTest, EmptySignatureRejected) {
+  CryptoProvider bob(Endpoint::replica(1), reg, standard);
+  EXPECT_FALSE(bob.verify(Endpoint::replica(0),
+                          BytesView(to_bytes("m")), BytesView()));
+}
+
+}  // namespace
+}  // namespace rdb::crypto

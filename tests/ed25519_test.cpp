@@ -1,0 +1,180 @@
+// SHA-512 against FIPS 180-4 vectors and Ed25519 against the RFC 8032
+// test vectors, plus adversarial rejection cases.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha512.h"
+
+namespace rdb::crypto {
+namespace {
+
+std::string hex512(const Digest512& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hex512(sha512("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hex512(sha512("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(hex512(sha512(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionAs) {
+  Sha512 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex512(h.finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  std::string msg(517, 'q');
+  Digest512 oneshot = sha512(msg);
+  for (std::size_t split : {1u, 63u, 64u, 127u, 128u, 129u, 300u}) {
+    Sha512 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), oneshot) << "split " << split;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RFC 8032 §7.1 test vectors.
+// ---------------------------------------------------------------------------
+
+Ed25519Seed seed_from_hex(const char* hex) {
+  Bytes b = from_hex(hex);
+  Ed25519Seed s{};
+  std::copy(b.begin(), b.end(), s.begin());
+  return s;
+}
+
+struct Rfc8032Vector {
+  const char* seed;
+  const char* public_key;
+  const char* message;
+  const char* signature;
+};
+
+const Rfc8032Vector kVectors[] = {
+    // TEST 1: empty message.
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a", "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    // TEST 2: one byte.
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+     "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    // TEST 3: two bytes.
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+TEST(Ed25519, Rfc8032PublicKeys) {
+  for (const auto& v : kVectors) {
+    auto pub = ed25519_public_key(seed_from_hex(v.seed));
+    EXPECT_EQ(to_hex(BytesView(pub.data(), pub.size())), v.public_key);
+  }
+}
+
+TEST(Ed25519, Rfc8032Signatures) {
+  for (const auto& v : kVectors) {
+    auto seed = seed_from_hex(v.seed);
+    auto pub = ed25519_public_key(seed);
+    Bytes msg = from_hex(v.message);
+    auto sig = ed25519_sign(BytesView(msg), seed, pub);
+    EXPECT_EQ(to_hex(BytesView(sig.data(), sig.size())), v.signature);
+  }
+}
+
+TEST(Ed25519, Rfc8032Verification) {
+  for (const auto& v : kVectors) {
+    auto pub = ed25519_public_key(seed_from_hex(v.seed));
+    Bytes msg = from_hex(v.message);
+    Bytes sig_bytes = from_hex(v.signature);
+    Ed25519Signature sig{};
+    std::copy(sig_bytes.begin(), sig_bytes.end(), sig.begin());
+    EXPECT_TRUE(ed25519_verify(BytesView(msg), sig, pub));
+  }
+}
+
+TEST(Ed25519, TamperedMessageRejected) {
+  auto seed = seed_from_hex(kVectors[2].seed);
+  auto pub = ed25519_public_key(seed);
+  Bytes msg = from_hex(kVectors[2].message);
+  auto sig = ed25519_sign(BytesView(msg), seed, pub);
+  msg[0] ^= 0x01;
+  EXPECT_FALSE(ed25519_verify(BytesView(msg), sig, pub));
+}
+
+TEST(Ed25519, TamperedSignatureRejected) {
+  auto seed = seed_from_hex(kVectors[0].seed);
+  auto pub = ed25519_public_key(seed);
+  Bytes msg = to_bytes("hello world");
+  auto sig = ed25519_sign(BytesView(msg), seed, pub);
+  for (std::size_t i : {0u, 31u, 32u, 63u}) {
+    auto bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(ed25519_verify(BytesView(msg), bad, pub)) << "byte " << i;
+  }
+}
+
+TEST(Ed25519, WrongKeyRejected) {
+  auto seed_a = seed_from_hex(kVectors[0].seed);
+  auto pub_a = ed25519_public_key(seed_a);
+  auto pub_b = ed25519_public_key(seed_from_hex(kVectors[1].seed));
+  Bytes msg = to_bytes("addressed to A");
+  auto sig = ed25519_sign(BytesView(msg), seed_a, pub_a);
+  EXPECT_FALSE(ed25519_verify(BytesView(msg), sig, pub_b));
+}
+
+TEST(Ed25519, NonCanonicalScalarRejected) {
+  auto seed = seed_from_hex(kVectors[0].seed);
+  auto pub = ed25519_public_key(seed);
+  Bytes msg = to_bytes("x");
+  auto sig = ed25519_sign(BytesView(msg), seed, pub);
+  // Force S >= L by setting its top bits.
+  sig[63] |= 0xf0;
+  EXPECT_FALSE(ed25519_verify(BytesView(msg), sig, pub));
+}
+
+TEST(Ed25519, InvalidPublicKeyRejected) {
+  Ed25519PublicKey junk{};
+  junk.fill(0xff);  // not a valid curve point encoding
+  Ed25519Signature sig{};
+  EXPECT_FALSE(ed25519_verify(BytesView(to_bytes("m")), sig, junk));
+}
+
+TEST(Ed25519, SignVerifyRoundTripVariousLengths) {
+  auto seed = seed_from_hex(kVectors[1].seed);
+  auto pub = ed25519_public_key(seed);
+  for (std::size_t len : {0u, 1u, 31u, 32u, 63u, 64u, 100u, 1000u}) {
+    Bytes msg(len, static_cast<std::uint8_t>(len * 7 + 1));
+    auto sig = ed25519_sign(BytesView(msg), seed, pub);
+    EXPECT_TRUE(ed25519_verify(BytesView(msg), sig, pub)) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace rdb::crypto

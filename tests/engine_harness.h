@@ -1,0 +1,262 @@
+// Deterministic in-memory bus for driving protocol engines in tests.
+//
+// Engines are pure state machines; this harness plays the fabric role:
+// it queues emitted messages, delivers them in a controllable order, tracks
+// timers, and records ExecuteActions per replica so tests can assert
+// agreement and total order. No threads, no clock — fully deterministic.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "protocol/actions.h"
+#include "protocol/pbft.h"
+#include "protocol/poe.h"
+#include "protocol/zyzzyva.h"
+
+namespace rdb::test {
+
+struct Delivery {
+  ReplicaId to{0};
+  protocol::Message msg;
+};
+
+template <typename Engine>
+class EngineHarness {
+ public:
+  explicit EngineHarness(std::uint32_t n, SeqNum cp_interval = 100)
+      : checkpoint_interval(cp_interval), n_(n) {
+    for (ReplicaId r = 0; r < n; ++r) {
+      if constexpr (std::is_same_v<Engine, protocol::PbftEngine>) {
+        protocol::PbftConfig cfg;
+        cfg.n = n;
+        cfg.self = r;
+        cfg.checkpoint_interval = checkpoint_interval;
+        engines_.push_back(std::make_unique<Engine>(cfg));
+      } else if constexpr (std::is_same_v<Engine, protocol::PoeEngine>) {
+        protocol::PoeConfig cfg;
+        cfg.n = n;
+        cfg.self = r;
+        cfg.checkpoint_interval = checkpoint_interval;
+        engines_.push_back(std::make_unique<Engine>(cfg));
+      } else {
+        protocol::ZyzzyvaConfig cfg;
+        cfg.n = n;
+        cfg.self = r;
+        cfg.checkpoint_interval = checkpoint_interval;
+        engines_.push_back(std::make_unique<Engine>(cfg));
+      }
+    }
+    executed_.resize(n);
+    client_msgs_.resize(n);
+    timers_.resize(n);
+    stable_.assign(n, 0);
+  }
+
+  Engine& engine(ReplicaId r) { return *engines_[r]; }
+  std::uint32_t n() const { return n_; }
+
+  /// Crash-fault a replica: it stops receiving and its output is dropped.
+  void crash(ReplicaId r) { crashed_.insert(r); }
+  bool is_crashed(ReplicaId r) const { return crashed_.contains(r); }
+
+  /// Feed the actions a direct engine call returned (acting as replica r).
+  void perform(ReplicaId r, protocol::Actions actions) {
+    if (is_crashed(r)) return;
+    for (auto& a : actions) handle_action(r, std::move(a));
+  }
+
+  /// Delivers one queued message (FIFO). Returns false when idle.
+  bool step() {
+    if (queue_.empty()) return false;
+    Delivery d = std::move(queue_.front());
+    queue_.pop_front();
+    deliver(d);
+    return true;
+  }
+
+  /// Delivers everything until quiescence.
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+  /// Random-order delivery: repeatedly pick a random queued message.
+  void run_all_shuffled(Rng& rng) {
+    while (!queue_.empty()) {
+      std::size_t idx = rng.below(queue_.size());
+      Delivery d = std::move(queue_[idx]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+      deliver(d);
+    }
+  }
+
+  /// Fire a pending timer at replica r (PBFT only).
+  void fire_timer(ReplicaId r, std::uint64_t id) {
+    if constexpr (std::is_same_v<Engine, protocol::PbftEngine>) {
+      perform(r, engines_[r]->on_timeout(id));
+    }
+  }
+
+  const std::vector<protocol::ExecuteAction>& executed(ReplicaId r) const {
+    return executed_[r];
+  }
+  const std::vector<protocol::Message>& client_msgs(ReplicaId r) const {
+    return client_msgs_[r];
+  }
+  const std::map<std::uint64_t, TimeNs>& timers(ReplicaId r) const {
+    return timers_[r];
+  }
+  SeqNum stable_checkpoint_seen(ReplicaId r) const { return stable_[r]; }
+  std::size_t queued() const { return queue_.size(); }
+
+  /// Drops every queued message matching the predicate (loss injection).
+  void drop_if(std::function<bool(const Delivery&)> pred) {
+    std::deque<Delivery> kept;
+    for (auto& d : queue_)
+      if (!pred(d)) kept.push_back(std::move(d));
+    queue_.swap(kept);
+  }
+
+  /// Agreement: every pair of replicas executed identical (seq, digest)
+  /// prefixes up to the shorter log.
+  bool logs_consistent() const {
+    for (ReplicaId a = 0; a < n_; ++a) {
+      for (ReplicaId b = a + 1; b < n_; ++b) {
+        std::size_t len = std::min(executed_[a].size(), executed_[b].size());
+        for (std::size_t i = 0; i < len; ++i) {
+          if (executed_[a][i].seq != executed_[b][i].seq ||
+              executed_[a][i].batch_digest != executed_[b][i].batch_digest)
+            return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  SeqNum checkpoint_interval{100};
+
+ private:
+  void handle_action(ReplicaId from, protocol::Action action) {
+    if (auto* bc = std::get_if<protocol::BroadcastAction>(&action)) {
+      for (ReplicaId to = 0; to < n_; ++to) {
+        if (to == from && !bc->include_self) continue;
+        if (to == from && bc->include_self) {
+          queue_.push_back({to, bc->msg});
+          continue;
+        }
+        queue_.push_back({to, bc->msg});
+      }
+    } else if (auto* s = std::get_if<protocol::SendAction>(&action)) {
+      if (s->to.kind == Endpoint::Kind::kClient) {
+        client_msgs_[from].push_back(std::move(s->msg));
+      } else {
+        queue_.push_back({s->to.id, std::move(s->msg)});
+      }
+    } else if (auto* ex = std::get_if<protocol::ExecuteAction>(&action)) {
+      executed_[from].push_back(*ex);
+      // Report execution completion back (state digest = batch digest here;
+      // all correct replicas compute the same value).
+      perform(from, engines_[from]->on_executed(ex->seq, ex->batch_digest));
+    } else if (auto* t = std::get_if<protocol::SetTimerAction>(&action)) {
+      timers_[from][t->id] = t->delay_ns;
+    } else if (auto* c = std::get_if<protocol::CancelTimerAction>(&action)) {
+      timers_[from].erase(c->id);
+    } else if (auto* sc =
+                   std::get_if<protocol::StableCheckpointAction>(&action)) {
+      stable_[from] = std::max(stable_[from], sc->seq);
+    }
+    // ViewChangedAction: visible through engine(r).view().
+  }
+
+  void deliver(Delivery& d) {
+    if (is_crashed(d.to) || is_crashed(d.msg.from.id)) return;
+    Engine& e = *engines_[d.to];
+    protocol::Actions acts;
+    using protocol::MsgType;
+    if constexpr (std::is_same_v<Engine, protocol::PbftEngine>) {
+      switch (d.msg.type()) {
+        case MsgType::kPrePrepare:
+          acts = e.on_preprepare(d.msg);
+          break;
+        case MsgType::kPrepare:
+          acts = e.on_prepare(d.msg);
+          break;
+        case MsgType::kCommit:
+          acts = e.on_commit(d.msg);
+          break;
+        case MsgType::kCheckpoint:
+          acts = e.on_checkpoint(d.msg);
+          break;
+        case MsgType::kViewChange:
+          acts = e.on_view_change(d.msg);
+          break;
+        case MsgType::kNewView:
+          acts = e.on_new_view(d.msg);
+          break;
+        default:
+          break;
+      }
+    } else if constexpr (std::is_same_v<Engine, protocol::PoeEngine>) {
+      switch (d.msg.type()) {
+        case MsgType::kPrePrepare:
+          acts = e.on_propose(d.msg);
+          break;
+        case MsgType::kPrepare:
+          acts = e.on_support(d.msg);
+          break;
+        case MsgType::kCheckpoint:
+          acts = e.on_checkpoint(d.msg);
+          break;
+        default:
+          break;
+      }
+    } else {
+      switch (d.msg.type()) {
+        case MsgType::kOrderRequest:
+          acts = e.on_order_request(d.msg);
+          break;
+        case MsgType::kCommitCert:
+          acts = e.on_commit_cert(d.msg);
+          break;
+        case MsgType::kCheckpoint:
+          acts = e.on_checkpoint(d.msg);
+          break;
+        default:
+          break;
+      }
+    }
+    perform(d.to, std::move(acts));
+  }
+
+  std::uint32_t n_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::deque<Delivery> queue_;
+  std::set<ReplicaId> crashed_;
+  std::vector<std::vector<protocol::ExecuteAction>> executed_;
+  std::vector<std::vector<protocol::Message>> client_msgs_;
+  std::vector<std::map<std::uint64_t, TimeNs>> timers_;
+  std::vector<SeqNum> stable_;
+};
+
+/// Builds a batch of `count` dummy transactions for client `c`.
+inline std::vector<protocol::Transaction> make_batch(ClientId c,
+                                                     RequestId base,
+                                                     std::size_t count) {
+  std::vector<protocol::Transaction> txns;
+  for (std::size_t i = 0; i < count; ++i) {
+    protocol::Transaction t;
+    t.client = c;
+    t.req_id = base + i;
+    t.ops = 1;
+    txns.push_back(std::move(t));
+  }
+  return txns;
+}
+
+}  // namespace rdb::test

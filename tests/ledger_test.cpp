@@ -1,0 +1,162 @@
+// Blockchain and block structure: genesis, append rules, commitment
+// accumulator, pruning, serialization, certificate verification hook.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "ledger/block.h"
+#include "ledger/blockchain.h"
+
+namespace rdb::ledger {
+namespace {
+
+Block make_block(SeqNum seq, ViewId view = 0, std::uint64_t txns = 10) {
+  Block b;
+  b.seq = seq;
+  b.view = view;
+  b.batch_digest = crypto::sha256("batch-" + std::to_string(seq));
+  b.txn_begin = (seq - 1) * txns + 1;
+  b.txn_end = seq * txns + 1;
+  b.certificate = {{0, Bytes{1, 2, 3}}, {1, Bytes{4, 5}}, {2, Bytes{6}}};
+  return b;
+}
+
+TEST(Block, GenesisCarriesPrimaryHash) {
+  Block g = Block::genesis();
+  EXPECT_EQ(g.seq, 0u);
+  EXPECT_EQ(g.batch_digest, crypto::sha256("genesis:primary=0"));
+  EXPECT_TRUE(g.certificate.empty());
+}
+
+TEST(Block, SerializationRoundTrip) {
+  Block b = make_block(7, 2);
+  Writer w;
+  b.serialize(w);
+  Reader r(BytesView(w.data()));
+  Block back = Block::deserialize(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(back, b);
+}
+
+TEST(Block, HostileCertificateCountRejected) {
+  Block b = make_block(1);
+  Writer w;
+  b.serialize(w);
+  Bytes wire = w.take();
+  // Overwrite the certificate count (u32 at offset 64 = seq 8 + view 8 +
+  // digest 32 + txn_begin 8 + txn_end 8) with a huge value.
+  wire[64] = 0xFF;
+  wire[65] = 0xFF;
+  wire[66] = 0xFF;
+  wire[67] = 0xFF;
+  Reader r{BytesView(wire)};
+  Block back = Block::deserialize(r);
+  // Parsing must stop safely: either the reader flags the error or the
+  // certificate is rejected, but we never allocate 4G entries.
+  EXPECT_LT(back.certificate.size(), 100u);
+}
+
+TEST(Block, CanonicalBytesExcludeCertificate) {
+  Block a = make_block(3);
+  Block b = a;
+  b.certificate = {{5, Bytes{9, 9, 9}}};  // different evidence set
+  EXPECT_EQ(a.canonical_bytes(), b.canonical_bytes());
+  b.view = 1;
+  EXPECT_NE(a.canonical_bytes(), b.canonical_bytes());
+}
+
+TEST(Blockchain, StartsAtGenesis) {
+  Blockchain chain;
+  EXPECT_EQ(chain.last_seq(), 0u);
+  EXPECT_EQ(chain.total_blocks(), 1u);
+  ASSERT_TRUE(chain.get(0).has_value());
+  EXPECT_EQ(chain.get(0)->seq, 0u);
+}
+
+TEST(Blockchain, AppendsInSequence) {
+  Blockchain chain;
+  EXPECT_TRUE(chain.append(make_block(1)));
+  EXPECT_TRUE(chain.append(make_block(2)));
+  EXPECT_EQ(chain.last_seq(), 2u);
+  EXPECT_EQ(chain.total_blocks(), 3u);
+}
+
+TEST(Blockchain, RejectsGapsAndReplays) {
+  Blockchain chain;
+  EXPECT_TRUE(chain.append(make_block(1)));
+  EXPECT_FALSE(chain.append(make_block(3)));  // gap
+  EXPECT_FALSE(chain.append(make_block(1)));  // replay
+  EXPECT_FALSE(chain.append(make_block(0)));  // genesis replay
+  EXPECT_EQ(chain.last_seq(), 1u);
+}
+
+TEST(Blockchain, AccumulatorBindsHistory) {
+  Blockchain a, b;
+  for (SeqNum s = 1; s <= 5; ++s) {
+    a.append(make_block(s));
+    b.append(make_block(s));
+  }
+  EXPECT_EQ(a.accumulator(), b.accumulator());
+
+  Blockchain c;
+  for (SeqNum s = 1; s <= 5; ++s) {
+    Block blk = make_block(s);
+    if (s == 3) blk.batch_digest = crypto::sha256("tampered");
+    c.append(std::move(blk));
+  }
+  EXPECT_NE(a.accumulator(), c.accumulator());
+}
+
+TEST(Blockchain, AccumulatorIgnoresCertificateDifferences) {
+  // Two replicas collect different 2f+1 commit sets: same history, same
+  // commitment (required for checkpoint agreement, §4.7).
+  Blockchain a, b;
+  Block blk_a = make_block(1);
+  Block blk_b = make_block(1);
+  blk_b.certificate = {{7, Bytes{42}}};
+  a.append(std::move(blk_a));
+  b.append(std::move(blk_b));
+  EXPECT_EQ(a.accumulator(), b.accumulator());
+}
+
+TEST(Blockchain, PruneDiscardsOldBlocksKeepsCommitment) {
+  Blockchain chain;
+  for (SeqNum s = 1; s <= 10; ++s) chain.append(make_block(s));
+  Digest acc = chain.accumulator();
+  chain.prune_before(8);
+  EXPECT_EQ(chain.retained(), 3u);  // blocks 8, 9, 10
+  EXPECT_FALSE(chain.get(5).has_value());
+  ASSERT_TRUE(chain.get(8).has_value());
+  EXPECT_EQ(chain.accumulator(), acc);
+  // The chain keeps extending normally after pruning.
+  EXPECT_TRUE(chain.append(make_block(11)));
+  EXPECT_EQ(chain.last_seq(), 11u);
+}
+
+TEST(Blockchain, PruneEverything) {
+  Blockchain chain;
+  for (SeqNum s = 1; s <= 3; ++s) chain.append(make_block(s));
+  chain.prune_before(100);
+  EXPECT_EQ(chain.retained(), 0u);
+  EXPECT_TRUE(chain.append(make_block(4)));
+}
+
+TEST(Blockchain, VerifierGatesAppend) {
+  Blockchain chain;
+  chain.set_verifier([](const Block& b) { return b.certificate.size() >= 3; });
+  Block good = make_block(1);
+  EXPECT_TRUE(chain.append(good));
+  Block bad = make_block(2);
+  bad.certificate.clear();
+  EXPECT_FALSE(chain.append(bad));
+  EXPECT_EQ(chain.last_seq(), 1u);
+}
+
+TEST(Blockchain, GetOutOfRange) {
+  Blockchain chain;
+  chain.append(make_block(1));
+  EXPECT_FALSE(chain.get(2).has_value());
+  EXPECT_TRUE(chain.get(1).has_value());
+}
+
+}  // namespace
+}  // namespace rdb::ledger

@@ -1,0 +1,234 @@
+// PBFT engine edge cases beyond the main flow: message reordering at phase
+// granularity, checkpoint vote splitting, quorum gating, watermark behavior.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "tests/engine_harness.h"
+
+namespace rdb::protocol {
+namespace {
+
+using test::EngineHarness;
+using test::make_batch;
+
+Digest digest_of(const std::string& tag) { return crypto::sha256(tag); }
+
+Message from_replica(ReplicaId r, Payload p) {
+  Message m;
+  m.from = Endpoint::replica(r);
+  m.payload = std::move(p);
+  return m;
+}
+
+TEST(PbftEdge, PrepareBeforePrePrepareCounts) {
+  // §4.3 "How is this possible?": a replica may receive 2f prepares before
+  // the pre-prepare. They must be banked and take effect when it arrives.
+  EngineHarness<PbftEngine> h(4);
+  Prepare pr;
+  pr.view = 0;
+  pr.seq = 1;
+  pr.batch_digest = digest_of("early");
+
+  auto a2 = h.engine(1).on_prepare(from_replica(2, pr));
+  auto a3 = h.engine(1).on_prepare(from_replica(3, pr));
+  EXPECT_TRUE(a2.empty());
+  EXPECT_TRUE(a3.empty());  // no pre-prepare yet: cannot commit
+
+  PrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch_digest = digest_of("early");
+  pp.txns = make_batch(1, 0, 1);
+  auto acts = h.engine(1).on_preprepare(from_replica(0, pp));
+  // Pre-prepare + banked 2f prepares: prepare AND commit broadcast at once.
+  int broadcasts = 0;
+  for (auto& a : acts)
+    if (std::holds_alternative<BroadcastAction>(a)) ++broadcasts;
+  EXPECT_EQ(broadcasts, 2);  // its own Prepare plus the Commit
+}
+
+TEST(PbftEdge, CommitQuorumWithoutOwnPrepareDoesNotExecute) {
+  // A replica that never prepared (e.g. missing pre-prepare) must not
+  // execute even with 2f+1 commits — it lacks the request payload.
+  EngineHarness<PbftEngine> h(4);
+  Commit c;
+  c.view = 0;
+  c.seq = 1;
+  c.batch_digest = digest_of("x");
+  for (ReplicaId r = 0; r < 3; ++r)
+    h.perform(3, h.engine(3).on_commit(from_replica(r, c)));
+  EXPECT_TRUE(h.executed(3).empty());
+  EXPECT_EQ(h.engine(3).last_executed(), 0u);
+}
+
+TEST(PbftEdge, CheckpointVotesSplitByDigestDoNotStabilize) {
+  EngineHarness<PbftEngine> h(4);
+  Checkpoint good;
+  good.seq = 5;
+  good.state_digest = digest_of("state");
+  Checkpoint bad = good;
+  bad.state_digest = digest_of("byzantine-state");
+
+  // Two honest votes + two conflicting votes: no digest reaches 2f+1 = 3.
+  (void)h.engine(1).on_checkpoint(from_replica(0, good));
+  (void)h.engine(1).on_checkpoint(from_replica(2, good));
+  (void)h.engine(1).on_checkpoint(from_replica(3, bad));
+  EXPECT_EQ(h.engine(1).stable_checkpoint(), 0u);
+
+  // A third matching vote stabilizes.
+  auto acts = h.engine(1).on_checkpoint(from_replica(3, good));
+  bool stable = false;
+  for (auto& a : acts)
+    if (std::holds_alternative<StableCheckpointAction>(a)) stable = true;
+  EXPECT_TRUE(stable);
+  EXPECT_EQ(h.engine(1).stable_checkpoint(), 5u);
+}
+
+TEST(PbftEdge, StaleCheckpointIgnored) {
+  EngineHarness<PbftEngine> h(4);
+  Checkpoint cp;
+  cp.seq = 5;
+  cp.state_digest = digest_of("s");
+  for (ReplicaId r = 0; r < 3; ++r)
+    (void)h.engine(1).on_checkpoint(from_replica(r, cp));
+  EXPECT_EQ(h.engine(1).stable_checkpoint(), 5u);
+  // Votes for an older checkpoint are ignored outright.
+  Checkpoint old;
+  old.seq = 3;
+  old.state_digest = digest_of("old");
+  for (ReplicaId r = 0; r < 4; ++r)
+    EXPECT_TRUE(h.engine(1).on_checkpoint(from_replica(r, old)).empty());
+  EXPECT_EQ(h.engine(1).stable_checkpoint(), 5u);
+}
+
+TEST(PbftEdge, SuggestNextSeqTracksSlotsAndExecution) {
+  EngineHarness<PbftEngine> h(4);
+  EXPECT_EQ(h.engine(0).suggest_next_seq(), 1u);
+  h.perform(0, h.engine(0).make_preprepare(1, make_batch(1, 0, 1), 1,
+                                           digest_of("a")));
+  h.run_all();
+  EXPECT_EQ(h.engine(0).last_executed(), 1u);
+  EXPECT_EQ(h.engine(0).suggest_next_seq(), 2u);
+}
+
+TEST(PbftEdge, ClientRequestTimeoutStartsViewChangeOnlyOnBackups) {
+  EngineHarness<PbftEngine> h(4);
+  // Primary never reacts to its own relayed-request watchdog.
+  EXPECT_TRUE(h.engine(0).on_client_request_timeout().empty());
+  // A backup starts the view change.
+  auto acts = h.engine(1).on_client_request_timeout();
+  EXPECT_FALSE(acts.empty());
+  EXPECT_TRUE(h.engine(1).in_view_change());
+  // ...and does not double-start.
+  EXPECT_TRUE(h.engine(1).on_client_request_timeout().empty());
+}
+
+TEST(PbftEdge, MessagesDuringViewChangeRejected) {
+  EngineHarness<PbftEngine> h(4);
+  (void)h.engine(1).on_client_request_timeout();
+  ASSERT_TRUE(h.engine(1).in_view_change());
+
+  PrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch_digest = digest_of("late");
+  EXPECT_TRUE(h.engine(1).on_preprepare(from_replica(0, pp)).empty());
+  Prepare pr;
+  pr.view = 0;
+  pr.seq = 1;
+  pr.batch_digest = digest_of("late");
+  EXPECT_TRUE(h.engine(1).on_prepare(from_replica(2, pr)).empty());
+}
+
+TEST(PbftEdge, ExecutedSequenceRejectedAsStale) {
+  EngineHarness<PbftEngine> h(4);
+  h.perform(0, h.engine(0).make_preprepare(1, make_batch(1, 0, 1), 1,
+                                           digest_of("done")));
+  h.run_all();
+  ASSERT_EQ(h.engine(2).last_executed(), 1u);
+  // A replayed commit for the executed sequence is below the low watermark.
+  Commit c;
+  c.view = 0;
+  c.seq = 1;
+  c.batch_digest = digest_of("done");
+  auto before = h.engine(2).metrics().rejected_msgs;
+  EXPECT_TRUE(h.engine(2).on_commit(from_replica(3, c)).empty());
+  EXPECT_GT(h.engine(2).metrics().rejected_msgs, before);
+}
+
+TEST(PbftEdge, TwoConsecutiveViewChanges) {
+  // View 0's primary dies; then view 1's primary dies too. The cluster must
+  // land in view 2 with replica 2 as primary.
+  EngineHarness<PbftEngine> h(4);
+  h.crash(0);
+  for (ReplicaId r = 1; r < 4; ++r)
+    h.perform(r, h.engine(r).on_client_request_timeout());
+  h.run_all();
+  for (ReplicaId r = 1; r < 4; ++r)
+    ASSERT_EQ(h.engine(r).view(), 1u) << "replica " << r;
+
+  h.crash(1);
+  for (ReplicaId r = 2; r < 4; ++r)
+    h.perform(r, h.engine(r).on_client_request_timeout());
+  h.run_all();
+  // Only 2 live replicas remain (< 2f+1): view 2 cannot assemble a quorum.
+  // Replicas must be *in* the view change, not wedged in a wrong view.
+  for (ReplicaId r = 2; r < 4; ++r)
+    EXPECT_TRUE(h.engine(r).in_view_change() || h.engine(r).view() == 2u);
+}
+
+TEST(PbftEdge, NewPrimaryProposesAfterViewChange) {
+  EngineHarness<PbftEngine> h(4);
+  h.crash(0);
+  for (ReplicaId r = 1; r < 4; ++r)
+    h.perform(r, h.engine(r).on_client_request_timeout());
+  h.run_all();
+  ASSERT_EQ(h.engine(1).view(), 1u);
+  ASSERT_TRUE(h.engine(1).is_primary());
+
+  h.perform(1, h.engine(1).make_preprepare(
+                   h.engine(1).suggest_next_seq(), make_batch(1, 0, 2), 1,
+                   digest_of("view1-batch")));
+  h.run_all();
+  for (ReplicaId r = 1; r < 4; ++r) {
+    ASSERT_EQ(h.executed(r).size(), 1u) << "replica " << r;
+    EXPECT_EQ(h.executed(r)[0].batch_digest, digest_of("view1-batch"));
+    EXPECT_EQ(h.executed(r)[0].view, 1u);
+  }
+}
+
+TEST(PbftEdge, PrepareFromPrimaryRejected) {
+  // The primary's agreement is its pre-prepare; a Prepare claiming to come
+  // from the primary is protocol-invalid.
+  EngineHarness<PbftEngine> h(4);
+  Prepare pr;
+  pr.view = 0;
+  pr.seq = 1;
+  pr.batch_digest = digest_of("x");
+  EXPECT_TRUE(h.engine(1).on_prepare(from_replica(0, pr)).empty());
+  EXPECT_GE(h.engine(1).metrics().rejected_msgs, 1u);
+}
+
+TEST(PbftEdge, ClientSourcedPhaseMessagesRejected) {
+  EngineHarness<PbftEngine> h(4);
+  Prepare pr;
+  pr.view = 0;
+  pr.seq = 1;
+  pr.batch_digest = digest_of("x");
+  Message m;
+  m.from = Endpoint::client(7);
+  m.payload = pr;
+  EXPECT_TRUE(h.engine(1).on_prepare(m).empty());
+
+  Commit c;
+  c.view = 0;
+  c.seq = 1;
+  c.batch_digest = digest_of("x");
+  Message mc;
+  mc.from = Endpoint::client(7);
+  mc.payload = c;
+  EXPECT_TRUE(h.engine(1).on_commit(mc).empty());
+}
+
+}  // namespace
+}  // namespace rdb::protocol

@@ -1,0 +1,191 @@
+// Property-based / parameterized sweeps over protocol invariants:
+// agreement and total order under randomized delivery schedules, loss,
+// and crash patterns, for both engines and a spectrum of cluster sizes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "crypto/sha256.h"
+#include "tests/engine_harness.h"
+
+namespace rdb::protocol {
+namespace {
+
+using test::EngineHarness;
+using test::make_batch;
+
+// ---------------------------------------------------------------------------
+// PBFT: agreement + total order for every (n, seed) combination, with
+// messages delivered in a seed-determined random order.
+// ---------------------------------------------------------------------------
+
+class PbftScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(PbftScheduleProperty, AgreementAndTotalOrderUnderRandomSchedules) {
+  auto [n, seed] = GetParam();
+  EngineHarness<PbftEngine> h(n);
+  constexpr SeqNum kBatches = 8;
+  for (SeqNum s = 1; s <= kBatches; ++s) {
+    h.perform(0, h.engine(0).make_preprepare(
+                     s, make_batch(1, s * 10, 2), (s - 1) * 2 + 1,
+                     crypto::sha256("b" + std::to_string(s))));
+  }
+  Rng rng(seed);
+  h.run_all_shuffled(rng);
+
+  // Everyone executed everything, in strict sequence order.
+  for (ReplicaId r = 0; r < n; ++r) {
+    ASSERT_EQ(h.executed(r).size(), kBatches) << "n=" << n << " seed=" << seed;
+    for (SeqNum s = 1; s <= kBatches; ++s)
+      ASSERT_EQ(h.executed(r)[s - 1].seq, s);
+  }
+  ASSERT_TRUE(h.logs_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PbftScheduleProperty,
+    ::testing::Combine(::testing::Values(4u, 7u, 10u, 16u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// PBFT: safety under f crashed replicas with random schedules.
+// ---------------------------------------------------------------------------
+
+class PbftCrashProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(PbftCrashProperty, ProgressAndAgreementWithFCrashes) {
+  auto [n, seed] = GetParam();
+  EngineHarness<PbftEngine> h(n);
+  Rng rng(seed);
+  // Crash exactly f distinct non-primary replicas.
+  std::uint32_t f = max_faulty(n);
+  std::set<ReplicaId> crashed;
+  while (crashed.size() < f) {
+    auto r = static_cast<ReplicaId>(1 + rng.below(n - 1));
+    if (crashed.insert(r).second) h.crash(r);
+  }
+
+  constexpr SeqNum kBatches = 6;
+  for (SeqNum s = 1; s <= kBatches; ++s) {
+    h.perform(0, h.engine(0).make_preprepare(
+                     s, make_batch(1, s * 10, 1), s,
+                     crypto::sha256("c" + std::to_string(s))));
+  }
+  h.run_all_shuffled(rng);
+
+  for (ReplicaId r = 0; r < n; ++r) {
+    if (crashed.contains(r)) continue;
+    ASSERT_EQ(h.executed(r).size(), kBatches)
+        << "n=" << n << " seed=" << seed << " replica=" << r;
+  }
+  ASSERT_TRUE(h.logs_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PbftCrashProperty,
+    ::testing::Combine(::testing::Values(4u, 7u, 13u),
+                       ::testing::Values(11u, 12u, 13u, 14u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Zyzzyva: history convergence under random schedules (order requests may
+// arrive out of order; the buffer must restore the chain).
+// ---------------------------------------------------------------------------
+
+class ZyzzyvaScheduleProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ZyzzyvaScheduleProperty, HistoriesConvergeUnderRandomSchedules) {
+  std::uint64_t seed = GetParam();
+  EngineHarness<ZyzzyvaEngine> h(4);
+  constexpr SeqNum kBatches = 10;
+  for (SeqNum s = 1; s <= kBatches; ++s) {
+    h.perform(0, h.engine(0).make_order_request(
+                     s, make_batch(1, s * 10, 1), s,
+                     crypto::sha256("z" + std::to_string(s))));
+  }
+  Rng rng(seed);
+  h.run_all_shuffled(rng);
+
+  Digest hist = h.engine(0).history();
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(h.engine(r).last_spec_executed(), kBatches) << "seed " << seed;
+    EXPECT_EQ(h.engine(r).history(), hist) << "seed " << seed;
+    ASSERT_EQ(h.executed(r).size(), kBatches);
+    for (SeqNum s = 1; s <= kBatches; ++s)
+      EXPECT_EQ(h.executed(r)[s - 1].seq, s);
+  }
+  EXPECT_TRUE(h.logs_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZyzzyvaScheduleProperty,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+// ---------------------------------------------------------------------------
+// SHA-256: arbitrary chunkings must agree with one-shot hashing.
+// ---------------------------------------------------------------------------
+
+class Sha256ChunkingProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(Sha256ChunkingProperty, StreamingEqualsOneShot) {
+  Rng rng(GetParam());
+  Bytes data(1 + rng.below(5000));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  Digest expect = crypto::sha256(BytesView(data));
+
+  crypto::Sha256 h;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t chunk = 1 + rng.below(97);
+    chunk = std::min(chunk, data.size() - pos);
+    h.update(BytesView(data).subspan(pos, chunk));
+    pos += chunk;
+  }
+  EXPECT_EQ(h.finish(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sha256ChunkingProperty,
+                         ::testing::Range<std::uint64_t>(200, 216));
+
+// ---------------------------------------------------------------------------
+// Checkpoint GC safety: for any checkpoint interval, slots never grow
+// beyond interval + in-flight window once checkpoints stabilize.
+// ---------------------------------------------------------------------------
+
+class CheckpointIntervalProperty
+    : public ::testing::TestWithParam<SeqNum> {};
+
+TEST_P(CheckpointIntervalProperty, SlotsBoundedByInterval) {
+  SeqNum interval = GetParam();
+  EngineHarness<PbftEngine> h(4, interval);
+  constexpr SeqNum kBatches = 24;
+  for (SeqNum s = 1; s <= kBatches; ++s) {
+    h.perform(0, h.engine(0).make_preprepare(
+                     s, make_batch(1, s, 1), s,
+                     crypto::sha256("k" + std::to_string(s))));
+    h.run_all();
+  }
+  SeqNum expected_stable = (kBatches / interval) * interval;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(h.engine(r).stable_checkpoint(), expected_stable);
+    EXPECT_LE(h.engine(r).live_slots(), kBatches - expected_stable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, CheckpointIntervalProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace rdb::protocol

@@ -1,0 +1,245 @@
+// Lock-free queues and buffer pools — single-threaded semantics plus
+// multi-threaded stress (counts and content preservation under contention).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "queues/blocking_queue.h"
+#include "queues/buffer_pool.h"
+#include "queues/mpmc_queue.h"
+#include "queues/spsc_ring.h"
+
+namespace rdb {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  int v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, FullRejectsPush) {
+  MpmcQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  int v;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(99));  // slot freed
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueue, WrapAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  int v;
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, round);
+  }
+}
+
+TEST(MpmcQueue, MultiProducerMultiConsumerPreservesSum) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20'000;
+  MpmcQueue<std::uint64_t> q(1024);
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::jthread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t v;
+      while (!done.load(std::memory_order_acquire) ||
+             consumed_count.load() < kProducers * kPerProducer) {
+        if (q.try_pop(v)) {
+          consumed_sum.fetch_add(v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+        if (consumed_count.load() >= kProducers * kPerProducer) break;
+      }
+    });
+  }
+  std::uint64_t expected_sum = 0;
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          std::uint64_t v =
+              static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+          while (!q.try_push(v)) std::this_thread::yield();
+        }
+      });
+    }
+    for (int p = 0; p < kProducers; ++p)
+      for (int i = 0; i < kPerProducer; ++i)
+        expected_sum += static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+  }
+  done.store(true, std::memory_order_release);
+  threads.clear();
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(), expected_sum);
+}
+
+TEST(SpscRing, FifoAndCapacity) {
+  SpscRing<int> r(4);
+  EXPECT_TRUE(r.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(r.try_push(i));
+  int v;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(SpscRing, ProducerConsumerStream) {
+  SpscRing<std::uint64_t> r(64);
+  constexpr std::uint64_t kCount = 200'000;
+  std::uint64_t received = 0, sum = 0;
+  std::jthread consumer([&] {
+    std::uint64_t v;
+    while (received < kCount) {
+      if (r.try_pop(v)) {
+        sum += v;
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kCount; ++i)
+    while (!r.try_push(i)) std::this_thread::yield();
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::jthread pusher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(7);
+  });
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BlockingQueue, ShutdownUnblocksWithNullopt) {
+  BlockingQueue<int> q;
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.shutdown();
+  });
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto v = q.pop_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(v.has_value());
+  q.push(3);
+  v = q.pop_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(BlockingQueue, DrainsRemainingAfterShutdown) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.shutdown();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+struct Pooled {
+  int value{0};
+  std::vector<int> data;
+};
+
+TEST(BufferPool, ReusesPopulation) {
+  BufferPool<Pooled> pool(2);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  EXPECT_FALSE(a.heap);
+  EXPECT_FALSE(b.heap);
+  Pooled* first = a.ptr;
+  a.ptr->value = 42;
+  pool.release(a);
+  auto c = pool.acquire();
+  EXPECT_EQ(c.ptr, first);       // same object recirculated
+  EXPECT_EQ(c.ptr->value, 0);    // scrubbed before reuse
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.hits(), 3u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST(BufferPool, FallsBackToHeapWhenDrained) {
+  BufferPool<Pooled> pool(1);
+  auto a = pool.acquire();
+  auto b = pool.acquire();  // pool empty: heap allocation
+  EXPECT_FALSE(a.heap);
+  EXPECT_TRUE(b.heap);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.release(b);  // heap object deleted, not pooled
+  pool.release(a);
+}
+
+TEST(BufferPool, PooledPtrRaii) {
+  BufferPool<Pooled> pool(1);
+  {
+    auto p = acquire_pooled(pool);
+    p->value = 9;
+    EXPECT_TRUE(static_cast<bool>(p));
+  }  // released on scope exit
+  auto again = pool.acquire();
+  EXPECT_EQ(again.ptr->value, 0);
+  pool.release(again);
+}
+
+TEST(BufferPool, ConcurrentAcquireRelease) {
+  BufferPool<Pooled> pool(16);
+  std::atomic<int> heap_count{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 10'000; ++i) {
+          auto h = pool.acquire();
+          if (h.heap) heap_count.fetch_add(1);
+          h.ptr->value = i;
+          pool.release(h);
+        }
+      });
+    }
+  }
+  // Heap fallback happens when a releaser is descheduled mid-push (the
+  // Vyukov free list stalls behind the incomplete cell). On a loaded
+  // single-core host that can burst, so only require that pooled reuse is
+  // the common case — correctness (no leak, no double-use) is what the
+  // loop itself exercises.
+  EXPECT_LT(heap_count.load(), 20'000);  // < 50% of 40'000 acquisitions
+}
+
+}  // namespace
+}  // namespace rdb

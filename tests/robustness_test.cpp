@@ -1,0 +1,191 @@
+// Robustness bank: hostile bytes on the wire, byzantine-silent replicas,
+// durability flags — the unglamorous paths a production system must survive.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "runtime/cluster.h"
+#include "runtime/tcp_transport.h"
+#include "storage/page_db.h"
+#include "workload/ycsb.h"
+
+namespace rdb::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+int connect_raw(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(Robustness, TcpTransportSurvivesHostileFrames) {
+  TcpTransport t(Endpoint::replica(0), 0);
+  auto inbox = std::make_shared<Transport::Inbox>();
+  t.register_endpoint(Endpoint::replica(0), inbox);
+
+  // Frame claiming 4 GiB follows: connection must be cut, process must live.
+  {
+    int fd = connect_raw(t.port());
+    ASSERT_GE(fd, 0);
+    std::uint32_t huge = 0xFFFFFFFF;
+    ::send(fd, &huge, 4, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+  // Zero-length frame: also invalid.
+  {
+    int fd = connect_raw(t.port());
+    ASSERT_GE(fd, 0);
+    std::uint32_t zero = 0;
+    ::send(fd, &zero, 4, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+  // Truncated frame (length says 100, sends 3 bytes, disconnects).
+  {
+    int fd = connect_raw(t.port());
+    ASSERT_GE(fd, 0);
+    std::uint32_t len = 100;
+    ::send(fd, &len, 4, MSG_NOSIGNAL);
+    ::send(fd, "abc", 3, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+
+  // The transport still works for a legitimate peer afterwards.
+  TcpTransport peer(Endpoint::replica(1), 0);
+  peer.add_peer(Endpoint::replica(0), {"127.0.0.1", t.port()});
+  protocol::Message m;
+  m.from = Endpoint::replica(1);
+  m.payload = protocol::Prepare{};
+  peer.send(Endpoint::replica(0), m);
+  auto wire = inbox->pop_for(std::chrono::seconds(5));
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_TRUE(protocol::Message::parse(BytesView(*wire)).has_value());
+  peer.stop();
+  t.stop();
+}
+
+TEST(Robustness, GarbageBytesThroughInprocTransportIgnored) {
+  // Raw junk pushed into a replica's inbox must be dropped by the parser,
+  // not crash any pipeline thread.
+  auto wl = std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 500});
+  ClusterConfig cfg;
+  cfg.replicas = 4;
+  cfg.batch_size = 5;
+  cfg.execute = [wl](const protocol::Transaction& t, storage::KvStore& s) {
+    return wl->execute(t, s);
+  };
+  LocalCluster cluster(cfg);
+  cluster.start();
+
+  // Inject junk by sending messages whose signature bytes are garbage and
+  // truncated payload variants via a raw inbox push path: simplest hostile
+  // input is a "message" that fails to parse.
+  auto client = cluster.make_client(1);
+  Rng rng(3);
+  protocol::Message junk;
+  junk.from = Endpoint::client(1);
+  protocol::ClientRequest req;
+  protocol::Transaction t;
+  t.client = 1;
+  t.req_id = 1;
+  t.payload = Bytes(50, 0xEE);
+  t.client_sig = Bytes(3, 0x01);  // wrong size and wrong scheme
+  req.txns = {t};
+  junk.payload = req;
+  cluster.transport().send(Endpoint::replica(0), junk);
+
+  // Legitimate traffic still commits afterwards.
+  std::vector<protocol::Transaction> burst;
+  for (int i = 0; i < 5; ++i) {
+    auto txn = wl->make_transaction(rng, 1, 0);
+    burst.push_back(client->make_transaction(txn.payload, txn.ops));
+  }
+  auto res = client->submit_and_wait(std::move(burst));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GE(cluster.replica(0).stats().invalid_signatures, 1u);
+  cluster.stop();
+}
+
+TEST(Robustness, ByzantineSilentBackupPhasesTolerated) {
+  // A backup that swallows all Prepare messages (drop hook) is
+  // indistinguishable from a byzantine-silent participant in that phase;
+  // with f = 1 the other three replicas still commit.
+  auto wl = std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 500});
+  ClusterConfig cfg;
+  cfg.replicas = 4;
+  cfg.batch_size = 5;
+  cfg.execute = [wl](const protocol::Transaction& t, storage::KvStore& s) {
+    return wl->execute(t, s);
+  };
+  LocalCluster cluster(cfg);
+  cluster.start();
+  cluster.replica(3).drop_messages(protocol::MsgType::kPrepare, true);
+
+  auto client = cluster.make_client(1);
+  Rng rng(4);
+  std::vector<protocol::Transaction> burst;
+  for (int i = 0; i < 5; ++i) {
+    auto txn = wl->make_transaction(rng, 1, 0);
+    burst.push_back(client->make_transaction(txn.payload, txn.ops));
+  }
+  auto res = client->submit_and_wait(std::move(burst));
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(
+      cluster.wait_for_execution(1, std::chrono::seconds(5), /*skip=*/{3}));
+
+  // Un-drop: replica 3 commits later batches again.
+  cluster.replica(3).drop_messages(protocol::MsgType::kPrepare, false);
+  std::vector<protocol::Transaction> burst2;
+  for (int i = 0; i < 5; ++i) {
+    auto txn = wl->make_transaction(rng, 1, 0);
+    burst2.push_back(client->make_transaction(txn.payload, txn.ops));
+  }
+  ASSERT_TRUE(client->submit_and_wait(std::move(burst2)).has_value());
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace rdb::runtime
+
+namespace rdb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Robustness, PageDbSyncWalMode) {
+  auto dir = fs::temp_directory_path() / "rdb_syncwal";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  PageDbConfig cfg;
+  cfg.path = (dir / "db").string();
+  cfg.sync_wal = true;  // fsync every WAL append
+  {
+    PageDb db(cfg);
+    for (int i = 0; i < 50; ++i)
+      db.put("sync" + std::to_string(i), "value" + std::to_string(i));
+    EXPECT_EQ(db.size(), 50u);
+  }
+  PageDb db2(cfg);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(db2.get("sync" + std::to_string(i)).value(),
+              "value" + std::to_string(i));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rdb::storage

@@ -1,0 +1,212 @@
+// Discrete-event substrate: scheduler ordering/cancellation, CPU-thread
+// serial execution and core contention, network latency/bandwidth/failure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace rdb::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(300, [&] { order.push_back(3); });
+  s.schedule(100, [&] { order.push_back(1); });
+  s.schedule(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300u);
+}
+
+TEST(Scheduler, SimultaneousEventsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) s.schedule(100, [&, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancelSuppressesEvent) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule(100, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler s;
+  int count = 0;
+  s.schedule(100, [&] { ++count; });
+  s.schedule(500, [&] { ++count; });
+  s.run_until(200);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), 200u);  // clock advances to the deadline
+  s.run_until(600);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, EventsScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule(10, recurse);
+  };
+  s.schedule(10, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(SimThread, SerialExecutionAccumulatesBusyTime) {
+  Scheduler s;
+  NodeCpu cpu(s, 8);
+  SimThread& t = cpu.add_thread("worker");
+  std::vector<int> order;
+  t.post(100, [&] { order.push_back(1); });
+  t.post(50, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(t.busy_ns(), 150u);
+  EXPECT_EQ(t.items_processed(), 2u);
+  // Items ran back to back: finished at 150, not 100+50 in parallel.
+  EXPECT_EQ(s.now(), 150u);
+}
+
+TEST(SimThread, PostFromItemEffectQueuesBehind) {
+  Scheduler s;
+  NodeCpu cpu(s, 8);
+  SimThread& t = cpu.add_thread("w");
+  std::vector<int> order;
+  t.post(10, [&] {
+    order.push_back(1);
+    t.post(10, [&] { order.push_back(3); });
+  });
+  t.post(10, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(t.busy_ns(), 30u);
+}
+
+TEST(SimThread, ThreadsRunInParallelWhenCoresSuffice) {
+  Scheduler s;
+  NodeCpu cpu(s, 2);
+  SimThread& a = cpu.add_thread("a");
+  SimThread& b = cpu.add_thread("b");
+  a.post(100, nullptr);
+  b.post(100, nullptr);
+  s.run();
+  EXPECT_EQ(s.now(), 100u);  // parallel, not 200
+}
+
+TEST(SimThread, CoreContentionStretchesService) {
+  // 2 threads on 1 core: concurrent work is stretched ~2x.
+  Scheduler s;
+  NodeCpu cpu(s, 1);
+  SimThread& a = cpu.add_thread("a");
+  SimThread& b = cpu.add_thread("b");
+  a.post(100, nullptr);
+  b.post(100, nullptr);
+  s.run();
+  EXPECT_GE(s.now(), 200u);
+}
+
+TEST(SimThread, SaturationPercent) {
+  Scheduler s;
+  NodeCpu cpu(s, 8);
+  SimThread& t = cpu.add_thread("w");
+  t.post(250, nullptr);
+  s.run_until(1000);
+  EXPECT_DOUBLE_EQ(t.saturation_percent(1000), 25.0);
+  t.reset_stats();
+  EXPECT_DOUBLE_EQ(t.saturation_percent(1000), 0.0);
+}
+
+TEST(Network, DeliversAfterLatencyAndTransmission) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.latency_ns = 1000;
+  cfg.bandwidth_gbps = 8.0;  // 1 byte per ns
+  Network net(s, cfg, 2);
+  TimeNs delivered_at = 0;
+  net.send(0, 1, 500, [&] { delivered_at = s.now(); });
+  s.run();
+  // 500 B at 1 B/ns egress + 1000 ns latency + 500 ns ingress.
+  EXPECT_EQ(delivered_at, 2000u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 500u);
+}
+
+TEST(Network, EgressSerializesBackToBackSends) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.latency_ns = 0;
+  cfg.bandwidth_gbps = 8.0;
+  Network net(s, cfg, 3);
+  TimeNs first = 0, second = 0;
+  net.send(0, 1, 1000, [&] { first = s.now(); });
+  net.send(0, 2, 1000, [&] { second = s.now(); });
+  s.run();
+  EXPECT_EQ(first, 2000u);   // 1000 egress + 1000 ingress at dst 1
+  EXPECT_EQ(second, 3000u);  // queued behind the first on the egress link
+}
+
+TEST(Network, IngressSerializesConcurrentArrivals) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.latency_ns = 0;
+  cfg.bandwidth_gbps = 8.0;
+  Network net(s, cfg, 3);
+  std::vector<TimeNs> arrivals;
+  net.send(0, 2, 1000, [&] { arrivals.push_back(s.now()); });
+  net.send(1, 2, 1000, [&] { arrivals.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Both serialize through node 2's single ingress link.
+  EXPECT_EQ(arrivals[1], arrivals[0] + 1000);
+}
+
+TEST(Network, FailedNodeDropsTraffic) {
+  Scheduler s;
+  Network net(s, NetworkConfig{}, 3);
+  net.set_failed(1, true);
+  int delivered = 0;
+  net.send(0, 1, 100, [&] { ++delivered; });
+  net.send(1, 2, 100, [&] { ++delivered; });
+  net.send(0, 2, 100, [&] { ++delivered; });
+  s.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().messages_dropped, 2u);
+}
+
+TEST(Network, RandomLossDropsApproximately) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.latency_ns = 1;
+  Network net(s, cfg, 2);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, 10, [&] { ++delivered; });
+  s.run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+}
+
+TEST(Network, EgressUtilizationTracksBusyFraction) {
+  Scheduler s;
+  NetworkConfig cfg;
+  cfg.latency_ns = 0;
+  cfg.bandwidth_gbps = 8.0;
+  Network net(s, cfg, 2);
+  net.send(0, 1, 500, [] {});
+  s.run_until(1000);
+  EXPECT_NEAR(net.egress_utilization(0), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace rdb::sim

@@ -1,0 +1,166 @@
+// Directional tests for the factor effects the paper measures: each knob
+// must move throughput/latency the way §5 reports, at test-sized scale.
+#include <gtest/gtest.h>
+
+#include "simfab/fabric.h"
+
+namespace rdb::simfab {
+namespace {
+
+FabricConfig base() {
+  FabricConfig cfg;
+  cfg.replicas = 4;
+  cfg.clients = 1'000;
+  cfg.client_machines = 2;
+  cfg.batch_size = 20;
+  cfg.warmup_ns = 300'000'000;
+  cfg.measure_ns = 500'000'000;
+  return cfg;
+}
+
+TEST(SimFabricEffects, LargerMessagesReduceThroughput) {
+  FabricConfig small = base();
+  auto r_small = Fabric(small).run();
+
+  FabricConfig big = base();
+  big.payload_padding = 4'000;  // ~80KB pre-prepares at batch 20
+  auto r_big = Fabric(big).run();
+
+  EXPECT_GT(r_small.metrics.throughput_tps,
+            1.2 * r_big.metrics.throughput_tps);
+  EXPECT_LT(r_small.metrics.latency_avg_ms, r_big.metrics.latency_avg_ms);
+}
+
+TEST(SimFabricEffects, MoreClientsRaiseLatencyNotThroughput) {
+  FabricConfig few = base();
+  few.clients = 2'000;
+  auto r_few = Fabric(few).run();
+
+  FabricConfig many = base();
+  many.clients = 8'000;
+  auto r_many = Fabric(many).run();
+
+  // Saturated either way: throughput within 20%, latency up by ~4x.
+  EXPECT_NEAR(r_many.metrics.throughput_tps / r_few.metrics.throughput_tps,
+              1.0, 0.2);
+  EXPECT_GT(r_many.metrics.latency_avg_ms,
+            2.0 * r_few.metrics.latency_avg_ms);
+}
+
+TEST(SimFabricEffects, StrictOrderingThrottlesThroughput) {
+  // §4.5/§6: serializing consensus (one round in flight) leaves the
+  // pipeline idle for a full round trip per batch.
+  FabricConfig ooo = base();
+  auto r_ooo = Fabric(ooo).run();
+
+  FabricConfig serial = base();
+  serial.max_inflight_batches = 1;
+  serial.warmup_ns = 1'000'000'000;
+  serial.measure_ns = 1'500'000'000;
+  auto r_serial = Fabric(serial).run();
+
+  EXPECT_GT(r_ooo.metrics.throughput_tps,
+            1.5 * r_serial.metrics.throughput_tps);
+}
+
+TEST(SimFabricEffects, InflightCapMonotone) {
+  double prev = 0;
+  for (std::uint32_t cap : {1u, 4u, 0u}) {
+    FabricConfig cfg = base();
+    cfg.max_inflight_batches = cap;
+    cfg.warmup_ns = 800'000'000;
+    cfg.measure_ns = 1'000'000'000;
+    auto r = Fabric(cfg).run();
+    EXPECT_GE(r.metrics.throughput_tps, prev * 0.95)
+        << "cap=" << cap;  // throughput must not fall as the cap loosens
+    prev = r.metrics.throughput_tps;
+  }
+}
+
+TEST(SimFabricEffects, DeeperPipelineRaisesThroughput) {
+  // The headline claim (Q2/Q3): the multi-threaded pipelined architecture
+  // beats the monolithic single-worker design.
+  FabricConfig mono = base();
+  mono.clients = 4'000;
+  mono.batch_threads = 0;
+  mono.execute_threads = 0;
+  auto r_mono = Fabric(mono).run();
+
+  FabricConfig deep = base();
+  deep.clients = 4'000;  // standard 2B1E pipeline
+  auto r_deep = Fabric(deep).run();
+
+  EXPECT_GT(r_deep.metrics.throughput_tps,
+            1.3 * r_mono.metrics.throughput_tps);
+  EXPECT_LT(r_deep.metrics.latency_avg_ms, r_mono.metrics.latency_avg_ms);
+}
+
+TEST(SimFabricEffects, CryptoSchemeRankingMatchesPaper) {
+  auto run_scheme = [&](crypto::SchemeConfig schemes) {
+    FabricConfig cfg = base();
+    cfg.clients = 4'000;
+    cfg.schemes = schemes;
+    return Fabric(cfg).run().metrics.throughput_tps;
+  };
+  double none = run_scheme(crypto::SchemeConfig::none());
+  double standard = run_scheme(crypto::SchemeConfig::standard());
+  double ed = run_scheme(crypto::SchemeConfig::all_ed25519());
+
+  // Figure 13's ranking: none >= CMAC+ED25519 >= all-ED25519.
+  EXPECT_GE(none, standard * 0.98);
+  EXPECT_GE(standard, ed * 0.98);
+}
+
+TEST(SimFabricEffects, CoreSweepMonotone) {
+  double prev = 0;
+  for (std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+    FabricConfig cfg = base();
+    cfg.clients = 4'000;
+    cfg.cores = cores;
+    auto r = Fabric(cfg).run();
+    EXPECT_GE(r.metrics.throughput_tps, prev * 0.9) << cores << " cores";
+    prev = r.metrics.throughput_tps;
+  }
+}
+
+TEST(SimFabricEffects, UpperBoundLatencyScalesWithClients) {
+  FabricConfig a = base();
+  a.mode = RunMode::kUpperBoundNoExec;
+  a.clients = 2'000;
+  auto ra = Fabric(a).run();
+
+  FabricConfig b = base();
+  b.mode = RunMode::kUpperBoundNoExec;
+  b.clients = 8'000;
+  auto rb = Fabric(b).run();
+
+  EXPECT_GT(rb.metrics.latency_avg_ms, 1.5 * ra.metrics.latency_avg_ms);
+}
+
+TEST(SimFabricEffects, ViewChangeRecoversFromDeadPrimary) {
+  FabricConfig cfg = base();
+  cfg.failed_replicas = {0};
+  cfg.request_timeout_ns = 60'000'000;
+  cfg.zyz_client_timeout_ns = 150'000'000;  // client retransmit pace
+  cfg.warmup_ns = 2'000'000'000;
+  cfg.measure_ns = 2'000'000'000;
+  Fabric fab(cfg);
+  auto r = fab.run();
+  EXPECT_GT(r.view_changes, 0u);
+  EXPECT_GT(r.metrics.committed_txns, 0u);
+}
+
+TEST(SimFabricEffects, BothProtocolsAgreeOnChainShape) {
+  // Same workload, both protocols: block counts are in the same ballpark
+  // (one consensus round per batch either way).
+  FabricConfig p = base();
+  auto rp = Fabric(p).run();
+  FabricConfig z = base();
+  z.protocol = Protocol::kZyzzyva;
+  auto rz = Fabric(z).run();
+  EXPECT_GT(rp.blocks_committed, 0u);
+  EXPECT_GT(rz.blocks_committed, 0u);
+}
+
+}  // namespace
+}  // namespace rdb::simfab

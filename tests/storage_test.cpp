@@ -1,0 +1,219 @@
+// Storage layer: in-memory store semantics and the PageDB embedded database
+// (persistence, WAL recovery, page-cache eviction, bucket chaining).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "storage/mem_store.h"
+#include "storage/page_db.h"
+
+namespace rdb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(MemStore, PutGetUpdate) {
+  MemStore s;
+  EXPECT_FALSE(s.get("k").has_value());
+  s.put("k", "v1");
+  EXPECT_EQ(s.get("k").value(), "v1");
+  s.put("k", "v2");
+  EXPECT_EQ(s.get("k").value(), "v2");
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains("k"));
+  EXPECT_FALSE(s.contains("other"));
+}
+
+TEST(MemStore, StatsTrackReadsWritesMisses) {
+  MemStore s;
+  s.put("a", "1");
+  (void)s.get("a");
+  (void)s.get("missing");
+  auto st = s.stats();
+  EXPECT_EQ(st.writes, 1u);
+  EXPECT_EQ(st.reads, 2u);
+  EXPECT_EQ(st.read_misses, 1u);
+}
+
+TEST(MemStore, ManyKeysAcrossStripes) {
+  MemStore s;
+  for (int i = 0; i < 1000; ++i)
+    s.put("key" + std::to_string(i), "value" + std::to_string(i));
+  EXPECT_EQ(s.size(), 1000u);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(s.get("key" + std::to_string(i)).value(),
+              "value" + std::to_string(i));
+}
+
+class PageDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pagedb_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "db.pages").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  PageDbConfig config(std::size_t cache_pages = 64,
+                      std::uint32_t buckets = 64) {
+    PageDbConfig c;
+    c.path = path_;
+    c.cache_pages = cache_pages;
+    c.bucket_count = buckets;
+    return c;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(PageDbTest, PutGetUpdateSameSize) {
+  PageDb db(config());
+  db.put("alpha", "11111");
+  EXPECT_EQ(db.get("alpha").value(), "11111");
+  db.put("alpha", "22222");  // same length: in-place overwrite
+  EXPECT_EQ(db.get("alpha").value(), "22222");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST_F(PageDbTest, UpdateDifferentSizeAppendsNewVersion) {
+  PageDb db(config());
+  db.put("k", "short");
+  db.put("k", "a much longer value than before");
+  EXPECT_EQ(db.get("k").value(), "a much longer value than before");
+  EXPECT_EQ(db.size(), 1u);
+  db.put("k", "s");
+  EXPECT_EQ(db.get("k").value(), "s");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST_F(PageDbTest, MissingKeyReturnsNullopt) {
+  PageDb db(config());
+  EXPECT_FALSE(db.get("nope").has_value());
+  EXPECT_FALSE(db.contains("nope"));
+}
+
+TEST_F(PageDbTest, PersistsAcrossReopenAfterCheckpoint) {
+  {
+    PageDb db(config());
+    for (int i = 0; i < 200; ++i)
+      db.put("key" + std::to_string(i), "value" + std::to_string(i));
+    db.checkpoint();
+  }
+  PageDb db2(config());
+  EXPECT_EQ(db2.size(), 200u);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(db2.get("key" + std::to_string(i)).value(),
+              "value" + std::to_string(i));
+}
+
+TEST_F(PageDbTest, WalRecoversUncheckpointedWrites) {
+  {
+    PageDb db(config());
+    db.put("durable", "yes");
+    db.checkpoint();
+    db.put("in-wal-only", "recovered");
+    // Destructor checkpoints, so simulate a crash instead: copy the WAL
+    // aside is not possible here — we verify the WAL path by writing and
+    // NOT calling checkpoint, then replaying on a fresh instance below.
+  }
+  // The destructor checkpointed; the data must be there either way.
+  PageDb db2(config());
+  EXPECT_EQ(db2.get("in-wal-only").value(), "recovered");
+}
+
+TEST_F(PageDbTest, WalReplayAfterSimulatedCrash) {
+  // Build a database, checkpoint, then append writes and "crash" by copying
+  // the files mid-flight (before checkpoint truncates the WAL).
+  {
+    PageDb db(config());
+    db.put("base", "committed");
+    db.checkpoint();
+    db.put("tail1", "wal-1");
+    db.put("tail2", "wal-2");
+    // Snapshot the crash state: data file lacks tail writes (they live in
+    // the cache + WAL), WAL holds them.
+    fs::copy_file(path_, path_ + ".crash", fs::copy_options::overwrite_existing);
+    fs::copy_file(path_ + ".wal", path_ + ".crash.wal",
+                  fs::copy_options::overwrite_existing);
+  }
+  // Restore the crash snapshot over the cleanly-closed files.
+  fs::copy_file(path_ + ".crash", path_, fs::copy_options::overwrite_existing);
+  fs::copy_file(path_ + ".crash.wal", path_ + ".wal",
+                fs::copy_options::overwrite_existing);
+
+  PageDb db2(config());
+  EXPECT_EQ(db2.get("base").value(), "committed");
+  EXPECT_EQ(db2.get("tail1").value(), "wal-1");
+  EXPECT_EQ(db2.get("tail2").value(), "wal-2");
+  EXPECT_GE(db2.page_stats().wal_replayed, 2u);
+}
+
+TEST_F(PageDbTest, BucketChainsGrowBeyondOnePage) {
+  // One bucket forces every record into a single chain; values sized so the
+  // chain must span multiple pages.
+  PageDb db(config(/*cache_pages=*/8, /*buckets=*/1));
+  std::string big(500, 'x');
+  for (int i = 0; i < 50; ++i) db.put("chain" + std::to_string(i), big);
+  EXPECT_EQ(db.size(), 50u);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(db.get("chain" + std::to_string(i)).value(), big);
+}
+
+TEST_F(PageDbTest, TinyCacheForcesEviction) {
+  PageDb db(config(/*cache_pages=*/2, /*buckets=*/32));
+  for (int i = 0; i < 300; ++i)
+    db.put("evict" + std::to_string(i), "v" + std::to_string(i));
+  for (int i = 0; i < 300; ++i)
+    ASSERT_EQ(db.get("evict" + std::to_string(i)).value(),
+              "v" + std::to_string(i));
+  EXPECT_GT(db.page_stats().cache_misses, 0u);
+  EXPECT_GT(db.page_stats().pages_flushed, 0u);
+}
+
+TEST_F(PageDbTest, RecordLargerThanPageThrows) {
+  PageDb db(config());
+  std::string huge(PageDb::kPageSize, 'x');
+  EXPECT_THROW(db.put("huge", huge), std::runtime_error);
+}
+
+TEST_F(PageDbTest, StatsCountKvOperations) {
+  PageDb db(config());
+  db.put("a", "1");
+  (void)db.get("a");
+  (void)db.get("b");
+  auto st = db.stats();
+  EXPECT_EQ(st.writes, 1u);
+  EXPECT_EQ(st.reads, 2u);
+  EXPECT_EQ(st.read_misses, 1u);
+}
+
+TEST_F(PageDbTest, CorruptHeaderRejected) {
+  {
+    PageDb db(config());
+    db.put("x", "y");
+  }
+  // Stomp the magic number.
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const char garbage[8] = {0};
+  std::fwrite(garbage, 1, 8, f);
+  std::fclose(f);
+  EXPECT_THROW(PageDb db2(config()), std::runtime_error);
+}
+
+TEST_F(PageDbTest, EmptyValueSupported) {
+  PageDb db(config());
+  db.put("empty", "");
+  auto v = db.get("empty");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+}
+
+}  // namespace
+}  // namespace rdb::storage

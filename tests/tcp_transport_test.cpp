@@ -1,0 +1,165 @@
+// TCP transport: framing, peer addressing, failure handling, and a full
+// 4-replica PBFT cluster over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/client.h"
+#include "runtime/replica.h"
+#include "runtime/tcp_transport.h"
+#include "storage/mem_store.h"
+#include "workload/ycsb.h"
+
+namespace rdb::runtime {
+namespace {
+
+protocol::Message prepare_msg(ReplicaId from, SeqNum seq) {
+  protocol::Prepare p;
+  p.view = 0;
+  p.seq = seq;
+  protocol::Message m;
+  m.from = Endpoint::replica(from);
+  m.payload = p;
+  m.signature = {1, 2, 3};
+  return m;
+}
+
+TEST(TcpTransport, DeliversFramesBetweenTwoEndpoints) {
+  TcpTransport a(Endpoint::replica(0), 0);
+  TcpTransport b(Endpoint::replica(1), 0);
+  a.add_peer(Endpoint::replica(1), {"127.0.0.1", b.port()});
+  b.add_peer(Endpoint::replica(0), {"127.0.0.1", a.port()});
+
+  auto inbox_b = std::make_shared<Transport::Inbox>();
+  b.register_endpoint(Endpoint::replica(1), inbox_b);
+
+  a.send(Endpoint::replica(1), prepare_msg(0, 7));
+  auto wire = inbox_b->pop_for(std::chrono::seconds(5));
+  ASSERT_TRUE(wire.has_value());
+  auto parsed = protocol::Message::parse(BytesView(*wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type(), protocol::MsgType::kPrepare);
+  EXPECT_EQ(std::get<protocol::Prepare>(parsed->payload).seq, 7u);
+  EXPECT_EQ(a.messages_sent(), 1u);
+}
+
+TEST(TcpTransport, ManyMessagesArriveInOrderPerConnection) {
+  TcpTransport a(Endpoint::replica(0), 0);
+  TcpTransport b(Endpoint::replica(1), 0);
+  a.add_peer(Endpoint::replica(1), {"127.0.0.1", b.port()});
+  auto inbox = std::make_shared<Transport::Inbox>();
+  b.register_endpoint(Endpoint::replica(1), inbox);
+
+  constexpr int kCount = 500;
+  for (int i = 0; i < kCount; ++i)
+    a.send(Endpoint::replica(1), prepare_msg(0, static_cast<SeqNum>(i + 1)));
+
+  for (int i = 0; i < kCount; ++i) {
+    auto wire = inbox->pop_for(std::chrono::seconds(5));
+    ASSERT_TRUE(wire.has_value()) << "message " << i;
+    auto parsed = protocol::Message::parse(BytesView(*wire));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(std::get<protocol::Prepare>(parsed->payload).seq,
+              static_cast<SeqNum>(i + 1));
+  }
+}
+
+TEST(TcpTransport, UndeclaredPeerIsDroppedNotFatal) {
+  TcpTransport a(Endpoint::replica(0), 0);
+  a.send(Endpoint::replica(9), prepare_msg(0, 1));
+  EXPECT_EQ(a.messages_sent(), 0u);
+  EXPECT_EQ(a.send_failures(), 1u);
+}
+
+TEST(TcpTransport, UnreachablePeerIsDroppedNotFatal) {
+  TcpTransport a(Endpoint::replica(0), 0);
+  // Port 1 on localhost: connection refused.
+  a.add_peer(Endpoint::replica(1), {"127.0.0.1", 1});
+  a.send(Endpoint::replica(1), prepare_msg(0, 1));
+  EXPECT_EQ(a.send_failures(), 1u);
+}
+
+TEST(TcpTransport, RegisterForeignEndpointRejected) {
+  TcpTransport a(Endpoint::replica(0), 0);
+  auto inbox = std::make_shared<Transport::Inbox>();
+  EXPECT_THROW(a.register_endpoint(Endpoint::replica(1), inbox),
+               std::runtime_error);
+}
+
+TEST(TcpTransport, FullPbftClusterOverLoopback) {
+  // Four replicas + one client, each with its own TCP transport — a real
+  // multi-process deployment topology collapsed into one test process.
+  constexpr std::uint32_t kN = 4;
+  auto wl = std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 500, .ops_per_txn = 2});
+  crypto::KeyRegistry registry(99);
+
+  std::vector<std::unique_ptr<TcpTransport>> transports;
+  for (ReplicaId r = 0; r < kN; ++r)
+    transports.push_back(std::make_unique<TcpTransport>(Endpoint::replica(r),
+                                                        0));
+  auto client_transport =
+      std::make_unique<TcpTransport>(Endpoint::client(1), 0);
+
+  // Full mesh peer declarations.
+  for (ReplicaId r = 0; r < kN; ++r) {
+    for (ReplicaId p = 0; p < kN; ++p)
+      if (p != r)
+        transports[r]->add_peer(Endpoint::replica(p),
+                                {"127.0.0.1", transports[p]->port()});
+    transports[r]->add_peer(Endpoint::client(1),
+                            {"127.0.0.1", client_transport->port()});
+    client_transport->add_peer(Endpoint::replica(r),
+                               {"127.0.0.1", transports[r]->port()});
+  }
+
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (ReplicaId r = 0; r < kN; ++r) {
+    ReplicaConfig rc;
+    rc.n = kN;
+    rc.id = r;
+    rc.batch_size = 5;
+    replicas.push_back(std::make_unique<Replica>(
+        rc, *transports[r], registry, std::make_unique<storage::MemStore>(),
+        [wl](const protocol::Transaction& t, storage::KvStore& s) {
+          return wl->execute(t, s);
+        }));
+  }
+  for (auto& r : replicas) r->start();
+
+  ClientConfig cc;
+  cc.id = 1;
+  cc.n = kN;
+  Client client(cc, *client_transport, registry);
+
+  Rng rng(5);
+  std::vector<protocol::Transaction> burst;
+  for (int i = 0; i < 5; ++i) {
+    auto t = wl->make_transaction(rng, 1, 0);
+    burst.push_back(client.make_transaction(t.payload, t.ops));
+  }
+  auto results = client.submit_and_wait(std::move(burst));
+  ASSERT_TRUE(results.has_value());
+  EXPECT_EQ(results->size(), 5u);
+
+  // All replicas converge over real sockets.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool all = false;
+  while (!all && std::chrono::steady_clock::now() < deadline) {
+    all = true;
+    for (auto& r : replicas)
+      if (r->last_executed() < 1) all = false;
+    if (!all) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(all);
+  auto acc0 = replicas[0]->chain().accumulator();
+  for (ReplicaId r = 1; r < kN; ++r)
+    EXPECT_EQ(replicas[r]->chain().accumulator(), acc0) << "replica " << r;
+
+  for (auto& r : replicas) r->stop();
+  for (auto& t : transports) t->stop();
+  client_transport->stop();
+}
+
+}  // namespace
+}  // namespace rdb::runtime

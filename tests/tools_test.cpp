@@ -1,0 +1,99 @@
+// Topology-file parser used by the rdb_replica / rdb_client tools.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tools/cluster_config.h"
+
+namespace rdb::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "rdb_topo_test";
+    fs::create_directories(dir_);
+    path_ = (dir_ / "cluster.topo").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(TopologyTest, ParsesValidFileWithComments) {
+  write(
+      "# a 4-replica cluster\n"
+      "replica 0 127.0.0.1 19000\n"
+      "replica 1 127.0.0.1 19001  # inline comment\n"
+      "replica 2 10.0.0.5 19002\n"
+      "replica 3 10.0.0.6 19003\n"
+      "\n"
+      "client 1 127.0.0.1 19100\n");
+  auto topo = load_topology(path_);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->replica_count(), 4u);
+  EXPECT_EQ(topo->replicas.at(2).host, "10.0.0.5");
+  EXPECT_EQ(topo->replicas.at(2).port, 19002);
+  EXPECT_EQ(topo->clients.at(1).port, 19100);
+}
+
+TEST_F(TopologyTest, RejectsMissingFile) {
+  EXPECT_FALSE(load_topology((dir_ / "nope.topo").string()).has_value());
+}
+
+TEST_F(TopologyTest, RejectsMalformedLine) {
+  write("replica 0 127.0.0.1\n");  // missing port
+  EXPECT_FALSE(load_topology(path_).has_value());
+}
+
+TEST_F(TopologyTest, RejectsUnknownKind) {
+  write(
+      "replica 0 h 1\nreplica 1 h 2\nreplica 2 h 3\nreplica 3 h 4\n"
+      "observer 9 h 5\n");
+  EXPECT_FALSE(load_topology(path_).has_value());
+}
+
+TEST_F(TopologyTest, RejectsTooFewReplicas) {
+  write("replica 0 h 1\nreplica 1 h 2\nreplica 2 h 3\n");
+  EXPECT_FALSE(load_topology(path_).has_value());
+}
+
+TEST_F(TopologyTest, RejectsNonContiguousReplicaIds) {
+  write("replica 0 h 1\nreplica 1 h 2\nreplica 2 h 3\nreplica 5 h 4\n");
+  EXPECT_FALSE(load_topology(path_).has_value());
+}
+
+TEST_F(TopologyTest, RejectsOutOfRangePort) {
+  write(
+      "replica 0 h 1\nreplica 1 h 2\nreplica 2 h 3\nreplica 3 h 99999\n");
+  EXPECT_FALSE(load_topology(path_).has_value());
+}
+
+TEST_F(TopologyTest, WireDeclaresAllPeersExceptSelf) {
+  write(
+      "replica 0 127.0.0.1 0\nreplica 1 127.0.0.1 0\n"
+      "replica 2 127.0.0.1 0\nreplica 3 127.0.0.1 0\n"
+      "client 7 127.0.0.1 0\n");
+  auto topo = load_topology(path_);
+  ASSERT_TRUE(topo.has_value());
+  runtime::TcpTransport transport(Endpoint::replica(0), 0);
+  topo->wire(transport);  // must not declare replica 0 as its own peer
+  protocol::Message m;
+  m.from = Endpoint::replica(0);
+  m.payload = protocol::Prepare{};
+  transport.send(Endpoint::replica(0), m);  // undeclared self: dropped
+  EXPECT_EQ(transport.send_failures(), 1u);
+  transport.stop();
+}
+
+}  // namespace
+}  // namespace rdb::tools

@@ -1,0 +1,191 @@
+// YCSB workload: Zipfian generator statistics, transaction encode/decode,
+// execution against a store.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "storage/mem_store.h"
+#include "workload/ycsb.h"
+
+namespace rdb::workload {
+namespace {
+
+TEST(Zipfian, UniformWhenThetaZero) {
+  ZipfianGenerator gen(10, 0.0);
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10'000; ++i) ++counts[gen.next(rng)];
+  for (const auto& [k, c] : counts) {
+    EXPECT_LT(k, 10u);
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Zipfian, SkewConcentratesOnHotKeys) {
+  ZipfianGenerator gen(10'000, 0.9);
+  Rng rng(2);
+  int hot = 0;  // hits within the 100 hottest keys (1% of the space)
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i)
+    if (gen.next(rng) < 100) ++hot;
+  // With theta=0.9, far more than 1% of accesses land on the top 1%.
+  EXPECT_GT(hot, kDraws / 10);
+}
+
+TEST(Zipfian, StaysInRange) {
+  ZipfianGenerator gen(600'000, 0.9);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(gen.next(rng), 600'000u);
+}
+
+TEST(Ycsb, KeyNamesAreStable) {
+  EXPECT_EQ(YcsbWorkload::key_name(0), "user0000000000");
+  EXPECT_EQ(YcsbWorkload::key_name(599'999), "user0000599999");
+}
+
+TEST(Ycsb, TransactionEncodeDecodeRoundTrip) {
+  YcsbConfig cfg;
+  cfg.record_count = 1000;
+  cfg.ops_per_txn = 5;
+  cfg.value_bytes = 16;
+  YcsbWorkload wl(cfg);
+  Rng rng(7);
+  auto txn = wl.make_transaction(rng, /*client=*/3, /*req=*/42);
+  EXPECT_EQ(txn.client, 3u);
+  EXPECT_EQ(txn.req_id, 42u);
+  EXPECT_EQ(txn.ops, 5u);
+  auto ops = YcsbWorkload::decode(txn);
+  ASSERT_EQ(ops.size(), 5u);
+  for (const auto& op : ops) {
+    EXPECT_LT(op.key_index, 1000u);
+    EXPECT_EQ(op.value.size(), 16u);
+  }
+}
+
+TEST(Ycsb, ExecuteAppliesAllWrites) {
+  YcsbConfig cfg;
+  cfg.record_count = 100;
+  cfg.ops_per_txn = 10;
+  cfg.value_bytes = 4;
+  YcsbWorkload wl(cfg);
+  storage::MemStore store;
+  Rng rng(8);
+  auto txn = wl.make_transaction(rng, 1, 1);
+  EXPECT_EQ(wl.execute(txn, store), 10u);
+  auto ops = YcsbWorkload::decode(txn);
+  for (const auto& op : ops) {
+    auto v = store.get(YcsbWorkload::key_name(op.key_index));
+    ASSERT_TRUE(v.has_value());
+  }
+}
+
+TEST(Ycsb, ExecuteIsDeterministic) {
+  // Two replicas applying the same transaction end with the same state —
+  // the property consensus-based replication depends on.
+  YcsbConfig cfg;
+  cfg.record_count = 50;
+  cfg.ops_per_txn = 3;
+  YcsbWorkload wl(cfg);
+  storage::MemStore a, b;
+  Rng rng(9);
+  auto txn = wl.make_transaction(rng, 1, 1);
+  wl.execute(txn, a);
+  wl.execute(txn, b);
+  auto ops = YcsbWorkload::decode(txn);
+  for (const auto& op : ops) {
+    EXPECT_EQ(a.get(YcsbWorkload::key_name(op.key_index)),
+              b.get(YcsbWorkload::key_name(op.key_index)));
+  }
+}
+
+TEST(Ycsb, PopulateLoadsActiveSet) {
+  YcsbConfig cfg;
+  cfg.record_count = 500;
+  YcsbWorkload wl(cfg);
+  storage::MemStore store;
+  wl.populate(store);
+  EXPECT_EQ(store.size(), 500u);
+  EXPECT_TRUE(store.contains(YcsbWorkload::key_name(0)));
+  EXPECT_TRUE(store.contains(YcsbWorkload::key_name(499)));
+}
+
+TEST(Ycsb, ReadWriteMixRoughlyMatchesFraction) {
+  YcsbConfig cfg;
+  cfg.record_count = 100;
+  cfg.ops_per_txn = 10;
+  cfg.read_fraction = 0.5;
+  YcsbWorkload wl(cfg);
+  Rng rng(12);
+  int reads = 0, total = 0;
+  for (int t = 0; t < 200; ++t) {
+    auto txn = wl.make_transaction(rng, 1, t);
+    for (const auto& op : YcsbWorkload::decode(txn)) {
+      ++total;
+      if (op.is_read) ++reads;
+    }
+  }
+  double fraction = static_cast<double>(reads) / total;
+  EXPECT_NEAR(fraction, 0.5, 0.08);
+}
+
+TEST(Ycsb, ReadResultsAreDeterministicAcrossReplicas) {
+  // Two replicas with identical state must produce identical read
+  // checksums — the property that lets f+1 matching responses certify reads.
+  YcsbConfig cfg;
+  cfg.record_count = 50;
+  cfg.ops_per_txn = 6;
+  cfg.read_fraction = 0.5;
+  YcsbWorkload wl(cfg);
+  storage::MemStore a, b;
+  wl.populate(a);
+  wl.populate(b);
+  Rng rng(13);
+  for (int t = 0; t < 20; ++t) {
+    auto txn = wl.make_transaction(rng, 1, t);
+    EXPECT_EQ(wl.execute(txn, a), wl.execute(txn, b)) << "txn " << t;
+  }
+}
+
+TEST(Ycsb, ReadChecksumReflectsWrittenState) {
+  YcsbConfig cfg;
+  cfg.record_count = 10;
+  cfg.ops_per_txn = 1;
+  YcsbWorkload wl(cfg);
+  storage::MemStore s1, s2;
+  s1.put(YcsbWorkload::key_name(3), "AAAA");
+  s2.put(YcsbWorkload::key_name(3), "BBBB");
+
+  // Hand-build a read of key 3.
+  protocol::Transaction txn;
+  Writer w;
+  w.u32(1);
+  w.u64(3);
+  w.u8(1);  // read
+  w.bytes(BytesView());
+  txn.payload = w.take();
+
+  EXPECT_NE(wl.execute(txn, s1), wl.execute(txn, s2));
+  EXPECT_EQ(wl.execute(txn, s1), wl.execute(txn, s1));  // stable
+}
+
+TEST(Ycsb, WriteOnlyResultIsOpsCount) {
+  YcsbConfig cfg;
+  cfg.record_count = 100;
+  cfg.ops_per_txn = 7;
+  YcsbWorkload wl(cfg);
+  storage::MemStore store;
+  Rng rng(14);
+  auto txn = wl.make_transaction(rng, 1, 1);
+  EXPECT_EQ(wl.execute(txn, store), 7u);
+}
+
+TEST(Ycsb, MalformedPayloadDecodesSafely) {
+  protocol::Transaction txn;
+  txn.payload = {0xFF, 0xFF, 0xFF, 0xFF};  // claims 4G operations
+  auto ops = YcsbWorkload::decode(txn);
+  EXPECT_TRUE(ops.empty());
+}
+
+}  // namespace
+}  // namespace rdb::workload

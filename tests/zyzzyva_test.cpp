@@ -1,0 +1,220 @@
+// Zyzzyva engine: speculative execution, hash-chained history, out-of-order
+// buffering, the commit-certificate slow path, and checkpointing.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "tests/engine_harness.h"
+
+namespace rdb::protocol {
+namespace {
+
+using test::EngineHarness;
+using test::make_batch;
+
+Digest digest_of(const std::string& tag) { return crypto::sha256(tag); }
+
+void order(EngineHarness<ZyzzyvaEngine>& h, SeqNum seq,
+           const std::string& tag = "") {
+  std::string t = tag.empty() ? "batch-" + std::to_string(seq) : tag;
+  h.perform(0, h.engine(0).make_order_request(seq, make_batch(1, seq * 10, 2),
+                                              (seq - 1) * 2 + 1,
+                                              digest_of(t)));
+}
+
+TEST(Zyzzyva, SpeculativeExecutionOnOrderRequest) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  order(h, 1);
+  h.run_all();
+  for (ReplicaId r = 0; r < 4; ++r) {
+    ASSERT_EQ(h.executed(r).size(), 1u) << "replica " << r;
+    EXPECT_TRUE(h.executed(r)[0].speculative);
+    EXPECT_EQ(h.executed(r)[0].seq, 1u);
+    // Each replica answered the client with a SpecResponse.
+    ASSERT_EQ(h.client_msgs(r).size(), 1u);
+    EXPECT_EQ(h.client_msgs(r)[0].type(), MsgType::kSpecResponse);
+  }
+  EXPECT_TRUE(h.logs_consistent());
+}
+
+TEST(Zyzzyva, HistoryChainsAcrossBatches) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  order(h, 1);
+  order(h, 2);
+  order(h, 3);
+  h.run_all();
+  // All replicas converge on the same final history digest.
+  Digest hist = h.engine(0).history();
+  for (ReplicaId r = 1; r < 4; ++r) EXPECT_EQ(h.engine(r).history(), hist);
+  EXPECT_EQ(h.engine(0).last_spec_executed(), 3u);
+  // History is chained: changing any batch changes the final digest.
+  EngineHarness<ZyzzyvaEngine> h2(4);
+  order(h2, 1);
+  order(h2, 2, "different");
+  order(h2, 3);
+  h2.run_all();
+  EXPECT_NE(h2.engine(1).history(), hist);
+}
+
+TEST(Zyzzyva, OutOfOrderOrderRequestsBuffered) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  // Build order requests 1..3 at the primary but deliver 3, 2, 1 to a
+  // backup by hand.
+  auto mk = [&](SeqNum seq) {
+    auto acts = h.engine(0).make_order_request(
+        seq, make_batch(1, seq * 10, 1), seq, digest_of("b" + std::to_string(seq)));
+    for (auto& a : acts)
+      if (auto* bc = std::get_if<BroadcastAction>(&a)) return bc->msg;
+    return Message{};
+  };
+  Message m1 = mk(1), m2 = mk(2), m3 = mk(3);
+
+  auto acts3 = h.engine(1).on_order_request(m3);
+  EXPECT_TRUE(acts3.empty());  // buffered: hole at 1..2
+  auto acts2 = h.engine(1).on_order_request(m2);
+  EXPECT_TRUE(acts2.empty());
+  auto acts1 = h.engine(1).on_order_request(m1);
+  // Delivery of seq 1 releases the whole contiguous run.
+  std::size_t exec_count = 0;
+  for (auto& a : acts1)
+    if (std::holds_alternative<ExecuteAction>(a)) ++exec_count;
+  EXPECT_EQ(exec_count, 3u);
+  EXPECT_EQ(h.engine(1).last_spec_executed(), 3u);
+}
+
+TEST(Zyzzyva, PrimaryMustOrderContiguously) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  auto acts = h.engine(0).make_order_request(5, make_batch(1, 0, 1), 1,
+                                             digest_of("gap"));
+  EXPECT_TRUE(acts.empty());  // seq 5 before 1..4: rejected
+  EXPECT_GE(h.engine(0).metrics().rejected_msgs, 1u);
+}
+
+TEST(Zyzzyva, NonPrimaryCannotOrder) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  auto acts = h.engine(1).make_order_request(1, make_batch(1, 0, 1), 1,
+                                             digest_of("x"));
+  EXPECT_TRUE(acts.empty());
+}
+
+TEST(Zyzzyva, ForgedHistoryRejected) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  OrderRequest oreq;
+  oreq.view = 0;
+  oreq.seq = 1;
+  oreq.batch_digest = digest_of("legit");
+  oreq.history = digest_of("forged-history");  // inconsistent chain
+  oreq.txns = make_batch(1, 0, 1);
+  Message m;
+  m.from = Endpoint::replica(0);
+  m.payload = oreq;
+  auto acts = h.engine(1).on_order_request(m);
+  EXPECT_TRUE(acts.empty());
+  EXPECT_GE(h.engine(1).metrics().rejected_msgs, 1u);
+  EXPECT_EQ(h.engine(1).last_spec_executed(), 0u);
+}
+
+TEST(Zyzzyva, OrderRequestFromNonPrimaryRejected) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  OrderRequest oreq;
+  oreq.view = 0;
+  oreq.seq = 1;
+  oreq.batch_digest = digest_of("x");
+  Message m;
+  m.from = Endpoint::replica(2);
+  m.payload = oreq;
+  EXPECT_TRUE(h.engine(1).on_order_request(m).empty());
+}
+
+TEST(Zyzzyva, CommitCertAcceptedWhenHistoryMatches) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  order(h, 1);
+  h.run_all();
+
+  CommitCert cc;
+  cc.view = 0;
+  cc.seq = 1;
+  cc.history = h.engine(1).history_at(1);
+  cc.signers = {0, 1, 2};  // 2f+1 for n=4
+  Message m;
+  m.from = Endpoint::client(1);
+  m.payload = cc;
+  auto acts = h.engine(1).on_commit_cert(m);
+  ASSERT_EQ(acts.size(), 1u);
+  auto* send = std::get_if<SendAction>(&acts[0]);
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->msg.type(), MsgType::kLocalCommit);
+  EXPECT_EQ(h.engine(1).committed_seq(), 1u);
+}
+
+TEST(Zyzzyva, CommitCertWithWrongHistoryRejected) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  order(h, 1);
+  h.run_all();
+  CommitCert cc;
+  cc.view = 0;
+  cc.seq = 1;
+  cc.history = digest_of("wrong");
+  cc.signers = {0, 1, 2};
+  Message m;
+  m.from = Endpoint::client(1);
+  m.payload = cc;
+  EXPECT_TRUE(h.engine(1).on_commit_cert(m).empty());
+  EXPECT_EQ(h.engine(1).committed_seq(), 0u);
+}
+
+TEST(Zyzzyva, CommitCertNeedsQuorumOfSigners) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  order(h, 1);
+  h.run_all();
+  CommitCert cc;
+  cc.view = 0;
+  cc.seq = 1;
+  cc.history = h.engine(1).history_at(1);
+  cc.signers = {0, 1};  // only 2 < 2f+1 = 3
+  Message m;
+  m.from = Endpoint::client(1);
+  m.payload = cc;
+  EXPECT_TRUE(h.engine(1).on_commit_cert(m).empty());
+}
+
+TEST(Zyzzyva, CheckpointStabilizesAndPrunesHistoryLog) {
+  EngineHarness<ZyzzyvaEngine> h(4, /*cp_interval=*/5);
+  for (SeqNum s = 1; s <= 10; ++s) order(h, s);
+  h.run_all();
+  for (ReplicaId r = 0; r < 4; ++r)
+    EXPECT_EQ(h.stable_checkpoint_seen(r), 10u) << "replica " << r;
+}
+
+TEST(Zyzzyva, SpecResponsePerClientInBatch) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  // One batch with transactions from three distinct clients.
+  std::vector<Transaction> txns;
+  for (ClientId c = 1; c <= 3; ++c) {
+    Transaction t;
+    t.client = c;
+    t.req_id = 1;
+    txns.push_back(t);
+  }
+  h.perform(0, h.engine(0).make_order_request(1, std::move(txns), 1,
+                                              digest_of("multi")));
+  h.run_all();
+  // Each replica answers each distinct client exactly once.
+  for (ReplicaId r = 0; r < 4; ++r)
+    EXPECT_EQ(h.client_msgs(r).size(), 3u) << "replica " << r;
+}
+
+TEST(Zyzzyva, DuplicateOrderRequestIgnored) {
+  EngineHarness<ZyzzyvaEngine> h(4);
+  auto acts = h.engine(0).make_order_request(1, make_batch(1, 0, 1), 1,
+                                             digest_of("dup"));
+  Message m;
+  for (auto& a : acts)
+    if (auto* bc = std::get_if<BroadcastAction>(&a)) m = bc->msg;
+  auto first = h.engine(1).on_order_request(m);
+  EXPECT_FALSE(first.empty());
+  auto second = h.engine(1).on_order_request(m);
+  EXPECT_TRUE(second.empty());
+}
+
+}  // namespace
+}  // namespace rdb::protocol

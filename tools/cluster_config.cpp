@@ -1,0 +1,72 @@
+#include "tools/cluster_config.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rdb::tools {
+
+void ClusterTopology::wire(runtime::TcpTransport& transport) const {
+  for (const auto& [id, peer] : replicas) {
+    Endpoint ep = Endpoint::replica(id);
+    if (ep == transport.self()) continue;
+    transport.add_peer(ep, peer);
+  }
+  for (const auto& [id, peer] : clients) {
+    Endpoint ep = Endpoint::client(id);
+    if (ep == transport.self()) continue;
+    transport.add_peer(ep, peer);
+  }
+}
+
+std::optional<ClusterTopology> load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open topology file: %s\n", path.c_str());
+    return std::nullopt;
+  }
+  ClusterTopology topo;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string kind;
+    if (!(ss >> kind)) continue;  // blank line
+    std::uint32_t id;
+    std::string host;
+    std::uint32_t port;
+    if (!(ss >> id >> host >> port) || port > 65535) {
+      std::fprintf(stderr, "%s:%d: expected '<kind> <id> <host> <port>'\n",
+                   path.c_str(), lineno);
+      return std::nullopt;
+    }
+    runtime::TcpPeer peer{host, static_cast<std::uint16_t>(port)};
+    if (kind == "replica") {
+      topo.replicas[id] = peer;
+    } else if (kind == "client") {
+      topo.clients[id] = peer;
+    } else {
+      std::fprintf(stderr, "%s:%d: unknown kind '%s'\n", path.c_str(), lineno,
+                   kind.c_str());
+      return std::nullopt;
+    }
+  }
+  if (topo.replicas.size() < 4) {
+    std::fprintf(stderr, "topology needs at least 4 replicas (3f+1, f>=1)\n");
+    return std::nullopt;
+  }
+  // Replica ids must be 0..n-1 (the primary of view v is v mod n).
+  ReplicaId expect = 0;
+  for (const auto& [id, peer] : topo.replicas) {
+    if (id != expect++) {
+      std::fprintf(stderr, "replica ids must be contiguous from 0\n");
+      return std::nullopt;
+    }
+  }
+  return topo;
+}
+
+}  // namespace rdb::tools

@@ -1,0 +1,35 @@
+// Cluster topology file shared by the rdb_replica / rdb_client tools.
+//
+// Format, one entry per line (comments start with '#'):
+//   replica <id> <host> <port>
+//   client  <id> <host> <port>
+// Every process in the deployment reads the same file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "runtime/tcp_transport.h"
+
+namespace rdb::tools {
+
+struct ClusterTopology {
+  std::map<ReplicaId, runtime::TcpPeer> replicas;
+  std::map<ClientId, runtime::TcpPeer> clients;
+
+  std::uint32_t replica_count() const {
+    return static_cast<std::uint32_t>(replicas.size());
+  }
+
+  /// Declares every known peer on `transport` (excluding its own endpoint).
+  void wire(runtime::TcpTransport& transport) const;
+};
+
+/// Parses a topology file; returns nullopt (and prints the problem to
+/// stderr) on malformed input.
+std::optional<ClusterTopology> load_topology(const std::string& path);
+
+}  // namespace rdb::tools

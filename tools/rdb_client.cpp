@@ -1,0 +1,127 @@
+// rdb_client — YCSB load generator / smoke client for an rdb_replica
+// cluster.
+//
+//   rdb_client --id 1 --topology cluster.topo [--requests 1000]
+//              [--burst 10] [--ops 1] [--key-seed N]
+//
+// Submits `requests` transactions in bursts, waits for f+1 matching replies
+// per transaction, and reports throughput and latency percentiles.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/stats.h"
+#include "runtime/client.h"
+#include "runtime/tcp_transport.h"
+#include "tools/cluster_config.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rdb_client --id N --topology FILE [--requests N] "
+               "[--burst N] [--ops N] [--key-seed N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rdb::ClientId id = 0;
+  bool have_id = false;
+  std::string topology_path;
+  std::uint64_t requests = 1000;
+  std::uint32_t burst = 10;
+  std::uint32_t ops = 1;
+  std::uint64_t key_seed = 7;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--id")) {
+      id = static_cast<rdb::ClientId>(std::atoi(need("--id")));
+      have_id = true;
+    } else if (!std::strcmp(argv[i], "--topology")) {
+      topology_path = need("--topology");
+    } else if (!std::strcmp(argv[i], "--requests")) {
+      requests = static_cast<std::uint64_t>(std::atoll(need("--requests")));
+    } else if (!std::strcmp(argv[i], "--burst")) {
+      burst = static_cast<std::uint32_t>(std::atoi(need("--burst")));
+    } else if (!std::strcmp(argv[i], "--ops")) {
+      ops = static_cast<std::uint32_t>(std::atoi(need("--ops")));
+    } else if (!std::strcmp(argv[i], "--key-seed")) {
+      key_seed = static_cast<std::uint64_t>(std::atoll(need("--key-seed")));
+    } else {
+      return usage();
+    }
+  }
+  if (!have_id || topology_path.empty() || burst == 0) return usage();
+
+  auto topo = rdb::tools::load_topology(topology_path);
+  if (!topo) return 1;
+  auto self_it = topo->clients.find(id);
+  if (self_it == topo->clients.end()) {
+    std::fprintf(stderr, "client %u not in topology\n", id);
+    return 1;
+  }
+
+  rdb::crypto::KeyRegistry registry(key_seed);
+  rdb::runtime::TcpTransport transport(rdb::Endpoint::client(id),
+                                       self_it->second.port);
+  topo->wire(transport);
+
+  rdb::runtime::ClientConfig cc;
+  cc.id = id;
+  cc.n = topo->replica_count();
+  rdb::runtime::Client client(cc, transport, registry);
+
+  rdb::workload::YcsbConfig wcfg;
+  wcfg.ops_per_txn = ops;
+  rdb::workload::YcsbWorkload workload(wcfg);
+  rdb::Rng rng(id * 7919 + 1);
+
+  rdb::LatencyHistogram latency;
+  std::uint64_t committed = 0, failed = 0;
+  auto start = std::chrono::steady_clock::now();
+
+  while (committed + failed < requests) {
+    std::uint32_t this_burst = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(burst, requests - committed - failed));
+    std::vector<rdb::protocol::Transaction> txns;
+    for (std::uint32_t i = 0; i < this_burst; ++i) {
+      auto t = workload.make_transaction(rng, id, 0);
+      txns.push_back(client.make_transaction(t.payload, t.ops));
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = client.submit_and_wait(std::move(txns));
+    auto dt = std::chrono::steady_clock::now() - t0;
+    if (results) {
+      committed += results->size();
+      latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    } else {
+      failed += this_burst;
+      std::fprintf(stderr, "burst timed out (view change in progress?)\n");
+    }
+  }
+
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "client %u: %llu committed, %llu failed, %.0f txn/s, burst latency "
+      "avg=%.2fms p50=%.2fms p99=%.2fms\n",
+      id, static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(failed),
+      static_cast<double>(committed) / seconds, latency.mean_ns() / 1e6,
+      latency.percentile_ns(50) / 1e6, latency.percentile_ns(99) / 1e6);
+  transport.stop();
+  return failed == 0 ? 0 : 1;
+}
