@@ -1,0 +1,158 @@
+// bench_crypto — old-vs-new Ed25519 hot-path comparison, emitted as JSON.
+//
+//   bench_crypto [--out BENCH_crypto.json] [--iters N]
+//
+// Times the seed's reference implementations (binary double-and-add,
+// shift-subtract reduction, no key caching) against the current hot path
+// (windowed fixed-base table, interleaved double-scalar verification,
+// expanded-key cache) and writes the measured latencies plus speedup
+// ratios. The numbers regenerate the calibration notes in simfab/costs.h
+// and docs/crypto.md.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ns(int iters, const std::function<void()>& fn) {
+  // One warm-up pass (builds lazy tables, faults pages).
+  fn();
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  auto t1 = Clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_crypto.json";
+  int iters = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--iters") && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_crypto [--out FILE] [--iters N]\n");
+      return 2;
+    }
+  }
+
+  using namespace rdb;
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  auto expanded = crypto::ed25519_expand_key(pub);
+  Bytes msg(128, 0x5A);
+  auto sig = crypto::ed25519_sign(BytesView(msg), seed, pub);
+
+  double sign_ref = time_ns(iters, [&] {
+    auto s = crypto::detail::sign_ref(BytesView(msg), seed, pub);
+    (void)s;
+  });
+  double sign_fast = time_ns(iters, [&] {
+    auto s = crypto::ed25519_sign(BytesView(msg), seed, pub);
+    (void)s;
+  });
+  double verify_ref = time_ns(iters, [&] {
+    volatile bool ok = crypto::detail::verify_ref(BytesView(msg), sig, pub);
+    (void)ok;
+  });
+  double verify_fast = time_ns(iters, [&] {
+    volatile bool ok = crypto::ed25519_verify(BytesView(msg), sig, pub);
+    (void)ok;
+  });
+  double verify_expanded = time_ns(iters, [&] {
+    volatile bool ok =
+        crypto::ed25519_verify_expanded(BytesView(msg), sig, *expanded);
+    (void)ok;
+  });
+  double expand_key = time_ns(iters, [&] {
+    auto k = crypto::ed25519_expand_key(pub);
+    (void)k;
+  });
+
+  // Batch throughput: 64 signatures, 8 signers (quorum-like mix).
+  constexpr int kSigners = 8;
+  constexpr int kSigs = 64;
+  std::vector<crypto::Ed25519Seed> seeds(kSigners);
+  std::vector<crypto::Ed25519PublicKey> pubs(kSigners);
+  std::vector<crypto::Ed25519ExpandedKeyPtr> keys(kSigners);
+  for (int i = 0; i < kSigners; ++i) {
+    seeds[i].fill(static_cast<std::uint8_t>(0x21 + i));
+    pubs[i] = crypto::ed25519_public_key(seeds[i]);
+    keys[i] = crypto::ed25519_expand_key(pubs[i]);
+  }
+  std::vector<Bytes> msgs(kSigs);
+  std::vector<crypto::Ed25519Signature> sigs(kSigs);
+  for (int i = 0; i < kSigs; ++i) {
+    msgs[i].assign(128, static_cast<std::uint8_t>(i));
+    sigs[i] = crypto::ed25519_sign(BytesView(msgs[i]), seeds[i % kSigners],
+                                   pubs[i % kSigners]);
+  }
+  int batch_iters = iters / 16 + 1;
+  double batch_ref = time_ns(batch_iters, [&] {
+    bool all = true;
+    for (int i = 0; i < kSigs; ++i)
+      all &= crypto::detail::verify_ref(BytesView(msgs[i]), sigs[i],
+                                        pubs[i % kSigners]);
+    volatile bool sink = all;
+    (void)sink;
+  });
+  double batch_fast = time_ns(batch_iters, [&] {
+    bool all = true;
+    for (int i = 0; i < kSigs; ++i)
+      all &= crypto::ed25519_verify_expanded(BytesView(msgs[i]), sigs[i],
+                                             *keys[i % kSigners]);
+    volatile bool sink = all;
+    (void)sink;
+  });
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"message_bytes\": 128,\n");
+  std::fprintf(f, "  \"iters\": %d,\n", iters);
+  std::fprintf(f, "  \"sign_ref_ns\": %.0f,\n", sign_ref);
+  std::fprintf(f, "  \"sign_fast_ns\": %.0f,\n", sign_fast);
+  std::fprintf(f, "  \"sign_speedup\": %.2f,\n", sign_ref / sign_fast);
+  std::fprintf(f, "  \"verify_ref_ns\": %.0f,\n", verify_ref);
+  std::fprintf(f, "  \"verify_fast_ns\": %.0f,\n", verify_fast);
+  std::fprintf(f, "  \"verify_speedup\": %.2f,\n", verify_ref / verify_fast);
+  std::fprintf(f, "  \"verify_expanded_ns\": %.0f,\n", verify_expanded);
+  std::fprintf(f, "  \"expand_key_ns\": %.0f,\n", expand_key);
+  std::fprintf(f, "  \"batch64_ref_ns\": %.0f,\n", batch_ref);
+  std::fprintf(f, "  \"batch64_fast_ns\": %.0f,\n", batch_fast);
+  std::fprintf(f, "  \"batch64_speedup\": %.2f,\n", batch_ref / batch_fast);
+  std::fprintf(f, "  \"batch64_fast_sigs_per_sec\": %.0f\n",
+               64.0 * 1e9 / batch_fast);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("sign:   ref %.0f ns -> fast %.0f ns (%.1fx)\n", sign_ref,
+              sign_fast, sign_ref / sign_fast);
+  std::printf("verify: ref %.0f ns -> fast %.0f ns (%.1fx), expanded %.0f ns\n",
+              verify_ref, verify_fast, verify_ref / verify_fast,
+              verify_expanded);
+  std::printf("batch64: ref %.0f ns -> fast %.0f ns (%.1fx)\n", batch_ref,
+              batch_fast, batch_ref / batch_fast);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

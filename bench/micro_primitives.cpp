@@ -81,6 +81,93 @@ void BM_Ed25519Verify(benchmark::State& state) {
 }
 BENCHMARK(BM_Ed25519Verify);
 
+// --- Old-vs-new crypto paths (the retained reference implementations) ------
+
+void BM_Ed25519SignRef(benchmark::State& state) {
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  Bytes msg(128, 0x5A);
+  for (auto _ : state) {
+    auto sig = crypto::detail::sign_ref(BytesView(msg), seed, pub);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_Ed25519SignRef);
+
+void BM_Ed25519VerifyRef(benchmark::State& state) {
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  Bytes msg(128, 0x5A);
+  auto sig = crypto::ed25519_sign(BytesView(msg), seed, pub);
+  for (auto _ : state) {
+    bool ok = crypto::detail::verify_ref(BytesView(msg), sig, pub);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ed25519VerifyRef);
+
+void BM_Ed25519VerifyExpanded(benchmark::State& state) {
+  // The hot-path variant used by CryptoProvider: the per-key table is built
+  // once (registry cache), verification only runs the double-scalar mult.
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  auto expanded = crypto::ed25519_expand_key(pub);
+  Bytes msg(128, 0x5A);
+  auto sig = crypto::ed25519_sign(BytesView(msg), seed, pub);
+  for (auto _ : state) {
+    bool ok = crypto::ed25519_verify_expanded(BytesView(msg), sig, *expanded);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ed25519VerifyExpanded);
+
+void BM_Ed25519ExpandKey(benchmark::State& state) {
+  // Per-peer one-time cost: decompression (inversion + sqrt) + validation
+  // + the odd-multiples table build.
+  crypto::Ed25519Seed seed{};
+  seed.fill(0x42);
+  auto pub = crypto::ed25519_public_key(seed);
+  for (auto _ : state) {
+    auto expanded = crypto::ed25519_expand_key(pub);
+    benchmark::DoNotOptimize(expanded);
+  }
+}
+BENCHMARK(BM_Ed25519ExpandKey);
+
+void BM_Ed25519BatchVerify64(benchmark::State& state) {
+  // Throughput view: 64 signatures from 8 distinct signers (cache-friendly
+  // mix resembling quorum traffic). Reported as signatures/second.
+  constexpr int kSigners = 8;
+  constexpr int kSigs = 64;
+  std::vector<crypto::Ed25519Seed> seeds(kSigners);
+  std::vector<crypto::Ed25519PublicKey> pubs(kSigners);
+  std::vector<crypto::Ed25519ExpandedKeyPtr> keys(kSigners);
+  for (int i = 0; i < kSigners; ++i) {
+    seeds[i].fill(static_cast<std::uint8_t>(0x21 + i));
+    pubs[i] = crypto::ed25519_public_key(seeds[i]);
+    keys[i] = crypto::ed25519_expand_key(pubs[i]);
+  }
+  std::vector<Bytes> msgs(kSigs);
+  std::vector<crypto::Ed25519Signature> sigs(kSigs);
+  for (int i = 0; i < kSigs; ++i) {
+    msgs[i].assign(128, static_cast<std::uint8_t>(i));
+    sigs[i] = crypto::ed25519_sign(BytesView(msgs[i]), seeds[i % kSigners],
+                                   pubs[i % kSigners]);
+  }
+  for (auto _ : state) {
+    bool all = true;
+    for (int i = 0; i < kSigs; ++i)
+      all &= crypto::ed25519_verify_expanded(BytesView(msgs[i]), sigs[i],
+                                             *keys[i % kSigners]);
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(state.iterations() * kSigs);
+}
+BENCHMARK(BM_Ed25519BatchVerify64);
+
 void BM_ProviderSignVerify(benchmark::State& state) {
   crypto::KeyRegistry reg(1);
   crypto::CryptoProvider alice(Endpoint::replica(0), reg,

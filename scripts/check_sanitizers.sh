@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Builds and runs the crypto + queue (+ verify-pool runtime) tests under
+# ASan, UBSan, and TSan via the -DRDB_SANITIZE CMake option.
+#
+#   scripts/check_sanitizers.sh [address|undefined|thread ...]
+#
+# With no arguments all three sanitizers run. Each configuration builds into
+# its own directory (build-asan / build-ubsan / build-tsan) so the regular
+# ./build tree is left untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
+  SANITIZERS=(address undefined thread)
+fi
+
+# crypto_test / ed25519_test cover the new hot-path arithmetic; queues_test
+# covers the lock-free handoff; the runtime verify-pool tests exercise the
+# parallel verification stage (the interesting TSan target).
+UNIT_TESTS=(crypto_test ed25519_test queues_test)
+RUNTIME_FILTER='Runtime.VerifyPool*'
+
+status=0
+for san in "${SANITIZERS[@]}"; do
+  case "$san" in
+    address)   dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    thread)    dir=build-tsan ;;
+    *) echo "unknown sanitizer: $san (want address|undefined|thread)" >&2
+       exit 2 ;;
+  esac
+
+  echo "=== [$san] configure + build -> $dir ==="
+  cmake -B "$dir" -S . -DRDB_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" --target "${UNIT_TESTS[@]}" runtime_test -j"$(nproc)"
+
+  for t in "${UNIT_TESTS[@]}"; do
+    echo "=== [$san] $t ==="
+    if ! "$dir/tests/$t"; then
+      echo "FAIL: $t under $san" >&2
+      status=1
+    fi
+  done
+
+  echo "=== [$san] runtime_test ($RUNTIME_FILTER) ==="
+  if ! "$dir/tests/runtime_test" --gtest_filter="$RUNTIME_FILTER"; then
+    echo "FAIL: runtime_test under $san" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all sanitizer runs passed"
+else
+  echo "sanitizer failures detected" >&2
+fi
+exit "$status"

@@ -1,6 +1,8 @@
 #include "crypto/ed25519.h"
 
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "crypto/sha512.h"
 
@@ -94,26 +96,10 @@ Fe fe_sub(const Fe& a, const Fe& b) {
 
 Fe fe_neg(const Fe& a) { return fe_sub(fe_zero(), a); }
 
-Fe fe_mul(const Fe& a, const Fe& b) {
-  using u128 = unsigned __int128;
-  const std::uint64_t b19_1 = 19 * b.v[1], b19_2 = 19 * b.v[2],
-                      b19_3 = 19 * b.v[3], b19_4 = 19 * b.v[4];
-  u128 r0 = (u128)a.v[0] * b.v[0] + (u128)a.v[1] * b19_4 +
-            (u128)a.v[2] * b19_3 + (u128)a.v[3] * b19_2 +
-            (u128)a.v[4] * b19_1;
-  u128 r1 = (u128)a.v[0] * b.v[1] + (u128)a.v[1] * b.v[0] +
-            (u128)a.v[2] * b19_4 + (u128)a.v[3] * b19_3 +
-            (u128)a.v[4] * b19_2;
-  u128 r2 = (u128)a.v[0] * b.v[2] + (u128)a.v[1] * b.v[1] +
-            (u128)a.v[2] * b.v[0] + (u128)a.v[3] * b19_4 +
-            (u128)a.v[4] * b19_3;
-  u128 r3 = (u128)a.v[0] * b.v[3] + (u128)a.v[1] * b.v[2] +
-            (u128)a.v[2] * b.v[1] + (u128)a.v[3] * b.v[0] +
-            (u128)a.v[4] * b19_4;
-  u128 r4 = (u128)a.v[0] * b.v[4] + (u128)a.v[1] * b.v[3] +
-            (u128)a.v[2] * b.v[2] + (u128)a.v[3] * b.v[1] +
-            (u128)a.v[4] * b.v[0];
+using u128 = unsigned __int128;
 
+/// Shared carry chain for the 102-bit column sums of fe_mul / fe_sq.
+Fe fe_carry_wide(u128 r0, u128 r1, u128 r2, u128 r3, u128 r4) {
   Fe h;
   std::uint64_t c;
   h.v[0] = (std::uint64_t)r0 & kMask51;
@@ -136,9 +122,49 @@ Fe fe_mul(const Fe& a, const Fe& b) {
   return h;
 }
 
-Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const std::uint64_t b19_1 = 19 * b.v[1], b19_2 = 19 * b.v[2],
+                      b19_3 = 19 * b.v[3], b19_4 = 19 * b.v[4];
+  u128 r0 = (u128)a.v[0] * b.v[0] + (u128)a.v[1] * b19_4 +
+            (u128)a.v[2] * b19_3 + (u128)a.v[3] * b19_2 +
+            (u128)a.v[4] * b19_1;
+  u128 r1 = (u128)a.v[0] * b.v[1] + (u128)a.v[1] * b.v[0] +
+            (u128)a.v[2] * b19_4 + (u128)a.v[3] * b19_3 +
+            (u128)a.v[4] * b19_2;
+  u128 r2 = (u128)a.v[0] * b.v[2] + (u128)a.v[1] * b.v[1] +
+            (u128)a.v[2] * b.v[0] + (u128)a.v[3] * b19_4 +
+            (u128)a.v[4] * b19_3;
+  u128 r3 = (u128)a.v[0] * b.v[3] + (u128)a.v[1] * b.v[2] +
+            (u128)a.v[2] * b.v[1] + (u128)a.v[3] * b.v[0] +
+            (u128)a.v[4] * b19_4;
+  u128 r4 = (u128)a.v[0] * b.v[4] + (u128)a.v[1] * b.v[3] +
+            (u128)a.v[2] * b.v[2] + (u128)a.v[3] * b.v[1] +
+            (u128)a.v[4] * b.v[0];
+  return fe_carry_wide(r0, r1, r2, r3, r4);
+}
+
+/// Dedicated squaring: 15 limb products instead of fe_mul's 25.
+Fe fe_sq(const Fe& a) {
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t d0 = 2 * a0, d1 = 2 * a1, d2 = 2 * a2, d3 = 2 * a3;
+  const std::uint64_t a3_19 = 19 * a3, a4_19 = 19 * a4;
+  u128 r0 = (u128)a0 * a0 + (u128)d1 * a4_19 + (u128)d2 * a3_19;
+  u128 r1 = (u128)d0 * a1 + (u128)d2 * a4_19 + (u128)a3 * a3_19;
+  u128 r2 = (u128)d0 * a2 + (u128)a1 * a1 + (u128)d3 * a4_19;
+  u128 r3 = (u128)d0 * a3 + (u128)d1 * a2 + (u128)a4 * a4_19;
+  u128 r4 = (u128)d0 * a4 + (u128)d1 * a3 + (u128)a2 * a2;
+  return fe_carry_wide(r0, r1, r2, r3, r4);
+}
+
+Fe fe_sqn(Fe z, int n) {
+  for (int i = 0; i < n; ++i) z = fe_sq(z);
+  return z;
+}
 
 /// Generic square-and-multiply: z^e with e given as 32 little-endian bytes.
+/// Only used at startup to derive curve constants; hot paths use the
+/// addition-chain exponentiations below.
 Fe fe_pow(const Fe& z, const std::uint8_t e[32]) {
   Fe result = fe_one();
   for (int i = 255; i >= 0; --i) {
@@ -148,22 +174,45 @@ Fe fe_pow(const Fe& z, const std::uint8_t e[32]) {
   return result;
 }
 
-Fe fe_invert(const Fe& z) {
-  // z^(p-2), p-2 = 2^255 - 21.
-  std::uint8_t e[32];
-  std::memset(e, 0xff, 32);
-  e[0] = 0xeb;
-  e[31] = 0x7f;
-  return fe_pow(z, e);
+/// Shared prefix of the inversion / pow22523 addition chains: z^(2^250 - 1),
+/// plus z^11 which the inversion tail needs.
+void fe_pow250(const Fe& z, Fe& z_250_0, Fe& z11) {
+  Fe z2 = fe_sq(z);                         // 2
+  Fe z8 = fe_sqn(z2, 2);                    // 8
+  Fe z9 = fe_mul(z, z8);                    // 9
+  z11 = fe_mul(z2, z9);                     // 11
+  Fe z22 = fe_sq(z11);                      // 22
+  Fe z_5_0 = fe_mul(z9, z22);               // 31 = 2^5 - 1
+  Fe t = fe_sqn(z_5_0, 5);
+  Fe z_10_0 = fe_mul(t, z_5_0);             // 2^10 - 1
+  t = fe_sqn(z_10_0, 10);
+  Fe z_20_0 = fe_mul(t, z_10_0);            // 2^20 - 1
+  t = fe_sqn(z_20_0, 20);
+  Fe z_40_0 = fe_mul(t, z_20_0);            // 2^40 - 1
+  t = fe_sqn(z_40_0, 10);
+  Fe z_50_0 = fe_mul(t, z_10_0);            // 2^50 - 1
+  t = fe_sqn(z_50_0, 50);
+  Fe z_100_0 = fe_mul(t, z_50_0);           // 2^100 - 1
+  t = fe_sqn(z_100_0, 100);
+  Fe z_200_0 = fe_mul(t, z_100_0);          // 2^200 - 1
+  t = fe_sqn(z_200_0, 50);
+  z_250_0 = fe_mul(t, z_50_0);              // 2^250 - 1
 }
 
+/// z^(p-2) = z^(2^255 - 21) via addition chain (254 squarings, 11 muls).
+Fe fe_invert(const Fe& z) {
+  Fe z_250_0, z11;
+  fe_pow250(z, z_250_0, z11);
+  Fe t = fe_sqn(z_250_0, 5);                // 2^255 - 32
+  return fe_mul(t, z11);                    // 2^255 - 21
+}
+
+/// z^((p-5)/8) = z^(2^252 - 3) via addition chain.
 Fe fe_pow22523(const Fe& z) {
-  // z^((p-5)/8), (p-5)/8 = 2^252 - 3.
-  std::uint8_t e[32];
-  std::memset(e, 0xff, 32);
-  e[0] = 0xfd;
-  e[31] = 0x0f;
-  return fe_pow(z, e);
+  Fe z_250_0, z11;
+  fe_pow250(z, z_250_0, z11);
+  Fe t = fe_sqn(z_250_0, 2);                // 2^252 - 4
+  return fe_mul(t, z);                      // 2^252 - 3
 }
 
 bool fe_iszero(const Fe& a) {
@@ -214,11 +263,34 @@ const Constants& consts() {
 }
 
 // ===========================================================================
-// Group: twisted Edwards -x^2 + y^2 = 1 + d x^2 y^2, extended coordinates.
+// Group: twisted Edwards -x^2 + y^2 = 1 + d x^2 y^2.
+//
+// Coordinate systems (the classic ref10 quartet):
+//   Ge (P3, extended)   (X:Y:Z:T) with x = X/Z, y = Y/Z, T = XY/Z
+//   GeP2 (projective)   (X:Y:Z)
+//   GeP1P1 (completed)  intermediate ((X:Z), (Y:T)) result of add/double
+//   GeCached            (Y+X, Y-X, Z, 2dT) — addition-ready form of a P3
+//   GePrecomp           (y+x, y-x, 2dxy)   — addition-ready affine (Z = 1)
 // ===========================================================================
 
 struct Ge {
-  Fe x, y, z, t;  // x = X/Z, y = Y/Z, t = XY/Z
+  Fe x, y, z, t;  // extended (P3)
+};
+
+struct GeP2 {
+  Fe x, y, z;
+};
+
+struct GeP1P1 {
+  Fe x, y, z, t;
+};
+
+struct GeCached {
+  Fe ypx, ymx, z, t2d;
+};
+
+struct GePrecomp {
+  Fe ypx, ymx, xy2d;
 };
 
 Ge ge_identity() {
@@ -230,7 +302,16 @@ Ge ge_identity() {
   return g;
 }
 
+GeP2 ge_p2_identity() {
+  GeP2 g;
+  g.x = fe_zero();
+  g.y = fe_one();
+  g.z = fe_one();
+  return g;
+}
+
 /// Unified addition (add-2008-hwcd-3 for a = -1): valid for doubling too.
+/// Reference path only; hot paths use the cached/precomp variants below.
 Ge ge_add(const Ge& p, const Ge& q) {
   Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
   Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
@@ -255,13 +336,117 @@ Ge ge_neg(const Ge& p) {
   return r;
 }
 
-/// Binary double-and-add, scalar as 32 little-endian bytes.
+/// Binary double-and-add, scalar as 32 little-endian bytes (reference).
 Ge ge_scalarmult(const Ge& p, const std::uint8_t scalar[32]) {
   Ge r = ge_identity();
   for (int i = 255; i >= 0; --i) {
     r = ge_add(r, r);
     if ((scalar[i / 8] >> (i % 8)) & 1) r = ge_add(r, p);
   }
+  return r;
+}
+
+GeCached ge_to_cached(const Ge& p) {
+  GeCached c;
+  c.ypx = fe_add(p.y, p.x);
+  c.ymx = fe_sub(p.y, p.x);
+  c.z = p.z;
+  c.t2d = fe_mul(p.t, consts().d2);
+  return c;
+}
+
+GeP2 ge_p1p1_to_p2(const GeP1P1& p) {
+  GeP2 r;
+  r.x = fe_mul(p.x, p.t);
+  r.y = fe_mul(p.y, p.z);
+  r.z = fe_mul(p.z, p.t);
+  return r;
+}
+
+Ge ge_p1p1_to_p3(const GeP1P1& p) {
+  Ge r;
+  r.x = fe_mul(p.x, p.t);
+  r.y = fe_mul(p.y, p.z);
+  r.z = fe_mul(p.z, p.t);
+  r.t = fe_mul(p.x, p.y);
+  return r;
+}
+
+/// Doubling of a projective point (dbl-2008-hwcd for a = -1): 4 squarings.
+GeP1P1 ge_p2_dbl(const GeP2& p) {
+  Fe xx = fe_sq(p.x);
+  Fe yy = fe_sq(p.y);
+  Fe zz2 = fe_sq(p.z);
+  zz2 = fe_add(zz2, zz2);
+  Fe xpy2 = fe_sq(fe_add(p.x, p.y));
+  GeP1P1 r;
+  r.y = fe_add(yy, xx);
+  r.z = fe_sub(yy, xx);
+  r.x = fe_sub(xpy2, r.y);
+  r.t = fe_sub(zz2, r.z);
+  return r;
+}
+
+GeP1P1 ge_p3_dbl(const Ge& p) {
+  GeP2 q{p.x, p.y, p.z};
+  return ge_p2_dbl(q);
+}
+
+/// P3 + Cached -> P1P1 (8 muls).
+GeP1P1 ge_add_cached(const Ge& p, const GeCached& q) {
+  Fe a = fe_mul(fe_add(p.y, p.x), q.ypx);
+  Fe b = fe_mul(fe_sub(p.y, p.x), q.ymx);
+  Fe c = fe_mul(q.t2d, p.t);
+  Fe zz = fe_mul(p.z, q.z);
+  Fe d = fe_add(zz, zz);
+  GeP1P1 r;
+  r.x = fe_sub(a, b);   // E
+  r.y = fe_add(a, b);   // H
+  r.z = fe_add(d, c);   // G
+  r.t = fe_sub(d, c);   // F
+  return r;
+}
+
+/// P3 - Cached -> P1P1.
+GeP1P1 ge_sub_cached(const Ge& p, const GeCached& q) {
+  Fe a = fe_mul(fe_add(p.y, p.x), q.ymx);
+  Fe b = fe_mul(fe_sub(p.y, p.x), q.ypx);
+  Fe c = fe_mul(q.t2d, p.t);
+  Fe zz = fe_mul(p.z, q.z);
+  Fe d = fe_add(zz, zz);
+  GeP1P1 r;
+  r.x = fe_sub(a, b);
+  r.y = fe_add(a, b);
+  r.z = fe_sub(d, c);
+  r.t = fe_add(d, c);
+  return r;
+}
+
+/// P3 + Precomp (affine) -> P1P1 (7 muls — Z2 = 1 saves one).
+GeP1P1 ge_madd(const Ge& p, const GePrecomp& q) {
+  Fe a = fe_mul(fe_add(p.y, p.x), q.ypx);
+  Fe b = fe_mul(fe_sub(p.y, p.x), q.ymx);
+  Fe c = fe_mul(q.xy2d, p.t);
+  Fe d = fe_add(p.z, p.z);
+  GeP1P1 r;
+  r.x = fe_sub(a, b);
+  r.y = fe_add(a, b);
+  r.z = fe_add(d, c);
+  r.t = fe_sub(d, c);
+  return r;
+}
+
+/// P3 - Precomp (affine) -> P1P1.
+GeP1P1 ge_msub(const Ge& p, const GePrecomp& q) {
+  Fe a = fe_mul(fe_add(p.y, p.x), q.ymx);
+  Fe b = fe_mul(fe_sub(p.y, p.x), q.ypx);
+  Fe c = fe_mul(q.xy2d, p.t);
+  Fe d = fe_add(p.z, p.z);
+  GeP1P1 r;
+  r.x = fe_sub(a, b);
+  r.y = fe_add(a, b);
+  r.z = fe_sub(d, c);
+  r.t = fe_add(d, c);
   return r;
 }
 
@@ -273,7 +458,17 @@ void ge_tobytes(std::uint8_t out[32], const Ge& p) {
   out[31] ^= static_cast<std::uint8_t>(fe_isnegative(x) ? 0x80 : 0x00);
 }
 
+void ge_p2_tobytes(std::uint8_t out[32], const GeP2& p) {
+  Fe zi = fe_invert(p.z);
+  Fe x = fe_mul(p.x, zi);
+  Fe y = fe_mul(p.y, zi);
+  fe_tobytes(out, y);
+  out[31] ^= static_cast<std::uint8_t>(fe_isnegative(x) ? 0x80 : 0x00);
+}
+
 /// Point decompression (RFC 8032 §5.1.3). Returns false on invalid input.
+/// Note: accepts non-canonical y encodings (y >= p); callers on the verify
+/// path reject those separately via fe_bytes_canonical.
 bool ge_frombytes(Ge& out, const std::uint8_t s[32]) {
   Fe y = fe_frombytes(s);
   bool sign = (s[31] & 0x80) != 0;
@@ -305,14 +500,31 @@ bool ge_frombytes(Ge& out, const std::uint8_t s[32]) {
   return true;
 }
 
+/// True iff the 255-bit field-element part of `s` (sign bit excluded) is the
+/// canonical (< p) encoding of its residue.
+bool fe_bytes_canonical(const std::uint8_t s[32]) {
+  std::uint8_t canon[32];
+  fe_tobytes(canon, fe_frombytes(s));
+  if ((canon[31] & 0x7f) != (s[31] & 0x7f)) return false;
+  for (int i = 0; i < 31; ++i)
+    if (canon[i] != s[i]) return false;
+  return true;
+}
+
+/// True iff [8]A is the identity, i.e. A lies in the small (order-8) torsion
+/// subgroup. Such keys admit signature malleability under the cofactorless
+/// equation and are rejected.
+bool ge_is_small_order(const Ge& a) {
+  GeP2 r{a.x, a.y, a.z};
+  for (int i = 0; i < 3; ++i) r = ge_p1p1_to_p2(ge_p2_dbl(r));
+  return fe_iszero(r.x) && fe_eq(r.y, r.z);
+}
+
 // ===========================================================================
 // Scalar arithmetic modulo L = 2^252 + 27742317777372353535851937790883648493.
-// Simple binary reduction — clarity over speed.
+// Hot path: Barrett reduction. Reference: binary shift-subtract (retained
+// for cross-check tests).
 // ===========================================================================
-
-struct U512 {
-  std::uint64_t w[8]{};
-};
 
 constexpr std::uint64_t kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
                                  0x0000000000000000ULL, 0x1000000000000000ULL};
@@ -327,18 +539,18 @@ bool geq_l(const std::uint64_t r[5]) {
 }
 
 void sub_l(std::uint64_t r[5]) {
-  unsigned __int128 borrow = 0;
+  u128 borrow = 0;
   for (int i = 0; i < 4; ++i) {
-    unsigned __int128 d =
-        (unsigned __int128)r[i] - kL[i] - (std::uint64_t)borrow;
+    u128 d = (u128)r[i] - kL[i] - (std::uint64_t)borrow;
     r[i] = (std::uint64_t)d;
     borrow = (d >> 64) & 1;  // 1 when the subtraction wrapped
   }
   r[4] -= (std::uint64_t)borrow;
 }
 
-/// x mod L for a value given as `words` little-endian 64-bit words.
-void mod_l(const std::uint64_t* x, int words, std::uint8_t out[32]) {
+/// x mod L for a value given as `words` little-endian 64-bit words
+/// (reference binary reduction — one bit per iteration).
+void mod_l_ref(const std::uint64_t* x, int words, std::uint8_t out[32]) {
   std::uint64_t r[5] = {0, 0, 0, 0, 0};
   for (int bit = words * 64 - 1; bit >= 0; --bit) {
     // r = r << 1 | bit
@@ -352,13 +564,82 @@ void mod_l(const std::uint64_t* x, int words, std::uint8_t out[32]) {
   std::memcpy(out, r, 32);
 }
 
+/// mu = floor(2^512 / L), the Barrett constant (261 bits, 5 words). Computed
+/// once at startup by restoring division, reusing the tested geq_l / sub_l.
+struct BarrettMu {
+  std::uint64_t w[5]{};
+  BarrettMu() {
+    std::uint64_t rem[5] = {0, 0, 0, 0, 0};
+    for (int bit = 512; bit >= 0; --bit) {
+      rem[4] = (rem[4] << 1) | (rem[3] >> 63);
+      rem[3] = (rem[3] << 1) | (rem[2] >> 63);
+      rem[2] = (rem[2] << 1) | (rem[1] >> 63);
+      rem[1] = (rem[1] << 1) | (rem[0] >> 63);
+      rem[0] = rem[0] << 1;
+      if (bit == 512) rem[0] |= 1;  // dividend = 2^512
+      if (geq_l(rem)) {
+        sub_l(rem);
+        if (bit < 320) w[bit / 64] |= 1ULL << (bit % 64);
+      }
+    }
+  }
+};
+
+const BarrettMu& barrett_mu() {
+  static const BarrettMu mu;
+  return mu;
+}
+
+/// x mod L for x < 2^512 given as 8 little-endian words (HAC 14.42 with
+/// b = 2^64, k = 4): two truncated multiprecision products and at most two
+/// conditional subtractions of L.
+void mod_l_barrett(const std::uint64_t x[8], std::uint8_t out[32]) {
+  const std::uint64_t* mu = barrett_mu().w;
+  // q1 = floor(x / 2^192): words 3..7 (5 words). q2 = q1 * mu (10 words).
+  std::uint64_t q2[10] = {};
+  for (int i = 0; i < 5; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 5; ++j) {
+      u128 cur = (u128)x[3 + i] * mu[j] + q2[i + j] + (std::uint64_t)carry;
+      q2[i + j] = (std::uint64_t)cur;
+      carry = cur >> 64;
+    }
+    q2[i + 5] += (std::uint64_t)carry;
+  }
+  // q3 = floor(q2 / 2^320): words 5..9.
+  const std::uint64_t* q3 = q2 + 5;
+  // r2 = (q3 * L) mod 2^320 (truncated product, 5 words).
+  std::uint64_t r2[5] = {};
+  for (int i = 0; i < 5; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4 && i + j < 5; ++j) {
+      u128 cur = (u128)q3[i] * kL[j] + r2[i + j] + (std::uint64_t)carry;
+      r2[i + j] = (std::uint64_t)cur;
+      carry = cur >> 64;
+    }
+    if (i + 4 < 5) r2[i + 4] += (std::uint64_t)carry;
+  }
+  // r = (x mod 2^320) - r2, computed mod 2^320 (Barrett guarantees the true
+  // difference x - q3*L lies in [0, 3L), so discarding the borrow is exact).
+  std::uint64_t r[5];
+  u128 borrow = 0;
+  for (int i = 0; i < 5; ++i) {
+    u128 d = (u128)x[i] - r2[i] - (std::uint64_t)borrow;
+    r[i] = (std::uint64_t)d;
+    borrow = (d >> 64) & 1;
+  }
+  while (geq_l(r)) sub_l(r);
+  std::memcpy(out, r, 32);
+}
+
 void sc_reduce64(const Digest512& h, std::uint8_t out[32]) {
   std::uint64_t x[8];
   std::memcpy(x, h.data(), 64);
-  mod_l(x, 8, out);
+  mod_l_barrett(x, out);
 }
 
-/// out = (a*b + c) mod L; inputs are 32-byte little-endian scalars.
+/// out = (a*b + c) mod L; a and c must be reduced (< L), b < 2^255 (a
+/// clamped secret scalar) — then a*b + c < 2^512 and Barrett applies.
 void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32],
                const std::uint8_t b[32], const std::uint8_t c[32]) {
   std::uint64_t aw[4], bw[4], cw[4];
@@ -366,30 +647,28 @@ void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32],
   std::memcpy(bw, b, 32);
   std::memcpy(cw, c, 32);
 
-  std::uint64_t prod[9] = {};  // 8 words of a*b plus carry room for +c
+  std::uint64_t prod[8] = {};
   for (int i = 0; i < 4; ++i) {
-    unsigned __int128 carry = 0;
+    u128 carry = 0;
     for (int j = 0; j < 4; ++j) {
-      unsigned __int128 cur =
-          (unsigned __int128)aw[i] * bw[j] + prod[i + j] + (std::uint64_t)carry;
+      u128 cur = (u128)aw[i] * bw[j] + prod[i + j] + (std::uint64_t)carry;
       prod[i + j] = (std::uint64_t)cur;
       carry = cur >> 64;
     }
     prod[i + 4] += (std::uint64_t)carry;
   }
-  unsigned __int128 carry = 0;
+  u128 carry = 0;
   for (int i = 0; i < 4; ++i) {
-    unsigned __int128 cur =
-        (unsigned __int128)prod[i] + cw[i] + (std::uint64_t)carry;
+    u128 cur = (u128)prod[i] + cw[i] + (std::uint64_t)carry;
     prod[i] = (std::uint64_t)cur;
     carry = cur >> 64;
   }
-  for (int i = 4; i < 9 && carry; ++i) {
-    unsigned __int128 cur = (unsigned __int128)prod[i] + (std::uint64_t)carry;
+  for (int i = 4; i < 8 && carry; ++i) {
+    u128 cur = (u128)prod[i] + (std::uint64_t)carry;
     prod[i] = (std::uint64_t)cur;
     carry = cur >> 64;
   }
-  mod_l(prod, 9, out);
+  mod_l_barrett(prod, out);
 }
 
 /// S must be canonical (< L) per RFC 8032 verification.
@@ -421,6 +700,231 @@ void clamp(std::uint8_t a[32]) {
   a[31] |= 0x40;
 }
 
+// ===========================================================================
+// Precomputed fixed-base tables, built once at startup.
+//
+//   comb[i][d-1] = d * 256^i * B   (i in 0..31, d in 1..255), affine.
+//
+// Fixed-base multiplication is then 32 table lookups + at most 32 mixed
+// additions and ZERO doublings. The odd entries of row 0 double as the
+// width-9 sliding-window NAF table for B used by verification
+// (comb[0][2j] = (2j+1) * B).
+//
+// All 8160 points are normalized to affine with ONE field inversion via
+// Montgomery's batch-inversion trick.
+// ===========================================================================
+
+struct BaseTables {
+  static constexpr int kWindows = 32;   // one per scalar byte
+  static constexpr int kEntries = 255;  // digits 1..255
+  GePrecomp comb[kWindows][kEntries];
+
+  BaseTables() {
+    const int total = kWindows * kEntries;
+    std::vector<Ge> pts(total);
+    Ge pow = base_point();  // 256^i * B
+    for (int i = 0; i < kWindows; ++i) {
+      GeCached step = ge_to_cached(pow);
+      pts[i * kEntries] = pow;
+      for (int d = 2; d <= kEntries; ++d)
+        pts[i * kEntries + d - 1] =
+            ge_p1p1_to_p3(ge_add_cached(pts[i * kEntries + d - 2], step));
+      if (i + 1 < kWindows) {
+        GeP2 q{pow.x, pow.y, pow.z};
+        for (int b = 0; b < 8; ++b) {
+          GeP1P1 t = ge_p2_dbl(q);
+          q = (b == 7) ? q : ge_p1p1_to_p2(t);
+          if (b == 7) pow = ge_p1p1_to_p3(t);
+        }
+      }
+    }
+    // Batch inversion of all Z coordinates (Montgomery's trick).
+    std::vector<Fe> prefix(total);
+    Fe acc = fe_one();
+    for (int i = 0; i < total; ++i) {
+      prefix[i] = acc;
+      acc = fe_mul(acc, pts[i].z);
+    }
+    Fe inv = fe_invert(acc);
+    for (int i = total - 1; i >= 0; --i) {
+      Fe zi = fe_mul(inv, prefix[i]);
+      inv = fe_mul(inv, pts[i].z);
+      Fe x = fe_mul(pts[i].x, zi);
+      Fe y = fe_mul(pts[i].y, zi);
+      GePrecomp& pre = comb[i / kEntries][i % kEntries];
+      pre.ypx = fe_add(y, x);
+      pre.ymx = fe_sub(y, x);
+      pre.xy2d = fe_mul(fe_mul(x, y), consts().d2);
+    }
+  }
+};
+
+const BaseTables& base_tables() {
+  static const BaseTables t;
+  return t;
+}
+
+/// [s]B via the radix-256 comb: one mixed addition per nonzero scalar byte.
+Ge ge_scalarmult_base(const std::uint8_t s[32]) {
+  const BaseTables& tbl = base_tables();
+  Ge h = ge_identity();
+  for (int i = 0; i < 32; ++i) {
+    const std::uint8_t d = s[i];
+    if (d) h = ge_p1p1_to_p3(ge_madd(h, tbl.comb[i][d - 1]));
+  }
+  return h;
+}
+
+// ===========================================================================
+// Signed sliding-window NAF and the interleaved double-scalar multiply.
+// ===========================================================================
+
+/// Recodes a 256-bit scalar into signed odd digits with |digit| <= maxdigit
+/// (maxdigit = 2^(w-1) - 1 for window width w); at most one nonzero digit in
+/// any w consecutive positions.
+void slide(std::int16_t r[256], const std::uint8_t* a, int maxdigit) {
+  for (int i = 0; i < 256; ++i) r[i] = 1 & (a[i >> 3] >> (i & 7));
+  for (int i = 0; i < 256; ++i) {
+    if (!r[i]) continue;
+    for (int b = 1; b < 16 && i + b < 256; ++b) {
+      if (!r[i + b]) continue;
+      if (r[i] + (r[i + b] << b) <= maxdigit) {
+        r[i] += static_cast<std::int16_t>(r[i + b] << b);
+        r[i + b] = 0;
+      } else if (r[i] - (r[i + b] << b) >= -maxdigit) {
+        r[i] -= static_cast<std::int16_t>(r[i + b] << b);
+        for (int k = i + b; k < 256; ++k) {
+          if (!r[k]) {
+            r[k] = 1;
+            break;
+          }
+          r[k] = 0;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+/// r = [s]B - [k]A in one interleaved pass (Shamir's trick), variable time.
+/// `ai` is the per-key table of odd multiples of A: ai[j] = (2j+1) * A.
+GeP2 ge_double_scalarmult_base_minus(const std::uint8_t s[32],
+                                     const std::uint8_t k[32],
+                                     const GeCached ai[8]) {
+  std::int16_t bslide[256];  // digits for +[s]B, width 9 (|d| <= 255)
+  std::int16_t aslide[256];  // digits for -[k]A, width 5 (|d| <= 15)
+  slide(bslide, s, 255);
+  slide(aslide, k, 15);
+  const BaseTables& tbl = base_tables();
+
+  GeP2 r = ge_p2_identity();
+  int i = 255;
+  while (i >= 0 && !aslide[i] && !bslide[i]) --i;
+  for (; i >= 0; --i) {
+    GeP1P1 t = ge_p2_dbl(r);
+    if (aslide[i] > 0) {
+      // subtract: result accumulates -[k]A
+      t = ge_sub_cached(ge_p1p1_to_p3(t), ai[aslide[i] / 2]);
+    } else if (aslide[i] < 0) {
+      t = ge_add_cached(ge_p1p1_to_p3(t), ai[(-aslide[i]) / 2]);
+    }
+    if (bslide[i] > 0) {
+      t = ge_madd(ge_p1p1_to_p3(t), tbl.comb[0][bslide[i] - 1]);
+    } else if (bslide[i] < 0) {
+      t = ge_msub(ge_p1p1_to_p3(t), tbl.comb[0][(-bslide[i]) - 1]);
+    }
+    r = ge_p1p1_to_p2(t);
+  }
+  return r;
+}
+
+}  // namespace
+
+// ===========================================================================
+// Expanded public keys + the process-wide decompression cache.
+// ===========================================================================
+
+struct Ed25519ExpandedKey {
+  Ed25519PublicKey compressed{};
+  GeCached multiples[8];  // multiples[j] = (2j+1) * A
+};
+
+namespace {
+
+/// Validates (canonical encoding, on curve, not small-order) and fills the
+/// odd-multiples table. Returns false when the key must be rejected.
+bool expand_key_into(Ed25519ExpandedKey& out, const Ed25519PublicKey& pk) {
+  if (!fe_bytes_canonical(pk.data())) return false;
+  Ge a;
+  if (!ge_frombytes(a, pk.data())) return false;
+  if (ge_is_small_order(a)) return false;
+  out.compressed = pk;
+  out.multiples[0] = ge_to_cached(a);
+  Ge a2 = ge_p1p1_to_p3(ge_p3_dbl(a));
+  Ge u = a;
+  for (int j = 1; j < 8; ++j) {
+    u = ge_p1p1_to_p3(ge_add_cached(a2, out.multiples[j - 1]));
+    out.multiples[j] = ge_to_cached(u);
+  }
+  return true;
+}
+
+/// Shared verification core given a validated expanded key.
+bool verify_with(const Ed25519ExpandedKey& key, BytesView msg,
+                 const Ed25519Signature& sig) {
+  if (!sc_is_canonical(sig.data() + 32)) return false;
+
+  Sha512 hk;
+  hk.update(BytesView(sig.data(), 32));
+  hk.update(BytesView(key.compressed.data(), 32));
+  hk.update(msg);
+  std::uint8_t k[32];
+  sc_reduce64(hk.finish(), k);
+
+  // Cofactorless check: compress([S]B - [k]A) must equal the R bytes.
+  GeP2 v = ge_double_scalarmult_base_minus(sig.data() + 32, k, key.multiples);
+  std::uint8_t v_bytes[32];
+  ge_p2_tobytes(v_bytes, v);
+  return std::memcmp(v_bytes, sig.data(), 32) == 0;
+}
+
+/// Small direct-mapped cache of expanded keys for callers that use the plain
+/// ed25519_verify entry point (no KeyRegistry in sight). Invalid keys are
+/// cached too (as nullptr) so repeated garbage is rejected cheaply.
+struct ModuleKeyCache {
+  static constexpr std::size_t kBuckets = 256;
+  struct Bucket {
+    bool filled{false};
+    Ed25519PublicKey key{};
+    Ed25519ExpandedKeyPtr expanded;
+  };
+  std::mutex mu;
+  Bucket buckets[kBuckets];
+
+  Ed25519ExpandedKeyPtr lookup_or_expand(const Ed25519PublicKey& pk) {
+    const std::size_t idx =
+        static_cast<std::size_t>(load8(pk.data())) % kBuckets;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      Bucket& b = buckets[idx];
+      if (b.filled && b.key == pk) return b.expanded;
+    }
+    Ed25519ExpandedKeyPtr expanded = ed25519_expand_key(pk);
+    std::lock_guard<std::mutex> lock(mu);
+    Bucket& b = buckets[idx];
+    b.filled = true;
+    b.key = pk;
+    b.expanded = expanded;
+    return expanded;
+  }
+};
+
+ModuleKeyCache& module_key_cache() {
+  static ModuleKeyCache c;
+  return c;
+}
+
 }  // namespace
 
 // ===========================================================================
@@ -432,7 +936,7 @@ Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
   std::uint8_t a[32];
   std::memcpy(a, h.data(), 32);
   clamp(a);
-  Ge A = ge_scalarmult(base_point(), a);
+  Ge A = ge_scalarmult_base(a);
   Ed25519PublicKey pub;
   ge_tobytes(pub.data(), A);
   return pub;
@@ -452,7 +956,7 @@ Ed25519Signature ed25519_sign(BytesView msg, const Ed25519Seed& seed,
   std::uint8_t r[32];
   sc_reduce64(hr.finish(), r);
 
-  Ge R = ge_scalarmult(base_point(), r);
+  Ge R = ge_scalarmult_base(r);
   Ed25519Signature sig{};
   ge_tobytes(sig.data(), R);
 
@@ -469,8 +973,111 @@ Ed25519Signature ed25519_sign(BytesView msg, const Ed25519Seed& seed,
   return sig;
 }
 
+Ed25519ExpandedKeyPtr ed25519_expand_key(const Ed25519PublicKey& public_key) {
+  auto key = std::make_shared<Ed25519ExpandedKey>();
+  if (!expand_key_into(*key, public_key)) return nullptr;
+  return key;
+}
+
+bool ed25519_verify_expanded(BytesView msg, const Ed25519Signature& sig,
+                             const Ed25519ExpandedKey& key) {
+  return verify_with(key, msg, sig);
+}
+
 bool ed25519_verify(BytesView msg, const Ed25519Signature& sig,
                     const Ed25519PublicKey& public_key) {
+  Ed25519ExpandedKeyPtr key = module_key_cache().lookup_or_expand(public_key);
+  if (!key) return false;
+  return verify_with(*key, msg, sig);
+}
+
+// ===========================================================================
+// Reference implementations (cross-check + old-vs-new benchmarking).
+// ===========================================================================
+
+namespace detail {
+
+void scalarmult_base_ref(std::uint8_t out[32], const std::uint8_t scalar[32]) {
+  Ge r = ge_scalarmult(base_point(), scalar);
+  ge_tobytes(out, r);
+}
+
+void scalarmult_base(std::uint8_t out[32], const std::uint8_t scalar[32]) {
+  Ge r = ge_scalarmult_base(scalar);
+  ge_tobytes(out, r);
+}
+
+void sc_reduce512_ref(const std::uint8_t in[64], std::uint8_t out[32]) {
+  std::uint64_t x[8];
+  std::memcpy(x, in, 64);
+  mod_l_ref(x, 8, out);
+}
+
+void sc_reduce512(const std::uint8_t in[64], std::uint8_t out[32]) {
+  std::uint64_t x[8];
+  std::memcpy(x, in, 64);
+  mod_l_barrett(x, out);
+}
+
+Ed25519Signature sign_ref(BytesView msg, const Ed25519Seed& seed,
+                          const Ed25519PublicKey& public_key) {
+  Digest512 h = sha512(BytesView(seed.data(), seed.size()));
+  std::uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  clamp(a);
+
+  Sha512 hr;
+  hr.update(BytesView(h.data() + 32, 32));
+  hr.update(msg);
+  std::uint64_t x[8];
+  std::memcpy(x, hr.finish().data(), 64);
+  std::uint8_t r[32];
+  mod_l_ref(x, 8, r);
+
+  Ge R = ge_scalarmult(base_point(), r);
+  Ed25519Signature sig{};
+  ge_tobytes(sig.data(), R);
+
+  Sha512 hk;
+  hk.update(BytesView(sig.data(), 32));
+  hk.update(BytesView(public_key.data(), 32));
+  hk.update(msg);
+  std::uint8_t k[32];
+  std::memcpy(x, hk.finish().data(), 64);
+  mod_l_ref(x, 8, k);
+
+  // S = (r + k*a) mod L via schoolbook product + binary reduction.
+  std::uint64_t aw[4], bw[4], cw[4];
+  std::memcpy(aw, k, 32);
+  std::memcpy(bw, a, 32);
+  std::memcpy(cw, r, 32);
+  std::uint64_t prod[9] = {};
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = (u128)aw[i] * bw[j] + prod[i + j] + (std::uint64_t)carry;
+      prod[i + j] = (std::uint64_t)cur;
+      carry = cur >> 64;
+    }
+    prod[i + 4] += (std::uint64_t)carry;
+  }
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 cur = (u128)prod[i] + cw[i] + (std::uint64_t)carry;
+    prod[i] = (std::uint64_t)cur;
+    carry = cur >> 64;
+  }
+  for (int i = 4; i < 9 && carry; ++i) {
+    u128 cur = (u128)prod[i] + (std::uint64_t)carry;
+    prod[i] = (std::uint64_t)cur;
+    carry = cur >> 64;
+  }
+  mod_l_ref(prod, 9, sig.data() + 32);
+  return sig;
+}
+
+bool verify_ref(BytesView msg, const Ed25519Signature& sig,
+                const Ed25519PublicKey& public_key) {
   if (!sc_is_canonical(sig.data() + 32)) return false;
   Ge A;
   if (!ge_frombytes(A, public_key.data())) return false;
@@ -479,10 +1086,13 @@ bool ed25519_verify(BytesView msg, const Ed25519Signature& sig,
   hk.update(BytesView(sig.data(), 32));
   hk.update(BytesView(public_key.data(), 32));
   hk.update(msg);
+  std::uint64_t x[8];
+  std::memcpy(x, hk.finish().data(), 64);
   std::uint8_t k[32];
-  sc_reduce64(hk.finish(), k);
+  mod_l_ref(x, 8, k);
 
-  // Check R == sB - kA (equivalently sB == R + kA).
+  // Check R == sB - kA (equivalently sB == R + kA): two full binary
+  // scalar multiplications — the seed's verification path.
   std::uint8_t s[32];
   std::memcpy(s, sig.data() + 32, 32);
   Ge sB = ge_scalarmult(base_point(), s);
@@ -492,5 +1102,7 @@ bool ed25519_verify(BytesView msg, const Ed25519Signature& sig,
   ge_tobytes(v_bytes, V);
   return std::memcmp(v_bytes, sig.data(), 32) == 0;
 }
+
+}  // namespace detail
 
 }  // namespace rdb::crypto

@@ -1,17 +1,32 @@
 // Ed25519 signatures (RFC 8032), implemented from scratch: radix-2^51 field
-// arithmetic over GF(2^255-19), unified twisted-Edwards point addition in
-// extended coordinates, binary scalar multiplication, and scalar arithmetic
-// modulo the group order L. Tested against the RFC 8032 vectors.
+// arithmetic over GF(2^255-19), twisted-Edwards point arithmetic in extended /
+// P1P1 / cached coordinates, and scalar arithmetic modulo the group order L.
+// Tested against the RFC 8032 vectors and cross-checked against retained
+// reference (binary double-and-add) implementations.
 //
-// The implementation favours clarity and auditability over speed (simple
-// double-and-add, generic exponentiation for inversion/square roots, curve
-// constants computed at startup instead of transcribed): one sign or verify
-// costs a few hundred microseconds — fine for the threaded runtime, while
-// the discrete-event fabric charges calibrated costs of production-grade
-// implementations (crypto/scheme.h).
+// Hot-path design (docs/crypto.md has the full story):
+//   * signing uses a precomputed radix-256 fixed-base table (32 windows x
+//     255 odd+even multiples of B in affine precomp coordinates), built once
+//     at startup — no doublings at all on the signing path;
+//   * verification runs ONE interleaved double-scalar multiplication
+//     [S]B - [k]A (Shamir's trick with signed sliding-window NAF: width-9
+//     digits against the precomputed B table, width-5 digits against a
+//     per-key table of odd multiples of A);
+//   * point decompression and the per-key odd-multiples table are cacheable
+//     via Ed25519ExpandedKey, so the field inversion + square root in
+//     ge_frombytes runs once per peer instead of once per message;
+//   * scalar reduction mod L uses Barrett reduction (the reference binary
+//     shift-subtract reduction is retained for cross-checking).
+//
+// Verification is *cofactorless*: accept iff compress([S]B - [k]A) equals
+// the signature's R bytes byte-for-byte. Non-canonical public-key encodings
+// (y >= p) and small-order A (8[A] = identity) are rejected up front;
+// non-canonical R encodings can never verify because the comparison is
+// against a canonical compression.
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "common/bytes.h"
@@ -29,9 +44,53 @@ Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed);
 Ed25519Signature ed25519_sign(BytesView msg, const Ed25519Seed& seed,
                               const Ed25519PublicKey& public_key);
 
-/// Verifies sig on msg under public_key. Rejects non-canonical S (>= L) and
-/// undecodable points.
+/// Verifies sig on msg under public_key. Rejects non-canonical S (>= L),
+/// non-canonical public-key encodings (y >= p), small-order public keys,
+/// and undecodable points. Internally consults a small process-wide cache
+/// of decompressed keys, so repeated verification under the same key skips
+/// decompression.
 bool ed25519_verify(BytesView msg, const Ed25519Signature& sig,
                     const Ed25519PublicKey& public_key);
+
+/// A public key decompressed and expanded into the per-key odd-multiples
+/// table used by the interleaved double-scalar multiplication. Expansion is
+/// the natural unit of caching: it performs the field inversion / square
+/// root of decompression plus the table build exactly once.
+struct Ed25519ExpandedKey;  // opaque; defined in ed25519.cpp
+using Ed25519ExpandedKeyPtr = std::shared_ptr<const Ed25519ExpandedKey>;
+
+/// Decompresses, validates (canonical encoding, on curve, not small-order)
+/// and expands a public key. Returns nullptr when the key must be rejected;
+/// a non-null expanded key always came from a valid encoding.
+Ed25519ExpandedKeyPtr ed25519_expand_key(const Ed25519PublicKey& public_key);
+
+/// Verifies against a pre-expanded key: identical accept/reject behaviour to
+/// ed25519_verify (the expansion already enforced the key-level checks), but
+/// skips decompression and table building entirely.
+bool ed25519_verify_expanded(BytesView msg, const Ed25519Signature& sig,
+                             const Ed25519ExpandedKey& key);
+
+namespace detail {
+// Reference implementations (the seed's binary double-and-add path and
+// shift-subtract scalar reduction), retained for cross-check tests and
+// old-vs-new benchmarking. Not used on any hot path.
+
+/// Compressed [s]B via binary double-and-add (reference).
+void scalarmult_base_ref(std::uint8_t out[32], const std::uint8_t scalar[32]);
+/// Compressed [s]B via the precomputed radix-256 fixed-base table.
+void scalarmult_base(std::uint8_t out[32], const std::uint8_t scalar[32]);
+
+/// 512-bit -> mod-L reduction, reference (binary shift-subtract).
+void sc_reduce512_ref(const std::uint8_t in[64], std::uint8_t out[32]);
+/// 512-bit -> mod-L reduction, Barrett.
+void sc_reduce512(const std::uint8_t in[64], std::uint8_t out[32]);
+
+/// Reference sign/verify (two full binary scalar multiplications, no
+/// caching, no canonicality/small-order key checks — the seed behaviour).
+Ed25519Signature sign_ref(BytesView msg, const Ed25519Seed& seed,
+                          const Ed25519PublicKey& public_key);
+bool verify_ref(BytesView msg, const Ed25519Signature& sig,
+                const Ed25519PublicKey& public_key);
+}  // namespace detail
 
 }  // namespace rdb::crypto

@@ -34,6 +34,44 @@ Bytes KeyRegistry::signing_secret(Endpoint who) const {
   return Bytes(d.data.begin(), d.data.end());
 }
 
+Ed25519PublicKey KeyRegistry::ed25519_public(Endpoint who) const {
+  Bytes secret = signing_secret(who);
+  Ed25519Seed seed{};
+  std::copy_n(secret.begin(), std::min(secret.size(), seed.size()),
+              seed.begin());
+  return ed25519_public_key(seed);
+}
+
+Ed25519ExpandedKeyPtr KeyRegistry::ed25519_expanded(Endpoint who) const {
+  std::uint64_t code = endpoint_code(who);
+  {
+    std::lock_guard<std::mutex> lock(ed_mutex_);
+    auto it = ed_cache_.find(code);
+    if (it != ed_cache_.end()) {
+      ++ed_stats_.hits;
+      return it->second;
+    }
+    ++ed_stats_.misses;
+  }
+  // Derive + expand outside the lock: expansion does a field inversion and a
+  // square root, and concurrent first lookups of the same peer are harmless
+  // (last writer wins; both expansions are identical).
+  Ed25519ExpandedKeyPtr expanded = ed25519_expand_key(ed25519_public(who));
+  std::lock_guard<std::mutex> lock(ed_mutex_);
+  ed_cache_[code] = expanded;
+  return expanded;
+}
+
+void KeyRegistry::ed25519_invalidate(Endpoint who) const {
+  std::lock_guard<std::mutex> lock(ed_mutex_);
+  ed_cache_.erase(endpoint_code(who));
+}
+
+KeyRegistry::CacheStats KeyRegistry::ed25519_cache_stats() const {
+  std::lock_guard<std::mutex> lock(ed_mutex_);
+  return ed_stats_;
+}
+
 AesKey KeyRegistry::pairwise_key(Endpoint a, Endpoint b) const {
   std::uint64_t ca = endpoint_code(a);
   std::uint64_t cb = endpoint_code(b);

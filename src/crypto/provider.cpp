@@ -29,20 +29,6 @@ Ed25519Seed CryptoProvider::seed_of(const Bytes& secret) {
   return seed;
 }
 
-const Ed25519PublicKey& CryptoProvider::ed25519_public_for(
-    Endpoint peer) const {
-  if (peer == self_) return own_ed_public_;
-  std::uint64_t code = peer_code(peer);
-  auto it = ed_pub_cache_.find(code);
-  if (it == ed_pub_cache_.end()) {
-    // Trusted setup: derive the peer's PUBLIC key from the registry (the
-    // stand-in for PKI distribution — see key_registry.h).
-    Ed25519Seed seed = seed_of(registry_->signing_secret(peer));
-    it = ed_pub_cache_.emplace(code, ed25519_public_key(seed)).first;
-  }
-  return it->second;
-}
-
 SignatureScheme CryptoProvider::scheme_for(Endpoint peer) const {
   bool client_link = self_.kind == Endpoint::Kind::kClient ||
                      peer.kind == Endpoint::Kind::kClient;
@@ -133,7 +119,12 @@ bool CryptoProvider::verify(Endpoint from, BytesView msg,
       if (sig.size() != 65) return false;
       Ed25519Signature es;
       std::copy(sig.begin() + 1, sig.end(), es.begin());
-      return ed25519_verify(msg, es, ed25519_public_for(from));
+      // Registry-cached expansion: the decompression (field inversion +
+      // square root) and odd-multiples table build run once per peer
+      // process-wide, not once per message.
+      Ed25519ExpandedKeyPtr key = registry_->ed25519_expanded(from);
+      if (!key) return false;
+      return ed25519_verify_expanded(msg, es, *key);
     }
     case SignatureScheme::kRsa2048: {
       Bytes expected_sig = hmac_sim_sign(expected, from, msg);

@@ -51,7 +51,6 @@ class CryptoProvider {
  private:
   Bytes hmac_sim_sign(SignatureScheme s, Endpoint signer, BytesView msg) const;
   const CmacContext& cmac_for(Endpoint peer) const;
-  const Ed25519PublicKey& ed25519_public_for(Endpoint peer) const;
   static Ed25519Seed seed_of(const Bytes& secret);
 
   Endpoint self_;
@@ -60,11 +59,12 @@ class CryptoProvider {
   Bytes own_secret_;
   Ed25519Seed own_ed_seed_{};
   Ed25519PublicKey own_ed_public_{};
-  // Lazily built per-peer CMAC contexts (key expansion amortized) and
-  // Ed25519 public keys (scalar multiplication amortized).
+  // Lazily built per-peer CMAC contexts (key expansion amortized). Peer
+  // Ed25519 keys are NOT cached here: the KeyRegistry memoizes the expanded
+  // form (decompressed point + odd-multiples table) process-wide, so every
+  // provider sharing a registry shares one expansion per peer.
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<CmacContext>>
       cmac_cache_;
-  mutable std::unordered_map<std::uint64_t, Ed25519PublicKey> ed_pub_cache_;
 };
 
 }  // namespace rdb::crypto

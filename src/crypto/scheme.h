@@ -38,8 +38,13 @@ constexpr SchemeCost scheme_cost(SignatureScheme s) {
     case SignatureScheme::kCmacAes:
       return {400, 400, 16};
     case SignatureScheme::kEd25519:
-      // Batch-amortized donna/AVX2-class implementation on a 3.8GHz core.
-      return {8'000, 11'000, 64};
+      // Re-calibrated for the windowed-fixed-base / double-scalar hot path
+      // (radix-256 comb signing, Shamir-interleaved verification with a
+      // cached expanded key — docs/crypto.md). Scaled to a 3.8GHz core from
+      // the measured old-vs-new ratios in bench_crypto / micro_primitives;
+      // regenerate via `bench_crypto --out BENCH_crypto.json` and
+      // `micro_primitives --benchmark_filter=Ed25519`.
+      return {6'000, 9'000, 64};
     case SignatureScheme::kRsa2048:
       // RSA-2048: the private-key (sign) operation dominates.
       return {800'000, 25'000, 256};

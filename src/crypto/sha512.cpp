@@ -94,6 +94,7 @@ void Sha512::process_block(const std::uint8_t* p) {
 }
 
 void Sha512::update(BytesView data) {
+  if (data.empty()) return;  // also avoids memcpy(_, nullptr, 0) UB
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -13,6 +13,12 @@ Client::Client(ClientConfig config, Transport& transport,
       crypto_(Endpoint::client(config.id), registry, config.schemes),
       inbox_(std::make_shared<Transport::Inbox>()) {
   transport_.register_endpoint(Endpoint::client(config_.id), inbox_);
+  // Pre-warm the registry's expanded-key cache for every replica we will
+  // verify responses from (decompression + table build once, up front).
+  if (config_.schemes.client_scheme == crypto::SignatureScheme::kEd25519) {
+    for (std::uint32_t r = 0; r < config_.n; ++r)
+      registry.ed25519_expanded(Endpoint::replica(r));
+  }
   pump_ = std::jthread([this](std::stop_token st) { pump_loop(st); });
 }
 

@@ -14,6 +14,7 @@ LocalCluster::LocalCluster(ClusterConfig config)
     rc.id = r;
     rc.batch_threads = config_.batch_threads;
     rc.output_threads = config_.output_threads;
+    rc.verify_threads = config_.verify_threads;
     rc.batch_size = config_.batch_size;
     rc.checkpoint_interval = config_.checkpoint_interval;
     rc.request_timeout_ns = config_.request_timeout_ns;

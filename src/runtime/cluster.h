@@ -17,6 +17,7 @@ struct ClusterConfig {
   std::uint32_t replicas{4};
   std::uint32_t batch_threads{2};
   std::uint32_t output_threads{2};
+  std::uint32_t verify_threads{0};  // Prepare/Commit verify pool (0 = inline)
   std::uint32_t batch_size{10};
   SeqNum checkpoint_interval{16};
   TimeNs request_timeout_ns{2'000'000'000};

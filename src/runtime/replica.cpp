@@ -46,6 +46,15 @@ Replica::Replica(ReplicaConfig config, Transport& transport,
     output_queues_.push_back(std::make_unique<BlockingQueue<OutboundMsg>>());
   transport_.register_endpoint(Endpoint::replica(config_.id), inbox_);
   next_seq_ = 0;
+  // Pre-warm the registry's expanded-key cache for every peer replica so
+  // the first Prepare/Commit of a run doesn't pay the decompression + table
+  // build inline on a consensus thread.
+  if (config_.schemes.replica_scheme == crypto::SignatureScheme::kEd25519) {
+    for (std::uint32_t peer = 0; peer < config_.n; ++peer) {
+      if (peer == config_.id) continue;
+      registry.ed25519_expanded(Endpoint::replica(peer));
+    }
+  }
 }
 
 Replica::~Replica() { stop(); }
@@ -86,6 +95,10 @@ void Replica::start() {
     threads_.emplace_back(
         [this, &c = add_counter("batch-" + std::to_string(i))](
             std::stop_token st) { batch_loop(st, c); });
+  for (std::uint32_t i = 0; i < config_.verify_threads; ++i)
+    threads_.emplace_back(
+        [this, &c = add_counter("verify-" + std::to_string(i))](
+            std::stop_token st) { verify_loop(st, c); });
   threads_.emplace_back([this, &c = add_counter("worker")](
                             std::stop_token st) { worker_loop(st, c); });
   threads_.emplace_back([this, &c = add_counter("execute")](
@@ -104,6 +117,7 @@ void Replica::stop() {
   for (auto& t : threads_) t.request_stop();
   inbox_->shutdown();
   worker_queue_.shutdown();
+  verify_queue_.shutdown();
   checkpoint_queue_.shutdown();
   for (auto& q : output_queues_) q->shutdown();
   timer_cv_.notify_all();
@@ -124,6 +138,7 @@ ReplicaStats Replica::stats() const {
   ReplicaStats s = stats_;
   s.pool_hits = batch_pool_.hits();
   s.pool_misses = batch_pool_.misses();
+  s.batch_queue_saturated = batch_saturated_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -145,7 +160,7 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
         next_txn_id_ += pending_txns_.size();
         handle.ptr->txns.swap(pending_txns_);
         // Ownership passes through the lock-free queue to a batch thread.
-        while (!batch_queue_.try_push(handle)) std::this_thread::yield();
+        push_batch(handle);
       }
       continue;
     }
@@ -160,14 +175,23 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
       case MsgType::kClientRequest:
         handle_client_request(std::move(*parsed));
         break;
-      case MsgType::kPrePrepare:
       case MsgType::kPrepare:
       case MsgType::kCommit:
+        // The quorum-vote flood is the bulk of signature work; with a
+        // verify pool, those checks run off the consensus worker.
+        if (config_.verify_threads > 0 &&
+            parsed->from != Endpoint::replica(config_.id)) {
+          verify_queue_.push(std::move(*parsed));
+        } else {
+          worker_queue_.push(WorkerItem{std::move(*parsed), false});
+        }
+        break;
+      case MsgType::kPrePrepare:
       case MsgType::kViewChange:
       case MsgType::kNewView:
       case MsgType::kBatchRequest:
       case MsgType::kBatchResponse:
-        worker_queue_.push(std::move(*parsed));
+        worker_queue_.push(WorkerItem{std::move(*parsed), false});
         break;
       case MsgType::kCheckpoint:
         checkpoint_queue_.push(std::move(*parsed));
@@ -214,7 +238,27 @@ void Replica::handle_client_request(Message msg) {
     pending_txns_.erase(pending_txns_.begin(),
                         pending_txns_.begin() + config_.batch_size);
     next_txn_id_ += config_.batch_size;
-    while (!batch_queue_.try_push(handle)) std::this_thread::yield();
+    push_batch(handle);
+  }
+}
+
+void Replica::push_batch(BufferPool<PendingBatch>::Handle& handle) {
+  if (batch_queue_.try_push(handle)) return;
+  // Queue full: the batch stage is saturated (it cannot keep up with the
+  // arrival rate). Back off with bounded exponential sleeps instead of the
+  // seed's unbounded yield spin — a hot yield loop steals the very CPU the
+  // batch threads need to drain the queue.
+  batch_saturated_.fetch_add(1, std::memory_order_relaxed);
+  std::uint32_t spins = 0;
+  std::chrono::microseconds delay{1};
+  constexpr std::chrono::microseconds kMaxDelay{1000};
+  while (!batch_queue_.try_push(handle)) {
+    if (++spins <= 4) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(delay);
+      delay = std::min(delay * 2, kMaxDelay);
+    }
   }
 }
 
@@ -262,17 +306,40 @@ void Replica::batch_loop(std::stop_token st, BusyCounter& busy) {
 }
 
 // ---------------------------------------------------------------------------
+// Verify pool: authenticate Prepare/Commit off the consensus worker.
+// ---------------------------------------------------------------------------
+
+void Replica::verify_loop(std::stop_token st, BusyCounter& busy) {
+  while (!st.stop_requested()) {
+    auto msg = verify_queue_.pop();
+    if (!msg) return;  // shutdown
+    ScopedBusy sb(busy);
+    Bytes canon = msg->signing_bytes();
+    if (!crypto_.verify(msg->from, BytesView(canon),
+                        BytesView(msg->signature))) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.invalid_signatures;
+      continue;
+    }
+    // Verified: hand to the single consensus owner. Reordering across pool
+    // threads is harmless (votes are counted per sequence number).
+    worker_queue_.push(WorkerItem{std::move(*msg), true});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Worker thread: all Prepare/Commit (and view-change) processing (§4.3/4.4).
 // ---------------------------------------------------------------------------
 
 void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
   while (!st.stop_requested()) {
-    auto msg = worker_queue_.pop();
-    if (!msg) return;  // shutdown
+    auto item = worker_queue_.pop();
+    if (!item) return;  // shutdown
     ScopedBusy sb(busy);
+    auto msg = std::optional<Message>(std::move(item->msg));
 
     bool self = msg->from == Endpoint::replica(config_.id);
-    if (!self) {
+    if (!self && !item->verified) {
       Bytes canon = msg->signing_bytes();
       if (!crypto_.verify(msg->from, BytesView(canon),
                           BytesView(msg->signature))) {
@@ -562,7 +629,8 @@ void Replica::perform(Actions actions) {
       }
       bool include_self = bc->include_self;
       Message msg = std::move(bc->msg);
-      if (include_self) worker_queue_.push(msg);
+      // Own messages need no signature check (verified = true).
+      if (include_self) worker_queue_.push(WorkerItem{msg, true});
       broadcast(std::move(msg));
     } else if (auto* send = std::get_if<protocol::SendAction>(&action)) {
       enqueue_output(send->to, std::move(send->msg));

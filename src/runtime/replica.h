@@ -5,6 +5,10 @@
 //   input         receives from the transport, assigns sequence numbers to
 //                 client requests, feeds the lock-free common batch queue
 //   batch x B     verify client signatures, build + hash + sign Pre-prepares
+//   verify x V    (optional, verify_threads > 0) authenticate Prepare/Commit
+//                 signatures in parallel, then enqueue the verified message
+//                 for the worker — signature checking leaves the consensus
+//                 critical path without giving up the single-owner invariant
 //   worker        all Prepare/Commit processing (single-threaded by design:
 //                 one owner for consensus state means no locks on the
 //                 quorum-counting hot path)
@@ -49,6 +53,14 @@ struct ReplicaConfig {
   ReplicaId id{0};
   std::uint32_t batch_threads{2};
   std::uint32_t output_threads{2};
+  /// Signature-verification pool for Prepare/Commit traffic. 0 keeps the
+  /// seed behaviour (the consensus worker verifies inline). With V > 0, V
+  /// pool threads verify-then-enqueue: signatures are checked in parallel,
+  /// but quorum counting still happens only on the single worker thread
+  /// (§4.3/4.4 single-owner invariant). PBFT is insensitive to Prepare/
+  /// Commit reordering — votes are counted per sequence number — so the
+  /// pool may legally reorder messages.
+  std::uint32_t verify_threads{0};
   std::uint32_t batch_size{10};
   SeqNum checkpoint_interval{16};
   TimeNs request_timeout_ns{2'000'000'000};
@@ -71,6 +83,9 @@ struct ReplicaStats {
   std::uint64_t duplicate_txns{0};  // retransmissions suppressed at execute
   std::uint64_t pool_hits{0};
   std::uint64_t pool_misses{0};
+  /// Number of push attempts that found the input->batch queue full and had
+  /// to back off (one count per saturation episode, not per retry).
+  std::uint64_t batch_queue_saturated{0};
 };
 
 class Replica {
@@ -137,6 +152,14 @@ class Replica {
     protocol::Message msg;  // unsigned; the output thread signs per link
   };
 
+  /// A message on its way to the consensus worker. `verified` is true when
+  /// a verify-pool thread (or the sender being ourselves) already
+  /// authenticated it; the worker verifies inline otherwise.
+  struct WorkerItem {
+    protocol::Message msg;
+    bool verified{false};
+  };
+
   // Busy-time accounting per pipeline thread (Figure 9).
   struct BusyCounter {
     std::string name;
@@ -164,6 +187,7 @@ class Replica {
   // Thread bodies.
   void input_loop(std::stop_token st, BusyCounter& busy);
   void batch_loop(std::stop_token st, BusyCounter& busy);
+  void verify_loop(std::stop_token st, BusyCounter& busy);
   void worker_loop(std::stop_token st, BusyCounter& busy);
   void execute_loop(std::stop_token st, BusyCounter& busy);
   void checkpoint_loop(std::stop_token st, BusyCounter& busy);
@@ -171,6 +195,11 @@ class Replica {
   void timer_loop(std::stop_token st);
 
   void handle_client_request(protocol::Message msg);
+  /// Pushes a pooled batch into the lock-free input->batch queue, backing
+  /// off with bounded exponential sleeps when the queue is full (satellite
+  /// replacing the seed's unbounded yield spin). Counts one saturation
+  /// episode in ReplicaStats when any backoff was needed.
+  void push_batch(BufferPool<PendingBatch>::Handle& handle);
   void perform(protocol::Actions actions);
   void enqueue_output(Endpoint to, protocol::Message msg);
   void broadcast(protocol::Message msg);
@@ -197,7 +226,8 @@ class Replica {
   std::shared_ptr<Transport::Inbox> inbox_;
   MpmcQueue<BufferPool<PendingBatch>::Handle> batch_queue_{1024};
   BufferPool<PendingBatch> batch_pool_{256};
-  BlockingQueue<protocol::Message> worker_queue_;
+  BlockingQueue<WorkerItem> worker_queue_;
+  BlockingQueue<protocol::Message> verify_queue_;  // verify-pool inbox
   BlockingQueue<protocol::Message> checkpoint_queue_;
   std::vector<std::unique_ptr<BlockingQueue<OutboundMsg>>> output_queues_;
   std::vector<ExecuteSlot> execute_slots_;
@@ -223,6 +253,7 @@ class Replica {
 
   mutable std::mutex stats_mu_;
   ReplicaStats stats_;
+  std::atomic<std::uint64_t> batch_saturated_{0};
 
   std::vector<std::unique_ptr<BusyCounter>> busy_counters_;
   std::chrono::steady_clock::time_point started_at_;

@@ -7,6 +7,14 @@
 // 1 worker / 2 batch / 1 execute thread — lands in the paper's reported
 // 100-175K txns/s range, and so single-thread (0B 0E) setups land near its
 // ~90-100K numbers.
+//
+// Signature costs are NOT defined here: the simulator charges
+// crypto::scheme_cost() (crypto/scheme.h). Those Ed25519 constants were
+// re-calibrated when the real implementation gained the windowed fixed-base
+// table and interleaved double-scalar verification (docs/crypto.md); to
+// re-derive them on new hardware, run `bench_crypto --out BENCH_crypto.json`
+// and `micro_primitives --benchmark_filter=Ed25519` and scale the measured
+// sign/verify latencies to the 3.8GHz reference core.
 #pragma once
 
 #include <cstdint>

@@ -221,6 +221,59 @@ TEST(KeyRegistry, DeterministicAcrossInstances) {
             c.signing_secret(Endpoint::replica(1)));
 }
 
+TEST(KeyRegistry, ExpandedKeyCacheHitsAndInvalidation) {
+  KeyRegistry reg(77);
+  auto who = Endpoint::replica(2);
+  EXPECT_EQ(reg.ed25519_cache_stats().hits, 0u);
+  EXPECT_EQ(reg.ed25519_cache_stats().misses, 0u);
+
+  auto first = reg.ed25519_expanded(who);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(reg.ed25519_cache_stats().misses, 1u);
+  EXPECT_EQ(reg.ed25519_cache_stats().hits, 0u);
+
+  // Second lookup is a hit and returns the SAME expansion object.
+  auto second = reg.ed25519_expanded(who);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(reg.ed25519_cache_stats().hits, 1u);
+  EXPECT_EQ(reg.ed25519_cache_stats().misses, 1u);
+
+  // A different endpoint misses independently.
+  auto other = reg.ed25519_expanded(Endpoint::client(2));
+  EXPECT_NE(other.get(), first.get());
+  EXPECT_EQ(reg.ed25519_cache_stats().misses, 2u);
+
+  // Invalidation forces a re-expansion (fresh object, one more miss);
+  // outstanding shared_ptrs stay valid.
+  reg.ed25519_invalidate(who);
+  auto third = reg.ed25519_expanded(who);
+  ASSERT_NE(third, nullptr);
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_EQ(reg.ed25519_cache_stats().misses, 3u);
+}
+
+TEST(KeyRegistry, ExpandedKeyVerifiesProviderSignatures) {
+  KeyRegistry reg(42);
+  auto signer = Endpoint::replica(1);
+  CryptoProvider prov(signer, reg, SchemeConfig::all_ed25519());
+  Bytes msg = to_bytes("commit(v=0, seq=9)");
+  Bytes sig = prov.sign(Endpoint::replica(0), BytesView(msg));
+  ASSERT_EQ(sig.size(), 65u);
+  Ed25519Signature es{};
+  std::copy(sig.begin() + 1, sig.end(), es.begin());
+  auto expanded = reg.ed25519_expanded(signer);
+  ASSERT_NE(expanded, nullptr);
+  EXPECT_TRUE(ed25519_verify_expanded(BytesView(msg), es, *expanded));
+  // And the registry-derived public key matches the provider's own.
+  EXPECT_EQ(reg.ed25519_public(signer),
+            ed25519_public_key([&] {
+              Bytes secret = reg.signing_secret(signer);
+              Ed25519Seed seed{};
+              std::copy_n(secret.begin(), seed.size(), seed.begin());
+              return seed;
+            }()));
+}
+
 class ProviderTest : public ::testing::Test {
  protected:
   KeyRegistry reg{42};

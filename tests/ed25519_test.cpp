@@ -176,5 +176,165 @@ TEST(Ed25519, SignVerifyRoundTripVariousLengths) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Key-validation negative tests: non-canonical encodings and small-order
+// points must be rejected up front (cofactorless verification — see
+// docs/crypto.md).
+// ---------------------------------------------------------------------------
+
+Ed25519PublicKey key_from_hex(const char* hex) {
+  Bytes b = from_hex(hex);
+  Ed25519PublicKey k{};
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+TEST(Ed25519, NonCanonicalPublicKeyRejected) {
+  // The encoding of p itself (y coordinate == p, i.e. non-canonical zero)
+  // and of p + 1 (non-canonical one). Both decode to valid small-order
+  // points if canonicality is not enforced, so the canonicality check is
+  // the only thing rejecting them.
+  const char* non_canonical[] = {
+      // p = 2^255 - 19
+      "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      // p + 1
+      "eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      // p with the sign bit set
+      "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+  };
+  Ed25519Signature sig{};
+  for (const char* hex : non_canonical) {
+    auto pk = key_from_hex(hex);
+    EXPECT_EQ(ed25519_expand_key(pk), nullptr) << hex;
+    EXPECT_FALSE(ed25519_verify(BytesView(to_bytes("m")), sig, pk)) << hex;
+  }
+}
+
+TEST(Ed25519, SmallOrderPublicKeyRejected) {
+  // Canonically-encoded small-order points: y=1 (identity, order 1),
+  // y=-1 (order 2), y=0 (order 4), and the order-8 points with
+  // y = +-sqrt(-1) - also with the sign bit variant for y=0.
+  const char* small_order[] = {
+      // identity: y = 1
+      "0100000000000000000000000000000000000000000000000000000000000000",
+      // y = p - 1 == -1: the order-2 point (0, -1)
+      "ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      // y = 0: order-4 points (both x signs)
+      "0000000000000000000000000000000000000000000000000000000000000000",
+      "0000000000000000000000000000000000000000000000000000000000000080",
+      // order-8 points (y such that x^2 = sqrt(-1) branch), both signs
+      "c7176a703d4dd84fba3c0b760d10670f2a2053fa2c39ccc64ec7fd7792ac037a",
+      "c7176a703d4dd84fba3c0b760d10670f2a2053fa2c39ccc64ec7fd7792ac03fa",
+  };
+  Ed25519Signature sig{};
+  for (const char* hex : small_order) {
+    auto pk = key_from_hex(hex);
+    EXPECT_EQ(ed25519_expand_key(pk), nullptr) << hex;
+    EXPECT_FALSE(ed25519_verify(BytesView(to_bytes("m")), sig, pk)) << hex;
+  }
+}
+
+TEST(Ed25519, ExpandedKeyVerifyMatchesPlainVerify) {
+  auto seed = seed_from_hex(kVectors[2].seed);
+  auto pub = ed25519_public_key(seed);
+  auto expanded = ed25519_expand_key(pub);
+  ASSERT_NE(expanded, nullptr);
+  Bytes msg = to_bytes("expanded-key path");
+  auto sig = ed25519_sign(BytesView(msg), seed, pub);
+  EXPECT_TRUE(ed25519_verify_expanded(BytesView(msg), sig, *expanded));
+  EXPECT_TRUE(ed25519_verify(BytesView(msg), sig, pub));
+  msg[0] ^= 1;
+  EXPECT_FALSE(ed25519_verify_expanded(BytesView(msg), sig, *expanded));
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path vs reference cross-checks (satellite): the windowed fixed-base
+// table, Barrett reduction, and double-scalar verification must agree with
+// the retained binary double-and-add / shift-subtract implementations on
+// random inputs.
+// ---------------------------------------------------------------------------
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void fill_random(std::uint8_t* out, std::size_t n, std::uint64_t& state) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(splitmix(state) & 0xff);
+}
+
+TEST(Ed25519CrossCheck, FixedBaseTableMatchesBinaryLadder1k) {
+  std::uint64_t rng = 0x5eed;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint8_t scalar[32];
+    fill_random(scalar, sizeof scalar, rng);
+    scalar[31] &= 0x1f;  // keep below L-ish range; both paths reduce alike
+    std::uint8_t fast[32], ref[32];
+    detail::scalarmult_base(fast, scalar);
+    detail::scalarmult_base_ref(ref, scalar);
+    ASSERT_EQ(std::memcmp(fast, ref, 32), 0) << "iteration " << i;
+  }
+}
+
+TEST(Ed25519CrossCheck, BarrettReductionMatchesShiftSubtract1k) {
+  std::uint64_t rng = 0xba77;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint8_t wide[64];
+    fill_random(wide, sizeof wide, rng);
+    std::uint8_t fast[32], ref[32];
+    detail::sc_reduce512(wide, fast);
+    detail::sc_reduce512_ref(wide, ref);
+    ASSERT_EQ(std::memcmp(fast, ref, 32), 0) << "iteration " << i;
+  }
+  // Edge cases: all-zero and all-ones.
+  std::uint8_t wide[64], fast[32], ref[32];
+  std::memset(wide, 0, sizeof wide);
+  detail::sc_reduce512(wide, fast);
+  detail::sc_reduce512_ref(wide, ref);
+  EXPECT_EQ(std::memcmp(fast, ref, 32), 0);
+  std::memset(wide, 0xff, sizeof wide);
+  detail::sc_reduce512(wide, fast);
+  detail::sc_reduce512_ref(wide, ref);
+  EXPECT_EQ(std::memcmp(fast, ref, 32), 0);
+}
+
+TEST(Ed25519CrossCheck, FastSignMatchesReferenceSign) {
+  std::uint64_t rng = 0x516e;
+  for (int i = 0; i < 64; ++i) {
+    Ed25519Seed seed{};
+    fill_random(seed.data(), seed.size(), rng);
+    auto pub = ed25519_public_key(seed);
+    Bytes msg(static_cast<std::size_t>(i * 3), 0);
+    fill_random(msg.data(), msg.size(), rng);
+    auto fast = ed25519_sign(BytesView(msg), seed, pub);
+    auto ref = detail::sign_ref(BytesView(msg), seed, pub);
+    ASSERT_EQ(fast, ref) << "iteration " << i;
+  }
+}
+
+TEST(Ed25519CrossCheck, FastVerifyAgreesWithReferenceVerify) {
+  std::uint64_t rng = 0xacc0;
+  for (int i = 0; i < 64; ++i) {
+    Ed25519Seed seed{};
+    fill_random(seed.data(), seed.size(), rng);
+    auto pub = ed25519_public_key(seed);
+    Bytes msg(48, 0);
+    fill_random(msg.data(), msg.size(), rng);
+    auto sig = ed25519_sign(BytesView(msg), seed, pub);
+    ASSERT_TRUE(ed25519_verify(BytesView(msg), sig, pub));
+    ASSERT_TRUE(detail::verify_ref(BytesView(msg), sig, pub));
+    // Corrupt one bit: both must reject.
+    auto bad = sig;
+    bad[static_cast<std::size_t>(splitmix(rng) % 64)] ^= 0x04;
+    bool fast_ok = ed25519_verify(BytesView(msg), bad, pub);
+    bool ref_ok = detail::verify_ref(BytesView(msg), bad, pub);
+    ASSERT_EQ(fast_ok, ref_ok) << "iteration " << i;
+    ASSERT_FALSE(fast_ok);
+  }
+}
+
 }  // namespace
 }  // namespace rdb::crypto

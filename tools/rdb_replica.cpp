@@ -29,7 +29,8 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::fprintf(stderr,
                "usage: rdb_replica --id N --topology FILE [--batch-size N] "
-               "[--store mem|pagedb] [--data-dir DIR] [--key-seed N]\n");
+               "[--store mem|pagedb] [--data-dir DIR] [--key-seed N] "
+               "[--verify-threads N]\n");
   return 2;
 }
 
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   std::string data_dir = ".";
   std::uint32_t batch_size = 50;
   std::uint64_t key_seed = 7;
+  std::uint32_t verify_threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -63,6 +65,9 @@ int main(int argc, char** argv) {
       data_dir = need("--data-dir");
     } else if (!std::strcmp(argv[i], "--key-seed")) {
       key_seed = static_cast<std::uint64_t>(std::atoll(need("--key-seed")));
+    } else if (!std::strcmp(argv[i], "--verify-threads")) {
+      verify_threads =
+          static_cast<std::uint32_t>(std::atoi(need("--verify-threads")));
     } else {
       return usage();
     }
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
   rc.n = topo->replica_count();
   rc.id = id;
   rc.batch_size = batch_size;
+  rc.verify_threads = verify_threads;
   rdb::runtime::Replica replica(
       rc, transport, registry, std::move(store),
       [workload](const rdb::protocol::Transaction& t,
