@@ -18,8 +18,11 @@ fi
 
 # crypto_test / ed25519_test cover the new hot-path arithmetic; queues_test
 # covers the lock-free handoff; the runtime verify-pool tests exercise the
-# parallel verification stage (the interesting TSan target).
-UNIT_TESTS=(crypto_test ed25519_test queues_test)
+# parallel verification stage; chaos_test runs the recovery drills (primary
+# crash, partition+heal, dup/reorder storms) and tcp_transport_test the
+# self-healing reconnect path — the richest TSan targets in the repo.
+UNIT_TESTS=(crypto_test ed25519_test queues_test chaos_test
+            tcp_transport_test)
 RUNTIME_FILTER='Runtime.VerifyPool*'
 
 status=0

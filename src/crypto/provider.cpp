@@ -43,6 +43,10 @@ std::size_t CryptoProvider::signature_size(Endpoint peer) const {
 
 const CmacContext& CryptoProvider::cmac_for(Endpoint peer) const {
   std::uint64_t code = peer_code(peer);
+  // Multiple output threads sign concurrently; the lazy insert must be
+  // serialized. The context itself is immutable after construction, so the
+  // returned reference is safe to use outside the lock.
+  std::lock_guard<std::mutex> lock(cmac_mu_);
   auto it = cmac_cache_.find(code);
   if (it == cmac_cache_.end()) {
     it = cmac_cache_

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/bytes.h"
@@ -63,6 +64,12 @@ class CryptoProvider {
   // Ed25519 keys are NOT cached here: the KeyRegistry memoizes the expanded
   // form (decompressed point + odd-multiples table) process-wide, so every
   // provider sharing a registry shares one expansion per peer.
+  //
+  // A replica signs from several output threads concurrently, so the lazy
+  // insert is guarded by cmac_mu_. CmacContext::tag() itself is const and
+  // stateless, and contexts are heap-allocated and never erased, so the
+  // returned reference stays valid (and usable lock-free) after insertion.
+  mutable std::mutex cmac_mu_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<CmacContext>>
       cmac_cache_;
 };

@@ -74,6 +74,23 @@ void Client::pump_loop(std::stop_token st) {
   }
 }
 
+ClientStats Client::stats() const {
+  ClientStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Client::send_signed(ReplicaId target, Message& msg) {
+  // Requests are MAC'd per client->replica link on top of the per-
+  // transaction digital signatures.
+  Bytes canon = msg.signing_bytes();
+  msg.signature = crypto_.sign(Endpoint::replica(target), BytesView(canon));
+  transport_.send(Endpoint::replica(target), msg);
+}
+
 std::optional<std::vector<std::uint64_t>> Client::submit_and_wait(
     std::vector<Transaction> txns) {
   protocol::ClientRequest req;
@@ -81,20 +98,29 @@ std::optional<std::vector<std::uint64_t>> Client::submit_and_wait(
   Message msg;
   msg.from = Endpoint::client(config_.id);
   msg.payload = std::move(req);
+  requests_.fetch_add(1, std::memory_order_relaxed);
 
   std::vector<RequestId> ids;
   ids.reserve(txns.size());
   for (const auto& t : txns) ids.push_back(t.req_id);
 
   for (std::uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    // Target the primary of the view we last heard about; on retry, walk the
-    // replica ring so the new primary eventually receives the request.
-    ReplicaId target = static_cast<ReplicaId>(
-        (view_.load(std::memory_order_relaxed) + attempt) % config_.n);
-    Bytes canon = msg.signing_bytes();
-    msg.signature =
-        crypto_.sign(Endpoint::replica(target), BytesView(canon));
-    transport_.send(Endpoint::replica(target), msg);
+    if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    ViewId believed = view_.load(std::memory_order_relaxed);
+    if (attempt >= config_.broadcast_after) {
+      // PBFT liveness: after repeated timeouts, send to EVERY replica.
+      // Backups relay to the primary and arm view-change timers, so even a
+      // crashed/byzantine-silent primary cannot stall the request forever.
+      broadcasts_.fetch_add(1, std::memory_order_relaxed);
+      for (ReplicaId r = 0; r < config_.n; ++r) send_signed(r, msg);
+    } else {
+      // First try the primary of the view we last heard about; early
+      // retries rotate through the full replica ring (not just successor
+      // views) so a stale view estimate still reaches a live replica.
+      ReplicaId target =
+          static_cast<ReplicaId>((believed + attempt) % config_.n);
+      send_signed(target, msg);
+    }
 
     std::unique_lock<std::mutex> lock(mu_);
     bool done = cv_.wait_for(lock, config_.request_timeout, [&] {
@@ -113,6 +139,7 @@ std::optional<std::vector<std::uint64_t>> Client::submit_and_wait(
       return results;
     }
   }
+  timeouts_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 

@@ -25,6 +25,18 @@ struct ClientConfig {
   crypto::SchemeConfig schemes{};
   std::chrono::milliseconds request_timeout{2'000};
   std::uint32_t max_retries{3};
+  /// PBFT liveness rule: from this retry onward the request is broadcast to
+  /// ALL replicas (backups relay to the primary and arm view-change timers),
+  /// so a crashed primary cannot blackhole a client forever. Earlier retries
+  /// rotate through the replica ring one at a time.
+  std::uint32_t broadcast_after{2};
+};
+
+struct ClientStats {
+  std::uint64_t requests{0};    // submit_and_wait calls
+  std::uint64_t retries{0};     // re-sends after a timeout
+  std::uint64_t broadcasts{0};  // retries that went to every replica
+  std::uint64_t timeouts{0};    // submit_and_wait calls that gave up
 };
 
 class Client {
@@ -42,14 +54,20 @@ class Client {
   /// Sends a burst of transactions as one request message (client-side
   /// batching, §4.2) to the believed primary and blocks until every
   /// transaction in the burst has f+1 matching responses. Returns the result
-  /// codes in submission order, or nullopt on timeout after retries
-  /// (retries rotate the target replica, which finds a new primary).
+  /// codes in submission order, or nullopt on timeout after retries.
+  /// Retries rotate through the whole replica ring and, from
+  /// config.broadcast_after onward, go to every replica at once — the PBFT
+  /// liveness path that survives a crashed primary.
   std::optional<std::vector<std::uint64_t>> submit_and_wait(
       std::vector<protocol::Transaction> txns);
 
   ClientId id() const { return config_.id; }
   ViewId believed_view() const {
     return view_.load(std::memory_order_relaxed);
+  }
+  ClientStats stats() const;
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -60,6 +78,7 @@ class Client {
   };
 
   void pump_loop(std::stop_token st);
+  void send_signed(ReplicaId target, protocol::Message& msg);
   std::uint32_t f() const { return max_faulty(config_.n); }
 
   ClientConfig config_;
@@ -72,6 +91,10 @@ class Client {
   PendingRequest pending_;
   std::atomic<ViewId> view_{0};
   RequestId next_req_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> broadcasts_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::jthread pump_;
 };
 

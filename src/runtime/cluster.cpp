@@ -8,6 +8,8 @@ namespace rdb::runtime {
 
 LocalCluster::LocalCluster(ClusterConfig config)
     : config_(std::move(config)), registry_(config_.key_seed) {
+  if (config_.enable_chaos)
+    chaos_ = std::make_unique<FaultyTransport>(transport_, config_.fault_plan);
   for (ReplicaId r = 0; r < config_.replicas; ++r) {
     ReplicaConfig rc;
     rc.n = config_.replicas;
@@ -31,7 +33,7 @@ LocalCluster::LocalCluster(ClusterConfig config)
       };
     }
     replicas_.push_back(std::make_unique<Replica>(
-        rc, transport_, registry_, std::move(store), std::move(exec)));
+        rc, wire(), registry_, std::move(store), std::move(exec)));
   }
 }
 
@@ -43,6 +45,12 @@ void LocalCluster::start() {
 
 void LocalCluster::stop() {
   for (auto& r : replicas_) r->stop();
+  // Stop the chaos timer thread after the replicas: a delayed message must
+  // never be delivered into a destroyed inbox, and replicas share inboxes
+  // with the transport via shared_ptr, so ordering here is about quiescence,
+  // not lifetime. Stopping chaos last also drains scripted faults cleanly
+  // even when stop() races an active partition (see chaos_test).
+  if (chaos_) chaos_->stop();
 }
 
 std::unique_ptr<Client> LocalCluster::make_client(ClientId id) {
@@ -50,7 +58,10 @@ std::unique_ptr<Client> LocalCluster::make_client(ClientId id) {
   cc.id = id;
   cc.n = config_.replicas;
   cc.schemes = config_.schemes;
-  return std::make_unique<Client>(cc, transport_, registry_);
+  cc.request_timeout = config_.client_timeout;
+  cc.max_retries = config_.client_max_retries;
+  cc.broadcast_after = config_.client_broadcast_after;
+  return std::make_unique<Client>(cc, wire(), registry_);
 }
 
 bool LocalCluster::wait_for_execution(SeqNum seq,

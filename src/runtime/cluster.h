@@ -9,6 +9,7 @@
 
 #include "crypto/key_registry.h"
 #include "runtime/client.h"
+#include "runtime/faulty_transport.h"
 #include "runtime/replica.h"
 
 namespace rdb::runtime {
@@ -24,6 +25,18 @@ struct ClusterConfig {
   TimeNs catchup_poll_ns{500'000'000};
   crypto::SchemeConfig schemes{};
   std::uint64_t key_seed{7};
+
+  /// Chaos layer: when set, every replica and client is wired through a
+  /// FaultyTransport decorating the in-process transport; drive it via
+  /// LocalCluster::chaos() (partitions, crashes, per-link fault plans).
+  bool enable_chaos{false};
+  FaultPlan fault_plan{};
+
+  /// Client knobs forwarded by make_client() (chaos drills want short
+  /// timeouts and early broadcast).
+  std::chrono::milliseconds client_timeout{2'000};
+  std::uint32_t client_max_retries{3};
+  std::uint32_t client_broadcast_after{2};
 
   /// Storage factory, called once per replica. Defaults to MemStore.
   std::function<std::unique_ptr<storage::KvStore>(ReplicaId)> make_store;
@@ -42,6 +55,12 @@ class LocalCluster {
   Replica& replica(ReplicaId id) { return *replicas_[id]; }
   std::uint32_t size() const { return config_.replicas; }
   InprocTransport& transport() { return transport_; }
+  /// The chaos layer (nullptr unless config.enable_chaos).
+  FaultyTransport* chaos() { return chaos_.get(); }
+  /// The transport replicas/clients are actually wired through: the chaos
+  /// decorator when enabled, the raw in-process transport otherwise.
+  Transport& wire() { return chaos_ ? static_cast<Transport&>(*chaos_)
+                                    : static_cast<Transport&>(transport_); }
   const crypto::KeyRegistry& registry() const { return registry_; }
 
   /// Creates a client wired to this cluster.
@@ -56,6 +75,7 @@ class LocalCluster {
   ClusterConfig config_;
   crypto::KeyRegistry registry_;
   InprocTransport transport_;
+  std::unique_ptr<FaultyTransport> chaos_;  // set when config.enable_chaos
   std::vector<std::unique_ptr<Replica>> replicas_;
 };
 

@@ -1,0 +1,303 @@
+#include "runtime/faulty_transport.h"
+
+#include <chrono>
+
+namespace rdb::runtime {
+
+namespace {
+
+// Decision bits folded into the fault trace. One byte per send (plus one
+// per injected duplicate), hashed in send order per link.
+constexpr std::uint8_t kForward = 1u << 0;
+constexpr std::uint8_t kDrop = 1u << 1;
+constexpr std::uint8_t kCorrupt = 1u << 2;
+constexpr std::uint8_t kDuplicate = 1u << 3;
+constexpr std::uint8_t kReorder = 1u << 4;
+constexpr std::uint8_t kDelay = 1u << 5;
+constexpr std::uint8_t kPartitionDrop = 1u << 6;
+constexpr std::uint8_t kCrashDrop = 1u << 7;
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport& inner, FaultPlan plan)
+    : inner_(inner), plan_(plan) {
+  timer_ = std::jthread([this](std::stop_token st) { timer_loop(st); });
+}
+
+FaultyTransport::~FaultyTransport() { stop(); }
+
+void FaultyTransport::stop() {
+  if (stopped_.exchange(true)) return;
+  timer_.request_stop();
+  delay_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  std::lock_guard<std::mutex> lock(delay_mu_);
+  while (!delayed_.empty()) delayed_.pop();
+}
+
+void FaultyTransport::register_endpoint(Endpoint ep,
+                                        std::shared_ptr<Inbox> inbox) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    known_.insert(key(ep));
+  }
+  inner_.register_endpoint(ep, std::move(inbox));
+}
+
+std::uint64_t FaultyTransport::link_key_seed(std::uint64_t seed, Endpoint from,
+                                             Endpoint to) {
+  // Mix (seed, from, to) through SplitMix so adjacent links decorrelate.
+  std::uint64_t s = seed;
+  s ^= splitmix64(s) ^ (key(from) * 0x9E3779B97F4A7C15ULL);
+  s ^= splitmix64(s) ^ (key(to) * 0xBF58476D1CE4E5B9ULL);
+  return splitmix64(s);
+}
+
+FaultyTransport::LinkState& FaultyTransport::link(Endpoint from, Endpoint to) {
+  auto k = std::make_pair(key(from), key(to));
+  auto it = links_.find(k);
+  if (it == links_.end()) {
+    it = links_
+             .emplace(k, LinkState(link_key_seed(plan_.seed, from, to)))
+             .first;
+  }
+  return it->second;
+}
+
+void FaultyTransport::note(Endpoint from, Endpoint to, std::uint8_t decision) {
+  auto mix = [&](std::uint64_t v) {
+    trace_hash_ = (trace_hash_ ^ v) * kFnvPrime;
+  };
+  mix(key(from));
+  mix(key(to));
+  mix(decision);
+}
+
+// --- structural faults -----------------------------------------------------
+
+void FaultyTransport::partition(Endpoint a, Endpoint b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.insert({key(a), key(b)});
+  partitioned_.insert({key(b), key(a)});
+}
+
+void FaultyTransport::partition_one_way(Endpoint from, Endpoint to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.insert({key(from), key(to)});
+}
+
+void FaultyTransport::heal(Endpoint a, Endpoint b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.erase({key(a), key(b)});
+  partitioned_.erase({key(b), key(a)});
+}
+
+void FaultyTransport::heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.clear();
+}
+
+void FaultyTransport::isolate(Endpoint ep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t k = key(ep);
+  known_.insert(k);
+  for (std::uint64_t other : known_) {
+    if (other == k) continue;
+    partitioned_.insert({k, other});
+    partitioned_.insert({other, k});
+  }
+}
+
+void FaultyTransport::crash(Endpoint ep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_.insert(key(ep));
+}
+
+void FaultyTransport::restart(Endpoint ep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_.erase(key(ep));
+}
+
+bool FaultyTransport::is_crashed(Endpoint ep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_.contains(key(ep));
+}
+
+// --- dynamic plan ----------------------------------------------------------
+
+void FaultyTransport::set_default_faults(LinkFaults faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_.default_faults = faults;
+}
+
+void FaultyTransport::set_link_faults(Endpoint from, Endpoint to,
+                                      LinkFaults faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkState& st = link(from, to);
+  st.has_override = true;
+  st.faults = faults;
+}
+
+void FaultyTransport::clear_faults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_.default_faults = LinkFaults{};
+  for (auto& [k, st] : links_) {
+    st.has_override = false;
+    st.faults = LinkFaults{};
+  }
+}
+
+// --- observability ---------------------------------------------------------
+
+FaultyTransport::Counters FaultyTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::uint64_t FaultyTransport::trace_hash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_hash_;
+}
+
+std::size_t FaultyTransport::pending_delayed() const {
+  std::lock_guard<std::mutex> lock(delay_mu_);
+  return delayed_.size();
+}
+
+// --- the decorated send ----------------------------------------------------
+
+void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  const Endpoint from = msg.from;
+
+  // Decisions are drawn under mu_ from the per-link PRNG; the actual inner
+  // sends happen after the lock is released.
+  bool deliver = false;
+  bool duplicate = false;
+  std::optional<protocol::Message> mutated;  // corrupted copy, if any
+  TimeNs primary_delay = 0;                  // 0 = deliver inline
+  TimeNs duplicate_delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    known_.insert(key(from));
+    known_.insert(key(to));
+
+    if (crashed_.contains(key(from)) || crashed_.contains(key(to))) {
+      ++counters_.crash_drops;
+      note(from, to, kCrashDrop);
+      return;
+    }
+    if (partitioned_.contains({key(from), key(to)})) {
+      ++counters_.partition_drops;
+      note(from, to, kPartitionDrop);
+      return;
+    }
+
+    LinkState& st = link(from, to);
+    const LinkFaults& f =
+        st.has_override ? st.faults : plan_.default_faults;
+
+    std::uint8_t decision = 0;
+    if (f.drop > 0 && st.rng.chance(f.drop)) {
+      ++counters_.dropped;
+      note(from, to, kDrop);
+      return;
+    }
+    deliver = true;
+    decision |= kForward;
+
+    if (f.corrupt > 0 && st.rng.chance(f.corrupt)) {
+      decision |= kCorrupt;
+      ++counters_.corrupted;
+      mutated = msg;
+      if (mutated->signature.empty()) {
+        mutated->signature.push_back(0xFF);
+      } else {
+        std::uint64_t bit =
+            st.rng.below(mutated->signature.size() * 8);
+        mutated->signature[bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    if (f.duplicate > 0 && st.rng.chance(f.duplicate)) {
+      decision |= kDuplicate;
+      ++counters_.duplicated;
+      duplicate = true;
+    }
+
+    TimeNs base_delay = f.delay_ns;
+    if (f.jitter_ns > 0) base_delay += st.rng.below(f.jitter_ns);
+    if (f.reorder > 0 && st.rng.chance(f.reorder)) {
+      decision |= kReorder;
+      ++counters_.reordered;
+      base_delay += plan_.reorder_holdback_ns;
+    }
+    primary_delay = base_delay;
+    if (primary_delay > 0) {
+      decision |= kDelay;
+      ++counters_.delayed;
+    }
+    duplicate_delay = base_delay + plan_.duplicate_lag_ns;
+
+    ++counters_.forwarded;
+    if (duplicate) ++counters_.forwarded;
+    note(from, to, decision);
+  }
+
+  if (!deliver) return;
+  const protocol::Message& out = mutated ? *mutated : msg;
+  auto now = std::chrono::steady_clock::now();
+  if (primary_delay > 0) {
+    enqueue_delayed(now + std::chrono::nanoseconds(primary_delay), to, out);
+  } else {
+    inner_.send(to, out);
+  }
+  if (duplicate) {
+    enqueue_delayed(now + std::chrono::nanoseconds(duplicate_delay), to, out);
+  }
+}
+
+void FaultyTransport::enqueue_delayed(
+    std::chrono::steady_clock::time_point at, Endpoint to,
+    protocol::Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    delayed_.push(Delayed{at, delay_order_++, to, std::move(msg)});
+  }
+  delay_cv_.notify_all();
+}
+
+void FaultyTransport::timer_loop(std::stop_token st) {
+  std::unique_lock<std::mutex> lock(delay_mu_);
+  while (!st.stop_requested()) {
+    if (delayed_.empty()) {
+      delay_cv_.wait_for(lock, st, std::chrono::milliseconds(50),
+                         [&] { return !delayed_.empty(); });
+      continue;
+    }
+    auto at = delayed_.top().at;
+    auto now = std::chrono::steady_clock::now();
+    if (now < at) {
+      delay_cv_.wait_until(lock, st, at, [] { return false; });
+      continue;
+    }
+    Delayed d = delayed_.top();
+    delayed_.pop();
+    lock.unlock();
+    // Re-check structural faults at delivery time: a message delayed across
+    // a crash/partition onset must not leak through.
+    bool blocked;
+    {
+      std::lock_guard<std::mutex> mlock(mu_);
+      blocked = crashed_.contains(key(d.msg.from)) ||
+                crashed_.contains(key(d.to)) ||
+                partitioned_.contains({key(d.msg.from), key(d.to)});
+    }
+    if (!blocked) inner_.send(d.to, d.msg);
+    lock.lock();
+  }
+}
+
+}  // namespace rdb::runtime

@@ -1,0 +1,172 @@
+// FaultyTransport: a seeded, deterministic fault-injecting decorator around
+// any Transport (in-process or TCP). The chaos layer for recovery drills.
+//
+// Every message that passes through send() is subjected to a per-link
+// FaultPlan: drop / duplicate / reorder (selective holdback) / corruption of
+// the authentication tag / fixed+jittered delay, plus structural faults —
+// directed partitions and crash-stop of whole endpoints. All probabilistic
+// decisions are drawn from a per-link PRNG seeded from (plan seed, src, dst),
+// so the *decision trace* for a given per-link send sequence is a pure
+// function of the seed: same seed => identical fault trace (see
+// trace_hash()). Delivery of delayed/reordered messages rides a background
+// timer thread, so wall-clock interleaving across links is not deterministic
+// — but which messages were dropped/duplicated/corrupted is.
+//
+// Corruption note: the decorator operates above serialization, so in-flight
+// bit flips are modelled by flipping a bit of the message's signature/MAC.
+// For any authenticated message this is observably equivalent to corrupting
+// the wire bytes: the receiver parses the frame and rejects it at
+// verification (counted in the replica's invalid_signatures stat).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "runtime/transport_iface.h"
+
+namespace rdb::runtime {
+
+/// Per-link fault probabilities and delays. All probabilities in [0, 1].
+struct LinkFaults {
+  double drop{0};       // lose the message entirely
+  double duplicate{0};  // deliver twice (second copy slightly later)
+  double reorder{0};    // hold the message back so later sends overtake it
+  double corrupt{0};    // flip a signature bit (rejected at verification)
+  TimeNs delay_ns{0};        // fixed delivery delay
+  TimeNs jitter_ns{0};       // uniform extra delay in [0, jitter_ns)
+};
+
+/// A chaos scenario: the seed plus default faults applied to every link.
+/// Individual links can be overridden at runtime via set_link_faults().
+struct FaultPlan {
+  std::uint64_t seed{42};
+  LinkFaults default_faults{};
+  /// Holdback applied to reordered messages (later sends overtake them).
+  TimeNs reorder_holdback_ns{10'000'000};  // 10 ms
+  /// Extra delay for the second copy of a duplicated message.
+  TimeNs duplicate_lag_ns{5'000'000};  // 5 ms
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  /// Wraps `inner`; `inner` must outlive this decorator.
+  FaultyTransport(Transport& inner, FaultPlan plan);
+  ~FaultyTransport() override;
+
+  FaultyTransport(const FaultyTransport&) = delete;
+  FaultyTransport& operator=(const FaultyTransport&) = delete;
+
+  // --- Transport interface (decorated) ---
+  void register_endpoint(Endpoint ep, std::shared_ptr<Inbox> inbox) override;
+  void send(Endpoint to, const protocol::Message& msg) override;
+
+  // --- scripted structural faults ---
+  /// Cuts the (a, b) link in BOTH directions until heal()/heal(a, b).
+  void partition(Endpoint a, Endpoint b);
+  /// Cuts only a -> b (directed partition; b -> a still flows).
+  void partition_one_way(Endpoint from, Endpoint to);
+  /// Heals one pair (both directions).
+  void heal(Endpoint a, Endpoint b);
+  /// Heals every partition.
+  void heal();
+  /// Partitions `ep` from every other endpoint (both directions).
+  void isolate(Endpoint ep);
+  /// Crash-stop: all traffic to and from `ep` is dropped until restart().
+  void crash(Endpoint ep);
+  void restart(Endpoint ep);
+  bool is_crashed(Endpoint ep) const;
+
+  // --- dynamic fault plan ---
+  void set_default_faults(LinkFaults faults);
+  /// Directed per-link override (from -> to).
+  void set_link_faults(Endpoint from, Endpoint to, LinkFaults faults);
+  /// Drops all per-link overrides and zeroes the default faults (structural
+  /// partitions/crashes are NOT affected — use heal()/restart()).
+  void clear_faults();
+
+  // --- observability ---
+  struct Counters {
+    std::uint64_t forwarded{0};     // handed to the inner transport
+    std::uint64_t dropped{0};       // lost to the drop probability
+    std::uint64_t duplicated{0};    // extra copies injected
+    std::uint64_t reordered{0};     // held back so later sends overtake
+    std::uint64_t corrupted{0};     // signature-bit flips injected
+    std::uint64_t delayed{0};       // deliveries routed via the timer thread
+    std::uint64_t partition_drops{0};
+    std::uint64_t crash_drops{0};
+  };
+  Counters counters() const;
+  /// FNV-1a hash over the ordered (src, dst, decision) fault trace. Two runs
+  /// with the same seed and the same per-link send sequences produce the
+  /// same hash; a different seed (almost surely) produces a different one.
+  std::uint64_t trace_hash() const;
+  /// Messages currently sitting in the delay/holdback queue.
+  std::size_t pending_delayed() const;
+
+  /// Stops the timer thread; pending delayed messages are discarded. Called
+  /// by the destructor; safe to call repeatedly. After stop() every send is
+  /// dropped.
+  void stop();
+
+  Transport& inner() { return inner_; }
+
+ private:
+  struct LinkState {
+    Rng rng;
+    bool has_override{false};
+    LinkFaults faults{};
+    explicit LinkState(std::uint64_t seed) : rng(seed) {}
+  };
+  struct Delayed {
+    std::chrono::steady_clock::time_point at;
+    std::uint64_t order;  // tiebreak: FIFO among equal deadlines
+    Endpoint to;
+    protocol::Message msg;
+    bool operator>(const Delayed& o) const {
+      return at != o.at ? at > o.at : order > o.order;
+    }
+  };
+
+  static std::uint64_t key(Endpoint ep) {
+    return (static_cast<std::uint64_t>(ep.kind == Endpoint::Kind::kClient)
+            << 32) |
+           ep.id;
+  }
+  static std::uint64_t link_key_seed(std::uint64_t seed, Endpoint from,
+                                     Endpoint to);
+
+  LinkState& link(Endpoint from, Endpoint to);  // mu_ must be held
+  void note(Endpoint from, Endpoint to, std::uint8_t decision);  // mu_ held
+  void enqueue_delayed(std::chrono::steady_clock::time_point at, Endpoint to,
+                       protocol::Message msg);
+  void timer_loop(std::stop_token st);
+
+  Transport& inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkState> links_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_;
+  std::set<std::uint64_t> crashed_;
+  std::set<std::uint64_t> known_;  // endpoints seen (for isolate())
+  Counters counters_;
+  std::uint64_t trace_hash_{1469598103934665603ULL};  // FNV-1a offset basis
+
+  mutable std::mutex delay_mu_;
+  std::condition_variable_any delay_cv_;
+  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> delayed_;
+  std::uint64_t delay_order_{0};
+
+  std::atomic<bool> stopped_{false};
+  std::jthread timer_;
+};
+
+}  // namespace rdb::runtime

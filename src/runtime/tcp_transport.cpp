@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -35,12 +36,11 @@ bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
   return true;
 }
 
-constexpr std::uint32_t kMaxFrame = 64 * 1024 * 1024;  // 64 MiB sanity cap
-
 }  // namespace
 
-TcpTransport::TcpTransport(Endpoint self, std::uint16_t listen_port)
-    : self_(self) {
+TcpTransport::TcpTransport(Endpoint self, std::uint16_t listen_port,
+                           TcpTransportConfig config)
+    : self_(self), config_(config) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket failed");
   int one = 1;
@@ -72,25 +72,43 @@ TcpTransport::~TcpTransport() { stop(); }
 
 void TcpTransport::stop() {
   if (stopping_.exchange(true)) return;
-  acceptor_.request_stop();
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // The drain deadline is written before any request_stop() below; sender
+  // threads only read it after observing the stop request, and the stop
+  // state's release/acquire ordering makes the write visible.
+  drain_deadline_ = std::chrono::steady_clock::now() + config_.drain_timeout;
+
+  // Ask every sender to drain-and-exit; they close their own sockets.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [k, peer] : peers_) {
+      peer->sender.request_stop();
+      peer->cv.notify_all();
+    }
   }
+  // peers_ is no longer mutated (add_peer refuses while stopping_), so the
+  // map can be walked without mu_ while joining — holding mu_ across joins
+  // could deadlock against a sender that briefly needs it.
+  for (auto& [k, peer] : peers_) {
+    if (peer->sender.joinable()) peer->sender.join();
+  }
+
+  acceptor_.request_stop();
+  // shutdown() wakes a blocked accept(); the fd is closed only AFTER the
+  // acceptor joins, so the acceptor never races a close/reset of listen_fd_
+  // (and can never accept() on a recycled descriptor number).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   std::vector<std::jthread> readers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [k, conn] : conns_) {
-      ::shutdown(conn.fd, SHUT_RDWR);
-      ::close(conn.fd);
-    }
-    conns_.clear();
     for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
     readers.swap(readers_);
   }
   for (auto& r : readers) r.request_stop();
   if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
   readers.clear();  // join reader threads
   std::lock_guard<std::mutex> lock(mu_);
   for (int fd : accepted_fds_) ::close(fd);
@@ -98,8 +116,23 @@ void TcpTransport::stop() {
 }
 
 void TcpTransport::add_peer(Endpoint ep, TcpPeer peer) {
+  if (stopping_.load(std::memory_order_relaxed)) return;
   std::lock_guard<std::mutex> lock(mu_);
-  peers_[key(ep)] = std::move(peer);
+  std::uint64_t k = key(ep);
+  auto it = peers_.find(k);
+  if (it != peers_.end()) {
+    // Re-declaration: update the address; the sender reconnects on the next
+    // failure (an address change usually accompanies a peer restart).
+    std::lock_guard<std::mutex> plock(it->second->mu);
+    it->second->addr = std::move(peer);
+    return;
+  }
+  std::uint64_t seed = config_.backoff_seed ^ (k * 0x9E3779B97F4A7C15ULL);
+  auto state = std::make_unique<PeerState>(std::move(peer), splitmix64(seed));
+  PeerState* raw = state.get();
+  peers_[k] = std::move(state);
+  raw->sender = std::jthread(
+      [this, raw](std::stop_token st) { sender_loop(st, raw); });
 }
 
 void TcpTransport::register_endpoint(Endpoint ep,
@@ -109,6 +142,18 @@ void TcpTransport::register_endpoint(Endpoint ep,
         "TcpTransport hosts exactly one endpoint (its own)");
   std::lock_guard<std::mutex> lock(mu_);
   inbox_ = std::move(inbox);
+}
+
+TcpTransportStats TcpTransport::stats() const {
+  TcpTransportStats s;
+  s.messages_sent = sent_.load(std::memory_order_relaxed);
+  s.send_failures = failures_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.queue_overflows = overflows_.load(std::memory_order_relaxed);
+  s.messages_requeued = requeued_.load(std::memory_order_relaxed);
+  s.undeclared_drops = undeclared_.load(std::memory_order_relaxed);
+  s.oversize_rejected = oversize_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TcpTransport::accept_loop(std::stop_token st) {
@@ -139,7 +184,8 @@ void TcpTransport::reader_loop(std::stop_token st, int fd) {
     if (!read_exact(fd, len_buf, 4)) return;
     std::uint32_t len;
     std::memcpy(&len, len_buf, 4);
-    if (len == 0 || len > kMaxFrame) return;  // corrupt/hostile stream
+    if (len == 0 || len > config_.max_frame)
+      return;  // corrupt/hostile stream: cut the connection
     Bytes wire(len);
     if (!read_exact(fd, wire.data(), len)) return;
 
@@ -180,61 +226,104 @@ bool TcpTransport::write_frame(int fd, const Bytes& wire) {
 }
 
 void TcpTransport::send(Endpoint to, const protocol::Message& msg) {
-  if (stopping_.load()) return;
-  std::uint64_t k = key(to);
-
-  int fd = -1;
-  std::mutex* write_mu = nullptr;
-  TcpPeer peer;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto pit = peers_.find(k);
-    if (pit == peers_.end()) {
-      ++failures_;
-      return;  // undeclared peer
-    }
-    peer = pit->second;
-    auto cit = conns_.find(k);
-    if (cit != conns_.end()) {
-      fd = cit->second.fd;
-      write_mu = cit->second.write_mu.get();
-    }
-  }
-
-  if (fd < 0) {
-    int fresh = connect_to(peer);
-    if (fresh < 0) {
-      ++failures_;
-      return;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] =
-        conns_.try_emplace(k, Conn{fresh, std::make_unique<std::mutex>()});
-    if (!inserted) {
-      // Lost a connect race; use the established one.
-      ::close(fresh);
-    }
-    fd = it->second.fd;
-    write_mu = it->second.write_mu.get();
-  }
-
+  if (stopping_.load(std::memory_order_relaxed)) return;
   Bytes wire = msg.serialize();
-  bool ok;
-  {
-    std::lock_guard<std::mutex> wlock(*write_mu);
-    ok = write_frame(fd, wire);
-  }
-  if (!ok) {
-    ++failures_;
-    std::lock_guard<std::mutex> lock(mu_);
-    auto cit = conns_.find(k);
-    if (cit != conns_.end() && cit->second.fd == fd) {
-      ::close(cit->second.fd);
-      conns_.erase(cit);
-    }
+  if (wire.size() > config_.max_frame) {
+    // A frame the receiver would cut the connection over must never be put
+    // on the wire: reject at the source, visibly.
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+    failures_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++sent_;
+
+  PeerState* peer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = peers_.find(key(to));
+    if (it == peers_.end()) {
+      undeclared_.fetch_add(1, std::memory_order_relaxed);
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    peer = it->second.get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(peer->mu);
+    if (peer->queue.size() >= config_.max_peer_queue) {
+      // Bounded queue: a dead peer must not exhaust memory. Drop the OLDEST
+      // frame — stale consensus votes are the most superseded.
+      peer->queue.pop_front();
+      overflows_.fetch_add(1, std::memory_order_relaxed);
+    }
+    peer->queue.push_back(std::move(wire));
+  }
+  peer->cv.notify_all();
+}
+
+void TcpTransport::sender_loop(std::stop_token st, PeerState* peer) {
+  auto backoff = config_.backoff_base;
+  std::unique_lock<std::mutex> lock(peer->mu);
+  for (;;) {
+    if (!st.stop_requested() && peer->queue.empty()) {
+      peer->cv.wait(lock, st, [&] { return !peer->queue.empty(); });
+      continue;  // re-evaluate stop/queue state
+    }
+    if (st.stop_requested()) {
+      // Drain phase: flush what an ESTABLISHED connection can take within
+      // the deadline; never dial during shutdown.
+      if (peer->queue.empty() || peer->fd < 0 ||
+          std::chrono::steady_clock::now() > drain_deadline_)
+        break;
+    }
+
+    if (peer->fd < 0) {
+      TcpPeer addr = peer->addr;
+      lock.unlock();
+      int fd = connect_to(addr);
+      lock.lock();
+      if (fd < 0) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        // Bounded exponential backoff + deterministic jitter before the
+        // next dial; a stop request interrupts the wait.
+        auto jitter = std::chrono::milliseconds(peer->jitter.below(
+            static_cast<std::uint64_t>(config_.backoff_base.count()) + 1));
+        peer->cv.wait_for(lock, st, backoff + jitter, [] { return false; });
+        backoff = std::min(backoff * 2, config_.backoff_max);
+        if (st.stop_requested() && peer->fd < 0) break;
+        continue;
+      }
+      if (peer->ever_connected)
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      peer->ever_connected = true;
+      peer->fd = fd;
+      backoff = config_.backoff_base;
+    }
+    if (peer->queue.empty()) continue;
+
+    Bytes wire = std::move(peer->queue.front());
+    peer->queue.pop_front();
+    int fd = peer->fd;
+    lock.unlock();
+    bool ok = write_frame(fd, wire);
+    lock.lock();
+    if (ok) {
+      sent_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Write failure: the connection is gone. Requeue the frame at the front
+    // (per-peer FIFO preserved) and reconnect on the next iteration.
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    if (peer->fd == fd) peer->fd = -1;
+    peer->queue.push_front(std::move(wire));
+    requeued_.fetch_add(1, std::memory_order_relaxed);
+    if (st.stop_requested()) break;  // no reconnects during shutdown
+  }
+  if (peer->fd >= 0) {
+    ::shutdown(peer->fd, SHUT_RDWR);
+    ::close(peer->fd);
+    peer->fd = -1;
+  }
 }
 
 }  // namespace rdb::runtime

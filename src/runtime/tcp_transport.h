@@ -2,14 +2,24 @@
 // multi-process deployment — one process hosts one replica or one client).
 //
 // Wire format per connection: a stream of frames, each a u32 little-endian
-// length followed by a serialized protocol::Message. Outbound connections
-// are dialed lazily per peer and cached; a failed send closes the cached
-// connection and drops the message (BFT tolerates loss — retransmission is
-// the protocol's job, not the transport's).
+// length followed by a serialized protocol::Message. Frames are bounded by
+// `max_frame` on BOTH sides: oversized receives cut the connection (hostile
+// stream), oversized sends are rejected with a counted stat.
+//
+// Self-healing send path: every declared peer gets a bounded outbound queue
+// drained by a dedicated sender thread. The sender dials lazily, and on any
+// connect/write failure requeues the in-flight frame and reconnects with
+// bounded exponential backoff plus deterministic jitter — messages queued
+// while a peer is down are redelivered once it comes back. The queue is
+// bounded (oldest frame dropped on overflow, counted) so a dead peer cannot
+// exhaust memory; BFT tolerates the loss. stop() drains established
+// connections for up to `drain_timeout` before closing.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "runtime/transport_iface.h"
 
 namespace rdb::runtime {
@@ -26,11 +37,38 @@ struct TcpPeer {
   std::uint16_t port{0};
 };
 
+struct TcpTransportConfig {
+  /// Max serialized frame size enforced on send AND receive.
+  std::uint32_t max_frame{64 * 1024 * 1024};
+  /// Bound on each peer's outbound queue; overflow drops the OLDEST frame
+  /// (freshest consensus traffic wins) and counts a queue_overflow.
+  std::size_t max_peer_queue{4096};
+  /// Reconnect backoff: base doubles per failure up to max, plus uniform
+  /// jitter in [0, backoff_base) drawn from a seeded per-peer PRNG.
+  std::chrono::milliseconds backoff_base{10};
+  std::chrono::milliseconds backoff_max{1'000};
+  std::uint64_t backoff_seed{0x5EED};
+  /// stop() drains established connections for at most this long.
+  std::chrono::milliseconds drain_timeout{500};
+};
+
+/// Connection-state statistics (all monotonically increasing).
+struct TcpTransportStats {
+  std::uint64_t messages_sent{0};      // frames actually written
+  std::uint64_t send_failures{0};      // failed connects/writes + rejects
+  std::uint64_t reconnects{0};         // successful re-establishments
+  std::uint64_t queue_overflows{0};    // frames dropped: peer queue full
+  std::uint64_t messages_requeued{0};  // frames put back after a failure
+  std::uint64_t undeclared_drops{0};   // sends to endpoints never declared
+  std::uint64_t oversize_rejected{0};  // sends exceeding max_frame
+};
+
 class TcpTransport final : public Transport {
  public:
   /// Binds and listens on `listen_port` (0 = pick an ephemeral port, query
   /// it with port()). Throws std::runtime_error on bind failure.
-  TcpTransport(Endpoint self, std::uint16_t listen_port);
+  TcpTransport(Endpoint self, std::uint16_t listen_port,
+               TcpTransportConfig config = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -39,21 +77,58 @@ class TcpTransport final : public Transport {
   std::uint16_t port() const { return port_; }
   Endpoint self() const { return self_; }
 
-  /// Declares where a peer endpoint listens. Messages to undeclared peers
-  /// are dropped.
+  /// Declares where a peer endpoint listens and spawns its sender thread.
+  /// Messages to undeclared peers are rejected (undeclared_drops stat).
   void add_peer(Endpoint ep, TcpPeer peer);
 
   /// Must be the transport's own endpoint.
   void register_endpoint(Endpoint ep, std::shared_ptr<Inbox> inbox) override;
 
+  /// Enqueues on the peer's outbound queue; never blocks. The frame is
+  /// written by the peer's sender thread, surviving peer restarts.
   void send(Endpoint to, const protocol::Message& msg) override;
 
+  /// Graceful shutdown: drains established peer connections (bounded by
+  /// drain_timeout), then closes everything. Idempotent.
   void stop();
 
-  std::uint64_t messages_sent() const { return sent_; }
-  std::uint64_t send_failures() const { return failures_; }
+  TcpTransportStats stats() const;
+  std::uint64_t messages_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t send_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queue_overflows() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_requeued() const {
+    return requeued_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t undeclared_drops() const {
+    return undeclared_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t oversize_rejected() const {
+    return oversize_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct PeerState {
+    TcpPeer addr;
+    std::mutex mu;
+    std::condition_variable_any cv;
+    std::deque<Bytes> queue;  // serialized frames awaiting the sender
+    int fd{-1};               // sender-owned once the thread runs
+    bool ever_connected{false};
+    Rng jitter;
+    std::jthread sender;
+    explicit PeerState(TcpPeer a, std::uint64_t seed)
+        : addr(std::move(a)), jitter(seed) {}
+  };
+
   static std::uint64_t key(Endpoint ep) {
     return (static_cast<std::uint64_t>(ep.kind == Endpoint::Kind::kClient)
             << 32) |
@@ -62,26 +137,29 @@ class TcpTransport final : public Transport {
 
   void accept_loop(std::stop_token st);
   void reader_loop(std::stop_token st, int fd);
+  void sender_loop(std::stop_token st, PeerState* peer);
   int connect_to(const TcpPeer& peer);
   bool write_frame(int fd, const Bytes& wire);
 
   Endpoint self_;
+  TcpTransportConfig config_;
   int listen_fd_{-1};
   std::uint16_t port_{0};
 
   std::mutex mu_;
   std::shared_ptr<Inbox> inbox_;
-  std::map<std::uint64_t, TcpPeer> peers_;
-  struct Conn {
-    int fd{-1};
-    std::unique_ptr<std::mutex> write_mu;
-  };
-  std::map<std::uint64_t, Conn> conns_;
+  std::map<std::uint64_t, std::unique_ptr<PeerState>> peers_;
   std::vector<int> accepted_fds_;
 
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> overflows_{0};
+  std::atomic<std::uint64_t> requeued_{0};
+  std::atomic<std::uint64_t> undeclared_{0};
+  std::atomic<std::uint64_t> oversize_{0};
   std::atomic<bool> stopping_{false};
+  std::chrono::steady_clock::time_point drain_deadline_{};
   std::jthread acceptor_;
   std::vector<std::jthread> readers_;  // guarded by mu_ for insertion
 };

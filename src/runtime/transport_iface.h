@@ -1,7 +1,8 @@
 // Transport abstraction: replicas and clients exchange serialized Messages
 // through any implementation — in-process queues (transport.h) for tests and
 // single-process deployments, TCP sockets (tcp_transport.h) for multi-
-// process clusters.
+// process clusters, and the fault-injecting decorator (faulty_transport.h)
+// that wraps either for chaos/recovery drills.
 #pragma once
 
 #include <memory>
@@ -22,8 +23,10 @@ class Transport {
   /// Registers the inbox that receives traffic addressed to `ep`.
   virtual void register_endpoint(Endpoint ep, std::shared_ptr<Inbox> inbox) = 0;
 
-  /// Serializes and delivers `msg` to `to`; best-effort (drops on failure —
-  /// BFT protocols tolerate loss by design).
+  /// Serializes and delivers `msg` to `to`. Best-effort but self-healing
+  /// where the medium allows: implementations may queue and retransmit
+  /// (TcpTransport reconnects with backoff), yet are free to drop under
+  /// sustained failure — BFT protocols tolerate loss by design.
   virtual void send(Endpoint to, const protocol::Message& msg) = 0;
 };
 

@@ -1,0 +1,402 @@
+// Chaos / recovery drills (the paper's Figure 17 territory): the threaded
+// runtime driven through scripted fault scenarios via FaultyTransport —
+// primary crash (view change + progress), partition-then-heal (state
+// transfer), duplicate/reorder storms (exactly-once execution, no forks) —
+// plus the seeded-determinism and clean-shutdown regression tests.
+//
+// Every scenario asserts the canonical outcome: all live replicas end with
+// identical chain accumulators and exactly-once transaction execution.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "crypto/sha256.h"
+#include "protocol/zyzzyva.h"
+#include "runtime/cluster.h"
+#include "runtime/faulty_transport.h"
+#include "workload/ycsb.h"
+
+namespace rdb::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<workload::YcsbWorkload> make_workload() {
+  return std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 500, .ops_per_txn = 2});
+}
+
+ClusterConfig chaos_config(std::shared_ptr<workload::YcsbWorkload> wl,
+                           std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.replicas = 4;
+  cfg.batch_size = 5;
+  cfg.enable_chaos = true;
+  cfg.fault_plan.seed = seed;
+  cfg.catchup_poll_ns = 100'000'000;        // 100 ms gap-detection poll
+  cfg.request_timeout_ns = 600'000'000;     // 600 ms view-change watchdog
+  cfg.client_timeout = 1'500ms;
+  cfg.client_max_retries = 8;
+  cfg.client_broadcast_after = 1;           // first retry goes to everyone
+  cfg.execute = [wl](const protocol::Transaction& t, storage::KvStore& s) {
+    return wl->execute(t, s);
+  };
+  return cfg;
+}
+
+std::vector<protocol::Transaction> make_burst(
+    Client& client, workload::YcsbWorkload& wl, Rng& rng, int count) {
+  std::vector<protocol::Transaction> burst;
+  for (int i = 0; i < count; ++i) {
+    auto t = wl.make_transaction(rng, client.id(), 0);
+    burst.push_back(client.make_transaction(t.payload, t.ops));
+  }
+  return burst;
+}
+
+/// Waits until every replica in `ids` reports the same last_executed for a
+/// few consecutive polls (cluster quiescence), or the deadline passes.
+bool wait_converged(LocalCluster& cluster, const std::vector<ReplicaId>& ids,
+                    std::chrono::seconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  int stable_polls = 0;
+  SeqNum last = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    SeqNum lo = std::numeric_limits<SeqNum>::max(), hi = 0;
+    for (ReplicaId r : ids) {
+      SeqNum e = cluster.replica(r).last_executed();
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+    if (lo == hi && lo > 0 && lo == last) {
+      if (++stable_polls >= 3) return true;
+    } else {
+      stable_polls = 0;
+      last = lo == hi ? lo : 0;
+    }
+    std::this_thread::sleep_for(50ms);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded determinism: same seed => identical fault trace. (Satellite.)
+// ---------------------------------------------------------------------------
+
+struct TraceResult {
+  std::uint64_t hash{0};
+  FaultyTransport::Counters counters;
+};
+
+TraceResult run_trace(std::uint64_t seed) {
+  InprocTransport inner;
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_faults = {.drop = 0.2,
+                         .duplicate = 0.2,
+                         .reorder = 0.1,
+                         .corrupt = 0.1,
+                         .delay_ns = 0,
+                         .jitter_ns = 0};
+  FaultyTransport chaos(inner, plan);
+  auto inbox = std::make_shared<Transport::Inbox>();
+  chaos.register_endpoint(Endpoint::replica(1), inbox);
+
+  protocol::Message m;
+  m.from = Endpoint::replica(0);
+  protocol::Prepare p;
+  p.view = 0;
+  m.signature = Bytes(32, 0xAB);
+  for (SeqNum s = 1; s <= 400; ++s) {
+    p.seq = s;
+    m.payload = p;
+    chaos.send(Endpoint::replica(1), m);
+  }
+  TraceResult out{chaos.trace_hash(), chaos.counters()};
+  chaos.stop();
+  return out;
+}
+
+TEST(Chaos, FaultyTransportSeededDeterminism) {
+  TraceResult a = run_trace(1234);
+  TraceResult b = run_trace(1234);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.counters.forwarded, b.counters.forwarded);
+  EXPECT_EQ(a.counters.dropped, b.counters.dropped);
+  EXPECT_EQ(a.counters.duplicated, b.counters.duplicated);
+  EXPECT_EQ(a.counters.reordered, b.counters.reordered);
+  EXPECT_EQ(a.counters.corrupted, b.counters.corrupted);
+  // The plan actually injected faults of every kind.
+  EXPECT_GT(a.counters.dropped, 0u);
+  EXPECT_GT(a.counters.duplicated, 0u);
+  EXPECT_GT(a.counters.reordered, 0u);
+  EXPECT_GT(a.counters.corrupted, 0u);
+
+  TraceResult c = run_trace(9999);
+  EXPECT_NE(a.hash, c.hash);
+}
+
+TEST(Chaos, FaultyTransportStructuralFaults) {
+  InprocTransport inner;
+  FaultyTransport chaos(inner, FaultPlan{.seed = 7});
+  auto inbox0 = std::make_shared<Transport::Inbox>();
+  auto inbox1 = std::make_shared<Transport::Inbox>();
+  chaos.register_endpoint(Endpoint::replica(0), inbox0);
+  chaos.register_endpoint(Endpoint::replica(1), inbox1);
+
+  protocol::Message m;
+  m.from = Endpoint::replica(0);
+  m.payload = protocol::Prepare{};
+
+  chaos.send(Endpoint::replica(1), m);
+  EXPECT_TRUE(inbox1->pop_for(2s).has_value());
+
+  // Directed partition: 0 -> 1 cut, 1 -> 0 still flows.
+  chaos.partition_one_way(Endpoint::replica(0), Endpoint::replica(1));
+  chaos.send(Endpoint::replica(1), m);
+  EXPECT_FALSE(inbox1->pop_for(100ms).has_value());
+  protocol::Message back;
+  back.from = Endpoint::replica(1);
+  back.payload = protocol::Prepare{};
+  chaos.send(Endpoint::replica(0), back);
+  EXPECT_TRUE(inbox0->pop_for(2s).has_value());
+
+  // heal() restores the link; crash() kills both directions.
+  chaos.heal();
+  chaos.send(Endpoint::replica(1), m);
+  EXPECT_TRUE(inbox1->pop_for(2s).has_value());
+  chaos.crash(Endpoint::replica(1));
+  EXPECT_TRUE(chaos.is_crashed(Endpoint::replica(1)));
+  chaos.send(Endpoint::replica(1), m);
+  chaos.send(Endpoint::replica(0), back);
+  EXPECT_FALSE(inbox1->pop_for(100ms).has_value());
+  EXPECT_FALSE(inbox0->pop_for(100ms).has_value());
+  chaos.restart(Endpoint::replica(1));
+  chaos.send(Endpoint::replica(1), m);
+  EXPECT_TRUE(inbox1->pop_for(2s).has_value());
+
+  auto c = chaos.counters();
+  EXPECT_EQ(c.partition_drops, 1u);
+  EXPECT_EQ(c.crash_drops, 2u);
+  chaos.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Drill 1: primary crash — the cluster must view-change and keep committing.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, PbftPrimaryCrashViewChangesAndCommits) {
+  auto wl = make_workload();
+  LocalCluster cluster(chaos_config(wl, 42));
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(17);
+
+  // Warm-up: one committed batch in view 0.
+  ASSERT_TRUE(
+      client->submit_and_wait(make_burst(*client, *wl, rng, 5)).has_value());
+  ASSERT_TRUE(cluster.wait_for_execution(1, 10s));
+
+  // Crash-stop the view-0 primary. The next request times out at the
+  // client, is re-broadcast to the backups (PBFT liveness rule), their
+  // relayed-request watchdogs fire, and views advance past replica 0.
+  cluster.chaos()->crash(Endpoint::replica(0));
+  auto res = client->submit_and_wait(make_burst(*client, *wl, rng, 5));
+  ASSERT_TRUE(res.has_value()) << "no progress after primary crash";
+
+  EXPECT_GE(client->retries(), 1u);
+  EXPECT_GT(client->stats().broadcasts, 0u);
+  for (ReplicaId r = 1; r < 4; ++r)
+    EXPECT_GE(cluster.replica(r).view(), 1u) << "replica " << r;
+  EXPECT_GT(cluster.chaos()->counters().crash_drops, 0u);
+
+  // The three live replicas agree on one canonical history.
+  ASSERT_TRUE(wait_converged(cluster, {1, 2, 3}, 20s));
+  auto acc1 = cluster.replica(1).chain().accumulator();
+  EXPECT_EQ(cluster.replica(2).chain().accumulator(), acc1);
+  EXPECT_EQ(cluster.replica(3).chain().accumulator(), acc1);
+  cluster.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Drill 2: straggler behind a healed partition catches up via state transfer.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, PartitionedReplicaCatchesUpAfterHeal) {
+  auto wl = make_workload();
+  LocalCluster cluster(chaos_config(wl, 43));
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(19);
+
+  // Cut replica 3 off from every other endpoint (pairwise partitions).
+  cluster.chaos()->isolate(Endpoint::replica(3));
+
+  for (int round = 0; round < 4; ++round)
+    ASSERT_TRUE(client->submit_and_wait(make_burst(*client, *wl, rng, 5))
+                    .has_value());
+  ASSERT_TRUE(cluster.wait_for_execution(4, 15s, /*skip=*/{3}));
+  EXPECT_EQ(cluster.replica(3).last_executed(), 0u);
+  EXPECT_GT(cluster.chaos()->counters().partition_drops, 0u);
+
+  // Heal. Fresh consensus traffic reveals the committed frontier; the
+  // periodic catch-up poll fetches the missed batches (state transfer).
+  cluster.chaos()->heal();
+  ASSERT_TRUE(
+      client->submit_and_wait(make_burst(*client, *wl, rng, 5)).has_value());
+
+  ASSERT_TRUE(cluster.wait_for_execution(5, 30s));
+  ASSERT_TRUE(wait_converged(cluster, {0, 1, 2, 3}, 20s));
+  auto acc0 = cluster.replica(0).chain().accumulator();
+  for (ReplicaId r = 1; r < 4; ++r) {
+    EXPECT_EQ(cluster.replica(r).chain().accumulator(), acc0)
+        << "replica " << r << " forked";
+    EXPECT_EQ(cluster.replica(r).store().size(),
+              cluster.replica(0).store().size());
+  }
+  cluster.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Drill 3: duplicate/reorder storm — exactly-once execution, no forks.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, DuplicateReorderStormNoDoubleExecution) {
+  auto wl = make_workload();
+  auto cfg = chaos_config(wl, 44);
+  cfg.fault_plan.default_faults = {.drop = 0,
+                                   .duplicate = 0.25,
+                                   .reorder = 0.25,
+                                   .corrupt = 0,
+                                   .delay_ns = 0,
+                                   .jitter_ns = 2'000'000};
+  LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(23);
+
+  constexpr int kRounds = 6, kBurst = 5;
+  for (int round = 0; round < kRounds; ++round)
+    ASSERT_TRUE(client->submit_and_wait(make_burst(*client, *wl, rng, kBurst))
+                    .has_value())
+        << "round " << round;
+
+  ASSERT_TRUE(wait_converged(cluster, {0, 1, 2, 3}, 30s));
+  auto c = cluster.chaos()->counters();
+  EXPECT_GT(c.duplicated, 0u);
+  EXPECT_GT(c.reordered, 0u);
+
+  auto acc0 = cluster.replica(0).chain().accumulator();
+  for (ReplicaId r = 0; r < 4; ++r) {
+    auto stats = cluster.replica(r).stats();
+    // Exactly-once: every distinct transaction executed once; injected
+    // duplicates were suppressed by the reply cache / engine vote sets.
+    EXPECT_EQ(stats.txns_executed, static_cast<std::uint64_t>(kRounds * kBurst))
+        << "replica " << r << " double-executed under the storm";
+    EXPECT_EQ(cluster.replica(r).chain().accumulator(), acc0)
+        << "replica " << r << " forked";
+  }
+  cluster.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Regression: stop() is clean while a partition is active. (Satellite.)
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, ClusterStopCleanUnderActivePartition) {
+  auto wl = make_workload();
+  LocalCluster cluster(chaos_config(wl, 45));
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(29);
+
+  ASSERT_TRUE(
+      client->submit_and_wait(make_burst(*client, *wl, rng, 5)).has_value());
+  cluster.chaos()->isolate(Endpoint::replica(2));
+  ASSERT_TRUE(
+      client->submit_and_wait(make_burst(*client, *wl, rng, 5)).has_value());
+
+  // Stop with the partition still active and catch-up traffic in flight.
+  // Must terminate promptly with no hang and no use-after-free (TSan job).
+  cluster.stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rdb::runtime
+
+// ---------------------------------------------------------------------------
+// Zyzzyva drill: a duplicated/reordered OrderRequest storm at the engine
+// level — speculative histories must neither fork nor double-execute.
+// ---------------------------------------------------------------------------
+
+namespace rdb::protocol {
+namespace {
+
+Message order_msg_of(Actions& actions) {
+  for (auto& a : actions)
+    if (auto* bc = std::get_if<BroadcastAction>(&a)) return bc->msg;
+  ADD_FAILURE() << "no broadcast in actions";
+  return Message{};
+}
+
+TEST(Chaos, ZyzzyvaDuplicateReorderStormEngineDrill) {
+  constexpr std::uint32_t kN = 4;
+  std::vector<std::unique_ptr<ZyzzyvaEngine>> engines;
+  for (ReplicaId r = 0; r < kN; ++r) {
+    ZyzzyvaConfig cfg;
+    cfg.n = kN;
+    cfg.self = r;
+    engines.push_back(std::make_unique<ZyzzyvaEngine>(cfg));
+  }
+
+  // Primary orders six batches; capture the OrderRequests.
+  std::vector<Message> orders;
+  for (SeqNum s = 1; s <= 6; ++s) {
+    Transaction t;
+    t.client = 1;
+    t.req_id = s;
+    t.ops = 1;
+    auto acts = engines[0]->make_order_request(
+        s, {t}, s, crypto::sha256("batch" + std::to_string(s)));
+    orders.push_back(order_msg_of(acts));
+  }
+
+  // Deterministic storm per backup: a seeded shuffle with every message
+  // delivered twice (duplicate) — holes buffer, duplicates are rejected.
+  for (ReplicaId r = 1; r < kN; ++r) {
+    Rng rng(1000 + r);
+    std::vector<Message> storm;
+    for (const auto& m : orders) {
+      storm.push_back(m);
+      storm.push_back(m);  // duplicate copy
+    }
+    for (std::size_t i = storm.size(); i > 1; --i)
+      std::swap(storm[i - 1], storm[rng.below(i)]);
+    std::uint64_t executions = 0;
+    for (const auto& m : storm) {
+      auto acts = engines[r]->on_order_request(m);
+      for (const auto& a : acts)
+        if (std::holds_alternative<ExecuteAction>(a)) ++executions;
+    }
+    EXPECT_EQ(executions, 6u) << "replica " << r
+                              << " double- or under-executed";
+    EXPECT_EQ(engines[r]->last_spec_executed(), 6u);
+    EXPECT_EQ(engines[r]->metrics().spec_executions, 6u);
+  }
+
+  // No forks: every backup's speculative history chain matches the
+  // primary's at every sequence number.
+  for (SeqNum s = 1; s <= 6; ++s) {
+    auto h1 = engines[1]->history_at(s);
+    EXPECT_EQ(engines[2]->history_at(s), h1) << "seq " << s;
+    EXPECT_EQ(engines[3]->history_at(s), h1) << "seq " << s;
+  }
+  EXPECT_EQ(engines[1]->history(), engines[2]->history());
+  EXPECT_EQ(engines[2]->history(), engines[3]->history());
+}
+
+}  // namespace
+}  // namespace rdb::protocol

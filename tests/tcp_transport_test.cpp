@@ -40,6 +40,12 @@ TEST(TcpTransport, DeliversFramesBetweenTwoEndpoints) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->type(), protocol::MsgType::kPrepare);
   EXPECT_EQ(std::get<protocol::Prepare>(parsed->payload).seq, 7u);
+  // The sender thread bumps the counter after the write completes; the
+  // receiver can pop the frame first, so wait rather than assert instantly.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.messages_sent() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_EQ(a.messages_sent(), 1u);
 }
 
@@ -69,14 +75,87 @@ TEST(TcpTransport, UndeclaredPeerIsDroppedNotFatal) {
   a.send(Endpoint::replica(9), prepare_msg(0, 1));
   EXPECT_EQ(a.messages_sent(), 0u);
   EXPECT_EQ(a.send_failures(), 1u);
+  EXPECT_EQ(a.undeclared_drops(), 1u);
 }
 
-TEST(TcpTransport, UnreachablePeerIsDroppedNotFatal) {
+TEST(TcpTransport, UnreachablePeerIsRetriedNotFatal) {
   TcpTransport a(Endpoint::replica(0), 0);
-  // Port 1 on localhost: connection refused.
+  // Port 1 on localhost: connection refused. The sender thread retries with
+  // backoff, so the failure surfaces asynchronously.
   a.add_peer(Endpoint::replica(1), {"127.0.0.1", 1});
   a.send(Endpoint::replica(1), prepare_msg(0, 1));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.send_failures() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(a.send_failures(), 1u);
+  EXPECT_EQ(a.messages_sent(), 0u);
+}
+
+TEST(TcpTransport, OversizeSendRejectedAtSource) {
+  TcpTransportConfig cfg;
+  cfg.max_frame = 64;  // tiny: any real message overflows
+  TcpTransport a(Endpoint::replica(0), 0, cfg);
+  TcpTransport b(Endpoint::replica(1), 0);
+  a.add_peer(Endpoint::replica(1), {"127.0.0.1", b.port()});
+  auto inbox = std::make_shared<Transport::Inbox>();
+  b.register_endpoint(Endpoint::replica(1), inbox);
+
+  auto msg = prepare_msg(0, 1);
+  msg.signature.assign(256, 0xAB);  // inflate past max_frame
+  a.send(Endpoint::replica(1), msg);
+  EXPECT_EQ(a.oversize_rejected(), 1u);
   EXPECT_EQ(a.send_failures(), 1u);
+  EXPECT_EQ(a.messages_sent(), 0u);
+  // Nothing must reach the peer.
+  EXPECT_FALSE(inbox->pop_for(std::chrono::milliseconds(100)).has_value());
+}
+
+TEST(TcpTransport, ReconnectsAndRedeliversAfterPeerRestart) {
+  TcpTransport a(Endpoint::replica(0), 0);
+  auto b = std::make_unique<TcpTransport>(Endpoint::replica(1), 0);
+  std::uint16_t b_port = b->port();
+  a.add_peer(Endpoint::replica(1), {"127.0.0.1", b_port});
+
+  auto inbox1 = std::make_shared<Transport::Inbox>();
+  b->register_endpoint(Endpoint::replica(1), inbox1);
+  a.send(Endpoint::replica(1), prepare_msg(0, 1));
+  ASSERT_TRUE(inbox1->pop_for(std::chrono::seconds(5)).has_value());
+
+  // Kill the peer. Messages sent while it is down must be queued, not lost.
+  b->stop();
+  b.reset();
+  a.send(Endpoint::replica(1), prepare_msg(0, 2));
+  a.send(Endpoint::replica(1), prepare_msg(0, 3));
+
+  // Give the sender a beat to observe the broken connection and start its
+  // backoff loop, then restart the peer on the SAME port.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::unique_ptr<TcpTransport> b2;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    try {
+      b2 = std::make_unique<TcpTransport>(Endpoint::replica(1), b_port);
+      break;
+    } catch (const std::runtime_error&) {
+      if (std::chrono::steady_clock::now() > deadline) FAIL() << "rebind";
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  auto inbox2 = std::make_shared<Transport::Inbox>();
+  b2->register_endpoint(Endpoint::replica(1), inbox2);
+
+  // Both queued frames arrive, in order, over the healed connection.
+  for (SeqNum want : {SeqNum{2}, SeqNum{3}}) {
+    auto wire = inbox2->pop_for(std::chrono::seconds(10));
+    ASSERT_TRUE(wire.has_value()) << "seq " << want;
+    auto parsed = protocol::Message::parse(BytesView(*wire));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(std::get<protocol::Prepare>(parsed->payload).seq, want);
+  }
+  EXPECT_GE(a.reconnects(), 1u);
+  b2->stop();
+  a.stop();
 }
 
 TEST(TcpTransport, RegisterForeignEndpointRejected) {

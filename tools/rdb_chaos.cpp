@@ -1,0 +1,300 @@
+// rdb_chaos — cluster-wide recovery drills under deterministic fault
+// injection (the operational counterpart of tests/chaos_test.cpp).
+//
+//   rdb_chaos [--scenario all|primary-crash|partition-heal|dup-reorder|
+//              zyzzyva-storm] [--seed N] [--replicas N] [--batch-size N]
+//             [--rounds N]
+//
+// Each scenario spins up an in-process PBFT cluster wired through the
+// FaultyTransport chaos layer (or, for zyzzyva-storm, drives the Zyzzyva
+// engines directly), injects the scripted fault, and checks the recovery
+// invariant: client progress, >= 1 view change after a primary crash,
+// identical canonical chain digests across live replicas, exactly-once
+// execution under duplicate/reorder storms. Exit code 0 iff every selected
+// scenario holds. Seeded: the same --seed reproduces the same fault trace.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "protocol/zyzzyva.h"
+#include "runtime/cluster.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace rdb;
+using runtime::LocalCluster;
+
+struct Options {
+  std::string scenario = "all";
+  std::uint64_t seed = 42;
+  std::uint32_t replicas = 4;
+  std::uint32_t batch_size = 5;
+  int rounds = 4;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rdb_chaos [--scenario all|primary-crash|partition-heal"
+               "|dup-reorder|zyzzyva-storm]\n"
+               "                 [--seed N] [--replicas N] [--batch-size N] "
+               "[--rounds N]\n");
+  return 2;
+}
+
+struct Drill {
+  std::shared_ptr<workload::YcsbWorkload> wl;
+  std::unique_ptr<LocalCluster> cluster;
+  std::unique_ptr<runtime::Client> client;
+  Rng rng;
+
+  explicit Drill(const Options& opt, runtime::LinkFaults faults = {})
+      : wl(std::make_shared<workload::YcsbWorkload>(
+            workload::YcsbConfig{.record_count = 500, .ops_per_txn = 2})),
+        rng(opt.seed ^ 0xD811) {
+    runtime::ClusterConfig cfg;
+    cfg.replicas = opt.replicas;
+    cfg.batch_size = opt.batch_size;
+    cfg.enable_chaos = true;
+    cfg.fault_plan.seed = opt.seed;
+    cfg.fault_plan.default_faults = faults;
+    cfg.catchup_poll_ns = 100'000'000;
+    cfg.request_timeout_ns = 600'000'000;
+    cfg.client_timeout = 1500ms;
+    cfg.client_max_retries = 8;
+    cfg.client_broadcast_after = 1;
+    auto w = wl;
+    cfg.execute = [w](const protocol::Transaction& t, storage::KvStore& s) {
+      return w->execute(t, s);
+    };
+    cluster = std::make_unique<LocalCluster>(cfg);
+    cluster->start();
+    client = cluster->make_client(1);
+  }
+
+  bool submit_burst(int count) {
+    std::vector<protocol::Transaction> burst;
+    for (int i = 0; i < count; ++i) {
+      auto t = wl->make_transaction(rng, 1, 0);
+      burst.push_back(client->make_transaction(t.payload, t.ops));
+    }
+    return client->submit_and_wait(std::move(burst)).has_value();
+  }
+
+  bool converged(const std::vector<ReplicaId>& ids,
+                 std::chrono::seconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    int stable = 0;
+    SeqNum last = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      SeqNum lo = ~SeqNum{0}, hi = 0;
+      for (ReplicaId r : ids) {
+        SeqNum e = cluster->replica(r).last_executed();
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      if (lo == hi && lo > 0 && lo == last) {
+        if (++stable >= 3) return true;
+      } else {
+        stable = 0;
+        last = lo == hi ? lo : 0;
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+    return false;
+  }
+
+  bool chains_match(const std::vector<ReplicaId>& ids) {
+    auto acc = cluster->replica(ids[0]).chain().accumulator();
+    for (ReplicaId r : ids)
+      if (!(cluster->replica(r).chain().accumulator() == acc)) return false;
+    return true;
+  }
+};
+
+bool check(bool ok, const char* what) {
+  std::printf("  %-52s %s\n", what, ok ? "ok" : "FAIL");
+  return ok;
+}
+
+bool drill_primary_crash(const Options& opt) {
+  std::printf("[primary-crash] crash view-0 primary mid-load (seed=%llu)\n",
+              static_cast<unsigned long long>(opt.seed));
+  Drill d(opt);
+  bool ok = check(d.submit_burst(static_cast<int>(opt.batch_size)),
+                  "warm-up burst commits");
+  d.cluster->chaos()->crash(Endpoint::replica(0));
+  ok &= check(d.submit_burst(static_cast<int>(opt.batch_size)),
+              "burst commits after primary crash");
+  bool viewed = true;
+  for (ReplicaId r = 1; r < opt.replicas; ++r)
+    viewed &= d.cluster->replica(r).view() >= 1;
+  ok &= check(viewed, ">= 1 view change on every live replica");
+  ok &= check(d.client->retries() >= 1, "client retried + broadcast");
+  std::vector<ReplicaId> live;
+  for (ReplicaId r = 1; r < opt.replicas; ++r) live.push_back(r);
+  ok &= check(d.converged(live, 30s), "live replicas quiesce");
+  ok &= check(d.chains_match(live), "identical canonical chain digest");
+  auto c = d.cluster->chaos()->counters();
+  std::printf("  injected: crash_drops=%llu\n",
+              static_cast<unsigned long long>(c.crash_drops));
+  d.cluster->stop();
+  return ok;
+}
+
+bool drill_partition_heal(const Options& opt) {
+  std::printf("[partition-heal] straggler catches up after heal "
+              "(seed=%llu)\n",
+              static_cast<unsigned long long>(opt.seed));
+  Drill d(opt);
+  ReplicaId straggler = opt.replicas - 1;
+  d.cluster->chaos()->isolate(Endpoint::replica(straggler));
+  bool ok = true;
+  for (int i = 0; i < opt.rounds; ++i)
+    ok &= d.submit_burst(static_cast<int>(opt.batch_size));
+  ok = check(ok, "bursts commit without the straggler");
+  ok &= check(d.cluster->replica(straggler).last_executed() == 0,
+              "straggler saw nothing while partitioned");
+  d.cluster->chaos()->heal();
+  ok &= check(d.submit_burst(static_cast<int>(opt.batch_size)),
+              "burst commits after heal");
+  std::vector<ReplicaId> all;
+  for (ReplicaId r = 0; r < opt.replicas; ++r) all.push_back(r);
+  ok &= check(d.converged(all, 30s), "straggler catches up (state transfer)");
+  ok &= check(d.chains_match(all), "identical canonical chain digest");
+  auto c = d.cluster->chaos()->counters();
+  std::printf("  injected: partition_drops=%llu\n",
+              static_cast<unsigned long long>(c.partition_drops));
+  d.cluster->stop();
+  return ok;
+}
+
+bool drill_dup_reorder(const Options& opt) {
+  std::printf("[dup-reorder] duplicate/reorder storm (seed=%llu)\n",
+              static_cast<unsigned long long>(opt.seed));
+  runtime::LinkFaults storm;
+  storm.duplicate = 0.25;
+  storm.reorder = 0.25;
+  storm.jitter_ns = 2'000'000;
+  Drill d(opt, storm);
+  bool ok = true;
+  for (int i = 0; i < opt.rounds; ++i)
+    ok &= d.submit_burst(static_cast<int>(opt.batch_size));
+  ok = check(ok, "all bursts commit through the storm");
+  std::vector<ReplicaId> all;
+  for (ReplicaId r = 0; r < opt.replicas; ++r) all.push_back(r);
+  ok &= check(d.converged(all, 30s), "cluster quiesces");
+  std::uint64_t expected =
+      static_cast<std::uint64_t>(opt.rounds) * opt.batch_size;
+  bool exact = true;
+  for (ReplicaId r = 0; r < opt.replicas; ++r)
+    exact &= d.cluster->replica(r).stats().txns_executed == expected;
+  ok &= check(exact, "exactly-once execution (zero double-executions)");
+  ok &= check(d.chains_match(all), "identical canonical chain digest");
+  auto c = d.cluster->chaos()->counters();
+  std::printf("  injected: duplicated=%llu reordered=%llu\n",
+              static_cast<unsigned long long>(c.duplicated),
+              static_cast<unsigned long long>(c.reordered));
+  d.cluster->stop();
+  return ok;
+}
+
+bool drill_zyzzyva_storm(const Options& opt) {
+  std::printf("[zyzzyva-storm] OrderRequest dup/reorder storm (seed=%llu)\n",
+              static_cast<unsigned long long>(opt.seed));
+  constexpr std::uint32_t kN = 4;
+  std::vector<std::unique_ptr<protocol::ZyzzyvaEngine>> engines;
+  for (ReplicaId r = 0; r < kN; ++r) {
+    protocol::ZyzzyvaConfig cfg;
+    cfg.n = kN;
+    cfg.self = r;
+    engines.push_back(std::make_unique<protocol::ZyzzyvaEngine>(cfg));
+  }
+  const SeqNum kBatches = 8;
+  std::vector<protocol::Message> orders;
+  for (SeqNum s = 1; s <= kBatches; ++s) {
+    protocol::Transaction t;
+    t.client = 1;
+    t.req_id = s;
+    t.ops = 1;
+    auto acts = engines[0]->make_order_request(
+        s, {t}, s, crypto::sha256("batch" + std::to_string(s)));
+    for (auto& a : acts)
+      if (auto* bc = std::get_if<protocol::BroadcastAction>(&a))
+        orders.push_back(bc->msg);
+  }
+  bool ok = check(orders.size() == kBatches, "primary ordered every batch");
+  for (ReplicaId r = 1; r < kN; ++r) {
+    Rng rng(opt.seed + r);
+    std::vector<protocol::Message> storm;
+    for (const auto& m : orders) {
+      storm.push_back(m);
+      storm.push_back(m);
+    }
+    for (std::size_t i = storm.size(); i > 1; --i)
+      std::swap(storm[i - 1], storm[rng.below(i)]);
+    for (const auto& m : storm) (void)engines[r]->on_order_request(m);
+    ok &= engines[r]->last_spec_executed() == kBatches;
+    ok &= engines[r]->metrics().spec_executions == kBatches;
+  }
+  ok = check(ok, "exactly-once speculative execution per replica");
+  bool histories = true;
+  for (SeqNum s = 1; s <= kBatches; ++s)
+    for (ReplicaId r = 2; r < kN; ++r)
+      histories &= engines[r]->history_at(s) == engines[1]->history_at(s);
+  ok &= check(histories, "hash-chained histories identical (no fork)");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--scenario")) {
+      opt.scenario = need("--scenario");
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
+    } else if (!std::strcmp(argv[i], "--replicas")) {
+      opt.replicas = static_cast<std::uint32_t>(std::atoi(need("--replicas")));
+    } else if (!std::strcmp(argv[i], "--batch-size")) {
+      opt.batch_size =
+          static_cast<std::uint32_t>(std::atoi(need("--batch-size")));
+    } else if (!std::strcmp(argv[i], "--rounds")) {
+      opt.rounds = std::atoi(need("--rounds"));
+    } else {
+      return usage();
+    }
+  }
+  if (opt.replicas < 4) {
+    std::fprintf(stderr, "need >= 4 replicas for f >= 1\n");
+    return 2;
+  }
+
+  bool ok = true;
+  bool any = false;
+  auto run = [&](const char* name, bool (*fn)(const Options&)) {
+    if (opt.scenario != "all" && opt.scenario != name) return;
+    any = true;
+    ok &= fn(opt);
+  };
+  run("primary-crash", drill_primary_crash);
+  run("partition-heal", drill_partition_heal);
+  run("dup-reorder", drill_dup_reorder);
+  run("zyzzyva-storm", drill_zyzzyva_storm);
+  if (!any) return usage();
+
+  std::printf("%s\n", ok ? "ALL DRILLS PASSED" : "DRILL FAILURES");
+  return ok ? 0 : 1;
+}
