@@ -1,0 +1,56 @@
+# Compile-time proof that the -Wthread-safety gate has teeth.
+#
+# Under clang, two probes are compiled against src/common/sync.h, both with
+# -Wthread-safety -Werror=thread-safety:
+#   tests/static/tsa_should_pass.cpp  — correct locking; MUST compile.
+#   tests/static/tsa_should_fail.cpp  — touches a guarded field without the
+#                                       lock; MUST be rejected.
+# A wrong outcome in either direction is a FATAL_ERROR: it means the
+# annotations (or the compiler flags) silently stopped protecting anything.
+#
+# Under GCC/MSVC the macros are no-ops, so both probes would compile and the
+# check proves nothing — it is skipped with a status message.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(STATUS
+          "Thread-safety probes skipped (compiler is ${CMAKE_CXX_COMPILER_ID};"
+          " the TSA gate only exists under clang)")
+  return()
+endif()
+
+set(_rdb_saved_flags "${CMAKE_CXX_FLAGS}")
+set(CMAKE_CXX_FLAGS
+    "${CMAKE_CXX_FLAGS} -Wthread-safety -Werror=thread-safety")
+
+try_compile(RDB_TSA_PASS_OK
+            ${CMAKE_BINARY_DIR}/tsa_probe_pass
+            ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/tsa_should_pass.cpp
+            COMPILE_DEFINITIONS "-I${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON
+            OUTPUT_VARIABLE _rdb_tsa_pass_log)
+
+try_compile(RDB_TSA_FAIL_COMPILED
+            ${CMAKE_BINARY_DIR}/tsa_probe_fail
+            ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/tsa_should_fail.cpp
+            COMPILE_DEFINITIONS "-I${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON
+            OUTPUT_VARIABLE _rdb_tsa_fail_log)
+
+set(CMAKE_CXX_FLAGS "${_rdb_saved_flags}")
+
+if(NOT RDB_TSA_PASS_OK)
+  message(FATAL_ERROR
+          "tsa_should_pass.cpp failed to compile — the thread-safety "
+          "annotations reject CORRECT code:\n${_rdb_tsa_pass_log}")
+endif()
+if(RDB_TSA_FAIL_COMPILED)
+  message(FATAL_ERROR
+          "tsa_should_fail.cpp COMPILED — -Wthread-safety is not rejecting "
+          "unguarded access to RDB_GUARDED_BY fields; the static gate is "
+          "dead. Check the compiler flags and src/common/sync.h macros.")
+endif()
+message(STATUS
+        "Thread-safety probes OK: guarded access compiles, unguarded access "
+        "is rejected")

@@ -8,9 +8,9 @@ Logger& Logger::instance() {
 }
 
 void Logger::log(LogLevel lvl, const std::string& msg) {
-  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(lvl)],
                msg.c_str());
 }

@@ -3,9 +3,11 @@
 // hot path.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace rdb {
 
@@ -15,15 +17,18 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel lvl) { level_ = lvl; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel lvl) {
+    level_.store(lvl, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
-  void log(LogLevel lvl, const std::string& msg);
+  void log(LogLevel lvl, const std::string& msg) RDB_EXCLUDES(mu_);
 
  private:
   Logger() = default;
-  LogLevel level_{LogLevel::kWarn};
-  std::mutex mu_;
+  // Atomic: tests flip the level while worker threads log concurrently.
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mu_{LockRank::kLogging, "Logger"};
 };
 
 void log_debug(const std::string& msg);

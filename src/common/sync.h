@@ -1,0 +1,487 @@
+// Annotated synchronization primitives: the project's single source of
+// mutual exclusion.
+//
+// Three layers live here:
+//
+//  1. Portable Clang Thread Safety Analysis macros (RDB_CAPABILITY,
+//     RDB_GUARDED_BY, RDB_REQUIRES, ...). Under clang they expand to the
+//     attributes that make `-Wthread-safety` prove at COMPILE TIME that
+//     every access to a guarded field happens under its mutex; under GCC /
+//     MSVC they expand to nothing. See docs/static_analysis.md.
+//
+//  2. rdb::Mutex / rdb::SharedMutex / rdb::CondVar and the RAII guards
+//     rdb::MutexLock / rdb::ReaderLock. Thin wrappers over the std
+//     primitives that carry the annotations. No naked std::mutex is
+//     allowed anywhere else in src/ (scripts/check_static.sh greps).
+//
+//  3. A debug-build lock-rank deadlock detector. Every Mutex carries a
+//     LockRank (a strict subsystem ordering, highest acquired first); a
+//     thread-local held-lock stack verifies on each acquisition that ranks
+//     strictly DECREASE. A violation — the static shape of every lock-order
+//     deadlock — aborts with the full held stack. Compiled out under NDEBUG
+//     (force on with -DRDB_LOCK_RANK_FORCE for the death test).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <stop_token>
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis attribute macros (no-ops outside clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RDB_TSA_HAS(x) __has_attribute(x)
+#else
+#define RDB_TSA_HAS(x) 0
+#endif
+
+#if RDB_TSA_HAS(capability)
+#define RDB_TSA(x) __attribute__((x))
+#else
+#define RDB_TSA(x)  // no-op on GCC / MSVC
+#endif
+
+/// Marks a class as a capability (lockable) type.
+#define RDB_CAPABILITY(name) RDB_TSA(capability(name))
+/// Marks a RAII class whose lifetime acquires/releases a capability.
+#define RDB_SCOPED_CAPABILITY RDB_TSA(scoped_lockable)
+/// Field may only be accessed while holding the given capability.
+#define RDB_GUARDED_BY(x) RDB_TSA(guarded_by(x))
+/// Pointer field whose POINTEE may only be accessed holding the capability.
+#define RDB_PT_GUARDED_BY(x) RDB_TSA(pt_guarded_by(x))
+/// Function requires the capability to be held (exclusively) on entry.
+#define RDB_REQUIRES(...) RDB_TSA(requires_capability(__VA_ARGS__))
+/// Function requires the capability held at least shared on entry.
+#define RDB_REQUIRES_SHARED(...) RDB_TSA(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (exclusively); it must not be held.
+#define RDB_ACQUIRE(...) RDB_TSA(acquire_capability(__VA_ARGS__))
+/// Function acquires the capability in shared mode.
+#define RDB_ACQUIRE_SHARED(...) RDB_TSA(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (exclusive or, on scoped types, generic).
+#define RDB_RELEASE(...) RDB_TSA(release_capability(__VA_ARGS__))
+/// Function releases a shared hold of the capability.
+#define RDB_RELEASE_SHARED(...) RDB_TSA(release_shared_capability(__VA_ARGS__))
+/// Function attempts the capability; first arg is the success return value.
+#define RDB_TRY_ACQUIRE(...) RDB_TSA(try_acquire_capability(__VA_ARGS__))
+/// Function must be called WITHOUT the capability held (self-deadlock guard).
+#define RDB_EXCLUDES(...) RDB_TSA(locks_excluded(__VA_ARGS__))
+/// Documents/returns-by-reference the capability protecting a value.
+#define RDB_RETURN_CAPABILITY(x) RDB_TSA(lock_returned(x))
+/// Escape hatch: disables analysis of the annotated function's BODY only.
+/// Callers are still checked against the function's contract. Use rarely,
+/// with a comment saying why (see docs/static_analysis.md).
+#define RDB_NO_THREAD_SAFETY_ANALYSIS RDB_TSA(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Lock-rank deadlock detector (debug builds; zero code in release).
+// ---------------------------------------------------------------------------
+
+#if defined(RDB_LOCK_RANK_FORCE)
+#define RDB_LOCK_RANK_CHECKS 1
+#elif !defined(NDEBUG)
+#define RDB_LOCK_RANK_CHECKS 1
+#else
+#define RDB_LOCK_RANK_CHECKS 0
+#endif
+
+namespace rdb {
+
+/// The project-wide lock order, one rank per subsystem (see the table in
+/// docs/static_analysis.md). A thread may only acquire a mutex whose rank is
+/// STRICTLY LOWER than every mutex it already holds — i.e. locks are taken
+/// from the top of the stack (consensus engine) down towards the leaves
+/// (logging). Any two mutexes acquired nested MUST have distinct ranks.
+enum class LockRank : std::uint16_t {
+  kUnranked = 0,  ///< Opted out of rank checking (tests, ad-hoc tooling).
+
+  kLogging = 100,        ///< Logger::mu_ — leaf; safe under anything.
+  kQueue = 200,          ///< BlockingQueue internals (pipeline edges).
+  kCryptoModule = 280,   ///< ed25519.cpp module-level expanded-key cache.
+  kCryptoRegistry = 290, ///< KeyRegistry expanded-key cache.
+  kCryptoProvider = 300, ///< CryptoProvider per-peer CMAC context cache.
+  kStorageStats = 390,   ///< MemStore aggregate StoreStats.
+  kStorage = 400,        ///< PageDb page cache + WAL (single big lock).
+  kStorageStripe = 410,  ///< MemStore per-stripe map locks.
+  kTransportPeer = 540,  ///< TcpTransport per-peer outbound queue.
+  kTransport = 560,      ///< TcpTransport / InprocTransport registry lock.
+  kChaosDelay = 570,     ///< FaultyTransport delayed-delivery queue.
+  kChaos = 580,          ///< FaultyTransport fault plan / link state.
+  kClient = 600,         ///< runtime::Client pending-request state.
+  kReplicaStats = 640,   ///< Replica stats_mu_.
+  kExecuteSlot = 660,    ///< Replica QC execute slots (§4.6).
+  kReplicaTimer = 680,   ///< Replica timer wheel.
+  kLedgerChain = 700,    ///< Replica chain_mu_ (Blockchain append/prune).
+  kReplicaEngine = 720,  ///< Replica engine_mu_ — outermost; PBFT state.
+};
+
+/// True when the lock-rank detector is compiled into this translation unit.
+constexpr bool lock_rank_checks_enabled() { return RDB_LOCK_RANK_CHECKS != 0; }
+
+namespace sync_internal {
+
+#if RDB_LOCK_RANK_CHECKS
+
+/// Per-thread stack of held (possibly try-acquired) ranked locks.
+struct HeldStack {
+  static constexpr int kMax = 64;
+  struct Entry {
+    const void* mu;
+    std::uint16_t rank;
+    bool shared;
+    const char* name;
+  };
+  Entry entries[kMax];
+  int depth{0};
+};
+
+inline thread_local HeldStack tls_held_stack;
+
+[[noreturn]] inline void rank_abort(const HeldStack& held, std::uint16_t rank,
+                                    const char* name, const char* why) {
+  std::fprintf(stderr,
+               "[rdb::sync] LOCK RANK VIOLATION: %s while acquiring \"%s\" "
+               "(rank %u)\nheld locks (outermost first):\n",
+               why, name, static_cast<unsigned>(rank));
+  for (int i = 0; i < held.depth; ++i) {
+    const auto& e = held.entries[i];
+    std::fprintf(stderr, "  #%d \"%s\" (rank %u%s) @ %p\n", i, e.name,
+                 static_cast<unsigned>(e.rank), e.shared ? ", shared" : "",
+                 e.mu);
+  }
+  std::fprintf(stderr,
+               "rule: ranks must STRICTLY DECREASE along any acquisition "
+               "chain (see docs/static_analysis.md)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Validates a blocking acquisition BEFORE it blocks, so a would-be
+/// deadlock reports the cycle instead of hanging.
+inline void check_acquire(const void* mu, LockRank rank, const char* name) {
+  const auto r = static_cast<std::uint16_t>(rank);
+  HeldStack& held = tls_held_stack;
+  for (int i = 0; i < held.depth; ++i) {
+    const auto& e = held.entries[i];
+    if (e.mu == mu)
+      rank_abort(held, r, name, "recursive acquisition of the same mutex");
+    if (e.rank == static_cast<std::uint16_t>(LockRank::kUnranked)) continue;
+    if (rank == LockRank::kUnranked) continue;
+    if (e.rank <= r)
+      rank_abort(held, r, name, "rank inversion (would form a lock cycle)");
+  }
+}
+
+/// Records a successful acquisition (blocking or try_lock).
+inline void note_acquired(const void* mu, LockRank rank, const char* name,
+                          bool shared) {
+  HeldStack& held = tls_held_stack;
+  if (held.depth >= HeldStack::kMax)
+    rank_abort(held, static_cast<std::uint16_t>(rank), name,
+               "held-lock stack overflow (>64 locks on one thread)");
+  held.entries[held.depth++] = {mu, static_cast<std::uint16_t>(rank), shared,
+                                name};
+}
+
+/// Removes a released lock (out-of-order release permitted: search from top).
+inline void note_released(const void* mu) {
+  HeldStack& held = tls_held_stack;
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.entries[i].mu != mu) continue;
+    for (int j = i; j + 1 < held.depth; ++j)
+      held.entries[j] = held.entries[j + 1];
+    --held.depth;
+    return;
+  }
+  // Unlocking a mutex this thread never noted: only possible by misusing the
+  // raw primitives; ignore rather than abort (unlock paths run in dtors).
+}
+
+/// Test hook: how many ranked locks the calling thread currently holds.
+inline int held_lock_count() { return tls_held_stack.depth; }
+
+#else  // !RDB_LOCK_RANK_CHECKS
+
+inline int held_lock_count() { return 0; }
+
+#endif  // RDB_LOCK_RANK_CHECKS
+
+}  // namespace sync_internal
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// std::mutex with Thread Safety Analysis annotations and (debug) lock-rank
+/// participation. The rank/name members exist in every build so the type's
+/// layout never depends on NDEBUG; the checking CODE compiles out in release
+/// (lock() collapses to std::mutex::lock()).
+class RDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() noexcept : Mutex(LockRank::kUnranked, "unranked") {}
+  explicit Mutex(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RDB_ACQUIRE() {
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::check_acquire(this, rank_, name_);
+#endif
+    mu_.lock();
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_acquired(this, rank_, name_, /*shared=*/false);
+#endif
+  }
+
+  bool try_lock() RDB_TRY_ACQUIRE(true) {
+    // No rank check: a non-blocking attempt cannot complete a deadlock
+    // cycle. On success the lock still joins the held stack, so later
+    // BLOCKING acquisitions are checked against it.
+    if (!mu_.try_lock()) return false;
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_acquired(this, rank_, name_, /*shared=*/false);
+#endif
+    return true;
+  }
+
+  void unlock() RDB_RELEASE() {
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_released(this);
+#endif
+    mu_.unlock();
+  }
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+// ---------------------------------------------------------------------------
+// SharedMutex
+// ---------------------------------------------------------------------------
+
+/// std::shared_mutex wrapper; shared (reader) holds participate in rank
+/// checking exactly like exclusive holds (reader-vs-writer inversions
+/// deadlock just as well).
+class RDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() noexcept : SharedMutex(LockRank::kUnranked, "unranked") {}
+  explicit SharedMutex(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() RDB_ACQUIRE() {
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::check_acquire(this, rank_, name_);
+#endif
+    mu_.lock();
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_acquired(this, rank_, name_, /*shared=*/false);
+#endif
+  }
+
+  void unlock() RDB_RELEASE() {
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_released(this);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() RDB_ACQUIRE_SHARED() {
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::check_acquire(this, rank_, name_);
+#endif
+    mu_.lock_shared();
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_acquired(this, rank_, name_, /*shared=*/true);
+#endif
+  }
+
+  void unlock_shared() RDB_RELEASE_SHARED() {
+#if RDB_LOCK_RANK_CHECKS
+    sync_internal::note_released(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+// ---------------------------------------------------------------------------
+// RAII guards
+// ---------------------------------------------------------------------------
+
+/// Scoped exclusive lock with explicit unlock()/lock() for the handful of
+/// drop-the-lock-around-a-slow-call patterns (timer dispatch, socket I/O).
+///
+/// The method bodies are RDB_NO_THREAD_SAFETY_ANALYSIS: the analysis treats
+/// a scoped capability's state symbolically through the ACQUIRE/RELEASE
+/// contracts below, and analyzing the trivial bodies (which consult the
+/// locked_ flag the analysis cannot model) would only produce noise.
+/// CALLERS are fully checked against the contracts.
+class RDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RDB_ACQUIRE(mu) : mu_(&mu), locked_(true) {
+    mu_->lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drops the lock (e.g. around blocking I/O).
+  void unlock() RDB_RELEASE() RDB_NO_THREAD_SAFETY_ANALYSIS {
+    mu_->unlock();
+    locked_ = false;
+  }
+
+  /// Reacquires after unlock().
+  void lock() RDB_ACQUIRE() RDB_NO_THREAD_SAFETY_ANALYSIS {
+    mu_->lock();
+    locked_ = true;
+  }
+
+  bool owns_lock() const noexcept { return locked_; }
+
+  ~MutexLock() RDB_RELEASE() RDB_NO_THREAD_SAFETY_ANALYSIS {
+    if (locked_) mu_->unlock();
+  }
+
+ private:
+  Mutex* mu_;
+  bool locked_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class RDB_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) RDB_ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->lock_shared();
+  }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+  ~ReaderLock() RDB_RELEASE() RDB_NO_THREAD_SAFETY_ANALYSIS {
+    mu_->unlock_shared();
+  }
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class RDB_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) RDB_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  ~WriterLock() RDB_RELEASE() RDB_NO_THREAD_SAFETY_ANALYSIS {
+    mu_->unlock();
+  }
+
+ private:
+  SharedMutex* mu_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+/// Condition variable bound to rdb::Mutex.
+///
+/// Deliberately exposes NO predicate overloads: clang's analysis treats a
+/// lambda's body as a separate unannotated function, so a predicate that
+/// touches RDB_GUARDED_BY fields would defeat -Wthread-safety. Callers
+/// write explicit `while (!cond) cv.wait(mu);` loops instead — every wait
+/// may wake spuriously, and every stop_token overload returns on
+/// notify/timeout/stop with the condition unchecked; re-test it in the loop.
+///
+/// Implementation: std::condition_variable_any waiting on the Mutex itself
+/// (it is BasicLockable), so the unlock/relock inside a wait flows through
+/// the lock-rank bookkeeping, and the libstdc++ stop_token machinery —
+/// which re-checks the stop state under the cv's internal mutex to close
+/// the missed-wakeup window — is reused rather than re-derived.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified (or spuriously woken).
+  void wait(Mutex& mu) RDB_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until notified or `st` requests stop. Returns false iff stop
+  /// was requested (the caller's loop should exit).
+  bool wait(Mutex& mu, std::stop_token st) RDB_REQUIRES(mu) {
+    int wakes = 0;
+    // The one-shot predicate converts the std "wait until pred" loop into
+    // "wait for one notification": false before the first sleep, true after
+    // any wakeup. It touches no guarded state, keeping the analysis clean.
+    cv_.wait(mu, st, [&wakes] { return wakes++ > 0; });
+    return !st.stop_requested();
+  }
+
+  template <typename Clock, typename Duration>
+  void wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline)
+      RDB_REQUIRES(mu) {
+    cv_.wait_until(mu, deadline);
+  }
+
+  /// Wakes on notify, deadline, or stop. Returns false iff stop requested.
+  template <typename Clock, typename Duration>
+  bool wait_until(Mutex& mu, std::stop_token st,
+                  const std::chrono::time_point<Clock, Duration>& deadline)
+      RDB_REQUIRES(mu) {
+    int wakes = 0;
+    cv_.wait_until(mu, st, deadline, [&wakes] { return wakes++ > 0; });
+    return !st.stop_requested();
+  }
+
+  template <typename Rep, typename Period>
+  void wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      RDB_REQUIRES(mu) {
+    cv_.wait_for(mu, timeout);
+  }
+
+  /// Wakes on notify, timeout, or stop. Returns false iff stop requested.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, std::stop_token st,
+                const std::chrono::duration<Rep, Period>& timeout)
+      RDB_REQUIRES(mu) {
+    int wakes = 0;
+    cv_.wait_for(mu, st, timeout, [&wakes] { return wakes++ > 0; });
+    return !st.stop_requested();
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rdb

@@ -1,9 +1,9 @@
 #include "crypto/ed25519.h"
 
 #include <cstring>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "crypto/sha512.h"
 
 namespace rdb::crypto {
@@ -899,19 +899,19 @@ struct ModuleKeyCache {
     Ed25519PublicKey key{};
     Ed25519ExpandedKeyPtr expanded;
   };
-  std::mutex mu;
-  Bucket buckets[kBuckets];
+  Mutex mu{LockRank::kCryptoModule, "ed25519.module_key_cache"};
+  Bucket buckets[kBuckets] RDB_GUARDED_BY(mu);
 
   Ed25519ExpandedKeyPtr lookup_or_expand(const Ed25519PublicKey& pk) {
     const std::size_t idx =
         static_cast<std::size_t>(load8(pk.data())) % kBuckets;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       Bucket& b = buckets[idx];
       if (b.filled && b.key == pk) return b.expanded;
     }
     Ed25519ExpandedKeyPtr expanded = ed25519_expand_key(pk);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     Bucket& b = buckets[idx];
     b.filled = true;
     b.key = pk;

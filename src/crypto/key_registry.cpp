@@ -45,31 +45,35 @@ Ed25519PublicKey KeyRegistry::ed25519_public(Endpoint who) const {
 Ed25519ExpandedKeyPtr KeyRegistry::ed25519_expanded(Endpoint who) const {
   std::uint64_t code = endpoint_code(who);
   {
-    std::lock_guard<std::mutex> lock(ed_mutex_);
+    // Read-mostly fast path: a shared hold suffices for the lookup, so
+    // concurrent verifiers never serialize on a cache hit.
+    ReaderLock lock(ed_mutex_);
     auto it = ed_cache_.find(code);
     if (it != ed_cache_.end()) {
-      ++ed_stats_.hits;
+      ed_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
-    ++ed_stats_.misses;
   }
+  ed_misses_.fetch_add(1, std::memory_order_relaxed);
   // Derive + expand outside the lock: expansion does a field inversion and a
   // square root, and concurrent first lookups of the same peer are harmless
   // (last writer wins; both expansions are identical).
   Ed25519ExpandedKeyPtr expanded = ed25519_expand_key(ed25519_public(who));
-  std::lock_guard<std::mutex> lock(ed_mutex_);
+  WriterLock lock(ed_mutex_);
   ed_cache_[code] = expanded;
   return expanded;
 }
 
 void KeyRegistry::ed25519_invalidate(Endpoint who) const {
-  std::lock_guard<std::mutex> lock(ed_mutex_);
+  WriterLock lock(ed_mutex_);
   ed_cache_.erase(endpoint_code(who));
 }
 
 KeyRegistry::CacheStats KeyRegistry::ed25519_cache_stats() const {
-  std::lock_guard<std::mutex> lock(ed_mutex_);
-  return ed_stats_;
+  CacheStats s;
+  s.hits = ed_hits_.load(std::memory_order_relaxed);
+  s.misses = ed_misses_.load(std::memory_order_relaxed);
+  return s;
 }
 
 AesKey KeyRegistry::pairwise_key(Endpoint a, Endpoint b) const {

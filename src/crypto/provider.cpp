@@ -46,7 +46,7 @@ const CmacContext& CryptoProvider::cmac_for(Endpoint peer) const {
   // Multiple output threads sign concurrently; the lazy insert must be
   // serialized. The context itself is immutable after construction, so the
   // returned reference is safe to use outside the lock.
-  std::lock_guard<std::mutex> lock(cmac_mu_);
+  MutexLock lock(cmac_mu_);
   auto it = cmac_cache_.find(code);
   if (it == cmac_cache_.end()) {
     it = cmac_cache_

@@ -12,10 +12,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "crypto/cmac.h"
 #include "crypto/ed25519.h"
@@ -68,10 +68,11 @@ class CryptoProvider {
   // A replica signs from several output threads concurrently, so the lazy
   // insert is guarded by cmac_mu_. CmacContext::tag() itself is const and
   // stateless, and contexts are heap-allocated and never erased, so the
-  // returned reference stays valid (and usable lock-free) after insertion.
-  mutable std::mutex cmac_mu_;
+  // returned reference stays valid (and usable lock-free) after insertion —
+  // which is why the map is guarded but its POINTEES are deliberately not.
+  mutable Mutex cmac_mu_{LockRank::kCryptoProvider, "CryptoProvider.cmac"};
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<CmacContext>>
-      cmac_cache_;
+      cmac_cache_ RDB_GUARDED_BY(cmac_mu_);
 };
 
 }  // namespace rdb::crypto

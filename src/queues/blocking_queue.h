@@ -4,11 +4,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace rdb {
 
@@ -17,7 +17,7 @@ class BlockingQueue {
  public:
   void push(T value) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       items_.push_back(std::move(value));
     }
     cv_.notify_one();
@@ -26,8 +26,8 @@ class BlockingQueue {
   /// Blocks until an item arrives or the queue is shut down; nullopt on
   /// shutdown with an empty queue.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !shutdown_) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -37,8 +37,11 @@ class BlockingQueue {
   /// Like pop(), but gives up after `timeout`; nullopt on timeout/shutdown.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || shutdown_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !shutdown_ &&
+           std::chrono::steady_clock::now() < deadline)
+      cv_.wait_until(mu_, deadline);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -46,7 +49,7 @@ class BlockingQueue {
   }
 
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
@@ -55,22 +58,22 @@ class BlockingQueue {
 
   void shutdown() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
     cv_.notify_all();
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool shutdown_{false};
+  mutable Mutex mu_{LockRank::kQueue, "BlockingQueue"};
+  CondVar cv_;
+  std::deque<T> items_ RDB_GUARDED_BY(mu_);
+  bool shutdown_ RDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rdb

@@ -58,7 +58,7 @@ void Client::pump_loop(std::stop_token st) {
     if (resp.client != config_.id) continue;
     view_.store(resp.view, std::memory_order_relaxed);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& votes = pending_.votes[resp.req_id];
     votes[parsed->from.id] = resp.result;
     // f+1 matching results from distinct replicas decide the request.
@@ -81,6 +81,12 @@ ClientStats Client::stats() const {
   s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
   return s;
+}
+
+bool Client::all_decided(const std::vector<RequestId>& ids) const {
+  for (RequestId id : ids)
+    if (!pending_.decided.contains(id)) return false;
+  return true;
 }
 
 void Client::send_signed(ReplicaId target, Message& msg) {
@@ -122,13 +128,14 @@ std::optional<std::vector<std::uint64_t>> Client::submit_and_wait(
       send_signed(target, msg);
     }
 
-    std::unique_lock<std::mutex> lock(mu_);
-    bool done = cv_.wait_for(lock, config_.request_timeout, [&] {
-      for (RequestId id : ids)
-        if (!pending_.decided.contains(id)) return false;
-      return true;
-    });
-    if (done) {
+    MutexLock lock(mu_);
+    // Explicit deadline loop (no predicate lambda: the predicate touches
+    // guarded state, which would defeat the thread-safety analysis).
+    auto deadline = std::chrono::steady_clock::now() + config_.request_timeout;
+    while (!all_decided(ids) && std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(mu_, deadline);
+    }
+    if (all_decided(ids)) {
       std::vector<std::uint64_t> results;
       results.reserve(ids.size());
       for (RequestId id : ids) {

@@ -5,15 +5,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "crypto/provider.h"
 #include "runtime/transport.h"
 
@@ -80,15 +79,18 @@ class Client {
   void pump_loop(std::stop_token st);
   void send_signed(ReplicaId target, protocol::Message& msg);
   std::uint32_t f() const { return max_faulty(config_.n); }
+  /// True once every id in `ids` has a decided result.
+  bool all_decided(const std::vector<RequestId>& ids) const
+      RDB_REQUIRES(mu_);
 
   ClientConfig config_;
   Transport& transport_;
   crypto::CryptoProvider crypto_;
   std::shared_ptr<Transport::Inbox> inbox_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  PendingRequest pending_;
+  mutable Mutex mu_{LockRank::kClient, "Client"};
+  CondVar cv_;
+  PendingRequest pending_ RDB_GUARDED_BY(mu_);
   std::atomic<ViewId> view_{0};
   RequestId next_req_{0};
   std::atomic<std::uint64_t> requests_{0};

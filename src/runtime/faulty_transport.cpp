@@ -33,14 +33,14 @@ void FaultyTransport::stop() {
   timer_.request_stop();
   delay_cv_.notify_all();
   if (timer_.joinable()) timer_.join();
-  std::lock_guard<std::mutex> lock(delay_mu_);
+  MutexLock lock(delay_mu_);
   while (!delayed_.empty()) delayed_.pop();
 }
 
 void FaultyTransport::register_endpoint(Endpoint ep,
                                         std::shared_ptr<Inbox> inbox) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     known_.insert(key(ep));
   }
   inner_.register_endpoint(ep, std::move(inbox));
@@ -78,29 +78,29 @@ void FaultyTransport::note(Endpoint from, Endpoint to, std::uint8_t decision) {
 // --- structural faults -----------------------------------------------------
 
 void FaultyTransport::partition(Endpoint a, Endpoint b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitioned_.insert({key(a), key(b)});
   partitioned_.insert({key(b), key(a)});
 }
 
 void FaultyTransport::partition_one_way(Endpoint from, Endpoint to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitioned_.insert({key(from), key(to)});
 }
 
 void FaultyTransport::heal(Endpoint a, Endpoint b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitioned_.erase({key(a), key(b)});
   partitioned_.erase({key(b), key(a)});
 }
 
 void FaultyTransport::heal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitioned_.clear();
 }
 
 void FaultyTransport::isolate(Endpoint ep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t k = key(ep);
   known_.insert(k);
   for (std::uint64_t other : known_) {
@@ -111,37 +111,37 @@ void FaultyTransport::isolate(Endpoint ep) {
 }
 
 void FaultyTransport::crash(Endpoint ep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   crashed_.insert(key(ep));
 }
 
 void FaultyTransport::restart(Endpoint ep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   crashed_.erase(key(ep));
 }
 
 bool FaultyTransport::is_crashed(Endpoint ep) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return crashed_.contains(key(ep));
 }
 
 // --- dynamic plan ----------------------------------------------------------
 
 void FaultyTransport::set_default_faults(LinkFaults faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_.default_faults = faults;
 }
 
 void FaultyTransport::set_link_faults(Endpoint from, Endpoint to,
                                       LinkFaults faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LinkState& st = link(from, to);
   st.has_override = true;
   st.faults = faults;
 }
 
 void FaultyTransport::clear_faults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_.default_faults = LinkFaults{};
   for (auto& [k, st] : links_) {
     st.has_override = false;
@@ -152,17 +152,17 @@ void FaultyTransport::clear_faults() {
 // --- observability ---------------------------------------------------------
 
 FaultyTransport::Counters FaultyTransport::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 std::uint64_t FaultyTransport::trace_hash() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trace_hash_;
 }
 
 std::size_t FaultyTransport::pending_delayed() const {
-  std::lock_guard<std::mutex> lock(delay_mu_);
+  MutexLock lock(delay_mu_);
   return delayed_.size();
 }
 
@@ -180,7 +180,7 @@ void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
   TimeNs primary_delay = 0;                  // 0 = deliver inline
   TimeNs duplicate_delay = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     known_.insert(key(from));
     known_.insert(key(to));
 
@@ -263,24 +263,26 @@ void FaultyTransport::enqueue_delayed(
     std::chrono::steady_clock::time_point at, Endpoint to,
     protocol::Message msg) {
   {
-    std::lock_guard<std::mutex> lock(delay_mu_);
+    MutexLock lock(delay_mu_);
     delayed_.push(Delayed{at, delay_order_++, to, std::move(msg)});
   }
   delay_cv_.notify_all();
 }
 
 void FaultyTransport::timer_loop(std::stop_token st) {
-  std::unique_lock<std::mutex> lock(delay_mu_);
+  MutexLock lock(delay_mu_);
   while (!st.stop_requested()) {
     if (delayed_.empty()) {
-      delay_cv_.wait_for(lock, st, std::chrono::milliseconds(50),
-                         [&] { return !delayed_.empty(); });
+      // Wakes on enqueue, stop, or the 50 ms poll tick; the loop re-tests.
+      delay_cv_.wait_for(delay_mu_, st, std::chrono::milliseconds(50));
       continue;
     }
     auto at = delayed_.top().at;
     auto now = std::chrono::steady_clock::now();
     if (now < at) {
-      delay_cv_.wait_until(lock, st, at, [] { return false; });
+      // Sleep toward the head's deadline; an enqueue notify wakes us early
+      // in case a new message with an EARLIER deadline arrived.
+      delay_cv_.wait_until(delay_mu_, st, at);
       continue;
     }
     Delayed d = delayed_.top();
@@ -290,7 +292,7 @@ void FaultyTransport::timer_loop(std::stop_token st) {
     // a crash/partition onset must not leak through.
     bool blocked;
     {
-      std::lock_guard<std::mutex> mlock(mu_);
+      MutexLock mlock(mu_);
       blocked = crashed_.contains(key(d.msg.from)) ||
                 crashed_.contains(key(d.to)) ||
                 partitioned_.contains({key(d.msg.from), key(d.to)});

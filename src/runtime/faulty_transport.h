@@ -19,17 +19,16 @@
 // verification (counted in the replica's invalid_signatures stat).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <thread>
 #include <utility>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "runtime/transport_iface.h"
 
 namespace rdb::runtime {
@@ -143,27 +142,35 @@ class FaultyTransport final : public Transport {
   static std::uint64_t link_key_seed(std::uint64_t seed, Endpoint from,
                                      Endpoint to);
 
-  LinkState& link(Endpoint from, Endpoint to);  // mu_ must be held
-  void note(Endpoint from, Endpoint to, std::uint8_t decision);  // mu_ held
+  LinkState& link(Endpoint from, Endpoint to) RDB_REQUIRES(mu_);
+  void note(Endpoint from, Endpoint to, std::uint8_t decision)
+      RDB_REQUIRES(mu_);
   void enqueue_delayed(std::chrono::steady_clock::time_point at, Endpoint to,
-                       protocol::Message msg);
+                       protocol::Message msg) RDB_EXCLUDES(delay_mu_);
   void timer_loop(std::stop_token st);
 
   Transport& inner_;
-  FaultPlan plan_;
 
-  mutable std::mutex mu_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkState> links_;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_;
-  std::set<std::uint64_t> crashed_;
-  std::set<std::uint64_t> known_;  // endpoints seen (for isolate())
-  Counters counters_;
-  std::uint64_t trace_hash_{1469598103934665603ULL};  // FNV-1a offset basis
+  // Fault-plan lock. Never held while calling into inner_ (decisions are
+  // drawn under mu_, deliveries happen after release). The timer thread
+  // takes it only AFTER dropping delay_mu_, so the two never nest.
+  mutable Mutex mu_{LockRank::kChaos, "FaultyTransport"};
+  FaultPlan plan_ RDB_GUARDED_BY(mu_);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkState> links_
+      RDB_GUARDED_BY(mu_);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_
+      RDB_GUARDED_BY(mu_);
+  std::set<std::uint64_t> crashed_ RDB_GUARDED_BY(mu_);
+  std::set<std::uint64_t> known_ RDB_GUARDED_BY(mu_);  // for isolate()
+  Counters counters_ RDB_GUARDED_BY(mu_);
+  std::uint64_t trace_hash_ RDB_GUARDED_BY(mu_) =
+      1469598103934665603ULL;  // FNV-1a offset basis
 
-  mutable std::mutex delay_mu_;
-  std::condition_variable_any delay_cv_;
-  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> delayed_;
-  std::uint64_t delay_order_{0};
+  mutable Mutex delay_mu_{LockRank::kChaosDelay, "FaultyTransport.delay"};
+  CondVar delay_cv_;
+  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> delayed_
+      RDB_GUARDED_BY(delay_mu_);
+  std::uint64_t delay_order_ RDB_GUARDED_BY(delay_mu_) = 0;
 
   std::atomic<bool> stopped_{false};
   std::jthread timer_;

@@ -85,7 +85,7 @@ void Replica::start() {
   if (running_.exchange(true)) return;
   started_at_ = std::chrono::steady_clock::now();
   if (config_.catchup_poll_ns > 0) {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     timers_[kCatchupTimer] = std::chrono::steady_clock::now() +
                              std::chrono::nanoseconds(config_.catchup_poll_ns);
   }
@@ -134,7 +134,7 @@ void Replica::drop_messages(protocol::MsgType type, bool drop) {
 }
 
 ReplicaStats Replica::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ReplicaStats s = stats_;
   s.pool_hits = batch_pool_.hits();
   s.pool_misses = batch_pool_.misses();
@@ -209,7 +209,7 @@ void Replica::handle_client_request(Message msg) {
     ReplicaId primary = static_cast<ReplicaId>(view() % config_.n);
     enqueue_output(Endpoint::replica(primary), msg);
     {
-      std::lock_guard<std::mutex> lock(timer_mu_);
+      MutexLock lock(timer_mu_);
       if (!timers_.contains(kClientRequestTimer)) {
         timers_[kClientRequestTimer] =
             std::chrono::steady_clock::now() +
@@ -289,14 +289,14 @@ void Replica::batch_loop(std::stop_token st, BusyCounter& busy) {
       return !ok;
     });
     if (invalid > 0) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.invalid_signatures += invalid;
     }
 
     Digest d = digest_batch(batch.txns);
     Actions actions;
     {
-      std::lock_guard<std::mutex> lock(engine_mu_);
+      MutexLock lock(engine_mu_);
       actions = engine_.make_preprepare(batch.seq, std::move(batch.txns),
                                         batch.txn_begin, d);
     }
@@ -317,7 +317,7 @@ void Replica::verify_loop(std::stop_token st, BusyCounter& busy) {
     Bytes canon = msg->signing_bytes();
     if (!crypto_.verify(msg->from, BytesView(canon),
                         BytesView(msg->signature))) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.invalid_signatures;
       continue;
     }
@@ -343,7 +343,7 @@ void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
       Bytes canon = msg->signing_bytes();
       if (!crypto_.verify(msg->from, BytesView(canon),
                           BytesView(msg->signature))) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.invalid_signatures;
         continue;
       }
@@ -355,7 +355,7 @@ void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
     if (msg->type() == MsgType::kPrePrepare && !self) {
       const auto& pp = std::get<protocol::PrePrepare>(msg->payload);
       if (digest_batch(pp.txns) != pp.batch_digest) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.invalid_signatures;
         continue;
       }
@@ -371,7 +371,7 @@ void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
 
     Actions actions;
     {
-      std::lock_guard<std::mutex> lock(engine_mu_);
+      MutexLock lock(engine_mu_);
       switch (msg->type()) {
         case MsgType::kPrePrepare:
           actions = engine_.on_preprepare(*msg);
@@ -408,13 +408,14 @@ void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
 
 void Replica::deliver_execute(protocol::ExecuteAction ex) {
   ExecuteSlot& slot = execute_slots_[ex.seq % execute_slots_.size()];
-  std::unique_lock<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   // QC is sized so a wrap-around collision means the pipeline is more than
   // `execute_queue_slots` batches ahead of execution; block until the
-  // executor drains the slot.
-  slot.cv.wait(lock, [&] {
-    return !slot.item.has_value() || !running_.load(std::memory_order_relaxed);
-  });
+  // executor drains the slot (or stop() flips running_ and notifies).
+  while (slot.item.has_value() &&
+         running_.load(std::memory_order_relaxed)) {
+    slot.cv.wait(slot.mu);
+  }
   if (!running_.load(std::memory_order_relaxed)) return;
   slot.item = std::move(ex);
   slot.cv.notify_all();
@@ -426,11 +427,17 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
     ExecuteSlot& slot = execute_slots_[seq % execute_slots_.size()];
     protocol::ExecuteAction ex;
     {
-      std::unique_lock<std::mutex> lock(slot.mu);
-      bool got = slot.cv.wait_for(lock, std::chrono::milliseconds(50), [&] {
-        return slot.item.has_value() && slot.item->seq == seq;
-      });
-      if (!got) continue;  // timeout: re-check stop token
+      MutexLock lock(slot.mu);
+      // Bounded wait so the stop token is re-checked every 50 ms even when
+      // no batch ever lands in this slot.
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+      while (!(slot.item.has_value() && slot.item->seq == seq) &&
+             std::chrono::steady_clock::now() < deadline) {
+        slot.cv.wait_until(slot.mu, deadline);
+      }
+      if (!(slot.item.has_value() && slot.item->seq == seq))
+        continue;  // timeout: re-check stop token
       ex = std::move(*slot.item);
       slot.item.reset();
       slot.cv.notify_all();
@@ -475,14 +482,14 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
     block.certificate = ex.certificate;
     Digest acc;
     {
-      std::lock_guard<std::mutex> lock(chain_mu_);
+      MutexLock lock(chain_mu_);
       chain_.append(std::move(block));
       acc = chain_.accumulator();
     }
 
     Actions actions;
     {
-      std::lock_guard<std::mutex> lock(engine_mu_);
+      MutexLock lock(engine_mu_);
       actions = engine_.on_executed(ex.seq, acc);
     }
 
@@ -494,7 +501,7 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.batches_executed;
       stats_.txns_executed += ex.txns.size() - duplicates;
       stats_.duplicate_txns += duplicates;
@@ -506,7 +513,7 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
     // Execution progress proves the primary is alive: disarm the relayed-
     // request watchdog.
     {
-      std::lock_guard<std::mutex> lock(timer_mu_);
+      MutexLock lock(timer_mu_);
       timers_.erase(kClientRequestTimer);
     }
     perform(std::move(actions));
@@ -527,14 +534,14 @@ void Replica::checkpoint_loop(std::stop_token st, BusyCounter& busy) {
       Bytes canon = msg->signing_bytes();
       if (!crypto_.verify(msg->from, BytesView(canon),
                           BytesView(msg->signature))) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.invalid_signatures;
         continue;
       }
     }
     Actions actions;
     {
-      std::lock_guard<std::mutex> lock(engine_mu_);
+      MutexLock lock(engine_mu_);
       actions = engine_.on_checkpoint(*msg);
     }
     perform(std::move(actions));
@@ -574,11 +581,11 @@ void Replica::output_loop(std::stop_token st, std::size_t idx,
 // ---------------------------------------------------------------------------
 
 void Replica::timer_loop(std::stop_token st) {
-  std::unique_lock<std::mutex> lock(timer_mu_);
+  MutexLock lock(timer_mu_);
   while (!st.stop_requested()) {
     if (timers_.empty()) {
-      timer_cv_.wait_for(lock, st, std::chrono::milliseconds(50),
-                         [&] { return !timers_.empty(); });
+      // Wakes on arm/cancel, stop, or the 50 ms poll tick; loop re-tests.
+      timer_cv_.wait_for(timer_mu_, st, std::chrono::milliseconds(50));
       continue;
     }
     auto next = std::min_element(
@@ -586,7 +593,9 @@ void Replica::timer_loop(std::stop_token st) {
         [](const auto& a, const auto& b) { return a.second < b.second; });
     auto deadline = next->second;
     if (std::chrono::steady_clock::now() < deadline) {
-      timer_cv_.wait_until(lock, st, deadline, [] { return false; });
+      // Sleep toward the earliest deadline; an arm/cancel notify wakes us
+      // early so a NEWLY armed earlier timer is honoured on the next pass.
+      timer_cv_.wait_until(timer_mu_, st, deadline);
       continue;
     }
     std::uint64_t id = next->first;
@@ -600,7 +609,7 @@ void Replica::timer_loop(std::stop_token st) {
     lock.unlock();
     Actions actions;
     {
-      std::lock_guard<std::mutex> elock(engine_mu_);
+      MutexLock elock(engine_mu_);
       actions = id == kClientRequestTimer ? engine_.on_client_request_timeout()
                 : id == kCatchupTimer     ? engine_.maybe_request_catchup()
                                           : engine_.on_timeout(id);
@@ -624,7 +633,7 @@ void Replica::perform(Actions actions) {
         Bytes canon = bc->msg.signing_bytes();
         Bytes sig =
             crypto_.sign(Endpoint::replica(config_.id), BytesView(canon));
-        std::lock_guard<std::mutex> lock(engine_mu_);
+        MutexLock lock(engine_mu_);
         engine_.note_own_commit_signature(seq, std::move(sig));
       }
       bool include_self = bc->include_self;
@@ -637,24 +646,24 @@ void Replica::perform(Actions actions) {
     } else if (auto* ex = std::get_if<protocol::ExecuteAction>(&action)) {
       deliver_execute(std::move(*ex));
     } else if (auto* t = std::get_if<protocol::SetTimerAction>(&action)) {
-      std::lock_guard<std::mutex> lock(timer_mu_);
+      MutexLock lock(timer_mu_);
       timers_[t->id] = std::chrono::steady_clock::now() +
                        std::chrono::nanoseconds(t->delay_ns);
       timer_cv_.notify_all();
     } else if (auto* c = std::get_if<protocol::CancelTimerAction>(&action)) {
-      std::lock_guard<std::mutex> lock(timer_mu_);
+      MutexLock lock(timer_mu_);
       timers_.erase(c->id);
       timer_cv_.notify_all();
     } else if (auto* sc =
                    std::get_if<protocol::StableCheckpointAction>(&action)) {
-      std::lock_guard<std::mutex> lock(chain_mu_);
+      MutexLock lock(chain_mu_);
       chain_.prune_before(sc->seq);
     } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
       view_.store(vc->view, std::memory_order_release);
       if (vc->view % config_.n == config_.id) {
         SeqNum base;
         {
-          std::lock_guard<std::mutex> lock(engine_mu_);
+          MutexLock lock(engine_mu_);
           base = engine_.suggest_next_seq();
         }
         seq_base_.store(base, std::memory_order_release);

@@ -25,18 +25,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/sync.h"
 #include "crypto/provider.h"
 #include "ledger/blockchain.h"
 #include "protocol/pbft.h"
@@ -118,7 +117,12 @@ class Replica {
     return last_executed_pub_.load(std::memory_order_acquire);
   }
 
-  const ledger::Blockchain& chain() const { return chain_; }
+  /// Test/benchmark accessor: callers read the chain after stop() (or from
+  /// the execute thread's own appends having quiesced), so no lock is taken.
+  /// NO_TSA because the body returns a chain_mu_-guarded field by reference.
+  const ledger::Blockchain& chain() const RDB_NO_THREAD_SAFETY_ANALYSIS {
+    return chain_;
+  }
   storage::KvStore& store() { return *store_; }
   ReplicaStats stats() const;
 
@@ -142,9 +146,9 @@ class Replica {
   };
 
   struct ExecuteSlot {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<protocol::ExecuteAction> item;
+    Mutex mu{LockRank::kExecuteSlot, "Replica.execute_slot"};
+    CondVar cv;
+    std::optional<protocol::ExecuteAction> item RDB_GUARDED_BY(mu);
   };
 
   struct OutboundMsg {
@@ -212,11 +216,12 @@ class Replica {
   ExecuteFn execute_fn_;
 
   // Engine + chain. Engine state is worker-owned; batch threads take
-  // engine_mu_ briefly to emit Pre-prepares.
-  std::mutex engine_mu_;
-  protocol::PbftEngine engine_;
-  std::mutex chain_mu_;
-  ledger::Blockchain chain_;
+  // engine_mu_ briefly to emit Pre-prepares. engine_mu_ is the OUTERMOST
+  // rank: nothing else may be held when acquiring it.
+  Mutex engine_mu_{LockRank::kReplicaEngine, "Replica.engine"};
+  protocol::PbftEngine engine_ RDB_GUARDED_BY(engine_mu_);
+  Mutex chain_mu_{LockRank::kLedgerChain, "Replica.chain"};
+  ledger::Blockchain chain_ RDB_GUARDED_BY(chain_mu_);
   std::atomic<ViewId> view_{0};
   std::atomic<SeqNum> last_executed_pub_{0};
   std::atomic<SeqNum> seq_base_{0};  // sequencing base after a view change
@@ -244,15 +249,16 @@ class Replica {
   std::vector<protocol::Transaction> pending_txns_;
 
   // Timers (worker-armed, timer-thread fired).
-  std::mutex timer_mu_;
-  std::condition_variable_any timer_cv_;
-  std::map<std::uint64_t, std::chrono::steady_clock::time_point> timers_;
+  Mutex timer_mu_{LockRank::kReplicaTimer, "Replica.timer"};
+  CondVar timer_cv_;
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> timers_
+      RDB_GUARDED_BY(timer_mu_);
 
   // Message-type drop set (tests).
   std::atomic<std::uint32_t> drop_mask_{0};
 
-  mutable std::mutex stats_mu_;
-  ReplicaStats stats_;
+  mutable Mutex stats_mu_{LockRank::kReplicaStats, "Replica.stats"};
+  ReplicaStats stats_ RDB_GUARDED_BY(stats_mu_);
   std::atomic<std::uint64_t> batch_saturated_{0};
 
   std::vector<std::unique_ptr<BusyCounter>> busy_counters_;

@@ -79,18 +79,13 @@ void TcpTransport::stop() {
 
   // Ask every sender to drain-and-exit; they close their own sockets.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [k, peer] : peers_) {
       peer->sender.request_stop();
       peer->cv.notify_all();
     }
   }
-  // peers_ is no longer mutated (add_peer refuses while stopping_), so the
-  // map can be walked without mu_ while joining — holding mu_ across joins
-  // could deadlock against a sender that briefly needs it.
-  for (auto& [k, peer] : peers_) {
-    if (peer->sender.joinable()) peer->sender.join();
-  }
+  join_senders();
 
   acceptor_.request_stop();
   // shutdown() wakes a blocked accept(); the fd is closed only AFTER the
@@ -99,7 +94,7 @@ void TcpTransport::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   std::vector<std::jthread> readers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
     readers.swap(readers_);
   }
@@ -110,21 +105,32 @@ void TcpTransport::stop() {
     listen_fd_ = -1;
   }
   readers.clear();  // join reader threads
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int fd : accepted_fds_) ::close(fd);
   accepted_fds_.clear();
 }
 
+void TcpTransport::join_senders() {
+  // peers_ is no longer mutated (add_peer refuses while stopping_), so the
+  // map can be walked without mu_ while joining — holding mu_ across joins
+  // could deadlock against a sender that briefly needs it.
+  for (auto& [k, peer] : peers_) {
+    if (peer->sender.joinable()) peer->sender.join();
+  }
+}
+
 void TcpTransport::add_peer(Endpoint ep, TcpPeer peer) {
   if (stopping_.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t k = key(ep);
   auto it = peers_.find(k);
   if (it != peers_.end()) {
     // Re-declaration: update the address; the sender reconnects on the next
     // failure (an address change usually accompanies a peer restart).
-    std::lock_guard<std::mutex> plock(it->second->mu);
-    it->second->addr = std::move(peer);
+    // Nested acquisition mu_ (560) -> peer->mu (540): ranks decrease.
+    PeerState* existing = it->second.get();
+    MutexLock plock(existing->mu);
+    existing->addr = std::move(peer);
     return;
   }
   std::uint64_t seed = config_.backoff_seed ^ (k * 0x9E3779B97F4A7C15ULL);
@@ -140,7 +146,7 @@ void TcpTransport::register_endpoint(Endpoint ep,
   if (!(ep == self_))
     throw std::runtime_error(
         "TcpTransport hosts exactly one endpoint (its own)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inbox_ = std::move(inbox);
 }
 
@@ -166,7 +172,7 @@ void TcpTransport::accept_loop(std::stop_token st) {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_.load()) {
         ::close(fd);
         return;
@@ -191,7 +197,7 @@ void TcpTransport::reader_loop(std::stop_token st, int fd) {
 
     std::shared_ptr<Inbox> inbox;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       inbox = inbox_;
     }
     if (inbox) inbox->push(std::move(wire));
@@ -238,7 +244,7 @@ void TcpTransport::send(Endpoint to, const protocol::Message& msg) {
 
   PeerState* peer = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = peers_.find(key(to));
     if (it == peers_.end()) {
       undeclared_.fetch_add(1, std::memory_order_relaxed);
@@ -248,7 +254,7 @@ void TcpTransport::send(Endpoint to, const protocol::Message& msg) {
     peer = it->second.get();
   }
   {
-    std::lock_guard<std::mutex> lock(peer->mu);
+    MutexLock lock(peer->mu);
     if (peer->queue.size() >= config_.max_peer_queue) {
       // Bounded queue: a dead peer must not exhaust memory. Drop the OLDEST
       // frame — stale consensus votes are the most superseded.
@@ -262,10 +268,11 @@ void TcpTransport::send(Endpoint to, const protocol::Message& msg) {
 
 void TcpTransport::sender_loop(std::stop_token st, PeerState* peer) {
   auto backoff = config_.backoff_base;
-  std::unique_lock<std::mutex> lock(peer->mu);
+  MutexLock lock(peer->mu);
   for (;;) {
     if (!st.stop_requested() && peer->queue.empty()) {
-      peer->cv.wait(lock, st, [&] { return !peer->queue.empty(); });
+      // Wakes on push, stop, or spuriously; the loop re-tests everything.
+      peer->cv.wait(peer->mu, st);
       continue;  // re-evaluate stop/queue state
     }
     if (st.stop_requested()) {
@@ -284,10 +291,16 @@ void TcpTransport::sender_loop(std::stop_token st, PeerState* peer) {
       if (fd < 0) {
         failures_.fetch_add(1, std::memory_order_relaxed);
         // Bounded exponential backoff + deterministic jitter before the
-        // next dial; a stop request interrupts the wait.
+        // next dial; a stop request interrupts the wait. Sleep the FULL
+        // backoff (notifications from send() must not shorten it, or a
+        // busy sender would hammer a dead peer), so loop to the deadline.
         auto jitter = std::chrono::milliseconds(peer->jitter.below(
             static_cast<std::uint64_t>(config_.backoff_base.count()) + 1));
-        peer->cv.wait_for(lock, st, backoff + jitter, [] { return false; });
+        auto deadline = std::chrono::steady_clock::now() + backoff + jitter;
+        while (!st.stop_requested() &&
+               std::chrono::steady_clock::now() < deadline) {
+          peer->cv.wait_until(peer->mu, st, deadline);
+        }
         backoff = std::min(backoff * 2, config_.backoff_max);
         if (st.stop_requested() && peer->fd < 0) break;
         continue;

@@ -4,14 +4,14 @@ namespace rdb::runtime {
 
 void InprocTransport::register_endpoint(Endpoint ep,
                                         std::shared_ptr<Inbox> inbox) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inboxes_[key(ep)] = std::move(inbox);
 }
 
 void InprocTransport::send(Endpoint to, const protocol::Message& msg) {
   std::shared_ptr<Inbox> inbox;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (auto p = partitioned_.find(key(msg.from));
         p != partitioned_.end() && p->second)
       return;
@@ -29,7 +29,7 @@ void InprocTransport::send(Endpoint to, const protocol::Message& msg) {
 }
 
 void InprocTransport::set_partitioned(Endpoint ep, bool partitioned) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitioned_[key(ep)] = partitioned;
 }
 

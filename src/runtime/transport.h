@@ -9,9 +9,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "runtime/transport_iface.h"
 
 namespace rdb::runtime {
@@ -42,9 +42,10 @@ class InprocTransport final : public Transport {
            ep.id;
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Inbox>> inboxes_;
-  std::unordered_map<std::uint64_t, bool> partitioned_;
+  mutable Mutex mu_{LockRank::kTransport, "InprocTransport"};
+  std::unordered_map<std::uint64_t, std::shared_ptr<Inbox>> inboxes_
+      RDB_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, bool> partitioned_ RDB_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> bytes_{0};
 };

@@ -759,6 +759,7 @@ void Fabric::deliver_local_commit(ReplicaId from, ClientId client) {
 void Fabric::on_response(ClientId c, RequestId req, ReplicaId from,
                          bool speculative) {
   (void)from;
+  (void)speculative;  // mode-specific quorum rules below subsume the flag
   ClientState& cs = clients_[c];
   if (!cs.outstanding || cs.current_req != req) return;
   ++cs.responses;

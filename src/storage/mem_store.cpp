@@ -15,10 +15,10 @@ const MemStore::Stripe& MemStore::stripe_for(std::string_view key) const {
 void MemStore::put(std::string_view key, std::string_view value) {
   Stripe& s = stripe_for(key);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.map.insert_or_assign(std::string(key), std::string(value));
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.writes;
 }
 
@@ -26,11 +26,11 @@ std::optional<std::string> MemStore::get(std::string_view key) {
   Stripe& s = stripe_for(key);
   std::optional<std::string> out;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     auto it = s.map.find(std::string(key));
     if (it != s.map.end()) out = it->second;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.reads;
   if (!out) ++stats_.read_misses;
   return out;
@@ -38,21 +38,21 @@ std::optional<std::string> MemStore::get(std::string_view key) {
 
 bool MemStore::contains(std::string_view key) {
   Stripe& s = stripe_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return s.map.find(std::string(key)) != s.map.end();
 }
 
 std::uint64_t MemStore::size() const {
   std::uint64_t total = 0;
   for (const auto& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     total += s.map.size();
   }
   return total;
 }
 
 StoreStats MemStore::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

@@ -4,9 +4,9 @@
 #pragma once
 
 #include <array>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "storage/kv_store.h"
 
 namespace rdb::storage {
@@ -24,16 +24,18 @@ class MemStore final : public KvStore {
 
  private:
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::string> map;
+    // Stripes share one rank: they are only ever locked one at a time
+    // (size() walks them sequentially, releasing each before the next).
+    mutable Mutex mu{LockRank::kStorageStripe, "MemStore.stripe"};
+    std::unordered_map<std::string, std::string> map RDB_GUARDED_BY(mu);
   };
 
   Stripe& stripe_for(std::string_view key);
   const Stripe& stripe_for(std::string_view key) const;
 
   std::array<Stripe, kStripes> stripes_;
-  mutable std::mutex stats_mu_;
-  StoreStats stats_;
+  mutable Mutex stats_mu_{LockRank::kStorageStats, "MemStore.stats"};
+  StoreStats stats_ RDB_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace rdb::storage

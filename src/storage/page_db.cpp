@@ -75,7 +75,12 @@ PageDb::PageDb(PageDbConfig config) : config_(std::move(config)) {
   if (wal_exists) {
     wal_ = std::fopen(wal_path.c_str(), "r+b");
     if (wal_ == nullptr) throw std::runtime_error("PageDb: cannot open WAL");
-    wal_replay();
+    {
+      // wal_replay() requires mu_; scope the hold so checkpoint() (which
+      // locks mu_ itself) does not deadlock.
+      MutexLock lock(mu_);
+      wal_replay();
+    }
     checkpoint();
   } else {
     wal_ = std::fopen(wal_path.c_str(), "w+b");
@@ -83,7 +88,7 @@ PageDb::PageDb(PageDbConfig config) : config_(std::move(config)) {
   }
 
   // Count live records once so size() is O(1) afterwards.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record_count_ = 0;
   for (std::uint32_t b = 0; b < config_.bucket_count; ++b) {
     std::uint64_t pid = bucket_head(b);
@@ -339,7 +344,7 @@ bool PageDb::put_locked(std::string_view key, std::string_view value) {
 }
 
 void PageDb::put(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   wal_append(key, value);
   bool existed = put_locked(key, value);
   if (!existed) ++record_count_;
@@ -347,7 +352,7 @@ void PageDb::put(std::string_view key, std::string_view value) {
 }
 
 std::optional<std::string> PageDb::get(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto out = get_locked(key);
   ++kv_stats_.reads;
   if (!out) ++kv_stats_.read_misses;
@@ -355,27 +360,27 @@ std::optional<std::string> PageDb::get(std::string_view key) {
 }
 
 bool PageDb::contains(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return get_locked(key).has_value();
 }
 
 std::uint64_t PageDb::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return record_count_;
 }
 
 StoreStats PageDb::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return kv_stats_;
 }
 
 PageDbStats PageDb::page_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return page_stats_;
 }
 
 void PageDb::checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [pid, page] : cache_) flush_page(pid, page);
   write_header();
   std::fflush(file_);
@@ -400,7 +405,6 @@ void PageDb::wal_append(std::string_view key, std::string_view value) {
 }
 
 void PageDb::wal_replay() {
-  std::lock_guard<std::mutex> lock(mu_);
   std::fseek(wal_, 0, SEEK_SET);
   for (;;) {
     std::uint8_t hdr[6];

@@ -20,10 +20,10 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "storage/kv_store.h"
 
 namespace rdb::storage {
@@ -74,40 +74,47 @@ class PageDb final : public KvStore {
     std::uint64_t lru_tick{0};
   };
 
-  // --- file + cache plumbing (caller holds mu_) ---
-  Page& fetch_page(std::uint64_t page_id);
-  std::uint64_t allocate_page();
-  void evict_if_needed();
-  void flush_page(std::uint64_t page_id, Page& page);
-  void read_page_from_file(std::uint64_t page_id, std::uint8_t* out);
-  void write_header();
-  void read_header();
+  // --- file + cache plumbing (enforced: caller holds mu_) ---
+  Page& fetch_page(std::uint64_t page_id) RDB_REQUIRES(mu_);
+  std::uint64_t allocate_page() RDB_REQUIRES(mu_);
+  void evict_if_needed() RDB_REQUIRES(mu_);
+  void flush_page(std::uint64_t page_id, Page& page) RDB_REQUIRES(mu_);
+  void read_page_from_file(std::uint64_t page_id, std::uint8_t* out)
+      RDB_REQUIRES(mu_);
+  void write_header() RDB_REQUIRES(mu_);
+  void read_header() RDB_REQUIRES(mu_);
 
   // --- bucket directory ---
   std::uint64_t directory_pages() const;
-  std::uint64_t bucket_head(std::uint32_t bucket);
-  void set_bucket_head(std::uint32_t bucket, std::uint64_t page_id);
+  std::uint64_t bucket_head(std::uint32_t bucket) RDB_REQUIRES(mu_);
+  void set_bucket_head(std::uint32_t bucket, std::uint64_t page_id)
+      RDB_REQUIRES(mu_);
 
-  // --- record operations (caller holds mu_) ---
-  bool put_locked(std::string_view key, std::string_view value);
-  std::optional<std::string> get_locked(std::string_view key);
+  // --- record operations (enforced: caller holds mu_) ---
+  bool put_locked(std::string_view key, std::string_view value)
+      RDB_REQUIRES(mu_);
+  std::optional<std::string> get_locked(std::string_view key)
+      RDB_REQUIRES(mu_);
 
   // --- WAL ---
-  void wal_append(std::string_view key, std::string_view value);
-  void wal_replay();
-  void wal_truncate();
+  void wal_append(std::string_view key, std::string_view value)
+      RDB_REQUIRES(mu_);
+  void wal_replay() RDB_REQUIRES(mu_);
+  void wal_truncate() RDB_REQUIRES(mu_);
 
   PageDbConfig config_;
-  std::FILE* file_{nullptr};
-  std::FILE* wal_{nullptr};
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Page> cache_;
-  std::uint64_t lru_clock_{0};
-  std::uint64_t page_count_{0};
-  std::uint64_t record_count_{0};
-  StoreStats kv_stats_;
-  PageDbStats page_stats_;
+  mutable Mutex mu_{LockRank::kStorage, "PageDb"};
+  // The FILE streams are only touched by the locked helpers above (plus the
+  // constructor/destructor, where no other thread can observe the object).
+  std::FILE* file_ RDB_GUARDED_BY(mu_) = nullptr;
+  std::FILE* wal_ RDB_GUARDED_BY(mu_) = nullptr;
+  std::unordered_map<std::uint64_t, Page> cache_ RDB_GUARDED_BY(mu_);
+  std::uint64_t lru_clock_ RDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t page_count_ RDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t record_count_ RDB_GUARDED_BY(mu_) = 0;
+  StoreStats kv_stats_ RDB_GUARDED_BY(mu_);
+  PageDbStats page_stats_ RDB_GUARDED_BY(mu_);
 };
 
 }  // namespace rdb::storage

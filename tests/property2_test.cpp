@@ -136,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, PoeScheduleProperty,
     ::testing::Combine(::testing::Values(4u, 7u, 13u),
                        ::testing::Values(21u, 22u, 23u, 24u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

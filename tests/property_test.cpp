@@ -48,9 +48,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, PbftScheduleProperty,
     ::testing::Combine(::testing::Values(4u, 7u, 10u, 16u),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------------
@@ -93,9 +93,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, PbftCrashProperty,
     ::testing::Combine(::testing::Values(4u, 7u, 13u),
                        ::testing::Values(11u, 12u, 13u, 14u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,25 @@
+// Compile-SHOULD-FAIL probe for the -Wthread-safety gate
+// (cmake/CheckThreadSafety.cmake). Touches an RDB_GUARDED_BY field without
+// holding its mutex; under clang with -Werror=thread-safety this file MUST
+// NOT compile. If it ever does, the static gate is dead.
+#include "common/sync.h"
+
+namespace {
+
+class Broken {
+ public:
+  // BUG (deliberate): writes value_ without taking mu_.
+  void increment_unlocked() { ++value_; }
+
+ private:
+  rdb::Mutex mu_;
+  int value_ RDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Broken b;
+  b.increment_unlocked();
+  return 0;
+}

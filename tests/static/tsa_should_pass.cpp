@@ -1,0 +1,85 @@
+// Compile-SHOULD-PASS probe for the -Wthread-safety gate
+// (cmake/CheckThreadSafety.cmake). Exercises the full annotation
+// vocabulary correctly; if this file fails to compile under clang with
+// -Werror=thread-safety, the annotations are rejecting correct code.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() RDB_EXCLUDES(mu_) {
+    rdb::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int get() RDB_EXCLUDES(mu_) {
+    rdb::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void add_locked(int delta) RDB_REQUIRES(mu_) { value_ += delta; }
+
+  void add_twice() RDB_EXCLUDES(mu_) {
+    rdb::MutexLock lock(mu_);
+    add_locked(1);
+    add_locked(1);
+  }
+
+ private:
+  rdb::Mutex mu_;
+  int value_ RDB_GUARDED_BY(mu_) = 0;
+};
+
+class SharedCounter {
+ public:
+  int read() RDB_EXCLUDES(mu_) {
+    rdb::ReaderLock lock(mu_);
+    return value_;
+  }
+
+  void write(int v) RDB_EXCLUDES(mu_) {
+    rdb::WriterLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  rdb::SharedMutex mu_;
+  int value_ RDB_GUARDED_BY(mu_) = 0;
+};
+
+class Waiter {
+ public:
+  void produce() RDB_EXCLUDES(mu_) {
+    {
+      rdb::MutexLock lock(mu_);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void consume() RDB_EXCLUDES(mu_) {
+    rdb::MutexLock lock(mu_);
+    while (!ready_) cv_.wait(mu_);
+    ready_ = false;
+  }
+
+ private:
+  rdb::Mutex mu_;
+  rdb::CondVar cv_;
+  bool ready_ RDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  c.add_twice();
+  SharedCounter s;
+  s.write(c.get());
+  Waiter w;
+  w.produce();
+  w.consume();
+  return s.read() == 0 ? 1 : 0;
+}

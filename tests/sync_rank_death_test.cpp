@@ -1,0 +1,81 @@
+// Death tests for the lock-rank deadlock detector (src/common/sync.h §3).
+//
+// This binary is compiled with -DRDB_LOCK_RANK_FORCE (see
+// tests/CMakeLists.txt), so the detector is active even in release
+// configurations — the tier-1 suite exercises the ABORT paths regardless of
+// CMAKE_BUILD_TYPE. It links ONLY GTest + Threads: no repo library is
+// pulled in, so the forced detector cannot collide with the library's
+// NDEBUG-configured inline functions (ODR hygiene).
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+namespace rdb {
+namespace {
+
+static_assert(RDB_LOCK_RANK_CHECKS == 1,
+              "death test must be compiled with -DRDB_LOCK_RANK_FORCE");
+
+TEST(LockRankDeath, RankInversionAborts) {
+  // A classic AB/BA deadlock shape: this thread takes B (low) then A
+  // (high). The detector aborts on the SECOND acquisition — before
+  // blocking — naming the violated rule.
+  Mutex a(LockRank::kReplicaEngine, "death.A");  // rank 720
+  Mutex b(LockRank::kQueue, "death.B");          // rank 200
+  EXPECT_DEATH(
+      {
+        MutexLock lb(b);
+        MutexLock la(a);  // 200 held, acquiring 720: inversion
+      },
+      "LOCK RANK VIOLATION.*rank inversion");
+}
+
+TEST(LockRankDeath, EqualRankNestingAborts) {
+  // Two mutexes sharing one rank may never nest (no order is defined
+  // between them, so an AB/BA cycle is one interleaving away).
+  Mutex a(LockRank::kStorage, "death.eq_a");
+  Mutex b(LockRank::kStorage, "death.eq_b");
+  EXPECT_DEATH(
+      {
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "LOCK RANK VIOLATION");
+}
+
+TEST(LockRankDeath, RecursiveAcquisitionAborts) {
+  Mutex mu(LockRank::kStorage, "death.recursive");
+  EXPECT_DEATH(
+      {
+        mu.lock();
+        mu.lock();  // self-deadlock: caught before blocking forever
+      },
+      "LOCK RANK VIOLATION.*recursive acquisition");
+}
+
+TEST(LockRankDeath, ReportNamesHeldLocks) {
+  // The abort report must list the held stack so the cycle is debuggable.
+  Mutex outer(LockRank::kClient, "death.held_outer");
+  Mutex inner(LockRank::kLedgerChain, "death.acquired_inner");
+  EXPECT_DEATH(
+      {
+        MutexLock lo(outer);
+        MutexLock li(inner);  // 600 held, acquiring 700: inversion
+      },
+      "death\\.held_outer");
+}
+
+TEST(LockRankDeath, DecreasingRanksDoNotAbort) {
+  // Sanity: the legal direction stays silent (guards against a detector
+  // that aborts on everything).
+  Mutex outer(LockRank::kReplicaEngine, "death.ok_outer");
+  Mutex mid(LockRank::kStorage, "death.ok_mid");
+  Mutex leaf(LockRank::kLogging, "death.ok_leaf");
+  MutexLock lo(outer);
+  MutexLock lm(mid);
+  MutexLock ll(leaf);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rdb

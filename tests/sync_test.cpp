@@ -1,0 +1,270 @@
+// Tests for the annotated synchronization primitives (src/common/sync.h):
+// Mutex/SharedMutex semantics, MutexLock relock, CondVar wakeups (plain,
+// deadline, and stop_token flavours), and the lock-rank bookkeeping that
+// feeds the debug deadlock detector. The VIOLATION path (abort on rank
+// inversion) lives in sync_rank_death_test.cpp, a separate binary compiled
+// with -DRDB_LOCK_RANK_FORCE so it also runs in release configurations.
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Mutex, ExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(Mutex, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    MutexLock lock(mu);
+    locked.store(true);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  while (!locked.load()) std::this_thread::sleep_for(1ms);
+  EXPECT_FALSE(mu.try_lock());
+  release.store(true);
+  holder.join();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Mutex, CarriesRankAndName) {
+  Mutex mu(LockRank::kStorage, "test.storage");
+  EXPECT_EQ(mu.rank(), LockRank::kStorage);
+  EXPECT_STREQ(mu.name(), "test.storage");
+  Mutex unranked;
+  EXPECT_EQ(unranked.rank(), LockRank::kUnranked);
+}
+
+TEST(MutexLock, UnlockRelockRoundTrip) {
+  Mutex mu;
+  MutexLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  // While dropped, another thread can take and release the mutex.
+  std::thread other([&] { MutexLock inner(mu); });
+  other.join();
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(MutexLock, DestructorReleasesOnlyWhenHeld) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.unlock();
+  }  // dtor must not double-unlock
+  {
+    MutexLock lock(mu);
+  }  // dtor releases
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(SharedMutex, ManyReadersOneWriter) {
+  SharedMutex mu(LockRank::kUnranked, "test.shared");
+  int value = 0;
+  std::atomic<int> readers_in{0};
+  std::atomic<int> max_readers{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::sleep_for(1ms);
+      for (int i = 0; i < 200; ++i) {
+        ReaderLock lock(mu);
+        int in = readers_in.fetch_add(1) + 1;
+        int prev = max_readers.load();
+        while (in > prev && !max_readers.compare_exchange_weak(prev, in)) {
+        }
+        EXPECT_GE(value, 0);
+        readers_in.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!go.load()) std::this_thread::sleep_for(1ms);
+    for (int i = 0; i < 100; ++i) {
+      WriterLock lock(mu);
+      EXPECT_EQ(readers_in.load(), 0);  // writers exclude readers
+      ++value;
+    }
+  });
+  go.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(value, 100);
+}
+
+TEST(CondVar, NotifyWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  });
+  MutexLock lock(mu);
+  while (!ready) cv.wait(mu);
+  EXPECT_TRUE(ready);
+  lock.unlock();
+  producer.join();
+}
+
+TEST(CondVar, WaitUntilDeadlineExpires) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + 30ms;
+  // Nobody notifies: the explicit loop runs until the deadline passes.
+  bool woke_early = false;
+  while (std::chrono::steady_clock::now() < deadline && !woke_early) {
+    cv.wait_until(mu, deadline);
+  }
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(CondVar, StopTokenWaitReturnsFalseOnStop) {
+  Mutex mu;
+  CondVar cv;
+  std::stop_source source;
+  std::atomic<bool> returned{false};
+  std::atomic<bool> result{true};
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    // No notify ever comes; only the stop request can end this wait.
+    bool r = cv.wait(mu, source.get_token());
+    result.store(r);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(returned.load());
+  source.request_stop();
+  cv.notify_all();  // CondVar's stop waits also wake via the cv itself
+  waiter.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(result.load());  // false == stop requested
+}
+
+TEST(CondVar, StopTokenWaitForTimesOutWithoutStop) {
+  Mutex mu;
+  CondVar cv;
+  std::stop_source source;
+  MutexLock lock(mu);
+  bool r = cv.wait_for(mu, source.get_token(), 10ms);
+  EXPECT_TRUE(r);  // true == no stop requested (plain timeout)
+}
+
+// --- lock-rank bookkeeping (detector internals, non-fatal paths) -----------
+
+TEST(LockRank, HeldCountTracksAcquisitions) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "detector compiled out";
+  EXPECT_EQ(sync_internal::held_lock_count(), 0);
+  Mutex outer(LockRank::kReplicaEngine, "test.outer");
+  Mutex inner(LockRank::kQueue, "test.inner");
+  {
+    MutexLock l1(outer);
+    EXPECT_EQ(sync_internal::held_lock_count(), 1);
+    {
+      MutexLock l2(inner);  // 720 -> 200: strictly decreasing, legal
+      EXPECT_EQ(sync_internal::held_lock_count(), 2);
+    }
+    EXPECT_EQ(sync_internal::held_lock_count(), 1);
+  }
+  EXPECT_EQ(sync_internal::held_lock_count(), 0);
+}
+
+TEST(LockRank, OutOfOrderReleaseIsTracked) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "detector compiled out";
+  Mutex a(LockRank::kReplicaEngine, "test.a");
+  Mutex b(LockRank::kQueue, "test.b");
+  a.lock();
+  b.lock();
+  a.unlock();  // release the OUTER lock first
+  EXPECT_EQ(sync_internal::held_lock_count(), 1);
+  b.unlock();
+  EXPECT_EQ(sync_internal::held_lock_count(), 0);
+}
+
+TEST(LockRank, UnrankedLocksAreExemptFromOrdering) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "detector compiled out";
+  Mutex ranked(LockRank::kQueue, "test.ranked");
+  Mutex unranked;  // kUnranked
+  // Acquiring a ranked lock under an unranked one (and vice versa) is legal
+  // in either order: kUnranked opts out of the ordering.
+  {
+    MutexLock l1(unranked);
+    MutexLock l2(ranked);
+  }
+  {
+    MutexLock l1(ranked);
+    MutexLock l2(unranked);
+  }
+  EXPECT_EQ(sync_internal::held_lock_count(), 0);
+}
+
+TEST(LockRank, SharedHoldsParticipate) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "detector compiled out";
+  SharedMutex outer(LockRank::kReplicaEngine, "test.shared_outer");
+  Mutex inner(LockRank::kQueue, "test.inner");
+  {
+    ReaderLock r(outer);
+    EXPECT_EQ(sync_internal::held_lock_count(), 1);
+    MutexLock l(inner);
+    EXPECT_EQ(sync_internal::held_lock_count(), 2);
+  }
+  EXPECT_EQ(sync_internal::held_lock_count(), 0);
+}
+
+TEST(LockRank, TryLockJoinsHeldStack) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "detector compiled out";
+  Mutex mu(LockRank::kQueue, "test.try");
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_EQ(sync_internal::held_lock_count(), 1);
+  mu.unlock();
+  EXPECT_EQ(sync_internal::held_lock_count(), 0);
+}
+
+TEST(LockRank, DetectorCompiledOutInRelease) {
+  // The tier-1 build is RelWithDebInfo (NDEBUG): checks must be OFF unless
+  // forced. A Debug build (or RDB_LOCK_RANK_FORCE) flips this on.
+#if defined(RDB_LOCK_RANK_FORCE) || !defined(NDEBUG)
+  EXPECT_TRUE(lock_rank_checks_enabled());
+#else
+  EXPECT_FALSE(lock_rank_checks_enabled());
+#endif
+}
+
+}  // namespace
+}  // namespace rdb
