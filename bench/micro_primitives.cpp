@@ -13,6 +13,7 @@
 #include "crypto/provider.h"
 #include "crypto/sha256.h"
 #include "protocol/messages.h"
+#include "protocol/validate.h"
 #include "queues/buffer_pool.h"
 #include "queues/mpmc_queue.h"
 #include "storage/mem_store.h"
@@ -261,10 +262,16 @@ void BM_MessageSerializeParse(benchmark::State& state) {
   m.from = Endpoint::replica(0);
   m.payload = pp;
   m.signature = Bytes(17, 0x44);
+  protocol::ValidationContext vctx;
+  vctx.n = 4;
+  vctx.current_view = 1;
   for (auto _ : state) {
     Bytes wire = m.serialize();
-    auto parsed = protocol::Message::parse(BytesView(wire));
-    benchmark::DoNotOptimize(parsed);
+    // parse + semantic validation — the full per-frame receive cost under
+    // the wire-taint discipline (Message::parse alone is gated to the
+    // validation module by check_static.sh).
+    auto verdict = protocol::validate_wire(BytesView(wire), vctx);
+    benchmark::DoNotOptimize(verdict);
   }
 }
 BENCHMARK(BM_MessageSerializeParse);

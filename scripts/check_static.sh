@@ -3,31 +3,48 @@
 #
 #   scripts/check_static.sh
 #
-# Four stages, strongest-available-tool first:
+# Six stages, strongest-available-tool first:
 #
 #   1. sync-primitive grep gate   — no naked std:: synchronization outside
 #                                   src/common/sync.h. Pure grep: enforced
 #                                   EVERYWHERE, even without clang.
-#   2. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
+#   2. input-taint grep gate      — the Untrusted<T> discipline (docs/
+#                                   static_analysis.md, "Input taint
+#                                   discipline"): Message::parse confined to
+#                                   the validation module, the unsafe_*
+#                                   escape hatches confined to validate.cpp
+#                                   (and tests), reinterpret_cast confined to
+#                                   a reviewed per-file whitelist.
+#   3. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
 #                                   -Wnon-virtual-dtor with -Werror, into a
 #                                   throwaway build dir (build-static).
-#   3. Thread Safety Analysis     — clang only. The same build dir compiles
+#   4. Thread Safety Analysis     — clang only. The same build dir compiles
 #                                   with -Wthread-safety -Werror=thread-safety
 #                                   (CMakeLists.txt turns it on when the
 #                                   compiler is clang), and the CMake
 #                                   try_compile probes prove the gate has
 #                                   teeth (cmake/CheckThreadSafety.cmake).
-#   4. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
+#   5. clang static analyzer      — clang only. `clang++ --analyze` over
+#                                   every src/ + tools/ translation unit
+#                                   using the flags recorded in
+#                                   compile_commands.json; any analyzer
+#                                   diagnostic fails the gate.
+#   6. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
 #                                   check set over src/ + tools/ against the
-#                                   compile_commands.json exported in step 2.
+#                                   compile_commands.json exported in step 3.
 #
-# Stages 3-4 skip with a notice when clang / clang-tidy are not installed
-# (the default container ships only GCC); the grep gate and strict build
+# Stages 4-6 skip with a notice when clang / clang-tidy are not installed
+# (the default container ships only GCC); the grep gates and strict build
 # still run, so the script is useful on every machine and authoritative in
 # the CI static-analysis job where clang is present.
+# With --grep-only, stages 1-2 run and the script exits — the cheap,
+# compiler-independent gates for a fast CI step or a pre-commit hook.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+grep_only=0
+[ "${1:-}" = "--grep-only" ] && grep_only=1
 
 status=0
 
@@ -36,7 +53,7 @@ status=0
 # wraps. Everything else must use rdb::Mutex / rdb::CondVar / MutexLock /
 # ReaderLock / WriterLock so the TSA annotations and the lock-rank detector
 # see every acquisition.
-echo "=== [1/4] sync-primitive grep gate ==="
+echo "=== [1/6] sync-primitive grep gate ==="
 pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
 if offenders=$(grep -RnE "$pattern" src tools \
                  --include='*.h' --include='*.cpp' \
@@ -49,14 +66,80 @@ else
   echo "OK: no naked std sync primitives outside src/common/sync.h"
 fi
 
-# --- 2. strict warning build -----------------------------------------------
-echo "=== [2/4] strict warning build (-Werror) -> build-static ==="
+# --- 2. input-taint grep gate -----------------------------------------------
+# Wire bytes are attacker-controlled. Message::parse returns
+# Untrusted<Message>, and ONLY protocol/validate.cpp may open the wrapper
+# (mint Validated<Message> after the full check catalog). Tests sit inside
+# the boundary (they construct adversarial inputs on purpose); everything
+# else — src/, tools/, bench/ — must go through protocol::validate_wire.
+echo "=== [2/6] input-taint grep gate ==="
+taint_status=0
+
+# 2a. Message::parse is callable only from the validation module itself
+# (plus its own declaration/definition in messages.{h,cpp}).
+if offenders=$(grep -RnE 'Message::parse\s*\(' src tools bench \
+                 --include='*.h' --include='*.cpp' \
+               | grep -vE '^src/protocol/(validate\.cpp|messages\.h|messages\.cpp):'); then
+  echo "FAIL: Message::parse called outside the validation module:"
+  echo "$offenders"
+  echo "Go through protocol::validate_wire (src/protocol/validate.h) instead."
+  taint_status=1
+else
+  echo "OK: Message::parse confined to src/protocol/validate.cpp"
+fi
+
+# 2b. The unsafe escape hatches are confined to the wrapper definition and
+# the one sanctioned opening point.
+if offenders=$(grep -RnE '\bunsafe_(get|release)\s*\(' src tools bench \
+                 --include='*.h' --include='*.cpp' \
+               | grep -vE '^src/(protocol/validate\.cpp|common/untrusted\.h):'); then
+  echo "FAIL: Untrusted<T> escape hatch used outside src/protocol/validate.cpp:"
+  echo "$offenders"
+  echo "Validate first; only validate.cpp may call unsafe_get/unsafe_release."
+  taint_status=1
+else
+  echo "OK: unsafe_get/unsafe_release confined to the validation module"
+fi
+
+# 2c. reinterpret_cast erases the type system entirely — the strongest way
+# to smuggle unvalidated bytes into typed state. Reviewed per-file
+# whitelist only (serde primitives, hash block readers, socket/file IO):
+reinterpret_whitelist='^(src/common/serde\.h|src/crypto/sha256\.h|src/crypto/sha512\.h|src/runtime/tcp_transport\.cpp|src/storage/page_db\.cpp|src/workload/ycsb\.cpp|tools/rdb_wirefuzz\.cpp):'
+if offenders=$(grep -RnE '\breinterpret_cast\b' src tools bench \
+                 --include='*.h' --include='*.cpp' \
+               | grep -vE "$reinterpret_whitelist"); then
+  echo "FAIL: reinterpret_cast outside the reviewed whitelist:"
+  echo "$offenders"
+  echo "Add a justification + the file to the whitelist in this script AND"
+  echo "docs/static_analysis.md, or use the serde.h primitives."
+  taint_status=1
+else
+  echo "OK: reinterpret_cast confined to the reviewed whitelist"
+fi
+
+if [ "$taint_status" -ne 0 ]; then
+  status=1
+else
+  echo "OK: input-taint discipline holds"
+fi
+
+if [ "$grep_only" -eq 1 ]; then
+  if [ "$status" -ne 0 ]; then
+    echo "check_static.sh: grep gates FAILED"
+    exit "$status"
+  fi
+  echo "check_static.sh: grep gates passed (--grep-only)"
+  exit 0
+fi
+
+# --- 3. strict warning build -----------------------------------------------
+echo "=== [3/6] strict warning build (-Werror) -> build-static ==="
 cmake -B build-static -S . -DCMAKE_CXX_FLAGS=-Werror >/dev/null
 cmake --build build-static -j"$(nproc)"
 echo "OK: zero-warning build"
 
-# --- 3. Thread Safety Analysis (clang) -------------------------------------
-echo "=== [3/4] Clang Thread Safety Analysis ==="
+# --- 4. Thread Safety Analysis (clang) -------------------------------------
+echo "=== [4/6] Clang Thread Safety Analysis ==="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
@@ -66,11 +149,27 @@ else
   echo "SKIP: clang++ not installed; TSA runs in the CI static-analysis job"
 fi
 
-# --- 4. clang-tidy ----------------------------------------------------------
-echo "=== [4/4] clang-tidy ==="
+# --- 5. clang static analyzer ----------------------------------------------
+echo "=== [5/6] clang static analyzer (--analyze) ==="
+if command -v clang++ >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1; then
+  # Re-drive every TU through the path-sensitive analyzer using the include
+  # dirs/defines recorded in compile_commands.json (exported in step 3).
+  # Any analyzer warning is a failure.
+  if python3 scripts/run_clang_analyze.py build-static/compile_commands.json; then
+    echo "OK: clang static analyzer clean"
+  else
+    echo "FAIL: clang static analyzer reported issues"
+    status=1
+  fi
+else
+  echo "SKIP: clang++/python3 not installed; runs in the CI static-analysis job"
+fi
+
+# --- 6. clang-tidy ----------------------------------------------------------
+echo "=== [6/6] clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by CMakeLists.txt
-  # (CMAKE_EXPORT_COMPILE_COMMANDS ON) into build-static in step 2.
+  # (CMAKE_EXPORT_COMPILE_COMMANDS ON) into build-static in step 3.
   mapfile -t tidy_sources < <(find src tools -name '*.cpp' | sort)
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p build-static -quiet "${tidy_sources[@]}"

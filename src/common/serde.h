@@ -90,8 +90,16 @@ class Reader {
 
   /// True iff no read so far has run past the end of the buffer.
   bool ok() const { return ok_; }
-  /// True iff ok() and every byte was consumed.
+  /// True iff ok() and every byte was consumed. Parsers of untrusted input
+  /// MUST finish with done(): trailing bytes mean the frame is not the
+  /// canonical serialization of what was parsed (appended garbage, a length
+  /// lie, or a smuggled second message) and must be rejected.
   bool done() const { return ok_ && pos_ == view_.size(); }
+  /// Marks the stream failed. Deserializers call this when a semantic bound
+  /// is violated (e.g. an element count that cannot fit in the remaining
+  /// bytes) so the failure is sticky and the caller's ok()/done() checks
+  /// reject the input instead of accepting a partially-parsed value.
+  void fail() { ok_ = false; }
   std::size_t remaining() const { return view_.size() - pos_; }
 
  private:

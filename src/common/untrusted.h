@@ -1,0 +1,112 @@
+// Compile-time input-taint discipline (docs/static_analysis.md, "Input taint
+// discipline").
+//
+// Everything deserialized from the wire is Byzantine until proven otherwise:
+// a malicious primary or client controls every byte of the frame, and the
+// paper's §2.2 arguments (malicious-primary equivocation, dark periods) are
+// only sound if replicas never act on unvalidated fields. The same playbook
+// as src/common/sync.h applied to input validation: make the unsafe state a
+// distinct TYPE so the compiler — plus the check_taint grep gate in
+// scripts/check_static.sh — forces every byte through a validator before any
+// field is reachable.
+//
+// Type-states:
+//
+//   Untrusted<T>   what deserialization produces. The payload is reachable
+//                  ONLY through the unsafe_*() escape hatches, which the
+//                  check_taint gate bans outside the validation module
+//                  (src/protocol/validate.cpp) and tests/.
+//   Validated<T>   what a validator returns. Read access is free; the value
+//                  provably passed the structural + semantic checks for its
+//                  type. `Validated<T>::trusted()` wraps values that never
+//                  touched the wire (locally constructed messages) — policy:
+//                  it must NEVER be applied to deserialized data, which is
+//                  enforced transitively because deserialized data is only
+//                  reachable via the gated unsafe_*() hatches.
+//
+// The flow, end to end:
+//
+//   wire bytes --parse--> Untrusted<Message> --validate(ctx)--> Validated<Message>
+//                                |                    |
+//                         (fields sealed)      (or a RejectReason,
+//                                               counted in stats)
+#pragma once
+
+#include <utility>
+
+namespace rdb {
+
+template <typename T>
+class Validated;
+
+/// A value of T produced by deserializing attacker-controlled bytes. The
+/// payload is sealed: the only accessors carry the `unsafe_` prefix, which
+/// scripts/check_static.sh (check_taint stage) bans outside the validation
+/// module and tests. Pass it to a validator (src/protocol/validate.h) to get
+/// a usable Validated<T> back.
+template <typename T>
+class Untrusted {
+ public:
+  Untrusted() = default;
+  /// Wrapping is always allowed — adding taint is safe, removing it is not.
+  explicit Untrusted(T value) : value_(std::move(value)) {}
+
+  Untrusted(Untrusted&&) noexcept = default;
+  Untrusted& operator=(Untrusted&&) noexcept = default;
+  Untrusted(const Untrusted&) = default;
+  Untrusted& operator=(const Untrusted&) = default;
+
+  /// ESCAPE HATCH — read the tainted payload without validation. Allowed
+  /// only inside src/protocol/validate.cpp (which is what validators are)
+  /// and tests/ (negative-path tests need to inspect rejected inputs).
+  /// Everywhere else the check_taint grep gate fails the build.
+  const T& unsafe_get() const& { return value_; }
+
+  /// ESCAPE HATCH — move the tainted payload out. Same policy as
+  /// unsafe_get(); validators use it to avoid copying accepted messages.
+  T unsafe_release() && { return std::move(value_); }
+
+ private:
+  T value_;
+};
+
+/// A value of T that passed its validator: every structural and semantic
+/// invariant for the type holds (see the validator catalog in
+/// docs/static_analysis.md). Constructible only via a validator or — for
+/// values that never crossed the wire — via trusted().
+template <typename T>
+class Validated {
+ public:
+  /// Wraps a LOCALLY CONSTRUCTED value (own protocol messages, test
+  /// fixtures, simulator-internal traffic). Policy: never apply this to
+  /// deserialized data — deserialized data lives inside Untrusted<T>, whose
+  /// escape hatches are grep-gated, so a trusted() laundering of wire bytes
+  /// cannot be written without tripping the gate first.
+  static Validated trusted(T value) { return Validated(std::move(value)); }
+
+  Validated(Validated&&) noexcept = default;
+  Validated& operator=(Validated&&) noexcept = default;
+  Validated(const Validated&) = default;
+  Validated& operator=(const Validated&) = default;
+
+  const T& get() const& { return value_; }
+  const T& operator*() const& { return value_; }
+  const T* operator->() const { return &value_; }
+
+  /// Unwraps. Sound by construction: the payload already passed validation,
+  /// so handing out a mutable T grants nothing an attacker controls.
+  T release() && { return std::move(value_); }
+
+ private:
+  template <typename U>
+  friend class Untrusted;
+  // Validators live in src/protocol/validate.cpp; they mint Validated<T>
+  // through trusted() after every check passed (the value they wrap came
+  // out of an Untrusted<T> via the gated hatch, inside the one module
+  // allowed to use it).
+  explicit Validated(T value) : value_(std::move(value)) {}
+
+  T value_;
+};
+
+}  // namespace rdb

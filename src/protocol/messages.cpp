@@ -14,8 +14,15 @@ void serialize_txns(Writer& w, const std::vector<Transaction>& txns) {
 std::vector<Transaction> deserialize_txns(Reader& r) {
   std::uint32_t n = r.u32();
   std::vector<Transaction> txns;
-  if (!r.ok() || static_cast<std::uint64_t>(n) * 20 > r.remaining() + 20)
+  // Each transaction occupies >= 24 bytes on the wire; a count that cannot
+  // fit in the remaining bytes is a length lie. Mark the stream FAILED —
+  // returning an empty vector with ok() still true would let a truncated or
+  // hostile frame parse as a valid message with zero transactions
+  // (accept-on-truncation).
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 20 > r.remaining() + 20) {
+    r.fail();
     return txns;
+  }
   txns.reserve(n);
   for (std::uint32_t i = 0; i < n && r.ok(); ++i)
     txns.push_back(Transaction::deserialize(r));
@@ -185,8 +192,10 @@ ViewChange ViewChange::deserialize(Reader& r) {
   v.new_view = r.u64();
   v.stable_seq = r.u64();
   std::uint32_t n = r.u32();
-  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60)
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60) {
+    r.fail();  // count lie: reject, do not accept a truncated view change
     return v;
+  }
   v.prepared.reserve(n);
   for (std::uint32_t i = 0; i < n && r.ok(); ++i)
     v.prepared.push_back(PreparedProof::deserialize(r));
@@ -211,8 +220,10 @@ NewView NewView::deserialize(Reader& r) {
   v.view = r.u64();
   v.stable_seq = r.u64();
   std::uint32_t n = r.u32();
-  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60)
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60) {
+    r.fail();  // count lie: reject, do not accept a truncated new view
     return v;
+  }
   v.reproposals.reserve(n);
   for (std::uint32_t i = 0; i < n && r.ok(); ++i)
     v.reproposals.push_back(PreparedProof::deserialize(r));
@@ -283,8 +294,10 @@ CommitCert CommitCert::deserialize(Reader& r) {
   c.seq = r.u64();
   c.history = r.digest();
   std::uint32_t n = r.u32();
-  if (!r.ok() || static_cast<std::uint64_t>(n) * 4 > r.remaining() + 4)
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 4 > r.remaining() + 4) {
+    r.fail();  // count lie: a certificate with missing signers is no proof
     return c;
+  }
   c.signers.reserve(n);
   for (std::uint32_t i = 0; i < n && r.ok(); ++i) c.signers.push_back(r.u32());
   return c;
@@ -332,8 +345,10 @@ void BatchResponse::serialize(Writer& w) const {
 BatchResponse BatchResponse::deserialize(Reader& r) {
   BatchResponse b;
   std::uint32_t n = r.u32();
-  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60)
+  if (!r.ok() || static_cast<std::uint64_t>(n) * 60 > r.remaining() + 60) {
+    r.fail();  // count lie: reject, do not accept a truncated batch response
     return b;
+  }
   b.entries.reserve(n);
   for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
     Entry e;
@@ -403,13 +418,19 @@ Bytes Message::serialize() const {
   return w.take();
 }
 
-std::optional<Message> Message::parse(BytesView wire) {
+std::optional<Untrusted<Message>> Message::parse(BytesView wire,
+                                                ParseError* err) {
+  auto reject = [&](ParseError e) {
+    if (err) *err = e;
+    return std::nullopt;
+  };
+  if (err) *err = ParseError::kNone;
   Reader r(wire);
   auto type = static_cast<MsgType>(r.u8());
   Message m;
   m.from.kind = static_cast<Endpoint::Kind>(r.u8());
   m.from.id = r.u32();
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) return reject(ParseError::kTruncated);
   switch (type) {
     case MsgType::kClientRequest:
       m.payload = ClientRequest::deserialize(r);
@@ -454,11 +475,15 @@ std::optional<Message> Message::parse(BytesView wire) {
       m.payload = BatchResponse::deserialize(r);
       break;
     default:
-      return std::nullopt;
+      return reject(ParseError::kUnknownType);
   }
   m.signature = r.bytes();
-  if (!r.ok()) return std::nullopt;
-  return m;
+  if (!r.ok()) return reject(ParseError::kTruncated);
+  // Canonicality: every byte of the frame must have been consumed. Trailing
+  // bytes mean the frame is not serialize(parse(frame)) — appended garbage
+  // or a length lie — and a Byzantine sender gets no benefit of the doubt.
+  if (!r.done()) return reject(ParseError::kTrailingBytes);
+  return Untrusted<Message>(std::move(m));
 }
 
 }  // namespace rdb::protocol

@@ -15,6 +15,7 @@
 #include "common/bytes.h"
 #include "common/serde.h"
 #include "common/types.h"
+#include "common/untrusted.h"
 #include "ledger/block.h"
 
 namespace rdb::protocol {
@@ -245,6 +246,15 @@ using Payload =
                  Checkpoint, ViewChange, NewView, OrderRequest, SpecResponse,
                  CommitCert, LocalCommit, BatchRequest, BatchResponse>;
 
+/// Why Message::parse rejected a frame. Coarser than protocol::RejectReason
+/// (validate.h): parse only knows about wire structure, not semantics.
+enum class ParseError : std::uint8_t {
+  kNone = 0,
+  kTruncated,      // ran out of bytes mid-field, or a length lie
+  kUnknownType,    // type byte names no known message
+  kTrailingBytes,  // parsed fine but bytes remain: not canonical, rejected
+};
+
 /// Envelope: source endpoint, payload, and the signature the source attached.
 /// §4.8's base-class message representation, realized as a variant.
 struct Message {
@@ -260,8 +270,16 @@ struct Message {
   Bytes signing_bytes() const;
 
   Bytes serialize() const;
-  /// Parses an envelope; returns nullopt on malformed input.
-  static std::optional<Message> parse(BytesView wire);
+  /// Parses an envelope off the wire. The result is TAINTED: wire bytes are
+  /// attacker-controlled, so the payload comes back sealed inside
+  /// Untrusted<Message> and is only usable after passing a validator
+  /// (protocol::validate_wire / validate_message in protocol/validate.h).
+  /// Rejects frames with trailing bytes (Reader::done()). `err`, when
+  /// non-null, reports why a nullopt came back. The check_taint gate
+  /// (scripts/check_static.sh) confines callers to the validation module
+  /// and tests.
+  static std::optional<Untrusted<Message>> parse(BytesView wire,
+                                                 ParseError* err = nullptr);
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -54,7 +54,14 @@ Actions PbftEngine::make_preprepare(SeqNum seq, std::vector<Transaction> txns,
 
 Actions PbftEngine::on_preprepare(const Message& msg) {
   Actions out;
-  const auto& pp = std::get<PrePrepare>(msg.payload);
+  // get_if, not get: a mis-routed payload is a counted reject, not a throw
+  // (defense in depth under the wire-taint discipline — validate.h).
+  const auto* ppp = std::get_if<PrePrepare>(&msg.payload);
+  if (!ppp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& pp = *ppp;
   if (msg.from.kind != Endpoint::Kind::kReplica ||
       msg.from.id != primary_of(pp.view) || pp.view != view_ ||
       in_view_change_ || !in_window(pp.seq)) {
@@ -95,7 +102,12 @@ Actions PbftEngine::on_preprepare(const Message& msg) {
 
 Actions PbftEngine::on_prepare(const Message& msg) {
   Actions out;
-  const auto& p = std::get<Prepare>(msg.payload);
+  const auto* pptr = std::get_if<Prepare>(&msg.payload);
+  if (!pptr) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& p = *pptr;
   if (msg.from.kind != Endpoint::Kind::kReplica || p.view != view_ ||
       in_view_change_ || !in_window(p.seq) ||
       msg.from.id == primary_of(p.view)) {
@@ -133,7 +145,12 @@ Actions PbftEngine::maybe_prepared(SeqNum seq, Slot& s) {
 
 Actions PbftEngine::on_commit(const Message& msg) {
   Actions out;
-  const auto& c = std::get<Commit>(msg.payload);
+  const auto* cptr = std::get_if<Commit>(&msg.payload);
+  if (!cptr) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& c = *cptr;
   if (msg.from.kind != Endpoint::Kind::kReplica || c.view != view_ ||
       in_view_change_ || !in_window(c.seq)) {
     ++metrics_.rejected_msgs;
@@ -219,7 +236,12 @@ Actions PbftEngine::on_executed(SeqNum seq, const Digest& state_digest) {
 
 Actions PbftEngine::on_checkpoint(const Message& msg) {
   Actions out;
-  const auto& cp = std::get<Checkpoint>(msg.payload);
+  const auto* cpp = std::get_if<Checkpoint>(&msg.payload);
+  if (!cpp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& cp = *cpp;
   if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_) {
     return out;  // stale, not an error
   }
@@ -267,16 +289,29 @@ Actions PbftEngine::maybe_request_catchup() {
     if (s.committed) frontier = std::max(frontier, seq);
   if (frontier <= last_executed_) return out;
 
-  // Only a *gap* warrants fetching: the next batch in execution order is
-  // missing its pre-prepare (request payload). If it is merely still in
-  // flight, normal consensus will deliver it.
+  // Only a *gap* warrants fetching: if the next batch in execution order is
+  // merely still in flight, normal consensus will deliver it. But a slot
+  // whose pre-prepare is present while a LATER slot already committed is
+  // stalled, not in flight — its prepare/commit votes were lost on the wire
+  // (e.g. to chaos-layer corruption) and nobody retransmits votes. Fetch it.
   auto next = slots_.find(last_executed_ + 1);
-  if (next != slots_.end() && next->second.have_preprepare) return out;
+  if (next != slots_.end() && next->second.have_preprepare &&
+      (next->second.committed || frontier <= last_executed_ + 1))
+    return out;
 
   SeqNum begin = last_executed_ + 1;
   SeqNum end = std::min<SeqNum>(frontier, begin + 49);  // bounded chunks
-  if (end <= catchup_requested_upto_ && begin <= catchup_requested_upto_)
-    return out;  // already in flight
+  if (end <= catchup_requested_upto_ && begin <= catchup_requested_upto_) {
+    // A request for this range is already in flight. The response may itself
+    // have been lost (the chaos layer corrupts catch-up traffic too), so the
+    // dedup must not stall us forever: re-arm after a few idle polls.
+    if (++catchup_idle_polls_ >= 5) {
+      catchup_idle_polls_ = 0;
+      catchup_requested_upto_ = 0;
+    }
+    return out;
+  }
+  catchup_idle_polls_ = 0;
   catchup_requested_upto_ = end;
   ++metrics_.catchup_requests;
 
@@ -289,7 +324,12 @@ Actions PbftEngine::maybe_request_catchup() {
 
 Actions PbftEngine::on_batch_request(const Message& msg) {
   Actions out;
-  const auto& req = std::get<BatchRequest>(msg.payload);
+  const auto* reqp = std::get_if<BatchRequest>(&msg.payload);
+  if (!reqp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& req = *reqp;
   if (msg.from.kind != Endpoint::Kind::kReplica || req.end < req.begin ||
       req.end - req.begin > 1000) {
     ++metrics_.rejected_msgs;
@@ -316,7 +356,12 @@ Actions PbftEngine::on_batch_request(const Message& msg) {
 
 Actions PbftEngine::on_batch_response(const Message& msg) {
   Actions out;
-  const auto& resp = std::get<BatchResponse>(msg.payload);
+  const auto* respp = std::get_if<BatchResponse>(&msg.payload);
+  if (!respp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& resp = *respp;
   if (msg.from.kind != Endpoint::Kind::kReplica) {
     ++metrics_.rejected_msgs;
     return out;
@@ -324,7 +369,11 @@ Actions PbftEngine::on_batch_response(const Message& msg) {
   for (const auto& e : resp.entries) {
     if (e.seq <= last_executed_) continue;
     Slot& s = slot(e.seq);
-    if (s.have_preprepare) continue;  // nothing missing here
+    // Skip only slots that already committed locally. A slot can hold a
+    // pre-prepare yet be permanently stalled (its prepare/commit votes were
+    // lost on the wire and votes are not retransmitted) — catch-up is the
+    // only way such a slot ever completes, so it must remain repairable.
+    if (s.committed) continue;
 
     // Require f+1 distinct peers to vouch for the same (seq, digest): at
     // least one of them is honest and executed the batch, so the batch is
@@ -380,7 +429,12 @@ Actions PbftEngine::start_view_change(ViewId target) {
 
 Actions PbftEngine::on_view_change(const Message& msg) {
   Actions out;
-  const auto& vc = std::get<ViewChange>(msg.payload);
+  const auto* vcp = std::get_if<ViewChange>(&msg.payload);
+  if (!vcp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& vc = *vcp;
   if (msg.from.kind != Endpoint::Kind::kReplica || vc.new_view <= view_) {
     ++metrics_.rejected_msgs;
     return out;
@@ -444,7 +498,12 @@ Actions PbftEngine::on_view_change(const Message& msg) {
 }
 
 Actions PbftEngine::on_new_view(const Message& msg) {
-  const auto& nv = std::get<NewView>(msg.payload);
+  const auto* nvp = std::get_if<NewView>(&msg.payload);
+  if (!nvp) {
+    ++metrics_.rejected_msgs;
+    return {};
+  }
+  const auto& nv = *nvp;
   if (msg.from.kind != Endpoint::Kind::kReplica ||
       msg.from.id != primary_of(nv.view) || nv.view <= view_) {
     ++metrics_.rejected_msgs;

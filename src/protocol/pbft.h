@@ -165,6 +165,9 @@ class PbftEngine {
   // catch-up: seq -> digest -> peers vouching for it
   std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> catchup_votes_;
   SeqNum catchup_requested_upto_{0};
+  /// Consecutive catch-up polls spent waiting on an in-flight request;
+  /// after a few the request dedup re-arms (the response may be lost).
+  int catchup_idle_polls_{0};
 
   PbftMetrics metrics_;
 };

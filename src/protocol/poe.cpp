@@ -46,7 +46,14 @@ Actions PoeEngine::make_propose(SeqNum seq, std::vector<Transaction> txns,
 
 Actions PoeEngine::on_propose(const Message& msg) {
   Actions out;
-  const auto& p = std::get<PrePrepare>(msg.payload);
+  // get_if, not get: a mis-routed payload is a counted reject, not a throw
+  // (defense in depth under the wire-taint discipline — validate.h).
+  const auto* pptr = std::get_if<PrePrepare>(&msg.payload);
+  if (!pptr) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& p = *pptr;
   if (msg.from.kind != Endpoint::Kind::kReplica ||
       msg.from.id != (p.view % config_.n) || p.view != view_ ||
       !in_window(p.seq)) {
@@ -83,7 +90,12 @@ Actions PoeEngine::on_propose(const Message& msg) {
 
 Actions PoeEngine::on_support(const Message& msg) {
   Actions out;
-  const auto& sup = std::get<Prepare>(msg.payload);
+  const auto* supp = std::get_if<Prepare>(&msg.payload);
+  if (!supp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& sup = *supp;
   if (msg.from.kind != Endpoint::Kind::kReplica || sup.view != view_ ||
       !in_window(sup.seq) || msg.from.id == (sup.view % config_.n)) {
     ++metrics_.rejected_msgs;
@@ -150,7 +162,12 @@ Actions PoeEngine::on_executed(SeqNum seq, const Digest& state_digest) {
 
 Actions PoeEngine::on_checkpoint(const Message& msg) {
   Actions out;
-  const auto& cp = std::get<Checkpoint>(msg.payload);
+  const auto* cpp = std::get_if<Checkpoint>(&msg.payload);
+  if (!cpp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& cp = *cpp;
   if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_)
     return out;
   auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];

@@ -1,0 +1,305 @@
+// Validators for wire messages (see validate.h for the contract).
+//
+// THIS is the one translation unit allowed to open Untrusted<T> — every
+// `.unsafe_get()` / `.unsafe_release()` below is inside the taint boundary
+// that scripts/check_static.sh (check_taint) encloses. Keep the pattern
+// uniform: read tainted fields, check, and only mint Validated<Message> after
+// the last check passed.
+
+#include "protocol/validate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rdb::protocol {
+
+namespace {
+
+const ValidationLimits kDefaultLimits{};
+
+/// Per-call helper bundling the context and the running verdict.
+struct Checker {
+  const ValidationContext& ctx;
+  const ValidationLimits& lim;
+
+  // -- primitive checks; each returns the reason or kNone ----------------
+
+  RejectReason view_in_window(ViewId v) const {
+    // Views only matter going forward: a stale view is the engine's business
+    // (it drops or buffers), but a view absurdly far in the future is an
+    // attacker trying to wedge the view-change machinery.
+    if (v > ctx.current_view + lim.view_slack)
+      return RejectReason::kViewOutOfWindow;
+    return RejectReason::kNone;
+  }
+
+  RejectReason seq_in_window(SeqNum s) const {
+    // No lower bound: late messages for executed sequences are normal and
+    // the engines ignore them. The upper bound stops frames that would make
+    // a replica reserve state for sequences it can never reach.
+    if (s > ctx.committed_seq + lim.seq_window)
+      return RejectReason::kSeqOutOfWindow;
+    return RejectReason::kNone;
+  }
+
+  RejectReason check_txn(const Transaction& t) const {
+    if (t.ops == 0 || t.ops > lim.max_txn_ops)
+      return RejectReason::kBadOpsCount;
+    if (t.payload.size() > lim.max_txn_payload)
+      return RejectReason::kPayloadTooLarge;
+    if (t.client_sig.size() > lim.max_sig_bytes)
+      return RejectReason::kBadSignatureLength;
+    return RejectReason::kNone;
+  }
+
+  RejectReason check_txns(const std::vector<Transaction>& txns,
+                          bool allow_empty) const {
+    if (!allow_empty && txns.empty()) return RejectReason::kEmptyRequest;
+    if (txns.size() > lim.max_batch_txns) return RejectReason::kBatchTooLarge;
+    for (const auto& t : txns) {
+      RejectReason r = check_txn(t);
+      if (r != RejectReason::kNone) return r;
+    }
+    return RejectReason::kNone;
+  }
+
+  RejectReason check_proofs(const std::vector<PreparedProof>& proofs) const {
+    if (proofs.size() > lim.max_proofs) return RejectReason::kTooManyProofs;
+    std::vector<SeqNum> seqs;
+    seqs.reserve(proofs.size());
+    for (const auto& p : proofs) {
+      RejectReason r = view_in_window(p.view);
+      if (r != RejectReason::kNone) return r;
+      r = seq_in_window(p.seq);
+      if (r != RejectReason::kNone) return r;
+      // Re-proposed batches may legitimately be empty (a null batch filling
+      // a hole), so allow_empty here.
+      r = check_txns(p.txns, /*allow_empty=*/true);
+      if (r != RejectReason::kNone) return r;
+      seqs.push_back(p.seq);
+    }
+    std::sort(seqs.begin(), seqs.end());
+    if (std::adjacent_find(seqs.begin(), seqs.end()) != seqs.end())
+      return RejectReason::kDuplicateProofSeq;
+    return RejectReason::kNone;
+  }
+
+  // -- per-type semantic validators --------------------------------------
+
+  RejectReason check(const ClientRequest& m) const {
+    return check_txns(m.txns, /*allow_empty=*/false);
+  }
+
+  RejectReason check(const PrePrepare& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.seq);
+    if (r != RejectReason::kNone) return r;
+    if (m.payload_padding.size() > lim.max_payload_padding)
+      return RejectReason::kPayloadTooLarge;
+    // A zero-txn batch is legitimate: the batch threads excise transactions
+    // whose client signature fails, and a null batch can fill a hole.
+    return check_txns(m.txns, /*allow_empty=*/true);
+  }
+
+  RejectReason check(const Prepare& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    return seq_in_window(m.seq);
+  }
+
+  RejectReason check(const Commit& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    return seq_in_window(m.seq);
+  }
+
+  RejectReason check(const ClientResponse& m) const {
+    return view_in_window(m.view);
+  }
+
+  RejectReason check(const Checkpoint& m) const {
+    if (m.block_bytes > lim.max_checkpoint_block_bytes)
+      return RejectReason::kPayloadTooLarge;
+    return seq_in_window(m.seq);
+  }
+
+  RejectReason check(const ViewChange& m) const {
+    RejectReason r = view_in_window(m.new_view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.stable_seq);
+    if (r != RejectReason::kNone) return r;
+    return check_proofs(m.prepared);
+  }
+
+  RejectReason check(const NewView& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.stable_seq);
+    if (r != RejectReason::kNone) return r;
+    return check_proofs(m.reproposals);
+  }
+
+  RejectReason check(const OrderRequest& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.seq);
+    if (r != RejectReason::kNone) return r;
+    return check_txns(m.txns, /*allow_empty=*/true);
+  }
+
+  RejectReason check(const SpecResponse& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.seq);
+    if (r != RejectReason::kNone) return r;
+    if (m.replica >= ctx.n) return RejectReason::kReplicaIdOutOfRange;
+    return RejectReason::kNone;
+  }
+
+  RejectReason check(const CommitCert& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.seq);
+    if (r != RejectReason::kNone) return r;
+    // A commit certificate is 2f+1 *distinct* replicas vouching for the same
+    // history. Fewer signers, repeated signers, or phantom replica ids all
+    // void the quorum-intersection argument.
+    if (m.signers.size() < commit_quorum(ctx.n))
+      return RejectReason::kQuorumTooSmall;
+    if (m.signers.size() > ctx.n) return RejectReason::kDuplicateSigner;
+    std::vector<ReplicaId> s(m.signers);
+    std::sort(s.begin(), s.end());
+    if (std::adjacent_find(s.begin(), s.end()) != s.end())
+      return RejectReason::kDuplicateSigner;
+    if (!s.empty() && s.back() >= ctx.n)
+      return RejectReason::kReplicaIdOutOfRange;
+    return RejectReason::kNone;
+  }
+
+  RejectReason check(const LocalCommit& m) const {
+    RejectReason r = view_in_window(m.view);
+    if (r != RejectReason::kNone) return r;
+    r = seq_in_window(m.seq);
+    if (r != RejectReason::kNone) return r;
+    if (m.replica >= ctx.n) return RejectReason::kReplicaIdOutOfRange;
+    return RejectReason::kNone;
+  }
+
+  RejectReason check(const BatchRequest& m) const {
+    if (m.begin > m.end || m.end - m.begin > lim.max_catchup_span)
+      return RejectReason::kBadCatchupRange;
+    return seq_in_window(m.end);
+  }
+
+  RejectReason check(const BatchResponse& m) const {
+    if (m.entries.size() > lim.max_catchup_span)
+      return RejectReason::kBadCatchupRange;
+    for (const auto& e : m.entries) {
+      RejectReason r = view_in_window(e.view);
+      if (r != RejectReason::kNone) return r;
+      r = seq_in_window(e.seq);
+      if (r != RejectReason::kNone) return r;
+      r = check_txns(e.txns, /*allow_empty=*/true);
+      if (r != RejectReason::kNone) return r;
+    }
+    return RejectReason::kNone;
+  }
+};
+
+/// Which endpoint kind may originate each message type. Anything claiming
+/// the wrong kind is lying about its role and gets kSenderKindMismatch
+/// before any field is looked at.
+Endpoint::Kind expected_sender(MsgType t) {
+  switch (t) {
+    case MsgType::kClientRequest:
+    case MsgType::kCommitCert:  // Zyzzyva: the CLIENT assembles and forwards
+      return Endpoint::Kind::kClient;
+    default:
+      return Endpoint::Kind::kReplica;
+  }
+}
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kTrailingBytes: return "trailing_bytes";
+    case RejectReason::kBadEndpoint: return "bad_endpoint";
+    case RejectReason::kSenderKindMismatch: return "sender_kind_mismatch";
+    case RejectReason::kReplicaIdOutOfRange: return "replica_id_out_of_range";
+    case RejectReason::kBadSignatureLength: return "bad_signature_length";
+    case RejectReason::kBatchTooLarge: return "batch_too_large";
+    case RejectReason::kPayloadTooLarge: return "payload_too_large";
+    case RejectReason::kEmptyRequest: return "empty_request";
+    case RejectReason::kBadOpsCount: return "bad_ops_count";
+    case RejectReason::kViewOutOfWindow: return "view_out_of_window";
+    case RejectReason::kSeqOutOfWindow: return "seq_out_of_window";
+    case RejectReason::kQuorumTooSmall: return "quorum_too_small";
+    case RejectReason::kDuplicateSigner: return "duplicate_signer";
+    case RejectReason::kTooManyProofs: return "too_many_proofs";
+    case RejectReason::kDuplicateProofSeq: return "duplicate_proof_seq";
+    case RejectReason::kBadCatchupRange: return "bad_catchup_range";
+    case RejectReason::kUnexpectedType: return "unexpected_type";
+    case RejectReason::kCount: break;
+  }
+  return "unknown";
+}
+
+ValidationResult validate_message(Untrusted<Message> um,
+                                  const ValidationContext& ctx) {
+  const ValidationLimits& lim = ctx.limits ? *ctx.limits : kDefaultLimits;
+  auto reject = [](RejectReason r) {
+    return ValidationResult{std::nullopt, r};
+  };
+
+  // All reads below are of TAINTED data — this module is the sanctioned
+  // opening point (see the check_taint gate).
+  const Message& m = um.unsafe_get();
+
+  // Envelope first: who claims to be talking, and is the claim even shaped
+  // like an endpoint.
+  if (m.from.kind != Endpoint::Kind::kReplica &&
+      m.from.kind != Endpoint::Kind::kClient)
+    return reject(RejectReason::kBadEndpoint);
+
+  MsgType t = m.type();
+  if (ctx.accept_mask != 0 && (ctx.accept_mask & accept_bit(t)) == 0)
+    return reject(RejectReason::kUnexpectedType);
+  if (m.from.kind != expected_sender(t))
+    return reject(RejectReason::kSenderKindMismatch);
+  if (m.from.kind == Endpoint::Kind::kReplica && m.from.id >= ctx.n)
+    return reject(RejectReason::kReplicaIdOutOfRange);
+  if (m.signature.size() > lim.max_sig_bytes)
+    return reject(RejectReason::kBadSignatureLength);
+
+  Checker c{ctx, lim};
+  RejectReason r =
+      std::visit([&](const auto& payload) { return c.check(payload); },
+                 m.payload);
+  if (r != RejectReason::kNone) return reject(r);
+
+  // Every check passed: lift the taint. The move is the only place a wire
+  // message crosses from Untrusted to Validated.
+  return ValidationResult{
+      Validated<Message>::trusted(std::move(um).unsafe_release()),
+      RejectReason::kNone};
+}
+
+ValidationResult validate_wire(BytesView wire, const ValidationContext& ctx) {
+  ParseError perr = ParseError::kNone;
+  auto parsed = Message::parse(wire, &perr);
+  if (!parsed) {
+    RejectReason r = perr == ParseError::kTrailingBytes
+                         ? RejectReason::kTrailingBytes
+                         : RejectReason::kMalformed;
+    return ValidationResult{std::nullopt, r};
+  }
+  return validate_message(*std::move(parsed), ctx);
+}
+
+}  // namespace rdb::protocol

@@ -1,0 +1,119 @@
+// The single door between the wire and the protocol engines.
+//
+// Every frame a transport delivers is attacker-controlled (§2.2: a malicious
+// primary or client chooses every byte). Message::parse therefore returns
+// Untrusted<Message> — fields sealed — and THIS module is the only code
+// allowed to open it (scripts/check_static.sh, check_taint stage). The
+// validators below apply the per-type structural + semantic catalog
+// (docs/static_analysis.md, "Input taint discipline") and mint
+// Validated<Message> on success, or a RejectReason that callers must count
+// (ReplicaStats::rejected_messages) — rejects are observable, never silent.
+//
+// Scope: validators check everything knowable WITHOUT keys or engine state
+// beyond a coarse (view, committed-seq) window — structure, sender-kind
+// rules, size bounds, quorum arithmetic, signer distinctness. Signature
+// verification stays in the replica's verify/worker threads (it needs the
+// crypto provider and is the expensive step the paper parallelizes, §4.4);
+// the engines keep their exact-window/equivocation checks, which need full
+// protocol state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/untrusted.h"
+#include "protocol/messages.h"
+
+namespace rdb::protocol {
+
+/// Why a frame was rejected. One counter per reason
+/// (ReplicaStats::rejected_messages) so chaos drills can assert rejects are
+/// counted, not silently dropped.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  // Structural (from Message::parse).
+  kMalformed,       // truncated, length lie, or unknown type byte
+  kTrailingBytes,   // parsed fine but bytes remain: not canonical
+  // Envelope.
+  kBadEndpoint,          // from.kind byte names no known endpoint kind
+  kSenderKindMismatch,   // e.g. a "client request" claiming a replica sender
+  kReplicaIdOutOfRange,  // replica sender id >= n
+  kBadSignatureLength,   // signature absurdly long (> limits.max_sig_bytes)
+  // Size bounds.
+  kBatchTooLarge,    // more txns than limits.max_batch_txns
+  kPayloadTooLarge,  // a txn payload / padding / checkpoint blob over bounds
+  kEmptyRequest,     // ClientRequest with zero transactions
+  kBadOpsCount,      // txn claims 0 or absurdly many operations
+  // Window sanity (coarse; engines do the exact checks).
+  kViewOutOfWindow,  // view beyond current_view + limits.view_slack
+  kSeqOutOfWindow,   // seq beyond committed_seq + limits.seq_window
+  // Certificates.
+  kQuorumTooSmall,    // CommitCert with fewer than 2f+1 signers
+  kDuplicateSigner,   // CommitCert lists the same replica twice
+  kTooManyProofs,     // ViewChange/NewView proof list over bounds
+  kDuplicateProofSeq, // two prepared proofs for the same sequence number
+  // Catch-up.
+  kBadCatchupRange,  // begin > end, or span over limits.max_catchup_span
+  // Routing.
+  kUnexpectedType,  // type not in the caller's accept mask
+  kCount,           // number of reasons (array sizing) — not a reason
+};
+
+/// Stable short name for a reason, for stats lines and logs.
+const char* reject_reason_name(RejectReason r);
+
+/// Bit for `type` in ValidationContext::accept_mask.
+constexpr std::uint32_t accept_bit(MsgType t) {
+  return 1u << static_cast<std::uint32_t>(t);
+}
+
+/// Size/shape bounds. Defaults are deliberately generous — an order of
+/// magnitude above anything the engines generate — so legitimate traffic is
+/// never rejected; they exist to stop resource-exhaustion frames, not to
+/// tune the protocol.
+struct ValidationLimits {
+  std::uint32_t max_batch_txns{65536};
+  std::uint64_t max_txn_payload{1u << 20};        // 1 MiB per txn
+  std::uint64_t max_payload_padding{16u << 20};   // 16 MiB (Figure 12 sweeps)
+  std::uint32_t max_txn_ops{65536};
+  std::uint32_t max_sig_bytes{256};               // Ed25519 is 64
+  std::uint32_t max_proofs{4096};                 // per ViewChange/NewView
+  std::uint64_t max_catchup_span{65536};          // BatchRequest end - begin
+  std::uint64_t seq_window{1'000'000};            // beyond committed frontier
+  std::uint64_t view_slack{1'000'000};            // beyond current view
+  std::uint64_t max_checkpoint_block_bytes{1u << 30};
+};
+
+/// What the validator knows about the receiving node. `n` sizes the quorum
+/// and replica-id checks; (current_view, committed_seq) anchor the coarse
+/// windows; accept_mask (0 = accept every type) lets a caller that only
+/// expects certain messages (e.g. a client waiting for responses) reject
+/// everything else with kUnexpectedType.
+struct ValidationContext {
+  std::uint32_t n{4};
+  ViewId current_view{0};
+  SeqNum committed_seq{0};
+  std::uint32_t accept_mask{0};  // 0 = all types accepted
+  const ValidationLimits* limits{nullptr};  // nullptr = defaults
+};
+
+/// Outcome: exactly one of `msg` (engaged, reason == kNone) or a reason.
+struct ValidationResult {
+  std::optional<Validated<Message>> msg;
+  RejectReason reason{RejectReason::kNone};
+
+  bool ok() const { return msg.has_value(); }
+};
+
+/// Parse + validate in one step. This is the ONLY sanctioned caller of
+/// Message::parse — see the check_taint gate; everything reading frames off a
+/// transport goes through here.
+ValidationResult validate_wire(BytesView wire, const ValidationContext& ctx);
+
+/// Validate an already-parsed (still tainted) message. Split out so the
+/// fuzzer can exercise parse and validation independently.
+ValidationResult validate_message(Untrusted<Message> um,
+                                  const ValidationContext& ctx);
+
+}  // namespace rdb::protocol

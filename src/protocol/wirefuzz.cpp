@@ -1,0 +1,374 @@
+#include "protocol/wirefuzz.h"
+
+#include <cstdio>
+
+namespace rdb::protocol::wirefuzz {
+
+namespace {
+
+constexpr std::size_t kEnvelopeBytes = 6;  // type u8 + kind u8 + id u32
+
+Digest random_digest(Rng& rng) {
+  Digest d;
+  for (auto& b : d.data) b = static_cast<std::uint8_t>(rng.next());
+  return d;
+}
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes b(rng.below(max_len + 1));
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+Transaction sample_txn(Rng& rng) {
+  Transaction t;
+  t.client = static_cast<ClientId>(rng.below(8));
+  t.req_id = rng.below(1000);
+  t.ops = static_cast<std::uint32_t>(1 + rng.below(4));
+  t.payload = random_bytes(rng, 32);
+  t.client_sig = random_bytes(rng, 64);
+  return t;
+}
+
+std::vector<Transaction> sample_txns(Rng& rng, std::size_t min_count) {
+  std::vector<Transaction> txns;
+  std::size_t n = min_count + rng.below(3);
+  txns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) txns.push_back(sample_txn(rng));
+  return txns;
+}
+
+PreparedProof sample_proof(Rng& rng, SeqNum seq) {
+  PreparedProof p;
+  p.view = rng.below(3);
+  p.seq = seq;
+  p.batch_digest = random_digest(rng);
+  p.txns = sample_txns(rng, 0);
+  p.txn_begin = rng.below(1000);
+  return p;
+}
+
+}  // namespace
+
+const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kTruncate: return "truncate";
+    case Mutation::kBitFlip: return "bit_flip";
+    case Mutation::kLengthLie: return "length_lie";
+    case Mutation::kTypeConfusion: return "type_confusion";
+    case Mutation::kKindConfusion: return "kind_confusion";
+    case Mutation::kExtend: return "extend";
+    case Mutation::kRandomJunk: return "random_junk";
+    case Mutation::kCount: break;
+  }
+  return "unknown";
+}
+
+Bytes sample_wire(Rng& rng, MsgType type) {
+  // Every sample is LEGITIMATE for a 4-replica cluster at view/seq near 0:
+  // correct sender kind for the type, in-window views and sequence numbers,
+  // quorum-sized distinct signer sets. The liveness oracle depends on this.
+  Message m;
+  m.from = Endpoint::replica(static_cast<ReplicaId>(rng.below(4)));
+  m.signature = random_bytes(rng, 64);
+  ViewId view = rng.below(3);
+  SeqNum seq = 1 + rng.below(64);
+
+  switch (type) {
+    case MsgType::kClientRequest: {
+      m.from = Endpoint::client(static_cast<ClientId>(rng.below(8)));
+      ClientRequest req;
+      req.txns = sample_txns(rng, 1);  // >= 1: empty requests are rejected
+      req.sent_at = rng.below(1u << 30);
+      m.payload = std::move(req);
+      break;
+    }
+    case MsgType::kPrePrepare: {
+      PrePrepare pp;
+      pp.view = view;
+      pp.seq = seq;
+      pp.batch_digest = random_digest(rng);
+      pp.txns = sample_txns(rng, 0);
+      pp.txn_begin = rng.below(1000);
+      pp.payload_padding = random_bytes(rng, 64);
+      m.payload = std::move(pp);
+      break;
+    }
+    case MsgType::kPrepare: {
+      Prepare p;
+      p.view = view;
+      p.seq = seq;
+      p.batch_digest = random_digest(rng);
+      m.payload = p;
+      break;
+    }
+    case MsgType::kCommit: {
+      Commit c;
+      c.view = view;
+      c.seq = seq;
+      c.batch_digest = random_digest(rng);
+      m.payload = c;
+      break;
+    }
+    case MsgType::kClientResponse: {
+      ClientResponse r;
+      r.client = static_cast<ClientId>(rng.below(8));
+      r.req_id = rng.below(1000);
+      r.view = view;
+      r.result = rng.next();
+      m.payload = r;
+      break;
+    }
+    case MsgType::kCheckpoint: {
+      Checkpoint cp;
+      cp.seq = seq;
+      cp.state_digest = random_digest(rng);
+      cp.block_bytes = rng.below(1u << 20);
+      m.payload = cp;
+      break;
+    }
+    case MsgType::kViewChange: {
+      ViewChange vc;
+      vc.new_view = view + 1;
+      vc.stable_seq = seq;
+      // Distinct proof seqs (duplicates are rejected).
+      std::size_t n = rng.below(3);
+      for (std::size_t i = 0; i < n; ++i)
+        vc.prepared.push_back(sample_proof(rng, seq + 1 + i));
+      m.payload = std::move(vc);
+      break;
+    }
+    case MsgType::kNewView: {
+      NewView nv;
+      nv.view = view + 1;
+      nv.stable_seq = seq;
+      std::size_t n = rng.below(3);
+      for (std::size_t i = 0; i < n; ++i)
+        nv.reproposals.push_back(sample_proof(rng, seq + 1 + i));
+      m.payload = std::move(nv);
+      break;
+    }
+    case MsgType::kOrderRequest: {
+      OrderRequest oreq;
+      oreq.view = view;
+      oreq.seq = seq;
+      oreq.batch_digest = random_digest(rng);
+      oreq.history = random_digest(rng);
+      oreq.txns = sample_txns(rng, 0);
+      oreq.txn_begin = rng.below(1000);
+      m.payload = std::move(oreq);
+      break;
+    }
+    case MsgType::kSpecResponse: {
+      SpecResponse sr;
+      sr.view = view;
+      sr.seq = seq;
+      sr.history = random_digest(rng);
+      sr.client = static_cast<ClientId>(rng.below(8));
+      sr.req_id = rng.below(1000);
+      sr.replica = static_cast<ReplicaId>(rng.below(4));
+      m.payload = sr;
+      break;
+    }
+    case MsgType::kCommitCert: {
+      m.from = Endpoint::client(static_cast<ClientId>(rng.below(8)));
+      CommitCert cc;
+      cc.view = view;
+      cc.seq = seq;
+      cc.history = random_digest(rng);
+      cc.signers = {0, 1, 2};  // 2f+1 distinct in-range replicas for n=4
+      if (rng.chance(0.5)) cc.signers.push_back(3);
+      m.payload = std::move(cc);
+      break;
+    }
+    case MsgType::kLocalCommit: {
+      LocalCommit lc;
+      lc.view = view;
+      lc.seq = seq;
+      lc.replica = static_cast<ReplicaId>(rng.below(4));
+      lc.client = static_cast<ClientId>(rng.below(8));
+      m.payload = lc;
+      break;
+    }
+    case MsgType::kBatchRequest: {
+      BatchRequest br;
+      br.begin = seq;
+      br.end = seq + rng.below(16);
+      m.payload = br;
+      break;
+    }
+    case MsgType::kBatchResponse: {
+      BatchResponse resp;
+      std::size_t n = rng.below(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        BatchResponse::Entry e;
+        e.seq = seq + i;
+        e.view = view;
+        e.digest = random_digest(rng);
+        e.txn_begin = rng.below(1000);
+        e.txns = sample_txns(rng, 0);
+        resp.entries.push_back(std::move(e));
+      }
+      m.payload = std::move(resp);
+      break;
+    }
+  }
+  return m.serialize();
+}
+
+void mutate(Bytes& wire, Rng& rng, Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+      return;
+    case Mutation::kTruncate:
+      if (!wire.empty()) wire.resize(rng.below(wire.size()));
+      return;
+    case Mutation::kBitFlip: {
+      if (wire.empty()) return;
+      std::size_t flips = 1 + rng.below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        std::size_t bit = rng.below(wire.size() * 8);
+        wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      return;
+    }
+    case Mutation::kLengthLie: {
+      // Structure-aware: overwrite a 32-bit little-endian word in the
+      // payload region (where every length/count prefix lives) with an
+      // absurd value — the classic "claims 4 billion transactions" frame.
+      if (wire.size() < kEnvelopeBytes + 4) return;
+      std::size_t off =
+          kEnvelopeBytes + rng.below(wire.size() - kEnvelopeBytes - 3);
+      static constexpr std::uint32_t kLies[] = {0xFFFFFFFFu, 0x7FFFFFFFu,
+                                                0x00FFFFFFu, 0x80000000u};
+      std::uint32_t lie = kLies[rng.below(4)];
+      for (int i = 0; i < 4; ++i)
+        wire[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(lie >> (8 * i));
+      return;
+    }
+    case Mutation::kTypeConfusion:
+      // Valid-but-different types model a mis-routed frame; values above 14
+      // model an unknown type byte. Both must be handled (the former by the
+      // sender-kind / accept-mask checks, the latter by parse).
+      if (!wire.empty())
+        wire[0] = static_cast<std::uint8_t>(rng.below(20));
+      return;
+    case Mutation::kKindConfusion:
+      if (wire.size() > 1)
+        wire[1] = static_cast<std::uint8_t>(rng.below(4));
+      return;
+    case Mutation::kExtend: {
+      std::size_t extra = 1 + rng.below(16);
+      for (std::size_t i = 0; i < extra; ++i)
+        wire.push_back(static_cast<std::uint8_t>(rng.next()));
+      return;
+    }
+    case Mutation::kRandomJunk: {
+      wire.assign(rng.below(200), 0);
+      for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next());
+      return;
+    }
+    case Mutation::kCount:
+      return;
+  }
+}
+
+namespace {
+
+/// Judges one input: parse+validate, then the canonicity oracle on accepts.
+/// Returns the verdict so callers can layer their own oracles on top.
+ValidationResult judge(const Bytes& input, const ValidationContext& ctx,
+                       FuzzResult& result) {
+  ValidationResult verdict = validate_wire(BytesView(input), ctx);
+  if (verdict.ok()) {
+    ++result.accepted;
+    // Canonicity: an accepted frame must BE the serialization of the message
+    // the validator handed out. Anything else is a parser ambiguity — two
+    // replicas could read different messages from the same bytes.
+    Bytes round = verdict.msg->get().serialize();
+    if (round != input) {
+      ++result.canonicity_failures;
+      if (result.failure_notes.size() < 8) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "canonicity: accepted %zu-byte frame re-serialized to "
+                      "%zu bytes (type %u)",
+                      input.size(), round.size(),
+                      static_cast<unsigned>(input.empty() ? 0 : input[0]));
+        result.failure_notes.emplace_back(buf);
+      }
+    }
+  } else {
+    ++result.rejected;
+    ++result.rejected_by_reason[static_cast<std::size_t>(verdict.reason)];
+  }
+  return verdict;
+}
+
+}  // namespace
+
+FuzzResult run(const FuzzConfig& config) {
+  FuzzResult result;
+  Rng rng(config.seed);
+  // One exemplar per (mutation, reason) pair for the corpus.
+  bool seen[static_cast<std::size_t>(Mutation::kCount)]
+           [static_cast<std::size_t>(RejectReason::kCount)] = {};
+  std::uint64_t accepted_mutants_collected = 0;
+
+  for (std::uint64_t i = 0; i < config.iters; ++i) {
+    auto type = static_cast<MsgType>(1 + rng.below(14));
+    auto mut = static_cast<Mutation>(
+        rng.below(static_cast<std::uint64_t>(Mutation::kCount)));
+    ++result.by_mutation[static_cast<std::size_t>(mut)];
+
+    Bytes wire = sample_wire(rng, type);
+    mutate(wire, rng, mut);
+
+    ValidationResult verdict = judge(wire, config.ctx, result);
+    ++result.iterations;
+
+    if (mut == Mutation::kNone && !verdict.ok()) {
+      // Liveness: the canonical serialization of a legitimate message was
+      // rejected — the validators would starve a healthy cluster.
+      ++result.liveness_failures;
+      if (result.failure_notes.size() < 8) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "liveness: canonical type-%u frame rejected (%s)",
+                      static_cast<unsigned>(type),
+                      reject_reason_name(verdict.reason));
+        result.failure_notes.emplace_back(buf);
+      }
+    }
+
+    if (config.collect_corpus) {
+      auto mi = static_cast<std::size_t>(mut);
+      auto ri = static_cast<std::size_t>(verdict.reason);
+      if (!verdict.ok() && !seen[mi][ri]) {
+        seen[mi][ri] = true;
+        result.corpus.push_back(wire);
+      } else if (verdict.ok() && mut != Mutation::kNone &&
+                 accepted_mutants_collected < 16) {
+        // Mutants that survive validation are the most interesting corpus
+        // entries: they walk the accept path with adversarial bytes.
+        ++accepted_mutants_collected;
+        result.corpus.push_back(wire);
+      }
+    }
+  }
+  return result;
+}
+
+FuzzResult replay(const std::vector<Bytes>& inputs,
+                  const ValidationContext& ctx) {
+  FuzzResult result;
+  for (const auto& input : inputs) {
+    judge(input, ctx, result);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace rdb::protocol::wirefuzz

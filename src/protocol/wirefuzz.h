@@ -1,0 +1,103 @@
+// Structure-aware malformed-wire fuzzer (ISSUE 5 tentpole, dynamic half).
+//
+// The static taint gate proves nobody READS unvalidated fields; this fuzzer
+// proves the parse+validate door itself cannot be crashed or bypassed. It
+// generates canonical samples of every message type through the real
+// Writer/serialize path (structure-aware: the mutator knows where the type
+// byte, endpoint kind, and length prefixes live), applies byzantine
+// mutations — truncation, bit flips, length lies, type/kind confusion,
+// trailing-garbage extension — and feeds each mutant through
+// validate_wire(), checking three oracles:
+//
+//   1. liveness    unmutated samples are ACCEPTED (the validators never
+//                  reject legitimate traffic);
+//   2. safety      nothing crashes / trips ASan-UBSan (run the CLI under
+//                  RDB_SANITIZE=address,undefined — the CI smoke job does);
+//   3. canonicity  every ACCEPTED input re-serializes byte-identical to
+//                  what came in — an accepted-but-different frame would mean
+//                  a parser ambiguity an attacker could split votes with
+//                  (two replicas reading different messages from one frame).
+//
+// Every rejection lands in a named RejectReason bucket, so a mutation class
+// that suddenly stops being rejected shows up as a counter shift, not
+// silence. The library is deterministic per seed: tools/rdb_wirefuzz wraps
+// it in a CLI, the corpus regression test replays tests/corpus/wire/.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "protocol/validate.h"
+
+namespace rdb::protocol::wirefuzz {
+
+/// Mutation classes the fuzzer applies. kNone feeds the canonical sample
+/// straight through (liveness oracle).
+enum class Mutation : std::uint8_t {
+  kNone = 0,        // canonical sample, must be accepted
+  kTruncate,        // cut the frame at a random point
+  kBitFlip,         // flip 1..8 random bits
+  kLengthLie,       // overwrite a 32-bit field with a huge/absurd count
+  kTypeConfusion,   // rewrite the type byte to another (or unknown) type
+  kKindConfusion,   // rewrite the endpoint-kind byte
+  kExtend,          // append trailing garbage (must be rejected: canonicity)
+  kRandomJunk,      // fully random bytes, no structure at all
+  kCount,
+};
+
+const char* mutation_name(Mutation m);
+
+struct FuzzConfig {
+  std::uint64_t seed{1};
+  std::uint64_t iters{100000};
+  /// Validation context the mutants are judged against (defaults match a
+  /// 4-replica cluster at view 0 / seq 0 with all types accepted).
+  ValidationContext ctx{};
+  /// Collect one exemplar input per (mutation, reject-reason) pair plus
+  /// every accepted mutant into `corpus` on the result.
+  bool collect_corpus{false};
+};
+
+struct FuzzResult {
+  std::uint64_t iterations{0};
+  std::uint64_t accepted{0};           // verdict.ok() (incl. benign mutants)
+  std::uint64_t rejected{0};           // total rejects
+  std::array<std::uint64_t, static_cast<std::size_t>(RejectReason::kCount)>
+      rejected_by_reason{};            // named buckets (never silent)
+  std::array<std::uint64_t, static_cast<std::size_t>(Mutation::kCount)>
+      by_mutation{};                   // inputs tried per mutation class
+  /// Oracle violations — MUST stay zero; the CLI exits non-zero otherwise.
+  std::uint64_t liveness_failures{0};  // canonical sample rejected
+  std::uint64_t canonicity_failures{0};  // accepted but re-serialized differently
+  /// First few violation descriptions, for the report.
+  std::vector<std::string> failure_notes;
+  /// Exemplar inputs (when collect_corpus): seeds for tests/corpus/wire/.
+  std::vector<Bytes> corpus;
+
+  bool ok() const {
+    return liveness_failures == 0 && canonicity_failures == 0;
+  }
+};
+
+/// Deterministically builds a well-formed sample Message of the given type
+/// (correct sender kind, in-window views/seqs, quorum-sized distinct signer
+/// sets) and returns its canonical wire bytes.
+Bytes sample_wire(Rng& rng, MsgType type);
+
+/// Applies one mutation class to `wire` in place (deterministic given rng).
+void mutate(Bytes& wire, Rng& rng, Mutation m);
+
+/// Runs the full fuzz loop: sample -> mutate -> parse+validate -> oracles.
+FuzzResult run(const FuzzConfig& config);
+
+/// Replays externally supplied inputs (the checked-in corpus) through
+/// parse+validate, applying the same safety/canonicity oracles. Liveness is
+/// not checked (corpus entries are mostly malformed by design).
+FuzzResult replay(const std::vector<Bytes>& inputs,
+                  const ValidationContext& ctx);
+
+}  // namespace rdb::protocol::wirefuzz

@@ -52,7 +52,14 @@ Digest ZyzzyvaEngine::history_at(SeqNum seq) const {
 
 Actions ZyzzyvaEngine::on_order_request(const Message& msg) {
   Actions out;
-  const auto& oreq = std::get<OrderRequest>(msg.payload);
+  // get_if, not get: a mis-routed payload is a counted reject, not a throw
+  // (defense in depth under the wire-taint discipline — validate.h).
+  const auto* oreqp = std::get_if<OrderRequest>(&msg.payload);
+  if (!oreqp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& oreq = *oreqp;
   if (msg.from.kind != Endpoint::Kind::kReplica ||
       msg.from.id != primary() || oreq.view != view_ ||
       oreq.seq <= last_spec_) {
@@ -120,8 +127,18 @@ Actions ZyzzyvaEngine::accept_order(const OrderRequest& oreq) {
 
 Actions ZyzzyvaEngine::on_commit_cert(const Message& msg) {
   Actions out;
-  const auto& cc = std::get<CommitCert>(msg.payload);
-  if (msg.from.kind != Endpoint::Kind::kClient ||
+  const auto* ccp = std::get_if<CommitCert>(&msg.payload);
+  if (!ccp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& cc = *ccp;
+  // A certificate is 2f+1 DISTINCT in-range replicas: duplicate or phantom
+  // signer ids would fake a quorum from fewer than 2f+1 real replicas.
+  std::set<ReplicaId> distinct(cc.signers.begin(), cc.signers.end());
+  bool signers_ok = distinct.size() == cc.signers.size() &&
+                    (distinct.empty() || *distinct.rbegin() < config_.n);
+  if (msg.from.kind != Endpoint::Kind::kClient || !signers_ok ||
       cc.signers.size() < commit_quorum(config_.n) || cc.seq > last_spec_ ||
       history_at(cc.seq) != cc.history) {
     ++metrics_.rejected_msgs;
@@ -160,7 +177,12 @@ Actions ZyzzyvaEngine::on_executed(SeqNum seq, const Digest& state_digest) {
 
 Actions ZyzzyvaEngine::on_checkpoint(const Message& msg) {
   Actions out;
-  const auto& cp = std::get<Checkpoint>(msg.payload);
+  const auto* cpp = std::get_if<Checkpoint>(&msg.payload);
+  if (!cpp) {
+    ++metrics_.rejected_msgs;
+    return out;
+  }
+  const auto& cp = *cpp;
   if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_)
     return out;
   auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];

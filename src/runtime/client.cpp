@@ -1,5 +1,7 @@
 #include "runtime/client.h"
 
+#include "protocol/validate.h"
+
 namespace rdb::runtime {
 
 using protocol::Message;
@@ -41,26 +43,35 @@ Transaction Client::make_transaction(Bytes payload, std::uint32_t ops) {
 }
 
 void Client::pump_loop(std::stop_token st) {
+  // A client only ever expects ClientResponse frames; the accept mask turns
+  // everything else — including well-formed protocol traffic aimed at
+  // replicas — into a counted reject before any field is read.
+  protocol::ValidationContext vctx;
+  vctx.n = config_.n;
+  vctx.accept_mask = protocol::accept_bit(MsgType::kClientResponse);
   while (!st.stop_requested()) {
     auto wire = inbox_->pop();
     if (!wire) return;
-    auto parsed = Message::parse(BytesView(*wire));
-    if (!parsed || parsed->type() != MsgType::kClientResponse) continue;
-    if (parsed->from.kind != Endpoint::Kind::kReplica) continue;
+    vctx.current_view = view_.load(std::memory_order_relaxed);
+    auto verdict = protocol::validate_wire(BytesView(*wire), vctx);
+    if (!verdict.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Message msg = std::move(*verdict.msg).release();
 
     // Responses are MAC'd on the replica->client link; verify before use.
-    Bytes canon = parsed->signing_bytes();
-    if (!crypto_.verify(parsed->from, BytesView(canon),
-                        BytesView(parsed->signature)))
+    Bytes canon = msg.signing_bytes();
+    if (!crypto_.verify(msg.from, BytesView(canon), BytesView(msg.signature)))
       continue;
 
-    const auto& resp = std::get<protocol::ClientResponse>(parsed->payload);
+    const auto& resp = std::get<protocol::ClientResponse>(msg.payload);
     if (resp.client != config_.id) continue;
     view_.store(resp.view, std::memory_order_relaxed);
 
     MutexLock lock(mu_);
     auto& votes = pending_.votes[resp.req_id];
-    votes[parsed->from.id] = resp.result;
+    votes[msg.from.id] = resp.result;
     // f+1 matching results from distinct replicas decide the request.
     std::map<std::uint64_t, std::uint32_t> tally;
     for (const auto& [replica, result] : votes) ++tally[result];
@@ -80,6 +91,7 @@ ClientStats Client::stats() const {
   s.retries = retries_.load(std::memory_order_relaxed);
   s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -36,6 +36,7 @@ struct ClientStats {
   std::uint64_t retries{0};     // re-sends after a timeout
   std::uint64_t broadcasts{0};  // retries that went to every replica
   std::uint64_t timeouts{0};    // submit_and_wait calls that gave up
+  std::uint64_t rejected{0};    // frames validate_wire refused (any reason)
 };
 
 class Client {
@@ -97,6 +98,7 @@ class Client {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> broadcasts_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::jthread pump_;
 };
 

@@ -2,20 +2,23 @@
 
 #include <chrono>
 
+#include "protocol/wirefuzz.h"
+
 namespace rdb::runtime {
 
 namespace {
 
-// Decision bits folded into the fault trace. One byte per send (plus one
+// Decision bits folded into the fault trace. One word per send (plus one
 // per injected duplicate), hashed in send order per link.
-constexpr std::uint8_t kForward = 1u << 0;
-constexpr std::uint8_t kDrop = 1u << 1;
-constexpr std::uint8_t kCorrupt = 1u << 2;
-constexpr std::uint8_t kDuplicate = 1u << 3;
-constexpr std::uint8_t kReorder = 1u << 4;
-constexpr std::uint8_t kDelay = 1u << 5;
-constexpr std::uint8_t kPartitionDrop = 1u << 6;
-constexpr std::uint8_t kCrashDrop = 1u << 7;
+constexpr std::uint16_t kForward = 1u << 0;
+constexpr std::uint16_t kDrop = 1u << 1;
+constexpr std::uint16_t kCorrupt = 1u << 2;
+constexpr std::uint16_t kDuplicate = 1u << 3;
+constexpr std::uint16_t kReorder = 1u << 4;
+constexpr std::uint16_t kDelay = 1u << 5;
+constexpr std::uint16_t kPartitionDrop = 1u << 6;
+constexpr std::uint16_t kCrashDrop = 1u << 7;
+constexpr std::uint16_t kStructural = 1u << 8;
 
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
@@ -46,6 +49,18 @@ void FaultyTransport::register_endpoint(Endpoint ep,
   inner_.register_endpoint(ep, std::move(inbox));
 }
 
+void FaultyTransport::send_raw(Endpoint to, Bytes wire) {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  {
+    MutexLock lock(mu_);
+    if (crashed_.contains(key(to))) {
+      ++counters_.crash_drops;
+      return;
+    }
+  }
+  inner_.send_raw(to, std::move(wire));
+}
+
 std::uint64_t FaultyTransport::link_key_seed(std::uint64_t seed, Endpoint from,
                                              Endpoint to) {
   // Mix (seed, from, to) through SplitMix so adjacent links decorrelate.
@@ -66,7 +81,8 @@ FaultyTransport::LinkState& FaultyTransport::link(Endpoint from, Endpoint to) {
   return it->second;
 }
 
-void FaultyTransport::note(Endpoint from, Endpoint to, std::uint8_t decision) {
+void FaultyTransport::note(Endpoint from, Endpoint to,
+                           std::uint16_t decision) {
   auto mix = [&](std::uint64_t v) {
     trace_hash_ = (trace_hash_ ^ v) * kFnvPrime;
   };
@@ -177,6 +193,7 @@ void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
   bool deliver = false;
   bool duplicate = false;
   std::optional<protocol::Message> mutated;  // corrupted copy, if any
+  std::optional<Bytes> raw;                  // structurally mutated bytes
   TimeNs primary_delay = 0;                  // 0 = deliver inline
   TimeNs duplicate_delay = 0;
   {
@@ -199,7 +216,7 @@ void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
     const LinkFaults& f =
         st.has_override ? st.faults : plan_.default_faults;
 
-    std::uint8_t decision = 0;
+    std::uint16_t decision = 0;
     if (f.drop > 0 && st.rng.chance(f.drop)) {
       ++counters_.dropped;
       note(from, to, kDrop);
@@ -220,6 +237,22 @@ void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
         mutated->signature[bit / 8] ^=
             static_cast<std::uint8_t>(1u << (bit % 8));
       }
+    }
+    if (f.structural > 0 && st.rng.chance(f.structural)) {
+      // Byte-level byzantine corruption: serialize (the possibly signature-
+      // corrupted copy) and splice a structure-aware wirefuzz mutation into
+      // the frame. The receiver's validate_wire door must reject it with a
+      // named reason — exactly what the malformed-storm chaos drill asserts.
+      decision |= kStructural;
+      ++counters_.structural;
+      raw = (mutated ? *mutated : msg).serialize();
+      // Skip kNone (0); draw from the real mutation classes.
+      auto mut = static_cast<protocol::wirefuzz::Mutation>(
+          1 + st.rng.below(
+                  static_cast<std::uint64_t>(
+                      protocol::wirefuzz::Mutation::kCount) -
+                  1));
+      protocol::wirefuzz::mutate(*raw, st.rng, mut);
     }
     if (f.duplicate > 0 && st.rng.chance(f.duplicate)) {
       decision |= kDuplicate;
@@ -249,22 +282,28 @@ void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
   if (!deliver) return;
   const protocol::Message& out = mutated ? *mutated : msg;
   auto now = std::chrono::steady_clock::now();
+  // Enqueue the (later) duplicate first so the primary copy may move `raw`.
+  if (duplicate) {
+    enqueue_delayed(now + std::chrono::nanoseconds(duplicate_delay), to, from,
+                    out, raw);
+  }
   if (primary_delay > 0) {
-    enqueue_delayed(now + std::chrono::nanoseconds(primary_delay), to, out);
+    enqueue_delayed(now + std::chrono::nanoseconds(primary_delay), to, from,
+                    out, std::move(raw));
+  } else if (raw) {
+    inner_.send_raw(to, std::move(*raw));
   } else {
     inner_.send(to, out);
-  }
-  if (duplicate) {
-    enqueue_delayed(now + std::chrono::nanoseconds(duplicate_delay), to, out);
   }
 }
 
 void FaultyTransport::enqueue_delayed(
-    std::chrono::steady_clock::time_point at, Endpoint to,
-    protocol::Message msg) {
+    std::chrono::steady_clock::time_point at, Endpoint to, Endpoint from,
+    protocol::Message msg, std::optional<Bytes> raw) {
   {
     MutexLock lock(delay_mu_);
-    delayed_.push(Delayed{at, delay_order_++, to, std::move(msg)});
+    delayed_.push(
+        Delayed{at, delay_order_++, to, from, std::move(msg), std::move(raw)});
   }
   delay_cv_.notify_all();
 }
@@ -289,15 +328,22 @@ void FaultyTransport::timer_loop(std::stop_token st) {
     delayed_.pop();
     lock.unlock();
     // Re-check structural faults at delivery time: a message delayed across
-    // a crash/partition onset must not leak through.
+    // a crash/partition onset must not leak through. (d.from mirrors
+    // d.msg.from for typed messages and is authoritative for raw frames,
+    // whose mutated bytes may no longer carry a parseable sender.)
     bool blocked;
     {
       MutexLock mlock(mu_);
-      blocked = crashed_.contains(key(d.msg.from)) ||
+      blocked = crashed_.contains(key(d.from)) ||
                 crashed_.contains(key(d.to)) ||
-                partitioned_.contains({key(d.msg.from), key(d.to)});
+                partitioned_.contains({key(d.from), key(d.to)});
     }
-    if (!blocked) inner_.send(d.to, d.msg);
+    if (!blocked) {
+      if (d.raw)
+        inner_.send_raw(d.to, std::move(*d.raw));
+      else
+        inner_.send(d.to, d.msg);
+    }
     lock.lock();
   }
 }

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <set>
 #include <thread>
@@ -39,6 +40,15 @@ struct LinkFaults {
   double duplicate{0};  // deliver twice (second copy slightly later)
   double reorder{0};    // hold the message back so later sends overtake it
   double corrupt{0};    // flip a signature bit (rejected at verification)
+  /// Structural corruption: serialize the frame and splice a wirefuzz
+  /// mutation into the BYTES — truncation, length lie, type/kind confusion,
+  /// bit flips, trailing garbage — then deliver via Transport::send_raw.
+  /// Unlike `corrupt` (which only taints the signature and is caught at
+  /// verification), a structural mutant attacks the parse+validate door
+  /// itself; receivers must reject it with a named RejectReason. Chaos
+  /// drills assert the cluster survives a storm of these with zero state
+  /// divergence (tests/chaos_test.cpp).
+  double structural{0};
   TimeNs delay_ns{0};        // fixed delivery delay
   TimeNs jitter_ns{0};       // uniform extra delay in [0, jitter_ns)
 };
@@ -66,6 +76,10 @@ class FaultyTransport final : public Transport {
   // --- Transport interface (decorated) ---
   void register_endpoint(Endpoint ep, std::shared_ptr<Inbox> inbox) override;
   void send(Endpoint to, const protocol::Message& msg) override;
+  /// Raw frames pass straight to the inner transport (still honouring
+  /// crash/partition state); the decorator's own structural mode is the
+  /// intended producer of raw frames, so no second mutation is applied.
+  void send_raw(Endpoint to, Bytes wire) override;
 
   // --- scripted structural faults ---
   /// Cuts the (a, b) link in BOTH directions until heal()/heal(a, b).
@@ -98,6 +112,7 @@ class FaultyTransport final : public Transport {
     std::uint64_t duplicated{0};    // extra copies injected
     std::uint64_t reordered{0};     // held back so later sends overtake
     std::uint64_t corrupted{0};     // signature-bit flips injected
+    std::uint64_t structural{0};    // wirefuzz byte-level mutations injected
     std::uint64_t delayed{0};       // deliveries routed via the timer thread
     std::uint64_t partition_drops{0};
     std::uint64_t crash_drops{0};
@@ -128,7 +143,11 @@ class FaultyTransport final : public Transport {
     std::chrono::steady_clock::time_point at;
     std::uint64_t order;  // tiebreak: FIFO among equal deadlines
     Endpoint to;
+    Endpoint from;  // for structural-fault delivery-time checks
     protocol::Message msg;
+    /// Engaged for structurally corrupted frames: delivered via send_raw
+    /// (mutated bytes cannot round-trip through a typed Message).
+    std::optional<Bytes> raw;
     bool operator>(const Delayed& o) const {
       return at != o.at ? at > o.at : order > o.order;
     }
@@ -143,10 +162,13 @@ class FaultyTransport final : public Transport {
                                      Endpoint to);
 
   LinkState& link(Endpoint from, Endpoint to) RDB_REQUIRES(mu_);
-  void note(Endpoint from, Endpoint to, std::uint8_t decision)
+  // Decision words are 16-bit: the original eight decision bits plus
+  // kStructural (1u << 8).
+  void note(Endpoint from, Endpoint to, std::uint16_t decision)
       RDB_REQUIRES(mu_);
   void enqueue_delayed(std::chrono::steady_clock::time_point at, Endpoint to,
-                       protocol::Message msg) RDB_EXCLUDES(delay_mu_);
+                       Endpoint from, protocol::Message msg,
+                       std::optional<Bytes> raw) RDB_EXCLUDES(delay_mu_);
   void timer_loop(std::stop_token st);
 
   Transport& inner_;

@@ -139,6 +139,11 @@ ReplicaStats Replica::stats() const {
   s.pool_hits = batch_pool_.hits();
   s.pool_misses = batch_pool_.misses();
   s.batch_queue_saturated = batch_saturated_.load(std::memory_order_relaxed);
+  s.rejected_total = 0;
+  for (std::size_t i = 0; i < reject_counts_.size(); ++i) {
+    s.rejected_messages[i] = reject_counts_[i].load(std::memory_order_relaxed);
+    s.rejected_total += s.rejected_messages[i];
+  }
   return s;
 }
 
@@ -165,25 +170,46 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
       continue;
     }
     ScopedBusy sb(busy);
-    auto parsed = Message::parse(BytesView(*wire));
-    if (!parsed) continue;
-    if (drop_mask_.load(std::memory_order_relaxed) &
-        type_bit(parsed->type()))
+    // The taint boundary: every frame off the wire is Byzantine until it
+    // passes validate_wire (structure + semantics; signatures are verified
+    // downstream by the verify/worker/checkpoint threads). The accept mask
+    // lists exactly the types a PBFT replica processes; anything else is a
+    // counted reject, not a silent drop.
+    protocol::ValidationContext vctx;
+    vctx.n = config_.n;
+    vctx.current_view = view();
+    vctx.committed_seq = last_executed();
+    vctx.accept_mask = protocol::accept_bit(MsgType::kClientRequest) |
+                       protocol::accept_bit(MsgType::kPrePrepare) |
+                       protocol::accept_bit(MsgType::kPrepare) |
+                       protocol::accept_bit(MsgType::kCommit) |
+                       protocol::accept_bit(MsgType::kCheckpoint) |
+                       protocol::accept_bit(MsgType::kViewChange) |
+                       protocol::accept_bit(MsgType::kNewView) |
+                       protocol::accept_bit(MsgType::kBatchRequest) |
+                       protocol::accept_bit(MsgType::kBatchResponse);
+    auto verdict = protocol::validate_wire(BytesView(*wire), vctx);
+    if (!verdict.ok()) {
+      count_reject(verdict.reason);
+      continue;
+    }
+    Message msg = std::move(*verdict.msg).release();
+    if (drop_mask_.load(std::memory_order_relaxed) & type_bit(msg.type()))
       continue;
 
-    switch (parsed->type()) {
+    switch (msg.type()) {
       case MsgType::kClientRequest:
-        handle_client_request(std::move(*parsed));
+        handle_client_request(std::move(msg));
         break;
       case MsgType::kPrepare:
       case MsgType::kCommit:
         // The quorum-vote flood is the bulk of signature work; with a
         // verify pool, those checks run off the consensus worker.
         if (config_.verify_threads > 0 &&
-            parsed->from != Endpoint::replica(config_.id)) {
-          verify_queue_.push(std::move(*parsed));
+            msg.from != Endpoint::replica(config_.id)) {
+          verify_queue_.push(std::move(msg));
         } else {
-          worker_queue_.push(WorkerItem{std::move(*parsed), false});
+          worker_queue_.push(WorkerItem{std::move(msg), false});
         }
         break;
       case MsgType::kPrePrepare:
@@ -191,12 +217,13 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
       case MsgType::kNewView:
       case MsgType::kBatchRequest:
       case MsgType::kBatchResponse:
-        worker_queue_.push(WorkerItem{std::move(*parsed), false});
+        worker_queue_.push(WorkerItem{std::move(msg), false});
         break;
       case MsgType::kCheckpoint:
-        checkpoint_queue_.push(std::move(*parsed));
+        checkpoint_queue_.push(std::move(msg));
         break;
       default:
+        // Unreachable: the accept mask already rejected other types.
         break;
     }
   }

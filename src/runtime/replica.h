@@ -23,6 +23,7 @@
 // input thread, so out-of-order batch completion is fine — §4.5).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -39,6 +40,7 @@
 #include "crypto/provider.h"
 #include "ledger/blockchain.h"
 #include "protocol/pbft.h"
+#include "protocol/validate.h"
 #include "queues/blocking_queue.h"
 #include "queues/buffer_pool.h"
 #include "queues/mpmc_queue.h"
@@ -85,6 +87,14 @@ struct ReplicaStats {
   /// Number of push attempts that found the input->batch queue full and had
   /// to back off (one count per saturation episode, not per retry).
   std::uint64_t batch_queue_saturated{0};
+  /// Wire frames the input thread rejected, per RejectReason (indexed by the
+  /// enum value; names via protocol::reject_reason_name). Rejects are
+  /// COUNTED, never silently dropped — chaos drills assert on these.
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(protocol::RejectReason::kCount)>
+      rejected_messages{};
+  /// Sum of rejected_messages[*] (convenience for assertions/printing).
+  std::uint64_t rejected_total{0};
 };
 
 class Replica {
@@ -199,6 +209,11 @@ class Replica {
   void timer_loop(std::stop_token st);
 
   void handle_client_request(protocol::Message msg);
+  /// Bumps the per-reason reject counter (lock-free; input thread hot path).
+  void count_reject(protocol::RejectReason reason) {
+    reject_counts_[static_cast<std::size_t>(reason)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
   /// Pushes a pooled batch into the lock-free input->batch queue, backing
   /// off with bounded exponential sleeps when the queue is full (satellite
   /// replacing the seed's unbounded yield spin). Counts one saturation
@@ -260,6 +275,9 @@ class Replica {
   mutable Mutex stats_mu_{LockRank::kReplicaStats, "Replica.stats"};
   ReplicaStats stats_ RDB_GUARDED_BY(stats_mu_);
   std::atomic<std::uint64_t> batch_saturated_{0};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(protocol::RejectReason::kCount)>
+      reject_counts_{};
 
   std::vector<std::unique_ptr<BusyCounter>> busy_counters_;
   std::chrono::steady_clock::time_point started_at_;

@@ -232,8 +232,11 @@ bool TcpTransport::write_frame(int fd, const Bytes& wire) {
 }
 
 void TcpTransport::send(Endpoint to, const protocol::Message& msg) {
+  send_raw(to, msg.serialize());
+}
+
+void TcpTransport::send_raw(Endpoint to, Bytes wire) {
   if (stopping_.load(std::memory_order_relaxed)) return;
-  Bytes wire = msg.serialize();
   if (wire.size() > config_.max_frame) {
     // A frame the receiver would cut the connection over must never be put
     // on the wire: reject at the source, visibly.

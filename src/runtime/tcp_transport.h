@@ -87,6 +87,10 @@ class TcpTransport final : public Transport {
   /// written by the peer's sender thread, surviving peer restarts.
   void send(Endpoint to, const protocol::Message& msg) override;
 
+  /// Enqueues pre-serialized frame bytes (chaos structural-corruption path);
+  /// the same max_frame / bounded-queue rules apply.
+  void send_raw(Endpoint to, Bytes wire) override;
+
   /// Graceful shutdown: drains established peer connections (bounded by
   /// drain_timeout), then closes everything. Idempotent.
   void stop();

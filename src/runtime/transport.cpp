@@ -9,12 +9,19 @@ void InprocTransport::register_endpoint(Endpoint ep,
 }
 
 void InprocTransport::send(Endpoint to, const protocol::Message& msg) {
-  std::shared_ptr<Inbox> inbox;
   {
     MutexLock lock(mu_);
     if (auto p = partitioned_.find(key(msg.from));
         p != partitioned_.end() && p->second)
       return;
+  }
+  send_raw(to, msg.serialize());
+}
+
+void InprocTransport::send_raw(Endpoint to, Bytes wire) {
+  std::shared_ptr<Inbox> inbox;
+  {
+    MutexLock lock(mu_);
     if (auto p = partitioned_.find(key(to));
         p != partitioned_.end() && p->second)
       return;
@@ -22,7 +29,6 @@ void InprocTransport::send(Endpoint to, const protocol::Message& msg) {
     if (it == inboxes_.end()) return;
     inbox = it->second;
   }
-  Bytes wire = msg.serialize();
   sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(wire.size(), std::memory_order_relaxed);
   inbox->push(std::move(wire));

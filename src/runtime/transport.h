@@ -25,6 +25,9 @@ class InprocTransport final : public Transport {
   /// registered or is partitioned (test hook).
   void send(Endpoint to, const protocol::Message& msg) override;
 
+  /// Delivers raw frame bytes (chaos layer / structural-corruption path).
+  void send_raw(Endpoint to, Bytes wire) override;
+
   /// Test hook: a partitioned endpoint loses all traffic in both directions.
   void set_partitioned(Endpoint ep, bool partitioned);
 

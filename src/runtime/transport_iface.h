@@ -28,6 +28,15 @@ class Transport {
   /// (TcpTransport reconnects with backoff), yet are free to drop under
   /// sustained failure — BFT protocols tolerate loss by design.
   virtual void send(Endpoint to, const protocol::Message& msg) = 0;
+
+  /// Delivers pre-serialized — possibly MALFORMED — frame bytes to `to`,
+  /// bypassing Message serialization. Exists for the chaos layer: the
+  /// FaultyTransport kStructural corruption mode splices wirefuzz-style
+  /// mutations (truncations, length lies, type confusion) into live traffic,
+  /// which by definition cannot round-trip through a typed Message. The
+  /// receiver's parse+validate path (protocol/validate.h) must reject such
+  /// frames and count the reject; that is exactly what chaos drills assert.
+  virtual void send_raw(Endpoint to, Bytes wire) = 0;
 };
 
 }  // namespace rdb::runtime

@@ -8,6 +8,8 @@
 // identical chain accumulators and exactly-once transaction execution.
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -297,6 +299,78 @@ TEST(Chaos, DuplicateReorderStormNoDoubleExecution) {
         << "replica " << r << " double-executed under the storm";
     EXPECT_EQ(cluster.replica(r).chain().accumulator(), acc0)
         << "replica " << r << " forked";
+  }
+  cluster.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Drill 4: malformed-message storm — structural (byte-level byzantine)
+// corruption spliced into live consensus traffic. Every mutant must be
+// rejected at the parse+validate door with a NAMED reason (counted in
+// ReplicaStats.rejected_messages), never crash a replica, and never cause
+// state divergence. This is the end-to-end check that the Untrusted<T>
+// taint discipline holds under fire, not just in unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, MalformedMessageStormRejectedAndCounted) {
+  auto wl = make_workload();
+  auto cfg = chaos_config(wl, 46);
+  // 8% of every link's frames are serialized and then structurally mutated
+  // (truncation, length lies, type/kind confusion, bit flips, junk) before
+  // delivery via send_raw. The surviving 92% must still commit.
+  cfg.fault_plan.default_faults = {.structural = 0.08};
+  LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(31);
+
+  constexpr int kRounds = 6, kBurst = 5;
+  for (int round = 0; round < kRounds; ++round)
+    ASSERT_TRUE(client->submit_and_wait(make_burst(*client, *wl, rng, kBurst))
+                    .has_value())
+        << "round " << round;
+
+  // End the storm, then drive one clean burst: fresh consensus traffic
+  // reveals the committed frontier to any replica whose final-batch votes
+  // were eaten by the storm (same shape as the partition-heal drill — a
+  // quiesced cluster has no retransmission to learn a gap from).
+  cluster.chaos()->clear_faults();
+  ASSERT_TRUE(client->submit_and_wait(make_burst(*client, *wl, rng, kBurst))
+                  .has_value());
+
+  bool converged = wait_converged(cluster, {0, 1, 2, 3}, 30s);
+  if (!converged) {
+    for (ReplicaId r = 0; r < 4; ++r) {
+      auto st = cluster.replica(r).stats();
+      std::cerr << "replica " << int(r)
+                << " last_executed=" << cluster.replica(r).last_executed()
+                << " view=" << cluster.replica(r).view()
+                << " rejected_total=" << st.rejected_total
+                << " invalid_sigs=" << st.invalid_signatures << "\n";
+    }
+  }
+  ASSERT_TRUE(converged);
+  auto c = cluster.chaos()->counters();
+  EXPECT_GT(c.structural, 0u) << "the storm never fired";
+
+  // Rejects are COUNTED under named reasons, not silently dropped. (Some
+  // mutants keep a parseable envelope and only break the signature — those
+  // are rejected later at verification — so we assert over the cluster-wide
+  // sum rather than per replica.)
+  std::uint64_t rejected_total = 0;
+  for (ReplicaId r = 0; r < 4; ++r)
+    rejected_total += cluster.replica(r).stats().rejected_total;
+  EXPECT_GT(rejected_total, 0u)
+      << "structural mutants were injected but no replica counted a reject";
+
+  auto acc0 = cluster.replica(0).chain().accumulator();
+  for (ReplicaId r = 0; r < 4; ++r) {
+    auto stats = cluster.replica(r).stats();
+    EXPECT_EQ(stats.txns_executed,
+              static_cast<std::uint64_t>((kRounds + 1) * kBurst))
+        << "replica " << r << " lost or double-executed under the storm";
+    EXPECT_EQ(cluster.replica(r).chain().accumulator(), acc0)
+        << "replica " << r << " forked under malformed input";
   }
   cluster.stop();
 }

@@ -133,6 +133,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.txns_executed - last_txns),
         static_cast<unsigned long long>(replica.chain().total_blocks()),
         static_cast<unsigned long long>(stats.invalid_signatures));
+    if (stats.rejected_total > 0) {
+      // One line per nonzero reject reason: chaos drills grep these to
+      // assert malformed frames are counted, not silently dropped.
+      std::printf("replica %u: rejected_messages total=%llu", id,
+                  static_cast<unsigned long long>(stats.rejected_total));
+      for (std::size_t i = 0; i < stats.rejected_messages.size(); ++i) {
+        if (stats.rejected_messages[i] == 0) continue;
+        std::printf(" %s=%llu",
+                    rdb::protocol::reject_reason_name(
+                        static_cast<rdb::protocol::RejectReason>(i)),
+                    static_cast<unsigned long long>(
+                        stats.rejected_messages[i]));
+      }
+      std::printf("\n");
+    }
     std::fflush(stdout);
     last_txns = stats.txns_executed;
   }
