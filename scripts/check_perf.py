@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate over bench_crypto's JSON output.
+
+    scripts/check_perf.py BENCH_crypto.json
+
+Asserts the batch-verification speedup floor: the true batch path (one
+randomized multi-scalar multiplication per 64-signature wave) must beat the
+seed's reference verification by at least MIN_BATCH64_SPEEDUP. The floor is
+deliberately below the typical measurement (~7x on a quiet machine, >= 5.0
+recorded in the checked-in BENCH_crypto.json) so CI noise does not flake the
+gate, while a regression that loses the MSM batching (e.g. falling back to
+per-item verification) still fails loudly.
+
+Exit status: 0 when every bound holds, 1 otherwise.
+"""
+import json
+import sys
+
+MIN_BATCH64_SPEEDUP = 4.0
+
+# (field, minimum) — extend as new perf bars are added.
+BOUNDS = [
+    ("batch64_speedup", MIN_BATCH64_SPEEDUP),
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+
+    status = 0
+    for field, minimum in BOUNDS:
+        value = bench.get(field)
+        if value is None:
+            print(f"FAIL: {field} missing from {sys.argv[1]}")
+            status = 1
+            continue
+        verdict = "ok" if value >= minimum else "FAIL"
+        print(f"{verdict}: {field} = {value} (floor {minimum})")
+        if value < minimum:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

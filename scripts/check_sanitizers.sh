@@ -21,8 +21,8 @@ fi
 # parallel verification stage; chaos_test runs the recovery drills (primary
 # crash, partition+heal, dup/reorder storms) and tcp_transport_test the
 # self-healing reconnect path — the richest TSan targets in the repo.
-UNIT_TESTS=(crypto_test ed25519_test queues_test chaos_test
-            tcp_transport_test)
+UNIT_TESTS=(crypto_test ed25519_test batch_verify_test queues_test
+            chaos_test tcp_transport_test)
 RUNTIME_FILTER='Runtime.VerifyPool*'
 
 status=0

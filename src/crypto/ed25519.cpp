@@ -1,6 +1,9 @@
 #include "crypto/ed25519.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <random>
 #include <vector>
 
 #include "common/sync.h"
@@ -700,6 +703,34 @@ void clamp(std::uint8_t a[32]) {
   a[31] |= 0x40;
 }
 
+/// Normalizes a vector of P3 points to affine addition-ready form with ONE
+/// field inversion (Montgomery's trick): prefix-multiply the Z coordinates,
+/// invert the total once, then peel the individual 1/Z_i off in reverse.
+/// Used for the startup comb table and the per-wave R_i tables of batch
+/// verification. Z is never zero for curve points in these coordinates (the
+/// a = -1 unified formulas are complete), so the product is invertible.
+std::vector<GePrecomp> ge_batch_to_precomp(const std::vector<Ge>& pts) {
+  std::vector<GePrecomp> out(pts.size());
+  if (pts.empty()) return out;
+  std::vector<Fe> prefix(pts.size());
+  Fe acc = fe_one();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    prefix[i] = acc;
+    acc = fe_mul(acc, pts[i].z);
+  }
+  Fe inv = fe_invert(acc);
+  for (std::size_t i = pts.size(); i-- > 0;) {
+    Fe zi = fe_mul(inv, prefix[i]);
+    inv = fe_mul(inv, pts[i].z);
+    Fe x = fe_mul(pts[i].x, zi);
+    Fe y = fe_mul(pts[i].y, zi);
+    out[i].ypx = fe_add(y, x);
+    out[i].ymx = fe_sub(y, x);
+    out[i].xy2d = fe_mul(fe_mul(x, y), consts().d2);
+  }
+  return out;
+}
+
 // ===========================================================================
 // Precomputed fixed-base tables, built once at startup.
 //
@@ -739,23 +770,8 @@ struct BaseTables {
       }
     }
     // Batch inversion of all Z coordinates (Montgomery's trick).
-    std::vector<Fe> prefix(total);
-    Fe acc = fe_one();
-    for (int i = 0; i < total; ++i) {
-      prefix[i] = acc;
-      acc = fe_mul(acc, pts[i].z);
-    }
-    Fe inv = fe_invert(acc);
-    for (int i = total - 1; i >= 0; --i) {
-      Fe zi = fe_mul(inv, prefix[i]);
-      inv = fe_mul(inv, pts[i].z);
-      Fe x = fe_mul(pts[i].x, zi);
-      Fe y = fe_mul(pts[i].y, zi);
-      GePrecomp& pre = comb[i / kEntries][i % kEntries];
-      pre.ypx = fe_add(y, x);
-      pre.ymx = fe_sub(y, x);
-      pre.xy2d = fe_mul(fe_mul(x, y), consts().d2);
-    }
+    std::vector<GePrecomp> flat = ge_batch_to_precomp(pts);
+    for (int i = 0; i < total; ++i) comb[i / kEntries][i % kEntries] = flat[i];
   }
 };
 
@@ -889,6 +905,208 @@ bool verify_with(const Ed25519ExpandedKey& key, BytesView msg,
   return std::memcmp(v_bytes, sig.data(), 32) == 0;
 }
 
+// ===========================================================================
+// Batch verification: randomized linear combination, one interleaved MSM.
+// ===========================================================================
+
+/// Randomizer stream for batch verification: SHA-512 in counter mode over a
+/// per-thread seed drawn from std::random_device (stirred with the monotonic
+/// clock in case the device is weak). The only property batch soundness
+/// needs is that an attacker submitting signatures cannot PREDICT z_i before
+/// the wave is checked — this is not a general-purpose CSPRNG and its output
+/// never leaves the process. thread_local so the hot path takes no locks.
+struct RandomizerStream {
+  std::uint8_t seed[32]{};
+  std::uint64_t counter{0};
+  std::uint8_t buf[64]{};
+  std::size_t used{sizeof(buf)};
+
+  RandomizerStream() {
+    std::random_device rd;
+    std::uint32_t words[8];
+    for (auto& w : words) w = rd();
+    std::uint8_t raw[32];
+    std::memcpy(raw, words, sizeof(raw));
+    Sha512 h;
+    h.update(BytesView(raw, sizeof(raw)));
+    const std::int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    std::uint8_t now_bytes[8];
+    std::memcpy(now_bytes, &now, sizeof(now_bytes));
+    h.update(BytesView(now_bytes, sizeof(now_bytes)));
+    std::memcpy(seed, h.finish().data(), sizeof(seed));
+  }
+
+  void fill(std::uint8_t* out, std::size_t len) {
+    while (len > 0) {
+      if (used == sizeof(buf)) {
+        Sha512 h;
+        h.update(BytesView(seed, sizeof(seed)));
+        std::uint8_t ctr[8];
+        std::memcpy(ctr, &counter, sizeof(ctr));
+        ++counter;
+        h.update(BytesView(ctr, sizeof(ctr)));
+        std::memcpy(buf, h.finish().data(), sizeof(buf));
+        used = 0;
+      }
+      const std::size_t take = std::min(len, sizeof(buf) - used);
+      std::memcpy(out, buf + used, take);
+      used += take;
+      out += take;
+      len -= take;
+    }
+  }
+};
+
+RandomizerStream& randomizer_stream() {
+  thread_local RandomizerStream s;
+  return s;
+}
+
+/// Per-item state shared by the MSM and the bisection recursion: R is
+/// decompressed and the challenge scalar hashed once per wave, not once per
+/// split.
+struct BatchSlot {
+  Ge r{};                // decompressed R
+  std::uint8_t h[32]{};  // SHA-512(R || A || M) mod L
+};
+
+/// Evaluates the randomized linear combination over the items selected by
+/// idx[0..count). Randomizers are sampled fresh on every call (a re-check
+/// after a failed split must not reuse scalars). One shared doubling ladder
+/// interleaves three term families:
+///   * the aggregated B coefficient -(sum z_i s_i) mod L — width-9 NAF
+///     against the comb table's odd row, exactly as serial verification;
+///   * per-item z_i h_i mod L — width-5 NAF against the expanded key's
+///     odd-multiples table (the A_i term);
+///   * per-item z_i — width-5 NAF against a per-R odd-multiples table, all
+///     count*8 points normalized to affine with ONE inversion (Montgomery).
+/// Returns true iff the combined point is exactly the identity (checked in
+/// projective coordinates: X = 0 and Y = Z — no inversion, no cofactor
+/// multiplication).
+bool batch_msm_check(const Ed25519BatchItem* items, const BatchSlot* slots,
+                     const std::size_t* idx, std::size_t count) {
+  std::vector<std::array<std::uint8_t, 32>> z(count);
+  std::vector<std::array<std::uint8_t, 32>> a(count);
+  std::uint8_t csum[32] = {};  // sum z_i s_i mod L
+  const std::uint8_t zero[32] = {};
+  for (std::size_t j = 0; j < count; ++j) {
+    auto& zj = z[j];
+    zj.fill(0);
+    randomizer_stream().fill(zj.data(), 16);
+    // Odd z_i: a lone order-8 torsion discrepancy then cannot vanish from
+    // the combined sum (docs/crypto.md "Batch verification").
+    zj[0] |= 1;
+    const Ed25519BatchItem& it = items[idx[j]];
+    sc_muladd(csum, zj.data(), it.sig + 32, csum);        // += z_j * s_j
+    sc_muladd(a[j].data(), zj.data(), slots[idx[j]].h, zero);  // z_j * h_j
+  }
+
+  // B coefficient: -(sum z_i s_i) mod L, i.e. L - csum unless csum = 0.
+  std::uint8_t bcoef[32] = {};
+  std::uint64_t cw[4];
+  std::memcpy(cw, csum, 32);
+  if ((cw[0] | cw[1] | cw[2] | cw[3]) != 0) {
+    std::uint64_t nw[4];
+    u128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      u128 d = (u128)kL[i] - cw[i] - (std::uint64_t)borrow;
+      nw[i] = (std::uint64_t)d;
+      borrow = (d >> 64) & 1;
+    }
+    std::memcpy(bcoef, nw, 32);
+  }
+
+  // Per-item odd multiples of R_i, batch-normalized to affine.
+  std::vector<Ge> rmul(count * 8);
+  for (std::size_t j = 0; j < count; ++j) {
+    const Ge& rp = slots[idx[j]].r;
+    rmul[j * 8] = rp;
+    const GeCached r2 = ge_to_cached(ge_p1p1_to_p3(ge_p3_dbl(rp)));
+    for (int m = 1; m < 8; ++m)
+      rmul[j * 8 + m] = ge_p1p1_to_p3(ge_add_cached(rmul[j * 8 + m - 1], r2));
+  }
+  const std::vector<GePrecomp> rpre = ge_batch_to_precomp(rmul);
+
+  std::vector<std::int16_t> ha(count * 256);  // digits for [z_i h_i]A_i
+  std::vector<std::int16_t> zr(count * 256);  // digits for [z_i]R_i
+  std::int16_t bslide[256];                   // digits for the B term
+  slide(bslide, bcoef, 255);
+  for (std::size_t j = 0; j < count; ++j) {
+    slide(&ha[j * 256], a[j].data(), 15);
+    slide(&zr[j * 256], z[j].data(), 15);
+  }
+
+  auto column_empty = [&](int bit) {
+    if (bslide[bit]) return false;
+    for (std::size_t j = 0; j < count; ++j)
+      if (ha[j * 256 + bit] || zr[j * 256 + bit]) return false;
+    return true;
+  };
+  int i = 255;
+  while (i >= 0 && column_empty(i)) --i;
+
+  GeP2 acc = ge_p2_identity();
+  for (; i >= 0; --i) {
+    GeP1P1 t = ge_p2_dbl(acc);
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::int16_t da = ha[j * 256 + i];
+      if (da > 0) {
+        t = ge_add_cached(ge_p1p1_to_p3(t),
+                          items[idx[j]].key->multiples[da / 2]);
+      } else if (da < 0) {
+        t = ge_sub_cached(ge_p1p1_to_p3(t),
+                          items[idx[j]].key->multiples[(-da) / 2]);
+      }
+      const std::int16_t dz = zr[j * 256 + i];
+      if (dz > 0) {
+        t = ge_madd(ge_p1p1_to_p3(t), rpre[j * 8 + dz / 2]);
+      } else if (dz < 0) {
+        t = ge_msub(ge_p1p1_to_p3(t), rpre[j * 8 + (-dz) / 2]);
+      }
+    }
+    if (bslide[i] > 0) {
+      t = ge_madd(ge_p1p1_to_p3(t), base_tables().comb[0][bslide[i] - 1]);
+    } else if (bslide[i] < 0) {
+      t = ge_msub(ge_p1p1_to_p3(t), base_tables().comb[0][(-bslide[i]) - 1]);
+    }
+    acc = ge_p1p1_to_p2(t);
+  }
+  return fe_iszero(acc.x) && fe_eq(acc.y, acc.z);
+}
+
+/// Settles items[idx[0..count)]: accept all on a passing MSM, otherwise
+/// bisect at the midpoint and recurse. The split points are deterministic —
+/// only the randomizers are fresh per check — so a given wave isolates the
+/// same culprits every time. Leaves of size <= 2 use the serial equation
+/// directly: an MSM over two items costs about as much as two serial
+/// verifies, and the serial path is the accept/reject oracle the batch must
+/// agree with.
+void batch_settle(const Ed25519BatchItem* items, const BatchSlot* slots,
+                  const std::size_t* idx, std::size_t count, bool* verdicts,
+                  Ed25519BatchStats& stats) {
+  if (count == 0) return;
+  if (count <= 2) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const Ed25519BatchItem& it = items[idx[j]];
+      Ed25519Signature sig;
+      std::memcpy(sig.data(), it.sig, sig.size());
+      verdicts[idx[j]] = verify_with(*it.key, it.msg, sig);
+    }
+    stats.serial_fallbacks += count;
+    return;
+  }
+  ++stats.msm_checks;
+  if (batch_msm_check(items, slots, idx, count)) {
+    for (std::size_t j = 0; j < count; ++j) verdicts[idx[j]] = true;
+    return;
+  }
+  ++stats.bisections;
+  const std::size_t half = count / 2;
+  batch_settle(items, slots, idx, half, verdicts, stats);
+  batch_settle(items, slots, idx + half, count - half, verdicts, stats);
+}
+
 /// Small direct-mapped cache of expanded keys for callers that use the plain
 /// ed25519_verify entry point (no KeyRegistry in sight). Invalid keys are
 /// cached too (as nullptr) so repeated garbage is rejected cheaply.
@@ -989,6 +1207,51 @@ bool ed25519_verify(BytesView msg, const Ed25519Signature& sig,
   Ed25519ExpandedKeyPtr key = module_key_cache().lookup_or_expand(public_key);
   if (!key) return false;
   return verify_with(*key, msg, sig);
+}
+
+std::size_t ed25519_verify_batch(const Ed25519BatchItem* items, std::size_t n,
+                                 bool* verdicts, Ed25519BatchStats* stats) {
+  Ed25519BatchStats local;
+  std::vector<BatchSlot> slots(n);
+  std::vector<std::size_t> msm_idx;
+  msm_idx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    verdicts[i] = false;
+    const Ed25519BatchItem& it = items[i];
+    if (it.key == nullptr || it.sig == nullptr) continue;
+    // Pre-screening mirrors the serial path's rejections exactly: a
+    // malformed item must come back `false` without poisoning the combined
+    // sum for everyone else in the wave.
+    if (!sc_is_canonical(it.sig + 32)) continue;  // S >= L
+    if (!fe_bytes_canonical(it.sig)) continue;    // non-canonical R encoding
+    BatchSlot& slot = slots[i];
+    if (!ge_frombytes(slot.r, it.sig)) continue;  // R not on the curve
+    if (ge_is_small_order(slot.r)) {
+      // An R inside the torsion subgroup could hide from the randomized sum
+      // (its contribution can vanish mod 8); settle such items serially.
+      Ed25519Signature sig;
+      std::memcpy(sig.data(), it.sig, sig.size());
+      verdicts[i] = verify_with(*it.key, it.msg, sig);
+      ++local.serial_fallbacks;
+      continue;
+    }
+    Sha512 hk;
+    hk.update(BytesView(it.sig, 32));
+    hk.update(BytesView(it.key->compressed.data(), 32));
+    hk.update(it.msg);
+    sc_reduce64(hk.finish(), slot.h);
+    msm_idx.push_back(i);
+  }
+  batch_settle(items, slots.data(), msm_idx.data(), msm_idx.size(), verdicts,
+               local);
+  if (stats != nullptr) {
+    stats->msm_checks += local.msm_checks;
+    stats->bisections += local.bisections;
+    stats->serial_fallbacks += local.serial_fallbacks;
+  }
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < n; ++i) valid += verdicts[i] ? 1u : 0u;
+  return valid;
 }
 
 // ===========================================================================

@@ -70,6 +70,43 @@ Ed25519ExpandedKeyPtr ed25519_expand_key(const Ed25519PublicKey& public_key);
 bool ed25519_verify_expanded(BytesView msg, const Ed25519Signature& sig,
                              const Ed25519ExpandedKey& key);
 
+/// One signature in a batch-verification wave. `sig` points at 64 bytes
+/// (R || S) that must stay valid for the duration of the call; `key` is the
+/// signer's pre-expanded public key. A nullptr key or sig marks the item
+/// invalid without touching the curve math.
+struct Ed25519BatchItem {
+  BytesView msg;
+  const std::uint8_t* sig{nullptr};
+  const Ed25519ExpandedKey* key{nullptr};
+};
+
+/// Counters accumulated (never reset) by ed25519_verify_batch.
+struct Ed25519BatchStats {
+  std::uint64_t msm_checks{0};        // multi-scalar multiplications run
+  std::uint64_t bisections{0};        // splits taken hunting culprits
+  std::uint64_t serial_fallbacks{0};  // items settled by serial verification
+};
+
+/// True batch verification (randomized linear combination): samples an
+/// independent 128-bit odd randomizer z_i per signature and checks
+///
+///   [-(Σ z_i s_i) mod L]B + Σ [z_i h_i mod L]A_i + Σ [z_i]R_i == identity
+///
+/// with ONE interleaved multi-scalar multiplication — the comb table serves
+/// the aggregated B term, each item's expanded key serves its A_i term, and
+/// the per-item R_i odd-multiples tables are normalized to affine with a
+/// single field inversion (Montgomery's trick). When the combined check
+/// fails, the wave is bisected deterministically (midpoint splits) until the
+/// culprits are isolated; leaves of size <= 2 fall back to the serial
+/// equation, so accept/reject matches serial ed25519_verify item-for-item.
+///
+/// Fills verdicts[0..n) and returns the number of valid signatures.
+/// docs/crypto.md §"Batch verification" covers soundness (why 128-bit
+/// unpredictable randomizers, cofactor handling) and fallback semantics.
+std::size_t ed25519_verify_batch(const Ed25519BatchItem* items, std::size_t n,
+                                 bool* verdicts,
+                                 Ed25519BatchStats* stats = nullptr);
+
 namespace detail {
 // Reference implementations (the seed's binary double-and-add path and
 // shift-subtract scalar reduction), retained for cross-check tests and

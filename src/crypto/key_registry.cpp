@@ -64,6 +64,47 @@ Ed25519ExpandedKeyPtr KeyRegistry::ed25519_expanded(Endpoint who) const {
   return expanded;
 }
 
+void KeyRegistry::ed25519_expand_many(const Endpoint* who, std::size_t n,
+                                      Ed25519ExpandedKeyPtr* out) const {
+  if (n == 0) return;
+  ed_bulk_lookups_.fetch_add(1, std::memory_order_relaxed);
+  ed_bulk_keys_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<std::size_t> missing;
+  std::uint64_t hits = 0;
+  {
+    // One shared hold resolves the whole wave: after warmup every slot is a
+    // hit, so the common case costs a single lock round-trip per batch.
+    ReaderLock lock(ed_mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = ed_cache_.find(endpoint_code(who[i]));
+      if (it != ed_cache_.end()) {
+        out[i] = it->second;
+        ++hits;
+      } else {
+        out[i] = nullptr;
+        missing.push_back(i);
+      }
+    }
+  }
+  if (hits) ed_hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (missing.empty()) return;
+  ed_misses_.fetch_add(missing.size(), std::memory_order_relaxed);
+  // Derive + expand misses outside the lock, deduplicating repeated
+  // endpoints (a wave often carries several signatures from one peer whose
+  // key is not warm yet — expand it once, not once per signature).
+  for (std::size_t m = 0; m < missing.size(); ++m) {
+    const std::size_t i = missing[m];
+    if (out[i]) continue;  // already expanded via an earlier duplicate
+    Ed25519ExpandedKeyPtr expanded = ed25519_expand_key(ed25519_public(who[i]));
+    const std::uint64_t code = endpoint_code(who[i]);
+    out[i] = expanded;
+    for (std::size_t k = m + 1; k < missing.size(); ++k)
+      if (endpoint_code(who[missing[k]]) == code) out[missing[k]] = expanded;
+  }
+  WriterLock lock(ed_mutex_);
+  for (std::size_t i : missing) ed_cache_[endpoint_code(who[i])] = out[i];
+}
+
 void KeyRegistry::ed25519_invalidate(Endpoint who) const {
   WriterLock lock(ed_mutex_);
   ed_cache_.erase(endpoint_code(who));
@@ -73,6 +114,8 @@ KeyRegistry::CacheStats KeyRegistry::ed25519_cache_stats() const {
   CacheStats s;
   s.hits = ed_hits_.load(std::memory_order_relaxed);
   s.misses = ed_misses_.load(std::memory_order_relaxed);
+  s.bulk_lookups = ed_bulk_lookups_.load(std::memory_order_relaxed);
+  s.bulk_keys = ed_bulk_keys_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -138,4 +138,61 @@ bool CryptoProvider::verify(Endpoint from, BytesView msg,
   return false;
 }
 
+std::size_t CryptoProvider::verify_batch(const VerifyItem* items,
+                                         std::size_t n, bool* verdicts,
+                                         BatchVerifyStats* stats) const {
+  BatchVerifyStats local;
+  std::vector<std::size_t> ed_idx;
+  ed_idx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VerifyItem& it = items[i];
+    const bool ed_shaped =
+        scheme_for(it.from) == SignatureScheme::kEd25519 &&
+        it.sig.size() == 65 &&
+        it.sig[0] == static_cast<std::uint8_t>(SignatureScheme::kEd25519);
+    if (ed_shaped) {
+      ed_idx.push_back(i);
+    } else {
+      // MAC schemes have no batch form (each tag is a full AES pass) and
+      // malformed Ed25519 framing is rejected by verify() before any curve
+      // math — both settle item-by-item.
+      verdicts[i] = verify(it.from, it.msg, it.sig);
+      ++local.serial;
+    }
+  }
+  if (!ed_idx.empty()) {
+    // One bulk registry pass resolves every A_i table; the shared_ptrs pin
+    // the expansions for the duration of the MSM.
+    std::vector<Endpoint> eps;
+    eps.reserve(ed_idx.size());
+    for (std::size_t i : ed_idx) eps.push_back(items[i].from);
+    std::vector<Ed25519ExpandedKeyPtr> keys(eps.size());
+    registry_->ed25519_expand_many(eps.data(), eps.size(), keys.data());
+    std::vector<Ed25519BatchItem> batch(ed_idx.size());
+    for (std::size_t j = 0; j < ed_idx.size(); ++j) {
+      const VerifyItem& it = items[ed_idx[j]];
+      batch[j].msg = it.msg;
+      batch[j].sig = it.sig.data() + 1;  // skip the scheme id byte
+      batch[j].key = keys[j].get();      // nullptr key -> verdict false
+    }
+    // ed25519_verify_batch wants bool*; vector<bool> is packed, so run
+    // through a small contiguous bool buffer.
+    std::unique_ptr<bool[]> raw(new bool[ed_idx.size()]);
+    Ed25519BatchStats bs;
+    ed25519_verify_batch(batch.data(), batch.size(), raw.get(), &bs);
+    for (std::size_t j = 0; j < ed_idx.size(); ++j)
+      verdicts[ed_idx[j]] = raw[j];
+    local.ed25519_batched += ed_idx.size();
+    local.bisections += bs.bisections;
+  }
+  if (stats != nullptr) {
+    stats->ed25519_batched += local.ed25519_batched;
+    stats->serial += local.serial;
+    stats->bisections += local.bisections;
+  }
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < n; ++i) valid += verdicts[i] ? 1u : 0u;
+  return valid;
+}
+
 }  // namespace rdb::crypto

@@ -25,6 +25,21 @@
 
 namespace rdb::crypto {
 
+/// One (signer, message, signature) triple for CryptoProvider::verify_batch.
+/// The views must stay valid for the duration of the call.
+struct VerifyItem {
+  Endpoint from;
+  BytesView msg;
+  BytesView sig;
+};
+
+/// Counters accumulated (never reset) by CryptoProvider::verify_batch.
+struct BatchVerifyStats {
+  std::uint64_t ed25519_batched{0};  // sigs settled via the batch MSM path
+  std::uint64_t serial{0};           // sigs settled per-item (MACs, malformed)
+  std::uint64_t bisections{0};       // culprit hunts after a failed batch
+};
+
 class CryptoProvider {
  public:
   CryptoProvider(Endpoint self, const KeyRegistry& registry,
@@ -37,6 +52,16 @@ class CryptoProvider {
 
   /// Verifies `sig` on `msg` purportedly produced by `from` for us.
   bool verify(Endpoint from, BytesView msg, BytesView sig) const;
+
+  /// Verifies a wave of signatures in one pass. Well-formed Ed25519 items
+  /// are checked with ONE randomized multi-scalar multiplication (all
+  /// expanded keys resolved through a single bulk registry lookup); items
+  /// under other schemes — or malformed ones — fall back to per-item
+  /// verify(). verdicts[i] always matches what verify() would return for
+  /// items[i]. Returns the number of valid signatures.
+  std::size_t verify_batch(const VerifyItem* items, std::size_t n,
+                           bool* verdicts,
+                           BatchVerifyStats* stats = nullptr) const;
 
   /// The scheme used on the link between us and `peer`.
   SignatureScheme scheme_for(Endpoint peer) const;

@@ -7,6 +7,7 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/sync.h"
 
@@ -54,6 +55,20 @@ class BlockingQueue {
     T out = std::move(items_.front());
     items_.pop_front();
     return out;
+  }
+
+  /// Drains up to `max` items into `out` (appending) under ONE lock hold —
+  /// the burst-collection primitive for batch consumers. Never blocks;
+  /// returns the number of items taken (0 when the queue is empty).
+  std::size_t try_pop_n(std::vector<T>& out, std::size_t max) {
+    MutexLock lock(mu_);
+    std::size_t taken = 0;
+    while (taken < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
   }
 
   void shutdown() {

@@ -17,6 +17,9 @@ LocalCluster::LocalCluster(ClusterConfig config)
     rc.batch_threads = config_.batch_threads;
     rc.output_threads = config_.output_threads;
     rc.verify_threads = config_.verify_threads;
+    rc.verify_batch_size = config_.verify_batch_size;
+    rc.verify_batch_wait_ns = config_.verify_batch_wait_ns;
+    rc.verify_certificates = config_.verify_certificates;
     rc.batch_size = config_.batch_size;
     rc.checkpoint_interval = config_.checkpoint_interval;
     rc.request_timeout_ns = config_.request_timeout_ns;

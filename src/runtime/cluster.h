@@ -19,6 +19,9 @@ struct ClusterConfig {
   std::uint32_t batch_threads{2};
   std::uint32_t output_threads{2};
   std::uint32_t verify_threads{0};  // Prepare/Commit verify pool (0 = inline)
+  std::uint32_t verify_batch_size{64};   // burst size for batch verification
+  TimeNs verify_batch_wait_ns{200'000};  // burst flush cutoff (200 us)
+  bool verify_certificates{false};  // re-check block certs via batch path
   std::uint32_t batch_size{10};
   SeqNum checkpoint_interval{16};
   TimeNs request_timeout_ns{2'000'000'000};

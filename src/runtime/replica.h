@@ -62,6 +62,20 @@ struct ReplicaConfig {
   /// Commit reordering — votes are counted per sequence number — so the
   /// pool may legally reorder messages.
   std::uint32_t verify_threads{0};
+  /// Burst draining for the verify pool: a pool thread blocks for the first
+  /// Prepare/Commit, then keeps draining the queue until it holds
+  /// verify_batch_size signatures or verify_batch_wait_ns has passed —
+  /// whichever comes first — and settles the whole burst with ONE batch
+  /// verification (randomized linear combination, single multi-scalar
+  /// multiplication). <= 1 verifies per message as before.
+  std::uint32_t verify_batch_size{64};
+  TimeNs verify_batch_wait_ns{200'000};  // 200 us flush cutoff
+  /// Re-check each executed block's 2f+1 commit certificate through the
+  /// batch-verify path before it is appended (defense in depth: every vote
+  /// was already verified on arrival, so a failure here means certificate
+  /// corruption — counted in cert_vote_failures, and the block still
+  /// appends). Off by default to keep the execute stage lean.
+  bool verify_certificates{false};
   std::uint32_t batch_size{10};
   SeqNum checkpoint_interval{16};
   TimeNs request_timeout_ns{2'000'000'000};
@@ -95,6 +109,16 @@ struct ReplicaStats {
       rejected_messages{};
   /// Sum of rejected_messages[*] (convenience for assertions/printing).
   std::uint64_t rejected_total{0};
+  /// Batch verification (the burst-draining verify stage + certificate
+  /// re-checks): signatures settled through CryptoProvider::verify_batch,
+  /// number of flushed waves, bisection hunts after a failed wave, and the
+  /// mean wave size (batched_sigs / batch_flushes).
+  std::uint64_t batched_sigs{0};
+  std::uint64_t batch_flushes{0};
+  std::uint64_t batch_fallback_bisections{0};
+  double batch_mean_size{0};
+  /// Commit-certificate votes that failed the verify_certificates re-check.
+  std::uint64_t cert_vote_failures{0};
 };
 
 class Replica {
@@ -275,6 +299,10 @@ class Replica {
   mutable Mutex stats_mu_{LockRank::kReplicaStats, "Replica.stats"};
   ReplicaStats stats_ RDB_GUARDED_BY(stats_mu_);
   std::atomic<std::uint64_t> batch_saturated_{0};
+  std::atomic<std::uint64_t> batched_sigs_{0};
+  std::atomic<std::uint64_t> batch_flushes_{0};
+  std::atomic<std::uint64_t> batch_bisections_{0};
+  std::atomic<std::uint64_t> cert_vote_failures_{0};
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(protocol::RejectReason::kCount)>
       reject_counts_{};

@@ -1,0 +1,333 @@
+// Batch Ed25519 verification: the randomized-linear-combination MSM path
+// must agree with serial verification item-for-item — including every
+// malformed-input edge (non-canonical scalars/points, small-order R, keys
+// missing from the registry) and under deliberate culprit injection, where
+// the deterministic bisection has to isolate exactly the forged items.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+#include "crypto/key_registry.h"
+#include "crypto/provider.h"
+
+namespace rdb::crypto {
+namespace {
+
+Ed25519Seed seed_of_byte(std::uint8_t b) {
+  Ed25519Seed s{};
+  s.fill(b);
+  return s;
+}
+
+/// A signed message plus everything batch verification needs.
+struct Sample {
+  Bytes msg;
+  Ed25519Signature sig{};
+  Ed25519PublicKey pub{};
+  Ed25519ExpandedKeyPtr key;
+};
+
+Sample make_sample(std::uint8_t signer, const std::string& text) {
+  Sample s;
+  s.msg = Bytes(text.begin(), text.end());
+  Ed25519Seed seed = seed_of_byte(static_cast<std::uint8_t>(signer + 1));
+  s.pub = ed25519_public_key(seed);
+  s.sig = ed25519_sign(BytesView(s.msg), seed, s.pub);
+  s.key = ed25519_expand_key(s.pub);
+  EXPECT_NE(s.key, nullptr);
+  return s;
+}
+
+Ed25519BatchItem item_of(const Sample& s) {
+  return Ed25519BatchItem{BytesView(s.msg), s.sig.data(), s.key.get()};
+}
+
+TEST(BatchVerify, EmptyBatch) {
+  Ed25519BatchStats stats;
+  EXPECT_EQ(ed25519_verify_batch(nullptr, 0, nullptr, &stats), 0u);
+  EXPECT_EQ(stats.msm_checks, 0u);
+  EXPECT_EQ(stats.bisections, 0u);
+  EXPECT_EQ(stats.serial_fallbacks, 0u);
+}
+
+TEST(BatchVerify, BatchOfOne) {
+  Sample good = make_sample(0, "lone message");
+  Ed25519BatchItem item = item_of(good);
+  bool verdict = false;
+  EXPECT_EQ(ed25519_verify_batch(&item, 1, &verdict), 1u);
+  EXPECT_TRUE(verdict);
+
+  Sample bad = make_sample(1, "other message");
+  bad.msg.push_back(0x5A);  // signature no longer covers the message
+  item = item_of(bad);
+  EXPECT_EQ(ed25519_verify_batch(&item, 1, &verdict), 0u);
+  EXPECT_FALSE(verdict);
+}
+
+TEST(BatchVerify, AllValidWaveUsesOneMsm) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 64; ++i)
+    samples.push_back(make_sample(static_cast<std::uint8_t>(i % 8),
+                                  "wave message " + std::to_string(i)));
+  std::vector<Ed25519BatchItem> items;
+  for (const auto& s : samples) items.push_back(item_of(s));
+  bool* verdicts = new bool[items.size()];
+  Ed25519BatchStats stats;
+  EXPECT_EQ(ed25519_verify_batch(items.data(), items.size(), verdicts, &stats),
+            items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) EXPECT_TRUE(verdicts[i]);
+  EXPECT_EQ(stats.msm_checks, 1u);
+  EXPECT_EQ(stats.bisections, 0u);
+  EXPECT_EQ(stats.serial_fallbacks, 0u);
+  delete[] verdicts;
+}
+
+TEST(BatchVerify, BisectionFindsExactlyTheForgedCulprit) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 64; ++i)
+    samples.push_back(make_sample(static_cast<std::uint8_t>(i % 8),
+                                  "culprit hunt " + std::to_string(i)));
+  constexpr std::size_t kCulprit = 37;
+  samples[kCulprit].sig[40] ^= 0x01;  // corrupt one byte of S
+  std::vector<Ed25519BatchItem> items;
+  for (const auto& s : samples) items.push_back(item_of(s));
+  std::vector<bool> expected;
+  for (const auto& s : samples)
+    expected.push_back(ed25519_verify(BytesView(s.msg), s.sig, s.pub));
+  ASSERT_FALSE(expected[kCulprit]);
+
+  bool* verdicts = new bool[items.size()];
+  Ed25519BatchStats stats;
+  EXPECT_EQ(ed25519_verify_batch(items.data(), items.size(), verdicts, &stats),
+            items.size() - 1);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != kCulprit) << "item " << i;
+    EXPECT_EQ(verdicts[i], expected[i]) << "item " << i;
+  }
+  // The top-level wave failed and the hunt descended: log2(64) = 6 levels,
+  // each contributing at least one split on the path to the culprit.
+  EXPECT_GE(stats.bisections, 5u);
+  EXPECT_GT(stats.msm_checks, 1u);
+  delete[] verdicts;
+}
+
+TEST(BatchVerify, DuplicateEntriesAllAccepted) {
+  Sample base = make_sample(3, "duplicated message");
+  std::vector<Ed25519BatchItem> items;
+  for (int i = 0; i < 8; ++i) items.push_back(item_of(base));
+  std::vector<Sample> extra;
+  for (int i = 0; i < 8; ++i)
+    extra.push_back(make_sample(static_cast<std::uint8_t>(i),
+                                "distinct " + std::to_string(i)));
+  for (const auto& s : extra) items.push_back(item_of(s));
+  bool* verdicts = new bool[items.size()];
+  EXPECT_EQ(ed25519_verify_batch(items.data(), items.size(), verdicts),
+            items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) EXPECT_TRUE(verdicts[i]);
+  delete[] verdicts;
+}
+
+TEST(BatchVerify, MalformedItemsMatchSerialWithoutPoisoningTheWave) {
+  // A wave of 6 good signatures with hostile items spliced in. Every verdict
+  // must equal the serial path's, and the good items must stay accepted.
+  std::vector<Sample> good;
+  for (int i = 0; i < 6; ++i)
+    good.push_back(make_sample(static_cast<std::uint8_t>(i),
+                               "good " + std::to_string(i)));
+
+  // S >= L: the canonical-scalar reject. L's little-endian bytes:
+  const std::uint8_t l_bytes[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12,
+                                    0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+                                    0xde, 0x14, 0,    0,    0,    0,    0,
+                                    0,    0,    0,    0,    0,    0,    0,
+                                    0,    0,    0,    0x10};
+  Sample big_s = make_sample(6, "non-canonical S");
+  std::memcpy(big_s.sig.data() + 32, l_bytes, 32);
+
+  // Non-canonical R encoding: y = p (= 2^255 - 19), sign bit clear.
+  Sample nc_r = make_sample(7, "non-canonical R");
+  std::memset(nc_r.sig.data(), 0xff, 32);
+  nc_r.sig[0] = 0xed;
+  nc_r.sig[31] = 0x7f;
+
+  // Small-order R: the identity's encoding (y = 1).
+  Sample so_r = make_sample(8, "small-order R");
+  std::memset(so_r.sig.data(), 0, 32);
+  so_r.sig[0] = 0x01;
+
+  // R not on the curve (y = 2 has no matching x).
+  Sample off_r = make_sample(9, "off-curve R");
+  std::memset(off_r.sig.data(), 0, 32);
+  off_r.sig[0] = 0x02;
+
+  std::vector<Sample*> hostile{&big_s, &nc_r, &so_r, &off_r};
+  std::vector<Ed25519BatchItem> items;
+  std::vector<bool> expected;
+  for (auto& s : good) {
+    items.push_back(item_of(s));
+    expected.push_back(true);
+  }
+  for (Sample* s : hostile) {
+    items.push_back(item_of(*s));
+    expected.push_back(ed25519_verify(BytesView(s->msg), s->sig, s->pub));
+    EXPECT_FALSE(expected.back());
+  }
+  // Null key: rejected before any curve math.
+  items.push_back(Ed25519BatchItem{BytesView(good[0].msg), good[0].sig.data(),
+                                   nullptr});
+  expected.push_back(false);
+
+  bool* verdicts = new bool[items.size()];
+  Ed25519BatchStats stats;
+  ed25519_verify_batch(items.data(), items.size(), verdicts, &stats);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(verdicts[i], expected[i]) << "item " << i;
+  // The small-order R was settled serially, not smuggled into the MSM.
+  EXPECT_GE(stats.serial_fallbacks, 1u);
+  delete[] verdicts;
+}
+
+TEST(BatchVerify, CrossCheck1kAgainstSerial) {
+  // 1000 randomized samples — valid, bit-flipped signatures, bit-flipped
+  // messages, and key swaps — verified in waves of 61 (never aligned with
+  // the corruption pattern). Batch accept/reject must equal serial exactly.
+  Rng rng(0xBA7C4);
+  std::vector<Sample> samples;
+  samples.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    Sample s = make_sample(static_cast<std::uint8_t>(rng.next() % 16),
+                           "crosscheck " + std::to_string(i));
+    switch (rng.next() % 4) {
+      case 0:  // valid
+        break;
+      case 1:  // corrupt a signature byte (R or S half)
+        s.sig[rng.next() % 64] ^= static_cast<std::uint8_t>(
+            1u << (rng.next() % 8));
+        break;
+      case 2:  // corrupt the message
+        s.msg[rng.next() % s.msg.size()] ^= 0x80;
+        break;
+      default: {  // verify under a different signer's key
+        Ed25519Seed other =
+            seed_of_byte(static_cast<std::uint8_t>(rng.next() % 16 + 100));
+        s.pub = ed25519_public_key(other);
+        s.key = ed25519_expand_key(s.pub);
+        break;
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+
+  std::vector<bool> expected;
+  expected.reserve(samples.size());
+  for (const auto& s : samples)
+    expected.push_back(ed25519_verify(BytesView(s.msg), s.sig, s.pub));
+
+  std::size_t serial_valid = 0;
+  for (bool b : expected) serial_valid += b ? 1u : 0u;
+  ASSERT_GT(serial_valid, 0u);
+  ASSERT_LT(serial_valid, samples.size());
+
+  constexpr std::size_t kWave = 61;
+  bool* verdicts = new bool[kWave];
+  for (std::size_t begin = 0; begin < samples.size(); begin += kWave) {
+    const std::size_t count = std::min(kWave, samples.size() - begin);
+    std::vector<Ed25519BatchItem> items;
+    for (std::size_t i = 0; i < count; ++i)
+      items.push_back(item_of(samples[begin + i]));
+    ed25519_verify_batch(items.data(), count, verdicts);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(verdicts[i], expected[begin + i]) << "sample " << (begin + i);
+  }
+  delete[] verdicts;
+}
+
+TEST(BatchVerify, RegistryExpandManyMatchesSingleLookups) {
+  KeyRegistry registry(42);
+  std::vector<Endpoint> eps;
+  for (std::uint32_t r = 0; r < 4; ++r) eps.push_back(Endpoint::replica(r));
+  eps.push_back(Endpoint::replica(1));  // duplicate in the same wave
+  eps.push_back(Endpoint::client(9));
+
+  std::vector<Ed25519ExpandedKeyPtr> bulk(eps.size());
+  registry.ed25519_expand_many(eps.data(), eps.size(), bulk.data());
+  auto after_cold = registry.ed25519_cache_stats();
+  EXPECT_EQ(after_cold.bulk_lookups, 1u);
+  EXPECT_EQ(after_cold.bulk_keys, eps.size());
+  // 5 unique endpoints missed; the duplicate resolved through its twin.
+  EXPECT_EQ(after_cold.hits + after_cold.misses, eps.size());
+
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    ASSERT_NE(bulk[i], nullptr) << "endpoint " << i;
+    EXPECT_EQ(bulk[i].get(), registry.ed25519_expanded(eps[i]).get())
+        << "endpoint " << i;
+  }
+
+  // Warm wave: all hits, same pointers.
+  std::vector<Ed25519ExpandedKeyPtr> warm(eps.size());
+  registry.ed25519_expand_many(eps.data(), eps.size(), warm.data());
+  auto after_warm = registry.ed25519_cache_stats();
+  EXPECT_EQ(after_warm.bulk_lookups, 2u);
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+  for (std::size_t i = 0; i < eps.size(); ++i)
+    EXPECT_EQ(warm[i].get(), bulk[i].get());
+}
+
+TEST(BatchVerify, ProviderVerifyBatchMatchesVerifyAcrossSchemes) {
+  // Standard scheme split: replica<->replica CMAC, client<->replica Ed25519.
+  // A mixed wave must dispatch each item to its scheme and agree with
+  // verify() bit-for-bit; only the Ed25519 items ride the MSM.
+  KeyRegistry registry(7);
+  SchemeConfig schemes = SchemeConfig::standard();
+  CryptoProvider self(Endpoint::replica(0), registry, schemes);
+  CryptoProvider peer(Endpoint::replica(1), registry, schemes);
+  CryptoProvider client(Endpoint::client(5), registry, schemes);
+
+  std::vector<Bytes> msgs;
+  std::vector<Bytes> sigs;
+  std::vector<Endpoint> froms;
+  for (int i = 0; i < 10; ++i) {
+    Bytes m{static_cast<std::uint8_t>(i), 0xAB, 0xCD};
+    if (i % 2 == 0) {
+      // Client-signed (Ed25519 on the wire).
+      froms.push_back(Endpoint::client(5));
+      sigs.push_back(client.sign(Endpoint::replica(0), BytesView(m)));
+    } else {
+      // Replica-signed (CMAC tag under the pairwise key).
+      froms.push_back(Endpoint::replica(1));
+      sigs.push_back(peer.sign(Endpoint::replica(0), BytesView(m)));
+    }
+    msgs.push_back(std::move(m));
+  }
+  sigs[4][10] ^= 0x40;  // forge one Ed25519 signature
+  sigs[3][5] ^= 0x40;   // forge one CMAC tag
+  sigs[6] = Bytes{0x02};  // truncated Ed25519 frame -> serial reject
+
+  std::vector<VerifyItem> items;
+  for (std::size_t i = 0; i < msgs.size(); ++i)
+    items.push_back(VerifyItem{froms[i], BytesView(msgs[i]),
+                               BytesView(sigs[i])});
+  bool* verdicts = new bool[items.size()];
+  BatchVerifyStats stats;
+  self.verify_batch(items.data(), items.size(), verdicts, &stats);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(verdicts[i],
+              self.verify(froms[i], BytesView(msgs[i]), BytesView(sigs[i])))
+        << "item " << i;
+  }
+  EXPECT_FALSE(verdicts[3]);
+  EXPECT_FALSE(verdicts[4]);
+  EXPECT_FALSE(verdicts[6]);
+  // 4 well-formed Ed25519 items batched (one forged); CMAC + the truncated
+  // frame settled serially.
+  EXPECT_EQ(stats.ed25519_batched, 4u);
+  EXPECT_EQ(stats.serial, 6u);
+  delete[] verdicts;
+}
+
+}  // namespace
+}  // namespace rdb::crypto

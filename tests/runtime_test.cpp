@@ -244,6 +244,64 @@ TEST(Runtime, VerifyPoolRejectsForgedReplicaMessages) {
   cluster.stop();
 }
 
+TEST(Runtime, VerifyPoolBurstBatchesSignatures) {
+  // The verify stage drains bursts of Prepare/Commit votes and settles each
+  // burst with one batch-verify call. Under sustained load the batch
+  // counters must engage (flushes > 0, mean size >= 1), certificates
+  // re-checked through the same path must all hold, and nothing valid may
+  // be rejected.
+  auto wl = small_workload();
+  auto cfg = base_config(wl);
+  cfg.schemes = crypto::SchemeConfig::all_ed25519();
+  cfg.verify_threads = 2;
+  cfg.verify_batch_size = 16;
+  cfg.verify_batch_wait_ns = 500'000;  // 500 us flush cutoff
+  cfg.verify_certificates = true;
+  LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(31);
+
+  for (int round = 0; round < 5; ++round) {
+    auto res = client->submit_and_wait(make_burst(*client, *wl, rng, 5));
+    ASSERT_TRUE(res.has_value()) << "round " << round;
+  }
+  ASSERT_TRUE(cluster.wait_for_execution(5, std::chrono::seconds(10)));
+
+  for (ReplicaId r = 0; r < cluster.size(); ++r) {
+    auto stats = cluster.replica(r).stats();
+    EXPECT_EQ(stats.invalid_signatures, 0u) << "replica " << r;
+    EXPECT_GT(stats.batched_sigs, 0u) << "replica " << r;
+    EXPECT_GT(stats.batch_flushes, 0u) << "replica " << r;
+    EXPECT_GE(stats.batch_mean_size, 1.0) << "replica " << r;
+    // All votes were honest: no batch ever needed a culprit hunt, and the
+    // certificate re-check found every 2f+1 vote set intact.
+    EXPECT_EQ(stats.batch_fallback_bisections, 0u) << "replica " << r;
+    EXPECT_EQ(stats.cert_vote_failures, 0u) << "replica " << r;
+  }
+  cluster.stop();
+}
+
+TEST(Runtime, VerifyPoolBatchSizeOneStillConverges) {
+  // Degenerate burst size: every message flushes alone, which must behave
+  // exactly like the pre-batching stage (correct convergence, no rejects).
+  auto wl = small_workload();
+  auto cfg = base_config(wl);
+  cfg.schemes = crypto::SchemeConfig::all_ed25519();
+  cfg.verify_threads = 1;
+  cfg.verify_batch_size = 1;
+  LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(32);
+
+  auto res = client->submit_and_wait(make_burst(*client, *wl, rng, 5));
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(cluster.wait_for_execution(1, std::chrono::seconds(10)));
+  EXPECT_EQ(cluster.replica(1).stats().invalid_signatures, 0u);
+  cluster.stop();
+}
+
 TEST(Runtime, RetransmittedRequestExecutesOnce) {
   // A client retransmission (e.g. after a presumed timeout) must not apply
   // the writes twice: the reply cache answers duplicates.
