@@ -21,8 +21,10 @@ fi
 # parallel verification stage; chaos_test runs the recovery drills (primary
 # crash, partition+heal, dup/reorder storms) and tcp_transport_test the
 # self-healing reconnect path — the richest TSan targets in the repo.
+# storage_test + recovery_test cover the durable path: WAL group commit,
+# fault-injected crash points, and hard-kill replica rejoin.
 UNIT_TESTS=(crypto_test ed25519_test batch_verify_test queues_test
-            chaos_test tcp_transport_test)
+            chaos_test tcp_transport_test storage_test recovery_test)
 RUNTIME_FILTER='Runtime.VerifyPool*'
 
 status=0
@@ -50,6 +52,13 @@ for san in "${SANITIZERS[@]}"; do
   echo "=== [$san] runtime_test ($RUNTIME_FILTER) ==="
   if ! "$dir/tests/runtime_test" --gtest_filter="$RUNTIME_FILTER"; then
     echo "FAIL: runtime_test under $san" >&2
+    status=1
+  fi
+
+  echo "=== [$san] rdb_chaos --drill crash-restart ==="
+  cmake --build "$dir" --target rdb_chaos -j"$(nproc)"
+  if ! "$dir/tools/rdb_chaos" --drill crash-restart --seed 42; then
+    echo "FAIL: crash-restart drill under $san" >&2
     status=1
   fi
 done

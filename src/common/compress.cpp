@@ -1,0 +1,107 @@
+#include "common/compress.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rdb {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 255;  // extra byte is 0..255
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Bytes lz_compress(BytesView in) {
+  Bytes out;
+  out.reserve(in.size() / 2 + 16);
+  // Last position seen for each 4-byte-prefix hash (depth-1 chain: one
+  // candidate per hash — cheap and good enough for repetitive KV images).
+  std::vector<std::size_t> table(kHashSize, SIZE_MAX);
+
+  std::size_t pos = 0;
+  std::size_t ctrl_at = 0;   // index of the current control byte in `out`
+  int ctrl_used = 8;         // items consumed in the current control byte
+
+  auto begin_item = [&]() {
+    if (ctrl_used == 8) {
+      ctrl_at = out.size();
+      out.push_back(0);
+      ctrl_used = 0;
+    }
+  };
+
+  while (pos < in.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (pos + kMinMatch <= in.size()) {
+      std::uint32_t h = hash4(in.data() + pos);
+      std::size_t cand = table[h];
+      table[h] = pos;
+      if (cand != SIZE_MAX && pos - cand <= kMaxOffset) {
+        std::size_t limit = in.size() - pos;
+        if (limit > kMaxMatch) limit = kMaxMatch;
+        std::size_t len = 0;
+        while (len < limit && in[cand + len] == in[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          best_len = len;
+          best_off = pos - cand;
+        }
+      }
+    }
+
+    begin_item();
+    if (best_len >= kMinMatch) {
+      // Match token: control bit stays 0.
+      out.push_back(static_cast<std::uint8_t>(best_off & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(best_off >> 8));
+      out.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      pos += best_len;
+    } else {
+      out[ctrl_at] |= static_cast<std::uint8_t>(1u << ctrl_used);
+      out.push_back(in[pos]);
+      ++pos;
+    }
+    ++ctrl_used;
+  }
+  return out;
+}
+
+std::optional<Bytes> lz_decompress(BytesView in, std::size_t max_out) {
+  Bytes out;
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    std::uint8_t ctrl = in[pos++];
+    for (int bit = 0; bit < 8 && pos < in.size(); ++bit) {
+      if (ctrl & (1u << bit)) {
+        if (out.size() + 1 > max_out) return std::nullopt;
+        out.push_back(in[pos++]);
+      } else {
+        if (in.size() - pos < 3) return std::nullopt;  // truncated match
+        std::size_t off = static_cast<std::size_t>(in[pos]) |
+                          (static_cast<std::size_t>(in[pos + 1]) << 8);
+        std::size_t len = kMinMatch + in[pos + 2];
+        pos += 3;
+        if (off == 0 || off > out.size()) return std::nullopt;
+        if (out.size() + len > max_out) return std::nullopt;
+        // Byte-by-byte on purpose: matches may overlap their own output
+        // (off < len is the RLE case).
+        std::size_t src = out.size() - off;
+        for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdb

@@ -1,0 +1,35 @@
+// Small self-contained LZ codec for snapshot blobs.
+//
+// Snapshot state transfer (protocol::SnapshotResponse) ships an entire KV
+// image over the wire; YCSB-style images are highly repetitive (shared key
+// prefixes, zero-padded values), so even a simple LZSS-family codec shrinks
+// them several-fold without adding a dependency.
+//
+// Format: a sequence of groups, each led by one control byte covering the
+// next 8 items, LSB first. Control bit 1 = a literal byte; bit 0 = a match
+// [offset u16 LE][extra u8] copying (extra + kMinMatch) bytes from `offset`
+// bytes back (1-based, may overlap the output tail — the RLE case).
+//
+// lz_decompress is written for UNTRUSTED input: every offset and length is
+// bounds-checked and the output is capped at max_out, so a hostile blob can
+// neither read out of bounds nor balloon the allocation. It returns nullopt
+// on any malformed token; the caller (the snapshot install path) then
+// discards the response — the kv_digest check would have failed anyway.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace rdb {
+
+/// Compresses `in`. Never fails; incompressible input grows by at most
+/// 1 control byte per 8 literals (~12.5%).
+Bytes lz_compress(BytesView in);
+
+/// Decompresses `in`, refusing to produce more than `max_out` bytes.
+/// Returns nullopt on malformed input (bad offset, truncated token, or
+/// output over the cap).
+std::optional<Bytes> lz_decompress(BytesView in, std::size_t max_out);
+
+}  // namespace rdb

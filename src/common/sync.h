@@ -114,6 +114,7 @@ enum class LockRank : std::uint16_t {
   kChaos = 580,          ///< FaultyTransport fault plan / link state.
   kClient = 600,         ///< runtime::Client pending-request state.
   kReplicaStats = 640,   ///< Replica stats_mu_.
+  kReplicaSnapshot = 650,  ///< Replica snapshot image + pending install.
   kExecuteSlot = 660,    ///< Replica QC execute slots (§4.6).
   kReplicaTimer = 680,   ///< Replica timer wheel.
   kLedgerChain = 700,    ///< Replica chain_mu_ (Blockchain append/prune).

@@ -38,6 +38,14 @@ std::optional<Block> Blockchain::get(SeqNum seq) const {
   return blocks_[seq - first_retained_];
 }
 
+void Blockchain::reset_to(SeqNum seq, const Digest& acc) {
+  blocks_.clear();
+  first_retained_ = seq + 1;
+  last_seq_ = seq;
+  accumulator_ = acc;
+  total_blocks_ = seq + 1;  // genesis + blocks 1..seq, all pruned
+}
+
 void Blockchain::prune_before(SeqNum stable_seq) {
   while (!blocks_.empty() && blocks_.front().seq < stable_seq) {
     blocks_.pop_front();

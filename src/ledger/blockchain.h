@@ -53,6 +53,13 @@ class Blockchain {
   /// accumulators and equal last_seq hold identical histories.
   const Digest& accumulator() const { return accumulator_; }
 
+  /// Rebases the chain onto an externally-verified anchor (seq, acc): crash
+  /// recovery replays the durable log from its anchor, and snapshot install
+  /// adopts a checkpoint that f+1 peers vouched for. All retained blocks are
+  /// discarded; appends continue from seq + 1. The anchor's accumulator
+  /// commits to the (absent) prefix exactly as pruning would.
+  void reset_to(SeqNum seq, const Digest& acc);
+
  private:
   std::deque<Block> blocks_;   // blocks_[0].seq == first_retained_
   SeqNum first_retained_{0};

@@ -61,9 +61,17 @@ struct ViewChangedAction {
   ViewId view{0};
 };
 
+/// The replica's gap starts BELOW the cluster's stable checkpoint: peers
+/// pruned those batches, so batch catch-up can never fill it. The fabric
+/// should broadcast a SnapshotRequest carrying our last executed sequence.
+struct RequestSnapshotAction {
+  SeqNum have{0};
+};
+
 using Action =
     std::variant<SendAction, BroadcastAction, ExecuteAction, SetTimerAction,
-                 CancelTimerAction, StableCheckpointAction, ViewChangedAction>;
+                 CancelTimerAction, StableCheckpointAction, ViewChangedAction,
+                 RequestSnapshotAction>;
 
 using Actions = std::vector<Action>;
 

@@ -368,6 +368,32 @@ std::size_t BatchResponse::wire_size() const {
   return total;
 }
 
+void SnapshotRequest::serialize(Writer& w) const { w.u64(have); }
+
+SnapshotRequest SnapshotRequest::deserialize(Reader& r) {
+  SnapshotRequest s;
+  s.have = r.u64();
+  return s;
+}
+
+void SnapshotResponse::serialize(Writer& w) const {
+  w.u64(seq);
+  w.digest(chain_acc);
+  w.digest(kv_digest);
+  w.u64(raw_bytes);
+  w.bytes(BytesView(blob));
+}
+
+SnapshotResponse SnapshotResponse::deserialize(Reader& r) {
+  SnapshotResponse s;
+  s.seq = r.u64();
+  s.chain_acc = r.digest();
+  s.kv_digest = r.digest();
+  s.raw_bytes = r.u64();
+  s.blob = r.bytes();
+  return s;
+}
+
 MsgType Message::type() const {
   struct Visitor {
     MsgType operator()(const ClientRequest&) { return MsgType::kClientRequest; }
@@ -387,6 +413,12 @@ MsgType Message::type() const {
     MsgType operator()(const BatchRequest&) { return MsgType::kBatchRequest; }
     MsgType operator()(const BatchResponse&) {
       return MsgType::kBatchResponse;
+    }
+    MsgType operator()(const SnapshotRequest&) {
+      return MsgType::kSnapshotRequest;
+    }
+    MsgType operator()(const SnapshotResponse&) {
+      return MsgType::kSnapshotResponse;
     }
   };
   return std::visit(Visitor{}, payload);
@@ -473,6 +505,12 @@ std::optional<Untrusted<Message>> Message::parse(BytesView wire,
       break;
     case MsgType::kBatchResponse:
       m.payload = BatchResponse::deserialize(r);
+      break;
+    case MsgType::kSnapshotRequest:
+      m.payload = SnapshotRequest::deserialize(r);
+      break;
+    case MsgType::kSnapshotResponse:
+      m.payload = SnapshotResponse::deserialize(r);
       break;
     default:
       return reject(ParseError::kUnknownType);

@@ -37,6 +37,10 @@ enum class MsgType : std::uint8_t {
   // Catch-up (state transfer within the checkpoint retention window).
   kBatchRequest = 13,   // lagging replica -> peers: send me these batches
   kBatchResponse = 14,  // peer -> lagging replica: executed batches
+  // Snapshot state transfer (rejoin from BELOW the retention window: peers
+  // have pruned the batches, only a checkpoint-anchored image can help).
+  kSnapshotRequest = 15,   // rebuilding replica -> peers: full state please
+  kSnapshotResponse = 16,  // peer -> rebuilding replica: compressed KV image
 };
 
 /// One client transaction: `ops` write operations against the YCSB table.
@@ -241,10 +245,41 @@ struct BatchResponse {
   std::size_t wire_size() const;
 };
 
+/// Snapshot state transfer (§4.7's checkpoint shipping, realized): a replica
+/// whose gap starts below the cluster's stable checkpoint cannot be repaired
+/// by BatchRequest (peers pruned those batches), so it asks for a full image.
+struct SnapshotRequest {
+  SeqNum have{0};  // requester's last executed sequence
+
+  void serialize(Writer& w) const;
+  static SnapshotRequest deserialize(Reader& r);
+  std::size_t wire_size() const { return 8; }
+};
+
+/// A checkpoint-anchored state image. The blob is an lz-compressed dump of
+/// the KV store at `seq`; `kv_digest` is the SHA-256 of the UNCOMPRESSED
+/// image, so the receiver verifies content after decompressing, and
+/// `chain_acc` anchors the ledger accumulator at the same sequence. The
+/// receiver installs only after f+1 distinct peers vouch for the same
+/// (seq, chain_acc, kv_digest) — a single Byzantine peer cannot feed it a
+/// forged state.
+struct SnapshotResponse {
+  SeqNum seq{0};               // checkpoint the image was captured at
+  Digest chain_acc{};          // chain accumulator at seq
+  Digest kv_digest{};          // SHA-256 of the uncompressed KV image
+  std::uint64_t raw_bytes{0};  // uncompressed size (decompression bound)
+  Bytes blob;                  // lz-compressed KV image
+
+  void serialize(Writer& w) const;
+  static SnapshotResponse deserialize(Reader& r);
+  std::size_t wire_size() const { return 84 + blob.size(); }
+};
+
 using Payload =
     std::variant<ClientRequest, PrePrepare, Prepare, Commit, ClientResponse,
                  Checkpoint, ViewChange, NewView, OrderRequest, SpecResponse,
-                 CommitCert, LocalCommit, BatchRequest, BatchResponse>;
+                 CommitCert, LocalCommit, BatchRequest, BatchResponse,
+                 SnapshotRequest, SnapshotResponse>;
 
 /// Why Message::parse rejected a frame. Coarser than protocol::RejectReason
 /// (validate.h): parse only knows about wire structure, not semantics.

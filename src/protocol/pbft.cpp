@@ -247,6 +247,11 @@ Actions PbftEngine::on_checkpoint(const Message& msg) {
   }
   auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];
   voters.insert(msg.from.id);
+  // f+1 votes: at least one honest replica executed cp.seq, so the cluster's
+  // stable frontier is at least here — the signal that a gap below it can
+  // only be repaired by snapshot transfer (peers prune batches at stability).
+  if (voters.size() >= f() + 1)
+    cluster_stable_hint_ = std::max(cluster_stable_hint_, cp.seq);
   if (voters.size() < commit_quorum(config_.n)) return out;
 
   // 2f+1 identical checkpoints: mark stable, clear everything older (§4.7).
@@ -282,6 +287,26 @@ Actions PbftEngine::on_client_request_timeout() {
 Actions PbftEngine::maybe_request_catchup() {
   Actions out;
   if (in_view_change_) return out;
+
+  // If the FIRST missing batch sits at or below the cluster's stable
+  // checkpoint, peers have pruned it (slots <= stable are erased on
+  // stability) and BatchRequest can never answer — only a checkpoint-
+  // anchored snapshot can. The hint needs no local quorum: f+1 checkpoint
+  // votes already prove an honest replica got there. The slowest HEALTHY
+  // replica also trips this briefly after every checkpoint (it sees f+1
+  // votes before executing the interval's tail), so require the gap to
+  // persist across polls before asking, then re-ask on a backoff in case
+  // the responses were lost.
+  if (cluster_stable_hint_ > last_executed_) {
+    ++snapshot_stall_polls_;
+    if (snapshot_stall_polls_ == 3 || snapshot_stall_polls_ % 13 == 0) {
+      ++metrics_.snapshot_requests;
+      out.push_back(RequestSnapshotAction{last_executed_});
+    }
+    return out;
+  }
+  snapshot_stall_polls_ = 0;
+
   // Committed frontier this replica can prove: the highest committed slot,
   // or the stable checkpoint other replicas certified.
   SeqNum frontier = stable_seq_;
@@ -394,6 +419,34 @@ Actions PbftEngine::on_batch_response(const Message& msg) {
   }
   drain_executable(out);
   if (!out.empty()) catchup_requested_upto_ = 0;  // progress: re-arm
+  return out;
+}
+
+void PbftEngine::restore(ViewId view, SeqNum last_executed, SeqNum stable) {
+  view_ = view;
+  last_executed_ = last_executed;
+  stable_seq_ = stable;
+  cluster_stable_hint_ = std::max(cluster_stable_hint_, stable);
+}
+
+Actions PbftEngine::install_snapshot(SeqNum seq) {
+  Actions out;
+  if (seq <= last_executed_) return out;  // the gap closed naturally
+  last_executed_ = seq;
+  stable_seq_ = std::max(stable_seq_, seq);
+  cluster_stable_hint_ = std::max(cluster_stable_hint_, seq);
+  // Everything at or below the image is superseded, committed or not.
+  slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(seq));
+  catchup_votes_.erase(catchup_votes_.begin(),
+                       catchup_votes_.upper_bound(seq));
+  catchup_requested_upto_ = 0;
+  catchup_idle_polls_ = 0;
+  snapshot_stall_polls_ = 0;
+  ++metrics_.snapshots_installed;
+  // A committed tail buffered above the image executes immediately.
+  drain_executable(out);
   return out;
 }
 

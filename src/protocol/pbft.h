@@ -45,6 +45,8 @@ struct PbftMetrics {
   std::uint64_t rejected_msgs{0};
   std::uint64_t catchup_requests{0};
   std::uint64_t catchup_batches_adopted{0};
+  std::uint64_t snapshot_requests{0};
+  std::uint64_t snapshots_installed{0};
 };
 
 class PbftEngine {
@@ -108,6 +110,20 @@ class PbftEngine {
   /// The fabric MUST have validated digest(txns) == entry.digest first.
   Actions on_batch_response(const Message& msg);
 
+  // --- snapshot state transfer (rejoin below the retention window) ---
+  /// Crash recovery: seed the engine from durable state BEFORE any message
+  /// is delivered (the fabric calls this once, at construction time).
+  void restore(ViewId view, SeqNum last_executed, SeqNum stable);
+  /// The fabric verified and applied a snapshot image at `seq` (f+1 peers
+  /// vouched, digests matched): fast-forward past it. Returns ExecuteActions
+  /// for any committed tail already buffered above the image. No-op when the
+  /// gap closed naturally (seq <= last_executed()).
+  Actions install_snapshot(SeqNum seq);
+  /// Highest sequence with f+1 checkpoint votes: at least one honest replica
+  /// executed it, so the CLUSTER's stable checkpoint is at least here even
+  /// though this replica may lack the 2f+1 for local stability.
+  SeqNum cluster_stable_hint() const { return cluster_stable_hint_; }
+
   // --- introspection (tests, metrics) ---
   const PbftMetrics& metrics() const { return metrics_; }
   SeqNum last_executed() const { return last_executed_; }
@@ -168,6 +184,12 @@ class PbftEngine {
   /// Consecutive catch-up polls spent waiting on an in-flight request;
   /// after a few the request dedup re-arms (the response may be lost).
   int catchup_idle_polls_{0};
+
+  /// Snapshot rejoin: f+1 checkpoint-vote evidence of cluster stability,
+  /// and how many consecutive catch-up polls the snapshot-only gap has
+  /// persisted (debounces the slowest-healthy-replica false positive).
+  SeqNum cluster_stable_hint_{0};
+  int snapshot_stall_polls_{0};
 
   PbftMetrics metrics_;
 };

@@ -207,6 +207,22 @@ struct Checker {
     }
     return RejectReason::kNone;
   }
+
+  RejectReason check(const SnapshotRequest& m) const {
+    return seq_in_window(m.have);
+  }
+
+  RejectReason check(const SnapshotResponse& m) const {
+    RejectReason r = seq_in_window(m.seq);
+    if (r != RejectReason::kNone) return r;
+    // Bound both the shipped blob and the CLAIMED decompressed size —
+    // raw_bytes is the allocation the receiver makes before decompressing,
+    // so an attacker must not get to pick it freely.
+    if (m.blob.size() > lim.max_snapshot_bytes ||
+        m.raw_bytes > lim.max_snapshot_bytes)
+      return RejectReason::kPayloadTooLarge;
+    return RejectReason::kNone;
+  }
 };
 
 /// Which endpoint kind may originate each message type. Anything claiming

@@ -83,6 +83,7 @@ struct ValidationLimits {
   std::uint64_t seq_window{1'000'000};            // beyond committed frontier
   std::uint64_t view_slack{1'000'000};            // beyond current view
   std::uint64_t max_checkpoint_block_bytes{1u << 30};
+  std::uint64_t max_snapshot_bytes{64u << 20};    // snapshot blob AND raw size
 };
 
 /// What the validator knows about the receiving node. `n` sizes the quorum

@@ -213,6 +213,22 @@ Bytes sample_wire(Rng& rng, MsgType type) {
       m.payload = std::move(resp);
       break;
     }
+    case MsgType::kSnapshotRequest: {
+      SnapshotRequest sr;
+      sr.have = seq;
+      m.payload = sr;
+      break;
+    }
+    case MsgType::kSnapshotResponse: {
+      SnapshotResponse sr;
+      sr.seq = seq;
+      sr.chain_acc = random_digest(rng);
+      sr.kv_digest = random_digest(rng);
+      sr.blob = random_bytes(rng, 1 + rng.below(128));
+      sr.raw_bytes = sr.blob.size() + rng.below(1024);
+      m.payload = std::move(sr);
+      break;
+    }
   }
   return m.serialize();
 }
@@ -249,11 +265,11 @@ void mutate(Bytes& wire, Rng& rng, Mutation m) {
       return;
     }
     case Mutation::kTypeConfusion:
-      // Valid-but-different types model a mis-routed frame; values above 14
+      // Valid-but-different types model a mis-routed frame; values above 16
       // model an unknown type byte. Both must be handled (the former by the
       // sender-kind / accept-mask checks, the latter by parse).
       if (!wire.empty())
-        wire[0] = static_cast<std::uint8_t>(rng.below(20));
+        wire[0] = static_cast<std::uint8_t>(rng.below(22));
       return;
     case Mutation::kKindConfusion:
       if (wire.size() > 1)
@@ -318,7 +334,7 @@ FuzzResult run(const FuzzConfig& config) {
   std::uint64_t accepted_mutants_collected = 0;
 
   for (std::uint64_t i = 0; i < config.iters; ++i) {
-    auto type = static_cast<MsgType>(1 + rng.below(14));
+    auto type = static_cast<MsgType>(1 + rng.below(16));
     auto mut = static_cast<Mutation>(
         rng.below(static_cast<std::uint64_t>(Mutation::kCount)));
     ++result.by_mutation[static_cast<std::size_t>(mut)];

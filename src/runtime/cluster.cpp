@@ -2,7 +2,9 @@
 
 #include <thread>
 
+#include "storage/env.h"
 #include "storage/mem_store.h"
+#include "storage/page_db.h"
 
 namespace rdb::runtime {
 
@@ -10,44 +12,85 @@ LocalCluster::LocalCluster(ClusterConfig config)
     : config_(std::move(config)), registry_(config_.key_seed) {
   if (config_.enable_chaos)
     chaos_ = std::make_unique<FaultyTransport>(transport_, config_.fault_plan);
-  for (ReplicaId r = 0; r < config_.replicas; ++r) {
-    ReplicaConfig rc;
-    rc.n = config_.replicas;
-    rc.id = r;
-    rc.batch_threads = config_.batch_threads;
-    rc.output_threads = config_.output_threads;
-    rc.verify_threads = config_.verify_threads;
-    rc.verify_batch_size = config_.verify_batch_size;
-    rc.verify_batch_wait_ns = config_.verify_batch_wait_ns;
-    rc.verify_certificates = config_.verify_certificates;
-    rc.batch_size = config_.batch_size;
-    rc.checkpoint_interval = config_.checkpoint_interval;
-    rc.request_timeout_ns = config_.request_timeout_ns;
-    rc.catchup_poll_ns = config_.catchup_poll_ns;
-    rc.schemes = config_.schemes;
+  for (ReplicaId r = 0; r < config_.replicas; ++r)
+    replicas_.push_back(make_replica(r));
+}
 
-    auto store = config_.make_store
-                     ? config_.make_store(r)
-                     : std::make_unique<storage::MemStore>();
-    ExecuteFn exec = config_.execute;
-    if (!exec) {
-      exec = [](const protocol::Transaction&, storage::KvStore&) {
-        return std::uint64_t{0};
-      };
-    }
-    replicas_.push_back(std::make_unique<Replica>(
-        rc, wire(), registry_, std::move(store), std::move(exec)));
+std::unique_ptr<Replica> LocalCluster::make_replica(ReplicaId r) {
+  ReplicaConfig rc;
+  rc.n = config_.replicas;
+  rc.id = r;
+  rc.batch_threads = config_.batch_threads;
+  rc.output_threads = config_.output_threads;
+  rc.verify_threads = config_.verify_threads;
+  rc.verify_batch_size = config_.verify_batch_size;
+  rc.verify_batch_wait_ns = config_.verify_batch_wait_ns;
+  rc.verify_certificates = config_.verify_certificates;
+  rc.batch_size = config_.batch_size;
+  rc.checkpoint_interval = config_.checkpoint_interval;
+  rc.request_timeout_ns = config_.request_timeout_ns;
+  rc.catchup_poll_ns = config_.catchup_poll_ns;
+  rc.schemes = config_.schemes;
+  rc.enable_snapshots = config_.enable_snapshots;
+
+  std::string dir;
+  if (config_.durable) {
+    dir = config_.data_dir + "/r" + std::to_string(r);
+    rc.durability.enabled = true;
+    rc.durability.dir = dir;
+    rc.durability.sync = config_.durable_sync;
+    rc.durability.env = config_.storage_env;
   }
+
+  std::unique_ptr<storage::KvStore> store;
+  if (config_.make_store) {
+    store = config_.make_store(r);
+  } else if (config_.durable) {
+    storage::Env& env = config_.storage_env ? *config_.storage_env
+                                            : storage::Env::real();
+    env.make_dirs(dir);
+    storage::PageDbConfig pc;
+    pc.path = dir + "/kv.pagedb";
+    pc.env = config_.storage_env;
+    // The replica's group commit calls commit_wave(); per-put sync would
+    // fsync twice per wave for nothing.
+    pc.sync_wal = false;
+    store = std::make_unique<storage::PageDb>(pc);
+  } else {
+    store = std::make_unique<storage::MemStore>();
+  }
+  ExecuteFn exec = config_.execute;
+  if (!exec) {
+    exec = [](const protocol::Transaction&, storage::KvStore&) {
+      return std::uint64_t{0};
+    };
+  }
+  return std::make_unique<Replica>(rc, wire(), registry_, std::move(store),
+                                   std::move(exec));
 }
 
 LocalCluster::~LocalCluster() { stop(); }
 
 void LocalCluster::start() {
-  for (auto& r : replicas_) r->start();
+  for (auto& r : replicas_)
+    if (r) r->start();
+}
+
+void LocalCluster::kill_replica(ReplicaId id) {
+  if (!replicas_[id]) return;
+  replicas_[id]->stop();
+  replicas_[id].reset();  // all in-memory state dies here
+}
+
+void LocalCluster::restart_replica(ReplicaId id) {
+  if (replicas_[id]) return;
+  replicas_[id] = make_replica(id);
+  replicas_[id]->start();
 }
 
 void LocalCluster::stop() {
-  for (auto& r : replicas_) r->stop();
+  for (auto& r : replicas_)
+    if (r) r->stop();
   // Stop the chaos timer thread after the replicas: a delayed message must
   // never be delivered into a destroyed inbox, and replicas share inboxes
   // with the transport via shared_ptr, so ordering here is about quiescence,
@@ -75,6 +118,7 @@ bool LocalCluster::wait_for_execution(SeqNum seq,
     bool all = true;
     for (ReplicaId r = 0; r < config_.replicas; ++r) {
       if (std::find(skip.begin(), skip.end(), r) != skip.end()) continue;
+      if (!replicas_[r]) continue;  // killed: not expected to make progress
       if (replicas_[r]->last_executed() < seq) {
         all = false;
         break;

@@ -41,10 +41,22 @@ struct ClusterConfig {
   std::uint32_t client_max_retries{3};
   std::uint32_t client_broadcast_after{2};
 
-  /// Storage factory, called once per replica. Defaults to MemStore.
+  /// Storage factory, called once per replica (again on restart). Defaults
+  /// to MemStore, or to a per-replica PageDb under data_dir when durable.
   std::function<std::unique_ptr<storage::KvStore>(ReplicaId)> make_store;
   /// Transaction executor shared by all replicas (must be deterministic).
   ExecuteFn execute;
+
+  /// Durable crash-recovery mode: every replica keeps a group-committed
+  /// consensus log (and, by default, a PageDb KV store) under
+  /// data_dir/r<id>/, and recovers from it on restart_replica().
+  bool durable{false};
+  std::string data_dir;
+  bool durable_sync{true};  // fsync per group commit
+  storage::Env* storage_env{nullptr};  // fault injection; nullptr = real
+  /// Forwarded to every replica: capture/serve/install checkpoint images so
+  /// a replica that fell below the batch retention window can rejoin.
+  bool enable_snapshots{false};
 };
 
 class LocalCluster {
@@ -69,12 +81,24 @@ class LocalCluster {
   /// Creates a client wired to this cluster.
   std::unique_ptr<Client> make_client(ClientId id);
 
+  /// Hard-kills a replica: stops its threads and DESTROYS the object — every
+  /// byte of in-memory state (engine slots, chain, KV cache, reply cache,
+  /// queues) is gone, exactly like a process crash. On-disk state survives.
+  void kill_replica(ReplicaId id);
+  /// Rebuilds a killed replica from scratch. In durable mode it recovers
+  /// chain/engine/KV state from its data dir before rejoining the cluster.
+  void restart_replica(ReplicaId id);
+  /// False after kill_replica(id) until restart_replica(id).
+  bool is_alive(ReplicaId id) const { return replicas_[id] != nullptr; }
+
   /// Blocks until every live replica has executed at least `seq`, or the
   /// timeout expires. Returns true on success.
   bool wait_for_execution(SeqNum seq, std::chrono::milliseconds timeout,
                           const std::vector<ReplicaId>& skip = {});
 
  private:
+  std::unique_ptr<Replica> make_replica(ReplicaId id);
+
   ClusterConfig config_;
   crypto::KeyRegistry registry_;
   InprocTransport transport_;

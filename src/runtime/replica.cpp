@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/compress.h"
 #include "common/logging.h"
 #include "crypto/sha256.h"
+#include "storage/env.h"
 
 namespace rdb::runtime {
 
@@ -46,6 +48,7 @@ Replica::Replica(ReplicaConfig config, Transport& transport,
     output_queues_.push_back(std::make_unique<BlockingQueue<OutboundMsg>>());
   transport_.register_endpoint(Endpoint::replica(config_.id), inbox_);
   next_seq_ = 0;
+  if (config_.durability.enabled) recover_from_log();
   // Pre-warm the registry's expanded-key cache for every peer replica so
   // the first Prepare/Commit of a run doesn't pay the decompression + table
   // build inline on a consensus thread.
@@ -58,6 +61,68 @@ Replica::Replica(ReplicaConfig config, Transport& transport,
 }
 
 Replica::~Replica() { stop(); }
+
+// ---------------------------------------------------------------------------
+// Durable crash recovery (constructor-time, single-threaded).
+// ---------------------------------------------------------------------------
+
+void Replica::recover_from_log() {
+  storage::Env& env =
+      config_.durability.env ? *config_.durability.env : storage::Env::real();
+  env.make_dirs(config_.durability.dir);
+  ReplicaLogConfig lc;
+  lc.path = config_.durability.dir + "/consensus.log";
+  lc.env = config_.durability.env;
+  lc.sync = config_.durability.sync;
+  rlog_ = std::make_unique<ReplicaLog>(lc);
+  RecoveredLog rec = rlog_->recover();
+
+  ViewId view = rec.anchor_view;
+  SeqNum last = 0;
+  if (rec.has_anchor) {
+    chain_.reset_to(rec.anchor_seq, rec.anchor_acc);
+    last = rec.anchor_seq;
+    checkpoint_meta_[rec.anchor_seq] = {rec.anchor_view, rec.anchor_acc};
+  }
+  for (auto& b : rec.batches) {
+    // Re-execute against the recovered KV store. The store's own WAL can run
+    // ahead of the consensus log (see page_db.h), so some effects may
+    // already be present; put-style re-execution is idempotent and replaying
+    // the whole tail converges both.
+    for (const auto& txn : b.txns) {
+      auto& cache = reply_cache_[txn.client];
+      if (cache.first != 0 && txn.req_id <= cache.first) continue;
+      std::uint64_t result = execute_fn_ ? execute_fn_(txn, *store_) : 0;
+      cache = {txn.req_id, result};
+    }
+    ledger::Block block;
+    block.seq = b.seq;
+    block.view = b.view;
+    block.batch_digest = b.digest;
+    block.txn_begin = b.txn_begin;
+    block.txn_end = b.txn_begin + b.txns.size();
+    block.certificate = b.certificate;
+    chain_.append(std::move(block));
+    last = b.seq;
+    view = std::max(view, b.view);
+    if (config_.checkpoint_interval > 0 &&
+        b.seq % config_.checkpoint_interval == 0) {
+      checkpoint_meta_[b.seq] = {b.view, chain_.accumulator()};
+    }
+    log_tail_.push_back(std::move(b));
+  }
+  recovered_batches_ = rec.batches.size();
+  if (last > 0 || view > 0) {
+    engine_.restore(view, last, rec.anchor_seq);
+    view_.store(view, std::memory_order_release);
+    next_exec_seq_.store(last + 1, std::memory_order_relaxed);
+    last_executed_pub_.store(last, std::memory_order_release);
+    // Primary sequencing resumes after the durable prefix. Batches this
+    // replica proposed but never committed before the crash are lost; the
+    // view-change/catch-up machinery fills any holes.
+    next_seq_ = last;
+  }
+}
 
 Replica::BusyCounter& Replica::add_counter(const std::string& name) {
   busy_counters_.push_back(std::make_unique<BusyCounter>());
@@ -148,6 +213,11 @@ ReplicaStats Replica::stats() const {
                                 static_cast<double>(s.batch_flushes)
                           : 0.0;
   s.cert_vote_failures = cert_vote_failures_.load(std::memory_order_relaxed);
+  s.recovered_batches = recovered_batches_;
+  s.log_commits = log_commits_.load(std::memory_order_relaxed);
+  s.log_compactions = log_compactions_.load(std::memory_order_relaxed);
+  s.snapshots_served = snapshots_served_.load(std::memory_order_relaxed);
+  s.snapshots_installed = snapshots_installed_.load(std::memory_order_relaxed);
   s.rejected_total = 0;
   for (std::size_t i = 0; i < reject_counts_.size(); ++i) {
     s.rejected_messages[i] = reject_counts_[i].load(std::memory_order_relaxed);
@@ -197,6 +267,10 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
                        protocol::accept_bit(MsgType::kNewView) |
                        protocol::accept_bit(MsgType::kBatchRequest) |
                        protocol::accept_bit(MsgType::kBatchResponse);
+    if (config_.enable_snapshots) {
+      vctx.accept_mask |= protocol::accept_bit(MsgType::kSnapshotRequest) |
+                          protocol::accept_bit(MsgType::kSnapshotResponse);
+    }
     auto verdict = protocol::validate_wire(BytesView(*wire), vctx);
     if (!verdict.ok()) {
       count_reject(verdict.reason);
@@ -226,6 +300,8 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
       case MsgType::kNewView:
       case MsgType::kBatchRequest:
       case MsgType::kBatchResponse:
+      case MsgType::kSnapshotRequest:
+      case MsgType::kSnapshotResponse:
         worker_queue_.push(WorkerItem{std::move(msg), false});
         break;
       case MsgType::kCheckpoint:
@@ -429,6 +505,18 @@ void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
       }
     }
 
+    // Snapshot state transfer bypasses the engine: serving reads the
+    // captured image, and an incoming image is tallied/verified here and
+    // installed by the execute thread (the sole owner of store + chain).
+    if (msg->type() == MsgType::kSnapshotRequest) {
+      handle_snapshot_request(*msg);
+      continue;
+    }
+    if (msg->type() == MsgType::kSnapshotResponse) {
+      handle_snapshot_response(std::move(*msg));
+      continue;
+    }
+
     // A backup validates that the primary's digest really covers the batch
     // (defends against a byzantine primary pairing a good digest with a
     // garbage batch).
@@ -502,25 +590,74 @@ void Replica::deliver_execute(protocol::ExecuteAction ex) {
 }
 
 void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
+  // Group commit (durable mode): executed batches accumulate into a wave;
+  // ONE fsync of the consensus log (plus the KV store's wave barrier) makes
+  // the whole wave durable, and only then do the wave's client responses and
+  // engine actions (checkpoint votes) leave the replica — a response never
+  // acknowledges state a crash could lose. Non-durable mode degenerates to
+  // waves of one batch with nothing withheld.
+  const bool durable = rlog_ != nullptr;
+  const std::uint32_t max_wave =
+      durable ? std::max<std::uint32_t>(config_.durability.max_wave, 1) : 1;
+  std::uint32_t wave = 0;
+  std::vector<std::pair<Endpoint, Message>> held_msgs;
+  Actions held_actions;
+
+  auto flush_wave = [&]() {
+    if (durable && wave > 0) {
+      rlog_->commit();  // fail-stop on fsync error (propagates)
+      store_->commit_wave();
+      log_commits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wave = 0;
+    for (auto& [to, m] : held_msgs) enqueue_output(to, std::move(m));
+    held_msgs.clear();
+    if (!held_actions.empty()) {
+      perform(std::move(held_actions));
+      held_actions.clear();
+    }
+    maybe_compact_log();
+  };
+
   while (!st.stop_requested()) {
     SeqNum seq = next_exec_seq_.load(std::memory_order_relaxed);
     ExecuteSlot& slot = execute_slots_[seq % execute_slots_.size()];
     protocol::ExecuteAction ex;
+    bool have = false;
     {
       MutexLock lock(slot.mu);
-      // Bounded wait so the stop token is re-checked every 50 ms even when
-      // no batch ever lands in this slot.
-      auto deadline =
-          std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
-      while (!(slot.item.has_value() && slot.item->seq == seq) &&
-             std::chrono::steady_clock::now() < deadline) {
-        slot.cv.wait_until(slot.mu, deadline);
+      if (wave > 0) {
+        // Mid-wave: never sleep on a slot while committed batches sit
+        // unfsynced — take the next batch only if it is already there.
+        have = slot.item.has_value() && slot.item->seq == seq;
+      } else {
+        // Bounded wait so the stop token is re-checked every 50 ms even
+        // when no batch ever lands in this slot.
+        auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+        while (!(slot.item.has_value() && slot.item->seq == seq) &&
+               std::chrono::steady_clock::now() < deadline) {
+          slot.cv.wait_until(slot.mu, deadline);
+        }
+        have = slot.item.has_value() && slot.item->seq == seq;
       }
-      if (!(slot.item.has_value() && slot.item->seq == seq))
-        continue;  // timeout: re-check stop token
-      ex = std::move(*slot.item);
-      slot.item.reset();
-      slot.cv.notify_all();
+      if (have) {
+        ex = std::move(*slot.item);
+        slot.item.reset();
+        slot.cv.notify_all();
+      }
+    }
+    if (!have) {
+      if (wave > 0) {
+        ScopedBusy sb(busy);
+        flush_wave();  // the pipeline went empty: settle the wave now
+        continue;
+      }
+      // Idle with nothing pending: the stalled-replica window where a
+      // verified snapshot gets installed, and a safe point to compact.
+      maybe_install_snapshot();
+      maybe_compact_log();
+      continue;  // timeout: re-check stop token
     }
     ScopedBusy sb(busy);
 
@@ -611,6 +748,25 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
       acc = chain_.accumulator();
     }
 
+    // Durable mode: log the executed batch (buffered; durable at the wave's
+    // group commit) and remember it for the next compaction's tail.
+    const bool boundary = config_.checkpoint_interval > 0 &&
+                          ex.seq % config_.checkpoint_interval == 0;
+    if (durable) {
+      LoggedBatch lb;
+      lb.seq = ex.seq;
+      lb.view = ex.view;
+      lb.digest = ex.batch_digest;
+      lb.txn_begin = ex.txn_begin;
+      lb.txns = ex.txns;
+      lb.certificate = ex.certificate;
+      rlog_->append_batch(lb);
+      log_tail_.push_back(std::move(lb));
+      if (boundary) checkpoint_meta_[ex.seq] = {ex.view, acc};
+    }
+    if (boundary && config_.enable_snapshots)
+      capture_snapshot(ex.seq, ex.view, acc);
+
     Actions actions;
     {
       MutexLock lock(engine_mu_);
@@ -621,7 +777,10 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
       Message m;
       m.from = Endpoint::replica(config_.id);
       m.payload = resp;
-      enqueue_output(Endpoint::client(client), std::move(m));
+      if (durable)
+        held_msgs.emplace_back(Endpoint::client(client), std::move(m));
+      else
+        enqueue_output(Endpoint::client(client), std::move(m));
     }
 
     {
@@ -640,8 +799,186 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
       MutexLock lock(timer_mu_);
       timers_.erase(kClientRequestTimer);
     }
-    perform(std::move(actions));
+    if (durable) {
+      // Checkpoint votes and other engine follow-ups are withheld with the
+      // responses: a vote must not claim execution a crash could lose.
+      for (auto& a : actions) held_actions.push_back(std::move(a));
+    } else {
+      perform(std::move(actions));
+    }
+    ++wave;
+    if (wave >= max_wave) flush_wave();
   }
+  // Graceful stop: settle whatever the last wave executed. A real crash
+  // (the drill's kill path) never reaches this line — that is the point.
+  try {
+    flush_wave();
+  } catch (...) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot state transfer + log compaction (execute/worker threads).
+// ---------------------------------------------------------------------------
+
+void Replica::capture_snapshot(SeqNum seq, ViewId view, const Digest& acc) {
+  // Canonical KV image: key-sorted [count][key][value]... — every replica
+  // that executed the same prefix serializes byte-identical images, so the
+  // image digest can be vouched for by f+1 peers.
+  std::vector<std::pair<std::string, std::string>> kvs;
+  store_->for_each([&kvs](std::string_view k, std::string_view v) {
+    kvs.emplace_back(std::string(k), std::string(v));
+  });
+  std::sort(kvs.begin(), kvs.end());
+  Writer w;
+  w.u64(kvs.size());
+  for (const auto& [k, v] : kvs) {
+    w.str(k);
+    w.str(v);
+  }
+  Bytes image = w.take();
+  SnapshotImage img;
+  img.seq = seq;
+  img.view = view;
+  img.chain_acc = acc;
+  img.kv_digest = crypto::sha256(BytesView(image));
+  img.raw_bytes = image.size();
+  img.blob = lz_compress(BytesView(image));
+  MutexLock lock(snap_mu_);
+  snap_image_ = std::move(img);
+}
+
+void Replica::handle_snapshot_request(const Message& msg) {
+  const auto& req = std::get<protocol::SnapshotRequest>(msg.payload);
+  std::optional<SnapshotImage> img;
+  {
+    MutexLock lock(snap_mu_);
+    if (snap_image_ && snap_image_->seq > req.have) img = *snap_image_;
+  }
+  if (!img) return;  // nothing captured yet, or the requester is ahead
+  protocol::SnapshotResponse resp;
+  resp.seq = img->seq;
+  resp.chain_acc = img->chain_acc;
+  resp.kv_digest = img->kv_digest;
+  resp.raw_bytes = img->raw_bytes;
+  resp.blob = std::move(img->blob);
+  Message m;
+  m.from = Endpoint::replica(config_.id);
+  m.payload = std::move(resp);
+  enqueue_output(msg.from, std::move(m));
+  snapshots_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Replica::handle_snapshot_response(Message msg) {
+  auto& resp = std::get<protocol::SnapshotResponse>(msg.payload);
+  if (resp.seq <= last_executed()) return;  // the gap closed naturally
+  snap_offers_[msg.from.id] = std::move(resp);
+
+  // f+1 distinct peers vouching for the same (seq, chain digest, kv digest)
+  // means at least one honest replica executed exactly that state. The blob
+  // itself still has to be proven against the vouched digest — a byzantine
+  // voucher can pair honest digests with a garbage blob, so try every
+  // matching offer until one decompresses to the right bytes.
+  const std::uint32_t need = max_faulty(config_.n) + 1;
+  for (const auto& [id, cand] : snap_offers_) {
+    auto matches = [&cand](const protocol::SnapshotResponse& o) {
+      return o.seq == cand.seq && o.chain_acc == cand.chain_acc &&
+             o.kv_digest == cand.kv_digest;
+    };
+    std::uint32_t votes = 0;
+    for (const auto& [id2, o] : snap_offers_)
+      if (matches(o)) ++votes;
+    if (votes < need) continue;
+    for (auto& [id2, o] : snap_offers_) {
+      if (!matches(o)) continue;
+      auto raw = lz_decompress(BytesView(o.blob), o.raw_bytes);
+      if (!raw || raw->size() != o.raw_bytes) continue;
+      if (!(crypto::sha256(BytesView(*raw)) == o.kv_digest)) continue;
+      {
+        MutexLock lock(snap_mu_);
+        pending_install_ =
+            PendingInstall{o.seq, o.chain_acc, std::move(*raw)};
+      }
+      snap_offers_.clear();
+      return;
+    }
+  }
+}
+
+void Replica::maybe_install_snapshot() {
+  std::optional<PendingInstall> p;
+  {
+    MutexLock lock(snap_mu_);
+    if (pending_install_) {
+      if (pending_install_->seq >
+          last_executed_pub_.load(std::memory_order_relaxed)) {
+        p.emplace(std::move(*pending_install_));
+      }
+      pending_install_.reset();  // taken, or stale because the gap closed
+    }
+  }
+  if (!p) return;
+  const SeqNum seq = p->seq;
+
+  // Replace the KV image wholesale and persist it BEFORE the consensus log
+  // stops covering the gap (the compact below anchors the log at `seq`).
+  store_->clear();
+  Reader r(BytesView(p->image));
+  std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    if (!r.ok()) break;  // cannot happen: the image digest was verified
+    store_->put(k, v);
+  }
+  store_->checkpoint();
+
+  {
+    MutexLock lock(chain_mu_);
+    chain_.reset_to(seq, p->chain_acc);
+  }
+  if (rlog_) {
+    log_tail_.clear();
+    checkpoint_meta_.clear();
+    ViewId v = view();
+    checkpoint_meta_[seq] = {v, p->chain_acc};
+    rlog_->compact(seq, v, p->chain_acc, {});
+    log_compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Actions actions;
+  {
+    MutexLock lock(engine_mu_);
+    actions = engine_.install_snapshot(seq);
+  }
+  next_exec_seq_.store(seq + 1, std::memory_order_relaxed);
+  last_executed_pub_.store(seq, std::memory_order_release);
+  snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+  // Any committed tail the engine had buffered above the image executes
+  // through the normal slot path.
+  perform(std::move(actions));
+}
+
+void Replica::maybe_compact_log() {
+  if (!rlog_) return;
+  // Only a durable store may absorb history: compacting the log against an
+  // in-memory store would discard the only persistent copy.
+  if (!store_->durable()) return;
+  SeqNum want = compact_request_.load(std::memory_order_acquire);
+  if (want == 0) return;
+  auto it = checkpoint_meta_.find(want);
+  if (it == checkpoint_meta_.end()) return;  // boundary not executed yet
+  compact_request_.compare_exchange_strong(want, 0,
+                                           std::memory_order_acq_rel);
+  // KV durability up to (at least) the anchor FIRST, then rewrite the log
+  // without the records the anchor replaces.
+  store_->checkpoint();
+  while (!log_tail_.empty() && log_tail_.front().seq <= want)
+    log_tail_.pop_front();
+  std::vector<LoggedBatch> tail(log_tail_.begin(), log_tail_.end());
+  rlog_->compact(want, it->second.first, it->second.second, tail);
+  log_compactions_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_meta_.erase(checkpoint_meta_.begin(),
+                         checkpoint_meta_.upper_bound(want));
 }
 
 // ---------------------------------------------------------------------------
@@ -780,8 +1117,29 @@ void Replica::perform(Actions actions) {
       timer_cv_.notify_all();
     } else if (auto* sc =
                    std::get_if<protocol::StableCheckpointAction>(&action)) {
-      MutexLock lock(chain_mu_);
-      chain_.prune_before(sc->seq);
+      {
+        MutexLock lock(chain_mu_);
+        chain_.prune_before(sc->seq);
+      }
+      if (rlog_) {
+        // Ask the execute thread (the log's owner) to compact to the new
+        // stable anchor at its next wave boundary; keep only the max.
+        SeqNum cur = compact_request_.load(std::memory_order_relaxed);
+        while (cur < sc->seq &&
+               !compact_request_.compare_exchange_weak(
+                   cur, sc->seq, std::memory_order_acq_rel)) {
+        }
+      }
+    } else if (auto* rs =
+                   std::get_if<protocol::RequestSnapshotAction>(&action)) {
+      if (config_.enable_snapshots) {
+        protocol::SnapshotRequest req;
+        req.have = rs->have;
+        Message m;
+        m.from = Endpoint::replica(config_.id);
+        m.payload = req;
+        broadcast(std::move(m));
+      }
     } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
       view_.store(vc->view, std::memory_order_release);
       if (vc->view % config_.n == config_.id) {

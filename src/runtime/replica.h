@@ -44,10 +44,28 @@
 #include "queues/blocking_queue.h"
 #include "queues/buffer_pool.h"
 #include "queues/mpmc_queue.h"
+#include "runtime/replica_log.h"
 #include "runtime/transport.h"
 #include "storage/kv_store.h"
 
 namespace rdb::runtime {
+
+/// Durable crash-recovery mode. When enabled the replica writes every
+/// executed batch to a checksummed consensus WAL under `dir`, group-commits
+/// it once per execution wave (one fsync no matter how many batches the wave
+/// held — client responses and checkpoint votes are withheld until the wave
+/// is on disk), and at construction recovers chain/engine/KV state from disk
+/// instead of starting empty.
+struct ReplicaDurability {
+  bool enabled{false};
+  std::string dir;  // per-replica data dir; holds consensus.log
+  bool sync{true};  // fsync per group commit (off only for unit tests)
+  /// Max executed batches per group commit. Under load the wave grows until
+  /// the next slot is empty or this cap is hit; an idle replica commits
+  /// every batch individually (wave of 1).
+  std::uint32_t max_wave{128};
+  storage::Env* env{nullptr};  // nullptr = the real POSIX env
+};
 
 struct ReplicaConfig {
   std::uint32_t n{4};
@@ -83,6 +101,13 @@ struct ReplicaConfig {
   TimeNs catchup_poll_ns{500'000'000};  // gap-detection poll (0 disables)
   std::size_t execute_queue_slots{4096};  // QC (§4.6)
   crypto::SchemeConfig schemes{};
+  ReplicaDurability durability{};
+  /// Snapshot state transfer: capture a compressed KV image at every
+  /// checkpoint boundary, serve it to replicas that fell below the batch
+  /// retention window, and install f+1-vouched images received while
+  /// stalled. Off by default — capture walks the whole store on the execute
+  /// thread, which throughput benchmarks must not pay for.
+  bool enable_snapshots{false};
 };
 
 /// Application hook: executes one transaction against the store, returns a
@@ -119,6 +144,13 @@ struct ReplicaStats {
   double batch_mean_size{0};
   /// Commit-certificate votes that failed the verify_certificates re-check.
   std::uint64_t cert_vote_failures{0};
+  /// Durable mode: batches re-executed from the consensus log at startup,
+  /// group commits + compactions of that log, and snapshot traffic.
+  std::uint64_t recovered_batches{0};
+  std::uint64_t log_commits{0};
+  std::uint64_t log_compactions{0};
+  std::uint64_t snapshots_served{0};
+  std::uint64_t snapshots_installed{0};
 };
 
 class Replica {
@@ -233,6 +265,25 @@ class Replica {
   void timer_loop(std::stop_token st);
 
   void handle_client_request(protocol::Message msg);
+  // --- durable crash recovery + snapshot rejoin ---
+  /// Constructor-time recovery from the consensus log: rebuilds chain,
+  /// reply cache, engine counters and KV state (idempotent re-puts). Runs
+  /// before any thread starts, so no locks are taken.
+  void recover_from_log() RDB_NO_THREAD_SAFETY_ANALYSIS;
+  /// Execute thread, at a checkpoint boundary: capture the compressed KV
+  /// image + chain accumulator that snapshot requests will be served from.
+  void capture_snapshot(SeqNum seq, ViewId view, const Digest& acc);
+  /// Worker thread: serve a peer's SnapshotRequest from the captured image.
+  void handle_snapshot_request(const protocol::Message& msg);
+  /// Worker thread: tally SnapshotResponses; after f+1 distinct peers vouch
+  /// for the same (seq, chain digest, kv digest), verify the blob against
+  /// the vouched digest and stash it for the execute thread to install.
+  void handle_snapshot_response(protocol::Message msg);
+  /// Execute thread, while stalled: install a verified pending snapshot.
+  void maybe_install_snapshot();
+  /// Execute thread, at a wave boundary: checkpoint the KV store and rewrite
+  /// the consensus log above the stable anchor requested by perform().
+  void maybe_compact_log();
   /// Bumps the per-reason reject counter (lock-free; input thread hot path).
   void count_reject(protocol::RejectReason reason) {
     reject_counts_[static_cast<std::size_t>(reason)].fetch_add(
@@ -282,6 +333,43 @@ class Replica {
   std::unordered_map<ClientId, std::pair<RequestId, std::uint64_t>>
       reply_cache_;
 
+  // --- durable mode (config_.durability.enabled) ---
+  // The consensus log and its retention bookkeeping are execute-thread-owned
+  // after the (single-threaded) constructor recovery.
+  std::unique_ptr<ReplicaLog> rlog_;
+  /// Logged batches above the last compaction anchor, oldest first: the tail
+  /// the next compaction rewrites after the anchor record.
+  std::deque<LoggedBatch> log_tail_;
+  /// (view, chain accumulator) at each executed checkpoint boundary — the
+  /// anchor candidates compaction and snapshot capture draw from.
+  std::map<SeqNum, std::pair<ViewId, Digest>> checkpoint_meta_;
+  /// Highest stable checkpoint perform() has asked the execute thread to
+  /// compact the log to (0 = none pending). Left set until the boundary has
+  /// actually been executed here (stability can outpace local execution).
+  std::atomic<SeqNum> compact_request_{0};
+
+  // --- snapshot state transfer (config_.enable_snapshots) ---
+  struct SnapshotImage {
+    SeqNum seq{0};
+    ViewId view{0};
+    Digest chain_acc{};
+    Digest kv_digest{};  // sha256 of the UNCOMPRESSED canonical image
+    std::uint64_t raw_bytes{0};
+    Bytes blob;  // LZ-compressed canonical KV image
+  };
+  /// A verified image awaiting installation, decompressed so the execute
+  /// thread doesn't redo that work.
+  struct PendingInstall {
+    SeqNum seq{0};
+    Digest chain_acc{};
+    Bytes image;
+  };
+  mutable Mutex snap_mu_{LockRank::kReplicaSnapshot, "Replica.snapshot"};
+  std::optional<SnapshotImage> snap_image_ RDB_GUARDED_BY(snap_mu_);
+  std::optional<PendingInstall> pending_install_ RDB_GUARDED_BY(snap_mu_);
+  /// Latest SnapshotResponse per sender (worker-thread-owned; bounded by n).
+  std::map<ReplicaId, protocol::SnapshotResponse> snap_offers_;
+
   // Primary-side sequencing (input thread only).
   SeqNum next_seq_{0};
   std::uint64_t next_txn_id_{1};
@@ -303,6 +391,11 @@ class Replica {
   std::atomic<std::uint64_t> batch_flushes_{0};
   std::atomic<std::uint64_t> batch_bisections_{0};
   std::atomic<std::uint64_t> cert_vote_failures_{0};
+  std::uint64_t recovered_batches_{0};  // set once during construction
+  std::atomic<std::uint64_t> log_commits_{0};
+  std::atomic<std::uint64_t> log_compactions_{0};
+  std::atomic<std::uint64_t> snapshots_served_{0};
+  std::atomic<std::uint64_t> snapshots_installed_{0};
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(protocol::RejectReason::kCount)>
       reject_counts_{};

@@ -1,0 +1,182 @@
+#include "runtime/replica_log.h"
+
+#include <utility>
+
+#include "common/serde.h"
+#include "storage/env.h"
+
+namespace rdb::runtime {
+
+namespace {
+
+constexpr std::uint8_t kAnchorRecord = 1;
+constexpr std::uint8_t kBatchRecord = 2;
+
+// Guards against count lies in a corrupted-but-CRC-valid record (CRC protects
+// against torn writes, not against bugs that logged garbage). A batch record
+// never legitimately holds more elements than bytes.
+constexpr std::uint32_t kMaxInlineCount = 1u << 20;
+
+Bytes encode_anchor(SeqNum seq, ViewId view, const Digest& acc) {
+  Writer w(1 + 8 + 8 + 32);
+  w.u8(kAnchorRecord);
+  w.u64(seq);
+  w.u64(view);
+  w.digest(acc);
+  return w.take();
+}
+
+Bytes encode_batch(const LoggedBatch& b) {
+  Writer w;
+  w.u8(kBatchRecord);
+  w.u64(b.seq);
+  w.u64(b.view);
+  w.digest(b.digest);
+  w.u64(b.txn_begin);
+  w.u32(static_cast<std::uint32_t>(b.txns.size()));
+  for (const auto& t : b.txns) t.serialize(w);
+  w.u32(static_cast<std::uint32_t>(b.certificate.size()));
+  for (const auto& v : b.certificate) {
+    w.u32(v.replica);
+    w.bytes(BytesView(v.signature));
+  }
+  return w.take();
+}
+
+bool decode_batch(Reader& r, LoggedBatch& out) {
+  out.seq = r.u64();
+  out.view = r.u64();
+  out.digest = r.digest();
+  out.txn_begin = r.u64();
+  std::uint32_t ntxns = r.u32();
+  if (!r.ok() || ntxns > kMaxInlineCount || ntxns > r.remaining()) return false;
+  out.txns.reserve(ntxns);
+  for (std::uint32_t i = 0; i < ntxns; ++i) {
+    out.txns.push_back(protocol::Transaction::deserialize(r));
+    if (!r.ok()) return false;
+  }
+  std::uint32_t nvotes = r.u32();
+  if (!r.ok() || nvotes > kMaxInlineCount || nvotes > r.remaining()) return false;
+  out.certificate.reserve(nvotes);
+  for (std::uint32_t i = 0; i < nvotes; ++i) {
+    ledger::CommitVote v;
+    v.replica = r.u32();
+    v.signature = r.bytes();
+    if (!r.ok()) return false;
+    out.certificate.push_back(std::move(v));
+  }
+  return r.done();
+}
+
+}  // namespace
+
+ReplicaLog::ReplicaLog(ReplicaLogConfig config) : config_(std::move(config)) {
+  storage::WalConfig wc;
+  wc.path = config_.path;
+  wc.env = config_.env;
+  wc.sync_on_commit = config_.sync;
+  wal_ = std::make_unique<storage::Wal>(wc);
+}
+
+storage::Env& ReplicaLog::env() {
+  return config_.env ? *config_.env : storage::Env::real();
+}
+
+RecoveredLog ReplicaLog::recover() {
+  RecoveredLog rec;
+  // Records after the first malformed/non-contiguous one are not adopted:
+  // without an unbroken chain back to the anchor their place in history is
+  // unknown, even if their CRCs check out.
+  bool broken = false;
+  wal_->replay([&](std::uint64_t /*lsn*/, BytesView payload) {
+    if (broken || payload.empty()) {
+      ++rec.dropped_records;
+      return;
+    }
+    Reader r(payload);
+    std::uint8_t kind = r.u8();
+    if (kind == kAnchorRecord) {
+      SeqNum seq = r.u64();
+      ViewId view = r.u64();
+      Digest acc = r.digest();
+      // A log holds one anchor (written first, by compaction). Anything
+      // already adopted before a second anchor would be a compaction bug;
+      // adopt the later anchor only if it extends cleanly.
+      if (!r.done() || (rec.has_anchor && seq < rec.anchor_seq) ||
+          !rec.batches.empty()) {
+        broken = true;
+        ++rec.dropped_records;
+        return;
+      }
+      rec.has_anchor = true;
+      rec.anchor_seq = seq;
+      rec.anchor_view = view;
+      rec.anchor_acc = acc;
+      return;
+    }
+    if (kind == kBatchRecord) {
+      LoggedBatch b;
+      if (!decode_batch(r, b)) {
+        broken = true;
+        ++rec.dropped_records;
+        return;
+      }
+      SeqNum expect = rec.batches.empty() ? rec.anchor_seq + 1
+                                          : rec.batches.back().seq + 1;
+      if (b.seq != expect) {
+        broken = true;
+        ++rec.dropped_records;
+        return;
+      }
+      rec.batches.push_back(std::move(b));
+      return;
+    }
+    broken = true;
+    ++rec.dropped_records;
+  });
+  rec.tail_truncated = wal_->stats().tail_truncated;
+  return rec;
+}
+
+void ReplicaLog::append_batch(const LoggedBatch& batch) {
+  wal_->append(BytesView(encode_batch(batch)));
+  ++stats_.batches_appended;
+}
+
+void ReplicaLog::commit() {
+  wal_->commit();
+  ++stats_.commits;
+}
+
+void ReplicaLog::compact(SeqNum anchor_seq, ViewId anchor_view,
+                         const Digest& anchor_acc,
+                         const std::vector<LoggedBatch>& tail) {
+  // Build the replacement log in a scratch file, fsync it, then atomically
+  // rename over the live log. A crash at any point leaves either the old or
+  // the new log fully intact — never a mix.
+  const std::string tmp = config_.path + ".tmp";
+  {
+    if (env().exists(tmp)) env().remove(tmp);
+    storage::WalConfig wc;
+    wc.path = tmp;
+    wc.env = config_.env;
+    wc.sync_on_commit = true;  // the rename must never land before the data
+    storage::Wal fresh(wc);
+    fresh.replay([](std::uint64_t, BytesView) {});
+    fresh.append(BytesView(encode_anchor(anchor_seq, anchor_view, anchor_acc)));
+    for (const auto& b : tail) fresh.append(BytesView(encode_batch(b)));
+    fresh.commit();
+  }
+  env().rename(tmp, config_.path);
+  // Reopen the live WAL; replaying the (small) compacted log re-seeds the
+  // next LSN and file offset.
+  storage::WalConfig wc;
+  wc.path = config_.path;
+  wc.env = config_.env;
+  wc.sync_on_commit = config_.sync;
+  wal_ = std::make_unique<storage::Wal>(wc);
+  wal_->replay([](std::uint64_t, BytesView) {});
+  ++stats_.compactions;
+}
+
+}  // namespace rdb::runtime

@@ -1,0 +1,103 @@
+// Durable consensus log for the threaded replica.
+//
+// Built on the checksummed group-commit WAL (storage/wal.h). Two record
+// kinds, both serialized with common/serde.h:
+//
+//   anchor  {seq, view, chain accumulator}
+//       "history up to `seq` is summarized by this accumulator" — written
+//       as the FIRST record of every compacted log. Batches below the
+//       anchor were absorbed into the KV store's own durable checkpoint.
+//   batch   {seq, view, digest, txn_begin, txns, commit certificate}
+//       one executed batch; contiguous from anchor.seq + 1.
+//
+// The execute thread owns the log end to end: it appends a batch record per
+// executed batch, group-commits once per execution wave (ONE fsync no matter
+// how many batches the wave held), and compacts at stable checkpoints by
+// writing <path>.tmp and atomically renaming over the live log — a crash
+// mid-compaction leaves the old log intact.
+//
+// recover() replays the WAL (torn tail truncated by the Wal layer) and
+// returns the anchor plus the contiguous batch tail; the replica re-executes
+// the tail against its recovered KV store (idempotent re-puts) and seeds the
+// consensus engine from the result.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ledger/block.h"
+#include "protocol/messages.h"
+#include "storage/wal.h"
+
+namespace rdb::runtime {
+
+struct ReplicaLogConfig {
+  std::string path;
+  storage::Env* env{nullptr};  // nullptr = Env::real()
+  bool sync{true};             // fsync per group commit
+};
+
+/// One executed batch as logged (and as needed to rebuild the block).
+struct LoggedBatch {
+  SeqNum seq{0};
+  ViewId view{0};
+  Digest digest{};
+  std::uint64_t txn_begin{0};
+  std::vector<protocol::Transaction> txns;
+  std::vector<ledger::CommitVote> certificate;
+};
+
+struct RecoveredLog {
+  bool has_anchor{false};
+  SeqNum anchor_seq{0};
+  ViewId anchor_view{0};
+  Digest anchor_acc{};
+  /// Contiguous from anchor_seq + 1 (gaps mark the end of usable history).
+  std::vector<LoggedBatch> batches;
+  bool tail_truncated{false};
+  std::uint64_t dropped_records{0};  // malformed/non-contiguous, not adopted
+};
+
+struct ReplicaLogStats {
+  std::uint64_t batches_appended{0};
+  std::uint64_t commits{0};
+  std::uint64_t compactions{0};
+};
+
+class ReplicaLog {
+ public:
+  explicit ReplicaLog(ReplicaLogConfig config);
+
+  ReplicaLog(const ReplicaLog&) = delete;
+  ReplicaLog& operator=(const ReplicaLog&) = delete;
+
+  /// Replays the on-disk log. Call exactly once, before the first append.
+  RecoveredLog recover();
+
+  /// Buffers one executed batch. Durable only after commit().
+  void append_batch(const LoggedBatch& batch);
+
+  /// Group commit: one write + one fsync for every buffered batch.
+  /// Fail-stop (StorageError) if the write or fsync fails.
+  void commit();
+
+  /// Rewrites the log as [anchor][tail...] via <path>.tmp + atomic rename.
+  /// The caller guarantees the KV store's durable checkpoint already covers
+  /// everything at or below the anchor.
+  void compact(SeqNum anchor_seq, ViewId anchor_view, const Digest& anchor_acc,
+               const std::vector<LoggedBatch>& tail);
+
+  bool failed() const { return wal_ && wal_->failed(); }
+  const ReplicaLogStats& stats() const { return stats_; }
+
+ private:
+  storage::Env& env();
+
+  ReplicaLogConfig config_;
+  std::unique_ptr<storage::Wal> wal_;
+  ReplicaLogStats stats_{};
+};
+
+}  // namespace rdb::runtime

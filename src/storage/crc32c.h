@@ -1,0 +1,17 @@
+// CRC32C (Castagnoli, the polynomial used by iSCSI/ext4/LevelDB) for WAL
+// record checksums. Chosen over CRC32 (zlib) for its better Hamming distance
+// at the record sizes the WAL writes, and over a cryptographic hash because a
+// torn-write detector needs speed, not collision resistance — the records it
+// protects never cross a trust boundary (the log is this replica's own disk).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdb::storage {
+
+/// One-shot CRC32C over `n` bytes. `seed` chains incremental computations:
+/// crc32c(ab) == crc32c(b, len_b, crc32c(a, len_a)).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace rdb::storage

@@ -1,0 +1,130 @@
+#include "storage/env.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rdb::storage {
+
+const char* storage_errc_name(StorageErrc c) {
+  switch (c) {
+    case StorageErrc::kOpenFailed: return "storage_open_failed";
+    case StorageErrc::kReadFailed: return "storage_read_failed";
+    case StorageErrc::kWriteFailed: return "storage_write_failed";
+    case StorageErrc::kSyncFailed: return "storage_sync_failed";
+    case StorageErrc::kTruncateFailed: return "storage_truncate_failed";
+    case StorageErrc::kRemoveFailed: return "storage_remove_failed";
+    case StorageErrc::kRenameFailed: return "storage_rename_failed";
+    case StorageErrc::kCrashPoint: return "storage_crash_point";
+    case StorageErrc::kFailStop: return "storage_fail_stop";
+  }
+  return "storage_unknown";
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(StorageErrc code, const std::string& what) {
+  throw StorageError(code, what + " (" + std::strerror(errno) + ")");
+}
+
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::size_t read(std::uint64_t offset, void* out, std::size_t n) override {
+    std::size_t done = 0;
+    auto* p = static_cast<std::uint8_t*>(out);
+    while (done < n) {
+      ssize_t r = ::pread(fd_, p + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw_errno(StorageErrc::kReadFailed, path_);
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<std::size_t>(r);
+    }
+    return done;
+  }
+
+  void write(std::uint64_t offset, const void* data, std::size_t n) override {
+    std::size_t done = 0;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (done < n) {
+      ssize_t r = ::pwrite(fd_, p + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw_errno(StorageErrc::kWriteFailed, path_);
+      }
+      done += static_cast<std::size_t>(r);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno(StorageErrc::kSyncFailed, path_);
+  }
+
+  std::uint64_t size() override {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) throw_errno(StorageErrc::kReadFailed, path_);
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  void truncate(std::uint64_t len) override {
+    if (::ftruncate(fd_, static_cast<off_t>(len)) != 0)
+      throw_errno(StorageErrc::kTruncateFailed, path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class RealEnv final : public Env {
+ public:
+  std::unique_ptr<File> open(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno(StorageErrc::kOpenFailed, path);
+    return std::make_unique<PosixFile>(fd, path);
+  }
+
+  bool exists(const std::string& path) override {
+    return std::filesystem::exists(path);
+  }
+
+  void remove(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) throw StorageError(StorageErrc::kRemoveFailed,
+                               path + " (" + ec.message() + ")");
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0)
+      throw_errno(StorageErrc::kRenameFailed, from + " -> " + to);
+  }
+
+  void make_dirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) throw StorageError(StorageErrc::kOpenFailed,
+                               path + " (" + ec.message() + ")");
+  }
+};
+
+}  // namespace
+
+Env& Env::real() {
+  static RealEnv env;
+  return env;
+}
+
+}  // namespace rdb::storage

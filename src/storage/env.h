@@ -1,0 +1,82 @@
+// Storage environment abstraction: every file operation PageDb and the WAL
+// perform goes through Env/File so the fault-injection layer (faulty_env.h)
+// can sit underneath them — the storage-side sibling of FaultyTransport.
+//
+// Error model: failures are THROWN as StorageError with a named code, never
+// swallowed. fsync failure in particular is fail-stop by contract — after the
+// kernel reports a lost write-back there is no way to know what reached the
+// platter, so retrying fsync and continuing ("fsyncgate") silently drops
+// committed data. Callers either propagate (replica goes down) or translate
+// into their own fail-stop state (Wal::commit).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace rdb::storage {
+
+enum class StorageErrc : std::uint8_t {
+  kOpenFailed = 1,
+  kReadFailed,
+  kWriteFailed,
+  kSyncFailed,      // fsync reported an error: fail-stop, data may be lost
+  kTruncateFailed,
+  kRemoveFailed,
+  kRenameFailed,
+  kCrashPoint,      // injected: the faulty env "lost power" (faulty_env.h)
+  kFailStop,        // the component already failed and refuses further work
+};
+
+const char* storage_errc_name(StorageErrc c);
+
+class StorageError : public std::runtime_error {
+ public:
+  StorageError(StorageErrc code, const std::string& what)
+      : std::runtime_error(std::string(storage_errc_name(code)) + ": " + what),
+        code_(code) {}
+  StorageErrc code() const { return code_; }
+
+ private:
+  StorageErrc code_;
+};
+
+/// A random-access file. Offsets are explicit (pread/pwrite style) so callers
+/// never depend on a shared cursor. Implementations are NOT thread-safe; the
+/// owner serializes access (PageDb under mu_, Wal via its single owner).
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads up to `n` bytes at `offset`; returns the bytes actually read
+  /// (short at EOF). Throws StorageError(kReadFailed) on I/O error.
+  virtual std::size_t read(std::uint64_t offset, void* out, std::size_t n) = 0;
+  /// Writes all `n` bytes at `offset` or throws StorageError(kWriteFailed).
+  virtual void write(std::uint64_t offset, const void* data,
+                     std::size_t n) = 0;
+  /// fsync. Throws StorageError(kSyncFailed) when the kernel reports failure.
+  virtual void sync() = 0;
+  virtual std::uint64_t size() = 0;
+  virtual void truncate(std::uint64_t len) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` read-write, creating it if missing.
+  virtual std::unique_ptr<File> open(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual void remove(const std::string& path) = 0;
+  /// Atomic rename (the log-compaction commit point: write tmp, sync, rename).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  /// Creates `path` and any missing parents (mkdir -p). Deployment setup,
+  /// not the data path — fault layers pass it straight through.
+  virtual void make_dirs(const std::string& path) = 0;
+
+  /// The process-wide real (POSIX) environment.
+  static Env& real();
+};
+
+}  // namespace rdb::storage

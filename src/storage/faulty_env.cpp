@@ -1,0 +1,155 @@
+#include "storage/faulty_env.h"
+
+#include "common/sync.h"
+
+namespace rdb::storage {
+
+struct FaultyEnv::State {
+  // Unranked: the env is reached from under PageDb's kStorage lock in tests
+  // and from the replica's execute thread in drills; the internal critical
+  // sections are leaf-level counter updates with no nested acquisition.
+  mutable Mutex mu;
+  StorageFaultPlan plan RDB_GUARDED_BY(mu);
+  StorageFaultCounters counters RDB_GUARDED_BY(mu);
+
+  /// Called at the top of every operation: a crashed env refuses all work.
+  void check_alive() const {
+    MutexLock lock(mu);
+    if (counters.crashed)
+      throw StorageError(StorageErrc::kCrashPoint,
+                         "environment crashed (power loss simulation)");
+  }
+
+  /// Accounts one write of `n` bytes. Returns the number of bytes that still
+  /// reach the file: `n` normally, a torn prefix at the crash point. Marks
+  /// the env crashed at the crash point; the CALLER performs the torn prefix
+  /// write and then throws kCrashPoint.
+  std::size_t admit_write(std::size_t n, bool* crash_now) {
+    MutexLock lock(mu);
+    if (counters.crashed)
+      throw StorageError(StorageErrc::kCrashPoint,
+                         "environment crashed (power loss simulation)");
+    ++counters.writes;
+    *crash_now = plan.crash_after_writes != 0 &&
+                 counters.writes == plan.crash_after_writes;
+    if (!*crash_now) return n;
+    counters.crashed = true;
+    std::size_t keep = n * plan.torn_write_percent / 100;
+    if (keep < n) ++counters.torn_writes;
+    return keep;
+  }
+
+  /// Accounts one sync; throws kSyncFailed exactly at the planned call.
+  void admit_sync() {
+    MutexLock lock(mu);
+    if (counters.crashed)
+      throw StorageError(StorageErrc::kCrashPoint,
+                         "environment crashed (power loss simulation)");
+    ++counters.syncs;
+    if (plan.fail_sync_number != 0 &&
+        counters.syncs == plan.fail_sync_number) {
+      ++counters.failed_syncs;
+      throw StorageError(StorageErrc::kSyncFailed,
+                         "injected fsync failure (fsyncgate simulation)");
+    }
+  }
+};
+
+namespace {
+
+class FaultyFile final : public File {
+ public:
+  FaultyFile(std::unique_ptr<File> base,
+             std::shared_ptr<FaultyEnv::State> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  std::size_t read(std::uint64_t offset, void* out, std::size_t n) override {
+    state_->check_alive();
+    return base_->read(offset, out, n);
+  }
+
+  void write(std::uint64_t offset, const void* data, std::size_t n) override {
+    bool crash_now = false;
+    std::size_t keep = state_->admit_write(n, &crash_now);
+    if (keep > 0) base_->write(offset, data, keep);
+    if (crash_now)
+      throw StorageError(StorageErrc::kCrashPoint,
+                         "crash point hit (write " +
+                             std::to_string(keep) + "/" + std::to_string(n) +
+                             " bytes persisted)");
+  }
+
+  void sync() override {
+    state_->admit_sync();
+    base_->sync();
+  }
+
+  std::uint64_t size() override {
+    state_->check_alive();
+    return base_->size();
+  }
+
+  void truncate(std::uint64_t len) override {
+    state_->check_alive();
+    base_->truncate(len);
+  }
+
+ private:
+  std::unique_ptr<File> base_;
+  std::shared_ptr<FaultyEnv::State> state_;
+};
+
+}  // namespace
+
+FaultyEnv::FaultyEnv(Env& base, StorageFaultPlan plan)
+    : state_(std::make_shared<State>()), base_(base) {
+  MutexLock lock(state_->mu);
+  state_->plan = plan;
+}
+
+FaultyEnv::~FaultyEnv() = default;
+
+std::unique_ptr<File> FaultyEnv::open(const std::string& path) {
+  state_->check_alive();
+  return std::make_unique<FaultyFile>(base_.open(path), state_);
+}
+
+bool FaultyEnv::exists(const std::string& path) {
+  state_->check_alive();
+  return base_.exists(path);
+}
+
+void FaultyEnv::remove(const std::string& path) {
+  state_->check_alive();
+  base_.remove(path);
+}
+
+void FaultyEnv::rename(const std::string& from, const std::string& to) {
+  state_->check_alive();
+  base_.rename(from, to);
+}
+
+void FaultyEnv::make_dirs(const std::string& path) {
+  // Deployment setup, deliberately not fault-injected (see env.h).
+  base_.make_dirs(path);
+}
+
+StorageFaultCounters FaultyEnv::counters() const {
+  MutexLock lock(state_->mu);
+  return state_->counters;
+}
+
+bool FaultyEnv::crashed() const {
+  MutexLock lock(state_->mu);
+  return state_->counters.crashed;
+}
+
+void FaultyEnv::revive(StorageFaultPlan next_plan) {
+  MutexLock lock(state_->mu);
+  state_->counters.crashed = false;
+  state_->counters.writes = 0;
+  state_->counters.syncs = 0;
+  state_->plan = next_plan;
+}
+
+}  // namespace rdb::storage

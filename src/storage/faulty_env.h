@@ -1,0 +1,74 @@
+// Storage fault injection — the disk-side sibling of FaultyTransport.
+//
+// FaultyEnv decorates a real Env and executes a deterministic StorageFaultPlan
+// against every file opened through it:
+//
+//   * Crash points: the Nth write() call (counted across all files, 1-based)
+//     persists only a configurable prefix (a torn write: the power died while
+//     the sector stream was in flight), and from then on the whole env
+//     behaves like a machine that lost power — every operation throws
+//     StorageError(kCrashPoint). The crash-point matrix in storage_test.cpp
+//     iterates N over every write boundary of a workload.
+//   * fsync failure: the Nth sync() call throws StorageError(kSyncFailed)
+//     once, without crashing the env — models a kernel write-back error
+//     (fsyncgate). The component under test must fail-stop, not retry.
+//
+// After a crash, `revive(plan)` resets the env so the test can "reboot the
+// machine": reopen the same on-disk files and run recovery against a fresh
+// plan. The bytes already persisted (including the torn prefix) are exactly
+// what recovery sees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/env.h"
+
+namespace rdb::storage {
+
+struct StorageFaultPlan {
+  /// Crash on the Nth write() (1-based, counted across every file). 0 = off.
+  std::uint64_t crash_after_writes{0};
+  /// Fraction (0..100) of the crashing write that still reaches the file
+  /// before the power dies. 0 = the final write is lost entirely; 100 = the
+  /// write landed and the crash falls between it and the next operation.
+  std::uint32_t torn_write_percent{0};
+  /// Throw kSyncFailed on the Nth sync() call (1-based), once. 0 = off.
+  std::uint64_t fail_sync_number{0};
+};
+
+struct StorageFaultCounters {
+  std::uint64_t writes{0};
+  std::uint64_t syncs{0};
+  std::uint64_t torn_writes{0};
+  std::uint64_t failed_syncs{0};
+  bool crashed{false};
+};
+
+class FaultyEnv final : public Env {
+ public:
+  explicit FaultyEnv(Env& base, StorageFaultPlan plan = {});
+  ~FaultyEnv() override;
+
+  std::unique_ptr<File> open(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void remove(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void make_dirs(const std::string& path) override;
+
+  StorageFaultCounters counters() const;
+  bool crashed() const;
+  /// "Reboot": clears the crashed state and installs the next fault plan.
+  /// Files opened before the crash stay dead; reopen through the env.
+  void revive(StorageFaultPlan next_plan = {});
+
+  /// Shared between the env and every FaultyFile it has opened (defined in
+  /// the .cpp; public so the file wrapper can name it).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+  Env& base_;
+};
+
+}  // namespace rdb::storage

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +30,29 @@ class KvStore {
 
   /// Human-readable backend name ("mem", "pagedb").
   virtual std::string name() const = 0;
+
+  /// Visits every live record, order unspecified. Not required to be
+  /// consistent under concurrent writers — callers quiesce first (the
+  /// snapshot capture runs on the execute thread, the sole writer).
+  using VisitFn = std::function<void(std::string_view key,
+                                     std::string_view value)>;
+  virtual void for_each(const VisitFn& fn) = 0;
+
+  /// Discards every record (snapshot install replaces the whole image).
+  virtual void clear() = 0;
+
+  /// True when the backend survives a process crash (put + commit_wave
+  /// reach disk). Replicas only truncate their consensus log against a
+  /// durable store.
+  virtual bool durable() const { return false; }
+
+  /// Group-commit barrier: makes every preceding put durable (one fsync for
+  /// the whole wave). No-op for non-durable backends.
+  virtual void commit_wave() {}
+
+  /// Stable-checkpoint hook: flush everything and truncate internal logs.
+  /// No-op for non-durable backends.
+  virtual void checkpoint() {}
 };
 
 }  // namespace rdb::storage

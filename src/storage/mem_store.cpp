@@ -56,4 +56,20 @@ StoreStats MemStore::stats() const {
   return stats_;
 }
 
+void MemStore::for_each(const VisitFn& fn) {
+  // Stripes are visited one at a time (same discipline as size()); callers
+  // needing a consistent image quiesce writers first.
+  for (auto& s : stripes_) {
+    MutexLock lock(s.mu);
+    for (const auto& [k, v] : s.map) fn(k, v);
+  }
+}
+
+void MemStore::clear() {
+  for (auto& s : stripes_) {
+    MutexLock lock(s.mu);
+    s.map.clear();
+  }
+}
+
 }  // namespace rdb::storage

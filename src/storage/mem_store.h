@@ -21,6 +21,8 @@ class MemStore final : public KvStore {
   std::uint64_t size() const override;
   StoreStats stats() const override;
   std::string name() const override { return "mem"; }
+  void for_each(const VisitFn& fn) override;
+  void clear() override;
 
  private:
   struct Stripe {

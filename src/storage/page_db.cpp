@@ -1,10 +1,6 @@
 #include "storage/page_db.h"
 
 #include <cstring>
-#include <filesystem>
-#ifdef __unix__
-#include <unistd.h>
-#endif
 #include <functional>
 #include <stdexcept>
 #include <vector>
@@ -17,6 +13,7 @@ constexpr std::uint64_t kMagic = 0x5244425047444231ULL;  // "RDBPGDB1"
 constexpr std::size_t kPageHeaderSize = 10;  // next (u64) + used (u16)
 constexpr std::size_t kRecordHeaderSize = 7; // klen u16 + vlen u32 + flags u8
 constexpr std::uint8_t kFlagDead = 0x01;
+constexpr std::size_t kWalPayloadHeader = 6; // klen u16 + vlen u32
 
 std::uint64_t load_u64(const std::uint8_t* p) {
   std::uint64_t v;
@@ -50,78 +47,56 @@ std::size_t record_size(std::size_t klen, std::size_t vlen) {
 }  // namespace
 
 PageDb::PageDb(PageDbConfig config) : config_(std::move(config)) {
-  bool fresh = !std::filesystem::exists(config_.path);
-  file_ = std::fopen(config_.path.c_str(), fresh ? "w+b" : "r+b");
-  if (file_ == nullptr)
-    throw std::runtime_error("PageDb: cannot open " + config_.path);
-
-  if (fresh) {
-    // header + directory pages, all zeroed.
-    page_count_ = 1 + directory_pages();
-    std::vector<std::uint8_t> zero(kPageSize, 0);
-    for (std::uint64_t p = 0; p < page_count_; ++p) {
-      if (std::fwrite(zero.data(), 1, kPageSize, file_) != kPageSize)
-        throw std::runtime_error("PageDb: init write failed");
-    }
-    write_header();
-    std::fflush(file_);
+  Env& env = config_.env ? *config_.env : Env::real();
+  MutexLock lock(mu_);
+  file_ = env.open(config_.path);
+  if (file_->size() == 0) {
+    init_fresh_file();
   } else {
     read_header();
   }
 
-  std::string wal_path = config_.path + ".wal";
-  bool wal_exists = std::filesystem::exists(wal_path) &&
-                    std::filesystem::file_size(wal_path) > 0;
-  if (wal_exists) {
-    wal_ = std::fopen(wal_path.c_str(), "r+b");
-    if (wal_ == nullptr) throw std::runtime_error("PageDb: cannot open WAL");
-    {
-      // wal_replay() requires mu_; scope the hold so checkpoint() (which
-      // locks mu_ itself) does not deadlock.
-      MutexLock lock(mu_);
-      wal_replay();
-    }
-    checkpoint();
-  } else {
-    wal_ = std::fopen(wal_path.c_str(), "w+b");
-    if (wal_ == nullptr) throw std::runtime_error("PageDb: cannot open WAL");
+  WalConfig wc;
+  wc.path = config_.path + ".wal";
+  wc.env = config_.env;
+  wal_ = std::make_unique<Wal>(std::move(wc));
+  wal_replay();
+  const WalStats& ws = wal_->stats();
+  if (ws.records_replayed > 0 || ws.tail_truncated) {
+    // Absorb the replayed history into the data file so the next crash has a
+    // shorter log to chew through. Crash-safe: the WAL is only reset after
+    // the data file is fsynced.
+    checkpoint_locked();
   }
 
-  // Count live records once so size() is O(1) afterwards.
-  MutexLock lock(mu_);
-  record_count_ = 0;
-  for (std::uint32_t b = 0; b < config_.bucket_count; ++b) {
-    std::uint64_t pid = bucket_head(b);
-    while (pid != 0) {
-      Page& page = fetch_page(pid);
-      const std::uint8_t* d = page.data.get();
-      std::uint16_t used = load_u16(d + 8);
-      std::size_t off = kPageHeaderSize;
-      while (off < kPageHeaderSize + used) {
-        std::uint16_t klen = load_u16(d + off);
-        std::uint32_t vlen = load_u32(d + off + 2);
-        std::uint8_t flags = d[off + 6];
-        if (!(flags & kFlagDead)) ++record_count_;
-        off += record_size(klen, vlen);
-      }
-      pid = load_u64(d);
-    }
-  }
+  count_records();
 }
 
 PageDb::~PageDb() {
   try {
-    checkpoint();
+    MutexLock lock(mu_);
+    checkpoint_locked();
   } catch (...) {
-    // Destructors must not throw; the WAL still holds the data.
+    // Destructors must not throw; the WAL still holds the data (and after a
+    // FaultyEnv crash point there is deliberately nothing left to flush).
   }
-  if (file_ != nullptr) std::fclose(file_);
-  if (wal_ != nullptr) std::fclose(wal_);
 }
 
 std::uint64_t PageDb::directory_pages() const {
   std::uint64_t entries_per_page = kPageSize / 8;
   return (config_.bucket_count + entries_per_page - 1) / entries_per_page;
+}
+
+void PageDb::init_fresh_file() {
+  // Header + directory pages, all zeroed, laid down with ONE write so a
+  // crash during creation leaves either nothing or a truncated file that the
+  // next open re-initializes (size()==0 is not the only fresh shape, but
+  // read_header rejects a short/torn header with a clear error).
+  page_count_ = 1 + directory_pages();
+  std::vector<std::uint8_t> zero(page_count_ * kPageSize, 0);
+  file_->write(0, zero.data(), zero.size());
+  write_header();
+  file_->sync();
 }
 
 void PageDb::write_header() {
@@ -130,15 +105,12 @@ void PageDb::write_header() {
   store_u32(hdr + 8, static_cast<std::uint32_t>(kPageSize));
   store_u32(hdr + 12, config_.bucket_count);
   store_u64(hdr + 16, page_count_);
-  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fwrite(hdr, 1, kPageSize, file_) != kPageSize)
-    throw std::runtime_error("PageDb: header write failed");
+  file_->write(0, hdr, kPageSize);
 }
 
 void PageDb::read_header() {
   std::uint8_t hdr[kPageSize];
-  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fread(hdr, 1, kPageSize, file_) != kPageSize)
+  if (file_->read(0, hdr, kPageSize) != kPageSize)
     throw std::runtime_error("PageDb: header read failed");
   if (load_u64(hdr) != kMagic)
     throw std::runtime_error("PageDb: bad magic in " + config_.path);
@@ -149,21 +121,19 @@ void PageDb::read_header() {
 }
 
 void PageDb::read_page_from_file(std::uint64_t page_id, std::uint8_t* out) {
-  if (std::fseek(file_, static_cast<long>(page_id * kPageSize), SEEK_SET) != 0)
-    throw std::runtime_error("PageDb: seek failed");
-  std::size_t n = std::fread(out, 1, kPageSize, file_);
-  if (n != kPageSize) {
-    // Page past current EOF (freshly allocated): serve zeros.
-    std::memset(out, 0, kPageSize);
-  }
+  std::size_t n = file_->read(page_id * kPageSize, out, kPageSize);
+  // Past current EOF (freshly allocated, or allocated-but-never-flushed
+  // before a crash): serve zeros; the WAL replay re-creates the contents.
+  if (n < kPageSize) std::memset(out + n, 0, kPageSize - n);
 }
 
 void PageDb::flush_page(std::uint64_t page_id, Page& page) {
   if (!page.dirty) return;
-  if (std::fseek(file_, static_cast<long>(page_id * kPageSize), SEEK_SET) !=
-          0 ||
-      std::fwrite(page.data.get(), 1, kPageSize, file_) != kPageSize)
-    throw std::runtime_error("PageDb: page write failed");
+  // WAL-before-data: a stolen (evicted) page may carry puts whose wave has
+  // not committed yet. Force the log first so a crash never leaves a record
+  // in the data file that the log cannot account for.
+  if (wal_) wal_->commit();
+  file_->write(page_id * kPageSize, page.data.get(), kPageSize);
   page.dirty = false;
   ++page_stats_.pages_flushed;
 }
@@ -264,8 +234,12 @@ bool PageDb::put_locked(std::string_view key, std::string_view value) {
   std::uint64_t pid = head;
   std::uint64_t last_pid = 0;
   bool existed = false;
+  bool written = false;
 
-  // Pass 1: find an existing live record; overwrite in place if it fits.
+  // Pass 1: overwrite the first live record in place if the size matches;
+  // every OTHER live record for this key is retired. Duplicates arise from a
+  // crash between "mark dead" and "append resized" reaching disk — this scan
+  // is where they get repaired.
   while (pid != 0) {
     Page& page = fetch_page(pid);
     std::uint8_t* d = page.data.get();
@@ -278,12 +252,12 @@ bool PageDb::put_locked(std::string_view key, std::string_view value) {
       if (!(flags & kFlagDead) && klen == key.size() &&
           std::memcmp(d + off + kRecordHeaderSize, key.data(), klen) == 0) {
         existed = true;
-        if (vlen == value.size()) {
+        if (!written && vlen == value.size()) {
           std::memcpy(d + off + kRecordHeaderSize + klen, value.data(), vlen);
-          page.dirty = true;
-          return existed;
+          written = true;
+        } else {
+          d[off + 6] |= kFlagDead;  // size changed (or duplicate): retire
         }
-        d[off + 6] |= kFlagDead;  // size changed: kill and re-append below
         page.dirty = true;
       }
       off += record_size(klen, vlen);
@@ -291,6 +265,7 @@ bool PageDb::put_locked(std::string_view key, std::string_view value) {
     last_pid = pid;
     pid = load_u64(d);
   }
+  if (written) return existed;
 
   // Pass 2: append into the first chain page with room.
   std::size_t need = record_size(key.size(), value.size());
@@ -349,6 +324,7 @@ void PageDb::put(std::string_view key, std::string_view value) {
   bool existed = put_locked(key, value);
   if (!existed) ++record_count_;
   ++kv_stats_.writes;
+  if (config_.sync_wal) wal_->commit();
 }
 
 std::optional<std::string> PageDb::get(std::string_view key) {
@@ -376,56 +352,132 @@ StoreStats PageDb::stats() const {
 
 PageDbStats PageDb::page_stats() const {
   MutexLock lock(mu_);
-  return page_stats_;
+  PageDbStats out = page_stats_;
+  const WalStats& ws = wal_->stats();
+  out.wal_appends = ws.records_appended;
+  out.wal_replayed = ws.records_replayed;
+  out.wal_commits = ws.commits;
+  out.wal_truncated_bytes = ws.truncated_bytes;
+  out.wal_tail_truncated = ws.tail_truncated;
+  return out;
+}
+
+void PageDb::for_each(const VisitFn& fn) {
+  MutexLock lock(mu_);
+  for (std::uint32_t b = 0; b < config_.bucket_count; ++b) {
+    std::uint64_t pid = bucket_head(b);
+    while (pid != 0) {
+      Page& page = fetch_page(pid);
+      const std::uint8_t* d = page.data.get();
+      std::uint16_t used = load_u16(d + 8);
+      std::size_t off = kPageHeaderSize;
+      while (off < kPageHeaderSize + used) {
+        std::uint16_t klen = load_u16(d + off);
+        std::uint32_t vlen = load_u32(d + off + 2);
+        std::uint8_t flags = d[off + 6];
+        if (!(flags & kFlagDead)) {
+          fn(std::string_view(
+                 reinterpret_cast<const char*>(d + off + kRecordHeaderSize),
+                 klen),
+             std::string_view(reinterpret_cast<const char*>(
+                                  d + off + kRecordHeaderSize + klen),
+                              vlen));
+        }
+        off += record_size(klen, vlen);
+      }
+      pid = load_u64(d);
+    }
+  }
+}
+
+void PageDb::clear() {
+  MutexLock lock(mu_);
+  cache_.clear();
+  file_->truncate(0);
+  init_fresh_file();
+  wal_->reset();
+  record_count_ = 0;
+}
+
+void PageDb::commit_wave() {
+  MutexLock lock(mu_);
+  wal_->commit();
 }
 
 void PageDb::checkpoint() {
   MutexLock lock(mu_);
+  checkpoint_locked();
+}
+
+void PageDb::checkpoint_locked() {
+  // Order matters for crash safety:
+  //   1. force the log (pending puts are already applied to cached pages —
+  //      if the flush below dies halfway, the log must cover them),
+  //   2. flush every dirty page + the header and fsync the DATA file,
+  //   3. only then truncate the log.
+  // A crash anywhere before step 3 recovers by replaying the intact log over
+  // whatever mix of old/new pages reached the platter.
+  wal_->commit();
   for (auto& [pid, page] : cache_) flush_page(pid, page);
   write_header();
-  std::fflush(file_);
-  wal_truncate();
+  file_->sync();  // fail-stop: StorageError(kSyncFailed) propagates
+  wal_->reset();
+}
+
+void PageDb::count_records() {
+  record_count_ = 0;
+  for (std::uint32_t b = 0; b < config_.bucket_count; ++b) {
+    std::uint64_t pid = bucket_head(b);
+    while (pid != 0) {
+      Page& page = fetch_page(pid);
+      const std::uint8_t* d = page.data.get();
+      std::uint16_t used = load_u16(d + 8);
+      std::size_t off = kPageHeaderSize;
+      while (off < kPageHeaderSize + used) {
+        std::uint16_t klen = load_u16(d + off);
+        std::uint32_t vlen = load_u32(d + off + 2);
+        std::uint8_t flags = d[off + 6];
+        if (!(flags & kFlagDead)) ++record_count_;
+        off += record_size(klen, vlen);
+      }
+      pid = load_u64(d);
+    }
+  }
 }
 
 void PageDb::wal_append(std::string_view key, std::string_view value) {
-  std::uint8_t hdr[6];
-  store_u16(hdr, static_cast<std::uint16_t>(key.size()));
-  store_u32(hdr + 2, static_cast<std::uint32_t>(value.size()));
-  if (std::fwrite(hdr, 1, sizeof(hdr), wal_) != sizeof(hdr) ||
-      std::fwrite(key.data(), 1, key.size(), wal_) != key.size() ||
-      std::fwrite(value.data(), 1, value.size(), wal_) != value.size())
-    throw std::runtime_error("PageDb: WAL append failed");
-  std::fflush(wal_);
-  if (config_.sync_wal) {
-#ifdef __unix__
-    fsync(fileno(wal_));
-#endif
-  }
-  ++page_stats_.wal_appends;
+  std::uint8_t buf[kWalPayloadHeader];
+  store_u16(buf, static_cast<std::uint16_t>(key.size()));
+  store_u32(buf + 2, static_cast<std::uint32_t>(value.size()));
+  Bytes payload;
+  payload.reserve(kWalPayloadHeader + key.size() + value.size());
+  payload.insert(payload.end(), buf, buf + sizeof(buf));
+  payload.insert(payload.end(), key.begin(), key.end());
+  payload.insert(payload.end(), value.begin(), value.end());
+  wal_->append(BytesView(payload.data(), payload.size()));
 }
 
 void PageDb::wal_replay() {
-  std::fseek(wal_, 0, SEEK_SET);
-  for (;;) {
-    std::uint8_t hdr[6];
-    if (std::fread(hdr, 1, sizeof(hdr), wal_) != sizeof(hdr)) break;
-    std::uint16_t klen = load_u16(hdr);
-    std::uint32_t vlen = load_u32(hdr + 2);
-    std::string key(klen, '\0');
-    std::string value(vlen, '\0');
-    if (std::fread(key.data(), 1, klen, wal_) != klen) break;
-    if (std::fread(value.data(), 1, vlen, wal_) != vlen) break;
+  // Decode into a flat list first (the lambda touches no guarded state, which
+  // keeps the thread-safety analysis honest), then apply under mu_. The list
+  // is bounded by one checkpoint interval's worth of puts.
+  std::vector<std::pair<std::string, std::string>> records;
+  wal_->replay([&records](std::uint64_t /*lsn*/, BytesView payload) {
+    // Malformed payloads cannot appear here — the Wal's CRC already vouched
+    // for the bytes — but stay defensive about lengths anyway.
+    if (payload.size() < kWalPayloadHeader) return;
+    std::uint16_t klen = load_u16(payload.data());
+    std::uint32_t vlen = load_u32(payload.data() + 2);
+    if (payload.size() < kWalPayloadHeader + klen + vlen) return;
+    const char* base =
+        reinterpret_cast<const char*>(payload.data() + kWalPayloadHeader);
+    records.emplace_back(std::string(base, klen),
+                         std::string(base + klen, vlen));
+  });
+  for (const auto& [key, value] : records) {
     bool existed = put_locked(key, value);
     if (!existed) ++record_count_;
-    ++page_stats_.wal_replayed;
   }
-}
-
-void PageDb::wal_truncate() {
-  std::fclose(wal_);
-  std::string wal_path = config_.path + ".wal";
-  wal_ = std::fopen(wal_path.c_str(), "w+b");
-  if (wal_ == nullptr) throw std::runtime_error("PageDb: WAL truncate failed");
 }
 
 }  // namespace rdb::storage

@@ -13,18 +13,35 @@
 // the old record dead and append a fresh one (chaining a new page if the
 // bucket is full).
 //
-// Durability: every put appends a logical redo record to the WAL; open()
-// replays the WAL (idempotent re-puts) before serving. checkpoint() flushes
-// dirty pages and truncates the WAL. fsync on the WAL is configurable.
+// Durability: every put appends a logical redo record to the WAL
+// (storage/wal.h: CRC32C per record, LSN-stamped). With sync_wal the record
+// is fsynced per put; otherwise records buffer until commit_wave() — ONE
+// write + fsync for the whole execution wave (group commit) — or
+// checkpoint(). open() replays the WAL (idempotent re-puts, truncating at
+// the first torn/bad record) before serving. checkpoint() flushes dirty
+// pages, fsyncs the data file, and truncates the WAL. fsync failure anywhere
+// is fail-stop: a named StorageError propagates and the store refuses to
+// pretend the data is safe.
+//
+// Crash consistency: the data file may hold a mix of old/new pages after a
+// crash (evictions flush mid-run), but every post-checkpoint put is in the
+// WAL, and replay repairs the image. A crash between "mark old record dead"
+// and "append resized record" landing on disk can leave duplicate live
+// records for one key; get() returns the first (repaired by replay), and
+// put_locked() retires the stragglers on the next write of that key.
+//
+// All file I/O goes through storage/env.h, so tests can run the whole store
+// against FaultyEnv crash points.
 #pragma once
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "common/sync.h"
+#include "storage/env.h"
 #include "storage/kv_store.h"
+#include "storage/wal.h"
 
 namespace rdb::storage {
 
@@ -32,7 +49,8 @@ struct PageDbConfig {
   std::string path;            // data file; WAL lives at path + ".wal"
   std::uint32_t bucket_count{4096};
   std::size_t cache_pages{256};
-  bool sync_wal{false};        // fsync the WAL on every put
+  bool sync_wal{false};        // fsync the WAL on every put (no group commit)
+  Env* env{nullptr};           // nullptr = Env::real()
 };
 
 struct PageDbStats {
@@ -41,14 +59,17 @@ struct PageDbStats {
   std::uint64_t pages_flushed{0};
   std::uint64_t wal_appends{0};
   std::uint64_t wal_replayed{0};
+  std::uint64_t wal_commits{0};          // group-commit fsync waves
+  std::uint64_t wal_truncated_bytes{0};  // torn tail cut during recovery
+  bool wal_tail_truncated{false};
 };
 
 class PageDb final : public KvStore {
  public:
   static constexpr std::size_t kPageSize = 4096;
 
-  /// Opens (creating or recovering as needed). Throws std::runtime_error on
-  /// I/O failure or corrupt header.
+  /// Opens (creating or recovering as needed). Throws StorageError on I/O
+  /// failure, std::runtime_error on a corrupt header.
   explicit PageDb(PageDbConfig config);
   ~PageDb() override;
 
@@ -61,9 +82,16 @@ class PageDb final : public KvStore {
   std::uint64_t size() const override;
   StoreStats stats() const override;
   std::string name() const override { return "pagedb"; }
+  void for_each(const VisitFn& fn) override;
+  void clear() override;
+  bool durable() const override { return true; }
 
-  /// Flushes all dirty pages + header to disk and truncates the WAL.
-  void checkpoint();
+  /// Group commit: one write + fsync makes every buffered put durable.
+  void commit_wave() override;
+
+  /// Flushes all dirty pages + header, fsyncs the data file, truncates the
+  /// WAL. Fail-stop on fsync error.
+  void checkpoint() override;
 
   PageDbStats page_stats() const;
 
@@ -83,6 +111,9 @@ class PageDb final : public KvStore {
       RDB_REQUIRES(mu_);
   void write_header() RDB_REQUIRES(mu_);
   void read_header() RDB_REQUIRES(mu_);
+  void init_fresh_file() RDB_REQUIRES(mu_);
+  void checkpoint_locked() RDB_REQUIRES(mu_);
+  void count_records() RDB_REQUIRES(mu_);
 
   // --- bucket directory ---
   std::uint64_t directory_pages() const;
@@ -100,15 +131,14 @@ class PageDb final : public KvStore {
   void wal_append(std::string_view key, std::string_view value)
       RDB_REQUIRES(mu_);
   void wal_replay() RDB_REQUIRES(mu_);
-  void wal_truncate() RDB_REQUIRES(mu_);
 
   PageDbConfig config_;
 
   mutable Mutex mu_{LockRank::kStorage, "PageDb"};
-  // The FILE streams are only touched by the locked helpers above (plus the
+  // The file handles are only touched by the locked helpers above (plus the
   // constructor/destructor, where no other thread can observe the object).
-  std::FILE* file_ RDB_GUARDED_BY(mu_) = nullptr;
-  std::FILE* wal_ RDB_GUARDED_BY(mu_) = nullptr;
+  std::unique_ptr<File> file_ RDB_GUARDED_BY(mu_);
+  std::unique_ptr<Wal> wal_ RDB_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, Page> cache_ RDB_GUARDED_BY(mu_);
   std::uint64_t lru_clock_ RDB_GUARDED_BY(mu_) = 0;
   std::uint64_t page_count_ RDB_GUARDED_BY(mu_) = 0;

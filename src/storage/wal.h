@@ -1,0 +1,93 @@
+// Checksummed group-commit write-ahead log.
+//
+// Record layout (little-endian):
+//   [magic u32][len u32][lsn u64][crc32c u32][payload: len bytes]
+// The CRC covers lsn + payload, so neither a bit flip nor a record spliced
+// from a recycled file region verifies. LSNs are contiguous from 1; a gap or
+// repeat marks the end of valid history (a partially-overwritten tail).
+//
+// Group commit: append() only buffers in memory; commit() persists the whole
+// pending wave with ONE write and (when sync_on_commit) ONE fsync. The
+// caller's durability contract — e.g. "client responses leave only after the
+// wave is durable" — hangs off commit() returning, not off append().
+//
+// Recovery: replay() scans the file and TRUNCATES at the first bad record
+// (bad magic, length past EOF, CRC mismatch, LSN discontinuity) instead of
+// replaying garbage or throwing away the good prefix. A torn tail is the
+// expected shape of a crash, not corruption to die over.
+//
+// fsync failure is fail-stop: after a sync error the Wal refuses every
+// further operation (StorageError(kFailStop)). Retrying fsync after the
+// kernel reported a lost write-back silently drops data ("fsyncgate") —
+// the only safe move is to crash and recover from the log's good prefix.
+//
+// Not internally synchronized: the owner serializes access (PageDb under its
+// lock; ReplicaLog from the execute thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "storage/env.h"
+
+namespace rdb::storage {
+
+struct WalConfig {
+  std::string path;
+  Env* env{nullptr};         // nullptr = Env::real()
+  bool sync_on_commit{true}; // fsync per commit() (group commit granularity)
+};
+
+struct WalStats {
+  std::uint64_t records_appended{0};
+  std::uint64_t commits{0};          // write+fsync waves
+  std::uint64_t records_replayed{0};
+  std::uint64_t truncated_bytes{0};  // bytes cut at the first bad record
+  bool tail_truncated{false};
+};
+
+class Wal {
+ public:
+  explicit Wal(WalConfig config);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Scans existing records in order. Must run before the first append();
+  /// truncates the file at the first torn/bad record. Safe on a fresh file.
+  using ReplayFn = std::function<void(std::uint64_t lsn, BytesView payload)>;
+  void replay(const ReplayFn& fn);
+
+  /// Buffers one record; returns its LSN. Durable only after commit().
+  std::uint64_t append(BytesView payload);
+
+  /// Persists every buffered record: one write, one fsync (group commit).
+  /// No-op when nothing is pending. Throws StorageError and enters the
+  /// fail-stop state if the write or fsync fails.
+  void commit();
+
+  /// Truncates the log to empty (post-checkpoint: the data file now covers
+  /// everything the log held). Buffered-but-uncommitted records are dropped.
+  void reset();
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  bool failed() const { return failed_; }
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  void ensure_usable() const;
+
+  WalConfig config_;
+  std::unique_ptr<File> file_;
+  Bytes pending_;
+  std::uint64_t next_lsn_{1};
+  std::uint64_t file_end_{0};
+  bool replayed_{false};
+  bool failed_{false};
+  WalStats stats_{};
+};
+
+}  // namespace rdb::storage

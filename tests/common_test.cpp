@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "common/compress.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/stats.h"
@@ -211,6 +212,69 @@ TEST(Stats, SaturationGauge) {
   EXPECT_DOUBLE_EQ(g.percent(1000), 50.0);
   g.reset();
   EXPECT_DOUBLE_EQ(g.percent(1000), 0.0);
+}
+
+TEST(Compress, RepetitiveInputShrinksAndRoundTrips) {
+  // KV-image-shaped input: shared key prefixes, zero-padded values.
+  Bytes in;
+  for (int i = 0; i < 200; ++i) {
+    std::string rec = "user" + std::to_string(4000 + i % 10);
+    in.insert(in.end(), rec.begin(), rec.end());
+    in.insert(in.end(), 24, 0);
+  }
+  Bytes z = lz_compress(BytesView(in));
+  EXPECT_LT(z.size(), in.size() / 2);
+  auto back = lz_decompress(BytesView(z), in.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, in);
+}
+
+TEST(Compress, RandomBytesRoundTrip) {
+  Rng rng(77);
+  Bytes in;
+  for (int i = 0; i < 5000; ++i)
+    in.push_back(static_cast<std::uint8_t>(rng.below(256)));
+  Bytes z = lz_compress(BytesView(in));
+  // Incompressible input may grow, but only by the control-byte overhead.
+  EXPECT_LE(z.size(), in.size() + in.size() / 8 + 2);
+  auto back = lz_decompress(BytesView(z), in.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, in);
+}
+
+TEST(Compress, EmptyRoundTrip) {
+  Bytes z = lz_compress(BytesView{});
+  auto back = lz_decompress(BytesView(z), 0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Compress, DecompressEnforcesOutputCap) {
+  Bytes in(1000, 0x42);
+  Bytes z = lz_compress(BytesView(in));
+  EXPECT_FALSE(lz_decompress(BytesView(z), 999).has_value());
+  EXPECT_TRUE(lz_decompress(BytesView(z), 1000).has_value());
+}
+
+TEST(Compress, DecompressRejectsOutOfBoundsMatch) {
+  // Control byte 0 = "8 matches"; first token points 5 bytes back into an
+  // empty output. A hostile blob must get nullopt, not an OOB read.
+  Bytes evil{0x00, 0x05, 0x00, 0x00};
+  EXPECT_FALSE(lz_decompress(BytesView(evil), 1 << 20).has_value());
+}
+
+TEST(Compress, DecompressJunkNeverCrashes) {
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    Bytes junk;
+    std::size_t len = rng.below(64);
+    for (std::size_t i = 0; i < len; ++i)
+      junk.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    auto out = lz_decompress(BytesView(junk), 4096);
+    if (out.has_value()) {
+      EXPECT_LE(out->size(), 4096u);
+    }
+  }
 }
 
 }  // namespace

@@ -151,6 +151,29 @@ TEST(Blockchain, VerifierGatesAppend) {
   EXPECT_EQ(chain.last_seq(), 1u);
 }
 
+TEST(Blockchain, ResetToRebasesOntoAnchor) {
+  // Reference chain: record the accumulator at seq 4, then extend to 6.
+  Blockchain ref;
+  for (SeqNum s = 1; s <= 4; ++s) ref.append(make_block(s));
+  Digest anchor = ref.accumulator();
+  for (SeqNum s = 5; s <= 6; ++s) ref.append(make_block(s));
+
+  // A recovering replica adopts the anchor and replays only the tail. The
+  // rebased chain must land on the exact same commitment.
+  Blockchain re;
+  re.append(make_block(1));  // pre-crash junk, discarded by reset_to
+  re.reset_to(4, anchor);
+  EXPECT_EQ(re.last_seq(), 4u);
+  EXPECT_EQ(re.accumulator(), anchor);
+  EXPECT_FALSE(re.get(4).has_value());  // anchored history is absent, not held
+  EXPECT_FALSE(re.append(make_block(4)));  // replay below the anchor
+  EXPECT_FALSE(re.append(make_block(6)));  // gap above the anchor
+  EXPECT_TRUE(re.append(make_block(5)));
+  EXPECT_TRUE(re.append(make_block(6)));
+  EXPECT_EQ(re.last_seq(), ref.last_seq());
+  EXPECT_EQ(re.accumulator(), ref.accumulator());
+}
+
 TEST(Blockchain, GetOutOfRange) {
   Blockchain chain;
   chain.append(make_block(1));

@@ -116,6 +116,27 @@ TEST(Messages, CheckpointRoundTrip) {
   EXPECT_EQ(std::get<Checkpoint>(m.payload).block_bytes, 4096u);
 }
 
+TEST(Messages, SnapshotTypesRoundTrip) {
+  SnapshotRequest req;
+  req.have = 42;
+  auto m = round_trip(req);
+  EXPECT_EQ(std::get<SnapshotRequest>(m.payload).have, 42u);
+
+  SnapshotResponse resp;
+  resp.seq = 16;
+  resp.chain_acc = crypto::sha256("chain");
+  resp.kv_digest = crypto::sha256("kv image");
+  resp.raw_bytes = 1000;
+  resp.blob = Bytes(37, 0x5C);
+  auto m2 = round_trip(resp);
+  const auto& back = std::get<SnapshotResponse>(m2.payload);
+  EXPECT_EQ(back.seq, 16u);
+  EXPECT_EQ(back.chain_acc, resp.chain_acc);
+  EXPECT_EQ(back.kv_digest, resp.kv_digest);
+  EXPECT_EQ(back.raw_bytes, 1000u);
+  EXPECT_EQ(back.blob, resp.blob);
+}
+
 TEST(Messages, ViewChangeNewViewRoundTrip) {
   PreparedProof proof;
   proof.view = 0;

@@ -1,0 +1,478 @@
+// Durable crash recovery end to end: the replica consensus log (group-commit
+// WAL), hard kill + restart of a cluster member, and snapshot-anchored rejoin
+// for a replica that fell below the batch retention window.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+
+#include "protocol/pbft.h"
+#include "runtime/cluster.h"
+#include "runtime/replica_log.h"
+#include "storage/env.h"
+#include "storage/faulty_env.h"
+#include "workload/ycsb.h"
+
+namespace rdb::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+using protocol::Actions;
+using protocol::Message;
+
+// ---------------------------------------------------------------------------
+// ReplicaLog unit tests.
+// ---------------------------------------------------------------------------
+
+class ReplicaLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rlog_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "consensus.log").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ReplicaLogConfig config(storage::Env* env = nullptr) {
+    ReplicaLogConfig c;
+    c.path = path_;
+    c.env = env;
+    return c;
+  }
+
+  static LoggedBatch batch(SeqNum seq, int ntxns = 2) {
+    LoggedBatch b;
+    b.seq = seq;
+    b.view = 0;
+    b.digest.data[0] = static_cast<std::uint8_t>(seq);
+    b.txn_begin = seq * 10;
+    for (int i = 0; i < ntxns; ++i) {
+      protocol::Transaction t;
+      t.client = 7;
+      t.req_id = seq * 100 + static_cast<RequestId>(i);
+      t.payload = {1, 2, 3};
+      t.client_sig = {9, 9};
+      b.txns.push_back(std::move(t));
+    }
+    ledger::CommitVote v;
+    v.replica = 1;
+    v.signature = {4, 5, 6};
+    b.certificate.push_back(std::move(v));
+    return b;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(ReplicaLogTest, RoundTripBatchesAcrossReopen) {
+  {
+    ReplicaLog log(config());
+    auto rec = log.recover();
+    EXPECT_FALSE(rec.has_anchor);
+    EXPECT_TRUE(rec.batches.empty());
+    for (SeqNum s = 1; s <= 5; ++s) log.append_batch(batch(s));
+    log.commit();
+  }
+  ReplicaLog log2(config());
+  auto rec = log2.recover();
+  EXPECT_FALSE(rec.has_anchor);
+  ASSERT_EQ(rec.batches.size(), 5u);
+  for (SeqNum s = 1; s <= 5; ++s) {
+    const auto& b = rec.batches[s - 1];
+    EXPECT_EQ(b.seq, s);
+    EXPECT_EQ(b.txn_begin, s * 10);
+    ASSERT_EQ(b.txns.size(), 2u);
+    EXPECT_EQ(b.txns[0].req_id, s * 100);
+    ASSERT_EQ(b.certificate.size(), 1u);
+    EXPECT_EQ(b.certificate[0].signature, Bytes({4, 5, 6}));
+  }
+  EXPECT_FALSE(rec.tail_truncated);
+}
+
+TEST_F(ReplicaLogTest, UncommittedBatchesDieWithTheProcess) {
+  {
+    ReplicaLog log(config());
+    (void)log.recover();
+    log.append_batch(batch(1));
+    log.commit();
+    log.append_batch(batch(2));  // never committed: lost on "crash"
+  }
+  ReplicaLog log2(config());
+  auto rec = log2.recover();
+  ASSERT_EQ(rec.batches.size(), 1u);
+  EXPECT_EQ(rec.batches[0].seq, 1u);
+}
+
+TEST_F(ReplicaLogTest, CompactRewritesAsAnchorPlusTail) {
+  {
+    ReplicaLog log(config());
+    (void)log.recover();
+    for (SeqNum s = 1; s <= 8; ++s) log.append_batch(batch(s));
+    log.commit();
+    Digest acc;
+    acc.data[0] = 0xAB;
+    log.compact(/*anchor_seq=*/6, /*anchor_view=*/1, acc,
+                {batch(7), batch(8)});
+    // The compacted log accepts further appends.
+    log.append_batch(batch(9));
+    log.commit();
+  }
+  ReplicaLog log2(config());
+  auto rec = log2.recover();
+  EXPECT_TRUE(rec.has_anchor);
+  EXPECT_EQ(rec.anchor_seq, 6u);
+  EXPECT_EQ(rec.anchor_view, 1u);
+  EXPECT_EQ(rec.anchor_acc.data[0], 0xAB);
+  ASSERT_EQ(rec.batches.size(), 3u);
+  EXPECT_EQ(rec.batches[0].seq, 7u);
+  EXPECT_EQ(rec.batches[2].seq, 9u);
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(ReplicaLogTest, NonContiguousTailIsDropped) {
+  {
+    ReplicaLog log(config());
+    (void)log.recover();
+    log.append_batch(batch(1));
+    log.append_batch(batch(2));
+    log.append_batch(batch(4));  // gap: 3 never logged (corruption model)
+    log.append_batch(batch(5));
+    log.commit();
+  }
+  ReplicaLog log2(config());
+  auto rec = log2.recover();
+  ASSERT_EQ(rec.batches.size(), 2u);  // stop at the gap
+  EXPECT_EQ(rec.batches.back().seq, 2u);
+  EXPECT_EQ(rec.dropped_records, 2u);
+}
+
+TEST_F(ReplicaLogTest, TornTailRecoversGoodPrefix) {
+  {
+    ReplicaLog log(config());
+    (void)log.recover();
+    for (SeqNum s = 1; s <= 4; ++s) log.append_batch(batch(s));
+    log.commit();
+  }
+  // Chop the last 5 bytes off the file: a torn final record.
+  auto size = fs::file_size(path_);
+  fs::resize_file(path_, size - 5);
+  ReplicaLog log2(config());
+  auto rec = log2.recover();
+  EXPECT_TRUE(rec.tail_truncated);
+  ASSERT_EQ(rec.batches.size(), 3u);
+  EXPECT_EQ(rec.batches.back().seq, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine snapshot/restore units.
+// ---------------------------------------------------------------------------
+
+protocol::PbftEngine make_engine(SeqNum interval = 4) {
+  protocol::PbftConfig cfg;
+  cfg.n = 4;
+  cfg.self = 3;
+  cfg.checkpoint_interval = interval;
+  return protocol::PbftEngine(cfg);
+}
+
+Message checkpoint_msg(ReplicaId from, SeqNum seq) {
+  protocol::Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest.data[0] = static_cast<std::uint8_t>(seq);
+  Message m;
+  m.from = Endpoint::replica(from);
+  m.payload = cp;
+  return m;
+}
+
+TEST(PbftRecovery, RestoreSeedsCountersFromDurableState) {
+  auto e = make_engine();
+  e.restore(/*view=*/2, /*last_executed=*/10, /*stable=*/8);
+  EXPECT_EQ(e.last_executed(), 10u);
+  EXPECT_EQ(e.cluster_stable_hint(), 8u);
+}
+
+TEST(PbftRecovery, FPlusOneCheckpointVotesRaiseClusterStableHint) {
+  auto e = make_engine();
+  (void)e.on_checkpoint(checkpoint_msg(0, 8));
+  EXPECT_EQ(e.cluster_stable_hint(), 0u);  // one vote: not evidence yet
+  (void)e.on_checkpoint(checkpoint_msg(1, 8));
+  EXPECT_EQ(e.cluster_stable_hint(), 8u);  // f+1 = 2 distinct voters
+}
+
+TEST(PbftRecovery, SnapshotRequestIsDebouncedThenReissued) {
+  auto e = make_engine();
+  (void)e.on_checkpoint(checkpoint_msg(0, 8));
+  (void)e.on_checkpoint(checkpoint_msg(1, 8));
+  ASSERT_GT(e.cluster_stable_hint(), e.last_executed());
+
+  auto count_requests = [](const Actions& acts) {
+    int n = 0;
+    for (const auto& a : acts)
+      if (std::holds_alternative<protocol::RequestSnapshotAction>(a)) ++n;
+    return n;
+  };
+  int fired = 0;
+  int first_fire_poll = 0;
+  for (int poll = 1; poll <= 30; ++poll) {
+    int n = count_requests(e.maybe_request_catchup());
+    if (n > 0 && fired == 0) first_fire_poll = poll;
+    fired += n;
+  }
+  // Fires after the 3-poll debounce (a slow-but-healthy replica must not
+  // spam requests), then re-fires periodically while the gap persists.
+  EXPECT_EQ(first_fire_poll, 3);
+  EXPECT_GE(fired, 2);
+  EXPECT_EQ(e.metrics().snapshot_requests, static_cast<std::uint64_t>(fired));
+}
+
+TEST(PbftRecovery, InstallSnapshotFastForwardsAndStopsRequesting) {
+  auto e = make_engine();
+  (void)e.on_checkpoint(checkpoint_msg(0, 8));
+  (void)e.on_checkpoint(checkpoint_msg(1, 8));
+  (void)e.maybe_request_catchup();
+
+  (void)e.install_snapshot(8);
+  EXPECT_EQ(e.last_executed(), 8u);
+  EXPECT_EQ(e.metrics().snapshots_installed, 1u);
+  // The gap is closed: the catch-up poll goes back to normal batch catch-up.
+  auto acts = e.maybe_request_catchup();
+  for (const auto& a : acts)
+    EXPECT_FALSE(std::holds_alternative<protocol::RequestSnapshotAction>(a));
+
+  // Installing below what we already executed is a no-op.
+  (void)e.install_snapshot(5);
+  EXPECT_EQ(e.last_executed(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster crash-restart drills.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<workload::YcsbWorkload> small_workload() {
+  workload::YcsbConfig cfg;
+  cfg.record_count = 200;
+  cfg.ops_per_txn = 2;
+  cfg.value_bytes = 8;
+  return std::make_shared<workload::YcsbWorkload>(cfg);
+}
+
+struct DurableClusterFixture {
+  fs::path dir;
+  std::shared_ptr<workload::YcsbWorkload> wl = small_workload();
+
+  explicit DurableClusterFixture(const std::string& name) {
+    dir = fs::temp_directory_path() /
+          ("recovery_" + std::to_string(::getpid()) + "_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~DurableClusterFixture() { fs::remove_all(dir); }
+
+  ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.replicas = 4;
+    cfg.batch_size = 5;
+    cfg.durable = true;
+    cfg.data_dir = dir.string();
+    cfg.checkpoint_interval = 4;
+    cfg.catchup_poll_ns = 100'000'000;  // 100 ms: rejoin decisions are quick
+    cfg.execute = [wl = wl](const protocol::Transaction& t,
+                            storage::KvStore& s) { return wl->execute(t, s); };
+    return cfg;
+  }
+};
+
+std::vector<protocol::Transaction> make_burst(Client& client,
+                                              workload::YcsbWorkload& wl,
+                                              Rng& rng, int count) {
+  std::vector<protocol::Transaction> txns;
+  for (int i = 0; i < count; ++i) {
+    auto t = wl.make_transaction(rng, client.id(), 0);
+    txns.push_back(client.make_transaction(t.payload, t.ops));
+  }
+  return txns;
+}
+
+/// Drives `rounds` bursts of one batch each through a fresh client.
+void drive(LocalCluster& cluster, workload::YcsbWorkload& wl, ClientId id,
+           Rng& rng, int rounds) {
+  auto client = cluster.make_client(id);
+  for (int i = 0; i < rounds; ++i) {
+    auto res = client->submit_and_wait(make_burst(*client, wl, rng, 5));
+    ASSERT_TRUE(res.has_value()) << "burst " << i << " got no quorum";
+  }
+}
+
+void expect_chains_match(LocalCluster& cluster) {
+  auto acc0 = cluster.replica(0).chain().accumulator();
+  auto seq0 = cluster.replica(0).last_executed();
+  for (ReplicaId r = 1; r < cluster.size(); ++r) {
+    EXPECT_EQ(cluster.replica(r).chain().accumulator(), acc0)
+        << "replica " << r << " diverged";
+    EXPECT_EQ(cluster.replica(r).last_executed(), seq0);
+  }
+}
+
+TEST(Recovery, DurableClusterRestartFromCleanShutdown) {
+  DurableClusterFixture fx("clean_restart");
+  Rng rng(11);
+  SeqNum executed = 0;
+  Digest acc_before;
+  {
+    LocalCluster cluster(fx.config());
+    cluster.start();
+    drive(cluster, *fx.wl, 1, rng, 6);
+    executed = cluster.replica(0).last_executed();
+    ASSERT_TRUE(cluster.wait_for_execution(executed, std::chrono::seconds(10)));
+    cluster.stop();
+    acc_before = cluster.replica(0).chain().accumulator();
+  }
+  // A brand-new cluster over the same data dirs recovers the same history.
+  LocalCluster cluster2(fx.config());
+  for (ReplicaId r = 0; r < cluster2.size(); ++r) {
+    EXPECT_EQ(cluster2.replica(r).last_executed(), executed)
+        << "replica " << r << " lost durable batches";
+    EXPECT_EQ(cluster2.replica(r).chain().accumulator(), acc_before);
+    EXPECT_GT(cluster2.replica(r).stats().recovered_batches, 0u);
+  }
+  // And keeps making progress.
+  cluster2.start();
+  drive(cluster2, *fx.wl, 2, rng, 2);
+  ASSERT_TRUE(cluster2.wait_for_execution(executed + 2,
+                                          std::chrono::seconds(10)));
+  expect_chains_match(cluster2);
+  cluster2.stop();
+}
+
+TEST(Recovery, HardKilledReplicaRejoinsFromItsLog) {
+  DurableClusterFixture fx("kill_rejoin");
+  auto cfg = fx.config();
+  // Keep the whole run inside one checkpoint interval: no stable checkpoint
+  // fires while replica 3 is down, so peers retain the batches it missed and
+  // the rejoin exercises the plain batch catch-up path (no snapshots here).
+  cfg.checkpoint_interval = 16;
+  Rng rng(12);
+  LocalCluster cluster(cfg);
+  cluster.start();
+  drive(cluster, *fx.wl, 1, rng, 4);
+  ASSERT_TRUE(cluster.wait_for_execution(4, std::chrono::seconds(10)));
+
+  // Hard kill: replica 3's memory state is destroyed outright.
+  cluster.kill_replica(3);
+  ASSERT_FALSE(cluster.is_alive(3));
+
+  // The cluster keeps committing with 3 of 4 (f = 1).
+  drive(cluster, *fx.wl, 2, rng, 4);
+  ASSERT_TRUE(cluster.wait_for_execution(8, std::chrono::seconds(10), {3}));
+
+  // Reboot from disk: recover the durable prefix, then catch up the rest
+  // through the normal batch catch-up path.
+  cluster.restart_replica(3);
+  ASSERT_TRUE(cluster.is_alive(3));
+  EXPECT_GT(cluster.replica(3).stats().recovered_batches, 0u);
+
+  drive(cluster, *fx.wl, 3, rng, 2);
+  SeqNum target = cluster.replica(0).last_executed();
+  ASSERT_TRUE(cluster.wait_for_execution(target, std::chrono::seconds(20)))
+      << "restarted replica failed to rejoin";
+  cluster.stop();
+  expect_chains_match(cluster);
+}
+
+TEST(Recovery, ReplicaBelowRetentionWindowRejoinsViaSnapshot) {
+  DurableClusterFixture fx("snapshot_rejoin");
+  auto cfg = fx.config();
+  cfg.enable_snapshots = true;
+  Rng rng(13);
+  LocalCluster cluster(cfg);
+  cluster.start();
+  drive(cluster, *fx.wl, 1, rng, 2);
+  ASSERT_TRUE(cluster.wait_for_execution(2, std::chrono::seconds(10)));
+
+  cluster.kill_replica(3);
+
+  // Drive far past several checkpoint intervals (interval = 4): the live
+  // replicas prune the batches replica 3 is missing, so on restart its only
+  // road back is a vouched snapshot.
+  drive(cluster, *fx.wl, 2, rng, 14);
+  ASSERT_TRUE(cluster.wait_for_execution(16, std::chrono::seconds(20), {3}));
+
+  // Drive past the next checkpoint boundary (seq 20): the fresh round of
+  // checkpoint votes is how the rejoiner learns the cluster moved on without
+  // it — f+1 votes above its frontier trigger the snapshot request.
+  cluster.restart_replica(3);
+  drive(cluster, *fx.wl, 3, rng, 6);
+  SeqNum target = cluster.replica(0).last_executed();
+  ASSERT_TRUE(cluster.wait_for_execution(target, std::chrono::seconds(30)))
+      << "below-window replica failed to rejoin";
+
+  // The rejoin went through the snapshot door, and all chains agree.
+  EXPECT_GE(cluster.replica(3).stats().snapshots_installed, 1u);
+  cluster.stop();
+  expect_chains_match(cluster);
+  std::uint64_t served = 0;
+  for (ReplicaId r = 0; r < 3; ++r)
+    served += cluster.replica(r).stats().snapshots_served;
+  EXPECT_GE(served, 1u);
+}
+
+TEST(Recovery, LogCompactionBoundsTheLogAndSurvivesRestart) {
+  DurableClusterFixture fx("compaction");
+  Rng rng(14);
+  SeqNum executed = 0;
+  {
+    LocalCluster cluster(fx.config());
+    cluster.start();
+    drive(cluster, *fx.wl, 1, rng, 12);  // 12 batches, interval 4
+    executed = cluster.replica(0).last_executed();
+    ASSERT_TRUE(cluster.wait_for_execution(executed, std::chrono::seconds(10)));
+    // Give the execute threads an idle tick to process compaction requests.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    cluster.stop();
+    std::uint64_t compactions = 0;
+    for (ReplicaId r = 0; r < cluster.size(); ++r)
+      compactions += cluster.replica(r).stats().log_compactions;
+    EXPECT_GE(compactions, 1u) << "no replica ever compacted its log";
+  }
+  // Restart: anchors + tails reproduce the exact same chains.
+  LocalCluster cluster2(fx.config());
+  for (ReplicaId r = 1; r < cluster2.size(); ++r)
+    EXPECT_EQ(cluster2.replica(r).chain().accumulator(),
+              cluster2.replica(0).chain().accumulator());
+  EXPECT_EQ(cluster2.replica(0).last_executed(), executed);
+}
+
+TEST(Recovery, FsyncFailureFailsStopTheReplicaLog) {
+  storage::StorageFaultPlan plan;
+  plan.fail_sync_number = 1;
+  storage::FaultyEnv env(storage::Env::real(), plan);
+  auto dir = fs::temp_directory_path() /
+             ("rlog_failstop_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  ReplicaLogConfig lc;
+  lc.path = (dir / "consensus.log").string();
+  lc.env = &env;
+  ReplicaLog log(lc);
+  (void)log.recover();
+  LoggedBatch b;
+  b.seq = 1;
+  log.append_batch(b);
+  EXPECT_THROW(log.commit(), storage::StorageError);
+  EXPECT_TRUE(log.failed());
+  EXPECT_THROW(log.append_batch(b), storage::StorageError);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rdb::runtime

@@ -26,6 +26,7 @@ constexpr MsgType kAllTypes[] = {
     MsgType::kViewChange,    MsgType::kNewView,        MsgType::kOrderRequest,
     MsgType::kSpecResponse,  MsgType::kCommitCert,     MsgType::kLocalCommit,
     MsgType::kBatchRequest,  MsgType::kBatchResponse,
+    MsgType::kSnapshotRequest, MsgType::kSnapshotResponse,
 };
 
 ValidationContext ctx4() {
@@ -214,6 +215,42 @@ TEST(Validate, OversizedPrePreparePadding) {
   pp.payload_padding = Bytes(17, 0x22);
   Message m = wrap(Endpoint::replica(0), std::move(pp));
   EXPECT_EQ(verdict_of(m, ctx), RejectReason::kPayloadTooLarge);
+}
+
+TEST(Validate, SnapshotResponseLimitsBindBlobAndClaimedRawSize) {
+  ValidationLimits lim;
+  lim.max_snapshot_bytes = 64;
+  ValidationContext ctx = ctx4();
+  ctx.limits = &lim;
+
+  SnapshotResponse r;
+  r.seq = 12;
+  r.raw_bytes = 10;
+  r.blob = Bytes(10, 0x11);
+  EXPECT_EQ(verdict_of(wrap(Endpoint::replica(2), r), ctx),
+            RejectReason::kNone);
+
+  r.blob = Bytes(65, 0x11);
+  EXPECT_EQ(verdict_of(wrap(Endpoint::replica(2), r), ctx),
+            RejectReason::kPayloadTooLarge);
+
+  // The CLAIMED uncompressed size is the allocation the receiver makes
+  // before decompressing — a tiny blob must not get to promise a huge one.
+  r.blob = Bytes(10, 0x11);
+  r.raw_bytes = 65;
+  EXPECT_EQ(verdict_of(wrap(Endpoint::replica(2), r), ctx),
+            RejectReason::kPayloadTooLarge);
+}
+
+TEST(Validate, SnapshotMessagesRequireReplicaSender) {
+  SnapshotRequest q;
+  q.have = 1;
+  EXPECT_EQ(verdict_of(wrap(Endpoint::client(9), q), ctx4()),
+            RejectReason::kSenderKindMismatch);
+  SnapshotResponse r;
+  r.seq = 12;
+  EXPECT_EQ(verdict_of(wrap(Endpoint::client(9), r), ctx4()),
+            RejectReason::kSenderKindMismatch);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,18 +2,27 @@
 // injection (the operational counterpart of tests/chaos_test.cpp).
 //
 //   rdb_chaos [--scenario all|primary-crash|partition-heal|dup-reorder|
-//              zyzzyva-storm] [--seed N] [--replicas N] [--batch-size N]
-//             [--rounds N]
+//              zyzzyva-storm|crash-restart] [--seed N] [--replicas N]
+//             [--batch-size N] [--rounds N]
+//
+// (--drill is accepted as an alias for --scenario.)
 //
 // Each scenario spins up an in-process PBFT cluster wired through the
 // FaultyTransport chaos layer (or, for zyzzyva-storm, drives the Zyzzyva
 // engines directly), injects the scripted fault, and checks the recovery
 // invariant: client progress, >= 1 view change after a primary crash,
 // identical canonical chain digests across live replicas, exactly-once
-// execution under duplicate/reorder storms. Exit code 0 iff every selected
-// scenario holds. Seeded: the same --seed reproduces the same fault trace.
+// execution under duplicate/reorder storms. crash-restart runs the durable
+// path instead: a replica is hard-killed (its process state destroyed),
+// rebuilt from its on-disk consensus log, and rejoined via a checkpoint-
+// anchored snapshot once its peers have pruned the batches it missed. Exit
+// code 0 iff every selected scenario holds. Seeded: the same --seed
+// reproduces the same fault trace.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,9 +49,10 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: rdb_chaos [--scenario all|primary-crash|partition-heal"
-               "|dup-reorder|zyzzyva-storm]\n"
+               "|dup-reorder|zyzzyva-storm|crash-restart]\n"
                "                 [--seed N] [--replicas N] [--batch-size N] "
-               "[--rounds N]\n");
+               "[--rounds N]\n"
+               "       (--drill is an alias for --scenario)\n");
   return 2;
 }
 
@@ -250,6 +260,105 @@ bool drill_zyzzyva_storm(const Options& opt) {
   return ok;
 }
 
+bool drill_crash_restart(const Options& opt) {
+  std::printf(
+      "[crash-restart] hard kill -> disk recovery -> snapshot rejoin "
+      "(seed=%llu)\n",
+      static_cast<unsigned long long>(opt.seed));
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("rdb_crash_restart_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto wl = std::make_shared<workload::YcsbWorkload>(
+      workload::YcsbConfig{.record_count = 500, .ops_per_txn = 2});
+  runtime::ClusterConfig cfg;
+  cfg.replicas = opt.replicas;
+  cfg.batch_size = opt.batch_size;
+  cfg.durable = true;
+  cfg.data_dir = dir.string();
+  cfg.enable_snapshots = true;
+  cfg.checkpoint_interval = 4;
+  cfg.catchup_poll_ns = 100'000'000;
+  auto w = wl;
+  cfg.execute = [w](const protocol::Transaction& t, storage::KvStore& s) {
+    return w->execute(t, s);
+  };
+  auto cluster = std::make_unique<LocalCluster>(cfg);
+  cluster->start();
+  auto client = cluster->make_client(1);
+  Rng rng(opt.seed ^ 0xC4A5);
+  auto burst = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<protocol::Transaction> b;
+      for (std::uint32_t j = 0; j < opt.batch_size; ++j) {
+        auto t = wl->make_transaction(rng, 1, 0);
+        b.push_back(client->make_transaction(t.payload, t.ops));
+      }
+      if (!client->submit_and_wait(std::move(b)).has_value()) return false;
+    }
+    return true;
+  };
+  auto converged = [&](std::chrono::seconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    int stable = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      SeqNum lo = ~SeqNum{0}, hi = 0;
+      for (ReplicaId r = 0; r < opt.replicas; ++r) {
+        SeqNum e = cluster->replica(r).last_executed();
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      if (lo == hi && lo > 0) {
+        if (++stable >= 3) return true;
+      } else {
+        stable = 0;
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+    return false;
+  };
+
+  bool ok = check(burst(2), "warm-up bursts commit");
+  const ReplicaId victim = opt.replicas - 1;
+  cluster->kill_replica(victim);
+  ok &= check(!cluster->is_alive(victim),
+              "victim hard-killed (in-memory state destroyed)");
+
+  // Drive far past several checkpoint intervals: the survivors prune the
+  // batches the victim missed, so its only road back is a vouched snapshot.
+  ok &= check(burst(14), "bursts commit with the victim down (f = 1)");
+
+  cluster->restart_replica(victim);
+  ok &= check(cluster->replica(victim).stats().recovered_batches > 0,
+              "restart replayed the on-disk consensus log");
+
+  // Cross the next checkpoint boundary so a fresh round of checkpoint votes
+  // tells the rejoiner how far the cluster moved without it.
+  ok &= check(burst(6), "bursts commit after restart");
+  ok &= check(converged(30s), "cluster converges with the rejoined victim");
+  bool match = true;
+  auto acc = cluster->replica(0).chain().accumulator();
+  for (ReplicaId r = 1; r < opt.replicas; ++r)
+    match &= cluster->replica(r).chain().accumulator() == acc;
+  ok &= check(match, "identical canonical chain digest");
+  auto st = cluster->replica(victim).stats();
+  ok &= check(st.snapshots_installed >= 1,
+              "rejoin went through the snapshot door");
+  std::printf(
+      "  durable: recovered_batches=%llu snapshots_installed=%llu "
+      "log_commits=%llu\n",
+      static_cast<unsigned long long>(st.recovered_batches),
+      static_cast<unsigned long long>(st.snapshots_installed),
+      static_cast<unsigned long long>(st.log_commits));
+  cluster->stop();
+  cluster.reset();
+  fs::remove_all(dir);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,8 +371,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--scenario")) {
-      opt.scenario = need("--scenario");
+    if (!std::strcmp(argv[i], "--scenario") ||
+        !std::strcmp(argv[i], "--drill")) {
+      opt.scenario = need(argv[i]);
     } else if (!std::strcmp(argv[i], "--seed")) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
     } else if (!std::strcmp(argv[i], "--replicas")) {
@@ -293,6 +403,7 @@ int main(int argc, char** argv) {
   run("partition-heal", drill_partition_heal);
   run("dup-reorder", drill_dup_reorder);
   run("zyzzyva-storm", drill_zyzzyva_storm);
+  run("crash-restart", drill_crash_restart);
   if (!any) return usage();
 
   std::printf("%s\n", ok ? "ALL DRILLS PASSED" : "DRILL FAILURES");
