@@ -1,0 +1,83 @@
+# Configure-time proof that the determinism-lint gate has teeth.
+#
+# scripts/check_determinism.py walks the call graph from RDB_DETERMINISTIC
+# roots and rejects nondeterminism (clocks, RNG, env/locale, unordered-
+# container iteration, ...). Here two fixtures are pushed through it in
+# --fixture mode:
+#   tests/static/det_should_pass.cpp — clean det-zone; MUST exit 0.
+#   tests/static/det_should_fail.cpp — clock read one call BELOW the
+#                                      annotated root; MUST be rejected
+#                                      (proves the walk is transitive).
+# A wrong outcome in either direction is a FATAL_ERROR: it means the lint
+# silently stopped protecting the det-zone.
+#
+# The script needs only the python3 stdlib (libclang is optional — it falls
+# back to its textual engine). Without a python3 interpreter the probes are
+# skipped with a status message; the tree-wide lint then still runs through
+# tools/detlint's built-in fallback scanner and scripts/check_static.sh.
+#
+# Also registers ctest entries so `ctest -R determinism` re-proves the gate
+# (fixtures + the tree-wide walk) on every test run, not just at configure.
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(NOT Python3_Interpreter_FOUND)
+  message(STATUS
+          "Determinism probes skipped (no python3 interpreter found; "
+          "tools/detlint falls back to its built-in token scan)")
+  return()
+endif()
+
+set(_rdb_det_script ${CMAKE_CURRENT_SOURCE_DIR}/scripts/check_determinism.py)
+set(_rdb_det_allowlist
+    ${CMAKE_CURRENT_SOURCE_DIR}/scripts/determinism_allowlist.txt)
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${_rdb_det_script}
+          --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/det_should_pass.cpp
+          --allowlist ${_rdb_det_allowlist} -q
+  RESULT_VARIABLE _rdb_det_pass_rc
+  OUTPUT_VARIABLE _rdb_det_pass_log
+  ERROR_VARIABLE _rdb_det_pass_log)
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${_rdb_det_script}
+          --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/det_should_fail.cpp
+          --allowlist ${_rdb_det_allowlist} -q
+  RESULT_VARIABLE _rdb_det_fail_rc
+  OUTPUT_VARIABLE _rdb_det_fail_log
+  ERROR_VARIABLE _rdb_det_fail_log)
+
+if(NOT _rdb_det_pass_rc EQUAL 0)
+  message(FATAL_ERROR
+          "det_should_pass.cpp was rejected (exit ${_rdb_det_pass_rc}) — the "
+          "determinism lint flags CORRECT code:\n${_rdb_det_pass_log}")
+endif()
+if(_rdb_det_fail_rc EQUAL 0)
+  message(FATAL_ERROR
+          "det_should_fail.cpp PASSED — the determinism lint is not walking "
+          "the call graph below RDB_DETERMINISTIC roots; the static gate is "
+          "dead. Check scripts/check_determinism.py.")
+endif()
+if(_rdb_det_fail_rc EQUAL 2)
+  message(FATAL_ERROR
+          "determinism lint setup error on det_should_fail.cpp:"
+          "\n${_rdb_det_fail_log}")
+endif()
+message(STATUS
+        "Determinism probes OK: clean det-zone passes, hidden clock read "
+        "one call below a root is rejected")
+
+# ctest entries (the configure-time probes above already gate the build, but
+# registering them keeps `ctest` output honest about what was checked).
+add_test(NAME determinism_fixture_pass
+         COMMAND ${Python3_EXECUTABLE} ${_rdb_det_script}
+                 --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/det_should_pass.cpp
+                 --allowlist ${_rdb_det_allowlist})
+add_test(NAME determinism_fixture_fail
+         COMMAND ${Python3_EXECUTABLE} ${_rdb_det_script}
+                 --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/det_should_fail.cpp
+                 --allowlist ${_rdb_det_allowlist})
+set_tests_properties(determinism_fixture_fail PROPERTIES WILL_FAIL TRUE)
+add_test(NAME determinism_tree_walk
+         COMMAND ${Python3_EXECUTABLE} ${_rdb_det_script}
+                 --repo ${CMAKE_CURRENT_SOURCE_DIR})

@@ -1,0 +1,448 @@
+#!/usr/bin/env python3
+"""Determinism lint: walk the call graph from RDB_DETERMINISTIC roots and
+reject transitive reachability of the banned nondeterminism catalog.
+
+Replicas are state machines (see src/common/det.h): every honest replica must
+derive bit-identical state from the same ordered input. This gate proves the
+annotated det-zone — engine handlers, serde, ledger append, snapshot capture,
+the KvStore apply path — cannot reach:
+
+  * wall/steady/hi-res clocks        (steady_clock, system_clock, time(), ...)
+  * ambient RNG                      (rand, srand, std::random_device)
+  * environment / locale             (getenv, setlocale, std::locale)
+  * unordered-container iteration    (std::unordered_map/set range loops)
+  * pointer-keyed ordering           (std::map<T*, ...>, std::set<T*>)
+  * float formatting                 (%f/%g/%e, std::setprecision)
+
+Two engines, mirroring run_clang_analyze.py's graceful-skip pattern:
+
+  1. libclang AST engine — used when `import clang.cindex` succeeds AND a
+     compile_commands.json is given. Resolves calls through the AST, so
+     overloads and qualified names are exact.
+  2. textual engine — pure-python fallback (comment stripping, brace-matched
+     body extraction, name-keyed call graph). Always available; this is the
+     engine CI runs when no clang toolchain is installed, and the one the
+     CheckDeterminism.cmake fixtures prove has teeth.
+
+Allowlist: scripts/determinism_allowlist.txt. One function name per line,
+`name  reason...`. A listed function is a BARRIER: the walker neither reports
+banned tokens inside it nor descends into its callees — it must neutralize
+the nondeterminism it touches (sort, count, reduce) and say how, both in the
+allowlist line and at the definition site.
+
+Usage:
+  check_determinism.py --repo .                         # whole-tree walk
+  check_determinism.py --repo . --compile-commands build/compile_commands.json
+  check_determinism.py --fixture tests/static/det_should_fail.cpp
+
+Exit codes: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Banned catalog. Each entry: (key, regex over a preprocessed function body,
+# human explanation). String literals are reduced to __STR__ (or
+# __FLOATFMT__ when they contain a float format specifier) before matching,
+# so tokens inside log messages cannot false-positive.
+# --------------------------------------------------------------------------
+BANNED = [
+    ("clock", re.compile(
+        r"steady_clock|system_clock|high_resolution_clock"
+        r"|\bclock_gettime\b|\bgettimeofday\b|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "clock read: wall/steady time differs across replicas"),
+    ("rng", re.compile(
+        r"\brand\s*\(\s*\)|\bsrand\b|random_device|\bdrand48\b|\blrand48\b"),
+     "ambient RNG: nondeterministically-seeded randomness"),
+    ("env", re.compile(r"\bgetenv\b|\bsetlocale\b|std::locale\b"),
+     "environment/locale: host-dependent configuration"),
+    ("unordered", re.compile(r"\bunordered_map\b|\bunordered_set\b"),
+     "unordered container in a det-zone body: iteration order depends on "
+     "hash seeding and allocation history (keyed lookup belongs behind a "
+     "barrier or outside the zone)"),
+    ("ptr-key", re.compile(
+        r"\b(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*"),
+     "pointer-keyed ordered container: address order varies run to run"),
+    ("float-fmt", re.compile(r"__FLOATFMT__|\bsetprecision\b"),
+     "float formatting: locale/libc-dependent digit strings"),
+]
+
+ANNOT_ROOT = "RDB_DETERMINISTIC"
+ANNOT_BARRIER = "RDB_DET_BARRIER"
+
+# C++ keywords that look like calls in `name (` position.
+NOT_CALLS = frozenset(
+    """if for while switch return sizeof alignof decltype static_cast
+    dynamic_cast reinterpret_cast const_cast catch new delete throw assert
+    defined static_assert noexcept alignas typeid co_await co_yield
+    co_return define include pragma""".split())
+
+
+def fail(msg):
+    print("check_determinism: " + msg, file=sys.stderr)
+    sys.exit(2)
+
+
+# --------------------------------------------------------------------------
+# Source preprocessing (textual engine).
+# --------------------------------------------------------------------------
+_FLOAT_FMT = re.compile(r"%[-+ #0-9.*]*[fFeEgG]")
+
+
+def strip_source(text):
+    """Removes comments; reduces string/char literals to __STR__ (or
+    __FLOATFMT__ when they contain a printf float specifier). Preserves
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            seg = text[i:n if j < 0 else j + 2]
+            out.append("\n" * seg.count("\n"))
+            i = n if j < 0 else j + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            lit = text[i:j + 1]
+            out.append("__FLOATFMT__" if _FLOAT_FMT.search(lit) else "__STR__")
+            out.append("\n" * lit.count("\n"))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# A function definition: optional qualifiers, a (possibly Class::qualified)
+# name, an argument list, trailing qualifiers, then `{`.
+_DEF = re.compile(
+    r"(?:^|[;}{]\s*|\n)\s*"                     # a definition starts a stmt
+    r"(?:template\s*<[^;{}]*>\s*)?"             # template header
+    r"[\w:&*<>,~\[\]\s]*?"                      # return type soup (greedyless)
+    r"\b([A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)+|[A-Za-z_]\w*)"  # name
+    r"\s*\(([^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)"  # args (1 nested paren lvl)
+    r"\s*(?:const|noexcept|override|final|mutable|RDB_[A-Z_]+(?:\([^)]*\))?"
+    r"|->\s*[\w:<>&*\s]+|\s)*"                  # trailing qualifiers
+    r"\{", re.S)
+
+# The function NAME an annotation macro applies to: the last identifier
+# before the next `(` after the macro token.
+_ANNOT_NAME = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+# Declarations of unordered containers anywhere in the tree: the declared
+# NAME feeds range-iteration detection inside det-zone bodies (the body of
+# `for (auto& kv : map_)` contains no "unordered" token when the member is
+# declared in a header — member-aware matching closes that hole, which is
+# exactly the MemStore::for_each stripe-iteration bug class).
+_UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*"
+    r"([A-Za-z_]\w*)\s*(?:RDB_[A-Z_]+(?:\([^)]*\))?\s*)?[;={]")
+
+# Range-for target and .begin()/cbegin() receivers inside a body.
+_RANGE_FOR = re.compile(r"for\s*\([^;()]*?:\s*([\w.\->\[\]()\s]+?)\s*\)")
+_BEGIN_CALL = re.compile(r"([\w.\->\[\]]+)\s*\.\s*c?begin\s*\(")
+
+
+def last_component(expr):
+    expr = expr.strip().rstrip("()")
+    for sep in ("->", "."):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip("*& \t\n[]")
+
+
+def extract_functions(path, text):
+    """Yields (bare_name, qualified_name, body, line) for every function
+    definition found in preprocessed `text`."""
+    for m in _DEF.finditer(text):
+        name = re.sub(r"\s+", "", m.group(1))
+        bare = name.split("::")[-1].lstrip("~")
+        if bare in NOT_CALLS or not bare:
+            continue
+        # Brace-match the body.
+        start = m.end() - 1
+        depth = 0
+        i = start
+        n = len(text)
+        while i < n:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body = text[start:i + 1]
+        line = text.count("\n", 0, m.start(1)) + 1
+        yield bare, name, body, line
+
+
+def annotated_names(text, macro):
+    """Bare names of functions declared/defined with `macro` in `text`."""
+    names = set()
+    for m in re.finditer(r"\b%s\b" % macro, text):
+        tail = text[m.end():m.end() + 400]
+        # Skip other annotation macros stacked before the declaration.
+        tail = re.sub(r"\bRDB_[A-Z_]+\b", " ", tail)
+        last = None
+        for c in _ANNOT_NAME.finditer(tail):
+            last = c.group(1)
+            break  # first call-shaped token after the macro is the name
+        if last and last not in NOT_CALLS:
+            names.add(last)
+    return names
+
+
+# --------------------------------------------------------------------------
+# Textual engine.
+# --------------------------------------------------------------------------
+class TextualEngine:
+    def __init__(self, files, allow):
+        self.allow = allow
+        self.defs = {}      # bare name -> [(file, qualified, body, line)]
+        self.roots = set()
+        self.barriers = set()
+        self.unordered_names = set()
+        for path in files:
+            try:
+                raw = open(path, encoding="utf-8", errors="replace").read()
+            except OSError as e:
+                fail("cannot read %s: %s" % (path, e))
+            text = strip_source(raw)
+            self.roots |= annotated_names(text, ANNOT_ROOT)
+            self.barriers |= annotated_names(text, ANNOT_BARRIER)
+            for m in _UNORDERED_DECL.finditer(text):
+                self.unordered_names.add(m.group(1))
+            for bare, qual, body, line in extract_functions(path, text):
+                self.defs.setdefault(bare, []).append((path, qual, body, line))
+
+    def unordered_iterations(self, body):
+        """Yields (offset, expr) where `body` iterates a name declared as an
+        unordered container somewhere in the tree."""
+        for rx in (_RANGE_FOR, _BEGIN_CALL):
+            for m in rx.finditer(body):
+                if last_component(m.group(1)) in self.unordered_names:
+                    yield m.start(), m.group(1).strip()
+
+    def run(self):
+        findings = []
+        # Barriers must be allowlisted: an un-allowlisted barrier is a lint
+        # error, so nobody silences the walker without leaving a paper trail.
+        for b in sorted(self.barriers - self.allow):
+            findings.append(
+                ("<barrier>", b, "-", 0, "policy",
+                 "RDB_DET_BARRIER function %r is not in the allowlist "
+                 "(scripts/determinism_allowlist.txt)" % b))
+        seen = set()
+        queue = sorted(self.roots - self.allow)
+        chain = {r: r for r in queue}
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for path, qual, body, line in self.defs.get(name, ()):
+                for key, rx, why in BANNED:
+                    hit = rx.search(body)
+                    if hit:
+                        findings.append(
+                            (chain[name], qual, path,
+                             line + body.count("\n", 0, hit.start()),
+                             key, why))
+                for off, expr in self.unordered_iterations(body):
+                    findings.append(
+                        (chain[name], qual, path,
+                         line + body.count("\n", 0, off), "unordered-iter",
+                         "iterates %r, declared as an unordered container: "
+                         "visit order depends on hash seeding and rehash "
+                         "history" % expr))
+                for c in _CALL.finditer(body):
+                    callee = c.group(1)
+                    if (callee in NOT_CALLS or callee in self.allow
+                            or callee in self.barriers or callee in seen
+                            or callee not in self.defs):
+                        continue
+                    chain.setdefault(callee, chain[name] + " -> " + callee)
+                    queue.append(callee)
+        return findings, len(seen)
+
+
+# --------------------------------------------------------------------------
+# libclang engine (exact AST walk; used when importable).
+# --------------------------------------------------------------------------
+def try_libclang(compile_commands, allow):
+    try:
+        import clang.cindex as ci  # noqa: F401
+    except Exception:
+        return None
+
+    import json
+    try:
+        entries = json.load(open(compile_commands))
+    except OSError as e:
+        fail("cannot read %s: %s" % (compile_commands, e))
+
+    index = ci.Index.create()
+    roots, barriers, graph, bodies = set(), set(), {}, {}
+
+    def annots(cur):
+        return [c.spelling for c in cur.get_children()
+                if c.kind == ci.CursorKind.ANNOTATE_ATTR]
+
+    banned_callees = re.compile(
+        r"^(now|rand|srand|getenv|setlocale|clock_gettime|gettimeofday)$")
+
+    def visit(cur, fn):
+        for ch in cur.get_children():
+            if ch.kind == ci.CursorKind.CALL_EXPR and ch.referenced:
+                ref = ch.referenced
+                usr = ref.get_usr() or ref.spelling
+                graph.setdefault(fn, set()).add(usr)
+                if banned_callees.match(ref.spelling or ""):
+                    parent = ref.semantic_parent
+                    scope = parent.spelling if parent else ""
+                    if ref.spelling == "now" and "clock" not in scope:
+                        pass
+                    else:
+                        bodies.setdefault(fn, []).append(
+                            ("call", ref.spelling,
+                             ch.location.file.name if ch.location.file
+                             else "?", ch.location.line))
+            if ch.kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                t = ""
+                for gs in ch.get_children():
+                    t = gs.type.spelling or t
+                    break
+                if "unordered_" in t:
+                    bodies.setdefault(fn, []).append(
+                        ("unordered-range", t,
+                         ch.location.file.name if ch.location.file else "?",
+                         ch.location.line))
+            visit(ch, fn)
+
+    for e in entries:
+        src = os.path.join(e.get("directory", "."), e["file"])
+        if "/src/" not in src.replace("\\", "/"):
+            continue
+        args = [a for a in e.get("command", "").split()[1:]
+                if a.startswith(("-I", "-D", "-std"))]
+        try:
+            tu = index.parse(src, args=args)
+        except Exception:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind in (ci.CursorKind.FUNCTION_DECL,
+                            ci.CursorKind.CXX_METHOD) and cur.is_definition():
+                usr = cur.get_usr() or cur.spelling
+                tags = annots(cur)
+                if "rdb::deterministic" in tags:
+                    roots.add(usr)
+                if "rdb::det_barrier" in tags:
+                    barriers.add(usr)
+                visit(cur, usr)
+
+    findings = []
+    seen = set()
+    queue = [r for r in roots if r.split("#")[0].split("@")[-1] not in allow]
+    while queue:
+        fn = queue.pop()
+        if fn in seen or fn in barriers:
+            continue
+        seen.add(fn)
+        for kind, what, f, line in bodies.get(fn, ()):
+            findings.append((fn, fn, f, line, kind, what))
+        queue.extend(graph.get(fn, ()))
+    return findings, len(seen)
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+def load_allowlist(path):
+    allow = set()
+    if not os.path.exists(path):
+        return allow
+    for ln in open(path, encoding="utf-8"):
+        ln = ln.split("#", 1)[0].strip()
+        if ln:
+            allow.add(ln.split()[0])
+    return allow
+
+
+def gather_sources(repo):
+    files = []
+    for sub in ("src",):
+        for dirpath, _dirs, names in os.walk(os.path.join(repo, sub)):
+            for n in sorted(names):
+                if n.endswith((".h", ".cpp", ".cc", ".hpp")):
+                    files.append(os.path.join(dirpath, n))
+    return files
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: this script's parent)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the libclang engine")
+    ap.add_argument("--fixture", default=None,
+                    help="lint one standalone file (CheckDeterminism.cmake "
+                         "should-pass/should-fail probes)")
+    ap.add_argument("--allowlist", default=None)
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args()
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    allow_path = args.allowlist or os.path.join(
+        repo, "scripts", "determinism_allowlist.txt")
+    allow = load_allowlist(allow_path)
+
+    if args.fixture:
+        files = [args.fixture]
+        engine = TextualEngine(files, allow)
+        findings, walked = engine.run()
+    else:
+        findings = None
+        if args.compile_commands and os.path.exists(args.compile_commands):
+            r = try_libclang(args.compile_commands, allow)
+            if r is not None:
+                findings, walked = r
+                if not args.quiet:
+                    print("engine: libclang (exact AST walk)")
+        if findings is None:
+            if args.compile_commands and not args.quiet:
+                print("libclang unavailable — falling back to the textual "
+                      "engine (same gate, name-keyed call graph)")
+            engine = TextualEngine(gather_sources(repo), allow)
+            findings, walked = engine.run()
+
+    if findings:
+        print("determinism lint: %d finding(s)" % len(findings))
+        for root, qual, path, line, key, why in findings:
+            print("  [%s] %s:%s\n    reached via: %s\n    function: %s\n"
+                  "    %s" % (key, path, line, root, qual, why))
+        print("\nFix the nondeterminism, move the code out of the det-zone, "
+              "or add a justified barrier to %s" % allow_path)
+        return 1
+    if not args.quiet:
+        print("determinism lint: clean (%d functions walked from the "
+              "det-zone roots, %d allowlist entries)" % (walked, len(allow)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

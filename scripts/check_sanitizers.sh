@@ -61,6 +61,16 @@ for san in "${SANITIZERS[@]}"; do
     echo "FAIL: crash-restart drill under $san" >&2
     status=1
   fi
+
+  # Determinism drill: a dup/reorder storm while asserting byte-identical
+  # execution fingerprints (exec_acc) across replicas and a silent
+  # divergence tripwire — nondeterministic execution that only shows up
+  # under sanitizer-altered timing is exactly what this catches.
+  echo "=== [$san] rdb_chaos --drill dup-reorder (exec fingerprints) ==="
+  if ! "$dir/tools/rdb_chaos" --drill dup-reorder --seed 42; then
+    echo "FAIL: dup-reorder fingerprint drill under $san" >&2
+    status=1
+  fi
 done
 
 if [ "$status" -eq 0 ]; then

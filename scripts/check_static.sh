@@ -3,7 +3,7 @@
 #
 #   scripts/check_static.sh
 #
-# Six stages, strongest-available-tool first:
+# Eight stages, strongest-available-tool first:
 #
 #   1. sync-primitive grep gate   — no naked std:: synchronization outside
 #                                   src/common/sync.h. Pure grep: enforced
@@ -15,29 +15,39 @@
 #                                   escape hatches confined to validate.cpp
 #                                   (and tests), reinterpret_cast confined to
 #                                   a reviewed per-file whitelist.
-#   3. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
+#   3. determinism grep gate      — src/protocol/ and src/ledger/ ARE the
+#                                   replicated state machine: no unordered
+#                                   containers, no clocks, no rand there at
+#                                   all (docs/static_analysis.md §7).
+#   4. determinism call-graph lint— scripts/check_determinism.py walks the
+#                                   call graph from RDB_DETERMINISTIC roots
+#                                   and rejects the banned catalog (clocks,
+#                                   RNG, env/locale, unordered iteration).
+#                                   Needs python3 only; libclang sharpens it
+#                                   when available.
+#   5. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
 #                                   -Wnon-virtual-dtor with -Werror, into a
 #                                   throwaway build dir (build-static).
-#   4. Thread Safety Analysis     — clang only. The same build dir compiles
+#   6. Thread Safety Analysis     — clang only. The same build dir compiles
 #                                   with -Wthread-safety -Werror=thread-safety
 #                                   (CMakeLists.txt turns it on when the
 #                                   compiler is clang), and the CMake
 #                                   try_compile probes prove the gate has
 #                                   teeth (cmake/CheckThreadSafety.cmake).
-#   5. clang static analyzer      — clang only. `clang++ --analyze` over
+#   7. clang static analyzer      — clang only. `clang++ --analyze` over
 #                                   every src/ + tools/ translation unit
 #                                   using the flags recorded in
 #                                   compile_commands.json; any analyzer
 #                                   diagnostic fails the gate.
-#   6. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
+#   8. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
 #                                   check set over src/ + tools/ against the
-#                                   compile_commands.json exported in step 3.
+#                                   compile_commands.json exported in step 5.
 #
-# Stages 4-6 skip with a notice when clang / clang-tidy are not installed
-# (the default container ships only GCC); the grep gates and strict build
-# still run, so the script is useful on every machine and authoritative in
-# the CI static-analysis job where clang is present.
-# With --grep-only, stages 1-2 run and the script exits — the cheap,
+# Stages 6-8 skip with a notice when clang / clang-tidy are not installed
+# (the default container ships only GCC); the grep gates, determinism lint,
+# and strict build still run, so the script is useful on every machine and
+# authoritative in the CI static-analysis job where clang is present.
+# With --grep-only, stages 1-4 run and the script exits — the cheap,
 # compiler-independent gates for a fast CI step or a pre-commit hook.
 set -euo pipefail
 
@@ -53,7 +63,7 @@ status=0
 # wraps. Everything else must use rdb::Mutex / rdb::CondVar / MutexLock /
 # ReaderLock / WriterLock so the TSA annotations and the lock-rank detector
 # see every acquisition.
-echo "=== [1/6] sync-primitive grep gate ==="
+echo "=== [1/8] sync-primitive grep gate ==="
 pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
 if offenders=$(grep -RnE "$pattern" src tools \
                  --include='*.h' --include='*.cpp' \
@@ -72,7 +82,7 @@ fi
 # (mint Validated<Message> after the full check catalog). Tests sit inside
 # the boundary (they construct adversarial inputs on purpose); everything
 # else — src/, tools/, bench/ — must go through protocol::validate_wire.
-echo "=== [2/6] input-taint grep gate ==="
+echo "=== [2/8] input-taint grep gate ==="
 taint_status=0
 
 # 2a. Message::parse is callable only from the validation module itself
@@ -123,6 +133,45 @@ else
   echo "OK: input-taint discipline holds"
 fi
 
+# --- 3. determinism grep gate ------------------------------------------------
+# src/protocol/ and src/ledger/ hold the replicated state machine: every
+# replica must compute bit-identical results from the same ordered input.
+# The blunt bans (no unordered containers, no clocks, no rand — at all, not
+# just "not reachable from a root") are enforced here by grep so they hold
+# even without python3/clang; the call-graph lint in stage 4 covers the rest
+# of the det-zone with allowlisted barriers.
+echo "=== [3/8] determinism grep gate (src/protocol, src/ledger) ==="
+det_pattern='std::unordered_|steady_clock|system_clock|high_resolution_clock|\brand\s*\(|\bsrand\s*\(|random_device|\bgetenv\b|\bsetlocale\b'
+if offenders=$(grep -RnE "$det_pattern" src/protocol src/ledger \
+                 --include='*.h' --include='*.cpp' \
+               | grep -vE '^\s*[^:]+:[0-9]+:\s*(//|\*)'); then
+  echo "FAIL: nondeterminism sources inside the replicated state machine:"
+  echo "$offenders"
+  echo "src/protocol/ and src/ledger/ may not touch unordered containers,"
+  echo "clocks, RNG, env, or locale. Move the nondeterminism to the fabric"
+  echo "(src/runtime/) or behind an allowlisted RDB_DET_BARRIER."
+  status=1
+else
+  echo "OK: protocol/ledger free of unordered containers, clocks, and RNG"
+fi
+
+# --- 4. determinism call-graph lint ------------------------------------------
+# Walks transitively from every RDB_DETERMINISTIC root (engine handlers,
+# ledger append, serde, snapshot capture, KvStore apply path) and rejects
+# the banned catalog. scripts/determinism_allowlist.txt is the single
+# documented escape hatch. tools/detlint wraps the same script for CMake/CI.
+echo "=== [4/8] determinism call-graph lint ==="
+if command -v python3 >/dev/null 2>&1; then
+  if python3 scripts/check_determinism.py --repo .; then
+    echo "OK: det-zone call graph clean"
+  else
+    echo "FAIL: determinism lint reported findings (see above)"
+    status=1
+  fi
+else
+  echo "SKIP: python3 not installed; tools/detlint falls back to a token scan"
+fi
+
 if [ "$grep_only" -eq 1 ]; then
   if [ "$status" -ne 0 ]; then
     echo "check_static.sh: grep gates FAILED"
@@ -133,13 +182,13 @@ if [ "$grep_only" -eq 1 ]; then
 fi
 
 # --- 3. strict warning build -----------------------------------------------
-echo "=== [3/6] strict warning build (-Werror) -> build-static ==="
+echo "=== [5/8] strict warning build (-Werror) -> build-static ==="
 cmake -B build-static -S . -DCMAKE_CXX_FLAGS=-Werror >/dev/null
 cmake --build build-static -j"$(nproc)"
 echo "OK: zero-warning build"
 
 # --- 4. Thread Safety Analysis (clang) -------------------------------------
-echo "=== [4/6] Clang Thread Safety Analysis ==="
+echo "=== [6/8] Clang Thread Safety Analysis ==="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
@@ -150,7 +199,7 @@ else
 fi
 
 # --- 5. clang static analyzer ----------------------------------------------
-echo "=== [5/6] clang static analyzer (--analyze) ==="
+echo "=== [7/8] clang static analyzer (--analyze) ==="
 if command -v clang++ >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1; then
   # Re-drive every TU through the path-sensitive analyzer using the include
   # dirs/defines recorded in compile_commands.json (exported in step 3).
@@ -166,7 +215,7 @@ else
 fi
 
 # --- 6. clang-tidy ----------------------------------------------------------
-echo "=== [6/6] clang-tidy ==="
+echo "=== [8/8] clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by CMakeLists.txt
   # (CMAKE_EXPORT_COMPILE_COMMANDS ON) into build-static in step 3.

@@ -1,0 +1,61 @@
+// Deterministic-execution annotations (the repo's third compile-time
+// discipline, after TSA locks in sync.h and wire taint in taint.h).
+//
+// Replicas are state machines: safety rests on every honest replica deriving
+// BIT-IDENTICAL state from the same ordered input. Hidden nondeterminism —
+// unordered-container iteration order, clock reads, ambient RNG, locale —
+// silently forks histories in ways no protocol-level test catches until two
+// replicas disagree about a digest in production.
+//
+// RDB_DETERMINISTIC marks a function as a *det-zone root*: everything
+// transitively reachable from it must avoid the banned catalog
+// (scripts/check_determinism.py walks the call graph and enforces this):
+//
+//   - wall/steady/hi-res clocks (`std::chrono::*_clock`, clock_gettime,
+//     gettimeofday, time())
+//   - `rand`/`srand`, `std::random_device`, any nondeterministically-seeded
+//     RNG
+//   - `getenv`, `setlocale`, `std::locale`
+//   - range-iteration of `std::unordered_map` / `std::unordered_set`
+//     (bucket order depends on hash seeding and allocation history)
+//   - pointer-keyed ordered containers (`std::map<T*, ...>`,
+//     `std::set<T*>` — address order varies run to run)
+//   - float formatting (`%f`/`%g`/`%e`, `std::setprecision` — locale- and
+//     libc-dependent digit strings)
+//
+// RDB_DET_BARRIER marks a function that *neutralizes* a nondeterministic
+// source before any caller can observe it (e.g. KvStore::for_each_sorted
+// collects unordered iteration into a vector and sorts it). The lint stops
+// walking at barriers; every barrier must also be listed — with an in-file
+// justification — in scripts/determinism_allowlist.txt.
+//
+// The annotated roots (the det-zone map, see docs/static_analysis.md §7):
+//   - engine handlers in protocol/{pbft,poe,zyzzyva}.h — everything between
+//     "message in" and "Actions out" must replay identically
+//   - message serialization / signing bytes (protocol/messages.h) and the
+//     serde primitives they use
+//   - ledger append + accumulator (ledger/blockchain.h)
+//   - snapshot capture (runtime/replica.h) and the canonical KV image
+//   - the KvStore apply path (workload execute functions)
+//
+// Like the TSA macros, the attribute is carried by clang's `annotate` and
+// compiles to nothing elsewhere, so GCC builds are unaffected; the textual
+// engine of check_determinism.py still sees the token and enforces the walk
+// on every toolchain.
+#pragma once
+
+#if defined(__clang__)
+#define RDB_DET_ATTRIBUTE(x) [[clang::annotate(x)]]
+#else
+#define RDB_DET_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Det-zone root: this function and everything it transitively calls must be
+/// free of the banned nondeterminism catalog above.
+#define RDB_DETERMINISTIC RDB_DET_ATTRIBUTE("rdb::deterministic")
+
+/// Determinism barrier: this function internally touches a nondeterministic
+/// source but provably neutralizes it (sorting, counting, reduction with a
+/// commutative monoid) before returning. Must appear in
+/// scripts/determinism_allowlist.txt with a justification.
+#define RDB_DET_BARRIER RDB_DET_ATTRIBUTE("rdb::det_barrier")

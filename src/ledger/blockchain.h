@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/det.h"
 #include "ledger/block.h"
 
 namespace rdb::ledger {
@@ -29,7 +30,9 @@ class Blockchain {
 
   /// Appends `block`; rejects (returns false) if block.seq is not exactly
   /// last_seq + 1 or the verifier (when set) rejects the certificate.
-  bool append(Block block);
+  /// Det-zone root: the accumulator it extends must be byte-identical on
+  /// every replica that executed the same prefix.
+  RDB_DETERMINISTIC bool append(Block block);
 
   void set_verifier(CertificateVerifier verifier) {
     verifier_ = std::move(verifier);

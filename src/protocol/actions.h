@@ -68,10 +68,24 @@ struct RequestSnapshotAction {
   SeqNum have{0};
 };
 
+/// Cross-replica execution-divergence tripwire: f+1 distinct replicas voted
+/// a checkpoint whose chain accumulator MATCHES ours but whose execution
+/// fingerprint does not — at least one honest replica executed the same
+/// ordered input and got different effects, so OUR execution is presumed
+/// nondeterministic (or corrupted). The fabric must treat this as a named
+/// fail-stop: dump forensics and halt execution rather than let a silently
+/// forked state machine keep voting.
+struct ExecDivergenceAction {
+  SeqNum seq{0};
+  Digest local_exec{};   // our fingerprint for the interval ending at seq
+  Digest quorum_exec{};  // the fingerprint f+1 peers agree on instead
+  std::uint32_t voters{0};
+};
+
 using Action =
     std::variant<SendAction, BroadcastAction, ExecuteAction, SetTimerAction,
                  CancelTimerAction, StableCheckpointAction, ViewChangedAction,
-                 RequestSnapshotAction>;
+                 RequestSnapshotAction, ExecDivergenceAction>;
 
 using Actions = std::vector<Action>;
 

@@ -151,6 +151,7 @@ ClientResponse ClientResponse::deserialize(Reader& r) {
 void Checkpoint::serialize(Writer& w) const {
   w.u64(seq);
   w.digest(state_digest);
+  w.digest(exec_digest);
   w.u64(block_bytes);
 }
 
@@ -158,6 +159,7 @@ Checkpoint Checkpoint::deserialize(Reader& r) {
   Checkpoint c;
   c.seq = r.u64();
   c.state_digest = r.digest();
+  c.exec_digest = r.digest();
   c.block_bytes = r.u64();
   return c;
 }

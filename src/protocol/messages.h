@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/det.h"
 #include "common/serde.h"
 #include "common/types.h"
 #include "common/untrusted.h"
@@ -125,14 +126,24 @@ struct ClientResponse {
 /// certify a common prefix. (The paper sends the blocks themselves; the
 /// accumulator commits to exactly the same data at constant size — block
 /// transfer for lagging replicas is a state-transfer concern.)
+///
+/// `exec_digest` is the execution fingerprint of the interval ending at
+/// `seq`: the fold of every executed batch's (seq, batch digest, txn result
+/// codes, state-delta digest) since the previous checkpoint boundary. Two
+/// replicas can agree on the chain accumulator (it commits to the ORDERED
+/// INPUT) while silently diverging in what execution DID to the state —
+/// e.g. an unordered-iteration bug that reorders applies. The fingerprint is
+/// the cross-replica tripwire for exactly that class of bug; a zero digest
+/// means the fabric does not compute fingerprints (the tripwire is off).
 struct Checkpoint {
   SeqNum seq{0};
   Digest state_digest{};
+  Digest exec_digest{};
   std::uint64_t block_bytes{0};  // modelled size of shipped blocks
 
   void serialize(Writer& w) const;
   static Checkpoint deserialize(Reader& r);
-  std::size_t wire_size() const { return 48 + block_bytes; }
+  std::size_t wire_size() const { return 80 + block_bytes; }
 };
 
 /// A prepared certificate: proof that a batch prepared in some view. Carried
@@ -302,9 +313,11 @@ struct Message {
   std::size_t wire_size() const;
 
   /// Canonical byte string that is signed/verified (excludes the signature).
-  Bytes signing_bytes() const;
+  /// Det-zone root: every replica must derive the identical byte string for
+  /// the same message, or signatures/digests fork across the cluster.
+  RDB_DETERMINISTIC Bytes signing_bytes() const;
 
-  Bytes serialize() const;
+  RDB_DETERMINISTIC Bytes serialize() const;
   /// Parses an envelope off the wire. The result is TAINTED: wire bytes are
   /// attacker-controlled, so the payload comes back sealed inside
   /// Untrusted<Message> and is only usable after passing a validator

@@ -220,7 +220,8 @@ void PbftEngine::drain_executable(Actions& out) {
   }
 }
 
-Actions PbftEngine::on_executed(SeqNum seq, const Digest& state_digest) {
+Actions PbftEngine::on_executed(SeqNum seq, const Digest& state_digest,
+                                const Digest& exec_digest) {
   Actions out;
   if (config_.checkpoint_interval == 0 ||
       seq % config_.checkpoint_interval != 0)
@@ -229,7 +230,9 @@ Actions PbftEngine::on_executed(SeqNum seq, const Digest& state_digest) {
   Checkpoint cp;
   cp.seq = seq;
   cp.state_digest = state_digest;
+  cp.exec_digest = exec_digest;
   checkpoint_votes_[seq][state_digest].insert(config_.self);
+  own_exec_[seq] = {state_digest, exec_digest};
   out.push_back(BroadcastAction{own(cp)});
   return out;
 }
@@ -245,6 +248,29 @@ Actions PbftEngine::on_checkpoint(const Message& msg) {
   if (msg.from.kind != Endpoint::Kind::kReplica || cp.seq <= stable_seq_) {
     return out;  // stale, not an error
   }
+
+  // Execution-fingerprint tripwire: a vote whose chain accumulator MATCHES
+  // ours but whose fingerprint does not is evidence that the same ordered
+  // input produced different execution effects somewhere. One such vote can
+  // be a byzantine lie; f+1 distinct replicas agreeing on a fingerprint
+  // different from ours include at least one honest replica — then WE are
+  // the diverged one and must fail-stop. Zero digests disarm the check
+  // (fabrics that don't compute fingerprints, e.g. the simulator).
+  if (auto own = own_exec_.find(cp.seq);
+      own != own_exec_.end() && !own->second.second.is_zero() &&
+      !cp.exec_digest.is_zero() && cp.state_digest == own->second.first &&
+      !(cp.exec_digest == own->second.second)) {
+    auto& mism = exec_mismatch_[cp.seq][cp.exec_digest];
+    mism.insert(msg.from.id);
+    if (mism.size() >= f() + 1 && !exec_divergence_fired_.count(cp.seq)) {
+      exec_divergence_fired_.insert(cp.seq);
+      ++metrics_.exec_divergences;
+      out.push_back(ExecDivergenceAction{
+          cp.seq, own->second.second, cp.exec_digest,
+          static_cast<std::uint32_t>(mism.size())});
+    }
+  }
+
   auto& voters = checkpoint_votes_[cp.seq][cp.state_digest];
   voters.insert(msg.from.id);
   // f+1 votes: at least one honest replica executed cp.seq, so the cluster's
@@ -259,6 +285,11 @@ Actions PbftEngine::on_checkpoint(const Message& msg) {
   ++metrics_.stable_checkpoints;
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.upper_bound(cp.seq));
+  own_exec_.erase(own_exec_.begin(), own_exec_.upper_bound(cp.seq));
+  exec_mismatch_.erase(exec_mismatch_.begin(),
+                       exec_mismatch_.upper_bound(cp.seq));
+  exec_divergence_fired_.erase(exec_divergence_fired_.begin(),
+                               exec_divergence_fired_.upper_bound(cp.seq));
   for (auto it = slots_.begin();
        it != slots_.end() && it->first <= stable_seq_;) {
     if (it->second.executed) {
@@ -439,6 +470,11 @@ Actions PbftEngine::install_snapshot(SeqNum seq) {
   slots_.erase(slots_.begin(), slots_.upper_bound(seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.upper_bound(seq));
+  own_exec_.erase(own_exec_.begin(), own_exec_.upper_bound(seq));
+  exec_mismatch_.erase(exec_mismatch_.begin(),
+                       exec_mismatch_.upper_bound(seq));
+  exec_divergence_fired_.erase(exec_divergence_fired_.begin(),
+                               exec_divergence_fired_.upper_bound(seq));
   catchup_votes_.erase(catchup_votes_.begin(),
                        catchup_votes_.upper_bound(seq));
   catchup_requested_upto_ = 0;

@@ -22,6 +22,7 @@
 #include <map>
 #include <set>
 
+#include "common/det.h"
 #include "protocol/actions.h"
 #include "protocol/messages.h"
 
@@ -47,6 +48,8 @@ struct PbftMetrics {
   std::uint64_t catchup_batches_adopted{0};
   std::uint64_t snapshot_requests{0};
   std::uint64_t snapshots_installed{0};
+  /// Execution-fingerprint tripwires fired (see ExecDivergenceAction).
+  std::uint64_t exec_divergences{0};
 };
 
 class PbftEngine {
@@ -65,19 +68,22 @@ class PbftEngine {
   /// (sequence numbers are assigned upstream by the input thread). Returns
   /// the broadcast plus a self-delivery so the primary's own worker thread
   /// records the proposal.
+  RDB_DETERMINISTIC
   Actions make_preprepare(SeqNum seq, std::vector<Transaction> txns,
                           std::uint64_t txn_begin, const Digest& batch_digest,
                           Bytes payload_padding = {});
 
   // --- worker-thread message processing ---
-  Actions on_preprepare(const Message& msg);
-  Actions on_prepare(const Message& msg);
-  Actions on_commit(const Message& msg);
-  Actions on_view_change(const Message& msg);
-  Actions on_new_view(const Message& msg);
+  // Det-zone roots: everything between "message in" and "Actions out" must
+  // replay identically on every replica (scripts/check_determinism.py).
+  RDB_DETERMINISTIC Actions on_preprepare(const Message& msg);
+  RDB_DETERMINISTIC Actions on_prepare(const Message& msg);
+  RDB_DETERMINISTIC Actions on_commit(const Message& msg);
+  RDB_DETERMINISTIC Actions on_view_change(const Message& msg);
+  RDB_DETERMINISTIC Actions on_new_view(const Message& msg);
 
   // --- checkpoint-thread processing ---
-  Actions on_checkpoint(const Message& msg);
+  RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
 
   /// The fabric reports the signature it attached to this replica's own
   /// Commit for `seq`, completing the 2f+1-signature block certificate.
@@ -85,8 +91,13 @@ class PbftEngine {
 
   // --- execute-thread notification ---
   /// Called after the fabric finished executing batch `seq`;
-  /// `state_digest` is the chain accumulator after appending its block.
-  Actions on_executed(SeqNum seq, const Digest& state_digest);
+  /// `state_digest` is the chain accumulator after appending its block and
+  /// `exec_digest` the execution fingerprint of the interval ending at `seq`
+  /// (zero when the fabric does not compute fingerprints — the divergence
+  /// tripwire disarms itself then, so simulator fabrics need no changes).
+  RDB_DETERMINISTIC
+  Actions on_executed(SeqNum seq, const Digest& state_digest,
+                      const Digest& exec_digest = Digest{});
 
   // --- timers ---
   /// Timer ids are sequence numbers of pending batches.
@@ -102,13 +113,13 @@ class PbftEngine {
   /// Periodic poll by the fabric: if this replica can prove the cluster
   /// committed sequences it cannot execute (a committed slot or stable
   /// checkpoint above a gap), ask peers for the missing batches.
-  Actions maybe_request_catchup();
+  RDB_DETERMINISTIC Actions maybe_request_catchup();
   /// Peer side: answer with the executed batches still retained.
-  Actions on_batch_request(const Message& msg);
+  RDB_DETERMINISTIC Actions on_batch_request(const Message& msg);
   /// Lagging side: adopt a batch if its digest matches our own commit-quorum
   /// evidence, or once f+1 distinct peers vouch for the same (seq, digest).
   /// The fabric MUST have validated digest(txns) == entry.digest first.
-  Actions on_batch_response(const Message& msg);
+  RDB_DETERMINISTIC Actions on_batch_response(const Message& msg);
 
   // --- snapshot state transfer (rejoin below the retention window) ---
   /// Crash recovery: seed the engine from durable state BEFORE any message
@@ -174,6 +185,16 @@ class PbftEngine {
 
   // checkpoint voting: seq -> digest -> voters
   std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> checkpoint_votes_;
+
+  // Execution-fingerprint tripwire (stability itself stays keyed on the
+  // state digest: a byzantine minority must not be able to block stability
+  // by lying about fingerprints).
+  // Our own (state digest, exec fingerprint) per checkpoint boundary...
+  std::map<SeqNum, std::pair<Digest, Digest>> own_exec_;
+  // ...and, per boundary, the peers that matched our state digest but voted
+  // a DIFFERENT fingerprint, grouped by the fingerprint they voted.
+  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> exec_mismatch_;
+  std::set<SeqNum> exec_divergence_fired_;
 
   // view-change voting: new_view -> sender -> message
   std::map<ViewId, std::map<ReplicaId, ViewChange>> view_change_votes_;

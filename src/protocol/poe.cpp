@@ -147,7 +147,8 @@ void PoeEngine::drain_executable(Actions& out) {
   }
 }
 
-Actions PoeEngine::on_executed(SeqNum seq, const Digest& state_digest) {
+Actions PoeEngine::on_executed(SeqNum seq, const Digest& state_digest,
+                               const Digest& exec_digest) {
   Actions out;
   if (config_.checkpoint_interval == 0 ||
       seq % config_.checkpoint_interval != 0)
@@ -155,6 +156,7 @@ Actions PoeEngine::on_executed(SeqNum seq, const Digest& state_digest) {
   Checkpoint cp;
   cp.seq = seq;
   cp.state_digest = state_digest;
+  cp.exec_digest = exec_digest;
   checkpoint_votes_[seq][state_digest].insert(config_.self);
   out.push_back(BroadcastAction{own(cp)});
   return out;

@@ -23,6 +23,7 @@
 #include <map>
 #include <set>
 
+#include "common/det.h"
 #include "protocol/actions.h"
 #include "protocol/messages.h"
 
@@ -57,12 +58,16 @@ class PoeEngine {
                        std::uint64_t txn_begin, const Digest& batch_digest);
 
   /// Backup: record the propose, broadcast a Support.
-  Actions on_propose(const Message& msg);
+  RDB_DETERMINISTIC Actions on_propose(const Message& msg);
   /// Any replica: count supports; 2f+1 releases speculative execution.
-  Actions on_support(const Message& msg);
+  RDB_DETERMINISTIC Actions on_support(const Message& msg);
 
-  Actions on_executed(SeqNum seq, const Digest& state_digest);
-  Actions on_checkpoint(const Message& msg);
+  /// `exec_digest` rides on the checkpoint vote (zero = fabric computes no
+  /// execution fingerprints; see protocol/messages.h).
+  RDB_DETERMINISTIC
+  Actions on_executed(SeqNum seq, const Digest& state_digest,
+                      const Digest& exec_digest = Digest{});
+  RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
 
   const PoeMetrics& metrics() const { return metrics_; }
   SeqNum last_executed() const { return last_executed_; }

@@ -124,6 +124,7 @@ Bytes sample_wire(Rng& rng, MsgType type) {
       Checkpoint cp;
       cp.seq = seq;
       cp.state_digest = random_digest(rng);
+      cp.exec_digest = random_digest(rng);
       cp.block_bytes = rng.below(1u << 20);
       m.payload = cp;
       break;

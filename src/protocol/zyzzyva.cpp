@@ -159,7 +159,8 @@ Actions ZyzzyvaEngine::on_commit_cert(const Message& msg) {
   return out;
 }
 
-Actions ZyzzyvaEngine::on_executed(SeqNum seq, const Digest& state_digest) {
+Actions ZyzzyvaEngine::on_executed(SeqNum seq, const Digest& state_digest,
+                                   const Digest& exec_digest) {
   Actions out;
   if (config_.checkpoint_interval == 0 ||
       seq % config_.checkpoint_interval != 0)
@@ -167,6 +168,7 @@ Actions ZyzzyvaEngine::on_executed(SeqNum seq, const Digest& state_digest) {
   Checkpoint cp;
   cp.seq = seq;
   cp.state_digest = state_digest;
+  cp.exec_digest = exec_digest;
   checkpoint_votes_[seq][state_digest].insert(config_.self);
   Message m;
   m.from = Endpoint::replica(config_.self);

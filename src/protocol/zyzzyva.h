@@ -17,6 +17,7 @@
 #include <map>
 #include <set>
 
+#include "common/det.h"
 #include "protocol/actions.h"
 #include "protocol/messages.h"
 
@@ -56,14 +57,17 @@ class ZyzzyvaEngine {
 
   /// Replica: speculative execution path. Accepts only the contiguous next
   /// sequence number; later ones are buffered until the hole fills.
-  Actions on_order_request(const Message& msg);
+  RDB_DETERMINISTIC Actions on_order_request(const Message& msg);
 
   /// Replica: client sent a 2f+1 commit certificate (slow path).
-  Actions on_commit_cert(const Message& msg);
+  RDB_DETERMINISTIC Actions on_commit_cert(const Message& msg);
 
   /// Execute-thread notification (checkpoint emission, as in PBFT).
-  Actions on_executed(SeqNum seq, const Digest& state_digest);
-  Actions on_checkpoint(const Message& msg);
+  /// `exec_digest` rides on the checkpoint vote (zero = no fingerprints).
+  RDB_DETERMINISTIC
+  Actions on_executed(SeqNum seq, const Digest& state_digest,
+                      const Digest& exec_digest = Digest{});
+  RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
 
   const ZyzzyvaMetrics& metrics() const { return metrics_; }
   SeqNum last_spec_executed() const { return last_spec_; }

@@ -32,6 +32,8 @@ std::unique_ptr<Replica> LocalCluster::make_replica(ReplicaId r) {
   rc.catchup_poll_ns = config_.catchup_poll_ns;
   rc.schemes = config_.schemes;
   rc.enable_snapshots = config_.enable_snapshots;
+  for (ReplicaId p : config_.perturb_exec_replicas)
+    if (p == r) rc.test_perturb_exec = true;
 
   std::string dir;
   if (config_.durable) {

@@ -57,6 +57,10 @@ struct ClusterConfig {
   /// Forwarded to every replica: capture/serve/install checkpoint images so
   /// a replica that fell below the batch retention window can rejoin.
   bool enable_snapshots{false};
+  /// TEST-ONLY: replicas whose execution is perturbed (reversed apply order
+  /// per batch — see ReplicaConfig::test_perturb_exec). Drives the
+  /// exec-divergence tripwire drills.
+  std::vector<ReplicaId> perturb_exec_replicas;
 };
 
 class LocalCluster {

@@ -28,6 +28,73 @@ Digest digest_batch(const std::vector<Transaction>& txns) {
 
 std::uint32_t type_bit(MsgType t) { return 1u << static_cast<int>(t); }
 
+/// KvStore decorator that streams every put into a SHA-256 — the
+/// state-delta digest of one batch's execution. The execute thread is the
+/// store's sole writer, so wrapping it for the duration of a batch observes
+/// exactly that batch's effects, in apply order. Identical ordered input +
+/// deterministic execution => identical delta stream on every replica;
+/// anything else (unordered iteration leaking into apply order, a stray
+/// clock/RNG read changing a value) forks the digest and trips the
+/// cross-replica fingerprint check at the next checkpoint.
+class DeltaRecordingStore final : public storage::KvStore {
+ public:
+  DeltaRecordingStore(storage::KvStore& inner, crypto::Sha256& hasher)
+      : inner_(inner), hasher_(hasher) {}
+
+  void put(std::string_view key, std::string_view value) override {
+    std::uint8_t len[8];
+    auto put_u32 = [&len](std::size_t off, std::uint64_t v) {
+      for (int i = 0; i < 4; ++i)
+        len[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put_u32(0, key.size());
+    put_u32(4, value.size());
+    hasher_.update(BytesView(len, 8));
+    const Bytes key_bytes = to_bytes(key);
+    const Bytes value_bytes = to_bytes(value);
+    hasher_.update(as_view(key_bytes));
+    hasher_.update(as_view(value_bytes));
+    inner_.put(key, value);
+  }
+  std::optional<std::string> get(std::string_view key) override {
+    return inner_.get(key);
+  }
+  bool contains(std::string_view key) override { return inner_.contains(key); }
+  std::uint64_t size() const override { return inner_.size(); }
+  storage::StoreStats stats() const override { return inner_.stats(); }
+  std::string name() const override { return inner_.name(); }
+  void for_each(const VisitFn& fn) override { inner_.for_each(fn); }
+  void clear() override { inner_.clear(); }
+  bool durable() const override { return inner_.durable(); }
+  void commit_wave() override { inner_.commit_wave(); }
+  void checkpoint() override { inner_.checkpoint(); }
+
+ private:
+  storage::KvStore& inner_;
+  crypto::Sha256& hasher_;
+};
+
+/// One step of the execution-fingerprint fold (see Replica::exec_acc_):
+/// acc' = SHA256(acc || seq || batch digest || result codes || delta).
+Digest fold_exec_acc(const Digest& acc, SeqNum seq, const Digest& batch_digest,
+                     const std::vector<std::uint64_t>& results,
+                     const Digest& delta_digest) {
+  crypto::Sha256 h;
+  h.update(BytesView(acc.data));
+  std::uint8_t le[8];
+  auto put_u64 = [&le, &h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    h.update(BytesView(le, 8));
+  };
+  put_u64(seq);
+  h.update(BytesView(batch_digest.data));
+  put_u64(results.size());
+  for (std::uint64_t r : results) put_u64(r);
+  h.update(BytesView(delta_digest.data));
+  return h.finish();
+}
+
 }  // namespace
 
 Replica::Replica(ReplicaConfig config, Transport& transport,
@@ -88,13 +155,28 @@ void Replica::recover_from_log() {
     // Re-execute against the recovered KV store. The store's own WAL can run
     // ahead of the consensus log (see page_db.h), so some effects may
     // already be present; put-style re-execution is idempotent and replaying
-    // the whole tail converges both.
+    // the whole tail converges both. The execution fingerprint is folded
+    // exactly as the live execute path folds it: the log's anchor is a
+    // checkpoint boundary (where exec_acc_ resets to zero), so replaying the
+    // tail reproduces the same interval-scoped fold a never-crashed peer
+    // carries. (Caveat: a retransmission whose original landed BELOW the
+    // anchor re-executes here — the reply cache starts empty — which a peer
+    // skipped; state converges by idempotence but the fingerprint would
+    // fork. Monotonic per-client request ids make this a non-issue in
+    // practice, and the tripwire firing on it is the conservative outcome.)
+    crypto::Sha256 delta_hasher;
+    DeltaRecordingStore dstore(*store_, delta_hasher);
+    std::vector<std::uint64_t> results;
     for (const auto& txn : b.txns) {
       auto& cache = reply_cache_[txn.client];
       if (cache.first != 0 && txn.req_id <= cache.first) continue;
-      std::uint64_t result = execute_fn_ ? execute_fn_(txn, *store_) : 0;
+      std::uint64_t result = execute_fn_ ? execute_fn_(txn, dstore) : 0;
       cache = {txn.req_id, result};
+      results.push_back(result);
     }
+    exec_acc_ =
+        fold_exec_acc(exec_acc_, b.seq, b.digest, results,
+                      delta_hasher.finish());
     ledger::Block block;
     block.seq = b.seq;
     block.view = b.view;
@@ -108,6 +190,9 @@ void Replica::recover_from_log() {
     if (config_.checkpoint_interval > 0 &&
         b.seq % config_.checkpoint_interval == 0) {
       checkpoint_meta_[b.seq] = {b.view, chain_.accumulator()};
+      // Interval boundary: record and reset, mirroring the live path.
+      exec_fingerprints_[b.seq] = exec_acc_;
+      exec_acc_ = Digest{};
     }
     log_tail_.push_back(std::move(b));
   }
@@ -218,6 +303,7 @@ ReplicaStats Replica::stats() const {
   s.log_compactions = log_compactions_.load(std::memory_order_relaxed);
   s.snapshots_served = snapshots_served_.load(std::memory_order_relaxed);
   s.snapshots_installed = snapshots_installed_.load(std::memory_order_relaxed);
+  s.exec_divergence = exec_divergence_count_.load(std::memory_order_relaxed);
   s.rejected_total = 0;
   for (std::size_t i = 0; i < reject_counts_.size(); ++i) {
     s.rejected_messages[i] = reject_counts_[i].load(std::memory_order_relaxed);
@@ -620,6 +706,15 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
   };
 
   while (!st.stop_requested()) {
+    if (diverged_.load(std::memory_order_acquire)) {
+      // Exec-divergence fail-stop: our execution provably forked from the
+      // cluster's. Nothing this replica executes, answers, or votes from
+      // here on can be trusted, so the execute stage halts outright —
+      // withheld wave output included. The process stays up for forensics.
+      held_msgs.clear();
+      held_actions.clear();
+      return;
+    }
     SeqNum seq = next_exec_seq_.load(std::memory_order_relaxed);
     ExecuteSlot& slot = execute_slots_[seq % execute_slots_.size()];
     protocol::ExecuteAction ex;
@@ -663,11 +758,22 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
 
     // Execute every transaction of the batch, in order (§4.6), suppressing
     // retransmitted requests via the reply cache (a request executes exactly
-    // once; duplicates get the cached reply).
+    // once; duplicates get the cached reply). Every put streams through the
+    // delta recorder, and each newly-executed result code is folded — batch
+    // by batch — into the interval's execution fingerprint (exec_acc_).
+    crypto::Sha256 delta_hasher;
+    DeltaRecordingStore dstore(*store_, delta_hasher);
+    std::vector<std::uint64_t> exec_results;
     std::vector<std::pair<ClientId, protocol::ClientResponse>> responses;
     responses.reserve(ex.txns.size());
     std::uint64_t duplicates = 0;
-    for (const auto& txn : ex.txns) {
+    for (std::size_t idx = 0; idx < ex.txns.size(); ++idx) {
+      // test_perturb_exec models the nondeterminism bug class the
+      // fingerprint exists to catch: same ordered input, different apply
+      // order. The chain accumulator cannot see it; exec_acc_ does.
+      const Transaction& txn =
+          config_.test_perturb_exec ? ex.txns[ex.txns.size() - 1 - idx]
+                                    : ex.txns[idx];
       auto& cache = reply_cache_[txn.client];
       std::uint64_t result;
       if (txn.req_id == cache.first && cache.first != 0) {
@@ -677,8 +783,9 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
         ++duplicates;
         continue;  // older than the reply cache: the client moved on
       } else {
-        result = execute_fn_ ? execute_fn_(txn, *store_) : 0;
+        result = execute_fn_ ? execute_fn_(txn, dstore) : 0;
         cache = {txn.req_id, result};
+        exec_results.push_back(result);
       }
       protocol::ClientResponse resp;
       resp.client = txn.client;
@@ -687,6 +794,8 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
       resp.result = result;
       responses.push_back({txn.client, resp});
     }
+    exec_acc_ = fold_exec_acc(exec_acc_, ex.seq, ex.batch_digest,
+                              exec_results, delta_hasher.finish());
 
     // Optional defense in depth: re-check the 2f+1 commit certificate
     // through the SAME batch path the verify pool uses — each vote is the
@@ -767,10 +876,23 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
     if (boundary && config_.enable_snapshots)
       capture_snapshot(ex.seq, ex.view, acc);
 
+    // Checkpoint boundary: seal the interval's execution fingerprint. It
+    // rides on our Checkpoint vote (engine_.on_executed below) so peers can
+    // cross-check execution, not just ordering; the fold restarts at zero
+    // for the next interval.
+    Digest exec_digest{};
+    if (boundary) {
+      exec_digest = exec_acc_;
+      exec_fingerprints_[ex.seq] = exec_acc_;
+      exec_acc_ = Digest{};
+      while (exec_fingerprints_.size() > kExecFingerprintKeep)
+        exec_fingerprints_.erase(exec_fingerprints_.begin());
+    }
+
     Actions actions;
     {
       MutexLock lock(engine_mu_);
-      actions = engine_.on_executed(ex.seq, acc);
+      actions = engine_.on_executed(ex.seq, acc, exec_digest);
     }
 
     for (auto& [client, resp] : responses) {
@@ -824,12 +946,12 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
 void Replica::capture_snapshot(SeqNum seq, ViewId view, const Digest& acc) {
   // Canonical KV image: key-sorted [count][key][value]... — every replica
   // that executed the same prefix serializes byte-identical images, so the
-  // image digest can be vouched for by f+1 peers.
+  // image digest can be vouched for by f+1 peers. for_each_sorted is the
+  // determinism barrier over the store's unordered iteration.
   std::vector<std::pair<std::string, std::string>> kvs;
-  store_->for_each([&kvs](std::string_view k, std::string_view v) {
+  store_->for_each_sorted([&kvs](std::string_view k, std::string_view v) {
     kvs.emplace_back(std::string(k), std::string(v));
   });
-  std::sort(kvs.begin(), kvs.end());
   Writer w;
   w.u64(kvs.size());
   for (const auto& [k, v] : kvs) {
@@ -952,6 +1074,9 @@ void Replica::maybe_install_snapshot() {
   }
   next_exec_seq_.store(seq + 1, std::memory_order_relaxed);
   last_executed_pub_.store(seq, std::memory_order_release);
+  // Snapshots are captured at checkpoint boundaries, where the fingerprint
+  // fold restarts — start the next interval from zero like every peer.
+  exec_acc_ = Digest{};
   snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
   // Any committed tail the engine had buffered above the image executes
   // through the normal slot path.
@@ -1140,6 +1265,30 @@ void Replica::perform(Actions actions) {
         m.payload = req;
         broadcast(std::move(m));
       }
+    } else if (auto* dv = std::get_if<protocol::ExecDivergenceAction>(
+                   &action)) {
+      // Named fail-stop: f+1 peers executed the same ordered input and got
+      // a different execution fingerprint — at least one of them is honest,
+      // so OUR execution is the nondeterministic (or corrupted) one. Dump
+      // forensics, count it, and flip the diverged flag; the execute thread
+      // halts at its next iteration and never un-halts.
+      Digest chain_acc;
+      {
+        MutexLock lock(chain_mu_);
+        chain_acc = chain_.accumulator();
+      }
+      log_error(
+          "EXEC DIVERGENCE (fail-stop): replica=" +
+          std::to_string(config_.id) + " seq=" + std::to_string(dv->seq) +
+          " local_exec=" + to_hex(dv->local_exec) +
+          " quorum_exec=" + to_hex(dv->quorum_exec) +
+          " voters=" + std::to_string(dv->voters) +
+          " last_executed=" + std::to_string(last_executed()) +
+          " chain_acc=" + to_hex(chain_acc) +
+          " — chain accumulators MATCH, so ordering agreed and execution " +
+          "itself forked; halting the execute stage");
+      exec_divergence_count_.fetch_add(1, std::memory_order_relaxed);
+      diverged_.store(true, std::memory_order_release);
     } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
       view_.store(vc->view, std::memory_order_release);
       if (vc->view % config_.n == config_.id) {

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/det.h"
 #include "common/stats.h"
 #include "common/sync.h"
 #include "crypto/provider.h"
@@ -108,6 +109,12 @@ struct ReplicaConfig {
   /// stalled. Off by default — capture walks the whole store on the execute
   /// thread, which throughput benchmarks must not pay for.
   bool enable_snapshots{false};
+  /// TEST-ONLY fault injection: apply each batch's transactions in REVERSED
+  /// order. The chain accumulator is unaffected (it commits to the ordered
+  /// input, not to execution effects), so consensus proceeds normally while
+  /// the execution fingerprint silently forks — exactly the failure shape
+  /// the exec-divergence tripwire exists to catch. Never set in production.
+  bool test_perturb_exec{false};
 };
 
 /// Application hook: executes one transaction against the store, returns a
@@ -151,6 +158,10 @@ struct ReplicaStats {
   std::uint64_t log_compactions{0};
   std::uint64_t snapshots_served{0};
   std::uint64_t snapshots_installed{0};
+  /// Exec-divergence tripwires fired: f+1 peers proved our execution of a
+  /// checkpoint interval differed from theirs despite identical ordered
+  /// input. Firing once fail-stops the execute stage (see diverged()).
+  std::uint64_t exec_divergence{0};
 };
 
 class Replica {
@@ -191,6 +202,21 @@ class Replica {
   }
   storage::KvStore& store() { return *store_; }
   ReplicaStats stats() const;
+
+  /// True once the exec-divergence tripwire fail-stopped this replica: f+1
+  /// peers voted checkpoints whose chain accumulator matched ours but whose
+  /// execution fingerprint did not. The execute stage halts (no further
+  /// execution, responses, or checkpoint votes); the process stays up for
+  /// forensics. There is deliberately no way to un-diverge a live replica.
+  bool diverged() const { return diverged_.load(std::memory_order_acquire); }
+
+  /// Test/drill accessor: execution fingerprint recorded at each checkpoint
+  /// boundary (the exec_acc fold carried on our Checkpoint votes). Chaos
+  /// drills assert these are byte-identical across replicas. Like chain():
+  /// read after stop(), so no lock is taken.
+  const std::map<SeqNum, Digest>& exec_fingerprints() const {
+    return exec_fingerprints_;
+  }
 
   /// Per-pipeline-thread busy fraction since start() — the live-runtime
   /// counterpart of the paper's Figure 9 saturation plot.
@@ -272,6 +298,9 @@ class Replica {
   void recover_from_log() RDB_NO_THREAD_SAFETY_ANALYSIS;
   /// Execute thread, at a checkpoint boundary: capture the compressed KV
   /// image + chain accumulator that snapshot requests will be served from.
+  /// Det-zone root: the image (and its digest, vouched to peers) must be
+  /// byte-identical on every replica that executed the same prefix.
+  RDB_DETERMINISTIC
   void capture_snapshot(SeqNum seq, ViewId view, const Digest& acc);
   /// Worker thread: serve a peer's SnapshotRequest from the captured image.
   void handle_snapshot_request(const protocol::Message& msg);
@@ -330,8 +359,26 @@ class Replica {
   // PBFT reply cache (execute-thread-owned): last executed request id and
   // its result per client. A retransmitted request that was already
   // executed must NOT re-execute — it gets the cached reply instead.
+  // (unordered is fine here: the cache is keyed lookup only, never
+  // range-iterated into anything digest-bound.)
   std::unordered_map<ClientId, std::pair<RequestId, std::uint64_t>>
       reply_cache_;
+
+  // --- execution fingerprint (the runtime half of the determinism
+  // discipline; execute-thread-owned) ---
+  // Rolling fold over the CURRENT checkpoint interval: per executed batch,
+  // SHA256(prev acc || seq || batch digest || executed txn result codes ||
+  // state-delta digest). Reset to zero at each boundary after the value is
+  // recorded and carried on the Checkpoint vote — interval scoping means a
+  // replica that recovered from its log or installed a snapshot at a
+  // boundary folds forward exactly like a peer that never restarted.
+  Digest exec_acc_{};
+  /// Fingerprint at each executed checkpoint boundary (bounded; pruned to
+  /// the most recent kExecFingerprintKeep boundaries).
+  std::map<SeqNum, Digest> exec_fingerprints_;
+  static constexpr std::size_t kExecFingerprintKeep = 64;
+  std::atomic<bool> diverged_{false};
+  std::atomic<std::uint64_t> exec_divergence_count_{0};
 
   // --- durable mode (config_.durability.enabled) ---
   // The consensus log and its retention bookkeeping are execute-thread-owned

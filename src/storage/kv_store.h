@@ -3,11 +3,16 @@
 // off-memory embedded database accessed through a blocking API call.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/det.h"
 
 namespace rdb::storage {
 
@@ -31,12 +36,34 @@ class KvStore {
   /// Human-readable backend name ("mem", "pagedb").
   virtual std::string name() const = 0;
 
-  /// Visits every live record, order unspecified. Not required to be
-  /// consistent under concurrent writers — callers quiesce first (the
-  /// snapshot capture runs on the execute thread, the sole writer).
+  /// Visits every live record, order UNSPECIFIED (hash-bucket or page order,
+  /// which varies with allocation history). Not required to be consistent
+  /// under concurrent writers — callers quiesce first (the snapshot capture
+  /// runs on the execute thread, the sole writer). Anything that folds the
+  /// visit order into a digest, fingerprint, or snapshot image must go
+  /// through for_each_sorted instead — raw for_each is ONLY for
+  /// order-insensitive consumers (counting, summing, draining).
   using VisitFn = std::function<void(std::string_view key,
                                      std::string_view value)>;
   virtual void for_each(const VisitFn& fn) = 0;
+
+  /// Visits every live record in ascending key order: collects the
+  /// (unordered) for_each output and sorts it before visiting. This is the
+  /// determinism BARRIER for storage iteration — two replicas holding the
+  /// same records observe the identical visit sequence regardless of hash
+  /// seeding, stripe layout, or page allocation history, so digests and
+  /// snapshot images built on top of it are byte-identical cluster-wide.
+  /// Costs one O(n) copy + O(n log n) sort; listed (with justification) in
+  /// scripts/determinism_allowlist.txt.
+  RDB_DET_BARRIER void for_each_sorted(const VisitFn& fn) {
+    std::vector<std::pair<std::string, std::string>> kvs;
+    for_each([&kvs](std::string_view k, std::string_view v) {
+      kvs.emplace_back(std::string(k), std::string(v));
+    });
+    std::sort(kvs.begin(), kvs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [k, v] : kvs) fn(k, v);
+  }
 
   /// Discards every record (snapshot install replaces the whole image).
   virtual void clear() = 0;

@@ -59,6 +59,12 @@ StoreStats MemStore::stats() const {
 void MemStore::for_each(const VisitFn& fn) {
   // Stripes are visited one at a time (same discipline as size()); callers
   // needing a consistent image quiesce writers first.
+  //
+  // Visit order is stripe-then-bucket order — NONDETERMINISTIC across
+  // replicas (libstdc++ hash seeding and rehash history differ). Raw
+  // for_each is therefore fit only for order-insensitive consumers;
+  // anything digest-bound goes through KvStore::for_each_sorted, which
+  // sorts this output before visiting (the determinism barrier).
   for (auto& s : stripes_) {
     MutexLock lock(s.mu);
     for (const auto& [k, v] : s.map) fn(k, v);

@@ -139,6 +139,11 @@ void PageDb::flush_page(std::uint64_t page_id, Page& page) {
 }
 
 void PageDb::evict_if_needed() {
+  // Determinism barrier (allowlisted): this scans the UNORDERED page cache,
+  // but only as a min-reduction over lru_tick — ticks come from a monotonic
+  // counter, so they are unique and the minimum is the same page no matter
+  // the visit order. The choice of victim (hence all observable effects) is
+  // therefore deterministic despite the unordered iteration.
   while (cache_.size() > config_.cache_pages) {
     // Evict the least-recently-used page, flushing it first if dirty.
     auto victim = cache_.end();
@@ -363,6 +368,11 @@ PageDbStats PageDb::page_stats() const {
 }
 
 void PageDb::for_each(const VisitFn& fn) {
+  // Visit order is bucket-chain/page-slot order, which depends on the
+  // store's full insertion/compaction HISTORY — not just its current
+  // contents — so two replicas with identical records can still visit in
+  // different orders. Order-insensitive consumers only; digest-bound
+  // callers use KvStore::for_each_sorted (the determinism barrier).
   MutexLock lock(mu_);
   for (std::uint32_t b = 0; b < config_.bucket_count; ++b) {
     std::uint64_t pid = bucket_head(b);

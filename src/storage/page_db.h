@@ -38,6 +38,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/det.h"
 #include "common/sync.h"
 #include "storage/env.h"
 #include "storage/kv_store.h"
@@ -105,7 +106,7 @@ class PageDb final : public KvStore {
   // --- file + cache plumbing (enforced: caller holds mu_) ---
   Page& fetch_page(std::uint64_t page_id) RDB_REQUIRES(mu_);
   std::uint64_t allocate_page() RDB_REQUIRES(mu_);
-  void evict_if_needed() RDB_REQUIRES(mu_);
+  RDB_DET_BARRIER void evict_if_needed() RDB_REQUIRES(mu_);
   void flush_page(std::uint64_t page_id, Page& page) RDB_REQUIRES(mu_);
   void read_page_from_file(std::uint64_t page_id, std::uint8_t* out)
       RDB_REQUIRES(mu_);

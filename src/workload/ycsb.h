@@ -68,7 +68,9 @@ class YcsbWorkload {
   /// for write-only transactions it is the number of operations executed;
   /// when the transaction contains reads it is an FNV-1a checksum folding
   /// the ops count with every value read, so f+1 matching responses prove
-  /// the reads observed the same replicated state.
+  /// the reads observed the same replicated state. Det-zone root: this IS
+  /// the KvStore apply path the execution fingerprint folds over.
+  RDB_DETERMINISTIC
   std::uint64_t execute(const protocol::Transaction& txn,
                         storage::KvStore& store) const;
 

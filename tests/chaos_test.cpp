@@ -83,6 +83,30 @@ bool wait_converged(LocalCluster& cluster, const std::vector<ReplicaId>& ids,
   return false;
 }
 
+/// Asserts the execution fingerprints (exec_acc fold, recorded at each
+/// checkpoint boundary and carried on Checkpoint votes) are byte-identical
+/// across `ids` on every boundary two replicas both retain — and that at
+/// least one boundary was shared, so the assertion is never vacuous. Chain
+/// accumulators prove agreement on ORDER; this proves execution itself
+/// (result codes + state deltas) did not fork.
+void expect_exec_fingerprints_match(LocalCluster& cluster,
+                                    const std::vector<ReplicaId>& ids) {
+  const auto& base = cluster.replica(ids[0]).exec_fingerprints();
+  bool any = false;
+  for (ReplicaId r : ids) {
+    if (r == ids[0]) continue;
+    for (const auto& [seq, fp] : cluster.replica(r).exec_fingerprints()) {
+      auto it = base.find(seq);
+      if (it == base.end()) continue;
+      any = true;
+      EXPECT_EQ(it->second, fp)
+          << "replica " << r << " execution forked at checkpoint seq " << seq;
+    }
+  }
+  EXPECT_TRUE(any) << "no shared checkpoint boundary — fingerprint assertion "
+                      "proved nothing (checkpoint_interval too large?)";
+}
+
 // ---------------------------------------------------------------------------
 // Seeded determinism: same seed => identical fault trace. (Satellite.)
 // ---------------------------------------------------------------------------
@@ -268,6 +292,10 @@ TEST(Chaos, PartitionedReplicaCatchesUpAfterHeal) {
 TEST(Chaos, DuplicateReorderStormNoDoubleExecution) {
   auto wl = make_workload();
   auto cfg = chaos_config(wl, 44);
+  // Cross a checkpoint boundary mid-storm so the exec-fingerprint fold is
+  // sealed (and exchanged on Checkpoint votes) while duplicates/reordering
+  // are in flight.
+  cfg.checkpoint_interval = 4;
   cfg.fault_plan.default_faults = {.drop = 0,
                                    .duplicate = 0.25,
                                    .reorder = 0.25,
@@ -299,7 +327,12 @@ TEST(Chaos, DuplicateReorderStormNoDoubleExecution) {
         << "replica " << r << " double-executed under the storm";
     EXPECT_EQ(cluster.replica(r).chain().accumulator(), acc0)
         << "replica " << r << " forked";
+    // Honest replicas under a message-level storm must neither fork their
+    // execution fingerprints nor trip the divergence fail-stop.
+    EXPECT_FALSE(cluster.replica(r).diverged()) << "replica " << r;
+    EXPECT_EQ(stats.exec_divergence, 0u) << "replica " << r;
   }
+  expect_exec_fingerprints_match(cluster, {0, 1, 2, 3});
   cluster.stop();
 }
 
@@ -312,6 +345,7 @@ TEST(Chaos, DuplicateReorderStormWithBatchVerifyStage) {
   // engage (nonzero batched signatures).
   auto wl = make_workload();
   auto cfg = chaos_config(wl, 47);
+  cfg.checkpoint_interval = 4;
   cfg.schemes = crypto::SchemeConfig::all_ed25519();
   cfg.verify_threads = 2;
   cfg.verify_batch_size = 16;
@@ -352,6 +386,72 @@ TEST(Chaos, DuplicateReorderStormWithBatchVerifyStage) {
     total_batched += stats.batched_sigs;
   }
   EXPECT_GT(total_batched, 0u) << "burst-draining stage never engaged";
+  expect_exec_fingerprints_match(cluster, {0, 1, 2, 3});
+  cluster.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Divergence tripwire: one replica executes each batch in REVERSED order
+// (the test_perturb_exec hook) — same ordered input, same chain accumulator,
+// but a forked execution fingerprint. f+1 honest Checkpoint votes carrying
+// the real fingerprint must fail-stop the perturbed replica with the named
+// exec-divergence action; the honest majority keeps committing.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, ExecDivergenceTripwireFailStopsPerturbedReplica) {
+  auto wl = make_workload();
+  auto cfg = chaos_config(wl, 48);
+  cfg.checkpoint_interval = 2;
+  cfg.perturb_exec_replicas = {3};
+  LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(31);
+
+  // Cross at least two checkpoint boundaries (seqs 2 and 4): the first
+  // boundary seals and exchanges the forked fingerprint, the vote storm
+  // after it trips the wire on replica 3.
+  for (int round = 0; round < 4; ++round)
+    ASSERT_TRUE(client->submit_and_wait(make_burst(*client, *wl, rng, 5))
+                    .has_value())
+        << "round " << round;
+
+  // The perturbed replica must fail-stop: f+1 peers voted checkpoints whose
+  // chain accumulator matched but whose execution fingerprint did not.
+  auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (!cluster.replica(3).diverged() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(cluster.replica(3).diverged())
+      << "perturbed replica never tripped the exec-divergence fail-stop";
+  EXPECT_GE(cluster.replica(3).stats().exec_divergence, 1u);
+
+  // The honest majority is untouched: no fail-stop, no divergence counts,
+  // continued progress, and identical fingerprints among themselves.
+  ASSERT_TRUE(
+      client->submit_and_wait(make_burst(*client, *wl, rng, 5)).has_value())
+      << "honest majority stopped committing after the fail-stop";
+  ASSERT_TRUE(wait_converged(cluster, {0, 1, 2}, 20s));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    EXPECT_FALSE(cluster.replica(r).diverged()) << "replica " << r;
+    EXPECT_EQ(cluster.replica(r).stats().exec_divergence, 0u)
+        << "replica " << r;
+  }
+  expect_exec_fingerprints_match(cluster, {0, 1, 2});
+
+  // The fork was in EXECUTION, not ordering: before halting, the perturbed
+  // replica agreed on the same canonical chain prefix it executed.
+  auto honest_fp = cluster.replica(0).exec_fingerprints();
+  const auto& perturbed_fp = cluster.replica(3).exec_fingerprints();
+  bool forked_boundary = false;
+  for (const auto& [seq, fp] : perturbed_fp) {
+    auto it = honest_fp.find(seq);
+    if (it == honest_fp.end()) continue;
+    if (!(it->second == fp)) forked_boundary = true;
+  }
+  EXPECT_TRUE(forked_boundary)
+      << "perturbed replica's fingerprints never actually forked — the "
+         "tripwire fired on something else";
   cluster.stop();
 }
 

@@ -111,9 +111,24 @@ TEST(Messages, CheckpointRoundTrip) {
   Checkpoint cp;
   cp.seq = 100;
   cp.state_digest = crypto::sha256("state");
+  cp.exec_digest = crypto::sha256("exec fingerprint");
   cp.block_bytes = 4096;
   auto m = round_trip(cp);
-  EXPECT_EQ(std::get<Checkpoint>(m.payload).block_bytes, 4096u);
+  const auto& got = std::get<Checkpoint>(m.payload);
+  EXPECT_EQ(got.block_bytes, 4096u);
+  EXPECT_EQ(got.state_digest, crypto::sha256("state"));
+  EXPECT_EQ(got.exec_digest, crypto::sha256("exec fingerprint"));
+}
+
+// A zero exec_digest (engine harnesses, pre-fingerprint peers) must survive
+// the round trip as zero — it is the sentinel that disarms the divergence
+// tripwire, so it must never pick up stray bytes.
+TEST(Messages, CheckpointZeroExecDigestStaysZero) {
+  Checkpoint cp;
+  cp.seq = 7;
+  cp.state_digest = crypto::sha256("state");
+  auto m = round_trip(cp);
+  EXPECT_TRUE(std::get<Checkpoint>(m.payload).exec_digest.is_zero());
 }
 
 TEST(Messages, SnapshotTypesRoundTrip) {

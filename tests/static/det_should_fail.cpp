@@ -1,0 +1,21 @@
+// Determinism-lint probe: MUST be rejected (cmake/CheckDeterminism.cmake).
+//
+// The banned token is NOT in the annotated function itself — it hides one
+// call away, so this probe proves the gate walks the call graph instead of
+// only pattern-matching annotated bodies. A clock read reachable from an
+// RDB_DETERMINISTIC root is exactly the bug class that forks replica state
+// in production. If this file passes, the gate is dead.
+#include <chrono>
+
+#include "common/det.h"
+
+namespace rdb::detprobe {
+
+long leaky_helper() {
+  // Banned: wall/steady time differs across replicas.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+RDB_DETERMINISTIC long det_root() { return leaky_helper(); }
+
+}  // namespace rdb::detprobe

@@ -1,0 +1,16 @@
+// Determinism-lint probe: MUST pass (cmake/CheckDeterminism.cmake).
+//
+// A det-zone root whose entire (transitive) call graph is clean — pure
+// arithmetic, no clocks, no RNG, no unordered iteration. If the gate
+// rejects this file, the lint flags CORRECT code and has gone bad.
+#include "common/det.h"
+
+namespace rdb::detprobe {
+
+int pure_helper(int x) { return x * 2 + 1; }
+
+int deeper_helper(int x) { return pure_helper(x) - 4; }
+
+RDB_DETERMINISTIC int det_root(int x) { return deeper_helper(x) + 3; }
+
+}  // namespace rdb::detprobe

@@ -51,6 +51,31 @@ TEST(MemStore, ManyKeysAcrossStripes) {
               "value" + std::to_string(i));
 }
 
+// for_each_sorted is the determinism barrier digest/snapshot code must use:
+// raw for_each walks hash stripes in hash order, which is not a canonical
+// order. The barrier must visit every pair exactly once, in strict
+// ascending key order, regardless of insertion order or backend.
+TEST(MemStore, ForEachSortedVisitsKeysInAscendingOrder) {
+  MemStore s;
+  // Insertion order deliberately scrambled relative to key order.
+  for (int i = 999; i >= 0; i -= 3)
+    s.put("key" + std::to_string(i), "v" + std::to_string(i));
+  for (int i = 1; i < 1000; i += 3)
+    s.put("key" + std::to_string(i), "v" + std::to_string(i));
+  for (int i = 2; i < 1000; i += 3)
+    s.put("key" + std::to_string(i), "v" + std::to_string(i));
+
+  std::vector<std::string> keys;
+  std::string prev;
+  s.for_each_sorted([&](std::string_view k, std::string_view v) {
+    EXPECT_LT(prev, std::string(k)) << "visit order not strictly ascending";
+    prev = std::string(k);
+    EXPECT_EQ(v, "v" + std::string(k.substr(3)));
+    keys.emplace_back(k);
+  });
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
 class PageDbTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -178,6 +203,27 @@ TEST_F(PageDbTest, TinyCacheForcesEviction) {
               "v" + std::to_string(i));
   EXPECT_GT(db.page_stats().cache_misses, 0u);
   EXPECT_GT(db.page_stats().pages_flushed, 0u);
+}
+
+// Same determinism-barrier contract as MemStore, on the durable backend,
+// whose raw for_each order depends on bucket hashing AND write history
+// (resized updates relocate records). Key order must come out canonical.
+TEST_F(PageDbTest, ForEachSortedVisitsKeysInAscendingOrder) {
+  PageDb db(config(/*cache_pages=*/4, /*buckets=*/8));
+  for (int i = 99; i >= 0; --i)
+    db.put("key" + std::to_string(i), "first");
+  // Resize half the values so their records relocate within the pages.
+  for (int i = 0; i < 100; i += 2)
+    db.put("key" + std::to_string(i), "resized-value-" + std::to_string(i));
+
+  std::string prev;
+  std::size_t count = 0;
+  db.for_each_sorted([&](std::string_view k, std::string_view) {
+    EXPECT_LT(prev, std::string(k)) << "visit order not strictly ascending";
+    prev = std::string(k);
+    ++count;
+  });
+  EXPECT_EQ(count, 100u);
 }
 
 TEST_F(PageDbTest, RecordLargerThanPageThrows) {

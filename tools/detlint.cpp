@@ -1,0 +1,183 @@
+// detlint — determinism-lint driver.
+//
+// The real analysis lives in scripts/check_determinism.py (call-graph walk
+// from RDB_DETERMINISTIC roots, libclang when available, textual engine
+// otherwise). This binary exists so the gate has a single entry point that
+// works from CMake, CI, and the shell without anyone remembering the python
+// invocation, and so the gate degrades loudly instead of silently when the
+// interpreter is missing:
+//
+//   1. Locate the repo root (walk up from --repo / cwd until
+//      scripts/check_determinism.py is found).
+//   2. Run `python3 scripts/check_determinism.py --repo <root>` and forward
+//      its exit status (0 clean, 1 findings, 2 setup error).
+//   3. If python3 itself cannot be executed, fall back to a built-in token
+//      scan of src/protocol/ and src/ledger/ — the two directories whose
+//      code MUST be replica-deterministic — for the non-negotiable banned
+//      tokens (clocks, rand, getenv, unordered containers). The fallback is
+//      weaker (no call-graph walk) but still catches the bug classes that
+//      fork replica state, so a python-less build host keeps a gate.
+//
+// Exit status: 0 clean, 1 findings, 2 setup error (mirrors the script).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: detlint [--repo DIR] [--fallback-only]\n");
+  return 2;
+}
+
+// Walks up from `start` looking for scripts/check_determinism.py.
+fs::path find_repo_root(fs::path start) {
+  std::error_code ec;
+  start = fs::absolute(start, ec);
+  for (fs::path p = start; !p.empty(); p = p.parent_path()) {
+    if (fs::exists(p / "scripts" / "check_determinism.py", ec)) return p;
+    if (p == p.root_path()) break;
+  }
+  return {};
+}
+
+// Banned-token table for the fallback scanner. Kept to tokens whose mere
+// appearance in protocol/ledger code is a finding — the full catalog (with
+// call-graph context) lives in the python script.
+struct BannedToken {
+  const char* token;
+  const char* why;
+};
+constexpr BannedToken kBanned[] = {
+    {"std::unordered_", "hash-order iteration forks replica state"},
+    {"steady_clock", "clock reads differ across replicas"},
+    {"system_clock", "clock reads differ across replicas"},
+    {"high_resolution_clock", "clock reads differ across replicas"},
+    {"std::rand", "unseeded/global RNG"},
+    {"srand(", "unseeded/global RNG"},
+    {"random_device", "hardware entropy differs across replicas"},
+    {"getenv", "environment differs across replicas"},
+    {"setlocale", "locale-dependent formatting"},
+};
+
+bool is_source_file(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+// Crude but sufficient: drop //-comments so documentation that *names* a
+// banned token (e.g. "no steady_clock here") does not trip the scanner.
+std::string strip_line_comment(const std::string& line) {
+  const auto pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+int fallback_scan(const fs::path& root) {
+  std::fprintf(stderr,
+               "detlint: python3 unavailable — running built-in token scan "
+               "of src/protocol/ and src/ledger/ (weaker than the call-graph "
+               "walk; install python3 for the full gate)\n");
+  int findings = 0;
+  for (const char* dir : {"src/protocol", "src/ledger"}) {
+    std::error_code ec;
+    const fs::path base = root / dir;
+    if (!fs::exists(base, ec)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base, ec)) {
+      if (!entry.is_regular_file() || !is_source_file(entry.path())) continue;
+      std::ifstream in(entry.path());
+      std::string line;
+      int lineno = 0;
+      bool in_block_comment = false;
+      while (std::getline(in, line)) {
+        ++lineno;
+        std::string code = strip_line_comment(line);
+        // Track /* ... */ comments across lines (no nesting in this tree).
+        if (in_block_comment) {
+          const auto end = code.find("*/");
+          if (end == std::string::npos) continue;
+          code = code.substr(end + 2);
+          in_block_comment = false;
+        }
+        const auto start = code.find("/*");
+        if (start != std::string::npos) {
+          const auto end = code.find("*/", start + 2);
+          if (end == std::string::npos) {
+            code = code.substr(0, start);
+            in_block_comment = true;
+          } else {
+            code = code.substr(0, start) + code.substr(end + 2);
+          }
+        }
+        for (const auto& b : kBanned) {
+          if (code.find(b.token) != std::string::npos) {
+            std::fprintf(stderr, "[banned-token] %s:%d: '%s' — %s\n",
+                         entry.path().lexically_relative(root).c_str(),
+                         lineno, b.token, b.why);
+            ++findings;
+          }
+        }
+      }
+    }
+  }
+  if (findings != 0) {
+    std::fprintf(stderr, "detlint (fallback): %d finding(s)\n", findings);
+    return 1;
+  }
+  std::fprintf(stderr, "detlint (fallback): clean\n");
+  return 0;
+}
+
+// Returns the child's exit status, or -1 if the command could not run at
+// all (shell reports 127 for command-not-found).
+int run_script(const fs::path& root) {
+  const std::string cmd = "python3 \"" +
+                          (root / "scripts" / "check_determinism.py").string() +
+                          "\" --repo \"" + root.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+#if defined(WEXITSTATUS)
+  if (WIFEXITED(rc)) {
+    const int code = WEXITSTATUS(rc);
+    return code == 127 ? -1 : code;
+  }
+  return -1;
+#else
+  return rc == 127 ? -1 : rc;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path repo = fs::current_path();
+  bool fallback_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repo") == 0 && i + 1 < argc) {
+      repo = argv[++i];
+    } else if (std::strcmp(argv[i], "--fallback-only") == 0) {
+      fallback_only = true;  // test hook: exercise the scanner directly
+    } else {
+      return usage();
+    }
+  }
+
+  const fs::path root = find_repo_root(repo);
+  if (root.empty()) {
+    std::fprintf(stderr,
+                 "detlint: could not find scripts/check_determinism.py above "
+                 "%s\n", repo.string().c_str());
+    return 2;
+  }
+
+  if (!fallback_only) {
+    const int rc = run_script(root);
+    if (rc >= 0) return rc;
+  }
+  return fallback_scan(root);
+}

@@ -77,6 +77,14 @@ struct Drill {
     cfg.client_timeout = 1500ms;
     cfg.client_max_retries = 8;
     cfg.client_broadcast_after = 1;
+    // Tight checkpoint cadence so every drill crosses several boundaries:
+    // checkpoints carry the execution fingerprint (exec_acc), so this both
+    // arms the cross-replica divergence tripwire during the drill and gives
+    // fingerprints_match() boundaries to compare afterwards. Snapshots must
+    // come along: pruning now outruns a partitioned straggler, whose only
+    // road back is the snapshot door.
+    cfg.checkpoint_interval = 2;
+    cfg.enable_snapshots = true;
     auto w = wl;
     cfg.execute = [w](const protocol::Transaction& t, storage::KvStore& s) {
       return w->execute(t, s);
@@ -131,6 +139,38 @@ bool check(bool ok, const char* what) {
   return ok;
 }
 
+// Execution fingerprints (the exec_acc fold carried on checkpoint votes)
+// must be byte-identical wherever two replicas retain the same checkpoint
+// boundary. Chain digests only prove the replicas agreed on ORDER; this
+// proves execution itself — result codes and state deltas — did not fork.
+// Requires at least one shared boundary, otherwise the assertion is vacuous.
+bool fingerprints_match(LocalCluster& cluster,
+                        const std::vector<ReplicaId>& ids) {
+  const auto& base = cluster.replica(ids[0]).exec_fingerprints();
+  bool any = false;
+  for (ReplicaId r : ids) {
+    if (r == ids[0]) continue;
+    for (const auto& [seq, fp] : cluster.replica(r).exec_fingerprints()) {
+      auto it = base.find(seq);
+      if (it == base.end()) continue;
+      any = true;
+      if (!(it->second == fp)) return false;
+    }
+  }
+  return any;
+}
+
+// No replica may have tripped the divergence fail-stop during an
+// honest-replica drill: faults here reorder/drop/duplicate MESSAGES, never
+// execution, so a firing would mean the tripwire false-positives.
+bool none_diverged(LocalCluster& cluster, const std::vector<ReplicaId>& ids) {
+  for (ReplicaId r : ids)
+    if (cluster.replica(r).diverged() ||
+        cluster.replica(r).stats().exec_divergence != 0)
+      return false;
+  return true;
+}
+
 bool drill_primary_crash(const Options& opt) {
   std::printf("[primary-crash] crash view-0 primary mid-load (seed=%llu)\n",
               static_cast<unsigned long long>(opt.seed));
@@ -149,6 +189,9 @@ bool drill_primary_crash(const Options& opt) {
   for (ReplicaId r = 1; r < opt.replicas; ++r) live.push_back(r);
   ok &= check(d.converged(live, 30s), "live replicas quiesce");
   ok &= check(d.chains_match(live), "identical canonical chain digest");
+  ok &= check(fingerprints_match(*d.cluster, live),
+              "identical execution fingerprints");
+  ok &= check(none_diverged(*d.cluster, live), "divergence tripwire silent");
   auto c = d.cluster->chaos()->counters();
   std::printf("  injected: crash_drops=%llu\n",
               static_cast<unsigned long long>(c.crash_drops));
@@ -170,12 +213,20 @@ bool drill_partition_heal(const Options& opt) {
   ok &= check(d.cluster->replica(straggler).last_executed() == 0,
               "straggler saw nothing while partitioned");
   d.cluster->chaos()->heal();
-  ok &= check(d.submit_burst(static_cast<int>(opt.batch_size)),
-              "burst commits after heal");
+  // Two bursts, not one: the straggler's missed batches are already pruned
+  // (checkpoint_interval = 2), so it can only rejoin through the snapshot
+  // door — and it only learns the cluster's stable frontier from a FRESH
+  // round of checkpoint votes, which needs the next boundary crossed.
+  bool healed = d.submit_burst(static_cast<int>(opt.batch_size)) &&
+                d.submit_burst(static_cast<int>(opt.batch_size));
+  ok &= check(healed, "bursts commit after heal");
   std::vector<ReplicaId> all;
   for (ReplicaId r = 0; r < opt.replicas; ++r) all.push_back(r);
   ok &= check(d.converged(all, 30s), "straggler catches up (state transfer)");
   ok &= check(d.chains_match(all), "identical canonical chain digest");
+  ok &= check(fingerprints_match(*d.cluster, all),
+              "identical execution fingerprints");
+  ok &= check(none_diverged(*d.cluster, all), "divergence tripwire silent");
   auto c = d.cluster->chaos()->counters();
   std::printf("  injected: partition_drops=%llu\n",
               static_cast<unsigned long long>(c.partition_drops));
@@ -205,6 +256,9 @@ bool drill_dup_reorder(const Options& opt) {
     exact &= d.cluster->replica(r).stats().txns_executed == expected;
   ok &= check(exact, "exactly-once execution (zero double-executions)");
   ok &= check(d.chains_match(all), "identical canonical chain digest");
+  ok &= check(fingerprints_match(*d.cluster, all),
+              "identical execution fingerprints");
+  ok &= check(none_diverged(*d.cluster, all), "divergence tripwire silent");
   auto c = d.cluster->chaos()->counters();
   std::printf("  injected: duplicated=%llu reordered=%llu\n",
               static_cast<unsigned long long>(c.duplicated),
@@ -344,6 +398,11 @@ bool drill_crash_restart(const Options& opt) {
   for (ReplicaId r = 1; r < opt.replicas; ++r)
     match &= cluster->replica(r).chain().accumulator() == acc;
   ok &= check(match, "identical canonical chain digest");
+  std::vector<ReplicaId> everyone;
+  for (ReplicaId r = 0; r < opt.replicas; ++r) everyone.push_back(r);
+  ok &= check(fingerprints_match(*cluster, everyone),
+              "identical execution fingerprints (incl. rejoiner)");
+  ok &= check(none_diverged(*cluster, everyone), "divergence tripwire silent");
   auto st = cluster->replica(victim).stats();
   ok &= check(st.snapshots_installed >= 1,
               "rejoin went through the snapshot door");
