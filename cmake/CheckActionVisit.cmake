@@ -1,0 +1,59 @@
+# Compile-time proof that the visit_action exhaustiveness gate has teeth.
+#
+# Three probes are compiled against src/protocol/actions.h (pure C++ overload
+# resolution — works under every compiler, unlike the clang-only TSA probes):
+#   tests/static/action_visit_should_pass.cpp
+#       one handler per Action alternative; MUST compile.
+#   tests/static/action_visit_missing_should_fail.cpp
+#       a handler is missing; MUST be rejected (std::visit exhaustiveness).
+#   tests/static/action_visit_catchall_should_fail.cpp
+#       a generic [](auto&) catch-all — the moral `default:` label; MUST be
+#       rejected (visit_action's static_assert).
+# A wrong outcome in either direction is a FATAL_ERROR: it means adding an
+# Action alternative (e.g. for the multi-primary refactor) could silently
+# fall through a dispatcher again.
+
+try_compile(RDB_AV_PASS_OK
+            ${CMAKE_BINARY_DIR}/action_visit_probe_pass
+            ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/action_visit_should_pass.cpp
+            COMPILE_DEFINITIONS "-I${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON
+            OUTPUT_VARIABLE _rdb_av_pass_log)
+
+try_compile(RDB_AV_MISSING_COMPILED
+            ${CMAKE_BINARY_DIR}/action_visit_probe_missing
+            ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/action_visit_missing_should_fail.cpp
+            COMPILE_DEFINITIONS "-I${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON
+            OUTPUT_VARIABLE _rdb_av_missing_log)
+
+try_compile(RDB_AV_CATCHALL_COMPILED
+            ${CMAKE_BINARY_DIR}/action_visit_probe_catchall
+            ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/action_visit_catchall_should_fail.cpp
+            COMPILE_DEFINITIONS "-I${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON
+            OUTPUT_VARIABLE _rdb_av_catchall_log)
+
+if(NOT RDB_AV_PASS_OK)
+  message(FATAL_ERROR
+          "action_visit_should_pass.cpp failed to compile — visit_action "
+          "rejects a CORRECT exhaustive dispatcher:\n${_rdb_av_pass_log}")
+endif()
+if(RDB_AV_MISSING_COMPILED)
+  message(FATAL_ERROR
+          "action_visit_missing_should_fail.cpp COMPILED — std::visit no "
+          "longer demands an exhaustive overload set; an Action alternative "
+          "can silently fall through a dispatcher. The gate is dead.")
+endif()
+if(RDB_AV_CATCHALL_COMPILED)
+  message(FATAL_ERROR
+          "action_visit_catchall_should_fail.cpp COMPILED — visit_action "
+          "accepts a generic catch-all handler (a silent default:). Check "
+          "the NotAnAction static_assert in protocol/actions.h.")
+endif()
+message(STATUS
+        "Action-visit probes OK: exhaustive dispatch compiles; a missing "
+        "handler and a generic catch-all are both rejected")

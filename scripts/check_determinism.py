@@ -5,7 +5,9 @@ reject transitive reachability of the banned nondeterminism catalog.
 Replicas are state machines (see src/common/det.h): every honest replica must
 derive bit-identical state from the same ordered input. This gate proves the
 annotated det-zone — engine handlers, serde, ledger append, snapshot capture,
-the KvStore apply path — cannot reach:
+the KvStore apply path, and the model checker's transition function, oracles,
+and trace replay (src/mc/; exploration *order* in mc/explorer.cpp is free to
+be nondeterministic, the transition semantics are not) — cannot reach:
 
   * wall/steady/hi-res clocks        (steady_clock, system_clock, time(), ...)
   * ambient RNG                      (rand, srand, std::random_device)

@@ -3,7 +3,7 @@
 #
 #   scripts/check_static.sh
 #
-# Eight stages, strongest-available-tool first:
+# Nine stages, strongest-available-tool first:
 #
 #   1. sync-primitive grep gate   — no naked std:: synchronization outside
 #                                   src/common/sync.h. Pure grep: enforced
@@ -15,39 +15,50 @@
 #                                   escape hatches confined to validate.cpp
 #                                   (and tests), reinterpret_cast confined to
 #                                   a reviewed per-file whitelist.
-#   3. determinism grep gate      — src/protocol/ and src/ledger/ ARE the
-#                                   replicated state machine: no unordered
-#                                   containers, no clocks, no rand there at
-#                                   all (docs/static_analysis.md §7).
-#   4. determinism call-graph lint— scripts/check_determinism.py walks the
+#   3. Action-dispatch gate       — protocol::Action dispatch goes through
+#                                   visit_action (protocol/actions.h): an
+#                                   exhaustive std::visit with catch-alls
+#                                   rejected at compile time, so adding an
+#                                   Action cannot silently fall through a
+#                                   dispatcher. Raw get_if-on-Action is
+#                                   banned outside the defining header, and
+#                                   src/mc/ bans `default:` labels outright.
+#                                   cmake/CheckActionVisit.cmake proves the
+#                                   compile-time rejections stay live.
+#   4. determinism grep gate      — src/protocol/, src/ledger/, and the
+#                                   det-zone files of src/mc/ ARE (or replay)
+#                                   the replicated state machine: no
+#                                   unordered containers, no clocks, no rand
+#                                   there at all (docs/static_analysis.md §7).
+#   5. determinism call-graph lint— scripts/check_determinism.py walks the
 #                                   call graph from RDB_DETERMINISTIC roots
 #                                   and rejects the banned catalog (clocks,
 #                                   RNG, env/locale, unordered iteration).
 #                                   Needs python3 only; libclang sharpens it
 #                                   when available.
-#   5. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
+#   6. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
 #                                   -Wnon-virtual-dtor with -Werror, into a
 #                                   throwaway build dir (build-static).
-#   6. Thread Safety Analysis     — clang only. The same build dir compiles
+#   7. Thread Safety Analysis     — clang only. The same build dir compiles
 #                                   with -Wthread-safety -Werror=thread-safety
 #                                   (CMakeLists.txt turns it on when the
 #                                   compiler is clang), and the CMake
 #                                   try_compile probes prove the gate has
 #                                   teeth (cmake/CheckThreadSafety.cmake).
-#   7. clang static analyzer      — clang only. `clang++ --analyze` over
+#   8. clang static analyzer      — clang only. `clang++ --analyze` over
 #                                   every src/ + tools/ translation unit
 #                                   using the flags recorded in
 #                                   compile_commands.json; any analyzer
 #                                   diagnostic fails the gate.
-#   8. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
+#   9. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
 #                                   check set over src/ + tools/ against the
-#                                   compile_commands.json exported in step 5.
+#                                   compile_commands.json exported in step 6.
 #
-# Stages 6-8 skip with a notice when clang / clang-tidy are not installed
+# Stages 7-9 skip with a notice when clang / clang-tidy are not installed
 # (the default container ships only GCC); the grep gates, determinism lint,
 # and strict build still run, so the script is useful on every machine and
 # authoritative in the CI static-analysis job where clang is present.
-# With --grep-only, stages 1-4 run and the script exits — the cheap,
+# With --grep-only, stages 1-5 run and the script exits — the cheap,
 # compiler-independent gates for a fast CI step or a pre-commit hook.
 set -euo pipefail
 
@@ -63,7 +74,7 @@ status=0
 # wraps. Everything else must use rdb::Mutex / rdb::CondVar / MutexLock /
 # ReaderLock / WriterLock so the TSA annotations and the lock-rank detector
 # see every acquisition.
-echo "=== [1/8] sync-primitive grep gate ==="
+echo "=== [1/9] sync-primitive grep gate ==="
 pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
 if offenders=$(grep -RnE "$pattern" src tools \
                  --include='*.h' --include='*.cpp' \
@@ -82,7 +93,7 @@ fi
 # (mint Validated<Message> after the full check catalog). Tests sit inside
 # the boundary (they construct adversarial inputs on purpose); everything
 # else — src/, tools/, bench/ — must go through protocol::validate_wire.
-echo "=== [2/8] input-taint grep gate ==="
+echo "=== [2/9] input-taint grep gate ==="
 taint_status=0
 
 # 2a. Message::parse is callable only from the validation module itself
@@ -133,34 +144,87 @@ else
   echo "OK: input-taint discipline holds"
 fi
 
-# --- 3. determinism grep gate ------------------------------------------------
+# --- 3. Action-dispatch exhaustiveness gate ---------------------------------
+# protocol::Action dispatch must go through visit_action (protocol/actions.h):
+# std::visit over an exhaustive overload set with generic catch-alls rejected
+# at compile time, so adding an Action alternative (e.g. for the multi-primary
+# refactor) breaks every dispatcher loudly instead of falling through. Raw
+# get_if-on-Action is how silent if/else fall-through chains get written, so
+# it is banned outside the header that defines the idiom; action_as<T> is the
+# sanctioned single-alternative peek. src/mc/ additionally bans `default:`
+# labels outright — every switch there (the MsgType fan-out included) must
+# enumerate its cases, so a new message type cannot be silently ignored by
+# the model checker.
+echo "=== [3/9] Action-dispatch exhaustiveness gate ==="
+action_status=0
+if offenders=$(grep -RnE 'get_if<\s*(rdb::)?(protocol::)?[A-Za-z_]*Action\s*>' \
+                 src tools bench --include='*.h' --include='*.cpp' \
+               | grep -v '^src/protocol/actions\.h:'); then
+  echo "FAIL: raw get_if-on-Action outside protocol/actions.h:"
+  echo "$offenders"
+  echo "Dispatch with protocol::visit_action (exhaustive, no default:);"
+  echo "peek a single alternative with protocol::action_as<T>."
+  action_status=1
+else
+  echo "OK: Action dispatch confined to visit_action / action_as"
+fi
+if [ -d src/mc ]; then
+  if offenders=$(grep -RnE '^\s*default\s*:' src/mc \
+                   --include='*.h' --include='*.cpp'); then
+    echo "FAIL: default: labels inside src/mc (switches must be exhaustive):"
+    echo "$offenders"
+    action_status=1
+  else
+    echo "OK: no default: labels in src/mc"
+  fi
+fi
+if [ "$action_status" -ne 0 ]; then
+  status=1
+else
+  echo "OK: Action-dispatch exhaustiveness holds"
+fi
+
+# --- 4. determinism grep gate ------------------------------------------------
 # src/protocol/ and src/ledger/ hold the replicated state machine: every
 # replica must compute bit-identical results from the same ordered input.
+# The model checker's det-zone files (world model, oracles, trace replay —
+# everything a violation trace's byte-identical replay depends on) are held
+# to the same standard; only the exploration layer (src/mc/explorer.*, the
+# visited set and random walks) may use unordered containers and the seeded
+# Rng, because exploration ORDER is free while TRANSITIONS are not.
 # The blunt bans (no unordered containers, no clocks, no rand — at all, not
 # just "not reachable from a root") are enforced here by grep so they hold
-# even without python3/clang; the call-graph lint in stage 4 covers the rest
+# even without python3/clang; the call-graph lint in stage 5 covers the rest
 # of the det-zone with allowlisted barriers.
-echo "=== [3/8] determinism grep gate (src/protocol, src/ledger) ==="
+echo "=== [4/9] determinism grep gate (src/protocol, src/ledger, src/mc det files) ==="
 det_pattern='std::unordered_|steady_clock|system_clock|high_resolution_clock|\brand\s*\(|\bsrand\s*\(|random_device|\bgetenv\b|\bsetlocale\b'
+mc_det_files=()
+for f in src/mc/engine_model.h src/mc/model.h src/mc/model.cpp \
+         src/mc/oracles.h src/mc/oracles.cpp src/mc/trace.h src/mc/trace.cpp \
+         src/mc/replay.h src/mc/replay.cpp; do
+  [ -f "$f" ] && mc_det_files+=("$f")
+done
 if offenders=$(grep -RnE "$det_pattern" src/protocol src/ledger \
+                 ${mc_det_files[@]+"${mc_det_files[@]}"} \
                  --include='*.h' --include='*.cpp' \
                | grep -vE '^\s*[^:]+:[0-9]+:\s*(//|\*)'); then
   echo "FAIL: nondeterminism sources inside the replicated state machine:"
   echo "$offenders"
-  echo "src/protocol/ and src/ledger/ may not touch unordered containers,"
-  echo "clocks, RNG, env, or locale. Move the nondeterminism to the fabric"
-  echo "(src/runtime/) or behind an allowlisted RDB_DET_BARRIER."
+  echo "src/protocol/, src/ledger/, and the src/mc det files may not touch"
+  echo "unordered containers, clocks, RNG, env, or locale. Move the"
+  echo "nondeterminism to the fabric (src/runtime/) or the exploration layer"
+  echo "(src/mc/explorer.*), or behind an allowlisted RDB_DET_BARRIER."
   status=1
 else
-  echo "OK: protocol/ledger free of unordered containers, clocks, and RNG"
+  echo "OK: protocol/ledger/mc-det free of unordered containers, clocks, RNG"
 fi
 
-# --- 4. determinism call-graph lint ------------------------------------------
+# --- 5. determinism call-graph lint ------------------------------------------
 # Walks transitively from every RDB_DETERMINISTIC root (engine handlers,
 # ledger append, serde, snapshot capture, KvStore apply path) and rejects
 # the banned catalog. scripts/determinism_allowlist.txt is the single
 # documented escape hatch. tools/detlint wraps the same script for CMake/CI.
-echo "=== [4/8] determinism call-graph lint ==="
+echo "=== [5/9] determinism call-graph lint ==="
 if command -v python3 >/dev/null 2>&1; then
   if python3 scripts/check_determinism.py --repo .; then
     echo "OK: det-zone call graph clean"
@@ -181,14 +245,14 @@ if [ "$grep_only" -eq 1 ]; then
   exit 0
 fi
 
-# --- 3. strict warning build -----------------------------------------------
-echo "=== [5/8] strict warning build (-Werror) -> build-static ==="
+# --- 6. strict warning build -----------------------------------------------
+echo "=== [6/9] strict warning build (-Werror) -> build-static ==="
 cmake -B build-static -S . -DCMAKE_CXX_FLAGS=-Werror >/dev/null
 cmake --build build-static -j"$(nproc)"
 echo "OK: zero-warning build"
 
-# --- 4. Thread Safety Analysis (clang) -------------------------------------
-echo "=== [6/8] Clang Thread Safety Analysis ==="
+# --- 7. Thread Safety Analysis (clang) -------------------------------------
+echo "=== [7/9] Clang Thread Safety Analysis ==="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
@@ -198,8 +262,8 @@ else
   echo "SKIP: clang++ not installed; TSA runs in the CI static-analysis job"
 fi
 
-# --- 5. clang static analyzer ----------------------------------------------
-echo "=== [7/8] clang static analyzer (--analyze) ==="
+# --- 8. clang static analyzer ----------------------------------------------
+echo "=== [8/9] clang static analyzer (--analyze) ==="
 if command -v clang++ >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1; then
   # Re-drive every TU through the path-sensitive analyzer using the include
   # dirs/defines recorded in compile_commands.json (exported in step 3).
@@ -214,8 +278,8 @@ else
   echo "SKIP: clang++/python3 not installed; runs in the CI static-analysis job"
 fi
 
-# --- 6. clang-tidy ----------------------------------------------------------
-echo "=== [8/8] clang-tidy ==="
+# --- 9. clang-tidy ----------------------------------------------------------
+echo "=== [9/9] clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by CMakeLists.txt
   # (CMAKE_EXPORT_COMPILE_COMMANDS ON) into build-static in step 3.

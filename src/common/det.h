@@ -37,6 +37,12 @@
 //   - ledger append + accumulator (ledger/blockchain.h)
 //   - snapshot capture (runtime/replica.h) and the canonical KV image
 //   - the KvStore apply path (workload execute functions)
+//   - the model checker's transition function and oracles (mc/model.h,
+//     mc/oracles.h, mc/trace.h, mc/replay.h) — state fingerprints dedup the
+//     explored graph and replayed traces must reproduce violations
+//     byte-for-byte, so apply_transition and everything under it replay
+//     identically; only the exploration layer (mc/explorer.h) may use
+//     unordered containers and seeded RNG
 //
 // Like the TSA macros, the attribute is carried by clang's `annotate` and
 // compiles to nothing elsewhere, so GCC builds are unaffected; the textual

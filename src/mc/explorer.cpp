@@ -1,0 +1,202 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace rdb::mc {
+
+namespace {
+
+/// 64-bit canonical key for a transition (FNV-1a over its fields). Used
+/// only to compare sleep sets in the visited cache; a collision could at
+/// worst skip a redundant re-expansion or trigger a spurious one.
+std::uint64_t transition_key(const Transition& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(t.kind));
+  mix(t.replica);
+  std::uint64_t id_prefix = 0;
+  std::memcpy(&id_prefix, t.msg_id.data.data(), sizeof(id_prefix));
+  mix(id_prefix);
+  mix(t.timer_id);
+  mix(t.seq);
+  std::uint64_t hist_prefix = 0;
+  std::memcpy(&hist_prefix, t.history.data.data(), sizeof(hist_prefix));
+  mix(hist_prefix);
+  return h;
+}
+
+std::vector<std::uint64_t> sleep_signature(
+    const std::vector<Transition>& sleep) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(sleep.size());
+  for (const Transition& t : sleep) keys.push_back(transition_key(t));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+struct Frame {
+  World world;
+  std::vector<Transition> enabled;
+  std::vector<Transition> sleep;
+  std::size_t next{0};
+  Transition incoming{};  // transition that produced this frame (root: unset)
+};
+
+}  // namespace
+
+ExploreResult explore_dfs(const McConfig& cfg, const ExploreLimits& limits) {
+  ExploreResult res;
+  // fingerprint -> signature of the smallest sleep set the state was
+  // expanded with. A revisit may be skipped only when its sleep set is a
+  // superset (it would explore a subset of what was already explored);
+  // otherwise the state is re-expanded with the intersection.
+  std::unordered_map<Digest, std::vector<std::uint64_t>, DigestHash> visited;
+
+  World root = make_initial_world(cfg);
+  if (auto v = evaluate_oracles(root)) {
+    res.violation = v;
+    res.stats.distinct_states = 1;
+    return res;
+  }
+  visited.emplace(canonical_fingerprint(root), std::vector<std::uint64_t>{});
+
+  std::vector<Frame> stack;
+  {
+    Frame f;
+    f.enabled = enabled_transitions(root);
+    f.world = std::move(root);
+    stack.push_back(std::move(f));
+  }
+
+  bool refused = false;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next >= f.enabled.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const std::size_t i = f.next++;
+    const Transition t = f.enabled[i];
+    if (std::find(f.sleep.begin(), f.sleep.end(), t) != f.sleep.end()) {
+      ++res.stats.sleep_pruned;
+      continue;
+    }
+    const auto child_depth = static_cast<std::uint32_t>(stack.size());
+    if (child_depth > limits.max_depth) {
+      ++res.stats.depth_capped;
+      refused = true;
+      continue;
+    }
+    World child = f.world;
+    if (!apply_transition(child, t)) continue;  // enabled() lied — skip
+    ++res.stats.transitions_applied;
+    res.stats.max_depth_reached =
+        std::max(res.stats.max_depth_reached, child_depth);
+    if (auto v = evaluate_oracles(child)) {
+      res.violation = v;
+      for (std::size_t k = 1; k < stack.size(); ++k)
+        res.counterexample.push_back(stack[k].incoming);
+      res.counterexample.push_back(t);
+      res.stats.distinct_states = visited.size();
+      return res;
+    }
+
+    std::vector<Transition> child_sleep;
+    for (const Transition& s : f.sleep)
+      if (transitions_independent(s, t)) child_sleep.push_back(s);
+    for (std::size_t j = 0; j < i; ++j)
+      if (transitions_independent(f.enabled[j], t))
+        child_sleep.push_back(f.enabled[j]);
+
+    const Digest fp = canonical_fingerprint(child);
+    std::vector<std::uint64_t> sig = sleep_signature(child_sleep);
+    auto it = visited.find(fp);
+    if (it != visited.end()) {
+      if (std::includes(sig.begin(), sig.end(), it->second.begin(),
+                        it->second.end())) {
+        ++res.stats.dedup_hits;
+        continue;
+      }
+      std::vector<std::uint64_t> inter;
+      std::set_intersection(sig.begin(), sig.end(), it->second.begin(),
+                            it->second.end(), std::back_inserter(inter));
+      it->second = inter;
+      std::vector<Transition> restricted;
+      for (const Transition& s : child_sleep)
+        if (std::binary_search(inter.begin(), inter.end(),
+                               transition_key(s)))
+          restricted.push_back(s);
+      child_sleep = std::move(restricted);
+    } else {
+      if (visited.size() >= limits.max_states) {
+        ++res.stats.state_capped;
+        refused = true;
+        continue;
+      }
+      visited.emplace(fp, std::move(sig));
+    }
+
+    Frame nf;
+    nf.enabled = enabled_transitions(child);
+    nf.world = std::move(child);
+    nf.sleep = std::move(child_sleep);
+    nf.incoming = t;
+    stack.push_back(std::move(nf));  // invalidates f — loop re-derefs
+  }
+  res.stats.distinct_states = visited.size();
+  res.stats.complete = !refused;
+  return res;
+}
+
+ExploreResult explore_random_walks(const McConfig& cfg,
+                                   const ExploreLimits& limits) {
+  ExploreResult res;
+  std::unordered_set<Digest, DigestHash> visited;
+  for (std::uint32_t walk = 0; walk < limits.walks; ++walk) {
+    // Per-walk deterministic seed: walks are independent, the whole sweep
+    // reproduces from (seed, walks, walk_depth).
+    std::uint64_t sm = limits.seed + walk;
+    Rng rng(splitmix64(sm));
+    World w = make_initial_world(cfg);
+    visited.insert(canonical_fingerprint(w));
+    if (auto v = evaluate_oracles(w)) {
+      res.violation = v;
+      res.stats.distinct_states = visited.size();
+      return res;
+    }
+    std::vector<Transition> path;
+    for (std::uint32_t d = 0; d < limits.walk_depth; ++d) {
+      const std::vector<Transition> en = enabled_transitions(w);
+      if (en.empty()) break;  // quiescent: nothing left to schedule
+      const Transition t = en[rng.below(en.size())];
+      if (!apply_transition(w, t)) continue;
+      ++res.stats.transitions_applied;
+      path.push_back(t);
+      res.stats.max_depth_reached =
+          std::max(res.stats.max_depth_reached, d + 1);
+      if (!visited.insert(canonical_fingerprint(w)).second)
+        ++res.stats.dedup_hits;
+      if (auto v = evaluate_oracles(w)) {
+        res.violation = v;
+        res.counterexample = std::move(path);
+        res.stats.distinct_states = visited.size();
+        return res;
+      }
+    }
+  }
+  res.stats.distinct_states = visited.size();
+  return res;
+}
+
+}  // namespace rdb::mc

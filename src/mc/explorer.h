@@ -1,0 +1,74 @@
+// Schedule-space exploration: bounded-exhaustive DFS and seeded random
+// walks over the World/Transition semantics in mc/model.h.
+//
+// This is the one src/mc layer OUTSIDE the det zone: the visited set is an
+// unordered map (keyed on canonical fingerprints — iteration order never
+// influences results) and random walks draw from the repo's seeded Rng.
+// Everything it records — counterexample schedules, violation details —
+// round-trips through the deterministic trace/replay layer, so exploration
+// order can vary while reproduction stays exact.
+//
+// Pruning:
+//   - canonical-fingerprint dedup: commuting schedules collapse into one
+//     state; a revisited state is re-expanded only when the arriving sleep
+//     set permits transitions the previous visit suppressed (the classic
+//     sleep-set/state-caching soundness condition);
+//   - sleep sets: after exploring transition t_i from a state, any t_j
+//     (j < i) independent of t_i is banned in t_i's subtree — sound because
+//     transitions_independent() only declares pairs that commute to the
+//     IDENTICAL world, so the pruned interleaving reaches a state the
+//     search sees anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mc/model.h"
+#include "mc/oracles.h"
+
+namespace rdb::mc {
+
+struct ExploreLimits {
+  /// DFS: maximum schedule length (edges from the initial world).
+  std::uint32_t max_depth{24};
+  /// DFS: stop expanding new states beyond this many distinct fingerprints.
+  std::uint64_t max_states{250000};
+  /// Random walks: seed, walk count, per-walk step bound.
+  std::uint64_t seed{1};
+  std::uint32_t walks{64};
+  std::uint32_t walk_depth{400};
+};
+
+struct ExploreStats {
+  std::uint64_t distinct_states{0};
+  std::uint64_t transitions_applied{0};
+  std::uint64_t dedup_hits{0};
+  std::uint64_t sleep_pruned{0};
+  std::uint64_t depth_capped{0};  // expansions refused at max_depth
+  std::uint64_t state_capped{0};  // expansions refused at max_states
+  std::uint32_t max_depth_reached{0};
+  /// DFS only: the stack drained with no expansion ever refused — the
+  /// bounded system (budgets + horizon) was searched exhaustively.
+  bool complete{false};
+};
+
+struct ExploreResult {
+  std::optional<Violation> violation;
+  /// Schedule from the initial world to the violating state (un-shrunk;
+  /// feed through shrink_trace for the minimal artifact).
+  std::vector<Transition> counterexample;
+  ExploreStats stats;
+};
+
+/// Bounded-exhaustive DFS with fingerprint dedup and sleep-set pruning.
+/// Stops at the first oracle violation.
+ExploreResult explore_dfs(const McConfig& cfg, const ExploreLimits& limits);
+
+/// Seeded random walks past the exhaustive frontier: `limits.walks`
+/// independent schedules of up to `limits.walk_depth` uniformly-chosen
+/// transitions each. Deterministic for a fixed seed.
+ExploreResult explore_random_walks(const McConfig& cfg,
+                                   const ExploreLimits& limits);
+
+}  // namespace rdb::mc

@@ -1,0 +1,517 @@
+#include "mc/model.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace rdb::mc {
+
+namespace {
+
+using protocol::Actions;
+using protocol::Message;
+using protocol::Payload;
+using protocol::Transaction;
+
+/// acc' = sha256(acc || seq || batch_digest) — same fold the ledger uses
+/// conceptually: equal accumulators at equal seq imply identical prefixes.
+RDB_DETERMINISTIC
+Digest fold_chain_acc(const Digest& acc, SeqNum seq, const Digest& bd) {
+  Writer w;
+  w.digest(acc);
+  w.u64(seq);
+  w.digest(bd);
+  return crypto::sha256(BytesView(w.data()));
+}
+
+/// Zyzzyva's history chain (mirrors chain_history in protocol/zyzzyva.cpp,
+/// which is file-local there). The scripted equivocating primary must build
+/// per-branch histories that each recipient's accept_order check accepts.
+RDB_DETERMINISTIC
+Digest fold_history(const Digest& prev, const Digest& bd) {
+  crypto::Sha256 h;
+  h.update(BytesView(prev.data));
+  h.update(BytesView(bd.data));
+  return h.finish();
+}
+
+RDB_DETERMINISTIC
+Digest net_entry_id(ReplicaId to, const Message& msg) {
+  Writer w;
+  w.u32(to);
+  w.raw(BytesView(msg.serialize()));
+  return crypto::sha256(BytesView(w.data()));
+}
+
+/// Insert one copy of `msg` addressed to `to` into the sorted multiset.
+/// Crashed recipients absorb nothing (their mail is purged at crash time,
+/// so never materializing it keeps the state canonical).
+RDB_DETERMINISTIC
+void enqueue_message(World& w, ReplicaId to, const Message& msg) {
+  if (to >= w.replicas.size() || w.replicas[to].crashed) return;
+  Digest id = net_entry_id(to, msg);
+  auto it = std::lower_bound(
+      w.net.begin(), w.net.end(), id,
+      [](const NetEntry& e, const Digest& key) { return e.id < key; });
+  if (it != w.net.end() && it->id == id) {
+    ++it->copies;
+    return;
+  }
+  NetEntry e;
+  e.to = to;
+  e.msg = msg;
+  e.id = id;
+  w.net.insert(it, std::move(e));
+}
+
+/// The scripted Byzantine replica's vote equivocation: Prepare/Commit (and
+/// thus PoE Support, which rides the Prepare shape) broadcasts reach the
+/// upper half of the cluster with a mutated digest. With digest-keyed vote
+/// buckets these land harmlessly in their own bucket; a digest-blind pool
+/// would cross-count them — the bug this checker originally flagged.
+Message equivocate_vote(Message m) {
+  if (auto* p = std::get_if<protocol::Prepare>(&m.payload)) {
+    p->batch_digest.data[0] ^= 0x80;
+  } else if (auto* c = std::get_if<protocol::Commit>(&m.payload)) {
+    c->batch_digest.data[0] ^= 0x80;
+  }
+  return m;
+}
+
+bool is_vote_payload(const Payload& p) {
+  return std::holds_alternative<protocol::Prepare>(p) ||
+         std::holds_alternative<protocol::Commit>(p);
+}
+
+RDB_DETERMINISTIC
+void perform_model_actions(World& w, ReplicaId from, Actions actions) {
+  if (from >= w.replicas.size() || w.replicas[from].crashed) return;
+  ReplicaModel& rep = w.replicas[from];
+  const bool byz_sender = w.cfg.byzantine && from == 0;
+  for (auto& action : actions) {
+    protocol::visit_action(
+        action,
+        [&](protocol::BroadcastAction& bc) {
+          const bool equivocate = byz_sender && is_vote_payload(bc.msg.payload);
+          for (ReplicaId to = 0; to < w.cfg.n; ++to) {
+            if (to == from && !bc.include_self) continue;
+            if (equivocate && to >= w.cfg.n / 2) {
+              enqueue_message(w, to, equivocate_vote(bc.msg));
+            } else {
+              enqueue_message(w, to, bc.msg);
+            }
+          }
+        },
+        [&](protocol::SendAction& s) {
+          if (s.to.kind == Endpoint::Kind::kReplica) {
+            enqueue_message(w, s.to.id, s.msg);
+            return;
+          }
+          // Client-bound: the model client only tracks Zyzzyva
+          // SpecResponses (they feed the commit-certificate transition);
+          // ClientResponse / LocalCommit leave the modelled system.
+          if (const auto* sr =
+                  std::get_if<protocol::SpecResponse>(&s.msg.payload)) {
+            w.spec_responses[sr->seq][sr->history].insert(sr->replica);
+          }
+        },
+        [&](protocol::ExecuteAction& ex) {
+          rep.chain_acc = fold_chain_acc(rep.chain_acc, ex.seq,
+                                         ex.batch_digest);
+          rep.exec_log.push_back({ex.seq, ex.view, ex.batch_digest,
+                                  ex.speculative, rep.chain_acc});
+          perform_model_actions(
+              w, from, engine_executed(rep.engine, ex.seq, rep.chain_acc));
+        },
+        [&](protocol::SetTimerAction& t) { rep.timers.insert(t.id); },
+        [&](protocol::CancelTimerAction& c) { rep.timers.erase(c.id); },
+        [&](protocol::StableCheckpointAction& sc) {
+          rep.stable_seen = std::max(rep.stable_seen, sc.seq);
+        },
+        [&](protocol::ViewChangedAction&) {
+          // Visible through engine_view(); no fabric-side state.
+        },
+        [&](protocol::RequestSnapshotAction&) {
+          // The model has no snapshot transfer; a replica that falls below
+          // the retention window simply stays behind (safety-neutral).
+        },
+        [&](protocol::ExecDivergenceAction&) {
+          // Unreachable: the model reports zero exec fingerprints, which
+          // disarms the engines' divergence tripwire.
+        });
+  }
+}
+
+/// Hand-built proposal messages for the scripted equivocating primary: the
+/// lower half of the cluster (including the primary's own engine) receives
+/// batch variant A, the upper half variant B. For Zyzzyva the two branches
+/// carry independently-chained histories so each recipient's
+/// accept_order check passes on its own branch.
+RDB_DETERMINISTIC
+void inject_equivocating_proposals(World& w) {
+  Digest hist_a{};
+  Digest hist_b{};
+  for (std::uint32_t b = 1; b <= w.cfg.batches; ++b) {
+    std::vector<Transaction> tx_a = model_batch(b, false);
+    std::vector<Transaction> tx_b = model_batch(b, true);
+    const Digest d_a = batch_digest_of(tx_a);
+    const Digest d_b = batch_digest_of(tx_b);
+    hist_a = fold_history(hist_a, d_a);
+    hist_b = fold_history(hist_b, d_b);
+    for (ReplicaId to = 0; to < w.cfg.n; ++to) {
+      const bool upper = to >= w.cfg.n / 2;
+      Message m;
+      m.from = Endpoint::replica(0);
+      if (w.cfg.engine == EngineKind::kZyzzyva) {
+        protocol::OrderRequest oreq;
+        oreq.view = 0;
+        oreq.seq = b;
+        oreq.batch_digest = upper ? d_b : d_a;
+        oreq.history = upper ? hist_b : hist_a;
+        oreq.txns = upper ? tx_b : tx_a;
+        oreq.txn_begin = b - 1;
+        m.payload = std::move(oreq);
+      } else {
+        protocol::PrePrepare pp;  // PoE's Propose rides the same shape
+        pp.view = 0;
+        pp.seq = b;
+        pp.batch_digest = upper ? d_b : d_a;
+        pp.txns = upper ? tx_b : tx_a;
+        pp.txn_begin = b - 1;
+        m.payload = std::move(pp);
+      }
+      enqueue_message(w, to, m);
+    }
+  }
+}
+
+std::vector<NetEntry>::iterator find_entry(World& w, const Digest& id) {
+  auto it = std::lower_bound(
+      w.net.begin(), w.net.end(), id,
+      [](const NetEntry& e, const Digest& key) { return e.id < key; });
+  if (it == w.net.end() || !(it->id == id)) return w.net.end();
+  return it;
+}
+
+}  // namespace
+
+std::vector<Transaction> model_batch(std::uint32_t index, bool variant) {
+  Transaction t;
+  t.client = 1;
+  t.req_id = variant ? index + 1000 : index;
+  t.ops = 1;
+  return {std::move(t)};
+}
+
+Digest batch_digest_of(const std::vector<Transaction>& txns) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(txns.size()));
+  for (const auto& t : txns) t.serialize(w);
+  return crypto::sha256(BytesView(w.data()));
+}
+
+World make_initial_world(const McConfig& cfg) {
+  World w;
+  w.cfg = cfg;
+  w.replicas.reserve(cfg.n);
+  for (ReplicaId r = 0; r < cfg.n; ++r) {
+    w.replicas.push_back(ReplicaModel{
+        make_engine_model(cfg.engine, cfg.n, r, cfg.checkpoint_interval),
+        /*crashed=*/false, /*exec_log=*/{}, /*chain_acc=*/{}, /*timers=*/{},
+        /*stable_seen=*/0});
+  }
+  if (cfg.byzantine) {
+    inject_equivocating_proposals(w);
+    return w;
+  }
+  // Honest primary (replica 0, view 0) proposes every batch up-front; the
+  // broadcasts land in the network and the explorer owns all ordering.
+  for (std::uint32_t b = 1; b <= cfg.batches; ++b) {
+    std::vector<Transaction> txns = model_batch(b, false);
+    const Digest d = batch_digest_of(txns);
+    EngineModel& engine = w.replicas[0].engine;
+    Actions acts;
+    if (auto* pbft = std::get_if<protocol::PbftEngine>(&engine)) {
+      acts = pbft->make_preprepare(b, std::move(txns), b - 1, d);
+    } else if (auto* poe = std::get_if<protocol::PoeEngine>(&engine)) {
+      acts = poe->make_propose(b, std::move(txns), b - 1, d);
+    } else {
+      acts = std::get<protocol::ZyzzyvaEngine>(engine).make_order_request(
+          b, std::move(txns), b - 1, d);
+    }
+    perform_model_actions(w, 0, std::move(acts));
+  }
+  return w;
+}
+
+std::vector<Transition> enabled_transitions(const World& w) {
+  std::vector<Transition> out;
+  // 1. Deliveries, in canonical net order.
+  for (const auto& e : w.net) {
+    if (w.replicas[e.to].crashed) continue;
+    Transition t;
+    t.kind = TKind::kDeliver;
+    t.replica = e.to;
+    t.msg_id = e.id;
+    out.push_back(t);
+  }
+  // 2. Duplications.
+  if (w.dups_used < w.cfg.max_dups) {
+    for (const auto& e : w.net) {
+      if (w.replicas[e.to].crashed) continue;
+      Transition t;
+      t.kind = TKind::kDuplicate;
+      t.replica = e.to;
+      t.msg_id = e.id;
+      out.push_back(t);
+    }
+  }
+  // 3. Drops.
+  if (w.drops_used < w.cfg.max_drops) {
+    for (const auto& e : w.net) {
+      if (w.replicas[e.to].crashed) continue;
+      Transition t;
+      t.kind = TKind::kDrop;
+      t.replica = e.to;
+      t.msg_id = e.id;
+      out.push_back(t);
+    }
+  }
+  // 4. Timer firings (logical clock: any armed timer may fire now).
+  if (w.timeouts_used < w.cfg.max_timeouts) {
+    for (ReplicaId r = 0; r < w.cfg.n; ++r) {
+      if (w.replicas[r].crashed) continue;
+      for (std::uint64_t id : w.replicas[r].timers) {
+        Transition t;
+        t.kind = TKind::kTimeout;
+        t.replica = r;
+        t.timer_id = id;
+        out.push_back(t);
+      }
+    }
+  }
+  // 5. Crash-stop of the designated victim.
+  if (w.cfg.crash_replica >= 0 && !w.crash_used &&
+      static_cast<std::uint32_t>(w.cfg.crash_replica) < w.cfg.n &&
+      !w.replicas[static_cast<ReplicaId>(w.cfg.crash_replica)].crashed) {
+    Transition t;
+    t.kind = TKind::kCrash;
+    t.replica = static_cast<ReplicaId>(w.cfg.crash_replica);
+    out.push_back(t);
+  }
+  // 6. Zyzzyva model client: a 2f+1-matching SpecResponse set entitles the
+  // client to broadcast a CommitCert (one per sequence).
+  if (w.cfg.engine == EngineKind::kZyzzyva) {
+    for (const auto& [seq, by_history] : w.spec_responses) {
+      if (w.certs_issued.contains(seq)) continue;
+      for (const auto& [history, responders] : by_history) {
+        if (responders.size() < commit_quorum(w.cfg.n)) continue;
+        Transition t;
+        t.kind = TKind::kClientCert;
+        t.seq = seq;
+        t.history = history;
+        out.push_back(t);
+      }
+    }
+  }
+  return out;
+}
+
+bool apply_transition(World& w, const Transition& t) {
+  if (t.kind == TKind::kDeliver) {
+    auto it = find_entry(w, t.msg_id);
+    if (it == w.net.end() || it->to != t.replica ||
+        w.replicas[it->to].crashed)
+      return false;
+    const ReplicaId to = it->to;
+    Message msg = it->msg;  // copy: delivery may enqueue the same id
+    if (--it->copies == 0) w.net.erase(it);
+    perform_model_actions(w, to,
+                          engine_deliver(w.replicas[to].engine, msg));
+    return true;
+  }
+  if (t.kind == TKind::kDuplicate) {
+    if (w.dups_used >= w.cfg.max_dups) return false;
+    auto it = find_entry(w, t.msg_id);
+    if (it == w.net.end() || it->to != t.replica ||
+        w.replicas[it->to].crashed)
+      return false;
+    ++it->copies;
+    ++w.dups_used;
+    return true;
+  }
+  if (t.kind == TKind::kDrop) {
+    if (w.drops_used >= w.cfg.max_drops) return false;
+    auto it = find_entry(w, t.msg_id);
+    if (it == w.net.end() || it->to != t.replica) return false;
+    if (--it->copies == 0) w.net.erase(it);
+    ++w.drops_used;
+    return true;
+  }
+  if (t.kind == TKind::kTimeout) {
+    if (w.timeouts_used >= w.cfg.max_timeouts) return false;
+    if (t.replica >= w.cfg.n) return false;
+    ReplicaModel& rep = w.replicas[t.replica];
+    if (rep.crashed || rep.timers.erase(t.timer_id) == 0) return false;
+    ++w.timeouts_used;
+    perform_model_actions(w, t.replica,
+                          engine_timeout(rep.engine, t.timer_id));
+    return true;
+  }
+  if (t.kind == TKind::kCrash) {
+    if (w.crash_used || w.cfg.crash_replica < 0 ||
+        static_cast<ReplicaId>(w.cfg.crash_replica) != t.replica ||
+        t.replica >= w.cfg.n || w.replicas[t.replica].crashed)
+      return false;
+    w.replicas[t.replica].crashed = true;
+    w.crash_used = true;
+    w.replicas[t.replica].timers.clear();
+    std::erase_if(w.net, [&](const NetEntry& e) { return e.to == t.replica; });
+    return true;
+  }
+  // kClientCert
+  if (w.cfg.engine != EngineKind::kZyzzyva) return false;
+  if (w.certs_issued.contains(t.seq)) return false;
+  auto seq_it = w.spec_responses.find(t.seq);
+  if (seq_it == w.spec_responses.end()) return false;
+  auto hist_it = seq_it->second.find(t.history);
+  if (hist_it == seq_it->second.end() ||
+      hist_it->second.size() < commit_quorum(w.cfg.n))
+    return false;
+  w.certs_issued.insert(t.seq);
+  protocol::CommitCert cc;
+  cc.view = 0;
+  cc.seq = t.seq;
+  cc.history = t.history;
+  for (ReplicaId r : hist_it->second) {
+    if (cc.signers.size() == commit_quorum(w.cfg.n)) break;
+    cc.signers.push_back(r);
+  }
+  Message m;
+  m.from = Endpoint::client(1);
+  m.payload = std::move(cc);
+  for (ReplicaId r = 0; r < w.cfg.n; ++r) enqueue_message(w, r, m);
+  return true;
+}
+
+Digest canonical_fingerprint(const World& w) {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(w.cfg.engine));
+  out.u32(w.cfg.n);
+  out.u64(w.cfg.checkpoint_interval);
+  out.u32(w.cfg.batches);
+  out.u32(w.cfg.max_drops);
+  out.u32(w.cfg.max_dups);
+  out.u32(w.cfg.max_timeouts);
+  out.u32(static_cast<std::uint32_t>(w.cfg.crash_replica));
+  out.u8(w.cfg.byzantine ? 1 : 0);
+  out.u8(w.cfg.strict_spec_agreement ? 1 : 0);
+  for (const auto& rep : w.replicas) {
+    out.digest(engine_state_digest(rep.engine));
+    out.u8(rep.crashed ? 1 : 0);
+    out.u64(rep.stable_seen);
+    out.digest(rep.chain_acc);
+    out.u32(static_cast<std::uint32_t>(rep.exec_log.size()));
+    for (const auto& rec : rep.exec_log) {
+      out.u64(rec.seq);
+      out.u64(rec.view);
+      out.digest(rec.batch_digest);
+      out.u8(rec.speculative ? 1 : 0);
+      out.digest(rec.acc_after);
+    }
+    out.u32(static_cast<std::uint32_t>(rep.timers.size()));
+    for (std::uint64_t id : rep.timers) out.u64(id);
+  }
+  out.u32(static_cast<std::uint32_t>(w.net.size()));
+  for (const auto& e : w.net) {  // sorted by id: canonical
+    out.digest(e.id);
+    out.u32(e.copies);
+  }
+  out.u32(w.drops_used);
+  out.u32(w.dups_used);
+  out.u32(w.timeouts_used);
+  out.u8(w.crash_used ? 1 : 0);
+  out.u32(static_cast<std::uint32_t>(w.certs_issued.size()));
+  for (SeqNum s : w.certs_issued) out.u64(s);
+  out.u32(static_cast<std::uint32_t>(w.spec_responses.size()));
+  for (const auto& [seq, by_history] : w.spec_responses) {
+    out.u64(seq);
+    out.u32(static_cast<std::uint32_t>(by_history.size()));
+    for (const auto& [history, responders] : by_history) {
+      out.digest(history);
+      out.u32(static_cast<std::uint32_t>(responders.size()));
+      for (ReplicaId r : responders) out.u32(r);
+    }
+  }
+  return crypto::sha256(BytesView(out.data()));
+}
+
+bool transitions_independent(const Transition& a, const Transition& b) {
+  auto is_netop = [](TKind k) {
+    return k == TKind::kDrop || k == TKind::kDuplicate;
+  };
+  // Crash silences a replica and purges its mail; client certificates read
+  // globally-accumulated responses. Both are dependent on everything.
+  if (a.kind == TKind::kCrash || b.kind == TKind::kCrash) return false;
+  if (a.kind == TKind::kClientCert || b.kind == TKind::kClientCert)
+    return false;
+  // Same-budget pairs: with one token left, the second is disabled after
+  // the first, so they do not commute as *enabled* transitions.
+  if (a.kind == b.kind &&
+      (is_netop(a.kind) || a.kind == TKind::kTimeout))
+    return false;
+  // Two deliveries commute iff they touch different replicas (each consumes
+  // its own entry and mutates only its recipient; freshly-emitted messages
+  // merge into the same canonical multiset either way).
+  if (a.kind == TKind::kDeliver && b.kind == TKind::kDeliver)
+    return a.replica != b.replica;
+  // Timer firing vs delivery: commute iff different replicas.
+  if ((a.kind == TKind::kTimeout && b.kind == TKind::kDeliver) ||
+      (b.kind == TKind::kTimeout && a.kind == TKind::kDeliver))
+    return a.replica != b.replica;
+  // Drop/duplicate vs delivery, and drop vs duplicate: commute iff they
+  // touch different network entries (a drop can erase the entry the other
+  // transition needs).
+  if ((is_netop(a.kind) && b.kind == TKind::kDeliver) ||
+      (is_netop(b.kind) && a.kind == TKind::kDeliver) ||
+      (is_netop(a.kind) && is_netop(b.kind)))
+    return !(a.msg_id == b.msg_id);
+  // Timer firing vs drop/duplicate: disjoint state (replica vs network),
+  // disjoint budgets.
+  if ((a.kind == TKind::kTimeout && is_netop(b.kind)) ||
+      (b.kind == TKind::kTimeout && is_netop(a.kind)))
+    return true;
+  return false;
+}
+
+std::string transition_brief(const Transition& t) {
+  auto short_hex = [](const Digest& d) { return to_hex(d).substr(0, 12); };
+  if (t.kind == TKind::kDeliver)
+    return "deliver r" + std::to_string(t.replica) + " m=" +
+           short_hex(t.msg_id);
+  if (t.kind == TKind::kDuplicate)
+    return "dup r" + std::to_string(t.replica) + " m=" + short_hex(t.msg_id);
+  if (t.kind == TKind::kDrop)
+    return "drop r" + std::to_string(t.replica) + " m=" + short_hex(t.msg_id);
+  if (t.kind == TKind::kTimeout)
+    return "timeout r" + std::to_string(t.replica) + " t=" +
+           std::to_string(t.timer_id);
+  if (t.kind == TKind::kCrash) return "crash r" + std::to_string(t.replica);
+  return "cert seq=" + std::to_string(t.seq) + " h=" + short_hex(t.history);
+}
+
+const char* engine_kind_name(EngineKind kind) {
+  if (kind == EngineKind::kPoe) return "poe";
+  if (kind == EngineKind::kZyzzyva) return "zyzzyva";
+  return "pbft";
+}
+
+std::optional<EngineKind> engine_kind_from_name(const std::string& name) {
+  if (name == "pbft") return EngineKind::kPbft;
+  if (name == "poe") return EngineKind::kPoe;
+  if (name == "zyzzyva") return EngineKind::kZyzzyva;
+  return std::nullopt;
+}
+
+}  // namespace rdb::mc

@@ -1,0 +1,192 @@
+// The model checker's world: N consensus engines plus a model network.
+//
+// A World is a closed, finite-state system — engines (deterministic value
+// types), a pending-message multiset, armed logical timers, fault budgets —
+// and a Transition is one atomic scheduler choice: deliver a message, drop
+// it, duplicate it, fire a timer, crash-stop a replica, or (Zyzzyva) let the
+// model client inject a commit certificate. apply_transition() is the
+// checker's entire semantics; the explorer (src/mc/explorer.h) walks the
+// schedule space it induces and tools/rdb_mc replays recorded schedules.
+//
+// Determinism is load-bearing three times over:
+//   - canonical_fingerprint() dedups states, so the transition function must
+//     be bit-stable (same World + same Transition -> same World);
+//   - replayed traces (tests/corpus/mc/) must reproduce violations
+//     byte-for-byte across runs, builds, and sanitizers;
+//   - the sleep-set pruning is only sound because independent transitions
+//     commute to the *identical* world.
+// Hence this file is in the det zone: scripts/check_static.sh stage 4 keeps
+// unordered containers / clocks / RNG out, and check_determinism.py walks
+// the RDB_DETERMINISTIC roots declared here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/det.h"
+#include "common/types.h"
+#include "mc/engine_model.h"
+#include "protocol/messages.h"
+
+namespace rdb::mc {
+
+/// One checking scenario: engine, cluster size, client load, fault budgets.
+/// Budgets bound the schedule space — every drop/duplicate/timeout/crash is
+/// an explicit transition that consumes from its budget, so the reachable
+/// state graph is finite and the DFS frontier is exhaustible.
+struct McConfig {
+  EngineKind engine{EngineKind::kPbft};
+  std::uint32_t n{4};
+  SeqNum checkpoint_interval{2};
+  /// Client batches injected up-front (batch b is proposed at seq b).
+  std::uint32_t batches{2};
+  std::uint32_t max_drops{0};
+  std::uint32_t max_dups{0};
+  std::uint32_t max_timeouts{0};
+  /// Replica eligible to crash-stop mid-schedule (-1 = none). Crashing the
+  /// initial primary (replica 0) is the classic liveness stressor: it forces
+  /// the PBFT view change through every message interleaving.
+  std::int32_t crash_replica{-1};
+  /// Scripted Byzantine replica 0 (the initial primary): proposals are
+  /// equivocated — the lower half of the cluster receives batch variant A,
+  /// the upper half variant B with a different digest (per-protocol
+  /// consistency preserved, e.g. Zyzzyva history chains) — and its
+  /// Prepare/Commit/Support votes reach the upper half with a mutated
+  /// digest. Checkpoint votes stay truthful, so checkpoint stability still
+  /// implies 2f+1 replicas really executed that accumulator and the oracles
+  /// remain sound (see oracles.h).
+  bool byzantine{false};
+  /// Zyzzyva: also require agreement over the *speculative* suffix, not just
+  /// the committed prefix. Under an equivocating primary speculative
+  /// divergence is expected (resolved by the view change this engine scopes
+  /// out), so this is off by default; on, it demonstrably fires the
+  /// agreement oracle (tests/corpus/mc/zyzzyva_spec_divergence.trace).
+  bool strict_spec_agreement{false};
+
+  std::uint32_t f() const { return max_faulty(n); }
+};
+
+/// One executed batch as observed by the model fabric.
+struct ExecRecord {
+  SeqNum seq{0};
+  ViewId view{0};
+  Digest batch_digest{};
+  bool speculative{false};
+  /// Chain accumulator after appending this record:
+  /// acc' = sha256(acc || seq || batch_digest). Equal accumulators at equal
+  /// seq imply identical executed prefixes.
+  Digest acc_after{};
+
+  friend bool operator==(const ExecRecord&, const ExecRecord&) = default;
+};
+
+struct ReplicaModel {
+  EngineModel engine;
+  bool crashed{false};
+  std::vector<ExecRecord> exec_log;
+  Digest chain_acc{};
+  /// Armed logical timers (ids are engine-defined; PBFT uses seq numbers).
+  std::set<std::uint64_t> timers;
+  /// Highest StableCheckpointAction seen from this replica's engine.
+  SeqNum stable_seen{0};
+};
+
+/// Pending-message multiset entry. Identity is content-addressed:
+/// id = sha256(recipient || canonical wire bytes), so byte-identical
+/// messages to the same replica merge into one entry with a copy count and
+/// the network state has a canonical form independent of arrival order.
+struct NetEntry {
+  ReplicaId to{0};
+  protocol::Message msg;
+  Digest id{};
+  std::uint32_t copies{1};
+};
+
+enum class TKind : std::uint8_t {
+  kDeliver = 0,
+  kDuplicate = 1,
+  kDrop = 2,
+  kTimeout = 3,
+  kCrash = 4,
+  kClientCert = 5,  // Zyzzyva model client injects a 2f+1 CommitCert
+};
+
+struct Transition {
+  TKind kind{TKind::kDeliver};
+  ReplicaId replica{0};     // deliver/dup/drop: recipient; timeout/crash: self
+  Digest msg_id{};          // deliver/dup/drop: NetEntry id
+  std::uint64_t timer_id{0};  // timeout
+  SeqNum seq{0};            // client_cert
+  Digest history{};         // client_cert: the agreed Zyzzyva history digest
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+struct World {
+  McConfig cfg;
+  std::vector<ReplicaModel> replicas;
+  std::vector<NetEntry> net;  // sorted by id, ids unique
+  std::uint32_t drops_used{0};
+  std::uint32_t dups_used{0};
+  std::uint32_t timeouts_used{0};
+  bool crash_used{false};
+  /// Zyzzyva model client: sequences a certificate was already injected for,
+  /// and the SpecResponses gathered so far (seq -> history -> responders).
+  std::set<SeqNum> certs_issued;
+  std::map<SeqNum, std::map<Digest, std::set<ReplicaId>>> spec_responses;
+};
+
+/// Builds the start state: engines constructed, all client batches proposed
+/// by the view-0 primary (or, when cfg.byzantine, equivocated by the model's
+/// scripted primary), resulting broadcasts pending in the network.
+RDB_DETERMINISTIC World make_initial_world(const McConfig& cfg);
+
+/// All transitions schedulable from `w`, in canonical order (delivers by
+/// entry id, then duplicates, drops, timeouts, crash, client certificates).
+/// The canonical order is part of the model: explorers and replays must see
+/// the same list for the same world.
+RDB_DETERMINISTIC std::vector<Transition> enabled_transitions(const World& w);
+
+/// Applies one transition in place. Returns false — leaving `w` untouched —
+/// when the transition is not enabled (unknown message id, unarmed timer,
+/// exhausted budget...). Lenient failure is what trace shrinking leans on:
+/// removing a step must not wedge the replay of the remainder.
+RDB_DETERMINISTIC bool apply_transition(World& w, const Transition& t);
+
+/// Canonical state fingerprint: engines (via state_digest), exec logs, chain
+/// accumulators, timers, the network multiset, budgets, client state — every
+/// field that can influence a future transition — serialized in fixed order
+/// and hashed. The explorer's visited set keys on this.
+RDB_DETERMINISTIC Digest canonical_fingerprint(const World& w);
+
+/// Conservative independence for sleep-set pruning: true only when the two
+/// transitions provably commute to the identical world AND each stays
+/// enabled after the other. Budget-sharing pairs (two drops, two dups, two
+/// timeouts) are declared dependent — with one budget token left, the second
+/// is disabled after the first. Crash and client-cert transitions are
+/// dependent on everything.
+bool transitions_independent(const Transition& a, const Transition& b);
+
+/// Canonical digest of a batch: sha256 over the serialized transaction
+/// vector (what a real fabric hashes before proposing).
+RDB_DETERMINISTIC
+Digest batch_digest_of(const std::vector<protocol::Transaction>& txns);
+
+/// The model workload: batch `index` (1-based) is one transaction from
+/// client 1. `variant` selects the Byzantine primary's alternative payload
+/// (different req_id, hence a different digest).
+std::vector<protocol::Transaction> model_batch(std::uint32_t index,
+                                               bool variant);
+
+/// One-line human description ("deliver r2 3fa9c1..", "timeout r1 #5") for
+/// reports and logs. Deterministic: replay reports embed it.
+std::string transition_brief(const Transition& t);
+
+const char* engine_kind_name(EngineKind kind);
+std::optional<EngineKind> engine_kind_from_name(const std::string& name);
+
+}  // namespace rdb::mc

@@ -1,0 +1,133 @@
+#include "mc/oracles.h"
+
+#include <algorithm>
+
+namespace rdb::mc {
+
+namespace {
+
+bool is_honest(const World& w, ReplicaId r) {
+  return !(w.cfg.byzantine && r == 0);
+}
+
+/// Number of leading exec-log records that are irrevocable for replica `r`.
+std::size_t committed_frontier(const World& w, ReplicaId r) {
+  const ReplicaModel& rep = w.replicas[r];
+  if (w.cfg.engine != EngineKind::kZyzzyva || w.cfg.strict_spec_agreement)
+    return rep.exec_log.size();
+  // Zyzzyva executes speculatively; only the CommitCert frontier is final.
+  const SeqNum committed = engine_committed_seq(rep.engine);
+  std::size_t n = 0;
+  while (n < rep.exec_log.size() && rep.exec_log[n].seq <= committed) ++n;
+  return n;
+}
+
+std::string where(ReplicaId a, ReplicaId b, SeqNum seq) {
+  return "replica " + std::to_string(a) + " vs replica " + std::to_string(b) +
+         " at seq " + std::to_string(seq);
+}
+
+std::optional<Violation> check_agreement(const World& w) {
+  for (ReplicaId a = 0; a < w.cfg.n; ++a) {
+    if (!is_honest(w, a)) continue;
+    for (ReplicaId b = a + 1; b < w.cfg.n; ++b) {
+      if (!is_honest(w, b)) continue;
+      const std::size_t len =
+          std::min(committed_frontier(w, a), committed_frontier(w, b));
+      for (std::size_t i = 0; i < len; ++i) {
+        const ExecRecord& ra = w.replicas[a].exec_log[i];
+        const ExecRecord& rb = w.replicas[b].exec_log[i];
+        if (ra.seq != rb.seq || !(ra.batch_digest == rb.batch_digest)) {
+          return Violation{
+              "agreement",
+              where(a, b, ra.seq) + ": executed " + to_hex(ra.batch_digest) +
+                  " vs " + to_hex(rb.batch_digest)};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_chain(const World& w) {
+  for (ReplicaId a = 0; a < w.cfg.n; ++a) {
+    if (!is_honest(w, a)) continue;
+    for (ReplicaId b = a + 1; b < w.cfg.n; ++b) {
+      if (!is_honest(w, b)) continue;
+      const std::size_t len =
+          std::min(committed_frontier(w, a), committed_frontier(w, b));
+      for (std::size_t i = 0; i < len; ++i) {
+        const ExecRecord& ra = w.replicas[a].exec_log[i];
+        const ExecRecord& rb = w.replicas[b].exec_log[i];
+        if (!(ra.acc_after == rb.acc_after)) {
+          return Violation{
+              "chain", where(a, b, ra.seq) + ": chain accumulator " +
+                           to_hex(ra.acc_after) + " vs " +
+                           to_hex(rb.acc_after)};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_exactly_once(const World& w) {
+  for (ReplicaId r = 0; r < w.cfg.n; ++r) {
+    if (!is_honest(w, r)) continue;
+    const auto& log = w.replicas[r].exec_log;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      if (log[i].seq != i + 1) {
+        return Violation{
+            "exactly_once",
+            "replica " + std::to_string(r) + " executed seq " +
+                std::to_string(log[i].seq) + " at log position " +
+                std::to_string(i) + " (expected contiguous seq " +
+                std::to_string(i + 1) + ")"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_checkpoint(const World& w) {
+  SeqNum stable = 0;
+  for (ReplicaId r = 0; r < w.cfg.n; ++r) {
+    if (!is_honest(w, r)) continue;
+    stable = std::max(stable, w.replicas[r].stable_seen);
+  }
+  if (stable == 0) return std::nullopt;
+  for (ReplicaId a = 0; a < w.cfg.n; ++a) {
+    if (!is_honest(w, a)) continue;
+    for (ReplicaId b = a + 1; b < w.cfg.n; ++b) {
+      if (!is_honest(w, b)) continue;
+      const std::size_t len = std::min(w.replicas[a].exec_log.size(),
+                                       w.replicas[b].exec_log.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        const ExecRecord& ra = w.replicas[a].exec_log[i];
+        const ExecRecord& rb = w.replicas[b].exec_log[i];
+        if (ra.seq > stable || rb.seq > stable) break;
+        if (ra.seq != rb.seq || !(ra.batch_digest == rb.batch_digest) ||
+            !(ra.acc_after == rb.acc_after)) {
+          return Violation{
+              "checkpoint",
+              where(a, b, ra.seq) + " below stable checkpoint " +
+                  std::to_string(stable) + ": " + to_hex(ra.acc_after) +
+                  " vs " + to_hex(rb.acc_after)};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> evaluate_oracles(const World& w) {
+  if (auto v = check_agreement(w)) return v;
+  if (auto v = check_chain(w)) return v;
+  if (auto v = check_exactly_once(w)) return v;
+  if (auto v = check_checkpoint(w)) return v;
+  return std::nullopt;
+}
+
+}  // namespace rdb::mc

@@ -1,0 +1,45 @@
+// Safety oracles, evaluated on every explored state.
+//
+// Four invariants, each a direct transcription of what the protocols
+// guarantee to *honest* replicas (the scripted Byzantine replica, when
+// configured, is excluded — a faulty replica's local state carries no
+// safety obligation):
+//
+//   agreement     no two honest replicas execute different batches at the
+//                 same sequence number within the irrevocable prefix
+//                 (Zyzzyva: the CommitCert frontier, or the whole
+//                 speculative log under strict_spec_agreement);
+//   chain         hash-chain prefix consistency — equal sequence implies
+//                 equal chain accumulator, so agreement cannot be faked by
+//                 logs that match pointwise but diverged earlier;
+//   exactly_once  each honest replica executes the contiguous sequence
+//                 1,2,3,... with no duplicate and no gap (a duplicate or
+//                 stale delivery must never re-execute a batch);
+//   checkpoint    once a checkpoint is stable anywhere (2f+1 matching
+//                 votes; the Byzantine script never lies on checkpoint
+//                 votes, so stability implies 2f+1 real executions), every
+//                 honest replica's records at or below it must agree —
+//                 including Zyzzyva's speculative ones.
+//
+// Deterministic (det-zone): the violation detail string is embedded in
+// replay reports that must reproduce byte-for-byte.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/det.h"
+#include "mc/model.h"
+
+namespace rdb::mc {
+
+struct Violation {
+  std::string oracle;  // "agreement" | "chain" | "exactly_once" | "checkpoint"
+  std::string detail;
+};
+
+/// Runs all four oracles against `w`; returns the first violation in the
+/// fixed order above, or nullopt when every invariant holds.
+RDB_DETERMINISTIC std::optional<Violation> evaluate_oracles(const World& w);
+
+}  // namespace rdb::mc

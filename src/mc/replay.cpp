@@ -1,0 +1,94 @@
+#include "mc/replay.h"
+
+namespace rdb::mc {
+
+ReplayResult replay_trace(const Trace& trace, bool stop_at_violation) {
+  ReplayResult res;
+  World w = make_initial_world(trace.cfg);
+  if (auto v = evaluate_oracles(w)) {
+    res.violation = true;
+    res.oracle = v->oracle;
+    res.detail = v->detail;
+    res.violation_step = 0;
+    res.final_fingerprint = canonical_fingerprint(w);
+    if (stop_at_violation) return res;
+  }
+  for (std::size_t i = 0; i < trace.steps.size(); ++i) {
+    if (!apply_transition(w, trace.steps[i])) {
+      ++res.steps_skipped;
+      continue;
+    }
+    ++res.steps_applied;
+    if (res.violation) continue;  // already found; just finish the schedule
+    if (auto v = evaluate_oracles(w)) {
+      res.violation = true;
+      res.oracle = v->oracle;
+      res.detail = v->detail;
+      res.violation_step = i + 1;
+      res.final_fingerprint = canonical_fingerprint(w);
+      if (stop_at_violation) return res;
+    }
+  }
+  if (!res.violation) res.final_fingerprint = canonical_fingerprint(w);
+  return res;
+}
+
+std::string replay_report(const Trace& trace, const ReplayResult& result) {
+  std::string out;
+  out += "rdb-mc replay report v1\n";
+  out += "engine " + std::string(engine_kind_name(trace.cfg.engine)) + "\n";
+  out += "n " + std::to_string(trace.cfg.n) + "\n";
+  out += "steps " + std::to_string(trace.steps.size()) + "\n";
+  out += "applied " + std::to_string(result.steps_applied) + "\n";
+  out += "skipped " + std::to_string(result.steps_skipped) + "\n";
+  if (result.violation) {
+    out += "result violation\n";
+    out += "oracle " + result.oracle + "\n";
+    out += "violation_step " + std::to_string(result.violation_step) + "\n";
+    if (result.violation_step > 0) {
+      out += "violating_transition " +
+             transition_brief(trace.steps[result.violation_step - 1]) + "\n";
+    }
+    out += "detail " + result.detail + "\n";
+  } else {
+    out += "result clean\n";
+  }
+  out += "fingerprint " + to_hex(result.final_fingerprint) + "\n";
+  return out;
+}
+
+Trace shrink_trace(const Trace& trace) {
+  ReplayResult full = replay_trace(trace);
+  if (!full.violation) return trace;
+  const std::string oracle = full.oracle;
+
+  Trace best = trace;
+  best.expect = oracle;
+  // Everything after the first violating step is noise.
+  best.steps.resize(full.violation_step);
+
+  auto still_violates = [&](const Trace& candidate) {
+    ReplayResult r = replay_trace(candidate);
+    return r.violation && r.oracle == oracle;
+  };
+
+  // Greedy single-step deletion to a fixed point. Lenient replay means a
+  // deletion can only make later steps inapplicable (skipped), never wedge
+  // the run, so each candidate is a straight replay.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = best.steps.size(); i-- > 0;) {
+      Trace candidate = best;
+      candidate.steps.erase(candidate.steps.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (still_violates(candidate)) {
+        best = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rdb::mc

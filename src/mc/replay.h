@@ -1,0 +1,58 @@
+// Trace replay and counterexample shrinking.
+//
+// replay_trace() rebuilds the initial world from the trace's McConfig and
+// applies the schedule step by step, running all four safety oracles after
+// every step (and once on the initial world — a violating start state is
+// step 0). Replay is LENIENT: a step that is not applicable (message id no
+// longer pending, timer not armed, budget spent) is counted as skipped and
+// the remainder continues. Lenience is what greedy shrinking leans on —
+// deleting one step must not wedge the rest of the schedule.
+//
+// replay_report() renders the result as a canonical text block. The
+// acceptance bar for the whole subsystem is that this block is
+// byte-identical across runs, optimization levels, and sanitizer builds:
+// it contains only replayed state (no clocks, no paths, no pointers).
+//
+// Deterministic (det-zone, stage-4 grep + determinism lint).
+#pragma once
+
+#include <string>
+
+#include "common/det.h"
+#include "mc/oracles.h"
+#include "mc/trace.h"
+
+namespace rdb::mc {
+
+struct ReplayResult {
+  bool violation{false};
+  std::string oracle;
+  std::string detail;
+  std::size_t steps_applied{0};
+  std::size_t steps_skipped{0};
+  /// 1-based index of the trace step after which the violation first held
+  /// (0 = the initial world already violated).
+  std::size_t violation_step{0};
+  /// canonical_fingerprint of the final world (at the violation, or after
+  /// the last step when clean).
+  Digest final_fingerprint{};
+};
+
+/// Replays the schedule. With stop_at_violation (the default) the replay
+/// halts at the first violating step; otherwise it runs the whole schedule
+/// and reports the first violation encountered along the way.
+RDB_DETERMINISTIC
+ReplayResult replay_trace(const Trace& trace, bool stop_at_violation = true);
+
+/// Canonical report block for a replay outcome.
+RDB_DETERMINISTIC
+std::string replay_report(const Trace& trace, const ReplayResult& result);
+
+/// Greedy counterexample minimization: truncate at the first violating
+/// step, then repeatedly try deleting single steps (last to first, to
+/// convergence), keeping each deletion that preserves a violation of the
+/// SAME oracle. Returns the input unchanged if it does not violate.
+/// The returned trace carries `expect violation <oracle>`.
+RDB_DETERMINISTIC Trace shrink_trace(const Trace& trace);
+
+}  // namespace rdb::mc

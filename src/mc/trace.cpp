@@ -1,0 +1,215 @@
+#include "mc/trace.h"
+
+#include <sstream>
+
+namespace rdb::mc {
+
+namespace {
+
+const char* step_word(TKind k) {
+  if (k == TKind::kDeliver) return "deliver";
+  if (k == TKind::kDuplicate) return "dup";
+  if (k == TKind::kDrop) return "drop";
+  if (k == TKind::kTimeout) return "timeout";
+  if (k == TKind::kCrash) return "crash";
+  return "cert";
+}
+
+bool parse_digest(const std::string& hex, Digest* out) {
+  if (hex.size() != 64) return false;
+  Bytes raw = from_hex(hex);
+  if (raw.size() != out->data.size()) return false;
+  std::copy(raw.begin(), raw.end(), out->data.begin());
+  return true;
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_trace(const Trace& trace) {
+  std::string out;
+  out += "rdb-mc-trace v1\n";
+  if (!trace.note.empty()) {
+    std::istringstream lines(trace.note);
+    std::string line;
+    while (std::getline(lines, line)) out += "# " + line + "\n";
+  }
+  const McConfig& c = trace.cfg;
+  out += "engine " + std::string(engine_kind_name(c.engine)) + "\n";
+  out += "n " + std::to_string(c.n) + "\n";
+  out += "checkpoint_interval " + std::to_string(c.checkpoint_interval) + "\n";
+  out += "batches " + std::to_string(c.batches) + "\n";
+  out += "max_drops " + std::to_string(c.max_drops) + "\n";
+  out += "max_dups " + std::to_string(c.max_dups) + "\n";
+  out += "max_timeouts " + std::to_string(c.max_timeouts) + "\n";
+  out += "crash_replica " + std::to_string(c.crash_replica) + "\n";
+  out += "byzantine " + std::string(c.byzantine ? "1" : "0") + "\n";
+  out += "strict_spec " + std::string(c.strict_spec_agreement ? "1" : "0") +
+         "\n";
+  out += "expect " +
+         (trace.expect == "clean" ? std::string("clean")
+                                  : "violation " + trace.expect) +
+         "\n";
+  for (const Transition& t : trace.steps) {
+    out += "step ";
+    out += step_word(t.kind);
+    if (t.kind == TKind::kDeliver || t.kind == TKind::kDuplicate ||
+        t.kind == TKind::kDrop) {
+      out += " " + std::to_string(t.replica) + " " + to_hex(t.msg_id);
+    } else if (t.kind == TKind::kTimeout) {
+      out += " " + std::to_string(t.replica) + " " +
+             std::to_string(t.timer_id);
+    } else if (t.kind == TKind::kCrash) {
+      out += " " + std::to_string(t.replica);
+    } else {
+      out += " " + std::to_string(t.seq) + " " + to_hex(t.history);
+    }
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+bool parse_trace(const std::string& text, Trace* out, std::string* err) {
+  auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (err) *err = "line " + std::to_string(line_no) + ": " + why;
+    return false;
+  };
+  Trace trace;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_magic = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream toks(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (toks >> t) tok.push_back(t);
+    if (tok.empty()) continue;
+    if (!saw_magic) {
+      if (tok.size() != 2 || tok[0] != "rdb-mc-trace" || tok[1] != "v1")
+        return fail(line_no, "expected header 'rdb-mc-trace v1'");
+      saw_magic = true;
+      continue;
+    }
+    if (saw_end) return fail(line_no, "content after 'end'");
+    const std::string& key = tok[0];
+    if (key == "end") {
+      saw_end = true;
+      continue;
+    }
+    if (key == "engine") {
+      if (tok.size() != 2) return fail(line_no, "engine needs one value");
+      auto kind = engine_kind_from_name(tok[1]);
+      if (!kind) return fail(line_no, "unknown engine '" + tok[1] + "'");
+      trace.cfg.engine = *kind;
+      continue;
+    }
+    if (key == "expect") {
+      if (tok.size() == 2 && tok[1] == "clean") {
+        trace.expect = "clean";
+        continue;
+      }
+      if (tok.size() == 3 && tok[1] == "violation") {
+        trace.expect = tok[2];
+        continue;
+      }
+      return fail(line_no, "expect takes 'clean' or 'violation <oracle>'");
+    }
+    if (key == "step") {
+      if (tok.size() < 2) return fail(line_no, "step needs a kind");
+      Transition tr;
+      std::uint64_t v = 0;
+      const std::string& kind = tok[1];
+      if (kind == "deliver" || kind == "dup" || kind == "drop") {
+        if (tok.size() != 4 || !parse_u64(tok[2], &v))
+          return fail(line_no, kind + " needs <replica> <id-hex>");
+        tr.kind = kind == "deliver"
+                      ? TKind::kDeliver
+                      : (kind == "dup" ? TKind::kDuplicate : TKind::kDrop);
+        tr.replica = static_cast<ReplicaId>(v);
+        if (!parse_digest(tok[3], &tr.msg_id))
+          return fail(line_no, "bad 64-hex message id");
+      } else if (kind == "timeout") {
+        if (tok.size() != 4 || !parse_u64(tok[2], &v))
+          return fail(line_no, "timeout needs <replica> <timer-id>");
+        tr.kind = TKind::kTimeout;
+        tr.replica = static_cast<ReplicaId>(v);
+        if (!parse_u64(tok[3], &tr.timer_id))
+          return fail(line_no, "bad timer id");
+      } else if (kind == "crash") {
+        if (tok.size() != 3 || !parse_u64(tok[2], &v))
+          return fail(line_no, "crash needs <replica>");
+        tr.kind = TKind::kCrash;
+        tr.replica = static_cast<ReplicaId>(v);
+      } else if (kind == "cert") {
+        if (tok.size() != 4 || !parse_u64(tok[2], &v))
+          return fail(line_no, "cert needs <seq> <history-hex>");
+        tr.kind = TKind::kClientCert;
+        tr.seq = v;
+        if (!parse_digest(tok[3], &tr.history))
+          return fail(line_no, "bad 64-hex history digest");
+      } else {
+        return fail(line_no, "unknown step kind '" + kind + "'");
+      }
+      trace.steps.push_back(tr);
+      continue;
+    }
+    // Scalar config keys.
+    if (tok.size() != 2) return fail(line_no, key + " needs one value");
+    std::uint64_t v = 0;
+    bool negative = false;
+    std::string num = tok[1];
+    if (!num.empty() && num[0] == '-') {
+      negative = true;
+      num.erase(0, 1);
+    }
+    if (!parse_u64(num, &v))
+      return fail(line_no, "bad integer '" + tok[1] + "'");
+    if (negative && key != "crash_replica")
+      return fail(line_no, key + " cannot be negative");
+    if (key == "n") {
+      trace.cfg.n = static_cast<std::uint32_t>(v);
+    } else if (key == "checkpoint_interval") {
+      trace.cfg.checkpoint_interval = v;
+    } else if (key == "batches") {
+      trace.cfg.batches = static_cast<std::uint32_t>(v);
+    } else if (key == "max_drops") {
+      trace.cfg.max_drops = static_cast<std::uint32_t>(v);
+    } else if (key == "max_dups") {
+      trace.cfg.max_dups = static_cast<std::uint32_t>(v);
+    } else if (key == "max_timeouts") {
+      trace.cfg.max_timeouts = static_cast<std::uint32_t>(v);
+    } else if (key == "crash_replica") {
+      trace.cfg.crash_replica =
+          negative ? -static_cast<std::int32_t>(v)
+                   : static_cast<std::int32_t>(v);
+    } else if (key == "byzantine") {
+      trace.cfg.byzantine = v != 0;
+    } else if (key == "strict_spec") {
+      trace.cfg.strict_spec_agreement = v != 0;
+    } else {
+      return fail(line_no, "unknown directive '" + key + "'");
+    }
+  }
+  if (!saw_magic) return fail(0, "missing 'rdb-mc-trace v1' header");
+  if (!saw_end) return fail(line_no, "missing 'end'");
+  *out = std::move(trace);
+  return true;
+}
+
+}  // namespace rdb::mc

@@ -1,0 +1,58 @@
+// Replayable schedule traces — the model checker's counterexample artifact.
+//
+// A trace is a text file: the full McConfig (so the initial world is
+// reconstructible), an `expect` line naming the outcome the trace
+// demonstrates, and the transition schedule. Shrunk counterexamples and
+// known-good deep schedules are committed under tests/corpus/mc/ and
+// replayed by the mc_test corpus runner and `rdb_mc --replay` — the same
+// pattern as the wire-fuzz corpus (tests/corpus/wire).
+//
+// Format (one directive per line, '#' comments ignored):
+//
+//   rdb-mc-trace v1
+//   engine pbft
+//   n 4
+//   checkpoint_interval 2
+//   batches 2
+//   max_drops 1
+//   max_dups 0
+//   max_timeouts 3
+//   crash_replica -1
+//   byzantine 0
+//   strict_spec 0
+//   expect clean                  # or: expect violation <oracle>
+//   step deliver <replica> <64-hex net-entry id>
+//   step timeout <replica> <timer id>
+//   step crash <replica>
+//   step cert <seq> <64-hex history digest>
+//   end
+//
+// Deterministic (det-zone): serialization is byte-stable so a re-shrunk
+// trace diffs clean against the committed one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/det.h"
+#include "mc/model.h"
+
+namespace rdb::mc {
+
+struct Trace {
+  McConfig cfg;
+  /// "clean", or the oracle name the schedule is expected to violate
+  /// ("agreement", "chain", "exactly_once", "checkpoint").
+  std::string expect{"clean"};
+  std::vector<Transition> steps;
+  /// Free-form provenance, emitted as leading '#' comments.
+  std::string note;
+};
+
+RDB_DETERMINISTIC std::string serialize_trace(const Trace& trace);
+
+/// Parses `text`; on failure returns false and (if non-null) sets `err` to
+/// a line-numbered explanation.
+bool parse_trace(const std::string& text, Trace* out, std::string* err);
+
+}  // namespace rdb::mc

@@ -9,6 +9,8 @@
 // Prepares/Commits).
 #pragma once
 
+#include <type_traits>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -88,5 +90,61 @@ using Action =
                  RequestSnapshotAction, ExecDivergenceAction>;
 
 using Actions = std::vector<Action>;
+
+namespace detail {
+/// Never an Action alternative. Handlers invocable on it are generic
+/// catch-alls ([](auto&) / templated operator()), which would silently
+/// swallow any Action added later — exactly the fall-through visit_action
+/// exists to make impossible.
+struct NotAnAction {};
+
+template <class... Handlers>
+struct ActionOverloads : Handlers... {
+  using Handlers::operator()...;
+};
+template <class... Handlers>
+ActionOverloads(Handlers...) -> ActionOverloads<Handlers...>;
+}  // namespace detail
+
+/// Sanctioned single-alternative peek — NOT dispatch. Tests and tools often
+/// want "the broadcast inside this action list" without handling all nine
+/// alternatives; this names that intent. Multi-branch dispatch must use
+/// visit_action (the check_static.sh gate bans raw get_if-on-Action outside
+/// this header, so an if/else dispatch chain cannot silently fall through).
+template <class T>
+const T* action_as(const Action& action) {
+  return std::get_if<T>(&action);
+}
+template <class T>
+T* action_as(Action& action) {
+  return std::get_if<T>(&action);
+}
+
+/// The one sanctioned way to dispatch over an Action.
+///
+/// `visit_action(action, handlers...)` requires, at compile time, one
+/// handler per Action alternative and rejects generic catch-alls:
+///   - a MISSING alternative fails to compile (std::visit demands an
+///     exhaustive overload set), so adding an Action for the multi-primary
+///     refactor breaks every dispatcher loudly instead of falling through;
+///   - a `default:`-equivalent ([](auto&) {}) fails the static_assert, so
+///     exhaustiveness cannot be faked away.
+/// The probes in cmake/CheckActionVisit.cmake prove both rejections stay
+/// live, and check_static.sh bans get_if-on-Action dispatch outside this
+/// header.
+template <class ActionRef, class... Handlers>
+decltype(auto) visit_action(ActionRef&& action, Handlers&&... handlers) {
+  static_assert(
+      std::is_same_v<std::remove_cvref_t<ActionRef>, Action>,
+      "visit_action dispatches over protocol::Action only");
+  static_assert(
+      (!std::is_invocable_v<Handlers&, detail::NotAnAction&> && ...),
+      "visit_action handlers must name concrete Action alternatives; a "
+      "generic (auto&) catch-all is a silent default: and is banned");
+  return std::visit(
+      detail::ActionOverloads<std::remove_cvref_t<Handlers>...>{
+          std::forward<Handlers>(handlers)...},
+      std::forward<ActionRef>(action));
+}
 
 }  // namespace rdb::protocol

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/sha256.h"
+
 namespace rdb::protocol {
 
 PbftEngine::PbftEngine(PbftConfig config) : config_(config) {}
@@ -88,7 +90,7 @@ Actions PbftEngine::on_preprepare(const Message& msg) {
     p.view = pp.view;
     p.seq = pp.seq;
     p.batch_digest = pp.batch_digest;
-    s.prepares.insert(config_.self);
+    s.prepares[pp.batch_digest].insert(config_.self);
     s.sent_prepare = true;
     ++metrics_.prepares_sent;
     out.push_back(BroadcastAction{own(p)});
@@ -119,23 +121,28 @@ Actions PbftEngine::on_prepare(const Message& msg) {
     ++metrics_.rejected_msgs;
     return out;
   }
-  s.prepares.insert(msg.from.id);
+  // Key the vote by the digest it endorses: a prepare buffered before the
+  // pre-prepare must only ever count toward ITS digest's quorum.
+  s.prepares[p.batch_digest].insert(msg.from.id);
   return maybe_prepared(p.seq, s);
 }
 
 Actions PbftEngine::maybe_prepared(SeqNum seq, Slot& s) {
   Actions out;
   // Prepared: pre-prepare plus 2f Prepare messages from distinct replicas
-  // (a majority of non-faulty replicas know the proposed order).
-  if (!s.have_preprepare || s.sent_commit ||
-      s.prepares.size() < prepare_quorum(config_.n))
+  // (a majority of non-faulty replicas know the proposed order). Only votes
+  // for the accepted pre-prepare digest count.
+  if (!s.have_preprepare || s.sent_commit) return out;
+  auto votes = s.prepares.find(s.digest);
+  if (votes == s.prepares.end() ||
+      votes->second.size() < prepare_quorum(config_.n))
     return out;
   Commit c;
   c.view = s.view;
   c.seq = seq;
   c.batch_digest = s.digest;
   s.sent_commit = true;
-  s.commits.insert(config_.self);
+  s.commits[s.digest].insert(config_.self);
   ++metrics_.commits_sent;
   out.push_back(BroadcastAction{own(c)});
   auto more = maybe_committed(seq, s);
@@ -161,15 +168,16 @@ Actions PbftEngine::on_commit(const Message& msg) {
     ++metrics_.rejected_msgs;
     return out;
   }
-  s.commits.insert(msg.from.id);
-  s.commit_sigs.emplace(msg.from.id, msg.signature);
+  s.commits[c.batch_digest].insert(msg.from.id);
+  s.commit_sigs[c.batch_digest].emplace(msg.from.id, msg.signature);
   return maybe_committed(c.seq, s);
 }
 
 void PbftEngine::note_own_commit_signature(SeqNum seq, Bytes signature) {
   auto it = slots_.find(seq);
-  if (it != slots_.end())
-    it->second.commit_sigs.emplace(config_.self, std::move(signature));
+  if (it == slots_.end() || !it->second.have_preprepare) return;
+  it->second.commit_sigs[it->second.digest].emplace(config_.self,
+                                                    std::move(signature));
 }
 
 Actions PbftEngine::maybe_committed(SeqNum seq, Slot& s) {
@@ -180,8 +188,10 @@ Actions PbftEngine::maybe_committed(SeqNum seq, Slot& s) {
   // A replica finalizes only batches it prepared itself (sent_commit): it
   // must hold the request payload and have checked the order before it can
   // execute. Replicas that missed the pre-prepare recover via checkpoints.
-  if (s.committed || !s.have_preprepare || !s.sent_commit ||
-      s.commits.size() < commit_quorum(config_.n))
+  if (s.committed || !s.have_preprepare || !s.sent_commit) return out;
+  auto votes = s.commits.find(s.digest);
+  if (votes == s.commits.end() ||
+      votes->second.size() < commit_quorum(config_.n))
     return out;
   s.committed = true;
   ++metrics_.batches_committed;
@@ -212,9 +222,10 @@ void PbftEngine::drain_executable(Actions& out) {
     ex.txn_begin = s.txn_begin;
     // The certificate always carries this replica's own vote; the fabric
     // fills in the signature via note_own_commit_signature when it signs.
-    s.commit_sigs.try_emplace(config_.self);
-    ex.certificate.reserve(s.commit_sigs.size());
-    for (const auto& [replica, sig] : s.commit_sigs)
+    auto& sigs = s.commit_sigs[s.digest];
+    sigs.try_emplace(config_.self);
+    ex.certificate.reserve(sigs.size());
+    for (const auto& [replica, sig] : sigs)
       ex.certificate.push_back(ledger::CommitVote{replica, sig});
     out.push_back(std::move(ex));
   }
@@ -305,8 +316,12 @@ Actions PbftEngine::on_checkpoint(const Message& msg) {
 Actions PbftEngine::on_timeout(std::uint64_t timer_id) {
   Actions out;
   auto it = slots_.find(timer_id);
-  if (it == slots_.end() || it->second.committed || in_view_change_)
+  if (it == slots_.end() || it->second.committed || in_view_change_) {
+    // Stale or duplicate expiry — the fabric may race a cancel against a
+    // fire, and a view change erases slots while their timers are armed.
+    ++metrics_.stale_timeouts;
     return out;
+  }
   return start_view_change(view_ + 1);
 }
 
@@ -486,6 +501,96 @@ Actions PbftEngine::install_snapshot(SeqNum seq) {
   return out;
 }
 
+Digest PbftEngine::state_digest() const {
+  // Canonical serialization of every transition-relevant field. std::map /
+  // std::set iterate in key order, so the byte stream is unique per state.
+  Writer w;
+  w.u32(config_.n);
+  w.u32(config_.self);
+  w.u64(config_.checkpoint_interval);
+  w.u64(config_.window);
+  w.u64(view_);
+  w.u8(in_view_change_ ? 1 : 0);
+  w.u64(pending_view_);
+  w.u64(last_executed_);
+  w.u64(stable_seq_);
+
+  auto put_voters = [&w](const std::map<Digest, std::set<ReplicaId>>& votes) {
+    w.u32(static_cast<std::uint32_t>(votes.size()));
+    for (const auto& [digest, voters] : votes) {
+      w.digest(digest);
+      w.u32(static_cast<std::uint32_t>(voters.size()));
+      for (ReplicaId r : voters) w.u32(r);
+    }
+  };
+
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [seq, s] : slots_) {
+    w.u64(seq);
+    w.u64(s.view);
+    w.u8(s.have_preprepare ? 1 : 0);
+    w.digest(s.digest);
+    w.u32(static_cast<std::uint32_t>(s.txns.size()));
+    for (const auto& t : s.txns) t.serialize(w);
+    w.u64(s.txn_begin);
+    put_voters(s.prepares);
+    put_voters(s.commits);
+    w.u32(static_cast<std::uint32_t>(s.commit_sigs.size()));
+    for (const auto& [digest, sigs] : s.commit_sigs) {
+      w.digest(digest);
+      w.u32(static_cast<std::uint32_t>(sigs.size()));
+      for (const auto& [replica, sig] : sigs) {
+        w.u32(replica);
+        w.bytes(BytesView(sig));
+      }
+    }
+    w.u8(s.sent_prepare ? 1 : 0);
+    w.u8(s.sent_commit ? 1 : 0);
+    w.u8(s.committed ? 1 : 0);
+    w.u8(s.executed ? 1 : 0);
+  }
+
+  w.u32(static_cast<std::uint32_t>(checkpoint_votes_.size()));
+  for (const auto& [seq, votes] : checkpoint_votes_) {
+    w.u64(seq);
+    put_voters(votes);
+  }
+  w.u32(static_cast<std::uint32_t>(own_exec_.size()));
+  for (const auto& [seq, digests] : own_exec_) {
+    w.u64(seq);
+    w.digest(digests.first);
+    w.digest(digests.second);
+  }
+  w.u32(static_cast<std::uint32_t>(exec_mismatch_.size()));
+  for (const auto& [seq, votes] : exec_mismatch_) {
+    w.u64(seq);
+    put_voters(votes);
+  }
+  w.u32(static_cast<std::uint32_t>(exec_divergence_fired_.size()));
+  for (SeqNum seq : exec_divergence_fired_) w.u64(seq);
+
+  w.u32(static_cast<std::uint32_t>(view_change_votes_.size()));
+  for (const auto& [target, votes] : view_change_votes_) {
+    w.u64(target);
+    w.u32(static_cast<std::uint32_t>(votes.size()));
+    for (const auto& [replica, vc] : votes) {
+      w.u32(replica);
+      vc.serialize(w);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(catchup_votes_.size()));
+  for (const auto& [seq, votes] : catchup_votes_) {
+    w.u64(seq);
+    put_voters(votes);
+  }
+  w.u64(catchup_requested_upto_);
+  w.u32(static_cast<std::uint32_t>(catchup_idle_polls_));
+  w.u64(cluster_stable_hint_);
+  w.u32(static_cast<std::uint32_t>(snapshot_stall_polls_));
+  return crypto::sha256(BytesView(w.data()));
+}
+
 Actions PbftEngine::start_view_change(ViewId target) {
   Actions out;
   in_view_change_ = true;
@@ -497,7 +602,10 @@ Actions PbftEngine::start_view_change(ViewId target) {
   vc.stable_seq = stable_seq_;
   for (const auto& [seq, s] : slots_) {
     if (s.executed || !s.have_preprepare) continue;
-    if (s.prepares.size() < prepare_quorum(config_.n)) continue;
+    auto votes = s.prepares.find(s.digest);
+    if (votes == s.prepares.end() ||
+        votes->second.size() < prepare_quorum(config_.n))
+      continue;
     PreparedProof proof;
     proof.view = s.view;
     proof.seq = seq;
@@ -645,7 +753,7 @@ Actions PbftEngine::enter_view(ViewId v, std::vector<PreparedProof> reproposals,
       p.view = v;
       p.seq = proof.seq;
       p.batch_digest = proof.batch_digest;
-      s.prepares.insert(config_.self);
+      s.prepares[s.digest].insert(config_.self);
       s.sent_prepare = true;
       ++metrics_.prepares_sent;
       out.push_back(BroadcastAction{own(p)});

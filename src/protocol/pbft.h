@@ -50,6 +50,10 @@ struct PbftMetrics {
   std::uint64_t snapshots_installed{0};
   /// Execution-fingerprint tripwires fired (see ExecDivergenceAction).
   std::uint64_t exec_divergences{0};
+  /// Timer expirations absorbed without effect: the slot was gone, already
+  /// committed, or a view change was in flight. Duplicate and stale timer
+  /// events are normal fabric behavior and must never corrupt state.
+  std::uint64_t stale_timeouts{0};
 };
 
 class PbftEngine {
@@ -100,14 +104,17 @@ class PbftEngine {
                       const Digest& exec_digest = Digest{});
 
   // --- timers ---
-  /// Timer ids are sequence numbers of pending batches.
-  Actions on_timeout(std::uint64_t timer_id);
+  /// Timer ids are sequence numbers of pending batches. Timeouts are
+  /// ordinary events in the det zone: a stale or duplicate expiry (slot
+  /// committed, slot erased by a view change, view change already running)
+  /// is absorbed and counted, never a state change.
+  RDB_DETERMINISTIC Actions on_timeout(std::uint64_t timer_id);
 
   /// A backup forwarded a client request to the primary and the primary made
   /// no progress before the timer fired: demand a view change. (The PBFT
   /// liveness rule for a dead/silent primary that never sends Pre-prepares,
   /// so no per-sequence timer exists.)
-  Actions on_client_request_timeout();
+  RDB_DETERMINISTIC Actions on_client_request_timeout();
 
   // --- catch-up (state transfer within the retention window) ---
   /// Periodic poll by the fabric: if this replica can prove the cluster
@@ -135,7 +142,14 @@ class PbftEngine {
   /// though this replica may lack the 2f+1 for local stability.
   SeqNum cluster_stable_hint() const { return cluster_stable_hint_; }
 
-  // --- introspection (tests, metrics) ---
+  // --- introspection (tests, metrics, model checking) ---
+  /// Canonical fingerprint of the full protocol state: every field that can
+  /// influence a future transition, serialized in a fixed order and hashed.
+  /// Two engine instances with equal digests behave identically on every
+  /// future input — the property the model checker's state dedup relies on.
+  /// Metrics are excluded (they never feed back into transitions).
+  RDB_DETERMINISTIC Digest state_digest() const;
+
   const PbftMetrics& metrics() const { return metrics_; }
   SeqNum last_executed() const { return last_executed_; }
   /// Next sequence number a (new) primary should assign.
@@ -155,9 +169,15 @@ class PbftEngine {
     Digest digest{};
     std::vector<Transaction> txns;
     std::uint64_t txn_begin{0};
-    std::set<ReplicaId> prepares;
-    std::set<ReplicaId> commits;
-    std::map<ReplicaId, Bytes> commit_sigs;
+    // Votes are keyed by the digest they endorse. Prepares/commits can
+    // arrive BEFORE the pre-prepare; pooling them in one digest-blind set
+    // would let an equivocating primary count votes for digest B toward
+    // digest A's quorum (found by the model checker — see
+    // tests/corpus/mc/). Only the bucket matching the accepted pre-prepare
+    // digest is consulted by the quorum checks.
+    std::map<Digest, std::set<ReplicaId>> prepares;
+    std::map<Digest, std::set<ReplicaId>> commits;
+    std::map<Digest, std::map<ReplicaId, Bytes>> commit_sigs;
     bool sent_prepare{false};
     bool sent_commit{false};
     bool committed{false};

@@ -1,5 +1,7 @@
 #include "protocol/poe.h"
 
+#include "crypto/sha256.h"
+
 namespace rdb::protocol {
 
 PoeEngine::PoeEngine(PoeConfig config) : config_(config) {}
@@ -71,14 +73,14 @@ Actions PoeEngine::on_propose(const Message& msg) {
   s.txns = p.txns;
   s.txn_begin = p.txn_begin;
   // The primary's propose carries its support.
-  s.supports.insert(msg.from.id);
+  s.supports[p.batch_digest].insert(msg.from.id);
 
   if (!is_primary()) {
     Prepare support;  // PoE's Support rides the Prepare wire shape
     support.view = p.view;
     support.seq = p.seq;
     support.batch_digest = p.batch_digest;
-    s.supports.insert(config_.self);
+    s.supports[p.batch_digest].insert(config_.self);
     s.sent_support = true;
     ++metrics_.supports_sent;
     out.push_back(BroadcastAction{own(support)});
@@ -106,7 +108,8 @@ Actions PoeEngine::on_support(const Message& msg) {
     ++metrics_.rejected_msgs;
     return out;
   }
-  s.supports.insert(msg.from.id);
+  // Key the vote by the digest it endorses (see Slot::supports).
+  s.supports[sup.batch_digest].insert(msg.from.id);
   return maybe_supported(sup.seq, s);
 }
 
@@ -115,9 +118,11 @@ Actions PoeEngine::maybe_supported(SeqNum seq, Slot& s) {
   Actions out;
   // 2f+1 supports (propose counts as the primary's) guarantee that every
   // quorum intersects this one in a non-faulty replica: the order is safe
-  // to execute speculatively.
-  if (s.supported || !s.have_propose ||
-      s.supports.size() < commit_quorum(config_.n))
+  // to execute speculatively. Only votes matching the propose digest count.
+  if (s.supported || !s.have_propose) return out;
+  auto votes = s.supports.find(s.digest);
+  if (votes == s.supports.end() ||
+      votes->second.size() < commit_quorum(config_.n))
     return out;
   // A backup that never agreed itself (no propose processed) cannot execute.
   if (!s.sent_support && !is_primary()) return out;
@@ -188,6 +193,57 @@ Actions PoeEngine::on_checkpoint(const Message& msg) {
   }
   out.push_back(StableCheckpointAction{cp.seq});
   return out;
+}
+
+Actions PoeEngine::on_timeout(std::uint64_t timer_id) {
+  // No view change in this engine (header comment): every timer expiry —
+  // including duplicates and expiries for long-gone slots — is absorbed
+  // without touching protocol state. state_digest() before == after.
+  (void)timer_id;
+  ++metrics_.stale_timeouts;
+  return {};
+}
+
+Digest PoeEngine::state_digest() const {
+  Writer w;
+  w.u32(config_.n);
+  w.u32(config_.self);
+  w.u64(config_.checkpoint_interval);
+  w.u64(config_.window);
+  w.u64(view_);
+  w.u64(last_executed_);
+  w.u64(stable_seq_);
+
+  auto put_voters = [&w](const std::map<Digest, std::set<ReplicaId>>& votes) {
+    w.u32(static_cast<std::uint32_t>(votes.size()));
+    for (const auto& [digest, voters] : votes) {
+      w.digest(digest);
+      w.u32(static_cast<std::uint32_t>(voters.size()));
+      for (ReplicaId r : voters) w.u32(r);
+    }
+  };
+
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [seq, s] : slots_) {
+    w.u64(seq);
+    w.u64(s.view);
+    w.u8(s.have_propose ? 1 : 0);
+    w.digest(s.digest);
+    w.u32(static_cast<std::uint32_t>(s.txns.size()));
+    for (const auto& t : s.txns) t.serialize(w);
+    w.u64(s.txn_begin);
+    put_voters(s.supports);
+    w.u8(s.sent_support ? 1 : 0);
+    w.u8(s.supported ? 1 : 0);
+    w.u8(s.executed ? 1 : 0);
+  }
+
+  w.u32(static_cast<std::uint32_t>(checkpoint_votes_.size()));
+  for (const auto& [seq, votes] : checkpoint_votes_) {
+    w.u64(seq);
+    put_voters(votes);
+  }
+  return crypto::sha256(BytesView(w.data()));
 }
 
 }  // namespace rdb::protocol

@@ -41,6 +41,10 @@ struct PoeMetrics {
   std::uint64_t supports_sent{0};
   std::uint64_t batches_executed{0};
   std::uint64_t rejected_msgs{0};
+  /// Timer expirations absorbed as no-ops (PoE has no view change here, so
+  /// EVERY timeout is absorbed — but it must be absorbed without a state
+  /// change, which the model checker and regression tests pin down).
+  std::uint64_t stale_timeouts{0};
 };
 
 class PoeEngine {
@@ -69,6 +73,18 @@ class PoeEngine {
                       const Digest& exec_digest = Digest{});
   RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
 
+  /// Timeout-as-event handling: view changes / speculative rollback are out
+  /// of scope for this engine (see the header comment), so a timer expiry —
+  /// including a stale or duplicated one replayed by the fabric — is
+  /// absorbed as a counted no-op. It must NEVER mutate protocol state; the
+  /// model checker's fingerprint dedup and the regression tests in
+  /// tests/poe_test.cpp rely on that.
+  RDB_DETERMINISTIC Actions on_timeout(std::uint64_t timer_id);
+
+  /// Canonical fingerprint of the full protocol state (model-checker state
+  /// dedup; metrics excluded). See PbftEngine::state_digest.
+  RDB_DETERMINISTIC Digest state_digest() const;
+
   const PoeMetrics& metrics() const { return metrics_; }
   SeqNum last_executed() const { return last_executed_; }
   SeqNum stable_checkpoint() const { return stable_seq_; }
@@ -81,7 +97,10 @@ class PoeEngine {
     Digest digest{};
     std::vector<Transaction> txns;
     std::uint64_t txn_begin{0};
-    std::set<ReplicaId> supports;
+    // Keyed by the digest the support endorses: supports can arrive before
+    // the propose, and a digest-blind pool would let an equivocating
+    // primary cross-count them (same fix as PbftEngine::Slot::prepares).
+    std::map<Digest, std::set<ReplicaId>> supports;
     bool sent_support{false};
     bool supported{false};  // reached the 2f+1 quorum
     bool executed{false};

@@ -177,6 +177,50 @@ Actions ZyzzyvaEngine::on_executed(SeqNum seq, const Digest& state_digest,
   return out;
 }
 
+Actions ZyzzyvaEngine::on_timeout(std::uint64_t timer_id) {
+  // The slow path is client-driven (CommitCert) and the view change is out
+  // of scope: absorb every replica-side expiry without touching state.
+  (void)timer_id;
+  ++metrics_.stale_timeouts;
+  return {};
+}
+
+Digest ZyzzyvaEngine::state_digest() const {
+  Writer w;
+  w.u32(config_.n);
+  w.u32(config_.self);
+  w.u64(config_.checkpoint_interval);
+  w.u64(config_.window);
+  w.u64(view_);
+  w.u64(primary_next_);
+  w.digest(primary_history_);
+  w.u64(last_spec_);
+  w.u64(committed_seq_);
+  w.digest(history_);
+  w.u64(stable_seq_);
+  w.u32(static_cast<std::uint32_t>(history_log_.size()));
+  for (const auto& [seq, digest] : history_log_) {
+    w.u64(seq);
+    w.digest(digest);
+  }
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [seq, oreq] : pending_) {
+    w.u64(seq);
+    oreq.serialize(w);
+  }
+  w.u32(static_cast<std::uint32_t>(checkpoint_votes_.size()));
+  for (const auto& [seq, votes] : checkpoint_votes_) {
+    w.u64(seq);
+    w.u32(static_cast<std::uint32_t>(votes.size()));
+    for (const auto& [digest, voters] : votes) {
+      w.digest(digest);
+      w.u32(static_cast<std::uint32_t>(voters.size()));
+      for (ReplicaId r : voters) w.u32(r);
+    }
+  }
+  return crypto::sha256(BytesView(w.data()));
+}
+
 Actions ZyzzyvaEngine::on_checkpoint(const Message& msg) {
   Actions out;
   const auto* cpp = std::get_if<Checkpoint>(&msg.payload);

@@ -35,6 +35,9 @@ struct ZyzzyvaMetrics {
   std::uint64_t spec_executions{0};
   std::uint64_t commit_certs_accepted{0};
   std::uint64_t rejected_msgs{0};
+  /// Timer expirations absorbed as no-ops (this engine's view change is out
+  /// of scope, so every timeout is absorbed — without a state change).
+  std::uint64_t stale_timeouts{0};
 };
 
 class ZyzzyvaEngine {
@@ -68,6 +71,17 @@ class ZyzzyvaEngine {
   Actions on_executed(SeqNum seq, const Digest& state_digest,
                       const Digest& exec_digest = Digest{});
   RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
+
+  /// Timeout-as-event handling: the client drives Zyzzyva's slow path and
+  /// the view change is out of scope here, so a replica-side timer expiry —
+  /// stale, duplicated, or replayed mid-stream — is absorbed as a counted
+  /// no-op. It must NEVER mutate protocol state; the model checker's
+  /// fingerprint dedup and tests/zyzzyva_test.cpp pin that down.
+  RDB_DETERMINISTIC Actions on_timeout(std::uint64_t timer_id);
+
+  /// Canonical fingerprint of the full protocol state (model-checker state
+  /// dedup; metrics excluded). See PbftEngine::state_digest.
+  RDB_DETERMINISTIC Digest state_digest() const;
 
   const ZyzzyvaMetrics& metrics() const { return metrics_; }
   SeqNum last_spec_executed() const { return last_spec_; }

@@ -1210,96 +1210,104 @@ void Replica::timer_loop(std::stop_token st) {
 // ---------------------------------------------------------------------------
 
 void Replica::perform(Actions actions) {
+  // visit_action: one handler per alternative, checked at compile time.
+  // Adding an Action without extending this dispatcher is a build error,
+  // not a silent fall-through (protocol/actions.h).
   for (auto& action : actions) {
-    if (auto* bc = std::get_if<protocol::BroadcastAction>(&action)) {
-      if (bc->msg.type() == MsgType::kCommit) {
-        // Record this replica's own vote for the block certificate: the
-        // self-link MAC/signature over the commit's canonical bytes.
-        auto seq = std::get<protocol::Commit>(bc->msg.payload).seq;
-        Bytes canon = bc->msg.signing_bytes();
-        Bytes sig =
-            crypto_.sign(Endpoint::replica(config_.id), BytesView(canon));
-        MutexLock lock(engine_mu_);
-        engine_.note_own_commit_signature(seq, std::move(sig));
-      }
-      bool include_self = bc->include_self;
-      Message msg = std::move(bc->msg);
-      // Own messages need no signature check (verified = true).
-      if (include_self) worker_queue_.push(WorkerItem{msg, true});
-      broadcast(std::move(msg));
-    } else if (auto* send = std::get_if<protocol::SendAction>(&action)) {
-      enqueue_output(send->to, std::move(send->msg));
-    } else if (auto* ex = std::get_if<protocol::ExecuteAction>(&action)) {
-      deliver_execute(std::move(*ex));
-    } else if (auto* t = std::get_if<protocol::SetTimerAction>(&action)) {
-      MutexLock lock(timer_mu_);
-      timers_[t->id] = std::chrono::steady_clock::now() +
-                       std::chrono::nanoseconds(t->delay_ns);
-      timer_cv_.notify_all();
-    } else if (auto* c = std::get_if<protocol::CancelTimerAction>(&action)) {
-      MutexLock lock(timer_mu_);
-      timers_.erase(c->id);
-      timer_cv_.notify_all();
-    } else if (auto* sc =
-                   std::get_if<protocol::StableCheckpointAction>(&action)) {
-      {
-        MutexLock lock(chain_mu_);
-        chain_.prune_before(sc->seq);
-      }
-      if (rlog_) {
-        // Ask the execute thread (the log's owner) to compact to the new
-        // stable anchor at its next wave boundary; keep only the max.
-        SeqNum cur = compact_request_.load(std::memory_order_relaxed);
-        while (cur < sc->seq &&
-               !compact_request_.compare_exchange_weak(
-                   cur, sc->seq, std::memory_order_acq_rel)) {
-        }
-      }
-    } else if (auto* rs =
-                   std::get_if<protocol::RequestSnapshotAction>(&action)) {
-      if (config_.enable_snapshots) {
-        protocol::SnapshotRequest req;
-        req.have = rs->have;
-        Message m;
-        m.from = Endpoint::replica(config_.id);
-        m.payload = req;
-        broadcast(std::move(m));
-      }
-    } else if (auto* dv = std::get_if<protocol::ExecDivergenceAction>(
-                   &action)) {
-      // Named fail-stop: f+1 peers executed the same ordered input and got
-      // a different execution fingerprint — at least one of them is honest,
-      // so OUR execution is the nondeterministic (or corrupted) one. Dump
-      // forensics, count it, and flip the diverged flag; the execute thread
-      // halts at its next iteration and never un-halts.
-      Digest chain_acc;
-      {
-        MutexLock lock(chain_mu_);
-        chain_acc = chain_.accumulator();
-      }
-      log_error(
-          "EXEC DIVERGENCE (fail-stop): replica=" +
-          std::to_string(config_.id) + " seq=" + std::to_string(dv->seq) +
-          " local_exec=" + to_hex(dv->local_exec) +
-          " quorum_exec=" + to_hex(dv->quorum_exec) +
-          " voters=" + std::to_string(dv->voters) +
-          " last_executed=" + std::to_string(last_executed()) +
-          " chain_acc=" + to_hex(chain_acc) +
-          " — chain accumulators MATCH, so ordering agreed and execution " +
-          "itself forked; halting the execute stage");
-      exec_divergence_count_.fetch_add(1, std::memory_order_relaxed);
-      diverged_.store(true, std::memory_order_release);
-    } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
-      view_.store(vc->view, std::memory_order_release);
-      if (vc->view % config_.n == config_.id) {
-        SeqNum base;
-        {
-          MutexLock lock(engine_mu_);
-          base = engine_.suggest_next_seq();
-        }
-        seq_base_.store(base, std::memory_order_release);
-      }
-    }
+    protocol::visit_action(
+        action,
+        [&](protocol::BroadcastAction& bc) {
+          if (bc.msg.type() == MsgType::kCommit) {
+            // Record this replica's own vote for the block certificate: the
+            // self-link MAC/signature over the commit's canonical bytes.
+            auto seq = std::get<protocol::Commit>(bc.msg.payload).seq;
+            Bytes canon = bc.msg.signing_bytes();
+            Bytes sig =
+                crypto_.sign(Endpoint::replica(config_.id), BytesView(canon));
+            MutexLock lock(engine_mu_);
+            engine_.note_own_commit_signature(seq, std::move(sig));
+          }
+          bool include_self = bc.include_self;
+          Message msg = std::move(bc.msg);
+          // Own messages need no signature check (verified = true).
+          if (include_self) worker_queue_.push(WorkerItem{msg, true});
+          broadcast(std::move(msg));
+        },
+        [&](protocol::SendAction& send) {
+          enqueue_output(send.to, std::move(send.msg));
+        },
+        [&](protocol::ExecuteAction& ex) { deliver_execute(std::move(ex)); },
+        [&](protocol::SetTimerAction& t) {
+          MutexLock lock(timer_mu_);
+          timers_[t.id] = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(t.delay_ns);
+          timer_cv_.notify_all();
+        },
+        [&](protocol::CancelTimerAction& c) {
+          MutexLock lock(timer_mu_);
+          timers_.erase(c.id);
+          timer_cv_.notify_all();
+        },
+        [&](protocol::StableCheckpointAction& sc) {
+          {
+            MutexLock lock(chain_mu_);
+            chain_.prune_before(sc.seq);
+          }
+          if (rlog_) {
+            // Ask the execute thread (the log's owner) to compact to the new
+            // stable anchor at its next wave boundary; keep only the max.
+            SeqNum cur = compact_request_.load(std::memory_order_relaxed);
+            while (cur < sc.seq &&
+                   !compact_request_.compare_exchange_weak(
+                       cur, sc.seq, std::memory_order_acq_rel)) {
+            }
+          }
+        },
+        [&](protocol::RequestSnapshotAction& rs) {
+          if (config_.enable_snapshots) {
+            protocol::SnapshotRequest req;
+            req.have = rs.have;
+            Message m;
+            m.from = Endpoint::replica(config_.id);
+            m.payload = req;
+            broadcast(std::move(m));
+          }
+        },
+        [&](protocol::ExecDivergenceAction& dv) {
+          // Named fail-stop: f+1 peers executed the same ordered input and
+          // got a different execution fingerprint — at least one of them is
+          // honest, so OUR execution is the nondeterministic (or corrupted)
+          // one. Dump forensics, count it, and flip the diverged flag; the
+          // execute thread halts at its next iteration and never un-halts.
+          Digest chain_acc;
+          {
+            MutexLock lock(chain_mu_);
+            chain_acc = chain_.accumulator();
+          }
+          log_error(
+              "EXEC DIVERGENCE (fail-stop): replica=" +
+              std::to_string(config_.id) + " seq=" + std::to_string(dv.seq) +
+              " local_exec=" + to_hex(dv.local_exec) +
+              " quorum_exec=" + to_hex(dv.quorum_exec) +
+              " voters=" + std::to_string(dv.voters) +
+              " last_executed=" + std::to_string(last_executed()) +
+              " chain_acc=" + to_hex(chain_acc) +
+              " — chain accumulators MATCH, so ordering agreed and execution " +
+              "itself forked; halting the execute stage");
+          exec_divergence_count_.fetch_add(1, std::memory_order_relaxed);
+          diverged_.store(true, std::memory_order_release);
+        },
+        [&](protocol::ViewChangedAction& vc) {
+          view_.store(vc.view, std::memory_order_release);
+          if (vc.view % config_.n == config_.id) {
+            SeqNum base;
+            {
+              MutexLock lock(engine_mu_);
+              base = engine_.suggest_next_seq();
+            }
+            seq_base_.store(base, std::memory_order_release);
+          }
+        });
   }
 }
 

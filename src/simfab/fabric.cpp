@@ -386,83 +386,103 @@ void SimReplica::perform(Actions actions, sim::SimThread& origin) {
   const auto& cfg = fab_.config();
   const auto& costs = cfg.costs;
 
+  // visit_action: exhaustive by construction (protocol/actions.h). Actions
+  // the simulator deliberately does not model get an explicit, commented
+  // no-op handler instead of a silent fall-through.
   for (auto& action : actions) {
-    if (auto* bc = std::get_if<protocol::BroadcastAction>(&action)) {
-      std::size_t copies = cfg.replicas - 1;
-      std::uint64_t cost = sign_cost(/*replica_link=*/true, copies);
-      // The engine cannot know its own commit signature; report a
-      // placeholder of the right size for the block certificate (§4.6).
-      if (bc->msg.type() == MsgType::kCommit) {
-        if (auto* p = std::get_if<protocol::PbftEngine>(&engine_)) {
-          auto seq = std::get<protocol::Commit>(bc->msg.payload).seq;
-          std::size_t sig_bytes =
-              crypto::scheme_cost(cfg.schemes.replica_scheme).sig_bytes;
-          p->note_own_commit_signature(seq, Bytes(sig_bytes, 0));
-        }
-      }
-      auto msg = std::make_shared<Message>(std::move(bc->msg));
-      bool include_self = bc->include_self;
-      origin.post(cost, [this, msg, include_self] {
-        broadcast_message(*msg, include_self);
-      });
-    } else if (auto* send = std::get_if<protocol::SendAction>(&action)) {
-      if (send->msg.type() == MsgType::kSpecResponse) {
-        // Spec responses are generated (aggregated per client machine) by
-        // the execute stage; drop the engine's per-client sends.
-        continue;
-      }
-      if (send->msg.type() == MsgType::kLocalCommit &&
-          send->to.kind == Endpoint::Kind::kClient) {
-        ClientId client = send->to.id;
-        std::uint64_t cost = sign_cost(/*replica_link=*/true, 1);
-        origin.post(cost, [this, client] {
-          std::uint32_t machine = fab_.machine_of_client(client);
-          std::uint64_t bytes = 24 + 17 + 10;
-          output_thread().post(fab_.config().costs.output_send_ns,
-                               [this, machine, bytes, client] {
-            fab_.net().send(id_, fab_.machine_node(machine), bytes,
-                            [this, client] {
-                              fab_.deliver_local_commit(id_, client);
-                            });
+    protocol::visit_action(
+        action,
+        [&](protocol::BroadcastAction& bc) {
+          std::size_t copies = cfg.replicas - 1;
+          std::uint64_t cost = sign_cost(/*replica_link=*/true, copies);
+          // The engine cannot know its own commit signature; report a
+          // placeholder of the right size for the block certificate (§4.6).
+          if (bc.msg.type() == MsgType::kCommit) {
+            if (auto* p = std::get_if<protocol::PbftEngine>(&engine_)) {
+              auto seq = std::get<protocol::Commit>(bc.msg.payload).seq;
+              std::size_t sig_bytes =
+                  crypto::scheme_cost(cfg.schemes.replica_scheme).sig_bytes;
+              p->note_own_commit_signature(seq, Bytes(sig_bytes, 0));
+            }
+          }
+          auto msg = std::make_shared<Message>(std::move(bc.msg));
+          bool include_self = bc.include_self;
+          origin.post(cost, [this, msg, include_self] {
+            broadcast_message(*msg, include_self);
           });
+        },
+        [&](protocol::SendAction& send) {
+          if (send.msg.type() == MsgType::kSpecResponse) {
+            // Spec responses are generated (aggregated per client machine)
+            // by the execute stage; drop the engine's per-client sends.
+            return;
+          }
+          if (send.msg.type() == MsgType::kLocalCommit &&
+              send.to.kind == Endpoint::Kind::kClient) {
+            ClientId client = send.to.id;
+            std::uint64_t cost = sign_cost(/*replica_link=*/true, 1);
+            origin.post(cost, [this, client] {
+              std::uint32_t machine = fab_.machine_of_client(client);
+              std::uint64_t bytes = 24 + 17 + 10;
+              output_thread().post(fab_.config().costs.output_send_ns,
+                                   [this, machine, bytes, client] {
+                fab_.net().send(id_, fab_.machine_node(machine), bytes,
+                                [this, client] {
+                                  fab_.deliver_local_commit(id_, client);
+                                });
+              });
+            });
+          }
+        },
+        [&](protocol::ExecuteAction& ex) {
+          std::uint64_t op_ns = cfg.storage == StorageModel::kMemory
+                                    ? costs.exec_mem_op_ns
+                                    : costs.exec_pagedb_op_ns;
+          std::uint64_t per_txn = op_ns * cfg.ops_per_txn +
+                                  costs.exec_response_ns +
+                                  sign_cost(/*replica_link=*/true, 1);
+          std::uint64_t cost = ex.txns.size() * per_txn + costs.exec_block_ns;
+          sim::SimThread& et =
+              executors_.empty() ? *worker_
+                                 : *executors_[ex.seq % executors_.size()];
+          auto shared =
+              std::make_shared<protocol::ExecuteAction>(std::move(ex));
+          et.post(cost, [this, shared] { do_execute(*shared); });
+        },
+        [&](protocol::SetTimerAction& st) {
+          std::uint64_t id = st.id;
+          timers_[id] = fab_.sched().schedule(st.delay_ns, [this, id] {
+            timers_.erase(id);
+            worker_->post(1'000, [this, id] {
+              if (auto* p = std::get_if<protocol::PbftEngine>(&engine_))
+                perform(p->on_timeout(id), *worker_);
+            });
+          });
+        },
+        [&](protocol::CancelTimerAction& ct) {
+          auto it = timers_.find(ct.id);
+          if (it != timers_.end()) {
+            fab_.sched().cancel(it->second);
+            timers_.erase(it);
+          }
+        },
+        [&](protocol::StableCheckpointAction& sc) {
+          chain_.prune_before(sc.seq);
+        },
+        [&](protocol::ViewChangedAction& vc) {
+          ++view_changes_;
+          fab_.note_primary(static_cast<ReplicaId>(vc.view % cfg.replicas));
+        },
+        [&](protocol::RequestSnapshotAction&) {
+          // Snapshot state transfer is not modeled by the simulator (the
+          // threaded runtime owns it); dropping the request only delays a
+          // lagging replica, never breaks safety.
+        },
+        [&](protocol::ExecDivergenceAction&) {
+          // The simulator executes nothing for real, so fingerprints never
+          // diverge; reaching this would mean the engine itself is broken,
+          // which chaos_test covers against the threaded fabric.
         });
-      }
-    } else if (auto* ex = std::get_if<protocol::ExecuteAction>(&action)) {
-      std::uint64_t op_ns = cfg.storage == StorageModel::kMemory
-                                ? costs.exec_mem_op_ns
-                                : costs.exec_pagedb_op_ns;
-      std::uint64_t per_txn = op_ns * cfg.ops_per_txn +
-                              costs.exec_response_ns +
-                              sign_cost(/*replica_link=*/true, 1);
-      std::uint64_t cost =
-          ex->txns.size() * per_txn + costs.exec_block_ns;
-      sim::SimThread& et =
-          executors_.empty() ? *worker_
-                             : *executors_[ex->seq % executors_.size()];
-      auto shared = std::make_shared<protocol::ExecuteAction>(std::move(*ex));
-      et.post(cost, [this, shared] { do_execute(*shared); });
-    } else if (auto* st = std::get_if<protocol::SetTimerAction>(&action)) {
-      std::uint64_t id = st->id;
-      timers_[id] = fab_.sched().schedule(st->delay_ns, [this, id] {
-        timers_.erase(id);
-        worker_->post(1'000, [this, id] {
-          if (auto* p = std::get_if<protocol::PbftEngine>(&engine_))
-            perform(p->on_timeout(id), *worker_);
-        });
-      });
-    } else if (auto* ct = std::get_if<protocol::CancelTimerAction>(&action)) {
-      auto it = timers_.find(ct->id);
-      if (it != timers_.end()) {
-        fab_.sched().cancel(it->second);
-        timers_.erase(it);
-      }
-    } else if (auto* sc =
-                   std::get_if<protocol::StableCheckpointAction>(&action)) {
-      chain_.prune_before(sc->seq);
-    } else if (auto* vc = std::get_if<protocol::ViewChangedAction>(&action)) {
-      ++view_changes_;
-      fab_.note_primary(static_cast<ReplicaId>(vc->view % cfg.replicas));
-    }
   }
 }
 

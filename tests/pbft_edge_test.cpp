@@ -230,5 +230,47 @@ TEST(PbftEdge, ClientSourcedPhaseMessagesRejected) {
   EXPECT_TRUE(h.engine(1).on_commit(mc).empty());
 }
 
+TEST(PbftEdge, DuplicateTimeoutDuringViewChangeIsStale) {
+  // The model checker schedules timer expiry as an ordinary event, so a
+  // timer can fire twice (fabric races a cancel against a fire) or fire for
+  // a slot the view change already erased. Both must be absorbed without
+  // touching protocol state — a second start_view_change(view+1) here used
+  // to be the classic double-transition hazard.
+  EngineHarness<PbftEngine> h(4);
+  PrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch_digest = digest_of("slow");
+  pp.txns = make_batch(1, 0, 1);
+  (void)h.engine(1).on_preprepare(from_replica(0, pp));
+
+  // First expiry: the backup gives up on view 0.
+  auto first = h.engine(1).on_timeout(1);
+  EXPECT_FALSE(first.empty());
+  ASSERT_TRUE(h.engine(1).in_view_change());
+  const Digest mid = h.engine(1).state_digest();
+  const auto stale_before = h.engine(1).metrics().stale_timeouts;
+
+  // Duplicate expiry of the same timer mid-view-change: counted, no-op.
+  EXPECT_TRUE(h.engine(1).on_timeout(1).empty());
+  // Expiry for a slot that never existed: same.
+  EXPECT_TRUE(h.engine(1).on_timeout(999).empty());
+  EXPECT_EQ(h.engine(1).metrics().stale_timeouts, stale_before + 2);
+  EXPECT_EQ(h.engine(1).state_digest(), mid);
+}
+
+TEST(PbftEdge, TimeoutForCommittedSlotIsStale) {
+  EngineHarness<PbftEngine> h(4);
+  h.perform(0, h.engine(0).make_preprepare(1, make_batch(1, 0, 1), 1,
+                                           digest_of("done")));
+  h.run_all();
+  ASSERT_EQ(h.executed(1).size(), 1u);
+  const Digest before = h.engine(1).state_digest();
+  EXPECT_TRUE(h.engine(1).on_timeout(1).empty());
+  EXPECT_FALSE(h.engine(1).in_view_change());
+  EXPECT_EQ(h.engine(1).state_digest(), before);
+  EXPECT_GE(h.engine(1).metrics().stale_timeouts, 1u);
+}
+
 }  // namespace
 }  // namespace rdb::protocol

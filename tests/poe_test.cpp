@@ -145,6 +145,28 @@ TEST(Poe, CheckpointsStabilizeAndPrune) {
   }
 }
 
+TEST(Poe, DuplicateAndStaleTimeoutsAreCountedNoOps) {
+  // PoE has no view change, so EVERY timer expiry — duplicate, stale, or
+  // mid-protocol — must be absorbed without touching state. The model
+  // checker (src/mc/) schedules expiries adversarially; this pins the
+  // engine-level contract it relies on: state_digest() unchanged.
+  EngineHarness<PoeEngine> h(4);
+  propose(h, 1);
+  h.run_all();
+  const Digest before = h.engine(1).state_digest();
+  const auto stale_before = h.engine(1).metrics().stale_timeouts;
+  EXPECT_TRUE(h.engine(1).on_timeout(1).empty());
+  EXPECT_TRUE(h.engine(1).on_timeout(1).empty());  // duplicate expiry
+  EXPECT_TRUE(h.engine(1).on_timeout(999).empty());  // never-armed timer
+  EXPECT_EQ(h.engine(1).metrics().stale_timeouts, stale_before + 3);
+  EXPECT_EQ(h.engine(1).state_digest(), before);
+  // Mid-protocol (support quorum pending), same contract.
+  propose(h, 2);
+  const Digest mid = h.engine(2).state_digest();
+  EXPECT_TRUE(h.engine(2).on_timeout(2).empty());
+  EXPECT_EQ(h.engine(2).state_digest(), mid);
+}
+
 }  // namespace
 }  // namespace rdb::protocol
 

@@ -1,0 +1,23 @@
+// Probe: a visit_action overload set with a GENERIC CATCH-ALL must NOT
+// compile. Compiled by cmake/CheckActionVisit.cmake at configure time; the
+// [](auto&) handler below is the moral equivalent of a `default:` label —
+// it would make the missing-alternative probe useless by swallowing any
+// Action added later. The static_assert in visit_action rejects it.
+#include "protocol/actions.h"
+
+using namespace rdb::protocol;
+
+int dispatch(Action& action) {
+  int kind = -1;
+  visit_action(
+      action,
+      [&](SendAction&) { kind = 0; },
+      [&](BroadcastAction&) { kind = 1; },
+      [&](auto&) { kind = 99; });  // silent default: — must be rejected
+  return kind;
+}
+
+int main() {
+  Action a = SetTimerAction{7, 1000};
+  return dispatch(a);
+}

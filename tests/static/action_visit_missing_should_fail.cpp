@@ -1,0 +1,30 @@
+// Probe: a visit_action overload set MISSING an alternative must NOT
+// compile. Compiled by cmake/CheckActionVisit.cmake at configure time; if
+// this file ever compiles, std::visit stopped demanding exhaustiveness and
+// adding an Action could silently fall through a dispatcher — the exact
+// hazard the idiom exists to prevent.
+//
+// (ExecDivergenceAction's handler is deliberately absent.)
+#include "protocol/actions.h"
+
+using namespace rdb::protocol;
+
+int dispatch(Action& action) {
+  int kind = -1;
+  visit_action(
+      action,
+      [&](SendAction&) { kind = 0; },
+      [&](BroadcastAction&) { kind = 1; },
+      [&](ExecuteAction&) { kind = 2; },
+      [&](SetTimerAction&) { kind = 3; },
+      [&](CancelTimerAction&) { kind = 4; },
+      [&](StableCheckpointAction&) { kind = 5; },
+      [&](ViewChangedAction&) { kind = 6; },
+      [&](RequestSnapshotAction&) { kind = 7; });
+  return kind;
+}
+
+int main() {
+  Action a = SetTimerAction{7, 1000};
+  return dispatch(a);
+}

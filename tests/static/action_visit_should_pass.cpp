@@ -1,0 +1,28 @@
+// Probe: an exhaustive visit_action overload set MUST compile.
+// Compiled by cmake/CheckActionVisit.cmake at configure time; if this file
+// stops compiling, the dispatch idiom rejects CORRECT code and every fabric
+// breaks with it.
+#include "protocol/actions.h"
+
+using namespace rdb::protocol;
+
+int dispatch(Action& action) {
+  int kind = -1;
+  visit_action(
+      action,
+      [&](SendAction&) { kind = 0; },
+      [&](BroadcastAction&) { kind = 1; },
+      [&](ExecuteAction&) { kind = 2; },
+      [&](SetTimerAction&) { kind = 3; },
+      [&](CancelTimerAction&) { kind = 4; },
+      [&](StableCheckpointAction&) { kind = 5; },
+      [&](ViewChangedAction&) { kind = 6; },
+      [&](RequestSnapshotAction&) { kind = 7; },
+      [&](ExecDivergenceAction&) { kind = 8; });
+  return kind;
+}
+
+int main() {
+  Action a = SetTimerAction{7, 1000};
+  return dispatch(a) == 3 ? 0 : 1;
+}

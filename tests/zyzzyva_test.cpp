@@ -216,5 +216,28 @@ TEST(Zyzzyva, DuplicateOrderRequestIgnored) {
   EXPECT_TRUE(second.empty());
 }
 
+TEST(Zyzzyva, DuplicateAndStaleTimeoutsAreCountedNoOps) {
+  // Zyzzyva's slow path is client-driven and the view change is out of
+  // scope, so a replica-side timer expiry — duplicate, stale, or racing a
+  // speculative execution — must never perturb the history chain. The
+  // model checker (src/mc/) schedules expiries adversarially; this pins
+  // the engine-level contract it relies on: state_digest() unchanged.
+  EngineHarness<ZyzzyvaEngine> h(4);
+  order(h, 1);
+  h.run_all();
+  const Digest before = h.engine(1).state_digest();
+  const auto stale_before = h.engine(1).metrics().stale_timeouts;
+  EXPECT_TRUE(h.engine(1).on_timeout(1).empty());
+  EXPECT_TRUE(h.engine(1).on_timeout(1).empty());  // duplicate expiry
+  EXPECT_TRUE(h.engine(1).on_timeout(999).empty());  // never-armed timer
+  EXPECT_EQ(h.engine(1).metrics().stale_timeouts, stale_before + 3);
+  EXPECT_EQ(h.engine(1).state_digest(), before);
+  // Mid-protocol (order request issued but not yet delivered), same story.
+  order(h, 2);
+  const Digest mid = h.engine(0).state_digest();
+  EXPECT_TRUE(h.engine(0).on_timeout(2).empty());
+  EXPECT_EQ(h.engine(0).state_digest(), mid);
+}
+
 }  // namespace
 }  // namespace rdb::protocol

@@ -288,7 +288,7 @@ bool drill_zyzzyva_storm(const Options& opt) {
     auto acts = engines[0]->make_order_request(
         s, {t}, s, crypto::sha256("batch" + std::to_string(s)));
     for (auto& a : acts)
-      if (auto* bc = std::get_if<protocol::BroadcastAction>(&a))
+      if (auto* bc = protocol::action_as<protocol::BroadcastAction>(a))
         orders.push_back(bc->msg);
   }
   bool ok = check(orders.size() == kBatches, "primary ordered every batch");

@@ -1,0 +1,268 @@
+// rdb_mc — bounded-exhaustive model checker CLI for the consensus engines.
+//
+// Explores delivery schedules of a closed N-replica world (src/mc/) under
+// configurable fault budgets, running four safety oracles on every state.
+// Exit status is the contract the CI model-check job enforces:
+//
+//   0  no oracle violated (or --replay outcome matched the trace's expect)
+//   1  an oracle was violated (counterexample shrunk and written out), or
+//      a --replay outcome contradicted the trace's expect line
+//   2  bad usage / IO error
+//
+// Usage:
+//   rdb_mc [--engine pbft|poe|zyzzyva] [--n N] [--batches N]
+//          [--checkpoint-interval N] [--drops N] [--dups N] [--timeouts N]
+//          [--crash R] [--byz] [--strict-spec]
+//          [--mode dfs|walk] [--depth N] [--max-states N]
+//          [--seed N] [--walks N] [--walk-depth N]
+//          [--trace-out FILE] [--quiet]
+//   rdb_mc --record FILE [config flags] [--seed N] [--walk-depth N]
+//   rdb_mc --replay FILE
+//
+// --record runs one seeded random walk and writes the schedule it took as
+// an expect-clean trace — how the known-good corpus exemplars under
+// tests/corpus/mc/ are produced. --replay re-runs a recorded schedule
+// through the deterministic replay layer and prints its canonical report —
+// the same bytes on every run, build type, and sanitizer.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "mc/explorer.h"
+#include "mc/replay.h"
+
+namespace {
+
+using namespace rdb;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rdb_mc [--engine pbft|poe|zyzzyva] [--n N] [--batches N]\n"
+      "              [--checkpoint-interval N] [--drops N] [--dups N]\n"
+      "              [--timeouts N] [--crash R] [--byz] [--strict-spec]\n"
+      "              [--mode dfs|walk] [--depth N] [--max-states N]\n"
+      "              [--seed N] [--walks N] [--walk-depth N]\n"
+      "              [--trace-out FILE] [--quiet]\n"
+      "       rdb_mc --record FILE [config flags]\n"
+      "       rdb_mc --replay FILE\n");
+  return 2;
+}
+
+// One seeded walk, recorded as an expect-clean trace. Refuses to write a
+// trace whose replay is not clean (that would be a violation find — use
+// the explorer's shrink path for those).
+int record_walk(const mc::McConfig& cfg, const mc::ExploreLimits& limits,
+                const std::string& path) {
+  std::uint64_t sm = limits.seed;
+  Rng rng(splitmix64(sm));
+  mc::World w = mc::make_initial_world(cfg);
+  mc::Trace trace;
+  trace.cfg = cfg;
+  trace.note = "recorded walk seed=" + std::to_string(limits.seed) +
+               " depth=" + std::to_string(limits.walk_depth);
+  for (std::uint32_t d = 0; d < limits.walk_depth; ++d) {
+    const std::vector<mc::Transition> en = mc::enabled_transitions(w);
+    if (en.empty()) break;
+    const mc::Transition t = en[rng.below(en.size())];
+    if (!mc::apply_transition(w, t)) continue;
+    trace.steps.push_back(t);
+    if (mc::evaluate_oracles(w)) break;
+  }
+  const mc::ReplayResult check = mc::replay_trace(trace);
+  if (check.violation) {
+    std::fprintf(stderr,
+                 "rdb_mc: recorded walk violates oracle %s — not writing an"
+                 " expect-clean trace\n",
+                 check.oracle.c_str());
+    return 1;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "rdb_mc: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  out << mc::serialize_trace(trace);
+  std::printf("recorded %zu steps to %s (fingerprint %s)\n",
+              trace.steps.size(), path.c_str(),
+              to_hex(check.final_fingerprint).c_str());
+  return 0;
+}
+
+int replay_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rdb_mc: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  mc::Trace trace;
+  std::string err;
+  if (!mc::parse_trace(text.str(), &trace, &err)) {
+    std::fprintf(stderr, "rdb_mc: %s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  const mc::ReplayResult result = mc::replay_trace(trace);
+  const std::string report = mc::replay_report(trace, result);
+  std::fputs(report.c_str(), stdout);
+  const std::string outcome = result.violation ? result.oracle : "clean";
+  if (outcome == trace.expect) {
+    std::printf("expectation met (%s)\n",
+                trace.expect == "clean"
+                    ? "clean"
+                    : ("violation " + trace.expect).c_str());
+    return 0;
+  }
+  std::printf("EXPECTATION MISMATCH: trace expects %s, replay produced %s\n",
+              trace.expect.c_str(), outcome.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mc::McConfig cfg;
+  cfg.engine = mc::EngineKind::kPbft;
+  mc::ExploreLimits limits;
+  std::string mode = "dfs";
+  std::string trace_out = "mc_violation.trace";
+  std::string replay_path;
+  std::string record_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--byz") {
+      cfg.byzantine = true;
+    } else if (arg == "--strict-spec") {
+      cfg.strict_spec_agreement = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--engine") {
+      if (!(v = next_val())) return usage();
+      auto kind = mc::engine_kind_from_name(v);
+      if (!kind) return usage();
+      cfg.engine = *kind;
+    } else if (arg == "--mode") {
+      if (!(v = next_val())) return usage();
+      mode = v;
+      if (mode != "dfs" && mode != "walk") return usage();
+    } else if (arg == "--trace-out") {
+      if (!(v = next_val())) return usage();
+      trace_out = v;
+    } else if (arg == "--replay") {
+      if (!(v = next_val())) return usage();
+      replay_path = v;
+    } else if (arg == "--record") {
+      if (!(v = next_val())) return usage();
+      record_path = v;
+    } else if (arg == "--n") {
+      if (!(v = next_val())) return usage();
+      cfg.n = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--batches") {
+      if (!(v = next_val())) return usage();
+      cfg.batches = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--checkpoint-interval") {
+      if (!(v = next_val())) return usage();
+      cfg.checkpoint_interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--drops") {
+      if (!(v = next_val())) return usage();
+      cfg.max_drops = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--dups") {
+      if (!(v = next_val())) return usage();
+      cfg.max_dups = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--timeouts") {
+      if (!(v = next_val())) return usage();
+      cfg.max_timeouts =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--crash") {
+      if (!(v = next_val())) return usage();
+      cfg.crash_replica =
+          static_cast<std::int32_t>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--depth") {
+      if (!(v = next_val())) return usage();
+      limits.max_depth =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--max-states") {
+      if (!(v = next_val())) return usage();
+      limits.max_states = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      if (!(v = next_val())) return usage();
+      limits.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--walks") {
+      if (!(v = next_val())) return usage();
+      limits.walks = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--walk-depth") {
+      if (!(v = next_val())) return usage();
+      limits.walk_depth =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+
+  if (!replay_path.empty()) return replay_file(replay_path);
+  if (cfg.n < 4 || cfg.batches == 0) return usage();
+  if (!record_path.empty()) return record_walk(cfg, limits, record_path);
+
+  if (!quiet) {
+    std::printf(
+        "rdb_mc: mode=%s engine=%s n=%" PRIu32 " batches=%" PRIu32
+        " cp=%" PRIu64 " drops=%" PRIu32 " dups=%" PRIu32 " timeouts=%" PRIu32
+        " crash=%" PRId32 " byz=%d strict_spec=%d\n",
+        mode.c_str(), mc::engine_kind_name(cfg.engine), cfg.n, cfg.batches,
+        cfg.checkpoint_interval, cfg.max_drops, cfg.max_dups,
+        cfg.max_timeouts, cfg.crash_replica, cfg.byzantine ? 1 : 0,
+        cfg.strict_spec_agreement ? 1 : 0);
+  }
+
+  const mc::ExploreResult result = mode == "dfs"
+                                       ? mc::explore_dfs(cfg, limits)
+                                       : mc::explore_random_walks(cfg, limits);
+  const mc::ExploreStats& s = result.stats;
+  std::printf("states %" PRIu64 "\n", s.distinct_states);
+  std::printf("transitions %" PRIu64 "\n", s.transitions_applied);
+  std::printf("dedup_hits %" PRIu64 "\n", s.dedup_hits);
+  std::printf("sleep_pruned %" PRIu64 "\n", s.sleep_pruned);
+  std::printf("depth_capped %" PRIu64 "\n", s.depth_capped);
+  std::printf("state_capped %" PRIu64 "\n", s.state_capped);
+  std::printf("max_depth %" PRIu32 "\n", s.max_depth_reached);
+  if (mode == "dfs")
+    std::printf("complete %s\n", s.complete ? "yes" : "no (frontier capped)");
+  std::printf("violations %d\n", result.violation ? 1 : 0);
+
+  if (!result.violation) return 0;
+
+  std::printf("VIOLATION oracle=%s\n", result.violation->oracle.c_str());
+  std::printf("detail: %s\n", result.violation->detail.c_str());
+
+  mc::Trace raw;
+  raw.cfg = cfg;
+  raw.steps = result.counterexample;
+  raw.note = "found by rdb_mc mode=" + mode +
+             " seed=" + std::to_string(limits.seed);
+  const mc::Trace shrunk = mc::shrink_trace(raw);
+  std::printf("counterexample: %zu steps, shrunk to %zu\n",
+              raw.steps.size(), shrunk.steps.size());
+  const mc::ReplayResult rr = mc::replay_trace(shrunk);
+  std::fputs(mc::replay_report(shrunk, rr).c_str(), stdout);
+
+  std::ofstream out(trace_out, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "rdb_mc: cannot write %s\n", trace_out.c_str());
+    return 2;
+  }
+  out << mc::serialize_trace(shrunk);
+  std::printf("trace written to %s\n", trace_out.c_str());
+  return 1;
+}
