@@ -16,6 +16,7 @@
 #include "protocol/messages.h"
 #include "protocol/validate.h"
 #include "queues/buffer_pool.h"
+#include "queues/frame.h"
 #include "queues/mpmc_queue.h"
 #include "storage/mem_store.h"
 #include "storage/page_db.h"
@@ -310,6 +311,62 @@ void BM_MessageSerializeParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MessageSerializeParse);
+
+protocol::Message broadcast_exemplar() {
+  protocol::PrePrepare pp;
+  pp.view = 1;
+  pp.seq = 42;
+  pp.batch_digest = crypto::sha256("batch");
+  for (int i = 0; i < 100; ++i) {
+    protocol::Transaction t;
+    t.client = static_cast<ClientId>(i);
+    t.req_id = i;
+    t.payload = Bytes(20, 0x33);
+    pp.txns.push_back(std::move(t));
+  }
+  protocol::Message m;
+  m.from = Endpoint::replica(0);
+  m.payload = pp;
+  m.signature = Bytes(17, 0x44);
+  return m;
+}
+
+void BM_BroadcastSerializePerPeer(benchmark::State& state) {
+  // The legacy broadcast shape (and still the CMAC one, where pairwise MACs
+  // make frames addressee-dependent): one serialization PER PEER.
+  protocol::Message m = broadcast_exemplar();
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < peers; ++p) {
+      Bytes wire = m.serialize();
+      bytes += wire.size();
+      benchmark::DoNotOptimize(wire.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BroadcastSerializePerPeer)->Arg(3)->Arg(15)->Arg(63);
+
+void BM_BroadcastSerializeOnce(benchmark::State& state) {
+  // The serialize-once shape (digital-signature links, §4.2 redundant-work
+  // lesson): ONE serialization adopted into an OwnedFrame, n-1 FrameView
+  // borrows over the same buffer. The per-peer cost collapses to a borrow
+  // count bump.
+  protocol::Message m = broadcast_exemplar();
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    OwnedFrame frame = OwnedFrame::adopt(m.serialize());
+    for (std::size_t p = 0; p < peers; ++p) {
+      FrameView view = frame.view();
+      bytes += view.size();
+      benchmark::DoNotOptimize(view.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BroadcastSerializeOnce)->Arg(3)->Arg(15)->Arg(63);
 
 void BM_BatchDigest(benchmark::State& state) {
   // One hash over the whole batch string (§4.3) vs hashing per transaction —

@@ -1,0 +1,82 @@
+# Configure-time proof that the hot-path-lint gate has teeth.
+#
+# scripts/check_hotpath.py walks the call graph from RDB_HOT_PATH roots
+# (engine handlers, serialization, the verify burst loop, transport sends)
+# and rejects heap allocation, naked blocking, and per-send copy
+# amplification. Here two fixtures are pushed through it in --fixture mode:
+#   tests/static/hot_should_pass.cpp — clean RT-zone; MUST exit 0.
+#   tests/static/hot_should_fail.cpp — naked `new` one call BELOW the
+#                                      annotated root; MUST be rejected
+#                                      (proves the walk is transitive).
+# A wrong outcome in either direction is a FATAL_ERROR: it means the lint
+# silently stopped protecting the consensus critical path.
+#
+# The script needs only the python3 stdlib. Without a python3 interpreter
+# the probes are skipped with a status message; scripts/check_static.sh
+# still runs the tree-wide lint in CI.
+#
+# Also registers ctest entries so `ctest -R hotpath` re-proves the gate
+# (fixtures + the tree-wide walk) on every test run, not just at configure.
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(NOT Python3_Interpreter_FOUND)
+  message(STATUS
+          "Hot-path probes skipped (no python3 interpreter found; "
+          "scripts/check_static.sh still runs the lint in CI)")
+  return()
+endif()
+
+set(_rdb_hot_script ${CMAKE_CURRENT_SOURCE_DIR}/scripts/check_hotpath.py)
+set(_rdb_hot_allowlist
+    ${CMAKE_CURRENT_SOURCE_DIR}/scripts/hotpath_allowlist.txt)
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${_rdb_hot_script}
+          --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/hot_should_pass.cpp
+          --allowlist ${_rdb_hot_allowlist} -q
+  RESULT_VARIABLE _rdb_hot_pass_rc
+  OUTPUT_VARIABLE _rdb_hot_pass_log
+  ERROR_VARIABLE _rdb_hot_pass_log)
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${_rdb_hot_script}
+          --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/hot_should_fail.cpp
+          --allowlist ${_rdb_hot_allowlist} -q
+  RESULT_VARIABLE _rdb_hot_fail_rc
+  OUTPUT_VARIABLE _rdb_hot_fail_log
+  ERROR_VARIABLE _rdb_hot_fail_log)
+
+if(NOT _rdb_hot_pass_rc EQUAL 0)
+  message(FATAL_ERROR
+          "hot_should_pass.cpp was rejected (exit ${_rdb_hot_pass_rc}) — the "
+          "hot-path lint flags CORRECT code:\n${_rdb_hot_pass_log}")
+endif()
+if(_rdb_hot_fail_rc EQUAL 0)
+  message(FATAL_ERROR
+          "hot_should_fail.cpp PASSED — the hot-path lint is not walking "
+          "the call graph below RDB_HOT_PATH roots; the static gate is "
+          "dead. Check scripts/check_hotpath.py.")
+endif()
+if(_rdb_hot_fail_rc EQUAL 2)
+  message(FATAL_ERROR
+          "hot-path lint setup error on hot_should_fail.cpp:"
+          "\n${_rdb_hot_fail_log}")
+endif()
+message(STATUS
+        "Hot-path probes OK: clean RT-zone passes, hidden heap allocation "
+        "one call below a root is rejected")
+
+# ctest entries (the configure-time probes above already gate the build, but
+# registering them keeps `ctest` output honest about what was checked).
+add_test(NAME hotpath_fixture_pass
+         COMMAND ${Python3_EXECUTABLE} ${_rdb_hot_script}
+                 --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/hot_should_pass.cpp
+                 --allowlist ${_rdb_hot_allowlist})
+add_test(NAME hotpath_fixture_fail
+         COMMAND ${Python3_EXECUTABLE} ${_rdb_hot_script}
+                 --fixture ${CMAKE_CURRENT_SOURCE_DIR}/tests/static/hot_should_fail.cpp
+                 --allowlist ${_rdb_hot_allowlist})
+set_tests_properties(hotpath_fixture_fail PROPERTIES WILL_FAIL TRUE)
+add_test(NAME hotpath_tree_walk
+         COMMAND ${Python3_EXECUTABLE} ${_rdb_hot_script}
+                 --repo ${CMAKE_CURRENT_SOURCE_DIR})

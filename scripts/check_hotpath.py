@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Hot-path resource lint: walk the call graph from RDB_HOT_PATH roots and
+reject transitive reachability of the banned hot-path catalog.
+
+The consensus critical path (see src/common/rtzone.h) is the chain a client
+request rides from arrival to reply: the replica pipeline loops, the engine
+on_* handlers, message serde, signing, and the transport enqueue paths. The
+paper's throughput model (§4) assumes this chain runs at memory speed; every
+hidden heap round-trip, blocking syscall, or per-send copy shows up directly
+as lost throughput. This gate proves the annotated RT-zone cannot reach:
+
+  * heap allocation          (naked new, make_unique/make_shared, malloc,
+                              calloc, realloc, strdup)
+  * std::function capture    (type-erased callables allocate on construction)
+  * naked blocking           (sleep_for/sleep_until/usleep/nanosleep,
+                              unbounded condition-variable wait)
+  * synchronous file I/O     (fopen/fsync/fwrite/fread/fstream/pread/pwrite)
+  * copy amplification       (a loop body that re-serializes per iteration —
+                              broadcast must serialize ONCE, then fan out
+                              borrowed FrameViews)
+
+Engine: the same pure-python textual engine the determinism lint falls back
+to (comment stripping, brace-matched body extraction, name-keyed transitive
+call graph). Allocation and blocking idioms are token-shaped, so the textual
+walk is the primary engine here, not a fallback; CheckHotPath.cmake's
+should-pass/should-fail fixtures prove it has teeth.
+
+Allowlist: scripts/hotpath_allowlist.txt. One function name per line,
+`name  reason...`. A listed function is a BARRIER: the walker neither
+reports banned tokens inside it nor descends into its callees. A barrier
+must bound the resource use it hides (a counted pool fallback, a backoff
+with a hard cap, one fsync per group-commit wave) and say how — both in the
+allowlist line and in a proof comment at the definition site, next to its
+RDB_HOT_BARRIER annotation. An annotated barrier missing from the allowlist
+(or vice versa — enforced via the annotation side) is itself a finding.
+
+Usage:
+  check_hotpath.py --repo .                     # whole-tree walk
+  check_hotpath.py --fixture tests/static/hot_should_fail.cpp
+
+Exit codes: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Banned catalog. Each entry: (key, regex over a preprocessed function body,
+# human explanation). String literals are reduced to __STR__ before
+# matching, so tokens inside log messages cannot false-positive.
+# --------------------------------------------------------------------------
+BANNED = [
+    ("heap-alloc", re.compile(
+        r"\bnew\b(?!\s*\()"          # naked new / new[] (placement new has
+                                     # the form `new (addr)` and is exempt)
+        r"|\bmake_unique\b|\bmake_shared\b"
+        r"|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bstrdup\b"),
+     "heap allocation on the consensus hot path: every message pays a "
+     "malloc round-trip — preallocate, pool, or hoist out of the loop"),
+    ("std-function", re.compile(r"\bstd\s*::\s*function\s*<"),
+     "std::function construction: type erasure heap-allocates for any "
+     "capture larger than the small-buffer — take a template or a function "
+     "pointer instead"),
+    ("blocking-sleep", re.compile(
+        r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\b"
+        r"|\bsleep\s*\("),
+     "sleep on the consensus hot path: stalls the pipeline stage for every "
+     "queued message behind it"),
+    ("unbounded-wait", re.compile(r"\bwait\s*\("),
+     "unbounded condition-variable wait: a hot stage may only block with a "
+     "deadline (wait_for/wait_until re-check the stop token) or behind a "
+     "justified backpressure barrier"),
+    ("blocking-io", re.compile(
+        r"\bfopen\s*\(|\bfsync\s*\(|\bfdatasync\s*\(|\bfwrite\s*\("
+        r"|\bfread\s*\(|\bofstream\b|\bifstream\b|\bfstream\b"
+        r"|\bpread\s*\(|\bpwrite\s*\("),
+     "synchronous file I/O on the consensus hot path: disk latency is "
+     "milliseconds, the message budget is microseconds — buffer and group-"
+     "commit behind a barrier (see ReplicaLog)"),
+    ("copy-amp", re.compile(
+        r"\b(?:for|while)\s*\([^)]*\)\s*\{[^{}]*\.\s*serialize\s*\(", re.S),
+     "per-send copy amplification: this loop re-serializes the same message "
+     "every iteration — serialize ONCE into an OwnedFrame and fan out "
+     "borrowed FrameViews (queues/frame.h)"),
+]
+
+ANNOT_ROOT = "RDB_HOT_PATH"
+ANNOT_BARRIER = "RDB_HOT_BARRIER"
+
+# C++ keywords that look like calls in `name (` position.
+NOT_CALLS = frozenset(
+    """if for while switch return sizeof alignof decltype static_cast
+    dynamic_cast reinterpret_cast const_cast catch new delete throw assert
+    defined static_assert noexcept alignas typeid co_await co_yield
+    co_return define include pragma""".split())
+
+
+def fail(msg):
+    print("check_hotpath: " + msg, file=sys.stderr)
+    sys.exit(2)
+
+
+# --------------------------------------------------------------------------
+# Source preprocessing (shared shape with check_determinism.py's textual
+# engine; duplicated deliberately so each gate stays a standalone script
+# with no import coupling between CI stages).
+# --------------------------------------------------------------------------
+def strip_source(text):
+    """Removes comments; reduces string/char literals to __STR__. Preserves
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            seg = text[i:n if j < 0 else j + 2]
+            out.append("\n" * seg.count("\n"))
+            i = n if j < 0 else j + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            lit = text[i:j + 1]
+            out.append("__STR__")
+            out.append("\n" * lit.count("\n"))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# A function definition: optional qualifiers, a (possibly Class::qualified)
+# name, an argument list, trailing qualifiers, then `{`.
+_DEF = re.compile(
+    r"(?:^|[;}{]\s*|\n)\s*"                     # a definition starts a stmt
+    r"(?:template\s*<[^;{}]*>\s*)?"             # template header
+    r"[\w:&*<>,~\[\]\s]*?"                      # return type soup (greedyless)
+    r"\b([A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)+|[A-Za-z_]\w*)"  # name
+    r"\s*\(([^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)"  # args (1 nested paren lvl)
+    r"\s*(?:const|noexcept|override|final|mutable|RDB_[A-Z_]+(?:\([^)]*\))?"
+    r"|->\s*[\w:<>&*\s]+|\s)*"                  # trailing qualifiers
+    r"\{", re.S)
+
+# The function NAME an annotation macro applies to: the first call-shaped
+# token after the macro (other stacked RDB_* macros skipped).
+_ANNOT_NAME = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def extract_functions(path, text):
+    """Yields (bare_name, qualified_name, body, line) for every function
+    definition found in preprocessed `text`."""
+    for m in _DEF.finditer(text):
+        name = re.sub(r"\s+", "", m.group(1))
+        bare = name.split("::")[-1].lstrip("~")
+        if bare in NOT_CALLS or not bare:
+            continue
+        start = m.end() - 1
+        depth = 0
+        i = start
+        n = len(text)
+        while i < n:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body = text[start:i + 1]
+        line = text.count("\n", 0, m.start(1)) + 1
+        yield bare, name, body, line
+
+
+def annotated_names(text, macro):
+    """Bare names of functions declared/defined with `macro` in `text`."""
+    names = set()
+    for m in re.finditer(r"\b%s\b" % macro, text):
+        # Skip the `#define RDB_HOT_*` lines in rtzone.h itself: the macro
+        # token there annotates nothing.
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        if text[line_start:m.start()].lstrip().startswith("#"):
+            continue
+        tail = text[m.end():m.end() + 400]
+        tail = re.sub(r"\bRDB_[A-Z_]+\b", " ", tail)
+        for c in _ANNOT_NAME.finditer(tail):
+            if c.group(1) not in NOT_CALLS:
+                names.add(c.group(1))
+            break  # first call-shaped token after the macro is the name
+    return names
+
+
+# --------------------------------------------------------------------------
+# Textual engine.
+# --------------------------------------------------------------------------
+class TextualEngine:
+    def __init__(self, files, allow):
+        self.allow = allow
+        self.defs = {}      # bare name -> [(file, qualified, body, line)]
+        self.roots = set()
+        self.barriers = set()
+        for path in files:
+            try:
+                raw = open(path, encoding="utf-8", errors="replace").read()
+            except OSError as e:
+                fail("cannot read %s: %s" % (path, e))
+            text = strip_source(raw)
+            self.roots |= annotated_names(text, ANNOT_ROOT)
+            self.barriers |= annotated_names(text, ANNOT_BARRIER)
+            for bare, qual, body, line in extract_functions(path, text):
+                self.defs.setdefault(bare, []).append((path, qual, body, line))
+
+    def run(self):
+        findings = []
+        # Barriers must be allowlisted: an un-allowlisted barrier is a lint
+        # error, so nobody silences the walker without leaving a paper trail
+        # (the allowlist line is where the boundedness argument lives).
+        for b in sorted(self.barriers - self.allow):
+            findings.append(
+                ("<barrier>", b, "-", 0, "policy",
+                 "RDB_HOT_BARRIER function %r is not in the allowlist "
+                 "(scripts/hotpath_allowlist.txt)" % b))
+        seen = set()
+        queue = sorted(self.roots - self.allow)
+        chain = {r: r for r in queue}
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for path, qual, body, line in self.defs.get(name, ()):
+                for key, rx, why in BANNED:
+                    hit = rx.search(body)
+                    if hit:
+                        findings.append(
+                            (chain[name], qual, path,
+                             line + body.count("\n", 0, hit.start()),
+                             key, why))
+                for c in _CALL.finditer(body):
+                    callee = c.group(1)
+                    if (callee in NOT_CALLS or callee in self.allow
+                            or callee in self.barriers or callee in seen
+                            or callee not in self.defs):
+                        continue
+                    chain.setdefault(callee, chain[name] + " -> " + callee)
+                    queue.append(callee)
+        return findings, len(seen)
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+def load_allowlist(path):
+    allow = set()
+    if not os.path.exists(path):
+        return allow
+    for ln in open(path, encoding="utf-8"):
+        ln = ln.split("#", 1)[0].strip()
+        if ln:
+            allow.add(ln.split()[0])
+    return allow
+
+
+# The discrete-event simulator (src/sim, src/simfab) and the protocol model
+# checker (src/mc) run OFFLINE — they replay the engines under a virtual
+# clock and are never on a live replica's message path. They also reuse the
+# runtime's vocabulary (SimReplica::perform, Network::send, SimThread fill/
+# finish), which would poison the name-keyed call graph with phantom edges
+# out of the real hot path. The RT-zone discipline therefore scopes to the
+# trees a live replica executes.
+EXCLUDE_DIRS = frozenset(("sim", "simfab", "mc"))
+
+
+def gather_sources(repo):
+    files = []
+    root = os.path.join(repo, "src")
+    for dirpath, dirs, names in os.walk(root):
+        if dirpath == root:
+            dirs[:] = [d for d in dirs if d not in EXCLUDE_DIRS]
+        for n in sorted(names):
+            if n.endswith((".h", ".cpp", ".cc", ".hpp")):
+                files.append(os.path.join(dirpath, n))
+    return files
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: this script's parent)")
+    ap.add_argument("--fixture", default=None,
+                    help="lint one standalone file (CheckHotPath.cmake "
+                         "should-pass/should-fail probes)")
+    ap.add_argument("--allowlist", default=None)
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args()
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    allow_path = args.allowlist or os.path.join(
+        repo, "scripts", "hotpath_allowlist.txt")
+    allow = load_allowlist(allow_path)
+
+    if args.fixture:
+        engine = TextualEngine([args.fixture], allow)
+    else:
+        engine = TextualEngine(gather_sources(repo), allow)
+    findings, walked = engine.run()
+
+    if findings:
+        print("hot-path lint: %d finding(s)" % len(findings))
+        for root, qual, path, line, key, why in findings:
+            print("  [%s] %s:%s\n    reached via: %s\n    function: %s\n"
+                  "    %s" % (key, path, line, root, qual, why))
+        print("\nFix the resource use, move the code off the hot path, or "
+              "add a justified barrier to %s" % allow_path)
+        return 1
+    if not args.quiet:
+        print("hot-path lint: clean (%d functions walked from the RT-zone "
+              "roots, %d allowlist entries)" % (walked, len(allow)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 #
 #   scripts/check_static.sh
 #
-# Nine stages, strongest-available-tool first:
+# Ten stages, strongest-available-tool first:
 #
 #   1. sync-primitive grep gate   — no naked std:: synchronization outside
 #                                   src/common/sync.h. Pure grep: enforced
@@ -36,30 +36,36 @@
 #                                   RNG, env/locale, unordered iteration).
 #                                   Needs python3 only; libclang sharpens it
 #                                   when available.
-#   6. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
+#   6. hot-path call-graph lint   — scripts/check_hotpath.py walks the call
+#                                   graph from RDB_HOT_PATH roots and rejects
+#                                   heap allocation, naked blocking, and
+#                                   per-send copy amplification (docs/
+#                                   static_analysis.md §8); plus a grep ban
+#                                   on naked new/malloc in src/protocol.
+#   7. strict warning build       — -Wall -Wextra -Wshadow -Wextra-semi
 #                                   -Wnon-virtual-dtor with -Werror, into a
 #                                   throwaway build dir (build-static).
-#   7. Thread Safety Analysis     — clang only. The same build dir compiles
+#   8. Thread Safety Analysis     — clang only. The same build dir compiles
 #                                   with -Wthread-safety -Werror=thread-safety
 #                                   (CMakeLists.txt turns it on when the
 #                                   compiler is clang), and the CMake
 #                                   try_compile probes prove the gate has
 #                                   teeth (cmake/CheckThreadSafety.cmake).
-#   8. clang static analyzer      — clang only. `clang++ --analyze` over
+#   9. clang static analyzer      — clang only. `clang++ --analyze` over
 #                                   every src/ + tools/ translation unit
 #                                   using the flags recorded in
 #                                   compile_commands.json; any analyzer
 #                                   diagnostic fails the gate.
-#   9. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
+#  10. clang-tidy                 — clang-tidy only. Runs the .clang-tidy
 #                                   check set over src/ + tools/ against the
-#                                   compile_commands.json exported in step 6.
+#                                   compile_commands.json exported in step 7.
 #
-# Stages 7-9 skip with a notice when clang / clang-tidy are not installed
-# (the default container ships only GCC); the grep gates, determinism lint,
-# and strict build still run, so the script is useful on every machine and
-# authoritative in the CI static-analysis job where clang is present.
-# With --grep-only, stages 1-5 run and the script exits — the cheap,
-# compiler-independent gates for a fast CI step or a pre-commit hook.
+# Stages 8-10 skip with a notice when clang / clang-tidy are not installed
+# (the default container ships only GCC); the grep gates, the call-graph
+# lints, and the strict build still run, so the script is useful on every
+# machine and authoritative in the CI static-analysis job where clang is
+# present. With --grep-only, stages 1-6 run and the script exits — the
+# cheap, compiler-independent gates for a fast CI step or a pre-commit hook.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -74,7 +80,7 @@ status=0
 # wraps. Everything else must use rdb::Mutex / rdb::CondVar / MutexLock /
 # ReaderLock / WriterLock so the TSA annotations and the lock-rank detector
 # see every acquisition.
-echo "=== [1/9] sync-primitive grep gate ==="
+echo "=== [1/10] sync-primitive grep gate ==="
 pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
 if offenders=$(grep -RnE "$pattern" src tools \
                  --include='*.h' --include='*.cpp' \
@@ -93,7 +99,7 @@ fi
 # (mint Validated<Message> after the full check catalog). Tests sit inside
 # the boundary (they construct adversarial inputs on purpose); everything
 # else — src/, tools/, bench/ — must go through protocol::validate_wire.
-echo "=== [2/9] input-taint grep gate ==="
+echo "=== [2/10] input-taint grep gate ==="
 taint_status=0
 
 # 2a. Message::parse is callable only from the validation module itself
@@ -155,7 +161,7 @@ fi
 # labels outright — every switch there (the MsgType fan-out included) must
 # enumerate its cases, so a new message type cannot be silently ignored by
 # the model checker.
-echo "=== [3/9] Action-dispatch exhaustiveness gate ==="
+echo "=== [3/10] Action-dispatch exhaustiveness gate ==="
 action_status=0
 if offenders=$(grep -RnE 'get_if<\s*(rdb::)?(protocol::)?[A-Za-z_]*Action\s*>' \
                  src tools bench --include='*.h' --include='*.cpp' \
@@ -196,7 +202,7 @@ fi
 # just "not reachable from a root") are enforced here by grep so they hold
 # even without python3/clang; the call-graph lint in stage 5 covers the rest
 # of the det-zone with allowlisted barriers.
-echo "=== [4/9] determinism grep gate (src/protocol, src/ledger, src/mc det files) ==="
+echo "=== [4/10] determinism grep gate (src/protocol, src/ledger, src/mc det files) ==="
 det_pattern='std::unordered_|steady_clock|system_clock|high_resolution_clock|\brand\s*\(|\bsrand\s*\(|random_device|\bgetenv\b|\bsetlocale\b'
 mc_det_files=()
 for f in src/mc/engine_model.h src/mc/model.h src/mc/model.cpp \
@@ -224,7 +230,7 @@ fi
 # ledger append, serde, snapshot capture, KvStore apply path) and rejects
 # the banned catalog. scripts/determinism_allowlist.txt is the single
 # documented escape hatch. tools/detlint wraps the same script for CMake/CI.
-echo "=== [5/9] determinism call-graph lint ==="
+echo "=== [5/10] determinism call-graph lint ==="
 if command -v python3 >/dev/null 2>&1; then
   if python3 scripts/check_determinism.py --repo .; then
     echo "OK: det-zone call graph clean"
@@ -234,6 +240,45 @@ if command -v python3 >/dev/null 2>&1; then
   fi
 else
   echo "SKIP: python3 not installed; tools/detlint falls back to a token scan"
+fi
+
+# --- 6. hot-path call-graph lint ---------------------------------------------
+# Walks transitively from every RDB_HOT_PATH root (engine handlers,
+# Message::serialize/signing_bytes, the pipeline stage loops, transport
+# sends) and rejects heap allocation, naked blocking, and per-send copy
+# amplification. scripts/hotpath_allowlist.txt is the single documented
+# escape hatch (every entry doubles as an RDB_HOT_BARRIER with an in-file
+# proof comment). A blunt grep backs it up where the call graph cannot
+# reach: src/protocol/ is the ordering path itself, so naked new/malloc is
+# banned there outright (comment mentions are stripped before matching).
+echo "=== [6/10] hot-path call-graph lint ==="
+hot_status=0
+hot_alloc_pattern='\bnew\s+[A-Za-z_][A-Za-z0-9_:<>, ]*[\[({]|\b(malloc|calloc|realloc)\s*\('
+if offenders=$(grep -RnE "$hot_alloc_pattern" src/protocol \
+                 --include='*.h' --include='*.cpp' \
+               | sed -E 's%//.*$%%' | grep -E "$hot_alloc_pattern"); then
+  echo "FAIL: naked heap allocation inside src/protocol (the ordering path):"
+  echo "$offenders"
+  echo "Preallocate, pool (queues/buffer_pool.h, queues/frame.h), or move"
+  echo "the allocation out of the consensus critical path."
+  hot_status=1
+else
+  echo "OK: src/protocol free of naked new/malloc"
+fi
+if command -v python3 >/dev/null 2>&1; then
+  if python3 scripts/check_hotpath.py --repo .; then
+    echo "OK: hot-path call graph clean"
+  else
+    echo "FAIL: hot-path lint reported findings (see above)"
+    hot_status=1
+  fi
+else
+  echo "SKIP: python3 not installed; only the grep ban above was enforced"
+fi
+if [ "$hot_status" -ne 0 ]; then
+  status=1
+else
+  echo "OK: hot-path resource discipline holds"
 fi
 
 if [ "$grep_only" -eq 1 ]; then
@@ -246,13 +291,13 @@ if [ "$grep_only" -eq 1 ]; then
 fi
 
 # --- 6. strict warning build -----------------------------------------------
-echo "=== [6/9] strict warning build (-Werror) -> build-static ==="
+echo "=== [7/10] strict warning build (-Werror) -> build-static ==="
 cmake -B build-static -S . -DCMAKE_CXX_FLAGS=-Werror >/dev/null
 cmake --build build-static -j"$(nproc)"
 echo "OK: zero-warning build"
 
 # --- 7. Thread Safety Analysis (clang) -------------------------------------
-echo "=== [7/9] Clang Thread Safety Analysis ==="
+echo "=== [8/10] Clang Thread Safety Analysis ==="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
@@ -263,7 +308,7 @@ else
 fi
 
 # --- 8. clang static analyzer ----------------------------------------------
-echo "=== [8/9] clang static analyzer (--analyze) ==="
+echo "=== [9/10] clang static analyzer (--analyze) ==="
 if command -v clang++ >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1; then
   # Re-drive every TU through the path-sensitive analyzer using the include
   # dirs/defines recorded in compile_commands.json (exported in step 3).
@@ -279,7 +324,7 @@ else
 fi
 
 # --- 9. clang-tidy ----------------------------------------------------------
-echo "=== [9/9] clang-tidy ==="
+echo "=== [10/10] clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by CMakeLists.txt
   # (CMAKE_EXPORT_COMPILE_COMMANDS ON) into build-static in step 3.

@@ -1,0 +1,123 @@
+#include "common/rtzone.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace rdb::rtzone {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kInput:
+      return "input";
+    case Stage::kBatch:
+      return "batch";
+    case Stage::kVerify:
+      return "verify";
+    case Stage::kWorker:
+      return "worker";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kCheckpoint:
+      return "checkpoint";
+    case Stage::kOutput:
+      return "output";
+    case Stage::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool tripwire_enabled() {
+#if defined(RDB_ALLOC_TRIPWIRE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+namespace {
+// One slot per thread. A plain thread_local pointer: reading it in the
+// operator new hot path is a single TLS load, and a thread with no armed
+// scope (every non-pipeline thread) pays only that load.
+thread_local std::uint64_t* t_counter = nullptr;
+}  // namespace
+
+std::uint64_t* exchange_counter(std::uint64_t* next) {
+  std::uint64_t* prev = t_counter;
+  t_counter = next;
+  return prev;
+}
+
+std::uint64_t* current_counter() { return t_counter; }
+
+}  // namespace detail
+}  // namespace rdb::rtzone
+
+#if defined(RDB_ALLOC_TRIPWIRE)
+
+// Global allocation hooks (CI/debug builds only): every heap allocation in
+// the process reports to the calling thread's armed AllocScope, making
+// per-pipeline-stage allocation counts observable. Deliberately simple —
+// malloc under the hood, one TLS read of overhead — because the tripwire
+// build is a measurement build, not a production build.
+//
+// Only new is counted (delete is a release, not a resource acquisition the
+// hot-path discipline bans; freeing pooled fallbacks on the hot path is
+// already covered by counting their acquisition).
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  rdb::rtzone::note_alloc();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  rdb::rtzone::note_alloc();
+  std::size_t a = static_cast<std::size_t>(align);
+  if (a < sizeof(void*)) a = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, a, size == 0 ? a : size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  rdb::rtzone::note_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  rdb::rtzone::note_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // RDB_ALLOC_TRIPWIRE

@@ -1,0 +1,130 @@
+// Hot-path resource discipline (the repo's fifth compile-time discipline,
+// after TSA locks in sync.h, wire taint in taint.h, the det-zone in det.h,
+// and the action-dispatch gate).
+//
+// The paper's central lesson is architectural: throughput comes from keeping
+// the ordering path free of redundant work — copies, allocations, blocking —
+// not from protocol cleverness. Every per-message malloc or hidden sleep on
+// the consensus critical path multiplies under RCC-style multi-primary
+// operation (ROADMAP item 1) and caps the event-driven transport rework
+// (item 3) before it starts. This header makes those resources statically
+// visible and mechanically banned.
+//
+// RDB_HOT_PATH marks a function as a *hot-zone root*: everything transitively
+// reachable from it must avoid the banned catalog
+// (scripts/check_hotpath.py walks the call graph and enforces this):
+//
+//   - naked heap allocation (`new`, `make_unique`, `make_shared`,
+//     malloc/calloc/realloc/strdup)
+//   - `std::function` construction (type-erased callables allocate)
+//   - naked blocking: sleeps (`sleep_for`, `sleep_until`, usleep/nanosleep)
+//     and unbounded condition waits (`cv.wait(...)` with no deadline)
+//   - synchronous file I/O (fopen/fsync/fwrite/fread, std::{o,i,f}stream,
+//     pread/pwrite)
+//
+// The annotated roots (the hot-zone map, see docs/static_analysis.md §8):
+//   - engine handlers in protocol/{pbft,poe,zyzzyva}.h — message-in to
+//     Actions-out is the ordering path itself
+//   - Message::serialize / signing_bytes and the serde primitives
+//   - the Replica pipeline stage loops (input, batch, verify, worker,
+//     execute, checkpoint, output) and the broadcast/enqueue helpers
+//   - transport send paths (InprocTransport/TcpTransport/send_raw/
+//     send_frame) up to the per-peer queue handoff
+//
+// RDB_HOT_BARRIER marks a function that touches a banned resource but is
+// *proven bounded*: it must carry an in-file proof comment saying why the
+// cost is amortized or bounded (BufferPool::acquire's heap fallback is
+// counted and pool-sizable; the group-commit fsync runs once per execution
+// wave; a stage's ingress pop blocks only when the stage is idle). The lint
+// stops walking at barriers; every barrier must also be listed in
+// scripts/hotpath_allowlist.txt.
+//
+// Runtime half — the allocation tripwire: with -DRDB_ALLOC_TRIPWIRE=ON the
+// global operator new/delete (rtzone.cpp) report every heap allocation to a
+// thread-local counter armed by rtzone::AllocScope. The Replica pipeline
+// arms one scope per stage iteration and surfaces the totals as
+// ReplicaStats::hot_path_allocs[stage]; Runtime.HotPathSteadyStateZeroAlloc
+// asserts that after warmup the annotated stages allocate within their
+// budgets (zero for the steady-state stages; any nonzero budget is named in
+// scripts/hotpath_allowlist.txt).
+//
+// Like the TSA/det macros, the attribute rides clang's `annotate` and
+// compiles to nothing elsewhere; the textual engine of check_hotpath.py
+// still sees the token and enforces the walk on every toolchain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__clang__)
+#define RDB_RT_ATTRIBUTE(x) [[clang::annotate(x)]]
+#else
+#define RDB_RT_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Hot-zone root: this function and everything it transitively calls must be
+/// free of the banned resource catalog above.
+#define RDB_HOT_PATH RDB_RT_ATTRIBUTE("rdb::hot_path")
+
+/// Hot-zone barrier: this function internally touches a banned resource but
+/// provably bounds it (counted fallback, once-per-wave amortization,
+/// idle-only blocking). Must appear in scripts/hotpath_allowlist.txt with a
+/// justification, and carry an in-file proof comment.
+#define RDB_HOT_BARRIER RDB_RT_ATTRIBUTE("rdb::hot_barrier")
+
+namespace rdb::rtzone {
+
+/// The Replica pipeline stages the allocation tripwire distinguishes
+/// (mirrors the thread layout in runtime/replica.h).
+enum class Stage : std::uint8_t {
+  kInput = 0,
+  kBatch,
+  kVerify,
+  kWorker,
+  kExecute,
+  kCheckpoint,
+  kOutput,
+  kCount,
+};
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCount);
+
+const char* stage_name(Stage s);
+
+/// True when the build carries the operator new/delete hooks
+/// (-DRDB_ALLOC_TRIPWIRE=ON); AllocScope still counts note_alloc() calls in
+/// every build, but only hooked builds feed it real heap traffic.
+bool tripwire_enabled();
+
+namespace detail {
+/// The armed counter for this thread, or nullptr when no scope is active.
+/// Defined in rtzone.cpp so the hooks and the scopes agree on one TLS slot.
+std::uint64_t* exchange_counter(std::uint64_t* next);
+std::uint64_t* current_counter();
+}  // namespace detail
+
+/// Reports one heap allocation to the armed scope (if any). The operator new
+/// hooks call this; tests may call it directly to exercise scope semantics
+/// in builds without the hooks.
+inline void note_alloc() {
+  if (std::uint64_t* c = detail::current_counter()) ++*c;
+}
+
+/// Arms `counter` as this thread's allocation sink for the scope's lifetime.
+/// Nests: an inner scope counts into its own counter, the outer resumes when
+/// it ends (allocations are attributed to the innermost scope only). Each
+/// thread has its own slot — scopes never observe another thread's traffic.
+class AllocScope {
+ public:
+  explicit AllocScope(std::uint64_t& counter)
+      : prev_(detail::exchange_counter(&counter)) {}
+  ~AllocScope() { detail::exchange_counter(prev_); }
+
+  AllocScope(const AllocScope&) = delete;
+  AllocScope& operator=(const AllocScope&) = delete;
+
+ private:
+  std::uint64_t* prev_;
+};
+
+}  // namespace rdb::rtzone

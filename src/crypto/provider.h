@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "common/rtzone.h"
 #include "common/sync.h"
 #include "common/types.h"
 #include "crypto/cmac.h"
@@ -59,6 +60,12 @@ class CryptoProvider {
   /// under other schemes — or malformed ones — fall back to per-item
   /// verify(). verdicts[i] always matches what verify() would return for
   /// items[i]. Returns the number of valid signatures.
+  ///
+  /// HOT BARRIER: the per-wave scratch (points, scalars, verdict staging)
+  /// is allocated ONCE per flushed wave and amortized over every signature
+  /// in the burst — the whole point of the batch path is trading one
+  /// setup for up to verify_batch_size per-item verifies.
+  RDB_HOT_BARRIER
   std::size_t verify_batch(const VerifyItem* items, std::size_t n,
                            bool* verdicts,
                            BatchVerifyStats* stats = nullptr) const;
@@ -76,6 +83,10 @@ class CryptoProvider {
 
  private:
   Bytes hmac_sim_sign(SignatureScheme s, Endpoint signer, BytesView msg) const;
+  /// HOT BARRIER: allocates a CMAC key schedule only on the FIRST message
+  /// to a given peer; every later call returns the memoized context, so the
+  /// steady state is a lock-shared map lookup with zero allocation.
+  RDB_HOT_BARRIER
   const CmacContext& cmac_for(Endpoint peer) const;
   static Ed25519Seed seed_of(const Bytes& secret);
 

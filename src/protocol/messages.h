@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/det.h"
+#include "common/rtzone.h"
 #include "common/serde.h"
 #include "common/types.h"
 #include "common/untrusted.h"
@@ -315,9 +316,12 @@ struct Message {
   /// Canonical byte string that is signed/verified (excludes the signature).
   /// Det-zone root: every replica must derive the identical byte string for
   /// the same message, or signatures/digests fork across the cluster.
-  RDB_DETERMINISTIC Bytes signing_bytes() const;
+  /// RT-zone root too: serde runs once per message on the pipeline's
+  /// critical path, so it may not hide heap round-trips beyond the output
+  /// buffer itself or block (scripts/check_hotpath.py).
+  RDB_DETERMINISTIC RDB_HOT_PATH Bytes signing_bytes() const;
 
-  RDB_DETERMINISTIC Bytes serialize() const;
+  RDB_DETERMINISTIC RDB_HOT_PATH Bytes serialize() const;
   /// Parses an envelope off the wire. The result is TAINTED: wire bytes are
   /// attacker-controlled, so the payload comes back sealed inside
   /// Untrusted<Message> and is only usable after passing a validator

@@ -23,6 +23,7 @@
 #include <set>
 
 #include "common/det.h"
+#include "common/rtzone.h"
 #include "protocol/actions.h"
 #include "protocol/messages.h"
 
@@ -72,7 +73,7 @@ class PbftEngine {
   /// (sequence numbers are assigned upstream by the input thread). Returns
   /// the broadcast plus a self-delivery so the primary's own worker thread
   /// records the proposal.
-  RDB_DETERMINISTIC
+  RDB_DETERMINISTIC RDB_HOT_PATH
   Actions make_preprepare(SeqNum seq, std::vector<Transaction> txns,
                           std::uint64_t txn_begin, const Digest& batch_digest,
                           Bytes payload_padding = {});
@@ -80,14 +81,17 @@ class PbftEngine {
   // --- worker-thread message processing ---
   // Det-zone roots: everything between "message in" and "Actions out" must
   // replay identically on every replica (scripts/check_determinism.py).
-  RDB_DETERMINISTIC Actions on_preprepare(const Message& msg);
-  RDB_DETERMINISTIC Actions on_prepare(const Message& msg);
-  RDB_DETERMINISTIC Actions on_commit(const Message& msg);
-  RDB_DETERMINISTIC Actions on_view_change(const Message& msg);
-  RDB_DETERMINISTIC Actions on_new_view(const Message& msg);
+  // RT-zone roots too: the handlers run once per consensus message on the
+  // single-owner worker thread, so they may not heap-allocate beyond
+  // container growth, block, or copy-amplify (scripts/check_hotpath.py).
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_preprepare(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_prepare(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_commit(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_view_change(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_new_view(const Message& msg);
 
   // --- checkpoint-thread processing ---
-  RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_checkpoint(const Message& msg);
 
   /// The fabric reports the signature it attached to this replica's own
   /// Commit for `seq`, completing the 2f+1-signature block certificate.
@@ -108,25 +112,25 @@ class PbftEngine {
   /// ordinary events in the det zone: a stale or duplicate expiry (slot
   /// committed, slot erased by a view change, view change already running)
   /// is absorbed and counted, never a state change.
-  RDB_DETERMINISTIC Actions on_timeout(std::uint64_t timer_id);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_timeout(std::uint64_t timer_id);
 
   /// A backup forwarded a client request to the primary and the primary made
   /// no progress before the timer fired: demand a view change. (The PBFT
   /// liveness rule for a dead/silent primary that never sends Pre-prepares,
   /// so no per-sequence timer exists.)
-  RDB_DETERMINISTIC Actions on_client_request_timeout();
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_client_request_timeout();
 
   // --- catch-up (state transfer within the retention window) ---
   /// Periodic poll by the fabric: if this replica can prove the cluster
   /// committed sequences it cannot execute (a committed slot or stable
   /// checkpoint above a gap), ask peers for the missing batches.
-  RDB_DETERMINISTIC Actions maybe_request_catchup();
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions maybe_request_catchup();
   /// Peer side: answer with the executed batches still retained.
-  RDB_DETERMINISTIC Actions on_batch_request(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_batch_request(const Message& msg);
   /// Lagging side: adopt a batch if its digest matches our own commit-quorum
   /// evidence, or once f+1 distinct peers vouch for the same (seq, digest).
   /// The fabric MUST have validated digest(txns) == entry.digest first.
-  RDB_DETERMINISTIC Actions on_batch_response(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_batch_response(const Message& msg);
 
   // --- snapshot state transfer (rejoin below the retention window) ---
   /// Crash recovery: seed the engine from durable state BEFORE any message

@@ -24,6 +24,7 @@
 #include <set>
 
 #include "common/det.h"
+#include "common/rtzone.h"
 #include "protocol/actions.h"
 #include "protocol/messages.h"
 
@@ -62,16 +63,16 @@ class PoeEngine {
                        std::uint64_t txn_begin, const Digest& batch_digest);
 
   /// Backup: record the propose, broadcast a Support.
-  RDB_DETERMINISTIC Actions on_propose(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_propose(const Message& msg);
   /// Any replica: count supports; 2f+1 releases speculative execution.
-  RDB_DETERMINISTIC Actions on_support(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_support(const Message& msg);
 
   /// `exec_digest` rides on the checkpoint vote (zero = fabric computes no
   /// execution fingerprints; see protocol/messages.h).
   RDB_DETERMINISTIC
   Actions on_executed(SeqNum seq, const Digest& state_digest,
                       const Digest& exec_digest = Digest{});
-  RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_checkpoint(const Message& msg);
 
   /// Timeout-as-event handling: view changes / speculative rollback are out
   /// of scope for this engine (see the header comment), so a timer expiry —
@@ -79,7 +80,7 @@ class PoeEngine {
   /// absorbed as a counted no-op. It must NEVER mutate protocol state; the
   /// model checker's fingerprint dedup and the regression tests in
   /// tests/poe_test.cpp rely on that.
-  RDB_DETERMINISTIC Actions on_timeout(std::uint64_t timer_id);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_timeout(std::uint64_t timer_id);
 
   /// Canonical fingerprint of the full protocol state (model-checker state
   /// dedup; metrics excluded). See PbftEngine::state_digest.

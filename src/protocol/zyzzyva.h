@@ -18,6 +18,7 @@
 #include <set>
 
 #include "common/det.h"
+#include "common/rtzone.h"
 #include "protocol/actions.h"
 #include "protocol/messages.h"
 
@@ -60,24 +61,24 @@ class ZyzzyvaEngine {
 
   /// Replica: speculative execution path. Accepts only the contiguous next
   /// sequence number; later ones are buffered until the hole fills.
-  RDB_DETERMINISTIC Actions on_order_request(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_order_request(const Message& msg);
 
   /// Replica: client sent a 2f+1 commit certificate (slow path).
-  RDB_DETERMINISTIC Actions on_commit_cert(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_commit_cert(const Message& msg);
 
   /// Execute-thread notification (checkpoint emission, as in PBFT).
   /// `exec_digest` rides on the checkpoint vote (zero = no fingerprints).
   RDB_DETERMINISTIC
   Actions on_executed(SeqNum seq, const Digest& state_digest,
                       const Digest& exec_digest = Digest{});
-  RDB_DETERMINISTIC Actions on_checkpoint(const Message& msg);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_checkpoint(const Message& msg);
 
   /// Timeout-as-event handling: the client drives Zyzzyva's slow path and
   /// the view change is out of scope here, so a replica-side timer expiry —
   /// stale, duplicated, or replayed mid-stream — is absorbed as a counted
   /// no-op. It must NEVER mutate protocol state; the model checker's
   /// fingerprint dedup and tests/zyzzyva_test.cpp pin that down.
-  RDB_DETERMINISTIC Actions on_timeout(std::uint64_t timer_id);
+  RDB_DETERMINISTIC RDB_HOT_PATH Actions on_timeout(std::uint64_t timer_id);
 
   /// Canonical fingerprint of the full protocol state (model-checker state
   /// dedup; metrics excluded). See PbftEngine::state_digest.

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rtzone.h"
 #include "common/sync.h"
 
 namespace rdb {
@@ -26,6 +27,12 @@ class BlockingQueue {
 
   /// Blocks until an item arrives or the queue is shut down; nullopt on
   /// shutdown with an empty queue.
+  ///
+  /// HOT BARRIER: the wait is IDLE-ONLY — it blocks exactly when the queue
+  /// is empty (the consuming stage has no work to stall) and every push
+  /// notifies, so a queued message never sits behind the sleep. Unbounded
+  /// by design: shutdown() wakes all sleepers for teardown.
+  RDB_HOT_BARRIER
   std::optional<T> pop() {
     MutexLock lock(mu_);
     while (items_.empty() && !shutdown_) cv_.wait(mu_);

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rtzone.h"
 #include "queues/mpmc_queue.h"
 
 namespace rdb {
@@ -31,6 +32,10 @@ class BufferPool {
     bool heap{false};  // true if allocated outside the pool population
   };
 
+  /// HOT BARRIER: steady state serves from the lock-free free list with
+  /// zero allocation; the `new` below is the COUNTED pool-drained fallback
+  /// (misses stat) that keeps correctness independent of pool sizing.
+  RDB_HOT_BARRIER
   Handle acquire() {
     T* obj = nullptr;
     if (free_list_.try_pop(obj)) {

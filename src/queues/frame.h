@@ -1,0 +1,264 @@
+// Frame ownership type-state for wire buffers (the buffer-ownership model
+// ROADMAP items 1 and 3 build on).
+//
+// A serialized wire frame has exactly one OWNER and any number of BORROWS:
+//
+//   OwnedFrame  — move-only owner of the bytes. Destroying it returns the
+//                 slab to its FramePool (or frees the heap fallback). The
+//                 only type that can release storage.
+//   FrameView   — copyable, read-only borrow. Statically cannot free or
+//                 mutate (no such member exists) and cannot outlive the
+//                 owner: every live view holds a borrow count the owner's
+//                 destructor checks — destroying an OwnedFrame with
+//                 outstanding views is a fail-stop, not a use-after-free.
+//
+// Serialize-once broadcast is the motivating shape: build ONE OwnedFrame,
+// hand N FrameViews to the transport (Transport::send_frame), destroy the
+// owner after the last send returns. The pool makes the steady state
+// malloc-free: FramePool preallocates `population` slabs of `slab_bytes`
+// each; acquire() falls back to a heap slab when the pool is drained or the
+// frame is oversize (counted, so sizing is observable — correctness never
+// depends on it, mirroring BufferPool §4.8).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/rtzone.h"
+#include "queues/mpmc_queue.h"
+
+namespace rdb {
+
+class FramePool;
+class FrameView;
+
+namespace detail {
+/// Storage + borrow bookkeeping for one frame. Pooled slabs live in their
+/// FramePool's storage (stable addresses); heap fallbacks and adopted
+/// buffers own a standalone slab deleted on release.
+struct FrameSlab {
+  Bytes buf;             // pooled: capacity slab_bytes, never reallocated
+  std::size_t len{0};    // live bytes of the current frame
+  FramePool* pool{nullptr};  // nullptr = heap-owned slab
+  std::atomic<std::uint32_t> borrows{0};
+};
+}  // namespace detail
+
+/// Move-only owner of one wire frame's bytes. Obtained from
+/// FramePool::acquire()/acquire_copy() or OwnedFrame::adopt().
+class OwnedFrame {
+ public:
+  OwnedFrame() = default;
+
+  /// Wraps an already-materialized buffer without copying (heap-owned slab;
+  /// the serialize-once broadcast path adopts the Writer's output directly).
+  ///
+  /// HOT BARRIER: allocates one small control block per adopted frame —
+  /// i.e. once per broadcast WAVE, amortized over the n-1 fan-out sends
+  /// that share the frame — and takes the payload buffer itself zero-copy.
+  RDB_HOT_BARRIER
+  static OwnedFrame adopt(Bytes bytes);
+
+  OwnedFrame(OwnedFrame&& other) noexcept
+      : slab_(std::exchange(other.slab_, nullptr)) {}
+  OwnedFrame& operator=(OwnedFrame&& other) noexcept {
+    if (this != &other) {
+      reset();
+      slab_ = std::exchange(other.slab_, nullptr);
+    }
+    return *this;
+  }
+  OwnedFrame(const OwnedFrame&) = delete;
+  OwnedFrame& operator=(const OwnedFrame&) = delete;
+
+  ~OwnedFrame() { reset(); }
+
+  /// Releases the storage. Fail-stops if any FrameView is still live — a
+  /// view outliving its owner is a use-after-free in the making, and the
+  /// type-state exists to make that impossible to ship.
+  void reset();
+
+  std::uint8_t* data() { return slab_ ? slab_->buf.data() : nullptr; }
+  const std::uint8_t* data() const {
+    return slab_ ? slab_->buf.data() : nullptr;
+  }
+  std::size_t size() const { return slab_ ? slab_->len : 0; }
+  bool empty() const { return size() == 0; }
+  BytesView bytes() const { return BytesView(data(), size()); }
+  explicit operator bool() const { return slab_ != nullptr; }
+
+  /// True when the bytes live in a preallocated pool slab (steady-state
+  /// path); false for heap fallbacks and adopted buffers.
+  bool pooled() const { return slab_ != nullptr && slab_->pool != nullptr; }
+
+  /// Borrows a read-only view. The view must be destroyed before this owner.
+  FrameView view() const;
+
+  /// Live borrow count (observability for tests).
+  std::uint32_t outstanding_views() const {
+    return slab_ ? slab_->borrows.load(std::memory_order_acquire) : 0;
+  }
+
+ private:
+  friend class FramePool;
+  explicit OwnedFrame(detail::FrameSlab* slab) : slab_(slab) {}
+  detail::FrameSlab* slab_{nullptr};
+};
+
+/// Read-only borrow of an OwnedFrame's bytes. Copyable; offers no mutation
+/// and no release — the owner alone frees. to_bytes() is the one explicit
+/// copy, for sinks that must own their input (in-process inboxes).
+class FrameView {
+ public:
+  FrameView() = default;
+  FrameView(const FrameView& other) : slab_(other.slab_) { borrow(); }
+  FrameView& operator=(const FrameView& other) {
+    if (this != &other) {
+      unborrow();
+      slab_ = other.slab_;
+      borrow();
+    }
+    return *this;
+  }
+  FrameView(FrameView&& other) noexcept
+      : slab_(std::exchange(other.slab_, nullptr)) {}
+  FrameView& operator=(FrameView&& other) noexcept {
+    if (this != &other) {
+      unborrow();
+      slab_ = std::exchange(other.slab_, nullptr);
+    }
+    return *this;
+  }
+  ~FrameView() { unborrow(); }
+
+  const std::uint8_t* data() const {
+    return slab_ ? slab_->buf.data() : nullptr;
+  }
+  std::size_t size() const { return slab_ ? slab_->len : 0; }
+  bool empty() const { return size() == 0; }
+  BytesView bytes() const { return BytesView(data(), size()); }
+  explicit operator bool() const { return slab_ != nullptr; }
+
+  /// Explicit owning copy (the only way bytes leave the borrow).
+  Bytes to_bytes() const { return Bytes(data(), data() + size()); }
+
+ private:
+  friend class OwnedFrame;
+  explicit FrameView(detail::FrameSlab* slab) : slab_(slab) { borrow(); }
+  void borrow() {
+    if (slab_) slab_->borrows.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void unborrow() {
+    if (slab_) slab_->borrows.fetch_sub(1, std::memory_order_acq_rel);
+    slab_ = nullptr;
+  }
+  detail::FrameSlab* slab_{nullptr};
+};
+
+inline FrameView OwnedFrame::view() const { return FrameView(slab_); }
+
+/// Fixed population of frame slabs; steady state acquires perform no heap
+/// allocation. Thread-safe (lock-free free list).
+class FramePool {
+ public:
+  FramePool(std::size_t population, std::size_t slab_bytes)
+      : slab_bytes_(slab_bytes), free_(population + 1), storage_(population) {
+    for (auto& slab : storage_) {
+      slab.buf.reserve(slab_bytes_);
+      slab.pool = this;
+      free_.try_push(&slab);
+    }
+  }
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// A frame with room for `n` bytes (uninitialized). Pool slab when `n`
+  /// fits and the pool isn't drained; heap fallback otherwise (counted).
+  ///
+  /// HOT BARRIER: steady state pops a preallocated slab and resizes within
+  /// reserved capacity — zero allocation; the `new` below is the COUNTED
+  /// oversize/pool-drained fallback (heap_fallbacks stat), so correctness
+  /// never depends on pool sizing.
+  RDB_HOT_BARRIER
+  OwnedFrame acquire(std::size_t n) {
+    if (n <= slab_bytes_) {
+      detail::FrameSlab* slab = nullptr;
+      if (free_.try_pop(slab)) {
+        slab->buf.resize(n);  // within reserved capacity: no allocation
+        slab->len = n;
+        pooled_.fetch_add(1, std::memory_order_relaxed);
+        return OwnedFrame(slab);
+      }
+    }
+    heap_fallback_.fetch_add(1, std::memory_order_relaxed);
+    auto* slab = new detail::FrameSlab();
+    slab->buf.resize(n);
+    slab->len = n;
+    return OwnedFrame(slab);
+  }
+
+  /// Acquire + copy in one step (the transport enqueue path).
+  OwnedFrame acquire_copy(BytesView src) {
+    OwnedFrame f = acquire(src.size());
+    if (!src.empty()) std::copy(src.begin(), src.end(), f.data());
+    return f;
+  }
+
+  std::uint64_t pooled_acquires() const {
+    return pooled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t heap_fallbacks() const {
+    return heap_fallback_.load(std::memory_order_relaxed);
+  }
+  std::size_t population() const { return storage_.size(); }
+  std::size_t slab_bytes() const { return slab_bytes_; }
+
+ private:
+  friend class OwnedFrame;
+  void release(detail::FrameSlab* slab) {
+    slab->len = 0;
+    free_.try_push(slab);  // capacity == population: never fails
+  }
+
+  std::size_t slab_bytes_;
+  MpmcQueue<detail::FrameSlab*> free_;
+  std::deque<detail::FrameSlab> storage_;  // stable addresses
+  std::atomic<std::uint64_t> pooled_{0};
+  std::atomic<std::uint64_t> heap_fallback_{0};
+};
+
+inline OwnedFrame OwnedFrame::adopt(Bytes bytes) {
+  auto* slab = new detail::FrameSlab();
+  slab->len = bytes.size();
+  slab->buf = std::move(bytes);
+  return OwnedFrame(slab);
+}
+
+inline void OwnedFrame::reset() {
+  if (slab_ == nullptr) return;
+  if (std::uint32_t live = slab_->borrows.load(std::memory_order_acquire);
+      live != 0) {
+    // A live FrameView would dangle the instant this storage is recycled.
+    log_error("OwnedFrame destroyed with " + std::to_string(live) +
+              " outstanding FrameView borrow(s) — use-after-free averted by "
+              "fail-stop");
+    std::abort();
+  }
+  if (slab_->pool != nullptr) {
+    slab_->pool->release(slab_);
+  } else {
+    delete slab_;
+  }
+  slab_ = nullptr;
+}
+
+}  // namespace rdb

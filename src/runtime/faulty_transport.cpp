@@ -297,6 +297,113 @@ void FaultyTransport::send(Endpoint to, const protocol::Message& msg) {
   }
 }
 
+void FaultyTransport::send_frame(Endpoint from, Endpoint to, FrameView frame) {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+
+  // Mirrors send(): decisions under mu_ in the same draw order (so the
+  // fault trace stays a pure function of the seed and per-link sequence),
+  // delivery after release. Faulted copies ride the raw-bytes path; the
+  // clean inline case forwards the borrow without copying.
+  bool deliver = false;
+  bool duplicate = false;
+  std::optional<Bytes> mutated;  // corrupted / structurally mutated copy
+  TimeNs primary_delay = 0;
+  TimeNs duplicate_delay = 0;
+  {
+    MutexLock lock(mu_);
+    known_.insert(key(from));
+    known_.insert(key(to));
+
+    if (crashed_.contains(key(from)) || crashed_.contains(key(to))) {
+      ++counters_.crash_drops;
+      note(from, to, kCrashDrop);
+      return;
+    }
+    if (partitioned_.contains({key(from), key(to)})) {
+      ++counters_.partition_drops;
+      note(from, to, kPartitionDrop);
+      return;
+    }
+
+    LinkState& st = link(from, to);
+    const LinkFaults& f = st.has_override ? st.faults : plan_.default_faults;
+
+    std::uint16_t decision = 0;
+    if (f.drop > 0 && st.rng.chance(f.drop)) {
+      ++counters_.dropped;
+      note(from, to, kDrop);
+      return;
+    }
+    deliver = true;
+    decision |= kForward;
+
+    if (f.corrupt > 0 && st.rng.chance(f.corrupt)) {
+      decision |= kCorrupt;
+      ++counters_.corrupted;
+      mutated = frame.to_bytes();
+      if (mutated->empty()) {
+        mutated->push_back(0xFF);
+      } else {
+        // Serialized messages end with the signature/MAC bytes, so a flip
+        // in the last byte lands in the tag: rejected at verification, the
+        // same observable as send()'s signature-bit flip.
+        mutated->back() ^= static_cast<std::uint8_t>(1u << st.rng.below(8));
+      }
+    }
+    if (f.structural > 0 && st.rng.chance(f.structural)) {
+      decision |= kStructural;
+      ++counters_.structural;
+      if (!mutated) mutated = frame.to_bytes();
+      auto mut = static_cast<protocol::wirefuzz::Mutation>(
+          1 + st.rng.below(
+                  static_cast<std::uint64_t>(
+                      protocol::wirefuzz::Mutation::kCount) -
+                  1));
+      protocol::wirefuzz::mutate(*mutated, st.rng, mut);
+    }
+    if (f.duplicate > 0 && st.rng.chance(f.duplicate)) {
+      decision |= kDuplicate;
+      ++counters_.duplicated;
+      duplicate = true;
+    }
+
+    TimeNs base_delay = f.delay_ns;
+    if (f.jitter_ns > 0) base_delay += st.rng.below(f.jitter_ns);
+    if (f.reorder > 0 && st.rng.chance(f.reorder)) {
+      decision |= kReorder;
+      ++counters_.reordered;
+      base_delay += plan_.reorder_holdback_ns;
+    }
+    primary_delay = base_delay;
+    if (primary_delay > 0) {
+      decision |= kDelay;
+      ++counters_.delayed;
+    }
+    duplicate_delay = base_delay + plan_.duplicate_lag_ns;
+
+    ++counters_.forwarded;
+    if (duplicate) ++counters_.forwarded;
+    note(from, to, decision);
+  }
+
+  if (!deliver) return;
+  auto now = std::chrono::steady_clock::now();
+  if (duplicate) {
+    Bytes copy = mutated ? *mutated : frame.to_bytes();
+    enqueue_delayed(now + std::chrono::nanoseconds(duplicate_delay), to, from,
+                    protocol::Message{}, std::move(copy));
+  }
+  if (primary_delay > 0) {
+    Bytes copy = mutated ? std::move(*mutated) : frame.to_bytes();
+    enqueue_delayed(now + std::chrono::nanoseconds(primary_delay), to, from,
+                    protocol::Message{}, std::move(copy));
+  } else if (mutated) {
+    inner_.send_raw(to, std::move(*mutated));
+  } else {
+    inner_.send_frame(from, to, frame);
+  }
+}
+
 void FaultyTransport::enqueue_delayed(
     std::chrono::steady_clock::time_point at, Endpoint to, Endpoint from,
     protocol::Message msg, std::optional<Bytes> raw) {

@@ -80,6 +80,13 @@ class FaultyTransport final : public Transport {
   /// crash/partition state); the decorator's own structural mode is the
   /// intended producer of raw frames, so no second mutation is applied.
   void send_raw(Endpoint to, Bytes wire) override;
+  /// Borrowed frames get the FULL per-link fault machinery (drop/duplicate/
+  /// reorder/delay/corrupt/structural), applied at the byte level: the frame
+  /// is not re-parsed, so `corrupt` flips a bit of the LAST byte — wire
+  /// frames end with the signature/MAC, making this observably the same as
+  /// send()'s signature flip — and `structural` splices a wirefuzz mutation
+  /// into a copy. The clean no-fault path forwards the borrow zero-copy.
+  void send_frame(Endpoint from, Endpoint to, FrameView frame) override;
 
   // --- scripted structural faults ---
   /// Cuts the (a, b) link in BOTH directions until heal()/heal(a, b).

@@ -28,6 +28,21 @@ Digest digest_batch(const std::vector<Transaction>& txns) {
 
 std::uint32_t type_bit(MsgType t) { return 1u << static_cast<int>(t); }
 
+/// HOT BARRIER: fires only when try_pop found the lock-free queue EMPTY —
+/// the stage has no work the nap could stall; 50 us bounds the idle spin
+/// without burning the CPU the producing stage needs.
+RDB_HOT_BARRIER
+void idle_nap() { std::this_thread::sleep_for(std::chrono::microseconds(50)); }
+
+/// HOT BARRIER: one verdict-array allocation at stage startup (or on a
+/// certificate larger than any seen before — at most log2(n) regrows),
+/// reused for every subsequent verification wave. verify_batch wants a raw
+/// bool*, which rules out the allocation-free container idioms.
+RDB_HOT_BARRIER
+std::unique_ptr<bool[]> make_verdict_scratch(std::size_t n) {
+  return std::unique_ptr<bool[]>(new bool[n]);
+}
+
 /// KvStore decorator that streams every put into a SHA-256 — the
 /// state-delta digest of one batch's execution. The execute thread is the
 /// store's sole writer, so wrapping it for the duration of a batch observes
@@ -114,6 +129,11 @@ Replica::Replica(ReplicaConfig config, Transport& transport,
   for (std::uint32_t i = 0; i < config_.output_threads; ++i)
     output_queues_.push_back(std::make_unique<BlockingQueue<OutboundMsg>>());
   transport_.register_endpoint(Endpoint::replica(config_.id), inbox_);
+  // Serialize-once broadcast is legal exactly when the replica-link scheme
+  // is addressee-independent: DS signatures (and the unauthenticated mode)
+  // produce the same bytes for every peer, pairwise MACs do not (§4.2).
+  ds_replica_links_ =
+      config_.schemes.replica_scheme != crypto::SignatureScheme::kCmacAes;
   next_seq_ = 0;
   if (config_.durability.enabled) recover_from_log();
   // Pre-warm the registry's expanded-key cache for every peer replica so
@@ -309,6 +329,14 @@ ReplicaStats Replica::stats() const {
     s.rejected_messages[i] = reject_counts_[i].load(std::memory_order_relaxed);
     s.rejected_total += s.rejected_messages[i];
   }
+  for (std::size_t i = 0; i < rtzone::kStageCount; ++i) {
+    s.hot_path_allocs[i] = stage_allocs_[i].load(std::memory_order_relaxed);
+    s.hot_path_items[i] = stage_items_[i].load(std::memory_order_relaxed);
+  }
+  s.broadcasts_serialized =
+      broadcasts_serialized_.load(std::memory_order_relaxed);
+  s.broadcast_frame_sends =
+      broadcast_frame_sends_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -324,6 +352,7 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
       // Flush a lingering partial batch so low client counts make progress.
       if (is_primary() && !pending_txns_.empty()) {
         ScopedBusy sb(busy);
+        StageScope alloc_scope(*this, rtzone::Stage::kInput);
         auto handle = batch_pool_.acquire();
         handle.ptr->seq = ++next_seq_;
         handle.ptr->txn_begin = next_txn_id_;
@@ -335,6 +364,7 @@ void Replica::input_loop(std::stop_token st, BusyCounter& busy) {
       continue;
     }
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kInput);
     // The taint boundary: every frame off the wire is Byzantine until it
     // passes validate_wire (structure + semantics; signatures are verified
     // downstream by the verify/worker/checkpoint threads). The accept mask
@@ -468,10 +498,11 @@ void Replica::batch_loop(std::stop_token st, BusyCounter& busy) {
   while (!st.stop_requested()) {
     BufferPool<PendingBatch>::Handle handle;
     if (!batch_queue_.try_pop(handle)) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      idle_nap();
       continue;
     }
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kBatch);
     PendingBatch& batch = *handle.ptr;
 
     // Excise transactions whose client signature fails. The batch must
@@ -512,6 +543,12 @@ void Replica::verify_loop(std::stop_token st, BusyCounter& busy) {
       std::max<std::size_t>(config_.verify_batch_size, 1);
   std::vector<Message> burst;
   burst.reserve(max_batch);
+  // Per-wave scratch, sized once to the wave cap and reused every
+  // iteration: verify_batch wants contiguous C arrays, and allocating them
+  // per wave put a heap round-trip on the signature hot path.
+  std::vector<Bytes> canon(max_batch);
+  std::vector<crypto::VerifyItem> items(max_batch);
+  std::unique_ptr<bool[]> verdicts = make_verdict_scratch(max_batch);
   while (!st.stop_requested()) {
     burst.clear();
     auto first = verify_queue_.pop();
@@ -537,18 +574,17 @@ void Replica::verify_loop(std::stop_token st, BusyCounter& busy) {
       }
     }
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kVerify);
     // One verify_batch call settles the wave: the canonical byte buffers
-    // must outlive the call, so they are materialized side-by-side.
-    std::vector<Bytes> canon(burst.size());
-    std::vector<crypto::VerifyItem> items(burst.size());
+    // must outlive the call, so they are materialized side-by-side in the
+    // reusable scratch (burst.size() <= max_batch by construction).
     for (std::size_t i = 0; i < burst.size(); ++i) {
       canon[i] = burst[i].signing_bytes();
       items[i] = crypto::VerifyItem{burst[i].from, BytesView(canon[i]),
                                     BytesView(burst[i].signature)};
     }
-    std::unique_ptr<bool[]> verdicts(new bool[burst.size()]);
     crypto::BatchVerifyStats bs;
-    crypto_.verify_batch(items.data(), items.size(), verdicts.get(), &bs);
+    crypto_.verify_batch(items.data(), burst.size(), verdicts.get(), &bs);
     batched_sigs_.fetch_add(burst.size(), std::memory_order_relaxed);
     batch_flushes_.fetch_add(1, std::memory_order_relaxed);
     batch_bisections_.fetch_add(bs.bisections, std::memory_order_relaxed);
@@ -578,6 +614,7 @@ void Replica::worker_loop(std::stop_token st, BusyCounter& busy) {
     auto item = worker_queue_.pop();
     if (!item) return;  // shutdown
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kWorker);
     auto msg = std::optional<Message>(std::move(item->msg));
 
     bool self = msg->from == Endpoint::replica(config_.id);
@@ -688,6 +725,11 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
   std::uint32_t wave = 0;
   std::vector<std::pair<Endpoint, Message>> held_msgs;
   Actions held_actions;
+  // Certificate re-check scratch (verify_certificates): verdict array sized
+  // to the largest certificate seen, reused across batches so the re-check
+  // never heap-allocates per block on the execute hot path.
+  std::unique_ptr<bool[]> cert_ok;
+  std::size_t cert_ok_cap = 0;
 
   auto flush_wave = [&]() {
     if (durable && wave > 0) {
@@ -755,6 +797,7 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
       continue;  // timeout: re-check stop token
     }
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kExecute);
 
     // Execute every transaction of the batch, in order (§4.6), suppressing
     // retransmitted requests via the reply cache (a request executes exactly
@@ -825,10 +868,13 @@ void Replica::execute_loop(std::stop_token st, BusyCounter& busy) {
                                                 BytesView(vote.signature)});
       }
       if (!vote_items.empty()) {
-        std::unique_ptr<bool[]> ok(new bool[vote_items.size()]);
+        if (vote_items.size() > cert_ok_cap) {
+          cert_ok_cap = std::max<std::size_t>(vote_items.size(), config_.n);
+          cert_ok = make_verdict_scratch(cert_ok_cap);
+        }
         crypto::BatchVerifyStats bs;
         const std::size_t valid = crypto_.verify_batch(
-            vote_items.data(), vote_items.size(), ok.get(), &bs);
+            vote_items.data(), vote_items.size(), cert_ok.get(), &bs);
         batched_sigs_.fetch_add(vote_items.size(),
                                 std::memory_order_relaxed);
         batch_flushes_.fetch_add(1, std::memory_order_relaxed);
@@ -1115,6 +1161,7 @@ void Replica::checkpoint_loop(std::stop_token st, BusyCounter& busy) {
     auto msg = checkpoint_queue_.pop();
     if (!msg) return;
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kCheckpoint);
     bool self = msg->from == Endpoint::replica(config_.id);
     if (!self) {
       Bytes canon = msg->signing_bytes();
@@ -1144,6 +1191,20 @@ void Replica::enqueue_output(Endpoint to, Message msg) {
 }
 
 void Replica::broadcast(Message msg) {
+  if (ds_replica_links_ && config_.n > 1) {
+    // Serialize-once fan-out: one output thread signs and serializes a
+    // single wire frame, then sends a borrowed FrameView to every peer
+    // (n-1 sends, ONE serialization, ONE signature). Round-robin so the
+    // broadcast load spreads across output threads; atomic because
+    // broadcast() runs on worker, batch and checkpoint threads alike.
+    std::size_t idx = rr_bcast_.fetch_add(1, std::memory_order_relaxed) %
+                      output_queues_.size();
+    output_queues_[idx]->push(OutboundMsg{Endpoint::replica(config_.id),
+                                          std::move(msg), /*broadcast=*/true});
+    return;
+  }
+  // Pairwise-MAC links (CMAC): each peer needs its own tag, so the frame
+  // legitimately differs per destination — sign + serialize per link.
   for (ReplicaId peer = 0; peer < config_.n; ++peer) {
     if (peer == config_.id) continue;
     enqueue_output(Endpoint::replica(peer), msg);
@@ -1156,6 +1217,24 @@ void Replica::output_loop(std::stop_token st, std::size_t idx,
     auto out = output_queues_[idx]->pop();
     if (!out) return;
     ScopedBusy sb(busy);
+    StageScope alloc_scope(*this, rtzone::Stage::kOutput);
+    if (out->broadcast) {
+      // Addressee-independent signature: any replica endpoint selects the
+      // same scheme and the same signing key, so sign against the first
+      // non-self peer and reuse the frame for all of them.
+      Bytes canon = out->msg.signing_bytes();
+      out->msg.signature = crypto_.sign(
+          Endpoint::replica((config_.id + 1) % config_.n), BytesView(canon));
+      OwnedFrame frame = OwnedFrame::adopt(out->msg.serialize());
+      broadcasts_serialized_.fetch_add(1, std::memory_order_relaxed);
+      for (ReplicaId peer = 0; peer < config_.n; ++peer) {
+        if (peer == config_.id) continue;
+        transport_.send_frame(Endpoint::replica(config_.id),
+                              Endpoint::replica(peer), frame.view());
+        broadcast_frame_sends_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
     Bytes canon = out->msg.signing_bytes();
     out->msg.signature = crypto_.sign(out->to, BytesView(canon));
     transport_.send(out->to, out->msg);

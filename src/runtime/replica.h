@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/det.h"
+#include "common/rtzone.h"
 #include "common/stats.h"
 #include "common/sync.h"
 #include "crypto/provider.h"
@@ -162,6 +163,18 @@ struct ReplicaStats {
   /// checkpoint interval differed from theirs despite identical ordered
   /// input. Firing once fail-stops the execute stage (see diverged()).
   std::uint64_t exec_divergence{0};
+  /// Per-pipeline-stage heap allocations observed by the RT-zone tripwire
+  /// (operator-new hook; counts only move in RDB_ALLOC_TRIPWIRE builds)
+  /// and the number of loop iterations each stage ran. The steady-state
+  /// gate divides one by the other: after warmup, annotated stages must
+  /// show zero (or an explicitly budgeted number of) allocations per item.
+  std::array<std::uint64_t, rtzone::kStageCount> hot_path_allocs{};
+  std::array<std::uint64_t, rtzone::kStageCount> hot_path_items{};
+  /// Serialize-once broadcast (DS replica links only): wire frames built
+  /// once, and the borrowed-view sends fanned out from them. With N peers,
+  /// broadcast_frame_sends ≈ (n-1) × broadcasts_serialized.
+  std::uint64_t broadcasts_serialized{0};
+  std::uint64_t broadcast_frame_sends{0};
 };
 
 class Replica {
@@ -246,6 +259,11 @@ class Replica {
   struct OutboundMsg {
     Endpoint to;
     protocol::Message msg;  // unsigned; the output thread signs per link
+    /// Serialize-once fan-out: when set, `to` is ignored and the output
+    /// thread signs + serializes ONE wire frame, then sends a borrowed
+    /// FrameView to every peer. Only legal on addressee-independent replica
+    /// links (DS schemes / kNone) — pairwise MACs need a per-peer tag.
+    bool broadcast{false};
   };
 
   /// A message on its way to the consensus worker. `verified` is true when
@@ -280,13 +298,48 @@ class Replica {
   };
   BusyCounter& add_counter(const std::string& name);
 
-  // Thread bodies.
+  // Per-stage arm of the RT-zone allocation tripwire (common/rtzone.h).
+  // Each pipeline loop iteration constructs one StageScope next to its
+  // ScopedBusy: the scope routes the operator-new hook's thread-local
+  // counter at a local tally and flushes tally + item count into the
+  // replica-wide atomics on destruction. Always compiled in; the tally
+  // only moves in RDB_ALLOC_TRIPWIRE builds (rtzone::tripwire_enabled()).
+  class StageScope {
+   public:
+    StageScope(Replica& r, rtzone::Stage stage)
+        : r_(r), stage_(stage), scope_(local_) {}
+    ~StageScope() {
+      auto s = static_cast<std::size_t>(stage_);
+      if (local_ > 0)
+        r_.stage_allocs_[s].fetch_add(local_, std::memory_order_relaxed);
+      r_.stage_items_[s].fetch_add(1, std::memory_order_relaxed);
+    }
+    StageScope(const StageScope&) = delete;
+    StageScope& operator=(const StageScope&) = delete;
+
+   private:
+    Replica& r_;
+    rtzone::Stage stage_;
+    std::uint64_t local_{0};  // must precede scope_: AllocScope targets it
+    rtzone::AllocScope scope_;
+  };
+
+  // Thread bodies. The loop bodies (everything after the blocking pop) are
+  // consensus hot path: scripts/check_hotpath.py transitively rejects heap
+  // allocation, naked blocking and copy amplification below these roots.
+  RDB_HOT_PATH
   void input_loop(std::stop_token st, BusyCounter& busy);
+  RDB_HOT_PATH
   void batch_loop(std::stop_token st, BusyCounter& busy);
+  RDB_HOT_PATH
   void verify_loop(std::stop_token st, BusyCounter& busy);
+  RDB_HOT_PATH
   void worker_loop(std::stop_token st, BusyCounter& busy);
+  RDB_HOT_PATH
   void execute_loop(std::stop_token st, BusyCounter& busy);
+  RDB_HOT_PATH
   void checkpoint_loop(std::stop_token st, BusyCounter& busy);
+  RDB_HOT_PATH
   void output_loop(std::stop_token st, std::size_t idx, BusyCounter& busy);
   void timer_loop(std::stop_token st);
 
@@ -300,18 +353,33 @@ class Replica {
   /// image + chain accumulator that snapshot requests will be served from.
   /// Det-zone root: the image (and its digest, vouched to peers) must be
   /// byte-identical on every replica that executed the same prefix.
-  RDB_DETERMINISTIC
+  /// HOT BARRIER: runs once per CHECKPOINT BOUNDARY (every
+  /// checkpoint_interval batches), and only when enable_snapshots is on —
+  /// the config comment prices exactly this walk against throughput.
+  RDB_DETERMINISTIC RDB_HOT_BARRIER
   void capture_snapshot(SeqNum seq, ViewId view, const Digest& acc);
   /// Worker thread: serve a peer's SnapshotRequest from the captured image.
   void handle_snapshot_request(const protocol::Message& msg);
   /// Worker thread: tally SnapshotResponses; after f+1 distinct peers vouch
   /// for the same (seq, chain digest, kv digest), verify the blob against
   /// the vouched digest and stash it for the execute thread to install.
+  /// HOT BARRIER: snapshot state transfer is the REJOIN path — it runs only
+  /// while this replica has already fallen off the live protocol, at most
+  /// once per offered image, never per consensus message.
+  RDB_HOT_BARRIER
   void handle_snapshot_response(protocol::Message msg);
   /// Execute thread, while stalled: install a verified pending snapshot.
+  /// HOT BARRIER: runs only in the idle window where execution is STALLED
+  /// waiting for state it cannot obtain from the log — the pipeline has no
+  /// queued work this could delay.
+  RDB_HOT_BARRIER
   void maybe_install_snapshot();
   /// Execute thread, at a wave boundary: checkpoint the KV store and rewrite
   /// the consensus log above the stable anchor requested by perform().
+  /// HOT BARRIER: compaction runs once per STABLE CHECKPOINT (every
+  /// checkpoint_interval batches, and only after a group-commit boundary or
+  /// an idle window), not per message; its I/O is the retention contract.
+  RDB_HOT_BARRIER
   void maybe_compact_log();
   /// Bumps the per-reason reject counter (lock-free; input thread hot path).
   void count_reject(protocol::RejectReason reason) {
@@ -322,10 +390,21 @@ class Replica {
   /// off with bounded exponential sleeps when the queue is full (satellite
   /// replacing the seed's unbounded yield spin). Counts one saturation
   /// episode in ReplicaStats when any backoff was needed.
+  /// HOT BARRIER: the backoff is bounded (exponential, 1 ms cap) and fires
+  /// only when the batch stage is already saturated — the sleep sheds the
+  /// CPU the drain needs, it does not add latency to an unloaded pipeline.
+  RDB_HOT_BARRIER
   void push_batch(BufferPool<PendingBatch>::Handle& handle);
+  RDB_HOT_PATH
   void perform(protocol::Actions actions);
+  RDB_HOT_PATH
   void enqueue_output(Endpoint to, protocol::Message msg);
+  RDB_HOT_PATH
   void broadcast(protocol::Message msg);
+  /// HOT BARRIER: QC backpressure (§4.6) — the cv wait fires only when the
+  /// execute stage is more than execute_queue_slots behind, i.e. the system
+  /// is already saturated; blocking the worker here is the flow control.
+  RDB_HOT_BARRIER
   void deliver_execute(protocol::ExecuteAction ex);
 
   ReplicaConfig config_;
@@ -446,6 +525,19 @@ class Replica {
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(protocol::RejectReason::kCount)>
       reject_counts_{};
+  // RT-zone tripwire tallies (flushed by StageScope) and serialize-once
+  // broadcast accounting.
+  std::array<std::atomic<std::uint64_t>, rtzone::kStageCount> stage_allocs_{};
+  std::array<std::atomic<std::uint64_t>, rtzone::kStageCount> stage_items_{};
+  std::atomic<std::uint64_t> broadcasts_serialized_{0};
+  std::atomic<std::uint64_t> broadcast_frame_sends_{0};
+  /// True when replica-to-replica links use an addressee-independent scheme
+  /// (DS or kNone), making serialize-once broadcast legal. Computed once in
+  /// the constructor from config_.schemes.replica_scheme.
+  bool ds_replica_links_{false};
+  /// Round-robin output-queue pick for broadcast frames. broadcast() runs on
+  /// worker AND batch threads, so unlike rr_output_ this must be atomic.
+  std::atomic<std::size_t> rr_bcast_{0};
 
   std::vector<std::unique_ptr<BusyCounter>> busy_counters_;
   std::chrono::steady_clock::time_point started_at_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/rtzone.h"
 #include "ledger/block.h"
 #include "protocol/messages.h"
 #include "storage/wal.h"
@@ -81,6 +82,11 @@ class ReplicaLog {
 
   /// Group commit: one write + one fsync for every buffered batch.
   /// Fail-stop (StorageError) if the write or fsync fails.
+  ///
+  /// HOT BARRIER: the one fsync per execution WAVE is the durability design
+  /// itself — client responses are withheld until the wave is durable, and
+  /// group commit amortizes the sync over every batch in the wave.
+  RDB_HOT_BARRIER
   void commit();
 
   /// Rewrites the log as [anchor][tail...] via <path>.tmp + atomic rename.

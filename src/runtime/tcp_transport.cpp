@@ -40,7 +40,9 @@ bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
 
 TcpTransport::TcpTransport(Endpoint self, std::uint16_t listen_port,
                            TcpTransportConfig config)
-    : self_(self), config_(config) {
+    : self_(self),
+      config_(config),
+      frame_pool_(config.frame_pool_slabs, config.frame_slab_bytes) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket failed");
   int one = 1;
@@ -159,6 +161,8 @@ TcpTransportStats TcpTransport::stats() const {
   s.messages_requeued = requeued_.load(std::memory_order_relaxed);
   s.undeclared_drops = undeclared_.load(std::memory_order_relaxed);
   s.oversize_rejected = oversize_.load(std::memory_order_relaxed);
+  s.frames_pooled = frame_pool_.pooled_acquires();
+  s.frames_heap_fallback = frame_pool_.heap_fallbacks();
   return s;
 }
 
@@ -223,7 +227,7 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
   return fd;
 }
 
-bool TcpTransport::write_frame(int fd, const Bytes& wire) {
+bool TcpTransport::write_frame(int fd, BytesView wire) {
   std::uint8_t len_buf[4];
   auto len = static_cast<std::uint32_t>(wire.size());
   std::memcpy(len_buf, &len, 4);
@@ -244,7 +248,23 @@ void TcpTransport::send_raw(Endpoint to, Bytes wire) {
     failures_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  enqueue_frame(to, frame_pool_.acquire_copy(BytesView(wire)));
+}
 
+void TcpTransport::send_frame(Endpoint from, Endpoint to, FrameView frame) {
+  (void)from;  // link identity matters to decorators; the mesh routes by `to`
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  if (frame.size() > config_.max_frame) {
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // The borrow ends when this call returns, so the bytes are copied into a
+  // pooled slab the sender thread owns (one memcpy, no heap on a pool hit).
+  enqueue_frame(to, frame_pool_.acquire_copy(frame.bytes()));
+}
+
+void TcpTransport::enqueue_frame(Endpoint to, OwnedFrame frame) {
   PeerState* peer = nullptr;
   {
     MutexLock lock(mu_);
@@ -260,11 +280,12 @@ void TcpTransport::send_raw(Endpoint to, Bytes wire) {
     MutexLock lock(peer->mu);
     if (peer->queue.size() >= config_.max_peer_queue) {
       // Bounded queue: a dead peer must not exhaust memory. Drop the OLDEST
-      // frame — stale consensus votes are the most superseded.
+      // frame — stale consensus votes are the most superseded — returning
+      // its slab to the pool for the frame being admitted.
       peer->queue.pop_front();
       overflows_.fetch_add(1, std::memory_order_relaxed);
     }
-    peer->queue.push_back(std::move(wire));
+    peer->queue.push_back(std::move(frame));
   }
   peer->cv.notify_all();
 }
@@ -316,22 +337,22 @@ void TcpTransport::sender_loop(std::stop_token st, PeerState* peer) {
     }
     if (peer->queue.empty()) continue;
 
-    Bytes wire = std::move(peer->queue.front());
+    OwnedFrame frame = std::move(peer->queue.front());
     peer->queue.pop_front();
     int fd = peer->fd;
     lock.unlock();
-    bool ok = write_frame(fd, wire);
+    bool ok = write_frame(fd, frame.bytes());
     lock.lock();
     if (ok) {
       sent_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+      continue;  // frame destructor recycles the slab
     }
     // Write failure: the connection is gone. Requeue the frame at the front
     // (per-peer FIFO preserved) and reconnect on the next iteration.
     failures_.fetch_add(1, std::memory_order_relaxed);
     ::close(fd);
     if (peer->fd == fd) peer->fd = -1;
-    peer->queue.push_front(std::move(wire));
+    peer->queue.push_front(std::move(frame));
     requeued_.fetch_add(1, std::memory_order_relaxed);
     if (st.stop_requested()) break;  // no reconnects during shutdown
   }

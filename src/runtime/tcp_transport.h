@@ -27,6 +27,7 @@
 
 #include "common/rng.h"
 #include "common/sync.h"
+#include "queues/frame.h"
 #include "runtime/transport_iface.h"
 
 namespace rdb::runtime {
@@ -49,6 +50,14 @@ struct TcpTransportConfig {
   std::uint64_t backoff_seed{0x5EED};
   /// stop() drains established connections for at most this long.
   std::chrono::milliseconds drain_timeout{500};
+  /// Outbound frame pool: queued frames live in preallocated slabs, so the
+  /// steady-state send path performs no heap allocation and drop-oldest
+  /// recycles the slab instead of freeing it. Frames larger than
+  /// frame_slab_bytes (or acquired while the pool is drained) fall back to
+  /// the heap, counted in frames_heap_fallback — correctness never depends
+  /// on pool sizing (§4.8).
+  std::size_t frame_pool_slabs{1024};
+  std::size_t frame_slab_bytes{16 * 1024};
 };
 
 /// Connection-state statistics (all monotonically increasing).
@@ -60,6 +69,8 @@ struct TcpTransportStats {
   std::uint64_t messages_requeued{0};  // frames put back after a failure
   std::uint64_t undeclared_drops{0};   // sends to endpoints never declared
   std::uint64_t oversize_rejected{0};  // sends exceeding max_frame
+  std::uint64_t frames_pooled{0};      // queue entries backed by a pool slab
+  std::uint64_t frames_heap_fallback{0};  // oversize or pool-drained entries
 };
 
 class TcpTransport final : public Transport {
@@ -90,6 +101,11 @@ class TcpTransport final : public Transport {
   /// Enqueues pre-serialized frame bytes (chaos structural-corruption path);
   /// the same max_frame / bounded-queue rules apply.
   void send_raw(Endpoint to, Bytes wire) override;
+
+  /// Borrowed-frame enqueue: copies the view into a pooled OwnedFrame (one
+  /// memcpy, zero heap allocation on a pool hit) — the broadcast fan-out
+  /// path never outlives the borrow.
+  void send_frame(Endpoint from, Endpoint to, FrameView frame) override;
 
   /// Graceful shutdown: drains established peer connections (bounded by
   /// drain_timeout), then closes everything. Idempotent.
@@ -125,7 +141,9 @@ class TcpTransport final : public Transport {
     Mutex mu{LockRank::kTransportPeer, "TcpTransport.peer"};
     CondVar cv;
     TcpPeer addr RDB_GUARDED_BY(mu);
-    std::deque<Bytes> queue RDB_GUARDED_BY(mu);  // frames awaiting the sender
+    /// Frames awaiting the sender, in pooled slabs: drop-oldest and
+    /// successful writes return the slab to the pool instead of freeing it.
+    std::deque<OwnedFrame> queue RDB_GUARDED_BY(mu);
     int fd RDB_GUARDED_BY(mu) = -1;  // sender-owned once the thread runs
     bool ever_connected RDB_GUARDED_BY(mu) = false;
     Rng jitter RDB_GUARDED_BY(mu);
@@ -144,7 +162,10 @@ class TcpTransport final : public Transport {
   void reader_loop(std::stop_token st, int fd);
   void sender_loop(std::stop_token st, PeerState* peer);
   int connect_to(const TcpPeer& peer);
-  bool write_frame(int fd, const Bytes& wire);
+  bool write_frame(int fd, BytesView wire);
+  /// Shared enqueue tail for send_raw/send_frame: bounded-queue admission,
+  /// drop-oldest recycling, sender wakeup.
+  void enqueue_frame(Endpoint to, OwnedFrame frame);
   /// Joins every sender thread. Deliberately walks peers_ WITHOUT mu_:
   /// by this point stopping_ is set, so add_peer() refuses to mutate the
   /// map, and holding mu_ across the joins could deadlock against a sender
@@ -154,6 +175,7 @@ class TcpTransport final : public Transport {
 
   Endpoint self_;
   TcpTransportConfig config_;
+  FramePool frame_pool_;
   int listen_fd_{-1};
   std::uint16_t port_{0};
 

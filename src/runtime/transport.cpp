@@ -34,6 +34,16 @@ void InprocTransport::send_raw(Endpoint to, Bytes wire) {
   inbox->push(std::move(wire));
 }
 
+void InprocTransport::send_frame(Endpoint from, Endpoint to, FrameView frame) {
+  {
+    MutexLock lock(mu_);
+    if (auto p = partitioned_.find(key(from));
+        p != partitioned_.end() && p->second)
+      return;
+  }
+  send_raw(to, frame.to_bytes());
+}
+
 void InprocTransport::set_partitioned(Endpoint ep, bool partitioned) {
   MutexLock lock(mu_);
   partitioned_[key(ep)] = partitioned;

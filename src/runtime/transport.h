@@ -28,6 +28,11 @@ class InprocTransport final : public Transport {
   /// Delivers raw frame bytes (chaos layer / structural-corruption path).
   void send_raw(Endpoint to, Bytes wire) override;
 
+  /// Borrowed-frame delivery. In-process inboxes consume owned Bytes, so
+  /// each destination pays exactly one copy — the serialize-once win here is
+  /// the N-1 avoided serializations (and signatures), not zero-copy.
+  void send_frame(Endpoint from, Endpoint to, FrameView frame) override;
+
   /// Test hook: a partitioned endpoint loses all traffic in both directions.
   void set_partitioned(Endpoint ep, bool partitioned);
 

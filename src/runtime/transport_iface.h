@@ -8,9 +8,11 @@
 #include <memory>
 
 #include "common/bytes.h"
+#include "common/rtzone.h"
 #include "common/types.h"
 #include "protocol/messages.h"
 #include "queues/blocking_queue.h"
+#include "queues/frame.h"
 
 namespace rdb::runtime {
 
@@ -27,6 +29,12 @@ class Transport {
   /// where the medium allows: implementations may queue and retransmit
   /// (TcpTransport reconnects with backoff), yet are free to drop under
   /// sustained failure — BFT protocols tolerate loss by design.
+  ///
+  /// RT-zone root (all three send entry points): the output threads call
+  /// these once per outbound message, so implementations must enqueue
+  /// without naked blocking and without per-send heap allocation beyond the
+  /// counted pool fallbacks (scripts/check_hotpath.py).
+  RDB_HOT_PATH
   virtual void send(Endpoint to, const protocol::Message& msg) = 0;
 
   /// Delivers pre-serialized — possibly MALFORMED — frame bytes to `to`,
@@ -36,7 +44,25 @@ class Transport {
   /// which by definition cannot round-trip through a typed Message. The
   /// receiver's parse+validate path (protocol/validate.h) must reject such
   /// frames and count the reject; that is exactly what chaos drills assert.
+  RDB_HOT_PATH
   virtual void send_raw(Endpoint to, Bytes wire) = 0;
+
+  /// Delivers a BORROWED pre-serialized frame — the serialize-once broadcast
+  /// path: the caller builds one OwnedFrame and passes the same view to many
+  /// destinations, so a fanout of N costs one serialization (and, for
+  /// addressee-independent signature schemes, one signature). `from` names
+  /// the sender: a borrowed frame is not re-parsed, so the link identity the
+  /// chaos decorator keys its per-link fault PRNGs on must travel alongside.
+  ///
+  /// Borrow contract: the view is only valid for the duration of the call.
+  /// Implementations that need the bytes later (outbound queues) must copy —
+  /// TcpTransport copies into its own pooled OwnedFrame; the default
+  /// implementation copies into an owned Bytes via send_raw.
+  RDB_HOT_PATH
+  virtual void send_frame(Endpoint from, Endpoint to, FrameView frame) {
+    (void)from;
+    send_raw(to, frame.to_bytes());
+  }
 };
 
 }  // namespace rdb::runtime

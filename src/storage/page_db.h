@@ -39,6 +39,7 @@
 #include <unordered_map>
 
 #include "common/det.h"
+#include "common/rtzone.h"
 #include "common/sync.h"
 #include "storage/env.h"
 #include "storage/kv_store.h"
@@ -78,12 +79,23 @@ class PageDb final : public KvStore {
   PageDb& operator=(const PageDb&) = delete;
 
   void put(std::string_view key, std::string_view value) override;
+  /// HOT BARRIER: reads ride the in-memory page cache; a miss pays one
+  /// bounded page fetch (plus at most one eviction flush), both counted in
+  /// StoreStats — storage latency is the execution layer's budget, priced
+  /// by the paper's cost model, not hidden consensus-pipeline work.
+  RDB_HOT_BARRIER
   std::optional<std::string> get(std::string_view key) override;
+  /// HOT BARRIER: same bounded page-cache read path as get().
+  RDB_HOT_BARRIER
   bool contains(std::string_view key) override;
   std::uint64_t size() const override;
   StoreStats stats() const override;
   std::string name() const override { return "pagedb"; }
   void for_each(const VisitFn& fn) override;
+  /// HOT BARRIER: test/reset facility — rewrites the store from scratch;
+  /// never called per message (snapshot install is the one runtime caller,
+  /// itself behind the stalled-rejoin barrier).
+  RDB_HOT_BARRIER
   void clear() override;
   bool durable() const override { return true; }
 

@@ -1,0 +1,386 @@
+// Hot-path resource discipline, runtime half: AllocScope semantics, the
+// OwnedFrame/FrameView ownership type-state, serialize-once broadcast, and
+// the per-stage allocation tripwire gate (tripwire builds only).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/rtzone.h"
+#include "queues/frame.h"
+#include "runtime/cluster.h"
+#include "workload/ycsb.h"
+
+namespace rdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AllocScope: the thread-local counter the operator new hooks feed.
+// note_alloc() works in EVERY build (the hooks only exist under
+// -DRDB_ALLOC_TRIPWIRE=ON), so scope semantics are testable everywhere.
+
+TEST(Rtzone, NoteAllocWithoutScopeIsNoop) {
+  // No scope armed: must not crash, must not count anywhere.
+  rtzone::note_alloc();
+  std::uint64_t count = 0;
+  {
+    rtzone::AllocScope scope(count);
+    rtzone::note_alloc();
+  }
+  rtzone::note_alloc();  // scope ended: back to the noop path
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Rtzone, AllocScopeCountsIntoArmedCounter) {
+  std::uint64_t count = 0;
+  rtzone::AllocScope scope(count);
+  for (int i = 0; i < 5; ++i) rtzone::note_alloc();
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Rtzone, AllocScopeNestsInnermostWins) {
+  std::uint64_t outer = 0;
+  std::uint64_t inner = 0;
+  {
+    rtzone::AllocScope outer_scope(outer);
+    rtzone::note_alloc();
+    {
+      rtzone::AllocScope inner_scope(inner);
+      rtzone::note_alloc();
+      rtzone::note_alloc();
+    }
+    rtzone::note_alloc();  // inner ended: attribution returns to outer
+  }
+  EXPECT_EQ(outer, 2u);
+  EXPECT_EQ(inner, 2u);
+}
+
+TEST(Rtzone, AllocScopePerThreadIsolation) {
+  // The thread is created BEFORE main arms its scope: in tripwire builds
+  // std::thread's constructor allocates for real, and that traffic belongs
+  // to no one. While the scopes are armed both threads only spin on the
+  // atomic and call note_alloc() — no genuine heap traffic to blur counts.
+  std::atomic<int> phase{0};
+  std::uint64_t main_count = 0;
+  std::uint64_t peer_count = 0;
+  std::thread peer([&] {
+    rtzone::note_alloc();  // no scope armed on this thread: noop
+    while (phase.load() < 1) {
+    }
+    {
+      rtzone::AllocScope s(peer_count);
+      rtzone::note_alloc();
+    }
+    phase.store(2);
+  });
+  {
+    rtzone::AllocScope scope(main_count);
+    rtzone::note_alloc();
+    phase.store(1);
+    while (phase.load() < 2) {
+    }
+    rtzone::note_alloc();
+  }
+  peer.join();
+  EXPECT_EQ(main_count, 2u);  // never sees the peer's traffic
+  EXPECT_EQ(peer_count, 1u);
+}
+
+TEST(Rtzone, TripwireHooksFeedRealHeapTraffic) {
+  if (!rtzone::tripwire_enabled())
+    GTEST_SKIP() << "operator new hooks require -DRDB_ALLOC_TRIPWIRE=ON";
+  std::uint64_t count = 0;
+  {
+    rtzone::AllocScope scope(count);
+    // Direct operator-new call: a new-EXPRESSION paired with its delete may
+    // legally be elided by the optimizer, but a direct call may not.
+    void* p = ::operator new(16);
+    ::operator delete(p);
+  }
+  EXPECT_GE(count, 1u);
+}
+
+TEST(Rtzone, StageNamesCoverEveryStage) {
+  for (std::size_t s = 0; s < rtzone::kStageCount; ++s) {
+    const char* name = rtzone::stage_name(static_cast<rtzone::Stage>(s));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OwnedFrame / FrameView: move-only owner, counted read-only borrows.
+
+TEST(Frame, AdoptOwnsBytesWithoutCopy) {
+  Bytes payload{1, 2, 3, 4};
+  const std::uint8_t* data = payload.data();
+  OwnedFrame frame = OwnedFrame::adopt(std::move(payload));
+  ASSERT_TRUE(static_cast<bool>(frame));
+  EXPECT_EQ(frame.size(), 4u);
+  EXPECT_EQ(frame.data(), data);  // adopted, not copied
+  EXPECT_FALSE(frame.pooled());
+}
+
+TEST(Frame, ViewBorrowCountingAndExplicitCopy) {
+  OwnedFrame frame = OwnedFrame::adopt(Bytes{9, 8, 7});
+  EXPECT_EQ(frame.outstanding_views(), 0u);
+  {
+    FrameView v1 = frame.view();
+    EXPECT_EQ(frame.outstanding_views(), 1u);
+    FrameView v2 = v1;  // copyable borrow
+    EXPECT_EQ(frame.outstanding_views(), 2u);
+    EXPECT_EQ(v2.size(), 3u);
+    EXPECT_EQ(v2.data(), frame.data());  // borrow, not copy
+
+    Bytes copy = v2.to_bytes();  // the ONE explicit way bytes escape
+    EXPECT_EQ(copy, (Bytes{9, 8, 7}));
+    EXPECT_NE(copy.data(), frame.data());
+
+    FrameView v3 = std::move(v2);  // move transfers the borrow
+    EXPECT_EQ(frame.outstanding_views(), 2u);
+    EXPECT_FALSE(static_cast<bool>(v2));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(v3));
+  }
+  EXPECT_EQ(frame.outstanding_views(), 0u);  // all borrows returned
+}
+
+TEST(Frame, MoveTransfersOwnership) {
+  OwnedFrame a = OwnedFrame::adopt(Bytes{5, 5});
+  OwnedFrame b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b.size(), 2u);
+  OwnedFrame c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Frame, PoolSteadyStateReusesSlabs) {
+  FramePool pool(1, 64);  // single slab: reuse is deterministic (FIFO list)
+  EXPECT_EQ(pool.population(), 1u);
+  const std::uint8_t* first_slab = nullptr;
+  {
+    OwnedFrame f = pool.acquire(16);
+    ASSERT_TRUE(f.pooled());
+    first_slab = f.data();
+  }  // released back to the free list
+  {
+    // Steady state: the same preallocated slab comes back, zero heap.
+    OwnedFrame f = pool.acquire(32);
+    EXPECT_TRUE(f.pooled());
+    EXPECT_EQ(f.data(), first_slab);
+  }
+  EXPECT_EQ(pool.pooled_acquires(), 2u);
+  EXPECT_EQ(pool.heap_fallbacks(), 0u);
+}
+
+TEST(Frame, PoolCountsHeapFallbacks) {
+  FramePool pool(1, 64);
+  OwnedFrame oversize = pool.acquire(65);  // exceeds slab_bytes
+  EXPECT_FALSE(oversize.pooled());
+  OwnedFrame pooled = pool.acquire(8);
+  EXPECT_TRUE(pooled.pooled());
+  OwnedFrame drained = pool.acquire(8);  // population exhausted
+  EXPECT_FALSE(drained.pooled());
+  EXPECT_EQ(pool.pooled_acquires(), 1u);
+  EXPECT_EQ(pool.heap_fallbacks(), 2u);
+}
+
+TEST(Frame, AcquireCopyMaterializesTheBytes) {
+  FramePool pool(1, 64);
+  Bytes src{3, 1, 4, 1, 5};
+  OwnedFrame f = pool.acquire_copy(BytesView(src));
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_EQ(Bytes(f.data(), f.data() + f.size()), src);
+  EXPECT_NE(f.data(), src.data());
+}
+
+using FrameDeathTest = ::testing::Test;
+
+TEST(FrameDeathTest, OwnerResetWithLiveViewFailStops) {
+  // A view outliving its owner is a use-after-free in the making; the
+  // type-state turns it into a deterministic abort instead.
+  EXPECT_DEATH(
+      {
+        OwnedFrame frame = OwnedFrame::adopt(Bytes{1});
+        FrameView leaked = frame.view();
+        frame.reset();  // live borrow: must fail-stop, not dangle
+        (void)leaked;
+      },
+      "outstanding FrameView");
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level: serialize-once broadcast and the per-stage allocation gate.
+
+std::shared_ptr<workload::YcsbWorkload> small_workload() {
+  workload::YcsbConfig cfg;
+  cfg.record_count = 1000;
+  cfg.ops_per_txn = 2;
+  cfg.value_bytes = 8;
+  return std::make_shared<workload::YcsbWorkload>(cfg);
+}
+
+runtime::ClusterConfig base_config(
+    std::shared_ptr<workload::YcsbWorkload> wl) {
+  runtime::ClusterConfig cfg;
+  cfg.replicas = 4;
+  cfg.batch_size = 5;
+  cfg.execute = [wl](const protocol::Transaction& t, storage::KvStore& s) {
+    return wl->execute(t, s);
+  };
+  return cfg;
+}
+
+std::vector<protocol::Transaction> make_burst(runtime::Client& client,
+                                              workload::YcsbWorkload& wl,
+                                              Rng& rng, int count) {
+  std::vector<protocol::Transaction> txns;
+  for (int i = 0; i < count; ++i) {
+    auto t = wl.make_transaction(rng, client.id(), 0);
+    txns.push_back(client.make_transaction(t.payload, t.ops));
+  }
+  return txns;
+}
+
+TEST(Runtime, SerializeOnceBroadcastSendsNFramesFromOneSerialization) {
+  // Digital-signature replica links (Ed25519 is addressee-independent):
+  // every protocol broadcast signs and serializes ONCE, then fans out n-1
+  // FrameViews over the same buffer. The counters prove the shape.
+  auto wl = small_workload();
+  auto cfg = base_config(wl);
+  cfg.schemes = crypto::SchemeConfig::all_ed25519();
+  runtime::LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(17);
+
+  auto results = client->submit_and_wait(make_burst(*client, *wl, rng, 10));
+  ASSERT_TRUE(results.has_value());
+  ASSERT_TRUE(cluster.wait_for_execution(2, std::chrono::seconds(10)));
+  cluster.stop();
+
+  for (ReplicaId r = 0; r < cluster.size(); ++r) {
+    auto stats = cluster.replica(r).stats();
+    EXPECT_GT(stats.broadcasts_serialized, 0u) << "replica " << r;
+    // Exactly n-1 frame sends per serialized broadcast — the serialize-once
+    // invariant, counter-for-counter.
+    EXPECT_EQ(stats.broadcast_frame_sends,
+              stats.broadcasts_serialized * (cluster.size() - 1))
+        << "replica " << r;
+  }
+}
+
+TEST(Runtime, CmacLinksKeepPerPeerSerialization) {
+  // CMAC replica links are addressee-DEPENDENT (pairwise keys): the
+  // serialize-once path is illegal and must stay disabled. Default config
+  // uses CMAC, so this also pins the legacy behavior.
+  auto wl = small_workload();
+  runtime::LocalCluster cluster(base_config(wl));
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(18);
+
+  auto results = client->submit_and_wait(make_burst(*client, *wl, rng, 5));
+  ASSERT_TRUE(results.has_value());
+  ASSERT_TRUE(cluster.wait_for_execution(1, std::chrono::seconds(5)));
+  cluster.stop();
+
+  for (ReplicaId r = 0; r < cluster.size(); ++r) {
+    auto stats = cluster.replica(r).stats();
+    EXPECT_EQ(stats.broadcasts_serialized, 0u) << "replica " << r;
+    EXPECT_EQ(stats.broadcast_frame_sends, 0u) << "replica " << r;
+  }
+}
+
+// Per-stage allocation budgets, in heap allocations PER STAGE ITERATION
+// after warmup (an iteration = one armed StageScope: one popped message,
+// batch, wave, or outbound send). These are the NAMED budgets the tripwire
+// holds the pipeline to. They are deliberately not zero: a stage iteration
+// legitimately materializes its outputs (a serialized frame is a Bytes, a
+// Block holds its transactions) — the discipline bans UNBOUNDED per-message
+// allocation (rates that grow with load), which would show up here as
+// hundreds of allocations per iteration.
+struct StageBudget {
+  rtzone::Stage stage;
+  std::uint64_t allocs_per_iteration;
+};
+constexpr StageBudget kStageBudgets[] = {
+    // input: routes one popped message (request copies land in the batch
+    // queue; vote/proposal messages move through untouched).
+    {rtzone::Stage::kInput, 40},
+    // batch: builds one Batch message from up to batch_size requests (each
+    // request copy carries its payload Bytes and per-op storage).
+    {rtzone::Stage::kBatch, 160},
+    // verify: canonical signing bytes per burst entry (pool scratch is
+    // hoisted; the Bytes themselves are per-message output).
+    {rtzone::Stage::kVerify, 40},
+    // worker: engine handlers emit Actions (messages to send own storage).
+    {rtzone::Stage::kWorker, 80},
+    // execute: applies a batch against the store and builds the Block.
+    {rtzone::Stage::kExecute, 120},
+    // checkpoint: digest chain bookkeeping, occasional stable-checkpoint
+    // broadcast; compaction sits behind its own barrier.
+    {rtzone::Stage::kCheckpoint, 60},
+    // output: sign + serialize one outbound message (the serialized frame
+    // is the product; serialize-once broadcast amortizes it across peers).
+    {rtzone::Stage::kOutput, 40},
+};
+
+TEST(Runtime, HotPathSteadyStateZeroAlloc) {
+  if (!rtzone::tripwire_enabled())
+    GTEST_SKIP() << "allocation tripwire requires -DRDB_ALLOC_TRIPWIRE=ON";
+
+  auto wl = small_workload();
+  auto cfg = base_config(wl);
+  runtime::LocalCluster cluster(cfg);
+  cluster.start();
+  auto client = cluster.make_client(1);
+  Rng rng(19);
+
+  // Warmup: first waves pay one-time costs (CMAC key schedules, verdict
+  // scratch, pool refills) that the barriers amortize away.
+  for (int round = 0; round < 4; ++round) {
+    auto res = client->submit_and_wait(make_burst(*client, *wl, rng, 10));
+    ASSERT_TRUE(res.has_value()) << "warmup round " << round;
+  }
+  SeqNum warm = cluster.replica(0).last_executed();
+  ASSERT_TRUE(cluster.wait_for_execution(warm, std::chrono::seconds(10)));
+
+  std::array<runtime::ReplicaStats, 4> before;
+  for (ReplicaId r = 0; r < cluster.size(); ++r)
+    before[r] = cluster.replica(r).stats();
+
+  // Measured window: steady state.
+  for (int round = 0; round < 6; ++round) {
+    auto res = client->submit_and_wait(make_burst(*client, *wl, rng, 10));
+    ASSERT_TRUE(res.has_value()) << "measured round " << round;
+  }
+  SeqNum done = cluster.replica(0).last_executed();
+  ASSERT_TRUE(cluster.wait_for_execution(done, std::chrono::seconds(10)));
+  cluster.stop();
+
+  for (ReplicaId r = 0; r < cluster.size(); ++r) {
+    auto after = cluster.replica(r).stats();
+    for (const auto& budget : kStageBudgets) {
+      auto s = static_cast<std::size_t>(budget.stage);
+      std::uint64_t allocs =
+          after.hot_path_allocs[s] - before[r].hot_path_allocs[s];
+      std::uint64_t items =
+          after.hot_path_items[s] - before[r].hot_path_items[s];
+      if (items == 0) continue;  // stage saw no traffic in the window
+      EXPECT_LE(allocs, budget.allocs_per_iteration * items)
+          << "replica " << r << " stage " << rtzone::stage_name(budget.stage)
+          << ": " << allocs << " allocations over " << items
+          << " iterations (" << (allocs / items) << "/iter, budget "
+          << budget.allocs_per_iteration << "/iter) — a hot-path "
+          << "allocation regression slipped past the static lint";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdb

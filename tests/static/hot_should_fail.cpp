@@ -1,0 +1,28 @@
+// Hot-path-lint probe: MUST be rejected (cmake/CheckHotPath.cmake).
+//
+// The banned token is NOT in the annotated function itself — the heap
+// allocation hides one call away, so this probe proves the gate walks the
+// call graph instead of only pattern-matching annotated bodies. A naked
+// `new` reachable from an RDB_HOT_PATH root is exactly the per-message
+// malloc the §4.8 pooling discipline exists to eliminate. If this file
+// passes, the gate is dead.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rtzone.h"
+
+namespace rdb::hotprobe {
+
+inline std::uint64_t* leaky_helper(std::size_t n) {
+  // Banned: per-call heap allocation on the consensus critical path.
+  return new std::uint64_t[n];
+}
+
+RDB_HOT_PATH std::uint64_t hot_root(std::size_t n) {
+  std::uint64_t* scratch = leaky_helper(n);
+  std::uint64_t acc = scratch[0];
+  delete[] scratch;
+  return acc;
+}
+
+}  // namespace rdb::hotprobe

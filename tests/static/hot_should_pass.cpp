@@ -1,0 +1,33 @@
+// Hot-path-lint probe: MUST pass (cmake/CheckHotPath.cmake).
+//
+// An RT-zone root whose entire (transitive) call graph is allocation- and
+// blocking-free: arithmetic over a caller-provided scratch buffer, exactly
+// the shape the steady-state pipeline stages are held to. If the gate
+// rejects this file, the lint flags CORRECT code and has gone bad.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rtzone.h"
+
+namespace rdb::hotprobe {
+
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  return x ^ (x >> 29);
+}
+
+inline std::uint64_t fill_scratch(std::uint64_t* scratch, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch[i] = mix(acc + i);  // reuses preallocated storage: no heap
+    acc += scratch[i];
+  }
+  return acc;
+}
+
+RDB_HOT_PATH std::uint64_t hot_root(std::uint64_t* scratch, std::size_t n) {
+  return fill_scratch(scratch, n);
+}
+
+}  // namespace rdb::hotprobe
